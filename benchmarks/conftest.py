@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures.
+Regenerated artifacts are also written to ``benchmarks/results/`` so
+the evidence survives the run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.core import SemanticRetrievalPipeline
+from repro.evaluation import EvaluationHarness
+from repro.ontology import soccer_ontology
+from repro.soccer import standard_corpus
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    return soccer_ontology()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    return standard_corpus()
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return SemanticRetrievalPipeline()
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(pipeline, corpus):
+    return pipeline.run(corpus.crawled)
+
+
+@pytest.fixture(scope="session")
+def harness(corpus, pipeline_result):
+    return EvaluationHarness(corpus, pipeline_result)
+
+
+def write_result(results_dir: Path, name: str, content: str) -> None:
+    (results_dir / name).write_text(content, encoding="utf-8")

@@ -1,0 +1,77 @@
+"""Fig. 1 — the overall system flow, timed stage by stage.
+
+The figure is a diagram, not a measurement; what we regenerate is a
+stage-timing profile of every box in it (crawl → TRAD → populate →
+BASIC_EXT → IE → FULL_EXT → reason → FULL_INF), proving the whole
+pipeline runs end-to-end, plus an end-to-end pipeline benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import SemanticIndexer, SemanticRetrievalPipeline
+from repro.extraction import InformationExtractor
+from repro.population import OntologyPopulator
+from benchmarks.conftest import write_result
+
+
+def test_fig1_stage_profile(pipeline, corpus, results_dir, benchmark):
+    populator = OntologyPopulator(pipeline.ontology)
+    indexer = SemanticIndexer(pipeline.ontology,
+                              pipeline.reasoner.taxonomy)
+
+    def profile():
+        timings = {}
+
+        def stage(name, fn):
+            started = time.perf_counter()
+            value = fn()
+            timings[name] = time.perf_counter() - started
+            return value
+
+        stage("2. TRAD index",
+              lambda: indexer.build_traditional(corpus.crawled))
+        basic = stage("3. initial OWL models (population)",
+                      lambda: [populator.populate_basic(c)
+                               for c in corpus.crawled])
+        stage("4. BASIC_EXT index",
+              lambda: indexer.build_semantic(basic, "BASIC_EXT"))
+        extracted = stage("5. information extraction",
+                          lambda: [InformationExtractor(c).extract_all()
+                                   for c in corpus.crawled])
+        full = stage("5b. extracted OWL models",
+                     lambda: [populator.populate_full(c, e)
+                              for c, e in zip(corpus.crawled, extracted)])
+        stage("6. FULL_EXT index",
+              lambda: indexer.build_semantic(full, "FULL_EXT"))
+        inferred = stage("7. reasoning + rules (per match, offline)",
+                         lambda: [pipeline.reasoner.infer(
+                             m, check_consistency=False).abox
+                             for m in full])
+        stage("8. FULL_INF index",
+              lambda: indexer.build_semantic(inferred, "FULL_INF",
+                                             inferred=True))
+        return timings
+
+    timings = benchmark.pedantic(profile, rounds=1, iterations=1)
+    total = sum(timings.values())
+    lines = ["Fig. 1 — pipeline stage profile "
+             f"(10 matches, {corpus.narration_count} narrations)", ""]
+    for name, seconds in timings.items():
+        lines.append(f"{name:45} {seconds * 1000:9.1f} ms "
+                     f"({seconds / total * 100:5.1f}%)")
+    lines.append(f"{'TOTAL':45} {total * 1000:9.1f} ms")
+    text = "\n".join(lines)
+    write_result(results_dir, "fig1_stage_profile.txt", text)
+    print("\n" + text)
+    assert total < 60
+
+
+def test_end_to_end_pipeline(corpus, benchmark):
+    """Full Fig. 1 flow as one measurement."""
+    def run():
+        return SemanticRetrievalPipeline().run(corpus.crawled)
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.index("FULL_INF").doc_count > 1000

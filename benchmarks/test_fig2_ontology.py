@@ -1,0 +1,49 @@
+"""Fig. 2 — the domain ontology class hierarchy.
+
+Regenerates the full class tree (79 concepts) as text, checks the
+published counts and benchmarks taxonomy construction.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ontology import CLASS_COUNT, PROPERTY_COUNT
+from repro.rdf import SOCCER
+from repro.reasoning import Taxonomy
+from benchmarks.conftest import write_result
+
+
+def _render_tree(ontology) -> str:
+    lines: List[str] = []
+
+    def walk(uri, depth):
+        lines.append("    " * depth + uri.local_name)
+        for child in sorted(ontology.direct_subclasses(uri)):
+            walk(child, depth + 1)
+
+    for root in sorted(ontology.roots()):
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def test_fig2_class_hierarchy(ontology, results_dir, benchmark):
+    tree = benchmark.pedantic(_render_tree, args=(ontology,), rounds=1,
+                              iterations=1)
+    header = (f"Fig. 2 — domain ontology class hierarchy\n"
+              f"{ontology.class_count} concepts, "
+              f"{ontology.property_count} properties "
+              f"(paper: {CLASS_COUNT} / {PROPERTY_COUNT})\n\n")
+    write_result(results_dir, "fig2_class_hierarchy.txt", header + tree)
+    print("\n" + header + tree)
+
+    assert ontology.class_count == CLASS_COUNT
+    assert ontology.property_count == PROPERTY_COUNT
+    # multi-parent classes appear once per parent in the rendered tree
+    assert tree.count("Goal") >= 2      # under Shoot and PositiveEvent
+
+
+def test_taxonomy_construction_speed(ontology, benchmark):
+    """Classification cost over the full 79-class / 95-property TBox."""
+    taxonomy = benchmark(Taxonomy, ontology)
+    assert taxonomy.is_subclass_of(SOCCER.LongPass, SOCCER.Event)

@@ -1,0 +1,48 @@
+"""Fig. 5 — inferring the class hierarchy of "Long Pass".
+
+Regenerates the figure's inference chain (LongPass ⊑ Pass ⊑ BallEvent
+⊑ Event) via the classification service and benchmarks realization of
+a typed individual.
+"""
+
+from __future__ import annotations
+
+from repro.ontology import Individual
+from repro.rdf import SOCCER
+from repro.reasoning import Realizer, Taxonomy
+from benchmarks.conftest import write_result
+
+
+def test_fig5_long_pass_lineage(ontology, results_dir, benchmark):
+    taxonomy = Taxonomy(ontology)
+    lineage = benchmark.pedantic(taxonomy.lineage,
+                                 args=(SOCCER.LongPass,), rounds=1,
+                                 iterations=1)
+    rendered = "\n   is-a\n".join(uri.local_name for uri in lineage)
+    text = ("Fig. 5 — inferred class hierarchy of Long Pass\n\n"
+            + rendered)
+    write_result(results_dir, "fig5_long_pass.txt", text)
+    print("\n" + text)
+
+    names = [uri.local_name for uri in lineage]
+    assert names[0] == "LongPass"
+    assert "Pass" in names
+    assert "BallEvent" in names
+    assert names[-1] == "Event"
+
+
+def test_realization_of_typed_individual(ontology, benchmark):
+    """A LongPass individual gains every supertype when realized —
+    the inference Fig. 5 depicts, applied to ABox data."""
+    realizer = Realizer(ontology)
+
+    def realize_one():
+        abox = ontology.spawn_abox("bench")
+        individual = Individual(SOCCER.term("lp1"), {SOCCER.LongPass})
+        abox.add_individual(individual)
+        realizer.realize(abox)
+        return individual
+
+    individual = benchmark(realize_one)
+    assert {SOCCER.Pass, SOCCER.BallEvent, SOCCER.Event} \
+        <= individual.types

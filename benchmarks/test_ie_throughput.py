@@ -1,0 +1,76 @@
+"""Throughput benchmarks for the IE module and the analysis chain.
+
+The paper's §3.3 motivation for template-based IE is avoiding heavy
+NLP machinery ("they need heavy computational processes"); these
+benchmarks quantify how cheap the template approach is.
+"""
+
+from __future__ import annotations
+
+from repro.extraction import InformationExtractor, NamedEntityRecognizer
+from repro.search.analysis import PorterStemmer, StandardAnalyzer
+from benchmarks.conftest import write_result
+
+
+def test_extraction_throughput(corpus, results_dir, benchmark):
+    """Full-corpus IE: 1182 narrations through NER + both lexical
+    levels."""
+    def extract_everything():
+        total = typed = 0
+        for crawled in corpus.crawled:
+            for event in InformationExtractor(crawled).extract_all():
+                total += 1
+                if not event.is_unknown:
+                    typed += 1
+        return total, typed
+
+    total, typed = benchmark(extract_everything)
+    assert total == 1182 and typed == 902
+    stats = benchmark.stats.stats
+    rate = total / stats.mean
+    text = (f"IE throughput: {total} narrations "
+            f"({typed} typed) in {stats.mean * 1000:.0f} ms "
+            f"≈ {rate:,.0f} narrations/s")
+    write_result(results_dir, "ie_throughput.txt", text)
+    print("\n" + text)
+
+
+def test_ner_tagging_speed(corpus, benchmark):
+    """NER alone, amortized over one match's narrations."""
+    crawled = corpus.crawled[0]
+    ner = NamedEntityRecognizer(crawled)
+    texts = [n.text for n in crawled.narrations]
+
+    def tag_all():
+        return [ner.tag(text) for text in texts]
+
+    tagged = benchmark(tag_all)
+    assert len(tagged) == len(texts)
+
+
+def test_analyzer_throughput(corpus, benchmark):
+    """The standard analysis chain over every narration."""
+    analyzer = StandardAnalyzer()
+    texts = [n.text for crawled in corpus.crawled
+             for n in crawled.narrations]
+
+    def analyze_all():
+        return sum(len(analyzer.analyze(text)) for text in texts)
+
+    tokens = benchmark(analyze_all)
+    assert tokens > 5000
+
+
+def test_stemmer_throughput(benchmark):
+    """Raw Porter stemmer speed over a realistic vocabulary."""
+    stemmer = PorterStemmer()
+    words = ("scores misses saves punishment goalkeeper defensive "
+             "challenged flagged delivered substitution possession "
+             "brilliant dangerous attacking clearances interceptions "
+             ).split() * 200
+
+    def stem_all():
+        return [stemmer.stem(word) for word in words]
+
+    stems = benchmark(stem_all)
+    assert len(stems) == len(words)

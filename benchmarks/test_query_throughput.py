@@ -1,0 +1,70 @@
+"""Sustained query-throughput benchmark.
+
+Generates a realistic query log (player names, team names, event
+vocabulary — alone and combined, plus a fraction of misses) and
+measures sustained QPS on the FULL_INF index — the "answering
+millions of queries in reasonable time" claim of §1, scaled to the
+corpus at hand.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import IndexName
+from benchmarks.conftest import write_result
+
+_EVENT_WORDS = ["goal", "foul", "save", "corner", "offside",
+                "yellow card", "punishment", "pass", "tackle",
+                "substitution"]
+_NAMES = ["messi", "ronaldo", "henry", "casillas", "alex", "drogba",
+          "gerrard", "robben", "sneijder", "rooney"]
+_TEAMS = ["barcelona", "chelsea", "liverpool", "arsenal",
+          "real madrid", "bayern"]
+_NOISE = ["xylophone", "quantum", "zebra"]
+
+
+def _query_log(count: int, seed: int = 42) -> list:
+    rng = random.Random(seed)
+    log = []
+    for _ in range(count):
+        roll = rng.random()
+        if roll < 0.3:
+            log.append(rng.choice(_EVENT_WORDS))
+        elif roll < 0.5:
+            log.append(rng.choice(_NAMES))
+        elif roll < 0.75:
+            log.append(f"{rng.choice(_NAMES)} "
+                       f"{rng.choice(_EVENT_WORDS)}")
+        elif roll < 0.95:
+            log.append(f"{rng.choice(_TEAMS)} "
+                       f"{rng.choice(_EVENT_WORDS)}")
+        else:
+            log.append(rng.choice(_NOISE) + " goal")
+    return log
+
+
+def test_sustained_query_throughput(pipeline_result, results_dir,
+                                    benchmark):
+    engine = pipeline_result.engine(IndexName.FULL_INF)
+    log = _query_log(200)
+
+    def run_log():
+        answered = 0
+        for text in log:
+            hits = engine.search(text, limit=10)
+            if hits:
+                answered += 1
+        return answered
+
+    answered = benchmark(run_log)
+    assert answered > 150
+    mean = benchmark.stats.stats.mean
+    qps = len(log) / mean
+    text = (f"Sustained keyword-query throughput (FULL_INF, "
+            f"{len(log)}-query log)\n\n"
+            f"mean wall time: {mean * 1000:.0f} ms\n"
+            f"throughput:     {qps:,.0f} queries/s\n"
+            f"answered:       {answered}/{len(log)}")
+    write_result(results_dir, "query_throughput.txt", text)
+    print("\n" + text)

@@ -1,0 +1,112 @@
+"""Scalability of inferencing (§3.5).
+
+The paper's design claim: "we keep each soccer game separate from each
+other and run the inferencing separately … the time needed for the
+inferencing of a soccer game becomes independent of the total number
+of games."  We measure per-match inference time while growing the
+corpus from 2 to 10 matches and assert it stays flat, then contrast it
+with the superlinear cost of reasoning over one merged model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.extraction import InformationExtractor
+from repro.ontology import Ontology
+from repro.population import OntologyPopulator
+from repro.soccer import standard_corpus
+from repro.soccer.names import FIXTURES
+from benchmarks.conftest import write_result
+
+
+def _full_models(pipeline, crawled_matches):
+    populator = OntologyPopulator(pipeline.ontology)
+    models = []
+    for crawled in crawled_matches:
+        extractor = InformationExtractor(crawled)
+        models.append(populator.populate_full(
+            crawled, extractor.extract_all()))
+    return models
+
+
+def test_per_match_inference_flat_in_corpus_size(pipeline, results_dir,
+                                                 benchmark):
+    def measure():
+        rows = []
+        for count in (2, 4, 6, 8, 10):
+            corpus = standard_corpus(fixtures=FIXTURES[:count],
+                                     total_narrations=118 * count)
+            models = _full_models(pipeline, corpus.crawled)
+            started = time.perf_counter()
+            for model in models:
+                pipeline.reasoner.infer(model, check_consistency=False)
+            elapsed = time.perf_counter() - started
+            rows.append((count, elapsed / count))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Per-match inference time vs corpus size (§3.5 claim)",
+             "", f"{'matches':>8}  {'ms / match':>12}"]
+    for count, per_match in rows:
+        lines.append(f"{count:>8}  {per_match * 1000:>12.1f}")
+    text = "\n".join(lines)
+    write_result(results_dir, "scalability_inference.txt", text)
+    print("\n" + text)
+
+    # per-match time must not grow with corpus size (allow 75% noise)
+    smallest = rows[0][1]
+    largest = rows[-1][1]
+    assert largest < smallest * 1.75
+
+
+def test_incremental_update_cost(pipeline, corpus, results_dir,
+                                 benchmark):
+    """Why the paper divides the world into small models (§3.5): when
+    a new match arrives, only *its* model is reasoned over ("we
+    disjunctively add the inferred information to the knowledge
+    base"), while a single-world design must re-run inference over
+    the whole merged ABox."""
+    models = _full_models(pipeline, corpus.crawled)
+    existing, new_match = models[:-1], models[-1]
+
+    def merged_world_update():
+        # single-model design: the new match joins the world, and the
+        # reasoner runs over everything again
+        merged = pipeline.ontology.spawn_abox("merged")
+        for model in (*existing, new_match):
+            for individual in model.individuals():
+                merged.add_individual(individual)
+        return pipeline.reasoner.infer(merged, check_consistency=False)
+
+    def independent_model_update():
+        # the paper's design: only the new match is inferred
+        return pipeline.reasoner.infer(new_match,
+                                       check_consistency=False)
+
+    started = time.perf_counter()
+    independent_result = independent_model_update()
+    independent_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    merged_result = benchmark.pedantic(merged_world_update, rounds=1,
+                                       iterations=1)
+    merged_seconds = time.perf_counter() - started
+
+    text = ("Cost of adding one new match to a 9-match knowledge base\n"
+            "(the §3.5 independent-models design vs a single world "
+            "model)\n\n"
+            f"independent models (infer 1 match): "
+            f"{independent_seconds * 1000:9.1f} ms\n"
+            f"single world model (re-infer all):  "
+            f"{merged_seconds * 1000:9.1f} ms")
+    write_result(results_dir, "scalability_incremental_update.txt", text)
+    print("\n" + text)
+    assert merged_result.abox.individual_count > 0
+    assert independent_seconds < merged_seconds
+
+
+def test_single_match_inference(pipeline, corpus, benchmark):
+    """Absolute per-match reasoning cost (the §3.5 offline unit)."""
+    [model] = _full_models(pipeline, corpus.crawled[:1])
+    benchmark(pipeline.reasoner.infer, model, check_consistency=False)

@@ -1,0 +1,63 @@
+"""Large-corpus scaling: 4× the paper's corpus.
+
+Grows a round-robin corpus to 40 matches (~4,700 narrations) and
+checks that the per-unit costs the paper's architecture promises stay
+flat: per-match inference time, per-query latency, per-narration IE
+time.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+from repro.soccer import standard_corpus
+from repro.soccer.names import round_robin_fixtures
+from benchmarks.conftest import write_result
+
+_QUERIES = ["goal", "punishment", "save goalkeeper barcelona",
+            "henry negative moves", "shoot defence players"]
+
+
+def test_forty_match_corpus_end_to_end(results_dir, benchmark):
+    def build_and_measure():
+        rows = []
+        for count in (10, 20, 40):
+            corpus = standard_corpus(
+                fixtures=round_robin_fixtures(count),
+                total_narrations=118 * count)
+            pipeline = SemanticRetrievalPipeline()
+            started = time.perf_counter()
+            result = pipeline.run(corpus.crawled)
+            build_seconds = time.perf_counter() - started
+            engine = result.engine(IndexName.FULL_INF)
+            for text in _QUERIES:          # warm up
+                engine.search(text, limit=20)
+            started = time.perf_counter()
+            for text in _QUERIES:
+                engine.search(text, limit=20)
+            query_seconds = (time.perf_counter() - started) / len(_QUERIES)
+            per_match_inference = (sum(result.inference_seconds)
+                                   / len(result.inference_seconds))
+            rows.append((count, corpus.narration_count, build_seconds,
+                         per_match_inference, query_seconds))
+        return rows
+
+    rows = benchmark.pedantic(build_and_measure, rounds=1, iterations=1)
+    lines = ["Large-corpus scaling (round-robin fixtures)", "",
+             f"{'matches':>8} {'narr.':>7} {'build s':>8} "
+             f"{'infer ms/match':>15} {'query ms':>9}"]
+    for count, narrations, build, infer, query in rows:
+        lines.append(f"{count:>8} {narrations:>7} {build:>8.1f} "
+                     f"{infer * 1000:>15.1f} {query * 1000:>9.2f}")
+    text = "\n".join(lines)
+    write_result(results_dir, "scalability_large.txt", text)
+    print("\n" + text)
+
+    # per-match inference flat across a 4x corpus growth
+    assert rows[-1][3] < rows[0][3] * 1.75
+    # total build time roughly linear (not quadratic): 4x matches
+    # must cost clearly less than 8x the 10-match build
+    assert rows[-1][2] < rows[0][2] * 8
+    # query latency grows sublinearly
+    assert rows[-1][4] < rows[0][4] * 4

@@ -1,0 +1,95 @@
+"""Scalability of querying (§1, §3.6).
+
+The paper's second scalability argument: answering keyword queries
+from the inverted index is near-constant in corpus size, unlike
+RDF-graph traversal.  We grow the corpus and measure query latency on
+the FULL_INF index, and compare against evaluating the equivalent
+SPARQL query over the match graphs.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+from repro.rdf import Graph
+from repro.soccer import standard_corpus
+from repro.soccer.names import FIXTURES
+from repro.sparql import query as sparql_query
+from benchmarks.conftest import write_result
+
+_QUERIES = ["goal", "barcelona goal", "punishment",
+            "save goalkeeper barcelona", "shoot defence players"]
+
+_SPARQL = """
+PREFIX pre: <http://repro.example.org/soccer#>
+SELECT ?g WHERE { ?g a pre:Goal . ?g pre:beatenGoalkeeper ?k }
+"""
+
+
+def _latency(engine) -> float:
+    started = time.perf_counter()
+    for text in _QUERIES:
+        engine.search(text, limit=20)
+    return (time.perf_counter() - started) / len(_QUERIES)
+
+
+def test_query_latency_vs_corpus_size(results_dir, benchmark):
+    def measure():
+        rows = []
+        for count in (2, 6, 10):
+            corpus = standard_corpus(fixtures=FIXTURES[:count],
+                                     total_narrations=118 * count)
+            result = SemanticRetrievalPipeline().run(corpus.crawled)
+            engine = result.engine(IndexName.FULL_INF)
+            _latency(engine)                      # warm up
+            rows.append((count, _latency(engine)))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Keyword query latency vs corpus size (FULL_INF)", "",
+             f"{'matches':>8}  {'ms / query':>12}"]
+    for count, seconds in rows:
+        lines.append(f"{count:>8}  {seconds * 1000:>12.2f}")
+    text = "\n".join(lines)
+    write_result(results_dir, "scalability_query.txt", text)
+    print("\n" + text)
+
+    # sub-linear: 5x corpus must cost far less than 5x latency
+    assert rows[-1][1] < rows[0][1] * 4
+
+
+def test_index_vs_sparql_graph_traversal(pipeline_result, corpus,
+                                         results_dir, benchmark):
+    """§2: systems that 'do real-time traversals in large RDF graphs'
+    cannot scale — quantify the gap on Q-6-style retrieval."""
+    engine = pipeline_result.engine(IndexName.FULL_INF)
+    graphs = [pipeline_result.inferred_models[i] for i in range(10)]
+    from repro.ontology import abox_to_graph
+    merged = Graph()
+    for model in graphs:
+        merged |= abox_to_graph(model)
+
+    def keyword():
+        return engine.search("goal scored to casillas", limit=20)
+
+    def sparql():
+        return sparql_query(merged, _SPARQL)
+
+    started = time.perf_counter()
+    hits = keyword()
+    keyword_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    rows = sparql()
+    sparql_seconds = time.perf_counter() - started
+
+    benchmark(keyword)
+    text = ("Keyword-over-index vs SPARQL-over-graph (10 matches)\n\n"
+            f"keyword search:  {keyword_seconds * 1000:9.2f} ms "
+            f"({len(hits)} hits)\n"
+            f"SPARQL BGP eval: {sparql_seconds * 1000:9.2f} ms "
+            f"({len(rows)} rows)")
+    write_result(results_dir, "scalability_index_vs_sparql.txt", text)
+    print("\n" + text)
+    assert hits and len(rows) > 0

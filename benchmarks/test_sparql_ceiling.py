@@ -1,0 +1,82 @@
+"""§8 — "the system can get close to the performance of SPARQL, which
+is the best that can be achieved with semantic querying."
+
+Runs formal SPARQL queries (perfect precision/recall by construction)
+for a subset of the Table 3 information needs and compares FULL_INF's
+AP against that ceiling.
+"""
+
+from __future__ import annotations
+
+from repro.core import IndexName
+from repro.evaluation import RelevanceJudge, average_precision
+from repro.ontology import abox_to_graph
+from repro.rdf import Graph, SOCCER
+from repro.sparql import query as sparql_query
+from benchmarks.conftest import write_result
+
+#: query id → SPARQL equivalent over the inferred models
+_SPARQL_QUERIES = {
+    "Q-1": "SELECT ?k WHERE { ?e a pre:Goal . ?e pre:hasEventId ?k }",
+    "Q-4": ("SELECT ?k WHERE { ?e a pre:Punishment . "
+            "?e pre:hasEventId ?k }"),
+    "Q-6": ("SELECT ?k WHERE { ?e a pre:Goal . "
+            "?e pre:beatenGoalkeeper ?gk . ?gk pre:hasName ?n "
+            'FILTER (REGEX(?n, "Casillas")) . ?e pre:hasEventId ?k }'),
+    "Q-10": ("SELECT ?k WHERE { ?e a pre:Shoot . "
+             "?e pre:subjectPlayer ?p . ?p a pre:DefencePlayer . "
+             "?e pre:hasEventId ?k }"),
+}
+
+_KEYWORDS = {"Q-1": "goal", "Q-4": "punishment",
+             "Q-6": "goal scored to casillas",
+             "Q-10": "shoot defence players"}
+
+
+def _merged_graph(pipeline_result) -> Graph:
+    merged = Graph()
+    merged.namespace_manager.bind("pre", SOCCER)
+    for model in pipeline_result.inferred_models:
+        merged |= abox_to_graph(model)
+    return merged
+
+
+def test_sparql_is_the_ceiling(pipeline_result, corpus, results_dir,
+                               benchmark):
+    judge = RelevanceJudge(corpus)
+    graph = _merged_graph(pipeline_result)
+    engine = pipeline_result.engine(IndexName.FULL_INF)
+
+    def evaluate():
+        rows = []
+        for query_id, sparql_text in _SPARQL_QUERIES.items():
+            gold = judge.for_query(query_id)
+            sparql_keys = [str(row[0]) for row in
+                           sparql_query(graph, sparql_text)]
+            sparql_ap = average_precision(sparql_keys, gold,
+                                          judge.resolve)
+            hits = engine.search(_KEYWORDS[query_id])
+            keyword_ap = average_precision(
+                [h.doc_key for h in hits], gold, judge.resolve)
+            rows.append((query_id, sparql_ap, keyword_ap))
+        return rows
+
+    rows = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    lines = ["SPARQL ceiling vs FULL_INF keyword search (§8)", "",
+             f"{'query':>6}  {'SPARQL AP':>10}  {'FULL_INF AP':>12}"]
+    for query_id, sparql_ap, keyword_ap in rows:
+        lines.append(f"{query_id:>6}  {sparql_ap:>9.1%}  "
+                     f"{keyword_ap:>11.1%}")
+    text = "\n".join(lines)
+    write_result(results_dir, "sparql_ceiling.txt", text)
+    print("\n" + text)
+
+    for query_id, sparql_ap, keyword_ap in rows:
+        assert sparql_ap > 0.99, query_id          # formal = perfect
+        assert keyword_ap > sparql_ap - 0.15, query_id   # "close to"
+
+
+def test_sparql_query_cost(pipeline_result, benchmark):
+    """Cost of the heaviest formal query (Q-6's three-way join)."""
+    graph = _merged_graph(pipeline_result)
+    benchmark(sparql_query, graph, _SPARQL_QUERIES["Q-6"])

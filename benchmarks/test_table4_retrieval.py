@@ -1,0 +1,80 @@
+"""Table 4 — evaluation results over the four-index ladder.
+
+Regenerates the paper's main table (mean average precision of the ten
+Table 3 queries over TRAD / BASIC_EXT / FULL_EXT / FULL_INF), prints
+it next to the published percentages, writes it to
+``benchmarks/results/table4.txt`` and benchmarks the keyword query
+latency on the final index.
+"""
+
+from __future__ import annotations
+
+from repro.core import IndexName
+from repro.evaluation import (PAPER_TABLE4, TABLE3_QUERIES,
+                              compare_systems, render_table)
+from benchmarks.conftest import write_result
+
+
+def _comparison_text(table) -> str:
+    lines = [render_table(table, "Table 4 — reproduced"), "",
+             "Paper's published percentages for comparison:",
+             "Queries  " + "  ".join(f"{s:>9}" for s in table.systems)]
+    for query in TABLE3_QUERIES:
+        row = PAPER_TABLE4[query.query_id]
+        lines.append(f"{query.query_id:7}  "
+                     + "  ".join(f"{row[s]:>8.1f}%" for s in table.systems))
+    lines.append("")
+    lines.append("Paired randomization tests (10 queries):")
+    for system_a, system_b in (("TRAD", "FULL_INF"),
+                               ("TRAD", "BASIC_EXT"),
+                               ("FULL_EXT", "FULL_INF")):
+        result = compare_systems(table, system_a, system_b,
+                                 iterations=5000)
+        verdict = ("significant at α=0.05"
+                   if result.significant() else "not significant")
+        lines.append(f"  {system_b} − {system_a}: "
+                     f"ΔMAP={result.mean_difference:+.3f}, "
+                     f"p={result.p_value:.4f} ({verdict})")
+    return "\n".join(lines)
+
+
+def test_table4_regeneration(harness, results_dir, benchmark):
+    table = benchmark.pedantic(harness.table4, rounds=1, iterations=1)
+    text = _comparison_text(table)
+    write_result(results_dir, "table4.txt", text)
+    print("\n" + text)
+
+    # shape assertions (the acceptance criteria)
+    def ap(query_id, system):
+        return table.get(query_id, system).average_precision
+
+    assert ap("Q-1", "TRAD") < 0.1 and ap("Q-1", "FULL_INF") > 0.95
+    assert ap("Q-4", "FULL_EXT") == 0.0 and ap("Q-4", "FULL_INF") > 0.95
+    assert ap("Q-10", "TRAD") < 0.05
+    assert 0.05 < ap("Q-10", "FULL_EXT") < 0.7
+    assert ap("Q-10", "FULL_INF") > 0.9
+    maps = [table.mean_ap(s) for s in table.systems]
+    assert maps == sorted(maps)
+
+
+def test_query_latency_full_inf(pipeline_result, benchmark):
+    """The §2 'instant query answering' claim: keyword search over the
+    semantic index answers in milliseconds."""
+    engine = pipeline_result.engine(IndexName.FULL_INF)
+
+    def run_all_queries():
+        for query in TABLE3_QUERIES:
+            engine.search(query.keywords, limit=20)
+
+    benchmark(run_all_queries)
+
+
+def test_query_latency_trad(pipeline_result, benchmark):
+    """Baseline latency on the traditional index."""
+    engine = pipeline_result.engine(IndexName.TRAD)
+
+    def run_all_queries():
+        for query in TABLE3_QUERIES:
+            engine.search(query.keywords, limit=20)
+
+    benchmark(run_all_queries)

@@ -1,0 +1,49 @@
+"""Table 5 — comparison with query expansion (§5).
+
+Regenerates TRAD vs QUERY_EXP vs FULL_INF over the ten queries and
+benchmarks the expansion overhead.
+"""
+
+from __future__ import annotations
+
+from repro.evaluation import PAPER_TABLE5, TABLE3_QUERIES, render_table
+from benchmarks.conftest import write_result
+
+
+def test_table5_regeneration(harness, results_dir, benchmark):
+    table = benchmark.pedantic(harness.table5, rounds=1, iterations=1)
+    lines = [render_table(table, "Table 5 — reproduced", absolute=False),
+             "", "Paper's published percentages for comparison:",
+             "Queries  " + "  ".join(f"{s:>9}" for s in table.systems)]
+    for query in TABLE3_QUERIES:
+        row = PAPER_TABLE5[query.query_id]
+        lines.append(f"{query.query_id:7}  "
+                     + "  ".join(f"{row[s]:>8.1f}%" for s in table.systems))
+    text = "\n".join(lines)
+    write_result(results_dir, "table5.txt", text)
+    print("\n" + text)
+
+    def ap(query_id, system):
+        return table.get(query_id, system).average_precision
+
+    # expansion helps where expansions exist …
+    assert ap("Q-1", "QUERY_EXP") > ap("Q-1", "TRAD")
+    assert ap("Q-4", "QUERY_EXP") > ap("Q-4", "TRAD")
+    # … but never beats semantic indexing …
+    for query in TABLE3_QUERIES:
+        assert ap(query.query_id, "QUERY_EXP") \
+            <= ap(query.query_id, "FULL_INF") + 1e-9
+    # … and sits between the two on average.
+    assert table.mean_ap("TRAD") < table.mean_ap("QUERY_EXP") \
+        < table.mean_ap("FULL_INF")
+
+
+def test_expansion_overhead(pipeline_result, benchmark):
+    """Expanded queries add terms; measure the latency cost."""
+    engine = pipeline_result.expansion_engine
+
+    def run_all():
+        for query in TABLE3_QUERIES:
+            engine.search(query.keywords, limit=20)
+
+    benchmark(run_all)

@@ -1,0 +1,85 @@
+"""Tables 1 & 2 — the semantic index structure.
+
+Regenerates an example index entry like the paper's Table 1 (a foul in
+the extracted index) and Table 2 (the additional fields the inferred
+index adds), and benchmarks index construction.
+"""
+
+from __future__ import annotations
+
+from repro.core import F, IndexName, SemanticIndexer
+from benchmarks.conftest import write_result
+
+#: fields in the paper's Table 1 presentation order
+_TABLE1_FIELDS = (F.EVENT, F.MATCH, F.TEAM1, F.TEAM2, F.DATE, F.MINUTE,
+                  F.SUBJECT_PLAYER, F.SUBJECT_TEAM, F.OBJECT_PLAYER,
+                  F.OBJECT_TEAM, F.NARRATION)
+
+_TABLE2_FIELDS = (F.EVENT, F.SUBJECT_PLAYER_PROP, F.SUBJECT_TEAM,
+                  F.OBJECT_PLAYER_PROP, F.OBJECT_TEAM, F.FROM_RULES)
+
+
+def _find_foul_doc(index):
+    for doc_id in range(index.doc_count):
+        event = index.stored_value(doc_id, F.EVENT) or ""
+        narration = index.stored_value(doc_id, F.NARRATION) or ""
+        if "foul" in event and narration:
+            return doc_id
+    raise AssertionError("no foul document found")
+
+
+def _render_entry(index, doc_id, fields) -> str:
+    lines = [f"docNo {doc_id}", f"{'Field':18} Value",
+             "-" * 60]
+    for field_name in fields:
+        value = index.stored_value(doc_id, field_name) or "-"
+        lines.append(f"{field_name:18} {value}")
+    return "\n".join(lines)
+
+
+def test_table1_extracted_entry(pipeline_result, results_dir, benchmark):
+    index = pipeline_result.index(IndexName.FULL_EXT)
+    doc_id = benchmark.pedantic(_find_foul_doc, args=(index,), rounds=1,
+                                iterations=1)
+    text = ("Table 1 — example entry of the extracted index "
+            "(FULL_EXT)\n\n" + _render_entry(index, doc_id,
+                                             _TABLE1_FIELDS))
+    write_result(results_dir, "table1_index_structure.txt", text)
+    print("\n" + text)
+
+    # Table 1's tell-tale details
+    assert index.stored_value(doc_id, F.SUBJECT_PLAYER)    # filled
+    assert index.stored_value(doc_id, F.SUBJECT_TEAM) is None   # "-"
+    assert index.stored_value(doc_id, F.NARRATION)
+
+
+def test_table2_inferred_entry(pipeline_result, results_dir, benchmark):
+    index = pipeline_result.index(IndexName.FULL_INF)
+    doc_id = benchmark.pedantic(_find_foul_doc, args=(index,), rounds=1,
+                                iterations=1)
+    text = ("Table 2 — additional information in the inferred index "
+            "(FULL_INF)\n\n" + _render_entry(index, doc_id,
+                                             _TABLE2_FIELDS))
+    write_result(results_dir, "table2_inferred_fields.txt", text)
+    print("\n" + text)
+
+    event = index.stored_value(doc_id, F.EVENT)
+    assert "negative event" in event and "foul" in event
+    assert index.stored_value(doc_id, F.SUBJECT_PLAYER_PROP)
+    assert index.stored_value(doc_id, F.SUBJECT_TEAM)       # via rules
+
+
+def test_index_construction_speed(pipeline, corpus, benchmark):
+    """Cost of building the extracted index over the populated models
+    (steps 5-6 of §3.1)."""
+    from repro.extraction import InformationExtractor
+    models = []
+    for crawled in corpus.crawled:
+        extractor = InformationExtractor(crawled)
+        models.append(pipeline.populator.populate_full(
+            crawled, extractor.extract_all()))
+
+    indexer = SemanticIndexer(pipeline.ontology,
+                              pipeline.reasoner.taxonomy)
+    result = benchmark(indexer.build_semantic, models, "bench")
+    assert result.doc_count == corpus.narration_count

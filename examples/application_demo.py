@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The deployable application in one script.
+
+Builds the corpus, persists the serving indexes, then runs the online
+query stack on a few interesting inputs: a typo'd query (spell
+correction), a role-phrased query (§6 routing), a vocabulary-gap query
+before and after click feedback (§8), and highlighted snippets
+throughout.
+
+Run:  python examples/application_demo.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import (SemanticRetrievalPipeline, SemanticSearchApplication,
+                   standard_corpus)
+from repro.core import F, IndexName
+
+
+def show(response) -> None:
+    flags = []
+    if response.corrected:
+        flags.append(f"corrected from {response.original_query!r}")
+    if response.phrasal:
+        flags.append("phrasal routing")
+    suffix = f"  ({', '.join(flags)})" if flags else ""
+    print(f"\nQuery: {response.query!r}{suffix}")
+    for hit, snippet in zip(response.hits[:3], response.snippets[:3]):
+        print(f"  {hit.score:9.2f}  [{hit.event_type}]")
+        if snippet:
+            print(f"            {snippet}")
+
+
+def main() -> None:
+    corpus = standard_corpus()
+    print("offline build…")
+    result = SemanticRetrievalPipeline().run(corpus.crawled)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        SemanticSearchApplication.persist(result, tmp)
+        print(f"serving indexes persisted under {tmp}")
+        app = SemanticSearchApplication.open(tmp)
+
+        show(app.search("mesi gaol"))                  # two typos
+        show(app.search("foul by Daniel to Florent"))  # §6 phrases
+        show(app.search("save goalkeeper barcelona"))
+
+        print("\n--- feedback loop (§8) ---")
+        print("before any clicks:")
+        show(app.search("booking"))
+        index = app.index
+        clicks = 0
+        for doc_id in range(index.doc_count):
+            event = index.stored_value(doc_id, F.EVENT) or ""
+            if "yellow card" in event:
+                app.feedback("booking",
+                             index.stored_value(doc_id, F.DOC_KEY))
+                clicks += 1
+                if clicks == 3:
+                    break
+        print(f"\nlearned after {clicks} clicks: "
+              f"{app.learned_expansions}")
+        show(app.search("booking"))
+
+
+if __name__ == "__main__":
+    main()

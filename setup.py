@@ -1,0 +1,18 @@
+"""Legacy setup shim.
+
+This repository targets offline environments where the ``wheel``
+package may be absent, making PEP 660 editable installs impossible.
+Keeping a ``setup.py`` lets ``pip install -e .`` fall back to the
+legacy ``setup.py develop`` code path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

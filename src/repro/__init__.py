@@ -1,0 +1,54 @@
+"""repro — ontology-based retrieval with semantic indexing.
+
+A from-scratch Python reproduction of *"An ontology-based retrieval
+system using semantic indexing"* (Kara et al.): a complete pipeline
+from (simulated) crawl through information extraction, ontology
+population, reasoning and rules, down to a keyword-searchable semantic
+inverted index, plus the paper's full evaluation.
+
+Quickstart::
+
+    from repro import standard_corpus, SemanticRetrievalPipeline
+
+    corpus = standard_corpus()
+    pipeline = SemanticRetrievalPipeline()
+    result = pipeline.run(corpus.crawled)
+    for hit in result.engine("FULL_INF").search("messi goal", limit=5):
+        print(hit.score, hit.event_type, hit.narration)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured results.
+"""
+
+from repro.app import SearchResponse, SemanticSearchApplication
+from repro.core import (ExpandedSearchEngine, IndexName,
+                        KeywordSearchEngine, PhrasalSearchEngine,
+                        PipelineResult, QueryExpander, SearchHit,
+                        SemanticIndexer, SemanticRetrievalPipeline)
+from repro.evaluation import EvaluationHarness, render_table
+from repro.ontology import soccer_ontology
+from repro.reasoning import Reasoner
+from repro.soccer import Corpus, standard_corpus
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "standard_corpus",
+    "Corpus",
+    "soccer_ontology",
+    "Reasoner",
+    "SemanticRetrievalPipeline",
+    "PipelineResult",
+    "IndexName",
+    "SemanticIndexer",
+    "KeywordSearchEngine",
+    "SearchHit",
+    "QueryExpander",
+    "ExpandedSearchEngine",
+    "PhrasalSearchEngine",
+    "EvaluationHarness",
+    "render_table",
+    "SemanticSearchApplication",
+    "SearchResponse",
+]

@@ -1,0 +1,200 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro corpus              # corpus statistics (§4)
+    python -m repro build -d INDEXDIR   # run the pipeline, save indexes
+    python -m repro search QUERY        # keyword search (built or saved)
+    python -m repro evaluate            # Tables 4, 5 and 6
+    python -m repro ontology            # Fig. 2 class hierarchy
+
+``build`` persists every index as JSON under the given directory;
+``search --index-dir`` then answers queries without re-running the
+pipeline — the offline/online split of §3.5.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core import (IndexName, KeywordSearchEngine,
+                        PhrasalSearchEngine, SemanticRetrievalPipeline)
+from repro.evaluation import EvaluationHarness, render_table
+from repro.ontology import soccer_ontology
+from repro.search import Highlighter, load_index, save_index
+from repro.soccer import corpus_statistics, standard_corpus
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ontology-based retrieval with semantic indexing "
+                    "(paper reproduction).")
+    parser.add_argument("--seed", type=int, default=None,
+                        help="corpus seed (default: the paper-matched "
+                             "seed)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("corpus",
+                          help="print corpus statistics (§4)")
+
+    build = subparsers.add_parser(
+        "build", help="run the pipeline and persist all indexes")
+    build.add_argument("-d", "--index-dir", type=Path, required=True,
+                       help="directory to write the JSON indexes to")
+
+    search = subparsers.add_parser("search",
+                                   help="keyword search over an index")
+    search.add_argument("query", help="keyword query text")
+    search.add_argument("-i", "--index", default=IndexName.FULL_INF,
+                        choices=[*IndexName.LADDER, IndexName.PHR_EXP],
+                        help="which index to search")
+    search.add_argument("-d", "--index-dir", type=Path, default=None,
+                        help="load a saved index instead of rebuilding")
+    search.add_argument("-n", "--limit", type=int, default=10)
+    search.add_argument("--phrasal", action="store_true",
+                        help="interpret by/to/of phrases (§6; implies "
+                             "the PHR_EXP index)")
+
+    subparsers.add_parser("evaluate",
+                          help="reproduce Tables 4, 5 and 6")
+
+    subparsers.add_parser("ontology",
+                          help="print the Fig. 2 class hierarchy")
+
+    stats = subparsers.add_parser("stats",
+                                  help="statistics of a saved index")
+    stats.add_argument("-i", "--index", default=IndexName.FULL_INF,
+                       choices=[*IndexName.LADDER, IndexName.PHR_EXP])
+    stats.add_argument("-d", "--index-dir", type=Path, required=True)
+    return parser
+
+
+def _corpus(seed: Optional[int]):
+    if seed is None:
+        return standard_corpus()
+    return standard_corpus(seed=seed)
+
+
+def _command_corpus(args) -> int:
+    corpus = _corpus(args.seed)
+    stats = corpus_statistics(corpus)
+    print(f"matches:    {stats['matches']}")
+    print(f"narrations: {stats['narrations']}")
+    print(f"events:     {stats['events']}")
+    print("\nevents by kind:")
+    for key in sorted(stats):
+        if key.startswith("kind_"):
+            print(f"  {key[5:]:20} {stats[key]:4}")
+    return 0
+
+
+def _command_build(args) -> int:
+    corpus = _corpus(args.seed)
+    print(f"building pipeline over {len(corpus.matches)} matches…")
+    started = time.perf_counter()
+    result = SemanticRetrievalPipeline().run(corpus.crawled)
+    elapsed = time.perf_counter() - started
+    print(f"pipeline finished in {elapsed:.1f}s")
+    for name, index in result.indexes.items():
+        path = save_index(index, args.index_dir)
+        print(f"  {name:10} {index.doc_count:5} docs → {path}")
+    return 0
+
+
+def _command_search(args) -> int:
+    index_name = IndexName.PHR_EXP if args.phrasal else args.index
+    if args.index_dir is not None:
+        try:
+            index = load_index(args.index_dir, index_name)
+        except Exception as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(f"hint: run 'repro build -d {args.index_dir}' first",
+                  file=sys.stderr)
+            return 2
+    else:
+        corpus = _corpus(args.seed)
+        result = SemanticRetrievalPipeline().run(corpus.crawled)
+        index = result.index(index_name)
+
+    if args.phrasal:
+        engine = PhrasalSearchEngine(index)
+        query_tree = engine.build_query(args.query)
+        hits = engine.search(args.query, limit=args.limit)
+    else:
+        engine = KeywordSearchEngine(index)
+        query_tree = engine.build_query(args.query)
+        hits = engine.search(args.query, limit=args.limit)
+
+    highlighter = Highlighter()
+    print(f"{len(hits)} hits on {index_name} for {args.query!r}:\n")
+    for rank, hit in enumerate(hits, start=1):
+        print(f"{rank:3}. {hit.score:9.3f}  [{hit.event_type or '-'}]")
+        if hit.narration:
+            print(f"     {highlighter.highlight(hit.narration, query_tree)}")
+    return 0
+
+
+def _command_evaluate(args) -> int:
+    corpus = _corpus(args.seed)
+    print("building pipeline…")
+    result = SemanticRetrievalPipeline().run(corpus.crawled)
+    harness = EvaluationHarness(corpus, result)
+    print()
+    print(render_table(harness.table4(), "Table 4"))
+    print()
+    print(render_table(harness.table5(), "Table 5", absolute=False))
+    print()
+    print(render_table(harness.table6(), "Table 6", absolute=False))
+    return 0
+
+
+def _command_ontology(args) -> int:
+    ontology = soccer_ontology()
+    print(f"{ontology.class_count} concepts, "
+          f"{ontology.property_count} properties\n")
+
+    def walk(uri, depth):
+        print("    " * depth + uri.local_name)
+        for child in sorted(ontology.direct_subclasses(uri)):
+            walk(child, depth + 1)
+
+    for root in sorted(ontology.roots()):
+        walk(root, 0)
+    return 0
+
+
+def _command_stats(args) -> int:
+    from repro.search.stats import collect_stats, render_stats
+    try:
+        index = load_index(args.index_dir, args.index)
+    except Exception as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_stats(collect_stats(index)))
+    return 0
+
+
+_COMMANDS = {
+    "corpus": _command_corpus,
+    "build": _command_build,
+    "search": _command_search,
+    "evaluate": _command_evaluate,
+    "ontology": _command_ontology,
+    "stats": _command_stats,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":       # pragma: no cover - direct execution
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""The paper's core contribution: semantic indexing + keyword retrieval.
+
+* :class:`~repro.core.pipeline.SemanticRetrievalPipeline` — the Fig. 1
+  flow, producing the TRAD / BASIC_EXT / FULL_EXT / FULL_INF / PHR_EXP
+  indexes.
+* :class:`~repro.core.retrieval.KeywordSearchEngine` — the keyword
+  interface with boosted semantic fields (§3.6.2).
+* :class:`~repro.core.expansion.ExpandedSearchEngine` — the §5 query
+  expansion baseline.
+* :class:`~repro.core.phrasal.PhrasalSearchEngine` — the §6 phrasal
+  extension.
+"""
+
+from repro.core.expansion import (DOMAIN_VERBS, ExpandedSearchEngine,
+                                  QueryExpander)
+from repro.core.feedback import (FeedbackLearner, FeedbackSearchEngine,
+                                 FeedbackStore)
+from repro.core.fields import F, FIELD_BOOSTS, SEARCHED_FIELDS
+from repro.core.indexer import SemanticIndexer, default_index_analyzer
+from repro.core.phrasal import PhrasalQueryParser, PhrasalSearchEngine
+from repro.core.pipeline import (IndexName, PipelineResult,
+                                 SemanticRetrievalPipeline)
+from repro.core.retrieval import KeywordSearchEngine, SearchHit
+from repro.core.storage import ModelStore
+
+__all__ = [
+    "F",
+    "FIELD_BOOSTS",
+    "SEARCHED_FIELDS",
+    "SemanticIndexer",
+    "default_index_analyzer",
+    "KeywordSearchEngine",
+    "SearchHit",
+    "QueryExpander",
+    "ExpandedSearchEngine",
+    "DOMAIN_VERBS",
+    "PhrasalQueryParser",
+    "PhrasalSearchEngine",
+    "FeedbackStore",
+    "FeedbackLearner",
+    "FeedbackSearchEngine",
+    "IndexName",
+    "PipelineResult",
+    "SemanticRetrievalPipeline",
+    "ModelStore",
+]

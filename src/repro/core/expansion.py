@@ -1,0 +1,89 @@
+"""Query expansion baseline (paper §5).
+
+Expands query terms with domain verbs and with ontological
+subclass labels ("the query 'punishment' is augmented with its
+subclasses such as 'yellow card' and 'red card' as well as the verb
+'book' and its derivatives"), then runs the expanded query over the
+*traditional* free-text index.  This is the method the paper shows to
+sit between TRAD and FULL_INF (Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.core.fields import F, class_label
+from repro.core.retrieval import KeywordSearchEngine, SearchHit
+from repro.ontology.model import Ontology
+from repro.reasoning.taxonomy import Taxonomy
+from repro.search.index import InvertedIndex
+
+__all__ = ["QueryExpander", "ExpandedSearchEngine", "DOMAIN_VERBS"]
+
+#: hand-curated domain verb/synonym expansions, mirroring the paper's
+#: examples: "a query containing the word 'goal' is expanded with the
+#: verbs 'score', 'miss' and their derivatives".
+DOMAIN_VERBS: Dict[str, List[str]] = {
+    "goal": ["scores", "score", "scored", "misses", "miss", "net"],
+    "punishment": ["book", "booked", "booking"],
+    "card": ["booked", "book"],
+    "save": ["saves", "saved", "parries", "denied"],
+    "foul": ["challenge", "challenging", "trips", "brings"],
+    "shoot": ["shot", "shots"],
+    "pass": ["feeds", "finds", "ball"],
+    "offside": ["flagged"],
+    "substitution": ["replaces", "way"],
+    "injury": ["injured", "treatment"],
+}
+
+
+class QueryExpander:
+    """Expands keyword queries with domain verbs + ontology labels."""
+
+    def __init__(self, ontology: Ontology,
+                 verbs: Optional[Dict[str, List[str]]] = None,
+                 taxonomy: Optional[Taxonomy] = None) -> None:
+        self.ontology = ontology
+        self.taxonomy = taxonomy or Taxonomy(ontology)
+        self.verbs = dict(DOMAIN_VERBS if verbs is None else verbs)
+        self._label_to_class = {}
+        for cls in ontology.classes():
+            self._label_to_class.setdefault(
+                class_label(ontology, cls.uri), cls.uri)
+
+    def expand(self, text: str) -> str:
+        """Return the expanded query string (original terms first)."""
+        words = text.split()
+        expansions: List[str] = []
+        seen: Set[str] = {word.lower() for word in words}
+
+        def push(term: str) -> None:
+            for word in term.split():
+                if word not in seen:
+                    seen.add(word)
+                    expansions.append(word)
+
+        for word in words:
+            lowered = word.lower()
+            for verb in self.verbs.get(lowered, ()):
+                push(verb)
+            # ontological expansion: subclasses of a matching class
+            class_uri = self._label_to_class.get(lowered)
+            if class_uri is not None:
+                for sub in sorted(self.taxonomy.subclasses(class_uri)):
+                    push(class_label(self.ontology, sub))
+        return " ".join(words + expansions)
+
+
+class ExpandedSearchEngine:
+    """QUERY_EXP: expansion + traditional full-text search."""
+
+    def __init__(self, traditional_index: InvertedIndex,
+                 expander: QueryExpander) -> None:
+        self.engine = KeywordSearchEngine(
+            traditional_index, fields=[F.NARRATION])
+        self.expander = expander
+
+    def search(self, text: str,
+               limit: Optional[int] = None) -> List[SearchHit]:
+        return self.engine.search(self.expander.expand(text), limit)

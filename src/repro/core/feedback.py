@@ -1,0 +1,170 @@
+"""User-feedback index expansion (paper §8 future work).
+
+"Finally, a mechanism that expands the index automatically according
+to the user feedback is one of our future goals."  This module
+implements that mechanism:
+
+1. :class:`FeedbackStore` records which document a user clicked for a
+   query.
+2. :class:`FeedbackLearner` mines the click log: when users who type
+   term *t* consistently click documents whose boosted semantic
+   fields contain term *s* (and *t* itself does not occur there), the
+   association *t → s* is learned once it has enough support.
+3. :class:`FeedbackSearchEngine` applies the learned associations as
+   query-side expansions — functionally equivalent to the §7 "add the
+   translated/synonym value next to its original" index enrichment,
+   but without rebuilding the index.
+
+The canonical win: users type "booking", click yellow-card events;
+after ``min_support`` clicks, "booking" retrieves cards directly.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.fields import F
+from repro.core.indexer import default_index_analyzer
+from repro.core.retrieval import KeywordSearchEngine, SearchHit
+from repro.search.index import InvertedIndex
+
+__all__ = ["Click", "FeedbackStore", "FeedbackLearner",
+           "FeedbackSearchEngine"]
+
+#: semantic fields whose terms are candidates for learned expansions.
+_LEARN_FIELDS = (F.EVENT, F.SUBJECT_PLAYER_PROP, F.OBJECT_PLAYER_PROP,
+                 F.FROM_RULES)
+
+
+@dataclass(frozen=True)
+class Click:
+    """One recorded user interaction."""
+
+    query: str
+    doc_key: str
+
+
+class FeedbackStore:
+    """Append-only click log."""
+
+    def __init__(self) -> None:
+        self._clicks: List[Click] = []
+
+    def record(self, query: str, doc_key: str) -> Click:
+        click = Click(query=query, doc_key=doc_key)
+        self._clicks.append(click)
+        return click
+
+    def clicks(self) -> List[Click]:
+        return list(self._clicks)
+
+    def __len__(self) -> int:
+        return len(self._clicks)
+
+
+class FeedbackLearner:
+    """Mines term associations from the click log."""
+
+    def __init__(self, index: InvertedIndex,
+                 min_support: int = 3) -> None:
+        if min_support < 1:
+            raise ValueError("min_support must be at least 1")
+        self.index = index
+        self.min_support = min_support
+        self.analyzer = default_index_analyzer()
+        self._doc_key_to_id = self._build_doc_key_map()
+
+    def _build_doc_key_map(self) -> Dict[str, int]:
+        mapping: Dict[str, int] = {}
+        for doc_id in range(self.index.doc_count):
+            key = self.index.stored_value(doc_id, F.DOC_KEY)
+            if key is not None:
+                mapping[key] = doc_id
+        return mapping
+
+    def _semantic_terms(self, doc_id: int) -> Set[str]:
+        terms: Set[str] = set()
+        for field_name in _LEARN_FIELDS:
+            value = self.index.stored_value(doc_id, field_name)
+            if value:
+                terms.update(
+                    self.analyzer.for_field(field_name).terms(value))
+        return terms
+
+    def learn(self, store: FeedbackStore) -> Dict[str, List[str]]:
+        """Return learned associations ``query term → field terms``.
+
+        A query term contributes only when it does NOT already occur
+        in the clicked document's semantic fields — terms that already
+        match need no expansion.
+        """
+        support: Dict[Tuple[str, str], int] = Counter()
+        term_clicks: Dict[str, int] = Counter()
+        for click in store.clicks():
+            doc_id = self._doc_key_to_id.get(click.doc_key)
+            if doc_id is None:
+                continue
+            doc_terms = self._semantic_terms(doc_id)
+            query_terms = self.analyzer.for_field(F.NARRATION).terms(
+                click.query)
+            for query_term in query_terms:
+                if query_term in doc_terms:
+                    continue          # already vocabulary-aligned
+                term_clicks[query_term] += 1
+                for doc_term in doc_terms:
+                    support[(query_term, doc_term)] += 1
+
+        learned: Dict[str, List[str]] = defaultdict(list)
+        for (query_term, doc_term), count in sorted(support.items()):
+            if count >= self.min_support \
+                    and count == term_clicks[query_term]:
+                # the association held on *every* click of this term —
+                # conservative, avoids drifting toward popular docs
+                learned[query_term].append(doc_term)
+        return dict(learned)
+
+
+class FeedbackSearchEngine:
+    """A keyword engine that folds in learned expansions."""
+
+    def __init__(self, index: InvertedIndex,
+                 learner: Optional[FeedbackLearner] = None,
+                 min_support: int = 3) -> None:
+        self.engine = KeywordSearchEngine(index)
+        self.store = FeedbackStore()
+        self.learner = learner or FeedbackLearner(index, min_support)
+        self._expansions: Dict[str, List[str]] = {}
+
+    # ------------------------------------------------------------------
+
+    def record_click(self, query: str, hit: SearchHit | str) -> None:
+        doc_key = hit.doc_key if isinstance(hit, SearchHit) else hit
+        self.store.record(query, doc_key)
+
+    def refresh(self) -> Dict[str, List[str]]:
+        """Re-mine the click log; returns the active expansion map."""
+        self._expansions = self.learner.learn(self.store)
+        return dict(self._expansions)
+
+    @property
+    def expansions(self) -> Dict[str, List[str]]:
+        return dict(self._expansions)
+
+    def expand_query(self, text: str) -> str:
+        analyzer = self.learner.analyzer.for_field(F.NARRATION)
+        extra: List[str] = []
+        seen = set(analyzer.terms(text))
+        for term in analyzer.terms(text):
+            for expansion in self._expansions.get(term, ()):
+                if expansion not in seen:
+                    seen.add(expansion)
+                    extra.append(expansion)
+        if not extra:
+            return text
+        return text + " " + " ".join(extra)
+
+    def search(self, text: str,
+               limit: Optional[int] = None) -> List[SearchHit]:
+        return self.engine.search(self.expand_query(text), limit)

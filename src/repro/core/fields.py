@@ -1,0 +1,102 @@
+"""Semantic index schema: field names, boosts and label rendering.
+
+Mirrors the paper's Table 1 (extracted index) and Table 2 (additional
+inferred fields).  Index-time boosts implement §3.6.2: "we boosted the
+ranking of fields containing the extracted and inferred information …
+the 'event' field is given the highest ranking".
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.ontology.model import Ontology
+from repro.rdf.term import URIRef
+
+__all__ = ["F", "FIELD_BOOSTS", "QUERY_FIELD_WEIGHTS", "SEARCHED_FIELDS",
+           "class_label", "camel_to_words"]
+
+
+class F:
+    """Field-name constants."""
+
+    DOC_KEY = "docKey"              # evaluation provenance; not searched
+    EVENT = "event"
+    MATCH = "match"
+    TEAM1 = "team1"
+    TEAM2 = "team2"
+    DATE = "date"
+    MINUTE = "minute"
+    SUBJECT_PLAYER = "subjectPlayer"
+    OBJECT_PLAYER = "objectPlayer"
+    SUBJECT_TEAM = "subjectTeam"
+    OBJECT_TEAM = "objectTeam"
+    SUBJECT_PLAYER_PROP = "subjectPlayerProp"   # inferred index only
+    OBJECT_PLAYER_PROP = "objectPlayerProp"     # inferred index only
+    FROM_RULES = "fromRules"                    # inferred index only
+    SUBJECT_PHRASE = "subjectPhrase"            # PHR_EXP only (§6)
+    OBJECT_PHRASE = "objectPhrase"              # PHR_EXP only (§6)
+    NARRATION = "narration"
+
+
+#: index-time boosts (§3.6.2): semantic fields above free text, the
+#: event type above everything.
+FIELD_BOOSTS: Dict[str, float] = {
+    F.EVENT: 6.0,
+    F.SUBJECT_PLAYER: 4.0,
+    F.OBJECT_PLAYER: 4.0,
+    F.SUBJECT_TEAM: 3.0,
+    F.OBJECT_TEAM: 3.0,
+    F.SUBJECT_PLAYER_PROP: 3.0,
+    F.OBJECT_PLAYER_PROP: 3.0,
+    F.FROM_RULES: 3.0,
+    F.SUBJECT_PHRASE: 5.0,
+    F.OBJECT_PHRASE: 5.0,
+    F.MATCH: 1.0,
+    F.TEAM1: 1.5,
+    F.TEAM2: 1.5,
+    F.DATE: 1.0,
+    F.MINUTE: 1.0,
+    F.NARRATION: 1.0,
+}
+
+#: Query-time field importance (§3.6.2 "these fields are re-ranked
+#: according to their importance").  Subject roles outweigh object
+#: roles: a keyword naming a team/player is far more likely to mean
+#: the actor than the acted-upon (e.g. "save … barcelona" means
+#: Barcelona's keeper saving, not saves against Barcelona), and the
+#: per-field idf of a rarer object field would otherwise dominate.
+QUERY_FIELD_WEIGHTS: Dict[str, float] = {
+    "objectPlayer": 0.6,
+    "objectTeam": 0.35,
+    "objectPlayerProp": 0.6,
+    "team1": 0.8,
+    "team2": 0.8,
+}
+
+#: fields the keyword interface fans each query term over.
+SEARCHED_FIELDS: List[str] = [
+    F.EVENT,
+    F.SUBJECT_PLAYER, F.OBJECT_PLAYER,
+    F.SUBJECT_TEAM, F.OBJECT_TEAM,
+    F.SUBJECT_PLAYER_PROP, F.OBJECT_PLAYER_PROP,
+    F.FROM_RULES,
+    F.TEAM1, F.TEAM2,
+    F.NARRATION,
+]
+
+_CAMEL_BOUNDARY = re.compile(r"(?<=[a-z0-9])(?=[A-Z])")
+
+
+def camel_to_words(name: str) -> str:
+    """``YellowCard`` → ``yellow card`` (for index terms)."""
+    return _CAMEL_BOUNDARY.sub(" ", name).lower()
+
+
+def class_label(ontology: Ontology, uri: URIRef) -> str:
+    """Indexable label of a class: its declared label (e.g. "Miss" for
+    MissedGoal) camel-split and lowercased."""
+    if ontology.has_class(uri):
+        return camel_to_words(ontology.get_class(uri).label)
+    return camel_to_words(uri.local_name)

@@ -1,0 +1,288 @@
+"""Semantic indexing (paper §3.6.1) — the system's core contribution.
+
+Builds the paper's ladder of Lucene indexes:
+
+* **TRAD** — one document per narration, free text only (the
+  traditional baseline).
+* **BASIC_EXT** — one document per event of the *initial* OWL models
+  (basic crawl information + unknown narrations).
+* **FULL_EXT** — one document per event of the *extracted* models (IE
+  output).
+* **FULL_INF** — one document per event of the *inferred* models, with
+  the additional Table 2 fields: all inferred event types, inferred
+  player properties and rule-derived information.
+* **PHR_EXP** — FULL_INF plus the §6 phrasal-expression fields.
+
+Every document carries a ``docKey`` provenance field so the evaluation
+harness can join results to gold relevance judgments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.core.fields import (F, FIELD_BOOSTS, camel_to_words,
+                               class_label)
+from repro.ontology.model import Individual, Ontology
+from repro.rdf.namespace import SOCCER
+from repro.rdf.term import URIRef
+from repro.reasoning.taxonomy import Taxonomy
+from repro.search.analysis import (KeywordAnalyzer, SimpleAnalyzer,
+                                   StandardAnalyzer)
+from repro.search.document import Document, Field
+from repro.search.index import IndexWriter, InvertedIndex, PerFieldAnalyzer
+from repro.soccer.crawler import CrawledMatch
+
+__all__ = ["SemanticIndexer", "default_index_analyzer"]
+
+
+def default_index_analyzer() -> PerFieldAnalyzer:
+    """The analyzer configuration shared by indexing and querying."""
+    return PerFieldAnalyzer(
+        default=StandardAnalyzer(),
+        per_field={
+            F.SUBJECT_PHRASE: SimpleAnalyzer(),
+            F.OBJECT_PHRASE: SimpleAnalyzer(),
+            F.DOC_KEY: KeywordAnalyzer(),
+            F.DATE: SimpleAnalyzer(),
+            F.MINUTE: KeywordAnalyzer(),
+        })
+
+
+class SemanticIndexer:
+    """Builds all index variants against one shared ontology."""
+
+    def __init__(self, ontology: Ontology,
+                 taxonomy: Optional[Taxonomy] = None) -> None:
+        self.ontology = ontology
+        self.taxonomy = taxonomy or Taxonomy(ontology)
+        self.analyzer = default_index_analyzer()
+        self._subject_props = self.taxonomy.subproperties(
+            SOCCER.subjectPlayer, include_self=True)
+        self._object_props = self.taxonomy.subproperties(
+            SOCCER.objectPlayer, include_self=True)
+        self._subject_team_props = self.taxonomy.subproperties(
+            SOCCER.subjectTeam, include_self=True)
+        self._object_team_props = self.taxonomy.subproperties(
+            SOCCER.objectTeam, include_self=True)
+        self._actor_props = self.taxonomy.subproperties(
+            SOCCER.actorOfMove, include_self=True)
+
+    # ------------------------------------------------------------------
+    # TRAD
+    # ------------------------------------------------------------------
+
+    def build_traditional(self, crawled_matches: Iterable[CrawledMatch],
+                          name: str = "TRAD") -> InvertedIndex:
+        """Free-text index over raw narrations (§3.1 step 2)."""
+        index = InvertedIndex(name)
+        writer = IndexWriter(index, self.analyzer)
+        for crawled in crawled_matches:
+            for position, narration in enumerate(crawled.narrations):
+                document = Document()
+                document.add(Field(
+                    F.DOC_KEY,
+                    f"{crawled.match_id}_n{position:04d}"))
+                document.add(Field(F.NARRATION, narration.text))
+                document.add(Field(F.MINUTE, str(narration.minute)))
+                writer.add_document(document)
+        return index
+
+    # ------------------------------------------------------------------
+    # semantic indexes
+    # ------------------------------------------------------------------
+
+    def build_semantic(self, aboxes: Sequence[Ontology], name: str,
+                       inferred: bool = False,
+                       phrasal: bool = False) -> InvertedIndex:
+        """One document per event individual across all match models."""
+        index = InvertedIndex(name)
+        writer = IndexWriter(index, self.analyzer)
+        for abox in aboxes:
+            self._index_abox(writer, abox, inferred=inferred,
+                             phrasal=phrasal)
+        return index
+
+    def _index_abox(self, writer: IndexWriter, abox: Ontology,
+                    inferred: bool, phrasal: bool) -> None:
+        match = self._find_match(abox)
+        match_context = self._match_context(abox, match)
+        actor_labels = (self._collect_actor_labels(abox)
+                        if inferred else {})
+        for individual in abox.individuals():
+            if not self._is_event(individual):
+                continue
+            document = self._event_document(
+                abox, individual, match_context,
+                actor_labels.get(individual.uri, ()),
+                inferred=inferred, phrasal=phrasal)
+            writer.add_document(document)
+
+    # ------------------------------------------------------------------
+    # document assembly
+    # ------------------------------------------------------------------
+
+    def _is_event(self, individual: Individual) -> bool:
+        return any(self.taxonomy.is_subclass_of(t, SOCCER.Event)
+                   for t in individual.types)
+
+    def _find_match(self, abox: Ontology) -> Optional[Individual]:
+        for individual in abox.individuals(SOCCER.Match):
+            return individual
+        return None
+
+    def _match_context(self, abox: Ontology,
+                       match: Optional[Individual]) -> Dict[str, str]:
+        if match is None:
+            return {}
+        context = {F.MATCH: match.uri.local_name}
+        name = match.first(SOCCER.hasName)
+        if name is not None:
+            context[F.MATCH] = str(name)
+        date = match.first(SOCCER.onDate)
+        if date is not None:
+            context[F.DATE] = str(date)
+        for field_name, prop in ((F.TEAM1, SOCCER.homeTeam),
+                                 (F.TEAM2, SOCCER.awayTeam)):
+            team_uri = match.first(prop)
+            if isinstance(team_uri, URIRef) and abox.has_individual(team_uri):
+                team_name = abox.individual(team_uri).first(SOCCER.hasName)
+                context[field_name] = (str(team_name) if team_name
+                                       else team_uri.local_name)
+        return context
+
+    def _collect_actor_labels(self, abox: Ontology
+                              ) -> Dict[URIRef, Set[str]]:
+        """event uri → labels of actorOf… properties pointing at it."""
+        labels: Dict[URIRef, Set[str]] = {}
+        for individual in abox.individuals():
+            for prop in self._actor_props:
+                for value in individual.get(prop):
+                    if isinstance(value, URIRef):
+                        labels.setdefault(value, set()).add(
+                            camel_to_words(prop.local_name))
+        return labels
+
+    def _event_document(self, abox: Ontology, event: Individual,
+                        match_context: Dict[str, str],
+                        rule_labels: Iterable[str],
+                        inferred: bool, phrasal: bool) -> Document:
+        document = Document()
+        doc_key = event.first(SOCCER.hasEventId)
+        document.add(Field(F.DOC_KEY,
+                           str(doc_key) if doc_key is not None
+                           else event.uri.local_name))
+
+        event_types = sorted(
+            class_label(self.ontology, t) for t in event.types
+            if self.taxonomy.is_subclass_of(t, SOCCER.Event))
+        document.add(Field(F.EVENT, " ".join(event_types),
+                           boost=FIELD_BOOSTS[F.EVENT]))
+
+        for field_name, value in match_context.items():
+            document.add(Field(field_name, value,
+                               boost=FIELD_BOOSTS.get(field_name, 1.0)))
+
+        minute = event.first(SOCCER.inMinute)
+        if minute is not None:
+            document.add(Field(F.MINUTE, str(minute)))
+
+        subjects = self._role_names(abox, event, self._subject_props)
+        objects = self._role_names(abox, event, self._object_props)
+        if subjects:
+            document.add(Field(F.SUBJECT_PLAYER, " ".join(subjects),
+                               boost=FIELD_BOOSTS[F.SUBJECT_PLAYER]))
+        if objects:
+            document.add(Field(F.OBJECT_PLAYER, " ".join(objects),
+                               boost=FIELD_BOOSTS[F.OBJECT_PLAYER]))
+
+        subject_teams = self._role_names(abox, event,
+                                         self._subject_team_props)
+        object_teams = self._role_names(abox, event,
+                                        self._object_team_props)
+        if subject_teams:
+            document.add(Field(F.SUBJECT_TEAM, " ".join(subject_teams),
+                               boost=FIELD_BOOSTS[F.SUBJECT_TEAM]))
+        if object_teams:
+            document.add(Field(F.OBJECT_TEAM, " ".join(object_teams),
+                               boost=FIELD_BOOSTS[F.OBJECT_TEAM]))
+
+        if inferred:
+            subject_props = self._player_type_labels(
+                abox, event, self._subject_props)
+            object_props = self._player_type_labels(
+                abox, event, self._object_props)
+            if subject_props:
+                document.add(Field(
+                    F.SUBJECT_PLAYER_PROP, " ".join(subject_props),
+                    boost=FIELD_BOOSTS[F.SUBJECT_PLAYER_PROP]))
+            if object_props:
+                document.add(Field(
+                    F.OBJECT_PLAYER_PROP, " ".join(object_props),
+                    boost=FIELD_BOOSTS[F.OBJECT_PLAYER_PROP]))
+            rules_text = " ".join(sorted(rule_labels))
+            if rules_text:
+                document.add(Field(F.FROM_RULES, rules_text,
+                                   boost=FIELD_BOOSTS[F.FROM_RULES]))
+
+        if phrasal:
+            self._add_phrasal_fields(document, subjects, objects)
+
+        narration = event.first(SOCCER.hasNarration)
+        if narration is not None:
+            document.add(Field(F.NARRATION, str(narration)))
+        return document
+
+    def _role_names(self, abox: Ontology, event: Individual,
+                    props: Set[URIRef]) -> List[str]:
+        names: List[str] = []
+        for prop in sorted(props):
+            for value in event.get(prop):
+                if isinstance(value, URIRef) and abox.has_individual(value):
+                    target = abox.individual(value)
+                    name = target.first(SOCCER.hasName)
+                    rendered = (str(name) if name is not None
+                                else value.local_name.replace("_", " "))
+                    if rendered not in names:
+                        names.append(rendered)
+        return names
+
+    def _player_type_labels(self, abox: Ontology, event: Individual,
+                            props: Set[URIRef]) -> List[str]:
+        labels: List[str] = []
+        for prop in sorted(props):
+            for value in event.get(prop):
+                if isinstance(value, URIRef) and abox.has_individual(value):
+                    player = abox.individual(value)
+                    for type_uri in sorted(player.types):
+                        if self.taxonomy.is_subclass_of(type_uri,
+                                                        SOCCER.Player):
+                            label = class_label(self.ontology, type_uri)
+                            if label not in labels:
+                                labels.append(label)
+        return labels
+
+    def _add_phrasal_fields(self, document: Document,
+                            subjects: List[str],
+                            objects: List[str]) -> None:
+        """§6: concatenate role names with their prepositions.
+
+        Subject words get ``by_``/``of_`` prefixes, object words get
+        ``to_``, so "foul by daniel" can address the subject field
+        unambiguously.
+        """
+        subject_tokens = []
+        for name in subjects:
+            for word in name.lower().split():
+                subject_tokens.append(f"by_{word}")
+                subject_tokens.append(f"of_{word}")
+        object_tokens = []
+        for name in objects:
+            for word in name.lower().split():
+                object_tokens.append(f"to_{word}")
+        if subject_tokens:
+            document.add(Field(F.SUBJECT_PHRASE, " ".join(subject_tokens),
+                               boost=FIELD_BOOSTS[F.SUBJECT_PHRASE]))
+        if object_tokens:
+            document.add(Field(F.OBJECT_PHRASE, " ".join(object_tokens),
+                               boost=FIELD_BOOSTS[F.OBJECT_PHRASE]))

@@ -1,0 +1,91 @@
+"""Phrasal expression support (paper §6).
+
+Solves the structural-ambiguity problem of bag-of-words queries:
+"foul Alex Ronaldo" cannot say who fouled whom.  With the PHR_EXP
+index's ``subjectPhrase``/``objectPhrase`` fields (built by the
+indexer), simple prepositional phrases in the query — "by X", "to X",
+"of X" — are rewritten into role-qualified terms:
+
+    foul by Daniel to Florent
+    → event:foul  subjectPhrase:by_daniel  objectPhrase:to_florent
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.core.fields import F, SEARCHED_FIELDS
+from repro.core.indexer import default_index_analyzer
+from repro.core.retrieval import KeywordSearchEngine, SearchHit
+from repro.errors import QueryError
+from repro.search.index import InvertedIndex, PerFieldAnalyzer
+from repro.search.query import (BooleanQuery, DisMaxQuery, Occur, Query,
+                                TermQuery)
+
+__all__ = ["PhrasalQueryParser", "PhrasalSearchEngine"]
+
+_PHRASE = re.compile(r"\b(by|to|of)\s+([A-Za-z'][\w']*)", re.IGNORECASE)
+
+#: preposition → (field, prefix): "by"/"of" select the subject role,
+#: "to" the object role.
+_ROLE_FOR_PREPOSITION = {
+    "by": (F.SUBJECT_PHRASE, "by_"),
+    "of": (F.SUBJECT_PHRASE, "of_"),
+    "to": (F.OBJECT_PHRASE, "to_"),
+}
+
+
+class PhrasalQueryParser:
+    """Splits a keyword query into role phrases + plain terms."""
+
+    def __init__(self, analyzer: Optional[PerFieldAnalyzer] = None) -> None:
+        self.analyzer = analyzer or default_index_analyzer()
+
+    def parse_parts(self, text: str
+                    ) -> Tuple[List[str], List[Tuple[str, str]]]:
+        """Return (plain terms, [(field, prefixed_term), …])."""
+        role_terms: List[Tuple[str, str]] = []
+
+        def replace(match: re.Match) -> str:
+            preposition = match.group(1).lower()
+            name = match.group(2).lower()
+            field_name, prefix = _ROLE_FOR_PREPOSITION[preposition]
+            role_terms.append((field_name, prefix + name))
+            return " "
+
+        remainder = _PHRASE.sub(replace, text)
+        plain = self.analyzer.for_field(F.NARRATION).terms(remainder)
+        return plain, role_terms
+
+
+class PhrasalSearchEngine:
+    """Keyword search over a PHR_EXP index with phrase rewriting."""
+
+    def __init__(self, index: InvertedIndex,
+                 analyzer: Optional[PerFieldAnalyzer] = None) -> None:
+        self.engine = KeywordSearchEngine(index, analyzer)
+        self.parser = PhrasalQueryParser(analyzer)
+
+    def build_query(self, text: str) -> Query:
+        plain, role_terms = self.parser.parse_parts(text)
+        if not plain and not role_terms:
+            raise QueryError(f"query {text!r} has no searchable terms")
+        outer = BooleanQuery()
+        for term in plain:
+            per_field = [TermQuery(field_name, term)
+                         for field_name in SEARCHED_FIELDS]
+            outer.add(DisMaxQuery(per_field, tie_breaker=0.1),
+                      Occur.SHOULD)
+        for field_name, term in role_terms:
+            # role phrases are requirements, not hints: a query that
+            # names the subject must not match docs where the player
+            # is the object (the Table 6 discrimination).
+            outer.add(TermQuery(field_name, term), Occur.MUST)
+        if len(outer.clauses) == 1 and outer.clauses[0].occur is Occur.SHOULD:
+            return outer.clauses[0].query
+        return outer
+
+    def search(self, text: str,
+               limit: Optional[int] = None) -> List[SearchHit]:
+        return self.engine.search_query(self.build_query(text), limit)

@@ -1,0 +1,156 @@
+"""End-to-end pipeline (paper Fig. 1, §3.1 steps 1–8).
+
+Orchestrates the full flow from crawl artifacts to searchable indexes:
+
+1. crawl (simulated) ............... :mod:`repro.soccer`
+2. TRAD index over narrations ...... step 2
+3. initial OWL models .............. step 3  (:mod:`repro.population`)
+4. BASIC_EXT index ................. step 4
+5. IE over narrations .............. step 5  (:mod:`repro.extraction`)
+6. FULL_EXT index .................. step 6
+7. reasoner + rules ................ step 7  (:mod:`repro.reasoning`)
+8. FULL_INF index .................. step 8
+
+plus the §6 PHR_EXP index and the §5 QUERY_EXP baseline.  Per-match
+models are inferred independently (the paper's scalability design);
+:attr:`PipelineResult.inference_seconds` records the per-match times
+the scalability benchmark validates.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.expansion import ExpandedSearchEngine, QueryExpander
+from repro.core.indexer import SemanticIndexer
+from repro.core.storage import ModelStore
+from repro.core.phrasal import PhrasalSearchEngine
+from repro.core.retrieval import KeywordSearchEngine
+from repro.extraction import InformationExtractor
+from repro.ontology import Ontology, soccer_ontology
+from repro.population import OntologyPopulator
+from repro.reasoning import Reasoner
+from repro.reasoning.rules import soccer_rules
+from repro.search.index import InvertedIndex
+from repro.soccer.crawler import CrawledMatch
+
+__all__ = ["IndexName", "PipelineResult", "SemanticRetrievalPipeline"]
+
+
+class IndexName:
+    """Canonical index names used across benchmarks and reports."""
+
+    TRAD = "TRAD"
+    BASIC_EXT = "BASIC_EXT"
+    FULL_EXT = "FULL_EXT"
+    FULL_INF = "FULL_INF"
+    PHR_EXP = "PHR_EXP"
+    QUERY_EXP = "QUERY_EXP"
+
+    LADDER = (TRAD, BASIC_EXT, FULL_EXT, FULL_INF)
+
+
+@dataclass
+class PipelineResult:
+    """Everything the pipeline produced."""
+
+    indexes: Dict[str, InvertedIndex]
+    engines: Dict[str, KeywordSearchEngine]
+    phrasal_engine: PhrasalSearchEngine
+    expansion_engine: ExpandedSearchEngine
+    inferred_models: List[Ontology]
+    inference_seconds: List[float] = field(default_factory=list)
+    violations: int = 0
+
+    def engine(self, name: str) -> KeywordSearchEngine:
+        return self.engines[name]
+
+    def index(self, name: str) -> InvertedIndex:
+        return self.indexes[name]
+
+
+class SemanticRetrievalPipeline:
+    """Builds every index variant from crawled matches."""
+
+    def __init__(self, ontology: Optional[Ontology] = None) -> None:
+        self.ontology = ontology or soccer_ontology()
+        self.populator = OntologyPopulator(self.ontology)
+        self.reasoner = Reasoner(self.ontology, soccer_rules())
+        self.indexer = SemanticIndexer(self.ontology,
+                                       self.reasoner.taxonomy)
+
+    def run(self, crawled_matches: Sequence[CrawledMatch],
+            check_consistency: bool = False,
+            store: Optional["ModelStore"] = None) -> PipelineResult:
+        """Execute steps 2–8 over ``crawled_matches``.
+
+        When ``store`` is given, the per-match models of each stage
+        are persisted as N-Triples files — the paper's initial /
+        extracted / inferred "OWL files" (§3.1 steps 3, 5, 7).
+        """
+        trad = self.indexer.build_traditional(crawled_matches)
+
+        basic_models = [self.populator.populate_basic(crawled)
+                        for crawled in crawled_matches]
+        if store is not None:
+            for crawled, model in zip(crawled_matches, basic_models):
+                store.save("initial", crawled.match_id, model)
+        basic_ext = self.indexer.build_semantic(
+            basic_models, IndexName.BASIC_EXT)
+
+        full_models = []
+        for crawled in crawled_matches:
+            extractor = InformationExtractor(crawled)
+            full_models.append(self.populator.populate_full(
+                crawled, extractor.extract_all()))
+        if store is not None:
+            for crawled, model in zip(crawled_matches, full_models):
+                store.save("extracted", crawled.match_id, model)
+        full_ext = self.indexer.build_semantic(
+            full_models, IndexName.FULL_EXT)
+
+        inferred_models: List[Ontology] = []
+        inference_seconds: List[float] = []
+        violation_count = 0
+        for model in full_models:
+            started = time.perf_counter()
+            result = self.reasoner.infer(
+                model, check_consistency=check_consistency)
+            inference_seconds.append(time.perf_counter() - started)
+            inferred_models.append(result.abox)
+            violation_count += len(result.violations)
+        if store is not None:
+            for crawled, model in zip(crawled_matches, inferred_models):
+                store.save("inferred", crawled.match_id, model)
+        full_inf = self.indexer.build_semantic(
+            inferred_models, IndexName.FULL_INF, inferred=True)
+        phr_exp = self.indexer.build_semantic(
+            inferred_models, IndexName.PHR_EXP, inferred=True,
+            phrasal=True)
+
+        indexes = {
+            IndexName.TRAD: trad,
+            IndexName.BASIC_EXT: basic_ext,
+            IndexName.FULL_EXT: full_ext,
+            IndexName.FULL_INF: full_inf,
+            IndexName.PHR_EXP: phr_exp,
+        }
+        engines = {
+            IndexName.TRAD: KeywordSearchEngine(trad),
+            IndexName.BASIC_EXT: KeywordSearchEngine(basic_ext),
+            IndexName.FULL_EXT: KeywordSearchEngine(full_ext),
+            IndexName.FULL_INF: KeywordSearchEngine(full_inf),
+        }
+        return PipelineResult(
+            indexes=indexes,
+            engines=engines,
+            phrasal_engine=PhrasalSearchEngine(phr_exp),
+            expansion_engine=ExpandedSearchEngine(
+                trad, QueryExpander(self.ontology,
+                                    taxonomy=self.reasoner.taxonomy)),
+            inferred_models=inferred_models,
+            inference_seconds=inference_seconds,
+            violations=violation_count,
+        )

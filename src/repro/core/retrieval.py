@@ -1,0 +1,99 @@
+"""Keyword-based semantic retrieval (paper §3.6.2).
+
+The user types a few keywords; each term is fanned out over all
+semantic fields with a disjunction-max (so a hit in the boosted
+``event`` field dominates), and terms combine under a coordinated
+boolean (documents matching more of the query rank higher).  This is
+the "slightly modified … default querying and ranking mechanism of
+Lucene" the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.fields import F, QUERY_FIELD_WEIGHTS, SEARCHED_FIELDS
+from repro.core.indexer import default_index_analyzer
+from repro.errors import QueryError
+from repro.search.document import Document
+from repro.search.index import InvertedIndex, PerFieldAnalyzer
+from repro.search.query import (BooleanQuery, DisMaxQuery, Occur, Query,
+                                TermQuery)
+from repro.search.searcher import IndexSearcher, TopDocs
+from repro.search.similarity import ClassicSimilarity, Similarity
+
+__all__ = ["SearchHit", "KeywordSearchEngine"]
+
+
+@dataclass
+class SearchHit:
+    """One result of the keyword interface."""
+
+    doc_key: str
+    score: float
+    document: Document
+
+    @property
+    def event_type(self) -> Optional[str]:
+        return self.document.get(F.EVENT)
+
+    @property
+    def narration(self) -> Optional[str]:
+        return self.document.get(F.NARRATION)
+
+
+class KeywordSearchEngine:
+    """Searches one semantic index with plain keywords."""
+
+    def __init__(self, index: InvertedIndex,
+                 analyzer: Optional[PerFieldAnalyzer] = None,
+                 similarity: Optional[Similarity] = None,
+                 fields: Sequence[str] = SEARCHED_FIELDS,
+                 tie_breaker: float = 0.1) -> None:
+        self.index = index
+        self.analyzer = analyzer or default_index_analyzer()
+        self.searcher = IndexSearcher(index,
+                                      similarity or ClassicSimilarity())
+        self.fields = list(fields)
+        self.tie_breaker = tie_breaker
+
+    # ------------------------------------------------------------------
+
+    def build_query(self, text: str) -> Query:
+        """Keyword text → multi-field query tree."""
+        terms = self.analyzer.for_field(F.NARRATION).terms(text)
+        if not terms:
+            raise QueryError(f"query {text!r} has no searchable terms")
+        outer = BooleanQuery()
+        for term in terms:
+            per_field = [
+                TermQuery(field_name, term,
+                          boost=QUERY_FIELD_WEIGHTS.get(field_name, 1.0))
+                for field_name in self.fields]
+            outer.add(DisMaxQuery(per_field, tie_breaker=self.tie_breaker),
+                      Occur.SHOULD)
+        if len(outer.clauses) == 1:
+            return outer.clauses[0].query
+        return outer
+
+    def search(self, text: str,
+               limit: Optional[int] = None) -> List[SearchHit]:
+        """Run a keyword query; hits sorted by descending score."""
+        top = self.searcher.search(self.build_query(text), limit)
+        return self._hits(top)
+
+    def search_query(self, query: Query,
+                     limit: Optional[int] = None) -> List[SearchHit]:
+        """Run a pre-built query tree (used by PHR_EXP and ablations)."""
+        return self._hits(self.searcher.search(query, limit))
+
+    def _hits(self, top: TopDocs) -> List[SearchHit]:
+        hits = []
+        for scored in top:
+            document = self.searcher.document(scored.doc_id)
+            hits.append(SearchHit(
+                doc_key=document.get(F.DOC_KEY) or str(scored.doc_id),
+                score=scored.score,
+                document=document))
+        return hits

@@ -1,0 +1,83 @@
+"""Model storage: the paper's per-match "OWL files".
+
+The original flow materializes OWL files at three stages (initial,
+extracted, inferred — §3.1 steps 3/5/7).  This module persists our
+per-match models the same way, one N-Triples file per match per
+stage, and loads them back into ABoxes.  Together with
+:func:`repro.search.index.save_index` this makes the offline/online
+split concrete: crawl + reason once, serve queries from disk forever.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.errors import ReproError
+from repro.ontology import (Ontology, abox_to_graph,
+                            individuals_from_graph)
+from repro.population.mapper import iri_slug
+from repro.rdf import ntriples
+
+__all__ = ["ModelStore"]
+
+PathLike = Union[str, Path]
+
+_STAGES = ("initial", "extracted", "inferred")
+
+
+class ModelStore:
+    """Reads and writes per-match models under one root directory.
+
+    Layout::
+
+        <root>/<stage>/<match-slug>.nt
+    """
+
+    def __init__(self, root: PathLike, ontology: Ontology) -> None:
+        self.root = Path(root)
+        self.ontology = ontology
+
+    def _path(self, stage: str, match_id: str) -> Path:
+        if stage not in _STAGES:
+            raise ReproError(f"unknown model stage {stage!r} "
+                             f"(expected one of {_STAGES})")
+        return self.root / stage / f"{iri_slug(match_id)}.nt"
+
+    # ------------------------------------------------------------------
+
+    def save(self, stage: str, match_id: str, model: Ontology) -> Path:
+        """Serialize one match model; returns the file path."""
+        path = self._path(stage, match_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        graph = abox_to_graph(model)
+        with open(path, "w", encoding="utf-8") as handle:
+            ntriples.serialize(graph, handle)
+        return path
+
+    def save_all(self, stage: str,
+                 models: Dict[str, Ontology]) -> List[Path]:
+        """Serialize many models (match id → model)."""
+        return [self.save(stage, match_id, model)
+                for match_id, model in models.items()]
+
+    def load(self, stage: str, match_id: str) -> Ontology:
+        """Load one match model back into an ABox."""
+        path = self._path(stage, match_id)
+        if not path.exists():
+            raise ReproError(f"no stored model for {match_id!r} "
+                             f"at stage {stage!r}")
+        with open(path, encoding="utf-8") as handle:
+            graph = ntriples.parse(handle)
+        model = individuals_from_graph(graph, self.ontology)
+        model.name = f"{match_id}-{stage}"
+        return model
+
+    def list(self, stage: str) -> List[str]:
+        """Match slugs stored at a stage."""
+        directory = self.root / stage
+        if stage not in _STAGES:
+            raise ReproError(f"unknown model stage {stage!r}")
+        if not directory.exists():
+            return []
+        return sorted(path.stem for path in directory.glob("*.nt"))

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class at an API boundary.  Subsystems define
+narrower classes here rather than in their own packages to avoid import
+cycles between low-level substrates (RDF, search) and higher layers.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TermError(ReproError, ValueError):
+    """An RDF term was constructed from an invalid lexical form."""
+
+
+class GraphError(ReproError):
+    """An invalid operation was attempted on an RDF graph."""
+
+
+class ParseError(ReproError, ValueError):
+    """A serialized document (N-Triples, Turtle, SPARQL, rules, query
+    strings) could not be parsed.
+
+    Attributes:
+        line: 1-based line where the error was detected, if known.
+        column: 1-based column where the error was detected, if known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None) -> None:
+        location = ""
+        if line is not None:
+            location = f" (line {line}"
+            location += f", column {column})" if column is not None else ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SparqlError(ReproError):
+    """A SPARQL query failed to parse or evaluate."""
+
+
+class OntologyError(ReproError):
+    """The ontology model was built or used inconsistently."""
+
+
+class ConsistencyError(OntologyError):
+    """A knowledge base violates the ontology's constraints.
+
+    Raised by the consistency checker when ``raise_on_error`` is set;
+    otherwise violations are reported as data.
+    """
+
+
+class RuleError(ReproError):
+    """A forward-chaining rule is malformed or failed during firing."""
+
+
+class IndexError_(ReproError):
+    """An inverted-index operation failed (name avoids builtin clash)."""
+
+
+class QueryError(ReproError, ValueError):
+    """A search query string or query tree is invalid."""
+
+
+class ExtractionError(ReproError):
+    """The information-extraction module met malformed input."""
+
+
+class PopulationError(ReproError):
+    """Ontology population could not map an extracted event."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness was misconfigured."""

@@ -1,0 +1,46 @@
+"""Evaluation: metrics, gold relevance, queries, harness, reports."""
+
+from repro.evaluation.harness import (EvaluationHarness, QueryResult,
+                                      TableResult)
+from repro.evaluation.metrics import (average_precision, f1_score,
+                                      mean_average_precision, precision,
+                                      recall, reciprocal_rank)
+from repro.evaluation.queries import (EvalQuery, TABLE3_QUERIES,
+                                      TABLE6_QUERIES)
+from repro.evaluation.relevance import (GOAL_KINDS, NEGATIVE_MOVE_KINDS,
+                                        RelevanceJudge, SHOOT_KINDS)
+from repro.evaluation.significance import (SignificanceResult,
+                                            compare_systems,
+                                            paired_bootstrap_test,
+                                            paired_randomization_test)
+from repro.evaluation.report import (PAPER_TABLE4, PAPER_TABLE5,
+                                     PAPER_TABLE6, format_cell,
+                                     render_table)
+
+__all__ = [
+    "precision",
+    "recall",
+    "f1_score",
+    "average_precision",
+    "mean_average_precision",
+    "reciprocal_rank",
+    "EvalQuery",
+    "TABLE3_QUERIES",
+    "TABLE6_QUERIES",
+    "RelevanceJudge",
+    "GOAL_KINDS",
+    "SHOOT_KINDS",
+    "NEGATIVE_MOVE_KINDS",
+    "EvaluationHarness",
+    "QueryResult",
+    "TableResult",
+    "format_cell",
+    "render_table",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PAPER_TABLE6",
+    "SignificanceResult",
+    "compare_systems",
+    "paired_randomization_test",
+    "paired_bootstrap_test",
+]

@@ -1,0 +1,122 @@
+"""Evaluation harness: runs the Table 4 / 5 / 6 experiments.
+
+Given a corpus and a pipeline result, runs every evaluation query
+against every engine and computes the metrics the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+from repro.core.pipeline import IndexName, PipelineResult
+from repro.core.retrieval import SearchHit
+from repro.evaluation.metrics import (average_precision,
+                                      mean_average_precision, precision,
+                                      recall)
+from repro.evaluation.queries import (EvalQuery, TABLE3_QUERIES,
+                                      TABLE6_QUERIES)
+from repro.evaluation.relevance import RelevanceJudge
+from repro.soccer.corpus import Corpus
+
+__all__ = ["QueryResult", "TableResult", "EvaluationHarness"]
+
+SearchFn = Callable[[str], List[SearchHit]]
+
+
+@dataclass
+class QueryResult:
+    """One (query, system) measurement."""
+
+    query_id: str
+    system: str
+    average_precision: float
+    relevant_count: int
+    retrieved_count: int
+    recall: float
+
+    @property
+    def scaled(self) -> float:
+        """The paper's absolute column: AP · R (e.g. "5.3" of "5.3/7")."""
+        return self.average_precision * self.relevant_count
+
+
+@dataclass
+class TableResult:
+    """All measurements for one table (rows = queries, cols = systems)."""
+
+    systems: List[str]
+    rows: Dict[str, Dict[str, QueryResult]] = field(default_factory=dict)
+
+    def get(self, query_id: str, system: str) -> QueryResult:
+        return self.rows[query_id][system]
+
+    def query_ids(self) -> List[str]:
+        return list(self.rows)
+
+    def mean_ap(self, system: str) -> float:
+        return mean_average_precision(
+            row[system].average_precision for row in self.rows.values())
+
+
+class EvaluationHarness:
+    """Runs the paper's experiments over a built pipeline."""
+
+    def __init__(self, corpus: Corpus, result: PipelineResult) -> None:
+        self.corpus = corpus
+        self.result = result
+        self.judge = RelevanceJudge(corpus)
+
+    # ------------------------------------------------------------------
+
+    def evaluate_query(self, query: EvalQuery, system: str,
+                       search: SearchFn) -> QueryResult:
+        hits = search(query.keywords)
+        ranked = [hit.doc_key for hit in hits]
+        relevant = self.judge.for_query(query.query_id)
+        return QueryResult(
+            query_id=query.query_id,
+            system=system,
+            average_precision=average_precision(ranked, relevant,
+                                                self.judge.resolve),
+            relevant_count=len(relevant),
+            retrieved_count=len(ranked),
+            recall=recall(ranked, relevant, self.judge.resolve),
+        )
+
+    def _search_fn(self, system: str) -> SearchFn:
+        if system == IndexName.QUERY_EXP:
+            return self.result.expansion_engine.search
+        if system == IndexName.PHR_EXP:
+            return self.result.phrasal_engine.search
+        return self.result.engines[system].search
+
+    def run_table(self, queries: Sequence[EvalQuery],
+                  systems: Sequence[str]) -> TableResult:
+        table = TableResult(systems=list(systems))
+        for query in queries:
+            row: Dict[str, QueryResult] = {}
+            for system in systems:
+                row[system] = self.evaluate_query(
+                    query, system, self._search_fn(system))
+            table.rows[query.query_id] = row
+        return table
+
+    # ------------------------------------------------------------------
+    # the paper's tables
+    # ------------------------------------------------------------------
+
+    def table4(self) -> TableResult:
+        """Evaluation results over the four-index ladder (Table 4)."""
+        return self.run_table(TABLE3_QUERIES, IndexName.LADDER)
+
+    def table5(self) -> TableResult:
+        """Comparison with query expansion (Table 5)."""
+        return self.run_table(TABLE3_QUERIES,
+                              (IndexName.TRAD, IndexName.QUERY_EXP,
+                               IndexName.FULL_INF))
+
+    def table6(self) -> TableResult:
+        """Phrasal expressions vs FULL_INF (Table 6)."""
+        return self.run_table(TABLE6_QUERIES,
+                              (IndexName.FULL_INF, IndexName.PHR_EXP))

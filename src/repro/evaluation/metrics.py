@@ -1,0 +1,104 @@
+"""Retrieval metrics: precision, recall, average precision, MAP.
+
+Table 4 reports cells like ``5.3/7  75.7%`` under the caption *mean
+average precision*: the absolute part is AP scaled by the number of
+relevant items, the percentage is AP itself.  We compute standard
+uninterpolated AP over the ranked result list.
+
+Duplicate handling: an index may contain several documents for the
+same underlying event (e.g. BASIC_EXT holds both the match-facts goal
+and the goal's narration).  Ranked duplicates of an already-credited
+relevant event are *skipped* (they occupy no rank position), the usual
+convention for duplicate documents in IR test collections.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Set
+
+__all__ = ["precision", "recall", "f1_score", "average_precision",
+           "mean_average_precision", "reciprocal_rank"]
+
+Resolver = Callable[[str], Optional[str]]
+
+
+def _resolve_ranking(ranked_keys: Sequence[str], relevant: Set[str],
+                     resolve: Optional[Resolver]) -> List[bool]:
+    """Ranked list → relevance flags with duplicate-event dedup."""
+    credited: Set[str] = set()
+    flags: List[bool] = []
+    for key in ranked_keys:
+        gold = resolve(key) if resolve is not None else key
+        if gold is not None and gold in relevant:
+            if gold in credited:
+                continue  # duplicate of an already-counted event
+            credited.add(gold)
+            flags.append(True)
+        else:
+            flags.append(False)
+    return flags
+
+
+def precision(ranked_keys: Sequence[str], relevant: Set[str],
+              resolve: Optional[Resolver] = None,
+              at: Optional[int] = None) -> float:
+    """Fraction of (deduplicated) retrieved items that are relevant."""
+    flags = _resolve_ranking(ranked_keys, relevant, resolve)
+    if at is not None:
+        flags = flags[:at]
+    if not flags:
+        return 0.0
+    return sum(flags) / len(flags)
+
+
+def recall(ranked_keys: Sequence[str], relevant: Set[str],
+           resolve: Optional[Resolver] = None,
+           at: Optional[int] = None) -> float:
+    """Fraction of relevant items retrieved."""
+    if not relevant:
+        return 0.0
+    flags = _resolve_ranking(ranked_keys, relevant, resolve)
+    if at is not None:
+        flags = flags[:at]
+    return sum(flags) / len(relevant)
+
+
+def f1_score(ranked_keys: Sequence[str], relevant: Set[str],
+             resolve: Optional[Resolver] = None) -> float:
+    p = precision(ranked_keys, relevant, resolve)
+    r = recall(ranked_keys, relevant, resolve)
+    if p + r == 0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+def average_precision(ranked_keys: Sequence[str], relevant: Set[str],
+                      resolve: Optional[Resolver] = None) -> float:
+    """Uninterpolated AP = (1/R) Σ_k P(k) · rel(k)."""
+    if not relevant:
+        return 0.0
+    flags = _resolve_ranking(ranked_keys, relevant, resolve)
+    hits = 0
+    precision_sum = 0.0
+    for rank, flag in enumerate(flags, start=1):
+        if flag:
+            hits += 1
+            precision_sum += hits / rank
+    return precision_sum / len(relevant)
+
+
+def reciprocal_rank(ranked_keys: Sequence[str], relevant: Set[str],
+                    resolve: Optional[Resolver] = None) -> float:
+    """1/rank of the first relevant hit (0 when none retrieved)."""
+    flags = _resolve_ranking(ranked_keys, relevant, resolve)
+    for rank, flag in enumerate(flags, start=1):
+        if flag:
+            return 1.0 / rank
+    return 0.0
+
+
+def mean_average_precision(per_query_ap: Iterable[float]) -> float:
+    values = list(per_query_ap)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,48 @@
+"""The evaluation queries (paper Table 3 and Table 6)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+__all__ = ["EvalQuery", "TABLE3_QUERIES", "TABLE6_QUERIES"]
+
+
+@dataclass(frozen=True)
+class EvalQuery:
+    """One evaluation query: id, description, keyword string."""
+
+    query_id: str
+    description: str
+    keywords: str
+
+
+#: Table 3, verbatim.
+TABLE3_QUERIES: List[EvalQuery] = [
+    EvalQuery("Q-1", "Find all goals", "goal"),
+    EvalQuery("Q-2", "Find all goals scored by Barcelona",
+              "barcelona goal"),
+    EvalQuery("Q-3", "Find all goals scored by Messi at Barcelona",
+              "messi barcelona goal"),
+    EvalQuery("Q-4", "Find all punishments", "punishment"),
+    EvalQuery("Q-5", "Find all yellow cards received by Alex",
+              "alex yellow card"),
+    EvalQuery("Q-6", "Find all goals scored to Casillas",
+              "goal scored to casillas"),
+    EvalQuery("Q-7", "Find all negative moves of Henry",
+              "henry negative moves"),
+    EvalQuery("Q-8", "Find all events involving Ronaldo", "ronaldo"),
+    EvalQuery("Q-9", "Find all saves done by the goalkeeper of Barcelona",
+              "save goalkeeper barcelona"),
+    EvalQuery("Q-10", "Find all shoots delivered by defence players",
+              "shoot defence players"),
+]
+
+#: Table 6 (phrasal-expression experiment), verbatim.
+TABLE6_QUERIES: List[EvalQuery] = [
+    EvalQuery("P-1", "Foul by Daniel", "foul by Daniel"),
+    EvalQuery("P-2", "Foul by Daniel to Florent",
+              "foul by Daniel to florent"),
+    EvalQuery("P-3", "Foul by Florent to Daniel",
+              "foul by florent to Daniel"),
+]

@@ -1,0 +1,160 @@
+"""Gold relevance judgments, computed from simulator ground truth.
+
+Because the corpus is simulated, the true answer set of every
+evaluation query is known exactly — this module encodes the query
+semantics over :class:`~repro.soccer.domain.GroundTruthEvent` records
+and produces, per query, the set of relevant ground-truth event ids.
+
+It also builds the resolver that maps index document keys (event ids
+from match facts, narration ids from IE, skolem names from rules) back
+to ground-truth event ids for metric computation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Set
+
+from repro.soccer.corpus import Corpus
+from repro.soccer.domain import EventKind, GroundTruthEvent
+
+__all__ = ["GOAL_KINDS", "SHOOT_KINDS", "NEGATIVE_MOVE_KINDS",
+           "RelevanceJudge"]
+
+GOAL_KINDS = frozenset((EventKind.GOAL, EventKind.PENALTY_GOAL,
+                        EventKind.OWN_GOAL))
+
+#: every kind the ontology classifies under Shoot.
+SHOOT_KINDS = frozenset((EventKind.SHOOT, EventKind.MISSED_GOAL,
+                         EventKind.GOAL, EventKind.PENALTY_GOAL,
+                         EventKind.OWN_GOAL))
+
+#: kinds whose *actor* performed a negative move (the actorOf…
+#: hierarchy of the ontology).
+NEGATIVE_MOVE_KINDS = frozenset((EventKind.MISSED_GOAL, EventKind.OFFSIDE,
+                                 EventKind.YELLOW_CARD, EventKind.RED_CARD,
+                                 EventKind.FOUL, EventKind.HANDBALL,
+                                 EventKind.OWN_GOAL))
+
+Predicate = Callable[[GroundTruthEvent], bool]
+
+
+class RelevanceJudge:
+    """Gold judgments + doc-key resolution for one corpus."""
+
+    def __init__(self, corpus: Corpus) -> None:
+        self.corpus = corpus
+        self._events: Dict[str, GroundTruthEvent] = {}
+        for match in corpus.matches:
+            for event in match.events:
+                self._events[event.event_id] = event
+        # narration id ("<match>_nNNNN") → ground-truth event id
+        self._narration_to_event: Dict[str, Optional[str]] = {}
+        for crawled in corpus.crawled:
+            for index, narration in enumerate(crawled.narrations):
+                key = f"{crawled.match_id}_n{index:04d}"
+                self._narration_to_event[key] = narration.event_id
+
+    # ------------------------------------------------------------------
+    # doc-key resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, doc_key: str) -> Optional[str]:
+        """Index document key → ground-truth event id (or None)."""
+        if doc_key in self._events:
+            return doc_key
+        return self._narration_to_event.get(doc_key)
+
+    # ------------------------------------------------------------------
+    # query semantics
+    # ------------------------------------------------------------------
+
+    def relevant_ids(self, predicate: Predicate) -> Set[str]:
+        return {event_id for event_id, event in self._events.items()
+                if predicate(event)}
+
+    def for_query(self, query_id: str) -> Set[str]:
+        """Gold set for a Table 3 / Table 6 query id."""
+        try:
+            predicate = _QUERY_PREDICATES[query_id]
+        except KeyError:
+            raise KeyError(f"no gold semantics for query {query_id!r}") \
+                from None
+        return self.relevant_ids(predicate)
+
+    def relevant_count(self, query_id: str) -> int:
+        return len(self.for_query(query_id))
+
+
+def _subject_is(event: GroundTruthEvent, name: str) -> bool:
+    return event.subject is not None and event.subject.name == name
+
+
+def _object_is(event: GroundTruthEvent, name: str) -> bool:
+    return event.object is not None and event.object.name == name
+
+
+def _name_token(player, token: str) -> bool:
+    """True when ``token`` is one of the player's name words.
+
+    The phrasal queries name players by a single word ("Daniel"),
+    which legitimately matches every player carrying that word in his
+    name (Daniel Alves *and* Daniel Agger) — the gold judgment has to
+    grant the same, or the system would be penalized for correct
+    matches.
+    """
+    if player is None:
+        return False
+    words = set(player.name.lower().split()) \
+        | set(player.full_name.lower().split())
+    return token.lower() in words
+
+
+def _subject_token(event: GroundTruthEvent, token: str) -> bool:
+    return _name_token(event.subject, token)
+
+
+def _object_token(event: GroundTruthEvent, token: str) -> bool:
+    return _name_token(event.object, token)
+
+
+_QUERY_PREDICATES: Dict[str, Predicate] = {
+    # Find all goals
+    "Q-1": lambda e: e.kind in GOAL_KINDS,
+    # Find all goals scored by Barcelona (own goals are credited to
+    # Barcelona's score but not "scored by Barcelona")
+    "Q-2": lambda e: (e.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL)
+                      and e.team == "Barcelona"),
+    # Find all goals scored by Messi at Barcelona
+    "Q-3": lambda e: (e.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL)
+                      and _subject_is(e, "Messi")),
+    # Find all punishments
+    "Q-4": lambda e: e.kind in (EventKind.YELLOW_CARD,
+                                EventKind.RED_CARD),
+    # Find all yellow cards received by Alex
+    "Q-5": lambda e: (e.kind == EventKind.YELLOW_CARD
+                      and _subject_is(e, "Alex")),
+    # Find all goals scored to Casillas (Real Madrid's keeper)
+    "Q-6": lambda e: (e.kind in GOAL_KINDS
+                      and e.object_team == "Real Madrid"),
+    # Find all negative moves of Henry
+    "Q-7": lambda e: (e.kind in NEGATIVE_MOVE_KINDS
+                      and _subject_is(e, "Henry")),
+    # Find all events involving Ronaldo
+    "Q-8": lambda e: e.involves("Ronaldo"),
+    # Find all saves done by the goalkeeper of Barcelona
+    "Q-9": lambda e: (e.kind == EventKind.SAVE
+                      and e.team == "Barcelona"),
+    # Find all shoots delivered by defence players
+    "Q-10": lambda e: (e.kind in SHOOT_KINDS and e.subject is not None
+                       and e.subject.position_group == "DefencePlayer"),
+    # Table 6 phrasal queries (single-word names match any player
+    # carrying that word, e.g. both Daniel Alves and Daniel Agger)
+    "P-1": lambda e: (e.kind == EventKind.FOUL
+                      and _subject_token(e, "daniel")),
+    "P-2": lambda e: (e.kind == EventKind.FOUL
+                      and _subject_token(e, "daniel")
+                      and _object_token(e, "florent")),
+    "P-3": lambda e: (e.kind == EventKind.FOUL
+                      and _subject_token(e, "florent")
+                      and _object_token(e, "daniel")),
+}

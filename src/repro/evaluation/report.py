@@ -1,0 +1,96 @@
+"""Rendering evaluation tables in the paper's format.
+
+Cells follow Table 4's ``5.3/7  75.7%`` convention: AP·R over R, then
+AP as a percentage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.evaluation.harness import QueryResult, TableResult
+
+__all__ = ["format_cell", "render_table", "PAPER_TABLE4", "PAPER_TABLE5",
+           "PAPER_TABLE6"]
+
+
+def format_cell(result: QueryResult, absolute: bool = True) -> str:
+    percent = f"{result.average_precision * 100:.1f}%"
+    if not absolute:
+        return percent
+    return (f"{result.scaled:.1f}/{result.relevant_count} "
+            f"{percent}")
+
+
+def render_table(table: TableResult, title: str = "",
+                 absolute: bool = True) -> str:
+    """Plain-text table matching the paper's row/column layout."""
+    header = ["Queries"] + table.systems
+    rows: List[List[str]] = [header]
+    for query_id in table.query_ids():
+        row = [query_id]
+        for system in table.systems:
+            row.append(format_cell(table.get(query_id, system), absolute))
+        rows.append(row)
+    mean_row = ["MAP"]
+    for system in table.systems:
+        mean_row.append(f"{table.mean_ap(system) * 100:.1f}%")
+    rows.append(mean_row)
+
+    widths = [max(len(row[col]) for row in rows)
+              for col in range(len(header))]
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for index, row in enumerate(rows):
+        lines.append("  ".join(cell.ljust(width)
+                               for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+#: the paper's published percentages, for shape comparison in
+#: EXPERIMENTS.md and the benchmark output (query id → system → %).
+PAPER_TABLE4: Dict[str, Dict[str, float]] = {
+    "Q-1": {"TRAD": 1.4, "BASIC_EXT": 100.0, "FULL_EXT": 100.0,
+            "FULL_INF": 100.0},
+    "Q-2": {"TRAD": 5.7, "BASIC_EXT": 75.7, "FULL_EXT": 75.7,
+            "FULL_INF": 75.7},
+    "Q-3": {"TRAD": 23.3, "BASIC_EXT": 100.0, "FULL_EXT": 100.0,
+            "FULL_INF": 100.0},
+    "Q-4": {"TRAD": 0.0, "BASIC_EXT": 0.0, "FULL_EXT": 0.0,
+            "FULL_INF": 100.0},
+    "Q-5": {"TRAD": 55.0, "BASIC_EXT": 100.0, "FULL_EXT": 100.0,
+            "FULL_INF": 100.0},
+    "Q-6": {"TRAD": 1.1, "BASIC_EXT": 63.3, "FULL_EXT": 62.2,
+            "FULL_INF": 100.0},
+    "Q-7": {"TRAD": 31.4, "BASIC_EXT": 27.1, "FULL_EXT": 32.8,
+            "FULL_INF": 90.0},
+    "Q-8": {"TRAD": 71.8, "BASIC_EXT": 78.1, "FULL_EXT": 77.2,
+            "FULL_INF": 75.9},
+    "Q-9": {"TRAD": 63.7, "BASIC_EXT": 56.2, "FULL_EXT": 78.7,
+            "FULL_INF": 93.7},
+    "Q-10": {"TRAD": 0.0, "BASIC_EXT": 0.0, "FULL_EXT": 26.4,
+             "FULL_INF": 98.1},
+}
+
+PAPER_TABLE5: Dict[str, Dict[str, float]] = {
+    "Q-1": {"TRAD": 1.4, "QUERY_EXP": 30.1, "FULL_INF": 100.0},
+    "Q-2": {"TRAD": 5.7, "QUERY_EXP": 16.4, "FULL_INF": 75.7},
+    "Q-3": {"TRAD": 23.3, "QUERY_EXP": 49.0, "FULL_INF": 100.0},
+    "Q-4": {"TRAD": 0.0, "QUERY_EXP": 63.6, "FULL_INF": 100.0},
+    "Q-5": {"TRAD": 55.0, "QUERY_EXP": 51.5, "FULL_INF": 100.0},
+    "Q-6": {"TRAD": 1.1, "QUERY_EXP": 11.5, "FULL_INF": 100.0},
+    "Q-7": {"TRAD": 31.4, "QUERY_EXP": 27.16, "FULL_INF": 90.0},
+    "Q-8": {"TRAD": 71.8, "QUERY_EXP": 71.8, "FULL_INF": 75.9},
+    "Q-9": {"TRAD": 63.7, "QUERY_EXP": 62.5, "FULL_INF": 93.7},
+    "Q-10": {"TRAD": 0.0, "QUERY_EXP": 4.3, "FULL_INF": 98.1},
+}
+
+PAPER_TABLE6: Dict[str, Dict[str, float]] = {
+    "P-1": {"FULL_INF": 48.2, "PHR_EXP": 100.0},
+    "P-2": {"FULL_INF": 47.7, "PHR_EXP": 100.0},
+    "P-3": {"FULL_INF": 100.0, "PHR_EXP": 100.0},
+}

@@ -1,0 +1,30 @@
+"""Information extraction: NER + two-level lexical analysis (§3.3)."""
+
+from repro.extraction.events import ExtractedEvent
+from repro.extraction.extractor import (InformationExtractor,
+                                        extract_corpus_events)
+from repro.extraction.lexical import (DOMAIN_TRIGGERS, LexicalAnalyzer,
+                                      LexicalMatch)
+from repro.extraction.ner import (Entity, NamedEntityRecognizer,
+                                  TaggedText)
+from repro.extraction.templates import TEMPLATES, Template
+from repro.extraction.wsd import (LeskDisambiguator, Sense,
+                                  SenseInventory, default_inventory)
+
+__all__ = [
+    "ExtractedEvent",
+    "InformationExtractor",
+    "extract_corpus_events",
+    "NamedEntityRecognizer",
+    "TaggedText",
+    "Entity",
+    "LexicalAnalyzer",
+    "LexicalMatch",
+    "DOMAIN_TRIGGERS",
+    "Template",
+    "TEMPLATES",
+    "LeskDisambiguator",
+    "Sense",
+    "SenseInventory",
+    "default_inventory",
+]

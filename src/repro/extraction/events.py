@@ -1,0 +1,35 @@
+"""Extracted-event records produced by the IE module."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+__all__ = ["ExtractedEvent"]
+
+
+@dataclass
+class ExtractedEvent:
+    """What the IE module recovered from one narration.
+
+    All player/team references are *names resolved from the tagged
+    entities* — i.e., what NER recognized, not ground truth.  ``kind``
+    is an ontology event class local name, or ``"UnknownEvent"`` when
+    no template matched (§3.4: unknown narrations are kept, not
+    discarded).
+    """
+
+    narration_id: str            # unique per narration within the corpus
+    match_id: str
+    minute: int
+    narration: str               # the original free text
+    kind: str = "UnknownEvent"
+    subject: Optional[str] = None         # player display name
+    object: Optional[str] = None
+    subject_team: Optional[str] = None    # team name
+    object_team: Optional[str] = None
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.kind == "UnknownEvent"

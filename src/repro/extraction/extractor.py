@@ -1,0 +1,113 @@
+"""The information extractor facade (paper §3.3, [30]).
+
+Combines NER and the two-level lexical analyzer, and resolves tags
+back to entity names, producing
+:class:`~repro.extraction.events.ExtractedEvent` records for every
+narration of a crawled match — typed events where a template matched,
+``UnknownEvent`` otherwise (§3.4: unknown narrations are preserved so
+worst-case recall never drops below the traditional index's).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.extraction.events import ExtractedEvent
+from repro.extraction.lexical import LexicalAnalyzer, LexicalMatch
+from repro.extraction.ner import Entity, NamedEntityRecognizer, TaggedText
+from repro.soccer.crawler import CrawledMatch
+
+__all__ = ["InformationExtractor", "extract_corpus_events"]
+
+
+class InformationExtractor:
+    """Extracts events from one crawled match's narrations.
+
+    ``language`` selects the template set (``"en"`` for UEFA-style
+    text, ``"tr"`` for SporX-style Turkish); a custom ``analyzer``
+    overrides it entirely — the paper's point that porting the IE
+    module to a new language means only swapping templates (§3.3).
+    """
+
+    def __init__(self, crawled: CrawledMatch,
+                 analyzer: Optional[LexicalAnalyzer] = None,
+                 language: str = "en") -> None:
+        self.crawled = crawled
+        self.ner = NamedEntityRecognizer(crawled)
+        if analyzer is not None:
+            self.analyzer = analyzer
+        elif language == "en":
+            self.analyzer = LexicalAnalyzer()
+        elif language == "tr":
+            from repro.extraction.templates_tr import (TURKISH_TEMPLATES,
+                                                       TURKISH_TRIGGERS)
+            self.analyzer = LexicalAnalyzer(TURKISH_TEMPLATES,
+                                            TURKISH_TRIGGERS)
+        else:
+            raise ValueError(f"unsupported extraction language "
+                             f"{language!r} (expected 'en' or 'tr')")
+
+    def extract_all(self) -> List[ExtractedEvent]:
+        """One :class:`ExtractedEvent` per narration, in order."""
+        events = []
+        for index, narration in enumerate(self.crawled.narrations):
+            events.append(self.extract(index, narration.minute,
+                                       narration.text))
+        return events
+
+    def extract(self, index: int, minute: int,
+                text: str) -> ExtractedEvent:
+        """Extract from one narration line."""
+        narration_id = f"{self.crawled.match_id}_n{index:04d}"
+        event = ExtractedEvent(
+            narration_id=narration_id,
+            match_id=self.crawled.match_id,
+            minute=minute,
+            narration=text,
+        )
+        tagged = self.ner.tag(text)
+        match = self.analyzer.analyze(tagged)
+        if match is None:
+            return event
+        self._fill_roles(event, tagged, match)
+        return event
+
+    # ------------------------------------------------------------------
+
+    def _fill_roles(self, event: ExtractedEvent, tagged: TaggedText,
+                    match: LexicalMatch) -> None:
+        event.kind = match.kind
+        subject = self._entity(tagged, match.groups.get("subj"))
+        object_ = self._entity(tagged, match.groups.get("obj"))
+        team = self._entity(tagged, match.groups.get("team"))
+        object_team = self._entity(tagged, match.groups.get("objteam"))
+
+        if subject is not None:
+            event.subject = subject.name
+            event.subject_team = subject.team
+            if subject.position:
+                event.attributes["subject_position"] = subject.position
+        if object_ is not None:
+            event.object = object_.name
+            event.object_team = object_.team
+            if object_.position:
+                event.attributes["object_position"] = object_.position
+        if team is not None:
+            # an explicit "(Team)" marker wins over the line-up lookup
+            event.subject_team = team.team
+        if object_team is not None and event.object_team is None:
+            event.object_team = object_team.team
+
+    def _entity(self, tagged: TaggedText,
+                tag: Optional[str]) -> Optional[Entity]:
+        if not tag:
+            return None
+        return tagged.entity(tag)
+
+
+def extract_corpus_events(crawled_matches) -> List[ExtractedEvent]:
+    """Extract events for a whole corpus (list of crawled matches)."""
+    events: List[ExtractedEvent] = []
+    for crawled in crawled_matches:
+        events.extend(InformationExtractor(crawled).extract_all())
+    return events

@@ -1,0 +1,111 @@
+"""Two-level lexical analysis (paper §3.3.2).
+
+Level 1 — *keyword/phrase recognition*: the tagged narration is scanned
+for the domain lexicon (entity tags plus event trigger words); a
+narration containing no trigger is rejected immediately, which is what
+discards colour commentary cheaply.
+
+Level 2 — *template matching*: narrations that pass level 1 are matched
+against the hand-crafted templates; the first (most specific) match
+wins and its named groups provide the subject/object/team roles.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional, Tuple
+
+from repro.extraction.ner import TaggedText
+from repro.extraction.templates import TEMPLATES, Template
+
+__all__ = ["DOMAIN_TRIGGERS", "LexicalAnalyzer", "LexicalMatch"]
+
+#: Level-1 trigger lexicon: a narration must contain at least one of
+#: these (lowercased substring match) to be considered for extraction.
+DOMAIN_TRIGGERS: Tuple[str, ...] = (
+    "scores", "converts the penalty", "no mistake from the spot",
+    "own net", "own keeper",
+    "misses", "fires wide", "over the bar", "inches wide",
+    "save", "saves", "parries", "gathers",
+    "lets fly", "tries his luck", "low effort",
+    "free-kick", "foul", "brings down", "trips",
+    "handball", "offside",
+    "booked", "yellow card", "red card", "sent off",
+    "corner", "penalty to",
+    "substitution", "makes way for", "replaces",
+    "injured", "pulls up",
+    "tackle", "dispossess", "skips past", "dances through",
+    "clear", "danger away", "intercepts", "cut out",
+    "long ball", "long pass", "crosses", "cross looking",
+    "feeds", "neat pass", "slips the ball",
+    "under way", "half-time", "full-time",
+)
+
+_TAG = re.compile(r"<team[12](?:_player\d{2})?>")
+
+
+class LexicalMatch:
+    """Outcome of level-2 matching: the template plus its groups."""
+
+    __slots__ = ("template", "groups")
+
+    def __init__(self, template: Template, groups: dict) -> None:
+        self.template = template
+        self.groups = groups
+
+    @property
+    def kind(self) -> str:
+        return self.template.kind
+
+
+class LexicalAnalyzer:
+    """Runs both levels over tagged narrations."""
+
+    def __init__(self, templates: Optional[List[Template]] = None,
+                 triggers: Tuple[str, ...] = DOMAIN_TRIGGERS) -> None:
+        self._templates = templates if templates is not None else TEMPLATES
+        self._triggers = triggers
+
+    # ------------------------------------------------------------------
+    # level 1
+    # ------------------------------------------------------------------
+
+    def recognize_keywords(self, tagged: TaggedText) -> List[str]:
+        """The domain keywords and tags present, in order of appearance.
+
+        Returns an empty list when no *trigger* keyword is present —
+        the level-1 rejection that filters colour commentary.
+        """
+        lowered = tagged.text.lower()
+        hits: List[Tuple[int, str]] = []
+        for trigger in self._triggers:
+            start = lowered.find(trigger)
+            if start >= 0:
+                hits.append((start, trigger))
+        if not hits:
+            return []
+        for match in _TAG.finditer(tagged.text):
+            hits.append((match.start(), match.group()))
+        hits.sort()
+        return [token for _, token in hits]
+
+    def passes_level_one(self, tagged: TaggedText) -> bool:
+        return bool(self.recognize_keywords(tagged))
+
+    # ------------------------------------------------------------------
+    # level 2
+    # ------------------------------------------------------------------
+
+    def match_template(self, tagged: TaggedText) -> Optional[LexicalMatch]:
+        """First matching template over the tagged text, or None."""
+        for template in self._templates:
+            match = template.pattern.search(tagged.text)
+            if match is not None:
+                return LexicalMatch(template, match.groupdict())
+        return None
+
+    def analyze(self, tagged: TaggedText) -> Optional[LexicalMatch]:
+        """Run level 1 then level 2."""
+        if not self.passes_level_one(tagged):
+            return None
+        return self.match_template(tagged)

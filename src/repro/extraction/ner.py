@@ -1,0 +1,103 @@
+"""Named entity recognition (paper §3.3.1).
+
+Uses the crawled basic information (team names and line-ups) to rewrite
+entity mentions in narrations into positional tags::
+
+    "Iniesta scores!"  →  "<team2_player08> scores!"
+
+exactly as the paper describes ("the team and player names are
+replaced by tags of the form <team1>, <team2>, <team1 player5>").
+The tag index is the player's position in the crawled line-up sheet
+(1-based), so downstream stages can resolve tags without any access to
+the simulator's ground truth.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.soccer.crawler import CrawledMatch
+
+__all__ = ["Entity", "TaggedText", "NamedEntityRecognizer"]
+
+_PLAYER_TAG = re.compile(r"<team(?P<team>[12])_player(?P<index>\d{2})>")
+_TEAM_TAG = re.compile(r"<team(?P<team>[12])>")
+
+
+@dataclass(frozen=True)
+class Entity:
+    """What a tag stands for."""
+
+    tag: str
+    kind: str                 # "player" | "team"
+    team: str                 # team name
+    name: Optional[str] = None        # player display name
+    full_name: Optional[str] = None
+    position: Optional[str] = None
+    shirt_number: Optional[int] = None
+
+
+class TaggedText:
+    """A narration with entity mentions replaced by tags."""
+
+    def __init__(self, text: str, entities: Dict[str, Entity]) -> None:
+        self.text = text
+        self.entities = entities
+
+    def entity(self, tag: str) -> Optional[Entity]:
+        return self.entities.get(tag)
+
+    def player_tags(self) -> List[str]:
+        return _PLAYER_TAG.findall(self.text) and [
+            match.group() for match in _PLAYER_TAG.finditer(self.text)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TaggedText {self.text[:60]!r}>"
+
+
+class NamedEntityRecognizer:
+    """Tagger built from one crawled match's basic information."""
+
+    def __init__(self, crawled: CrawledMatch) -> None:
+        self._entities: Dict[str, Entity] = {}
+        replacements: List[Tuple[str, str]] = []
+
+        for team_index, team_name in ((1, crawled.home_team),
+                                      (2, crawled.away_team)):
+            team_tag = f"<team{team_index}>"
+            self._entities[team_tag] = Entity(
+                tag=team_tag, kind="team", team=team_name)
+            replacements.append((team_name, team_tag))
+            for lineup_index, entry in enumerate(
+                    crawled.lineup(team_name), start=1):
+                tag = f"<team{team_index}_player{lineup_index:02d}>"
+                self._entities[tag] = Entity(
+                    tag=tag, kind="player", team=team_name,
+                    name=entry.name, full_name=entry.full_name,
+                    position=entry.position,
+                    shirt_number=entry.shirt_number)
+                replacements.append((entry.name, tag))
+                if entry.full_name != entry.name:
+                    replacements.append((entry.full_name, tag))
+
+        # longest mention first so "van der Sar" wins over "Sar" and
+        # full names win over display names they contain.
+        replacements.sort(key=lambda pair: len(pair[0]), reverse=True)
+        alternation = "|".join(re.escape(mention)
+                               for mention, _ in replacements)
+        # mentions end cleanly (no letter continues them); apostrophes
+        # are allowed inside names (Eto'o) by exact-mention matching.
+        self._pattern = re.compile(
+            rf"(?<![A-Za-z])(?:{alternation})(?![a-z])")
+        self._tag_for = {mention: tag for mention, tag in replacements}
+
+    def tag(self, text: str) -> TaggedText:
+        """Replace every recognized mention with its tag."""
+        tagged = self._pattern.sub(
+            lambda match: self._tag_for[match.group()], text)
+        return TaggedText(tagged, self._entities)
+
+    def entity(self, tag: str) -> Optional[Entity]:
+        return self._entities.get(tag)

@@ -1,0 +1,195 @@
+"""Hand-crafted extraction templates (paper §3.3.2, [30]).
+
+Each template is a pattern over NER-tagged narration text that maps a
+surface form to an event kind with subject/object roles.  Like the
+original system's templates — crafted for the fixed phrasebook of the
+UEFA web-site — these are crafted for the narration generator's
+phrasebook, and achieve the same ≈100% extraction rate on event
+narrations (the paper reports 100% on UEFA text, §3.3.2).
+
+Patterns use two placeholders that expand to tag regexes:
+
+* ``{P}`` — a player tag ``<teamN_playerNN>``
+* ``{T}`` — a team tag ``<teamN>``
+
+Role semantics per template are given by named groups: ``subj``,
+``obj``, ``team``, ``objteam``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Pattern
+
+from repro.soccer.domain import EventKind
+
+__all__ = ["Template", "TEMPLATES", "compile_templates"]
+
+_P = r"<team[12]_player\d{2}>"
+_T = r"<team[12]>"
+
+
+@dataclass(frozen=True)
+class Template:
+    """One extraction template."""
+
+    kind: str
+    pattern: Pattern[str]
+    #: when True the matched subject/object come from the same team
+    #: tag as the ``team`` group; used only for documentation.
+    description: str = ""
+
+
+def _template(kind: str, raw: str, description: str = "") -> Template:
+    expanded = raw.replace("{P}", _P).replace("{T}", _T)
+    expanded = (expanded
+                .replace("{subj}", f"(?P<subj>{_P})")
+                .replace("{obj}", f"(?P<obj>{_P})")
+                .replace("{team}", f"(?P<team>{_T})")
+                .replace("{objteam}", f"(?P<objteam>{_T})"))
+    return Template(kind=kind, pattern=re.compile(expanded),
+                    description=description)
+
+
+def compile_templates() -> List[Template]:
+    """The full ordered template list (most specific first)."""
+    return [
+        # ---- cards before fouls: "Yellow card for X after persistent
+        # fouling" must not be read as a foul ----
+        _template(EventKind.YELLOW_CARD,
+                  r"{subj} \({team}\) is booked for",
+                  "booked for a late challenge"),
+        _template(EventKind.YELLOW_CARD,
+                  r"{subj} \({team}\) is shown the yellow card"),
+        _template(EventKind.YELLOW_CARD,
+                  r"Yellow card for {subj} after"),
+        _template(EventKind.RED_CARD,
+                  r"{subj} \({team}\) is sent off"),
+        _template(EventKind.RED_CARD,
+                  r"{subj} \({team}\) is shown a straight red card"),
+
+        # ---- goals ----
+        _template(EventKind.GOAL, r"{subj} \({team}\) scores!"),
+        _template(EventKind.PENALTY_GOAL,
+                  r"{subj} \({team}\) converts the penalty"),
+        _template(EventKind.PENALTY_GOAL,
+                  r"{subj} \({team}\) makes no mistake from the spot"),
+        _template(EventKind.OWN_GOAL,
+                  r"Disaster for {objteam} as {subj} turns the ball "
+                  r"into his own net"),
+        _template(EventKind.OWN_GOAL,
+                  r"{subj} \({team}\) inadvertently diverts the cross "
+                  r"past his own keeper"),
+
+        # ---- misses / shots / saves ----
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) misses a goal"),
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) fires wide"),
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) sends the header over the bar"),
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) drags the effort inches wide"),
+        _template(EventKind.SAVE,
+                  r"Great save by {subj} \({team}\) to deny {obj}"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) saves well from {obj}'s low drive"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) parries {obj}'s fierce strike"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) gathers {obj}'s tame effort"),
+        _template(EventKind.SHOOT,
+                  r"{subj} \({team}\) lets fly from 25 metres"),
+        _template(EventKind.SHOOT,
+                  r"{subj} \({team}\) tries his luck from distance"),
+        _template(EventKind.SHOOT,
+                  r"{subj} \({team}\) drives a low effort towards"),
+
+        # ---- fouls ----
+        _template(EventKind.FOUL,
+                  r"{subj} gives away a free-kick following a "
+                  r"challenge on {obj}",
+                  "the paper's Fig. 3 example surface form"),
+        _template(EventKind.FOUL,
+                  r"{subj} \({team}\) commits a foul after "
+                  r"challenging {obj}",
+                  "the paper's §3.4 example"),
+        _template(EventKind.FOUL, r"{subj} brings down {obj}"),
+        _template(EventKind.FOUL,
+                  r"Free-kick to {objteam} after {subj} trips {obj}"),
+        _template(EventKind.HANDBALL,
+                  r"{subj} \({team}\) is penalised for handball"),
+
+        # ---- offsides ----
+        _template(EventKind.OFFSIDE,
+                  r"{subj} \({team}\) is flagged for offside"),
+        _template(EventKind.OFFSIDE,
+                  r"{subj} \({team}\) strays offside"),
+
+        # ---- set pieces ----
+        _template(EventKind.CORNER,
+                  r"{subj} \({team}\) delivers the corner"),
+        _template(EventKind.CORNER,
+                  r"{subj} \({team}\) swings in a corner"),
+        _template(EventKind.FREE_KICK,
+                  r"{subj} \({team}\) whips the free-kick"),
+        _template(EventKind.FREE_KICK,
+                  r"{subj} \({team}\) stands over the free-kick"),
+        _template(EventKind.PENALTY,
+                  r"Penalty to {team}! {subj} steps up"),
+
+        # ---- substitutions / injuries ----
+        _template(EventKind.SUBSTITUTION,
+                  r"{team} substitution: {subj} replaces {obj}"),
+        _template(EventKind.SUBSTITUTION,
+                  r"{obj} makes way for {subj} in a tactical switch "
+                  r"by {team}"),
+        _template(EventKind.INJURY,
+                  r"{obj} \({team}\) is down injured"),
+        _template(EventKind.INJURY,
+                  r"Worrying moment as {obj} pulls up holding"),
+
+        # ---- duels ----
+        _template(EventKind.TACKLE,
+                  r"{subj} \({team}\) wins the ball with a strong "
+                  r"tackle on {obj}"),
+        _template(EventKind.TACKLE,
+                  r"Superb sliding tackle by {subj} to dispossess {obj}"),
+        _template(EventKind.DRIBBLE,
+                  r"{subj} \({team}\) skips past {obj}"),
+        _template(EventKind.DRIBBLE,
+                  r"{subj} dances through, leaving {obj} behind"),
+        _template(EventKind.CLEARANCE,
+                  r"{subj} \({team}\) hacks the ball clear"),
+        _template(EventKind.CLEARANCE, r"{subj} heads the danger away"),
+        _template(EventKind.INTERCEPTION,
+                  r"{subj} \({team}\) reads the pass and intercepts"),
+        _template(EventKind.INTERCEPTION,
+                  r"{subj} steps in to cut out the through ball"),
+
+        # ---- passes ----
+        _template(EventKind.LONG_PASS,
+                  r"{subj} plays a long ball towards {obj}"),
+        _template(EventKind.LONG_PASS,
+                  r"{subj} sprays a raking long pass out to {obj}"),
+        _template(EventKind.CROSS, r"{subj} crosses for {obj}"),
+        _template(EventKind.CROSS,
+                  r"{subj} whips in a cross looking for {obj}"),
+        _template(EventKind.PASS,
+                  r"{subj} feeds {obj}",
+                  "the paper's Fig. 3 'Iniesta feeds Eto'o' form"),
+        _template(EventKind.PASS, r"{subj} finds {obj} with a neat pass"),
+        _template(EventKind.PASS,
+                  r"{subj} slips the ball through to {obj}"),
+
+        # ---- match phases ----
+        _template(EventKind.KICK_OFF, r"^We are under way at"),
+        _template(EventKind.HALF_TIME,
+                  r"^The referee blows for half-time"),
+        _template(EventKind.FULL_TIME, r"^Full-time at"),
+    ]
+
+
+#: module-level compiled template list (immutable; share freely)
+TEMPLATES: List[Template] = compile_templates()

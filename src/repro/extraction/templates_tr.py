@@ -1,0 +1,150 @@
+"""Turkish extraction templates — the SporX side of the IE module.
+
+Mirrors :mod:`repro.extraction.templates` for the Turkish phrasebook
+of :mod:`repro.soccer.turkish`, demonstrating the paper's claim that
+the template approach ports across languages "without using any
+linguistic tool" (§3.3) — only the templates change; NER, the
+two-level analyzer and everything downstream are untouched.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.extraction.templates import Template, _P, _T
+from repro.soccer.domain import EventKind
+
+__all__ = ["TURKISH_TEMPLATES", "TURKISH_TRIGGERS",
+           "compile_turkish_templates"]
+
+
+def _template(kind: str, raw: str) -> Template:
+    expanded = (raw
+                .replace("{subj}", f"(?P<subj>{_P})")
+                .replace("{obj}", f"(?P<obj>{_P})")
+                .replace("{team}", f"(?P<team>{_T})")
+                .replace("{objteam}", f"(?P<objteam>{_T})"))
+    return Template(kind=kind, pattern=re.compile(expanded))
+
+
+def compile_turkish_templates() -> List[Template]:
+    """The ordered Turkish template list (most specific first)."""
+    return [
+        # cards before fouls, as in the English set
+        _template(EventKind.YELLOW_CARD,
+                  r"{subj} \({team}\) sarı kart gördü"),
+        _template(EventKind.YELLOW_CARD,
+                  r"{subj} \({team}\) sert müdahale sonrası kartla "
+                  r"cezalandırıldı"),
+        _template(EventKind.RED_CARD,
+                  r"{subj} \({team}\) kırmızı kartla oyun dışı"),
+        _template(EventKind.RED_CARD,
+                  r"{subj} \({team}\) direkt kırmızı kart gördü"),
+
+        _template(EventKind.GOAL, r"{subj} \({team}\) golü attı!"),
+        _template(EventKind.PENALTY_GOAL,
+                  r"{subj} \({team}\) penaltıyı gole çevirdi"),
+        _template(EventKind.PENALTY_GOAL,
+                  r"{subj} \({team}\) penaltı noktasından şaşırmadı"),
+        _template(EventKind.OWN_GOAL,
+                  r"{subj} \({team}\) topu kendi ağlarına gönderdi"),
+        _template(EventKind.OWN_GOAL,
+                  r"Talihsiz an: {subj} kendi kalesine attı"),
+
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) mutlak fırsatı kaçırdı"),
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) topu auta gönderdi"),
+        _template(EventKind.MISSED_GOAL,
+                  r"{subj} \({team}\) kafa vuruşunda üstten auta"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) müthiş bir kurtarışla {obj} "
+                  r"şutunu çıkardı"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) {obj} vuruşunda gole izin "
+                  r"vermedi"),
+        _template(EventKind.SAVE,
+                  r"{subj} \({team}\) topu kontrol etti, {obj} üzgün"),
+        _template(EventKind.SHOOT,
+                  r"{subj} \({team}\) uzaklardan şut çekti"),
+        _template(EventKind.SHOOT,
+                  r"{subj} \({team}\) şansını denedi uzak mesafeden"),
+
+        _template(EventKind.FOUL,
+                  r"{subj} rakibi {obj} üzerinde faul yaptı"),
+        _template(EventKind.FOUL,
+                  r"{subj} \({team}\) sert müdahalesiyle {obj} "
+                  r"oyuncusunu durdurdu"),
+        _template(EventKind.FOUL,
+                  r"Serbest vuruş: {subj} rakibi {obj} oyuncusunu "
+                  r"düşürdü"),
+        _template(EventKind.HANDBALL,
+                  r"{subj} \({team}\) elle oynadı"),
+
+        _template(EventKind.OFFSIDE,
+                  r"{subj} \({team}\) ofsayta yakalandı"),
+        _template(EventKind.OFFSIDE,
+                  r"Bayrak kalktı: {subj} ofsayt pozisyonunda"),
+
+        _template(EventKind.CORNER,
+                  r"{subj} \({team}\) kornere geldi"),
+        _template(EventKind.CORNER,
+                  r"{subj} \({team}\) korner vuruşunu kullandı"),
+        _template(EventKind.FREE_KICK,
+                  r"{subj} \({team}\) serbest vuruşu kullandı"),
+        _template(EventKind.FREE_KICK,
+                  r"{subj} \({team}\) frikiği ceza sahasına"),
+        _template(EventKind.PENALTY,
+                  r"Penaltı {team} lehine! Topun başında {subj} var"),
+
+        _template(EventKind.SUBSTITUTION,
+                  r"{team} oyuncu değişikliği: {subj} oyuna girdi, "
+                  r"{obj} çıktı"),
+        _template(EventKind.SUBSTITUTION,
+                  r"{obj} yerini {subj} oyuncusuna bıraktı"),
+        _template(EventKind.INJURY,
+                  r"{obj} \({team}\) sakatlandı"),
+        _template(EventKind.INJURY,
+                  r"Endişeli anlar: {obj} yerde kaldı"),
+
+        _template(EventKind.TACKLE,
+                  r"{subj} \({team}\) mükemmel bir müdahaleyle {obj} "
+                  r"elinden topu aldı"),
+        _template(EventKind.DRIBBLE,
+                  r"{subj} \({team}\) çalımlarıyla {obj} oyuncusunu "
+                  r"geçti"),
+        _template(EventKind.CLEARANCE,
+                  r"{subj} \({team}\) tehlikeyi uzaklaştırdı"),
+        _template(EventKind.INTERCEPTION,
+                  r"{subj} \({team}\) pası okudu ve araya girdi"),
+
+        _template(EventKind.PASS,
+                  r"{subj} güzel bir pasla {obj} oyuncusunu buldu"),
+        _template(EventKind.PASS,
+                  r"{subj} topu {obj} oyuncusuna aktardı"),
+        _template(EventKind.LONG_PASS,
+                  r"{subj} uzun topla {obj} oyuncusunu aradı"),
+        _template(EventKind.CROSS, r"{subj} ortasını {obj} için yaptı"),
+
+        _template(EventKind.KICK_OFF, r"stadında karşılaşma başladı"),
+        _template(EventKind.HALF_TIME,
+                  r"^Hakem ilk yarıyı bitiren düdüğü çaldı"),
+        _template(EventKind.FULL_TIME, r"stadında maç sona erdi"),
+    ]
+
+
+#: level-1 triggers for Turkish narrations.
+TURKISH_TRIGGERS: Tuple[str, ...] = (
+    "golü attı", "penaltı", "kendi ağlarına", "kendi kalesine",
+    "fırsatı kaçırdı", "auta", "kurtarış", "gole izin vermedi",
+    "topu kontrol etti", "şut çekti", "şansını denedi",
+    "faul", "müdahale", "düşürdü", "elle oynadı",
+    "ofsayt", "sarı kart", "kırmızı kart", "kartla",
+    "korner", "serbest vuruş", "frikiğ",
+    "oyuncu değişikliği", "yerini", "sakatlandı", "yerde kaldı",
+    "çalım", "tehlikeyi", "pası okudu", "pasla", "topu", "uzun topla",
+    "ortasını", "karşılaşma başladı", "düdüğü çaldı", "maç sona erdi",
+)
+
+TURKISH_TEMPLATES: List[Template] = compile_turkish_templates()

@@ -1,0 +1,193 @@
+"""Word sense disambiguation for lexical ambiguities (paper §6, §8).
+
+The paper distinguishes lexical from structural ambiguity and defers
+the lexical kind to future work: "The performance will be further
+improved by implementing a word disambiguation module for lexical
+ambiguities" (§8).  This module implements that extension with a
+simplified Lesk algorithm over a hand-built domain sense inventory —
+the same hand-crafted-resources philosophy as the IE templates.
+
+Each ambiguous surface word carries several :class:`Sense` entries; a
+sense is chosen by overlapping the word's *context* (the other words
+of the narration or query) with the sense's signature vocabulary.
+Senses may point at an ontology class, letting the retrieval layer
+route a disambiguated query term to the boosted ``event`` field only
+when the *domain* sense wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.rdf.namespace import SOCCER
+from repro.rdf.term import URIRef
+from repro.search.analysis import StandardAnalyzer
+
+__all__ = ["Sense", "SenseInventory", "LeskDisambiguator",
+           "default_inventory"]
+
+
+@dataclass(frozen=True)
+class Sense:
+    """One sense of an ambiguous word."""
+
+    sense_id: str
+    gloss: str
+    #: signature vocabulary (will be analyzer-normalized on load)
+    signature: Tuple[str, ...]
+    #: ontology class this sense denotes, when it is a domain sense
+    ontology_class: Optional[URIRef] = None
+
+    @property
+    def is_domain_sense(self) -> bool:
+        return self.ontology_class is not None
+
+
+class SenseInventory:
+    """Word → senses, with analyzer-normalized signatures."""
+
+    def __init__(self, senses: Dict[str, Sequence[Sense]],
+                 analyzer: Optional[StandardAnalyzer] = None) -> None:
+        self._analyzer = analyzer or StandardAnalyzer()
+        self._senses: Dict[str, List[Sense]] = {}
+        self._signatures: Dict[str, List[set]] = {}
+        for word, word_senses in senses.items():
+            key = self._normalize_word(word)
+            self._senses[key] = list(word_senses)
+            self._signatures[key] = [
+                set(self._normalize_terms(sense.signature)
+                    ) | set(self._normalize_terms(sense.gloss.split()))
+                for sense in word_senses
+            ]
+
+    def _normalize_word(self, word: str) -> str:
+        terms = self._analyzer.terms(word)
+        return terms[0] if terms else word.lower()
+
+    def _normalize_terms(self, words: Iterable[str]) -> List[str]:
+        normalized: List[str] = []
+        for word in words:
+            normalized.extend(self._analyzer.terms(word))
+        return normalized
+
+    def senses(self, word: str) -> List[Sense]:
+        return self._senses.get(self._normalize_word(word), [])
+
+    def signature_sets(self, word: str) -> List[set]:
+        return self._signatures.get(self._normalize_word(word), [])
+
+    def is_ambiguous(self, word: str) -> bool:
+        return len(self.senses(word)) > 1
+
+    def words(self) -> List[str]:
+        return sorted(self._senses)
+
+    def normalize_context(self, text: str) -> set:
+        return set(self._analyzer.terms(text))
+
+
+class LeskDisambiguator:
+    """Simplified Lesk: pick the sense whose signature overlaps the
+    context most; ties and zero overlap fall back to the first
+    (most-frequent domain) sense."""
+
+    def __init__(self, inventory: Optional[SenseInventory] = None) -> None:
+        self.inventory = inventory or default_inventory()
+
+    def disambiguate(self, word: str, context: str) -> Optional[Sense]:
+        """Best sense of ``word`` in ``context`` (None if unknown)."""
+        senses = self.inventory.senses(word)
+        if not senses:
+            return None
+        if len(senses) == 1:
+            return senses[0]
+        context_terms = self.inventory.normalize_context(context)
+        context_terms.discard(
+            next(iter(self.inventory.normalize_context(word)), ""))
+        signatures = self.inventory.signature_sets(word)
+        scores = [len(signature & context_terms)
+                  for signature in signatures]
+        best = max(scores)
+        if best == 0:
+            return senses[0]
+        return senses[scores.index(best)]
+
+    def domain_class(self, word: str, context: str) -> Optional[URIRef]:
+        """Ontology class of the chosen sense, if it is a domain one."""
+        sense = self.disambiguate(word, context)
+        if sense is not None and sense.is_domain_sense:
+            return sense.ontology_class
+        return None
+
+    def annotate_query(self, query_text: str
+                       ) -> List[Tuple[str, Optional[Sense]]]:
+        """Per-word disambiguation over a whole keyword query."""
+        words = query_text.split()
+        return [(word, self.disambiguate(word, query_text))
+                for word in words]
+
+
+def default_inventory() -> SenseInventory:
+    """The hand-built soccer sense inventory.
+
+    Covers the classic lexical traps of the domain: words whose
+    everyday sense differs from their soccer sense.
+    """
+    return SenseInventory({
+        "cross": [
+            Sense("cross/pass", "a pass delivered from the wing into "
+                  "the penalty area", ("wing", "ball", "delivers",
+                                       "header", "post", "area", "box"),
+                  SOCCER.Cross),
+            Sense("cross/angry", "annoyed or angry",
+                  ("angry", "upset", "annoyed", "referee", "words")),
+        ],
+        "book": [
+            Sense("book/caution", "to caution a player with a yellow "
+                  "card", ("yellow", "card", "referee", "challenge",
+                           "caution", "foul"),
+                  SOCCER.YellowCard),
+            Sense("book/read", "a written work",
+                  ("read", "page", "write", "author")),
+        ],
+        "goal": [
+            Sense("goal/score", "the ball crossing the line for a "
+                  "score", ("scores", "net", "keeper", "lead",
+                            "shot", "minute"),
+                  SOCCER.Goal),
+            Sense("goal/aim", "an objective to achieve",
+                  ("season", "ambition", "target", "objective",
+                   "aim", "club", "top", "qualification")),
+        ],
+        "save": [
+            Sense("save/keeper", "a goalkeeper stopping a shot",
+                  ("keeper", "goalkeeper", "shot", "deny", "parries",
+                   "stop"),
+                  SOCCER.Save),
+            Sense("save/rescue", "to rescue or preserve",
+                  ("rescue", "money", "time", "preserve")),
+        ],
+        "pitch": [
+            Sense("pitch/field", "the playing field",
+                  ("grass", "field", "players", "stadium", "surface")),
+            Sense("pitch/throw", "to throw",
+                  ("throw", "toss")),
+        ],
+        "corner": [
+            Sense("corner/kick", "a corner kick",
+                  ("delivers", "kick", "flag", "swings", "box",
+                   "header"),
+                  SOCCER.Corner),
+            Sense("corner/place", "the meeting point of two edges",
+                  ("street", "room", "edge")),
+        ],
+        "head": [
+            Sense("head/header", "to play the ball with the head",
+                  ("ball", "clear", "wide", "corner", "cross",
+                   "towering"),
+                  SOCCER.Header),
+            Sense("head/leader", "a person in charge",
+                  ("coach", "club", "delegation", "chief")),
+        ],
+    })

@@ -1,0 +1,38 @@
+"""Ontology modeling: classes, properties, restrictions, individuals.
+
+Highlights:
+
+* :class:`~repro.ontology.model.Ontology` — TBox + ABox container with
+  cheap shared-TBox per-match views (:meth:`spawn_abox`).
+* :class:`~repro.ontology.builder.OntologyBuilder` — declarative
+  construction API.
+* :func:`~repro.ontology.soccer.soccer_ontology` — the paper's soccer
+  domain ontology (79 concepts, 95 properties).
+"""
+
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.docgen import generate_markdown
+from repro.ontology.io import abox_to_graph, individuals_from_graph, to_graph
+from repro.ontology.model import (Individual, OntClass, Ontology,
+                                  OntProperty, PropertyKind, Restriction,
+                                  RestrictionKind)
+from repro.ontology.soccer import (CLASS_COUNT, PROPERTY_COUNT,
+                                   soccer_ontology)
+
+__all__ = [
+    "Ontology",
+    "OntClass",
+    "OntProperty",
+    "PropertyKind",
+    "Restriction",
+    "RestrictionKind",
+    "Individual",
+    "OntologyBuilder",
+    "generate_markdown",
+    "soccer_ontology",
+    "CLASS_COUNT",
+    "PROPERTY_COUNT",
+    "to_graph",
+    "abox_to_graph",
+    "individuals_from_graph",
+]

@@ -1,0 +1,169 @@
+"""Fluent construction API for ontologies.
+
+The paper describes an iterative ontology-engineering process (§3.2);
+this builder keeps the resulting definition code declarative and
+readable — see :mod:`repro.ontology.soccer` for the full domain
+ontology built with it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.rdf.namespace import Namespace
+from repro.rdf.term import Node, URIRef
+from repro.ontology.model import (Individual, OntClass, Ontology,
+                                  OntProperty, PropertyKind, Restriction,
+                                  RestrictionKind)
+
+__all__ = ["OntologyBuilder"]
+
+ClassRef = Union[URIRef, OntClass, str]
+PropertyRef = Union[URIRef, OntProperty, str]
+
+
+class OntologyBuilder:
+    """Builds an :class:`~repro.ontology.model.Ontology` incrementally.
+
+    All reference arguments accept a URIRef, a model object or a bare
+    local name (resolved against the builder's namespace).
+    """
+
+    def __init__(self, namespace: Namespace, name: str = "ontology") -> None:
+        self.namespace = namespace
+        self.ontology = Ontology(name)
+
+    # ------------------------------------------------------------------
+    # reference resolution
+    # ------------------------------------------------------------------
+
+    def _class_uri(self, ref: ClassRef) -> URIRef:
+        if isinstance(ref, OntClass):
+            return ref.uri
+        if isinstance(ref, URIRef):
+            return ref
+        return self.namespace.term(ref)
+
+    def _property_uri(self, ref: PropertyRef) -> URIRef:
+        if isinstance(ref, OntProperty):
+            return ref.uri
+        if isinstance(ref, URIRef):
+            return ref
+        return self.namespace.term(ref)
+
+    # ------------------------------------------------------------------
+    # TBox
+    # ------------------------------------------------------------------
+
+    def klass(self, name: str, *parents: ClassRef,
+              label: str = "", comment: str = "") -> OntClass:
+        """Declare a class, optionally under one or more parents."""
+        cls = OntClass(
+            uri=self.namespace.term(name),
+            parents={self._class_uri(p) for p in parents},
+            label=label,
+            comment=comment,
+        )
+        return self.ontology.add_class(cls)
+
+    def object_property(self, name: str, *,
+                        parents: Iterable[PropertyRef] = (),
+                        domain: Optional[ClassRef] = None,
+                        range: Optional[ClassRef] = None,
+                        functional: bool = False,
+                        inverse_of: Optional[PropertyRef] = None,
+                        label: str = "", comment: str = "") -> OntProperty:
+        prop = OntProperty(
+            uri=self.namespace.term(name),
+            kind=PropertyKind.OBJECT,
+            parents={self._property_uri(p) for p in parents},
+            domain=self._class_uri(domain) if domain is not None else None,
+            range=self._class_uri(range) if range is not None else None,
+            functional=functional,
+            inverse_of=(self._property_uri(inverse_of)
+                        if inverse_of is not None else None),
+            label=label,
+            comment=comment,
+        )
+        return self.ontology.add_property(prop)
+
+    def data_property(self, name: str, *,
+                      parents: Iterable[PropertyRef] = (),
+                      domain: Optional[ClassRef] = None,
+                      range: Optional[URIRef] = None,
+                      functional: bool = False,
+                      label: str = "", comment: str = "") -> OntProperty:
+        prop = OntProperty(
+            uri=self.namespace.term(name),
+            kind=PropertyKind.DATA,
+            parents={self._property_uri(p) for p in parents},
+            domain=self._class_uri(domain) if domain is not None else None,
+            range=range,
+            functional=functional,
+            label=label,
+            comment=comment,
+        )
+        return self.ontology.add_property(prop)
+
+    def disjoint(self, first: ClassRef, second: ClassRef) -> None:
+        """Declare two classes mutually disjoint."""
+        first_uri = self._class_uri(first)
+        second_uri = self._class_uri(second)
+        self.ontology.get_class(first_uri).disjoint_with.add(second_uri)
+        self.ontology.get_class(second_uri).disjoint_with.add(first_uri)
+
+    def all_values_from(self, on_class: ClassRef, on_property: PropertyRef,
+                        filler: ClassRef) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.ALL_VALUES_FROM, self._class_uri(filler)))
+
+    def some_values_from(self, on_class: ClassRef, on_property: PropertyRef,
+                         filler: ClassRef) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.SOME_VALUES_FROM, self._class_uri(filler)))
+
+    def has_value(self, on_class: ClassRef, on_property: PropertyRef,
+                  value: Node) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.HAS_VALUE, value))
+
+    def cardinality(self, on_class: ClassRef, on_property: PropertyRef,
+                    exactly: int) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.CARDINALITY, exactly))
+
+    def max_cardinality(self, on_class: ClassRef, on_property: PropertyRef,
+                        at_most: int) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.MAX_CARDINALITY, at_most))
+
+    def min_cardinality(self, on_class: ClassRef, on_property: PropertyRef,
+                        at_least: int) -> Restriction:
+        return self.ontology.add_restriction(Restriction(
+            self._class_uri(on_class), self._property_uri(on_property),
+            RestrictionKind.MIN_CARDINALITY, at_least))
+
+    # ------------------------------------------------------------------
+    # ABox
+    # ------------------------------------------------------------------
+
+    def individual(self, name: str, *types: ClassRef) -> Individual:
+        ind = Individual(
+            uri=self.namespace.term(name),
+            types={self._class_uri(t) for t in types},
+        )
+        return self.ontology.add_individual(ind)
+
+    # ------------------------------------------------------------------
+    # finish
+    # ------------------------------------------------------------------
+
+    def build(self) -> Ontology:
+        """Validate and return the finished ontology."""
+        self.ontology.validate()
+        return self.ontology

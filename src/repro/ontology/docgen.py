@@ -1,0 +1,122 @@
+"""Ontology reference documentation generator.
+
+Produces a Markdown reference of an ontology — class hierarchy with
+comments, property tables with domain/range/characteristics, and the
+restriction list — so the TBox (the system's shared contract, §3.2)
+is reviewable without reading builder code.  The repository's
+``docs/ontology.md`` is generated from here.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ontology.model import Ontology, PropertyKind
+from repro.rdf.term import Literal, URIRef
+
+__all__ = ["generate_markdown"]
+
+
+def _class_anchor(uri: URIRef) -> str:
+    return uri.local_name
+
+
+def _render_hierarchy(ontology: Ontology, uri: URIRef, depth: int,
+                      lines: List[str]) -> None:
+    cls = ontology.get_class(uri)
+    label = f"**{cls.uri.local_name}**"
+    if cls.label != cls.uri.local_name:
+        label += f" (\"{cls.label}\")"
+    suffix = f" — {cls.comment}" if cls.comment else ""
+    lines.append(f"{'  ' * depth}- {label}{suffix}")
+    for child in sorted(ontology.direct_subclasses(uri)):
+        _render_hierarchy(ontology, child, depth + 1, lines)
+
+
+def _render_filler(filler) -> str:
+    if isinstance(filler, URIRef):
+        return filler.local_name
+    if isinstance(filler, Literal):
+        return filler.lexical
+    return str(filler)
+
+
+def generate_markdown(ontology: Ontology,
+                      title: str = "Ontology reference") -> str:
+    """Render the full TBox as a Markdown document."""
+    lines: List[str] = [f"# {title}", ""]
+    lines.append(f"{ontology.class_count} classes, "
+                 f"{ontology.property_count} properties, "
+                 f"{sum(1 for _ in ontology.restrictions())} "
+                 f"restrictions.")
+    lines.append("")
+
+    # ------------------------------------------------------ hierarchy
+    lines.append("## Class hierarchy")
+    lines.append("")
+    for root in sorted(ontology.roots()):
+        _render_hierarchy(ontology, root, 0, lines)
+    lines.append("")
+
+    # --------------------------------------------------- disjointness
+    disjoint_pairs = set()
+    for cls in ontology.classes():
+        for other in cls.disjoint_with:
+            disjoint_pairs.add(tuple(sorted((cls.uri.local_name,
+                                             other.local_name))))
+    if disjoint_pairs:
+        lines.append("## Disjoint classes")
+        lines.append("")
+        for first, second in sorted(disjoint_pairs):
+            lines.append(f"- {first} ⊥ {second}")
+        lines.append("")
+
+    # ----------------------------------------------------- properties
+    for kind, heading in ((PropertyKind.OBJECT, "Object properties"),
+                          (PropertyKind.DATA, "Data properties")):
+        properties = sorted((p for p in ontology.properties()
+                             if p.kind == kind),
+                            key=lambda p: str(p.uri))
+        if not properties:
+            continue
+        lines.append(f"## {heading}")
+        lines.append("")
+        lines.append("| property | parent | domain | range | notes |")
+        lines.append("|---|---|---|---|---|")
+        for prop in properties:
+            parents = ", ".join(sorted(p.local_name
+                                       for p in prop.parents)) or "—"
+            domain = prop.domain.local_name if prop.domain else "—"
+            if prop.range is not None:
+                range_ = (prop.range.local_name
+                          if isinstance(prop.range, URIRef)
+                          else str(prop.range))
+            else:
+                range_ = "—"
+            notes = []
+            if prop.functional:
+                notes.append("functional")
+            if prop.inverse_of is not None:
+                notes.append(f"inverse of {prop.inverse_of.local_name}")
+            if prop.comment:
+                notes.append(prop.comment)
+            lines.append(f"| {prop.uri.local_name} | {parents} "
+                         f"| {domain} | {range_} "
+                         f"| {'; '.join(notes) or '—'} |")
+        lines.append("")
+
+    # ---------------------------------------------------- restrictions
+    restrictions = list(ontology.restrictions())
+    if restrictions:
+        lines.append("## Restrictions")
+        lines.append("")
+        lines.append("| on class | property | kind | filler |")
+        lines.append("|---|---|---|---|")
+        for restriction in restrictions:
+            lines.append(
+                f"| {restriction.on_class.local_name} "
+                f"| {restriction.on_property.local_name} "
+                f"| {restriction.kind} "
+                f"| {_render_filler(restriction.filler)} |")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""RDF round-trip for ontologies.
+
+Serializes a TBox/ABox to an RDF graph using the standard RDFS/OWL
+vocabulary, and reads one back.  This is how per-match OWL "files" are
+materialized: the pipeline mirrors the paper's flow (initial OWLs →
+extracted OWLs → inferred OWLs) by serializing each stage.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import OWL, RDF, RDFS, SOCCER
+from repro.rdf.term import Literal, Node, URIRef, bnode
+from repro.ontology.model import (Individual, Ontology, PropertyKind,
+                                  Restriction, RestrictionKind)
+
+__all__ = ["to_graph", "abox_to_graph", "individuals_from_graph"]
+
+_KIND_TO_URI = {
+    PropertyKind.OBJECT: OWL.ObjectProperty,
+    PropertyKind.DATA: OWL.DatatypeProperty,
+}
+
+_RESTRICTION_PREDICATE = {
+    RestrictionKind.ALL_VALUES_FROM: OWL.allValuesFrom,
+    RestrictionKind.SOME_VALUES_FROM: OWL.someValuesFrom,
+    RestrictionKind.HAS_VALUE: OWL.hasValue,
+    RestrictionKind.MIN_CARDINALITY: OWL.minCardinality,
+    RestrictionKind.MAX_CARDINALITY: OWL.maxCardinality,
+    RestrictionKind.CARDINALITY: OWL.cardinality,
+}
+
+
+def to_graph(ontology: Ontology, include_abox: bool = True) -> Graph:
+    """Render TBox (and optionally ABox) as an RDF graph."""
+    graph = Graph(identifier=ontology.name)
+    graph.namespace_manager.bind("pre", SOCCER)
+    graph.namespace_manager.bind("owl", OWL)
+
+    for cls in ontology.classes():
+        graph.add((cls.uri, RDF.type, OWL.Class))
+        if cls.label and cls.label != cls.uri.local_name:
+            graph.add((cls.uri, RDFS.label, Literal(cls.label)))
+        if cls.comment:
+            graph.add((cls.uri, RDFS.comment, Literal(cls.comment)))
+        for parent in sorted(cls.parents):
+            graph.add((cls.uri, RDFS.subClassOf, parent))
+        for other in sorted(cls.disjoint_with):
+            graph.add((cls.uri, OWL.disjointWith, other))
+
+    for prop in ontology.properties():
+        graph.add((prop.uri, RDF.type, _KIND_TO_URI[prop.kind]))
+        if prop.functional:
+            graph.add((prop.uri, RDF.type, OWL.FunctionalProperty))
+        for parent in sorted(prop.parents):
+            graph.add((prop.uri, RDFS.subPropertyOf, parent))
+        if prop.domain is not None:
+            graph.add((prop.uri, RDFS.domain, prop.domain))
+        if prop.range is not None:
+            graph.add((prop.uri, RDFS.range, prop.range))
+        if prop.inverse_of is not None:
+            graph.add((prop.uri, OWL.inverseOf, prop.inverse_of))
+
+    for restriction in ontology.restrictions():
+        node = bnode("r")
+        graph.add((restriction.on_class, RDFS.subClassOf, node))
+        graph.add((node, RDF.type, OWL.Restriction))
+        graph.add((node, OWL.onProperty, restriction.on_property))
+        predicate = _RESTRICTION_PREDICATE[restriction.kind]
+        filler = restriction.filler
+        if isinstance(filler, int) and not isinstance(filler, bool):
+            value: Node = Literal(filler)
+        else:
+            value = filler  # URIRef or Literal
+        graph.add((node, predicate, value))
+
+    if include_abox:
+        _write_abox(ontology, graph)
+    return graph
+
+
+def abox_to_graph(ontology: Ontology) -> Graph:
+    """Render only the individuals (one match model, typically)."""
+    graph = Graph(identifier=f"{ontology.name}-abox")
+    graph.namespace_manager.bind("pre", SOCCER)
+    _write_abox(ontology, graph)
+    return graph
+
+
+def _write_abox(ontology: Ontology, graph: Graph) -> None:
+    for individual in ontology.individuals():
+        for type_uri in sorted(individual.types):
+            graph.add((individual.uri, RDF.type, type_uri))
+        for prop, values in individual.properties.items():
+            for value in values:
+                graph.add((individual.uri, prop, value))
+
+
+def individuals_from_graph(graph: Graph, ontology: Ontology) -> Ontology:
+    """Read individuals from ``graph`` into a fresh ABox view.
+
+    Every subject that has an ``rdf:type`` pointing at a known ontology
+    class becomes an individual; its other statements become property
+    values (unknown predicates are ignored, mirroring how the paper's
+    indexer reads only ontology-backed statements).
+    """
+    abox = ontology.spawn_abox(f"{ontology.name}-loaded")
+
+    def skolemize(node: Node) -> Node:
+        """Blank nodes (e.g. rule-minted assists) become stable IRIs."""
+        if isinstance(node, (URIRef, Literal)):
+            return node
+        return URIRef(str(SOCCER) + "skolem_" + str(node))
+
+    typed: Dict[Node, Individual] = {}
+    for subject, _, obj in graph.triples((None, RDF.type, None)):
+        if isinstance(obj, URIRef) and ontology.has_class(obj):
+            individual = typed.get(subject)
+            if individual is None:
+                individual = Individual(uri=skolemize(subject))  # type: ignore[arg-type]
+                typed[subject] = individual
+            individual.types.add(obj)
+    for subject, predicate, obj in graph:
+        if predicate == RDF.type:
+            continue
+        individual = typed.get(subject)
+        if individual is not None and ontology.has_property(predicate):
+            individual.add(predicate, skolemize(obj))
+    for individual in typed.values():
+        abox.add_individual(individual)
+    return abox

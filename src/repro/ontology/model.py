@@ -1,0 +1,352 @@
+"""OWL-ish ontology model: classes, properties, restrictions, individuals.
+
+The model is deliberately close to the fragment of OWL-DL the paper's
+system exercises (§3.2, §3.5):
+
+* named classes in a multiple-inheritance subclass hierarchy,
+* object/data properties in a sub-property hierarchy with domain and
+  range declarations,
+* value constraints (``allValuesFrom`` / ``someValuesFrom`` /
+  ``hasValue``) and cardinality constraints (min/max/exact) attached to
+  classes,
+* class disjointness,
+* individuals with asserted types and property values.
+
+Reasoning (classification, realization, consistency) lives in
+:mod:`repro.reasoning`; this module is pure structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Union
+
+from repro.errors import OntologyError
+from repro.rdf.term import Node, URIRef
+
+__all__ = [
+    "OntClass",
+    "PropertyKind",
+    "OntProperty",
+    "RestrictionKind",
+    "Restriction",
+    "Individual",
+    "Ontology",
+]
+
+
+@dataclass
+class OntClass:
+    """A named class (concept).
+
+    Attributes:
+        uri: the class IRI.
+        parents: IRIs of *direct* superclasses.
+        label: human-readable name; defaults to the IRI local name.
+        disjoint_with: IRIs of classes declared disjoint with this one.
+        comment: documentation string.
+    """
+
+    uri: URIRef
+    parents: Set[URIRef] = field(default_factory=set)
+    label: str = ""
+    disjoint_with: Set[URIRef] = field(default_factory=set)
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.label:
+            self.label = self.uri.local_name
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+
+class PropertyKind:
+    """Property kind constants."""
+
+    OBJECT = "object"
+    DATA = "data"
+
+
+@dataclass
+class OntProperty:
+    """An object or datatype property.
+
+    Attributes:
+        uri: the property IRI.
+        kind: :data:`PropertyKind.OBJECT` or :data:`PropertyKind.DATA`.
+        parents: IRIs of direct super-properties.
+        domain: class IRI the subject must belong to (optional).
+        range: class IRI (object properties) or datatype IRI (data
+            properties) the value must belong to (optional).
+        functional: at most one value per subject.
+        inverse_of: IRI of the declared inverse property, if any.
+    """
+
+    uri: URIRef
+    kind: str = PropertyKind.OBJECT
+    parents: Set[URIRef] = field(default_factory=set)
+    domain: Optional[URIRef] = None
+    range: Optional[URIRef] = None
+    functional: bool = False
+    inverse_of: Optional[URIRef] = None
+    label: str = ""
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in (PropertyKind.OBJECT, PropertyKind.DATA):
+            raise OntologyError(f"unknown property kind {self.kind!r}")
+        if not self.label:
+            self.label = self.uri.local_name
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+
+class RestrictionKind:
+    """OWL restriction kinds supported by the reasoner."""
+
+    ALL_VALUES_FROM = "allValuesFrom"
+    SOME_VALUES_FROM = "someValuesFrom"
+    HAS_VALUE = "hasValue"
+    MIN_CARDINALITY = "minCardinality"
+    MAX_CARDINALITY = "maxCardinality"
+    CARDINALITY = "cardinality"
+
+    ALL = (ALL_VALUES_FROM, SOME_VALUES_FROM, HAS_VALUE,
+           MIN_CARDINALITY, MAX_CARDINALITY, CARDINALITY)
+
+
+@dataclass(frozen=True)
+class Restriction:
+    """A property restriction attached to a class.
+
+    ``filler`` is a class IRI for value restrictions, a concrete node
+    for ``hasValue`` and an integer for cardinality restrictions.
+    """
+
+    on_class: URIRef
+    on_property: URIRef
+    kind: str
+    filler: Union[URIRef, Node, int]
+
+    def __post_init__(self) -> None:
+        if self.kind not in RestrictionKind.ALL:
+            raise OntologyError(f"unknown restriction kind {self.kind!r}")
+        cardinal = self.kind in (RestrictionKind.MIN_CARDINALITY,
+                                 RestrictionKind.MAX_CARDINALITY,
+                                 RestrictionKind.CARDINALITY)
+        if cardinal and not isinstance(self.filler, int):
+            raise OntologyError("cardinality restriction needs an integer")
+        if cardinal and isinstance(self.filler, int) and self.filler < 0:
+            raise OntologyError("cardinality must be non-negative")
+
+
+@dataclass
+class Individual:
+    """An ABox individual: asserted types plus property values."""
+
+    uri: URIRef
+    types: Set[URIRef] = field(default_factory=set)
+    properties: Dict[URIRef, List[Node]] = field(default_factory=dict)
+
+    def add(self, prop: URIRef, value: Node) -> None:
+        values = self.properties.setdefault(prop, [])
+        if value not in values:
+            values.append(value)
+
+    def get(self, prop: URIRef) -> List[Node]:
+        return self.properties.get(prop, [])
+
+    def first(self, prop: URIRef) -> Optional[Node]:
+        values = self.properties.get(prop)
+        return values[0] if values else None
+
+    def __hash__(self) -> int:
+        return hash(self.uri)
+
+
+class Ontology:
+    """Container for a TBox (classes, properties, restrictions) and an
+    optional ABox (individuals).
+
+    The paper keeps one shared TBox (the soccer ontology) and many
+    small, independent ABoxes (one per match); this class supports both
+    roles — :meth:`spawn_abox` creates an individual-free view sharing
+    the TBox.
+    """
+
+    def __init__(self, name: str = "ontology") -> None:
+        self.name = name
+        self._classes: Dict[URIRef, OntClass] = {}
+        self._properties: Dict[URIRef, OntProperty] = {}
+        self._restrictions: List[Restriction] = []
+        self._individuals: Dict[URIRef, Individual] = {}
+
+    # ------------------------------------------------------------------
+    # TBox construction
+    # ------------------------------------------------------------------
+
+    def add_class(self, cls: OntClass) -> OntClass:
+        if cls.uri in self._classes:
+            raise OntologyError(f"duplicate class {cls.uri}")
+        self._classes[cls.uri] = cls
+        return cls
+
+    def add_property(self, prop: OntProperty) -> OntProperty:
+        if prop.uri in self._properties:
+            raise OntologyError(f"duplicate property {prop.uri}")
+        self._properties[prop.uri] = prop
+        return prop
+
+    def add_restriction(self, restriction: Restriction) -> Restriction:
+        if restriction.on_class not in self._classes:
+            raise OntologyError(
+                f"restriction on unknown class {restriction.on_class}")
+        if restriction.on_property not in self._properties:
+            raise OntologyError(
+                f"restriction on unknown property {restriction.on_property}")
+        self._restrictions.append(restriction)
+        return restriction
+
+    def validate(self) -> None:
+        """Check TBox referential integrity (parents, domains, ranges).
+
+        Raises :class:`OntologyError` on the first dangling reference.
+        """
+        for cls in self._classes.values():
+            for parent in cls.parents:
+                if parent not in self._classes:
+                    raise OntologyError(
+                        f"class {cls.uri} has unknown parent {parent}")
+            for other in cls.disjoint_with:
+                if other not in self._classes:
+                    raise OntologyError(
+                        f"class {cls.uri} disjoint with unknown {other}")
+        for prop in self._properties.values():
+            for parent in prop.parents:
+                if parent not in self._properties:
+                    raise OntologyError(
+                        f"property {prop.uri} has unknown parent {parent}")
+                if self._properties[parent].kind != prop.kind:
+                    raise OntologyError(
+                        f"property {prop.uri} and parent {parent} "
+                        f"differ in kind")
+            if prop.domain is not None and prop.domain not in self._classes:
+                raise OntologyError(
+                    f"property {prop.uri} has unknown domain {prop.domain}")
+            if (prop.kind == PropertyKind.OBJECT and prop.range is not None
+                    and prop.range not in self._classes):
+                raise OntologyError(
+                    f"property {prop.uri} has unknown range {prop.range}")
+            if prop.inverse_of is not None \
+                    and prop.inverse_of not in self._properties:
+                raise OntologyError(
+                    f"property {prop.uri} has unknown inverse "
+                    f"{prop.inverse_of}")
+
+    # ------------------------------------------------------------------
+    # TBox access
+    # ------------------------------------------------------------------
+
+    def classes(self) -> Iterator[OntClass]:
+        return iter(self._classes.values())
+
+    def properties(self) -> Iterator[OntProperty]:
+        return iter(self._properties.values())
+
+    def restrictions(self, on_class: URIRef | None = None
+                     ) -> Iterator[Restriction]:
+        for restriction in self._restrictions:
+            if on_class is None or restriction.on_class == on_class:
+                yield restriction
+
+    def get_class(self, uri: URIRef) -> OntClass:
+        try:
+            return self._classes[uri]
+        except KeyError:
+            raise OntologyError(f"unknown class {uri}") from None
+
+    def get_property(self, uri: URIRef) -> OntProperty:
+        try:
+            return self._properties[uri]
+        except KeyError:
+            raise OntologyError(f"unknown property {uri}") from None
+
+    def has_class(self, uri: URIRef) -> bool:
+        return uri in self._classes
+
+    def has_property(self, uri: URIRef) -> bool:
+        return uri in self._properties
+
+    @property
+    def class_count(self) -> int:
+        return len(self._classes)
+
+    @property
+    def property_count(self) -> int:
+        return len(self._properties)
+
+    def direct_subclasses(self, uri: URIRef) -> List[URIRef]:
+        return [cls.uri for cls in self._classes.values()
+                if uri in cls.parents]
+
+    def direct_subproperties(self, uri: URIRef) -> List[URIRef]:
+        return [prop.uri for prop in self._properties.values()
+                if uri in prop.parents]
+
+    def roots(self) -> List[URIRef]:
+        """Classes with no parents (hierarchy roots)."""
+        return [cls.uri for cls in self._classes.values() if not cls.parents]
+
+    # ------------------------------------------------------------------
+    # ABox
+    # ------------------------------------------------------------------
+
+    def add_individual(self, individual: Individual) -> Individual:
+        existing = self._individuals.get(individual.uri)
+        if existing is not None:
+            existing.types |= individual.types
+            for prop, values in individual.properties.items():
+                for value in values:
+                    existing.add(prop, value)
+            return existing
+        self._individuals[individual.uri] = individual
+        return individual
+
+    def individual(self, uri: URIRef) -> Individual:
+        try:
+            return self._individuals[uri]
+        except KeyError:
+            raise OntologyError(f"unknown individual {uri}") from None
+
+    def has_individual(self, uri: URIRef) -> bool:
+        return uri in self._individuals
+
+    def individuals(self, of_type: URIRef | None = None
+                    ) -> Iterator[Individual]:
+        for individual in self._individuals.values():
+            if of_type is None or of_type in individual.types:
+                yield individual
+
+    @property
+    def individual_count(self) -> int:
+        return len(self._individuals)
+
+    def spawn_abox(self, name: str) -> "Ontology":
+        """Create a new ontology sharing this TBox with an empty ABox.
+
+        The shared TBox is what makes per-match models cheap: schema
+        objects are referenced, not copied, mirroring the paper's
+        "world as small independent models" design (§1, §3.5).
+        """
+        view = Ontology(name)
+        view._classes = self._classes
+        view._properties = self._properties
+        view._restrictions = self._restrictions
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Ontology {self.name!r}: {self.class_count} classes, "
+                f"{self.property_count} properties, "
+                f"{self.individual_count} individuals>")

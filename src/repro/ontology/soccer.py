@@ -1,0 +1,377 @@
+"""The soccer domain ontology (paper §3.2, Fig. 2).
+
+The paper's iterative ontology engineering produced **79 concepts and
+95 properties**; this module reconstructs a hierarchy with exactly
+those counts, covering every concept the evaluation queries exercise:
+
+* the event taxonomy (goals, misses, fouls, punishments, passes, saves,
+  set pieces, …) with the positive/negative move split used by Q-7,
+* the player-position taxonomy (goalkeeper / defence / midfield /
+  forward with concrete positions) used by Q-9 and Q-10,
+* the generic ``subjectPlayer`` / ``objectPlayer`` / ``subjectTeam`` /
+  ``objectTeam`` properties with event-specific sub-properties that
+  decouple IE from the ontology (§3.4),
+* the ``actorOf…`` property hierarchy (paper's example: the system
+  recognizes ``actorOfMissedGoal``, ``actorOfOffside`` and
+  ``actorOfRedCard`` as ``actorOfNegativeMove``),
+* the value and cardinality constraints quoted in §3.5 (only
+  goalkeepers in the goalkeeping position; one goalkeeper per side).
+
+Use :func:`soccer_ontology` to obtain the singleton TBox.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.rdf.namespace import SOCCER, XSD
+from repro.ontology.builder import OntologyBuilder
+from repro.ontology.model import Ontology
+
+__all__ = [
+    "SOCCER",
+    "soccer_ontology",
+    "CLASS_COUNT",
+    "PROPERTY_COUNT",
+]
+
+#: Published figures from §3.2.
+CLASS_COUNT = 79
+PROPERTY_COUNT = 95
+
+
+@lru_cache(maxsize=1)
+def soccer_ontology() -> Ontology:
+    """Build (once) and return the shared soccer TBox."""
+    b = OntologyBuilder(SOCCER, name="soccer")
+
+    # ------------------------------------------------------------------
+    # agents: teams, people, roles                                (28)
+    # ------------------------------------------------------------------
+    agent = b.klass("Agent", comment="Anything that can act in a match.")
+    person = b.klass("Person", agent)
+    team = b.klass("Team", agent)
+    b.klass("ClubTeam", team)
+    b.klass("NationalTeam", team)
+
+    player = b.klass("Player", person)
+    goalkeeper = b.klass("Goalkeeper", player)
+    defence = b.klass("DefencePlayer", player)
+    b.klass("LeftBack", defence)
+    b.klass("RightBack", defence)
+    b.klass("CentreBack", defence)
+    b.klass("Sweeper", defence)
+    midfield = b.klass("MidfieldPlayer", player)
+    b.klass("DefensiveMidfielder", midfield)
+    b.klass("CentralMidfielder", midfield)
+    b.klass("AttackingMidfielder", midfield)
+    b.klass("LeftWinger", midfield)
+    b.klass("RightWinger", midfield)
+    forward = b.klass("ForwardPlayer", player)
+    b.klass("CentreForward", forward)
+    b.klass("Striker", forward)
+
+    official = b.klass("Official", person)
+    referee = b.klass("Referee", official)
+    b.klass("AssistantReferee", official)
+    b.klass("FourthOfficial", official)
+    staff = b.klass("StaffMember", person)
+    coach = b.klass("Coach", staff)
+    b.klass("Manager", staff)
+
+    # ------------------------------------------------------------------
+    # competition structure                                        (9)
+    # ------------------------------------------------------------------
+    competition = b.klass("Competition")
+    b.klass("League", competition)
+    b.klass("Cup", competition)
+    season = b.klass("Season")
+    round_ = b.klass("Round")
+    match = b.klass("Match")
+    stadium = b.klass("Stadium")
+    city = b.klass("City")
+    country = b.klass("Country")
+
+    # ------------------------------------------------------------------
+    # events                                                      (42)
+    # ------------------------------------------------------------------
+    event = b.klass("Event", comment="Anything that happens in a match.")
+    positive = b.klass("PositiveEvent", event)
+    negative = b.klass("NegativeEvent", event)
+    ball_event = b.klass("BallEvent", event)
+
+    pass_ = b.klass("Pass", ball_event, positive)
+    b.klass("LongPass", pass_)
+    b.klass("ShortPass", pass_)
+    cross = b.klass("Cross", pass_)
+    shoot = b.klass("Shoot", ball_event)
+    b.klass("Header", ball_event)
+    goal = b.klass("Goal", shoot, positive)
+    own_goal = b.klass("OwnGoal", goal)
+    b.klass("PenaltyGoal", goal)
+    missed_goal = b.klass("MissedGoal", shoot, negative,
+                          label="Miss",
+                          comment="A shot that fails to score.")
+    save = b.klass("Save", ball_event, positive)
+    tackle = b.klass("Tackle", ball_event)
+    dribble = b.klass("Dribble", ball_event, positive)
+    b.klass("Clearance", ball_event)
+    b.klass("Interception", ball_event, positive)
+    assist = b.klass("Assist", ball_event, positive)
+
+    set_piece = b.klass("SetPiece", ball_event)
+    corner = b.klass("Corner", set_piece)
+    free_kick = b.klass("FreeKick", set_piece)
+    penalty = b.klass("Penalty", set_piece)
+    b.klass("ThrowIn", set_piece)
+    b.klass("GoalKick", set_piece)
+
+    violation = b.klass("RuleViolation", negative)
+    foul = b.klass("Foul", violation)
+    b.klass("Handball", violation)
+    offside = b.klass("Offside", violation)
+    punishment = b.klass("Punishment", negative)
+    yellow = b.klass("YellowCard", punishment)
+    red = b.klass("RedCard", punishment)
+    b.klass("SecondYellowCard", yellow)
+
+    substitution = b.klass("Substitution", event)
+    injury = b.klass("Injury", negative)
+
+    phase = b.klass("MatchPhaseEvent", event)
+    b.klass("KickOff", phase)
+    b.klass("HalfTime", phase)
+    b.klass("FullTime", phase)
+    b.klass("ExtraTime", phase)
+
+    b.klass("UnknownEvent", event,
+            comment="A narration the IE module could not classify (§3.4).")
+
+    # disjointness used by the consistency checker
+    b.disjoint(person, team)
+    b.disjoint(player, official)
+    b.disjoint(goalkeeper, defence)
+    b.disjoint(goalkeeper, midfield)
+    b.disjoint(goalkeeper, forward)
+    b.disjoint(event, match)
+    b.disjoint(yellow, red)
+
+    # ------------------------------------------------------------------
+    # generic event-role properties (§3.4)                         (4)
+    # ------------------------------------------------------------------
+    subject_player = b.object_property(
+        "subjectPlayer", domain=event, range=player,
+        comment="The player performing the event (generic role).")
+    object_player = b.object_property(
+        "objectPlayer", domain=event, range=player,
+        comment="The player the event is done to (generic role).")
+    subject_team = b.object_property(
+        "subjectTeam", domain=event, range=team)
+    object_team = b.object_property(
+        "objectTeam", domain=event, range=team)
+
+    # ------------------------------------------------------------------
+    # event core properties                                        (4)
+    # ------------------------------------------------------------------
+    b.object_property("inMatch", domain=event, range=match, functional=True)
+    b.data_property("inMinute", domain=event, range=XSD.integer,
+                    functional=True)
+    b.data_property("hasNarration", domain=event, range=XSD.string)
+    b.data_property("hasEventId", domain=event, range=XSD.string,
+                    functional=True)
+
+    # ------------------------------------------------------------------
+    # subjectPlayer sub-properties                                (23)
+    # ------------------------------------------------------------------
+    b.object_property("scorerPlayer", parents=[subject_player],
+                      domain=goal, range=player)
+    b.object_property("missingPlayer", parents=[subject_player],
+                      domain=missed_goal, range=player)
+    passing = b.object_property("passingPlayer", parents=[subject_player],
+                                domain=pass_, range=player)
+    b.object_property("crossingPlayer", parents=[passing],
+                      domain=cross, range=player)
+    b.object_property("shootingPlayer", parents=[subject_player],
+                      domain=shoot, range=player)
+    b.object_property("headingPlayer", parents=[subject_player],
+                      range=player)
+    b.object_property("savingGoalkeeper", parents=[subject_player],
+                      domain=save, range=goalkeeper,
+                      comment="Only goalkeepers may occupy the "
+                              "goalkeeping position (§3.5).")
+    b.object_property("foulingPlayer", parents=[subject_player],
+                      domain=foul, range=player)
+    b.object_property("handballPlayer", parents=[subject_player],
+                      range=player)
+    b.object_property("offsidePlayer", parents=[subject_player],
+                      domain=offside, range=player)
+    punished = b.object_property("punishedPlayer", parents=[subject_player],
+                                 domain=punishment, range=player)
+    b.object_property("bookedPlayer", parents=[punished],
+                      domain=yellow, range=player)
+    b.object_property("sentOffPlayer", parents=[punished],
+                      domain=red, range=player)
+    b.object_property("tacklingPlayer", parents=[subject_player],
+                      domain=tackle, range=player)
+    b.object_property("dribblingPlayer", parents=[subject_player],
+                      domain=dribble, range=player)
+    b.object_property("clearingPlayer", parents=[subject_player],
+                      range=player)
+    b.object_property("interceptingPlayer", parents=[subject_player],
+                      range=player)
+    b.object_property("assistingPlayer", parents=[subject_player],
+                      domain=assist, range=player)
+    taker = b.object_property("takerPlayer", parents=[subject_player],
+                              domain=set_piece, range=player)
+    b.object_property("cornerTaker", parents=[taker],
+                      domain=corner, range=player)
+    b.object_property("freeKickTaker", parents=[taker],
+                      domain=free_kick, range=player)
+    b.object_property("penaltyTaker", parents=[taker],
+                      domain=penalty, range=player)
+    b.object_property("substitutedInPlayer", parents=[subject_player],
+                      domain=substitution, range=player)
+
+    # ------------------------------------------------------------------
+    # objectPlayer sub-properties                                  (8)
+    # ------------------------------------------------------------------
+    b.object_property("passReceiver", parents=[object_player],
+                      domain=pass_, range=player)
+    b.object_property("fouledPlayer", parents=[object_player],
+                      domain=foul, range=player)
+    b.object_property("injuredPlayer", parents=[object_player],
+                      domain=injury, range=player)
+    b.object_property("tackledPlayer", parents=[object_player],
+                      domain=tackle, range=player)
+    b.object_property("beatenGoalkeeper", parents=[object_player],
+                      domain=goal, range=goalkeeper,
+                      comment="Filled by the scored-to rule; backs Q-6.")
+    b.object_property("savedShooter", parents=[object_player],
+                      domain=save, range=player)
+    b.object_property("substitutedOutPlayer", parents=[object_player],
+                      domain=substitution, range=player)
+    b.object_property("dribbledPlayer", parents=[object_player],
+                      domain=dribble, range=player)
+
+    # ------------------------------------------------------------------
+    # team role sub-properties                                     (4)
+    # ------------------------------------------------------------------
+    b.object_property("scoringTeam", parents=[subject_team],
+                      domain=goal, range=team)
+    b.object_property("concedingTeam", parents=[object_team],
+                      domain=goal, range=team)
+    b.object_property("foulingTeam", parents=[subject_team],
+                      domain=foul, range=team)
+    b.object_property("substitutingTeam", parents=[subject_team],
+                      domain=substitution, range=team)
+
+    # ------------------------------------------------------------------
+    # actorOf… hierarchy (player → event; §4, query Q-7)          (15)
+    # ------------------------------------------------------------------
+    actor = b.object_property("actorOfMove", domain=player, range=event)
+    actor_neg = b.object_property("actorOfNegativeMove", parents=[actor],
+                                  domain=player, range=negative)
+    actor_pos = b.object_property("actorOfPositiveMove", parents=[actor],
+                                  domain=player, range=positive)
+    b.object_property("actorOfMissedGoal", parents=[actor_neg],
+                      domain=player, range=missed_goal)
+    b.object_property("actorOfOffside", parents=[actor_neg],
+                      domain=player, range=offside)
+    b.object_property("actorOfRedCard", parents=[actor_neg],
+                      domain=player, range=red)
+    b.object_property("actorOfYellowCard", parents=[actor_neg],
+                      domain=player, range=yellow)
+    b.object_property("actorOfFoul", parents=[actor_neg],
+                      domain=player, range=foul)
+    b.object_property("actorOfOwnGoal", parents=[actor_neg],
+                      domain=player, range=own_goal)
+    b.object_property("actorOfGoal", parents=[actor_pos],
+                      domain=player, range=goal)
+    b.object_property("actorOfAssist", parents=[actor_pos],
+                      domain=player, range=assist)
+    b.object_property("actorOfSave", parents=[actor_pos],
+                      domain=player, range=save)
+    b.object_property("actorOfPass", parents=[actor_pos],
+                      domain=player, range=pass_)
+    b.object_property("actorOfTackle", parents=[actor_pos],
+                      domain=player, range=tackle)
+    b.object_property("actorOfDribble", parents=[actor_pos],
+                      domain=player, range=dribble)
+
+    # ------------------------------------------------------------------
+    # player biography                                             (8)
+    # ------------------------------------------------------------------
+    plays_for = b.object_property("playsFor", domain=player, range=team)
+    b.object_property("captainOf", domain=player, range=team)
+    b.object_property("nationality", domain=person, range=country)
+    b.data_property("hasName", domain=agent, range=XSD.string)
+    b.data_property("hasFirstName", domain=person, range=XSD.string)
+    b.data_property("hasLastName", domain=person, range=XSD.string)
+    b.data_property("wearsShirtNumber", domain=player, range=XSD.integer,
+                    functional=True)
+    b.data_property("birthDate", domain=person, range=XSD.date)
+
+    # ------------------------------------------------------------------
+    # team structure                                               (6)
+    # ------------------------------------------------------------------
+    b.object_property("hasPlayer", domain=team, range=player,
+                      inverse_of=plays_for)
+    b.object_property("hasGoalkeeper", domain=team, range=goalkeeper,
+                      comment="Exactly one goalkeeper per side (§3.5).")
+    b.object_property("homeStadium", domain=team, range=stadium)
+    b.object_property("hasCoach", domain=team, range=coach)
+    b.object_property("basedIn", domain=team, range=city)
+    b.data_property("foundedYear", domain=team, range=XSD.integer)
+
+    # ------------------------------------------------------------------
+    # match structure                                             (12)
+    # ------------------------------------------------------------------
+    b.object_property("homeTeam", domain=match, range=team, functional=True)
+    b.object_property("awayTeam", domain=match, range=team, functional=True)
+    b.object_property("playedAt", domain=match, range=stadium,
+                      functional=True)
+    b.object_property("refereedBy", domain=match, range=referee)
+    b.object_property("inCompetition", domain=match, range=competition)
+    b.object_property("inSeason", domain=match, range=season)
+    b.object_property("inRound", domain=match, range=round_)
+    b.data_property("onDate", domain=match, range=XSD.date, functional=True)
+    b.data_property("kickOffTime", domain=match, range=XSD.string)
+    b.data_property("homeScore", domain=match, range=XSD.integer)
+    b.data_property("awayScore", domain=match, range=XSD.integer)
+    b.data_property("attendance", domain=match, range=XSD.integer)
+
+    # ------------------------------------------------------------------
+    # places                                                       (3)
+    # ------------------------------------------------------------------
+    b.object_property("locatedIn", domain=stadium, range=city)
+    b.object_property("inCountry", domain=city, range=country)
+    b.data_property("stadiumCapacity", domain=stadium, range=XSD.integer)
+
+    # ------------------------------------------------------------------
+    # event details                                                (8)
+    # ------------------------------------------------------------------
+    b.object_property("fromSetPiece", domain=goal, range=set_piece)
+    b.object_property("assistedGoal", domain=assist, range=goal)
+    b.data_property("hasHalf", domain=event, range=XSD.integer)
+    b.data_property("addedTime", domain=event, range=XSD.integer)
+    b.data_property("inStoppageTime", domain=event, range=XSD.boolean)
+    b.data_property("cardColor", domain=punishment, range=XSD.string)
+    b.data_property("injurySeverity", domain=injury, range=XSD.string)
+    b.data_property("substitutionReason", domain=substitution,
+                    range=XSD.string)
+
+    # ------------------------------------------------------------------
+    # restrictions quoted in §3.5
+    # ------------------------------------------------------------------
+    b.all_values_from(save, "savingGoalkeeper", goalkeeper)
+    b.all_values_from(team, "hasGoalkeeper", goalkeeper)
+    b.max_cardinality(team, "hasGoalkeeper", 1)
+    b.cardinality(match, "homeTeam", 1)
+    b.cardinality(match, "awayTeam", 1)
+    b.all_values_from(goal, "beatenGoalkeeper", goalkeeper)
+    b.max_cardinality(event, "inMatch", 1)
+
+    ontology = b.build()
+    assert ontology.class_count == CLASS_COUNT, ontology.class_count
+    assert ontology.property_count == PROPERTY_COUNT, ontology.property_count
+    return ontology

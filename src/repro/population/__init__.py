@@ -1,0 +1,13 @@
+"""Ontology population: crawl artifacts + IE output → per-match ABoxes."""
+
+from repro.population.mapper import (RoleMapping, event_class_uri,
+                                     iri_slug, role_mapping)
+from repro.population.populator import OntologyPopulator
+
+__all__ = [
+    "OntologyPopulator",
+    "RoleMapping",
+    "role_mapping",
+    "event_class_uri",
+    "iri_slug",
+]

@@ -1,0 +1,94 @@
+"""Role mapping: extracted events → ontology properties (paper §3.4).
+
+The paper decouples IE from the ontology through four generic
+properties — ``subjectPlayer``, ``objectPlayer``, ``subjectTeam``,
+``objectTeam`` — whose event-specific sub-properties are declared in
+the ontology ("we can automatically fill in the scorerPlayer property
+of a Goal event by using the subject of the event").  This module
+resolves, for an event class, which concrete sub-property each generic
+role should be asserted through; the reasoner's sub-property closure
+then recovers the generic role.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.rdf.namespace import SOCCER
+from repro.rdf.term import URIRef
+from repro.soccer.domain import EventKind
+
+__all__ = ["RoleMapping", "role_mapping", "iri_slug", "event_class_uri"]
+
+#: event kind → (subject property, object property) local names; None
+#: means "use the generic property".
+_ROLE_PROPERTIES: Dict[str, Tuple[Optional[str], Optional[str]]] = {
+    EventKind.GOAL: ("scorerPlayer", None),
+    EventKind.OWN_GOAL: ("scorerPlayer", None),
+    EventKind.PENALTY_GOAL: ("scorerPlayer", None),
+    EventKind.MISSED_GOAL: ("missingPlayer", None),
+    EventKind.SAVE: ("savingGoalkeeper", "savedShooter"),
+    EventKind.PASS: ("passingPlayer", "passReceiver"),
+    EventKind.LONG_PASS: ("passingPlayer", "passReceiver"),
+    EventKind.CROSS: ("crossingPlayer", "passReceiver"),
+    EventKind.SHOOT: ("shootingPlayer", None),
+    EventKind.FOUL: ("foulingPlayer", "fouledPlayer"),
+    EventKind.HANDBALL: ("handballPlayer", None),
+    EventKind.OFFSIDE: ("offsidePlayer", None),
+    EventKind.YELLOW_CARD: ("bookedPlayer", None),
+    EventKind.RED_CARD: ("sentOffPlayer", None),
+    EventKind.CORNER: ("cornerTaker", None),
+    EventKind.FREE_KICK: ("freeKickTaker", None),
+    EventKind.PENALTY: ("penaltyTaker", None),
+    EventKind.SUBSTITUTION: ("substitutedInPlayer",
+                             "substitutedOutPlayer"),
+    EventKind.INJURY: (None, "injuredPlayer"),
+    EventKind.TACKLE: ("tacklingPlayer", "tackledPlayer"),
+    EventKind.DRIBBLE: ("dribblingPlayer", "dribbledPlayer"),
+    EventKind.CLEARANCE: ("clearingPlayer", None),
+    EventKind.INTERCEPTION: ("interceptingPlayer", None),
+}
+
+
+class RoleMapping:
+    """Resolved property URIs for one event kind."""
+
+    __slots__ = ("subject_property", "object_property")
+
+    def __init__(self, subject_property: URIRef,
+                 object_property: URIRef) -> None:
+        self.subject_property = subject_property
+        self.object_property = object_property
+
+
+def role_mapping(kind: str) -> RoleMapping:
+    """Subject/object property URIs for an event kind.
+
+    Falls back to the generic ``subjectPlayer`` / ``objectPlayer`` for
+    kinds without a specific sub-property (including UnknownEvent) —
+    the paper's loose-coupling guarantee that population never fails
+    on a new event type.
+    """
+    subject_name, object_name = _ROLE_PROPERTIES.get(kind, (None, None))
+    return RoleMapping(
+        subject_property=SOCCER.term(subject_name or "subjectPlayer"),
+        object_property=SOCCER.term(object_name or "objectPlayer"),
+    )
+
+
+def event_class_uri(kind: str) -> URIRef:
+    """Ontology class URI for an (extracted) event kind."""
+    return SOCCER.term(kind)
+
+
+def iri_slug(text: str) -> str:
+    """Turn free text into an IRI-safe local name."""
+    cleaned = []
+    for char in text:
+        if char.isalnum():
+            cleaned.append(char)
+        elif char in " -._'":
+            cleaned.append("_")
+        # anything else is dropped
+    slug = "".join(cleaned).strip("_")
+    return slug or "x"

@@ -1,0 +1,220 @@
+"""Ontology population (paper §3.4).
+
+Builds one independent ABox per match — the paper's scalability design
+("we keep each soccer game separate from each other and run the
+inferencing separately", §3.5).  Two modes mirror the paper's index
+ladder:
+
+* :meth:`OntologyPopulator.populate_basic` — only the crawled *basic
+  information* (match structure, line-ups, goals, substitutions,
+  bookings); every narration additionally becomes an ``UnknownEvent``
+  individual carrying its free text.  This is the model behind the
+  BASIC_EXT index.
+* :meth:`OntologyPopulator.populate_full` — the IE module's extracted
+  events (typed, with subject/object roles) instead of the raw basic
+  facts.  This is the model behind FULL_EXT, and — after the reasoner
+  runs — FULL_INF.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.rdf.namespace import SOCCER
+from repro.rdf.term import Literal, URIRef
+from repro.errors import PopulationError
+from repro.extraction.events import ExtractedEvent
+from repro.ontology.model import Individual, Ontology
+from repro.population.mapper import (event_class_uri, iri_slug,
+                                     role_mapping)
+from repro.soccer.crawler import CrawledMatch
+from repro.soccer.domain import EventKind, Position
+
+__all__ = ["OntologyPopulator"]
+
+
+class OntologyPopulator:
+    """Populates per-match ABoxes against a shared TBox."""
+
+    def __init__(self, ontology: Ontology) -> None:
+        self.ontology = ontology
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def populate_basic(self, crawled: CrawledMatch) -> Ontology:
+        """Initial OWL model: basic information + raw narrations."""
+        abox = self.ontology.spawn_abox(f"{crawled.match_id}-basic")
+        self._populate_structure(abox, crawled)
+        self._populate_basic_facts(abox, crawled)
+        self._populate_unknown_narrations(abox, crawled)
+        return abox
+
+    def populate_full(self, crawled: CrawledMatch,
+                      extracted: Iterable[ExtractedEvent]) -> Ontology:
+        """Extracted OWL model: IE events replace the raw facts."""
+        abox = self.ontology.spawn_abox(f"{crawled.match_id}-full")
+        self._populate_structure(abox, crawled)
+        for event in extracted:
+            if event.match_id != crawled.match_id:
+                raise PopulationError(
+                    f"event {event.narration_id} belongs to "
+                    f"{event.match_id}, not {crawled.match_id}")
+            self._populate_extracted(abox, crawled, event)
+        return abox
+
+    # ------------------------------------------------------------------
+    # shared structure: match, teams, players, officials
+    # ------------------------------------------------------------------
+
+    def _match_uri(self, crawled: CrawledMatch) -> URIRef:
+        return SOCCER.term(iri_slug(crawled.match_id))
+
+    def _team_uri(self, name: str) -> URIRef:
+        return SOCCER.term(iri_slug(name))
+
+    def _player_uri(self, full_name: str) -> URIRef:
+        return SOCCER.term(iri_slug(full_name))
+
+    def _populate_structure(self, abox: Ontology,
+                            crawled: CrawledMatch) -> None:
+        match = Individual(self._match_uri(crawled), {SOCCER.Match})
+        match.add(SOCCER.hasName,
+                  Literal(f"{crawled.home_team} vs {crawled.away_team}"))
+        match.add(SOCCER.onDate, Literal(crawled.date))
+        match.add(SOCCER.kickOffTime, Literal(crawled.kick_off))
+        match.add(SOCCER.homeScore, Literal(crawled.home_score))
+        match.add(SOCCER.awayScore, Literal(crawled.away_score))
+
+        stadium = Individual(SOCCER.term(iri_slug(crawled.stadium)),
+                             {SOCCER.Stadium})
+        stadium.add(SOCCER.hasName, Literal(crawled.stadium))
+        abox.add_individual(stadium)
+        match.add(SOCCER.playedAt, stadium.uri)
+
+        referee = Individual(SOCCER.term(iri_slug(crawled.referee)),
+                             {SOCCER.Referee})
+        referee.add(SOCCER.hasName, Literal(crawled.referee))
+        abox.add_individual(referee)
+        match.add(SOCCER.refereedBy, referee.uri)
+
+        competition = Individual(
+            SOCCER.term(iri_slug(crawled.competition)),
+            {SOCCER.Competition})
+        competition.add(SOCCER.hasName, Literal(crawled.competition))
+        abox.add_individual(competition)
+        match.add(SOCCER.inCompetition, competition.uri)
+
+        for role_prop, team_name in ((SOCCER.homeTeam, crawled.home_team),
+                                     (SOCCER.awayTeam, crawled.away_team)):
+            team = Individual(self._team_uri(team_name), {SOCCER.Team})
+            team.add(SOCCER.hasName, Literal(team_name))
+            abox.add_individual(team)
+            match.add(role_prop, team.uri)
+            self._populate_lineup(abox, crawled, team)
+        abox.add_individual(match)
+
+    def _populate_lineup(self, abox: Ontology, crawled: CrawledMatch,
+                         team: Individual) -> None:
+        team_name = team.first(SOCCER.hasName)
+        entries = crawled.lineup(str(team_name))
+        for entry in entries:
+            position_class = SOCCER.term(entry.position)
+            if not self.ontology.has_class(position_class):
+                raise PopulationError(
+                    f"unknown position class {entry.position!r}")
+            player = Individual(self._player_uri(entry.full_name),
+                                {position_class})
+            player.add(SOCCER.hasName, Literal(entry.full_name))
+            player.add(SOCCER.hasLastName, Literal(entry.name))
+            player.add(SOCCER.wearsShirtNumber,
+                       Literal(entry.shirt_number))
+            player.add(SOCCER.playsFor, team.uri)
+            abox.add_individual(player)
+            if entry.starter and entry.position == Position.GOALKEEPER:
+                team.add(SOCCER.hasGoalkeeper, player.uri)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+
+    def _resolve_player(self, crawled: CrawledMatch,
+                        name: Optional[str]) -> Optional[URIRef]:
+        if not name:
+            return None
+        for team_name in crawled.teams:
+            for entry in crawled.lineup(team_name):
+                if entry.name == name or entry.full_name == name:
+                    return self._player_uri(entry.full_name)
+        return None
+
+    def _new_event(self, abox: Ontology, crawled: CrawledMatch,
+                   kind: str, event_key: str, minute: int,
+                   narration: str = "") -> Individual:
+        event = Individual(SOCCER.term(iri_slug(event_key)),
+                           {event_class_uri(kind)})
+        event.add(SOCCER.inMatch, self._match_uri(crawled))
+        event.add(SOCCER.inMinute, Literal(minute))
+        event.add(SOCCER.hasEventId, Literal(event_key))
+        if narration:
+            event.add(SOCCER.hasNarration, Literal(narration))
+        return abox.add_individual(event)
+
+    def _populate_basic_facts(self, abox: Ontology,
+                              crawled: CrawledMatch) -> None:
+        kind_for_goal = {"goal": EventKind.GOAL,
+                         "penalty": EventKind.PENALTY_GOAL,
+                         "own goal": EventKind.OWN_GOAL}
+        for goal in crawled.goals:
+            event = self._new_event(abox, crawled,
+                                    kind_for_goal[goal.kind],
+                                    goal.source_id, goal.minute)
+            scorer = self._resolve_player(crawled, goal.scorer)
+            if scorer is not None:
+                event.add(SOCCER.scorerPlayer, scorer)
+        for substitution in crawled.substitutions:
+            event = self._new_event(abox, crawled, EventKind.SUBSTITUTION,
+                                    substitution.source_id,
+                                    substitution.minute)
+            inc = self._resolve_player(crawled, substitution.player_in)
+            out = self._resolve_player(crawled, substitution.player_out)
+            if inc is not None:
+                event.add(SOCCER.substitutedInPlayer, inc)
+            if out is not None:
+                event.add(SOCCER.substitutedOutPlayer, out)
+        for booking in crawled.bookings:
+            kind = (EventKind.YELLOW_CARD if booking.color == "yellow"
+                    else EventKind.RED_CARD)
+            event = self._new_event(abox, crawled, kind,
+                                    booking.source_id, booking.minute)
+            player = self._resolve_player(crawled, booking.player)
+            if player is not None:
+                prop = (SOCCER.bookedPlayer if booking.color == "yellow"
+                        else SOCCER.sentOffPlayer)
+                event.add(prop, player)
+            event.add(SOCCER.cardColor, Literal(booking.color))
+
+    def _populate_unknown_narrations(self, abox: Ontology,
+                                     crawled: CrawledMatch) -> None:
+        for index, narration in enumerate(crawled.narrations):
+            key = f"{crawled.match_id}_n{index:04d}"
+            self._new_event(abox, crawled, "UnknownEvent", key,
+                            narration.minute, narration.text)
+
+    def _populate_extracted(self, abox: Ontology, crawled: CrawledMatch,
+                            extracted: ExtractedEvent) -> None:
+        event = self._new_event(abox, crawled, extracted.kind,
+                                extracted.narration_id, extracted.minute,
+                                extracted.narration)
+        mapping = role_mapping(extracted.kind)
+        subject = self._resolve_player(crawled, extracted.subject)
+        object_ = self._resolve_player(crawled, extracted.object)
+        if subject is not None:
+            event.add(mapping.subject_property, subject)
+        if object_ is not None:
+            event.add(mapping.object_property, object_)
+        # Note: team roles (subjectTeam/objectTeam) are deliberately
+        # NOT asserted here — the paper fills them with semantic rules
+        # in the inferred model (Table 1 shows "-" for them in the
+        # extracted index).

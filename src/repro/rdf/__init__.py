@@ -1,0 +1,37 @@
+"""RDF substrate: terms, namespaces, graphs and serialization.
+
+This package is a from-scratch, dependency-free replacement for the
+slice of Jena/rdflib functionality the paper's system relies on:
+
+* :mod:`repro.rdf.term` — URIRefs, blank nodes, literals, variables.
+* :mod:`repro.rdf.namespace` — vocabularies (RDF, RDFS, OWL, XSD) and
+  the soccer domain namespace.
+* :mod:`repro.rdf.graph` — a triple-indexed in-memory store.
+* :mod:`repro.rdf.ntriples` / :mod:`repro.rdf.turtle` — serialization.
+"""
+
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.namespace import (OWL, RDF, RDFS, SOCCER, XSD, Namespace,
+                                 NamespaceManager)
+from repro.rdf.term import (BNode, Literal, Node, Term, URIRef, Variable,
+                            bnode, reset_bnode_counter)
+
+__all__ = [
+    "Graph",
+    "Triple",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "SOCCER",
+    "Term",
+    "Node",
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Variable",
+    "bnode",
+    "reset_bnode_counter",
+]

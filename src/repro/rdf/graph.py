@@ -1,0 +1,274 @@
+"""An in-memory, triple-indexed RDF graph.
+
+This is the storage substrate the whole system rests on: populated
+per-match models, the ontology's RDF rendering, the rule engine's
+working memory and the SPARQL engine's dataset are all instances of
+:class:`Graph`.
+
+The store keeps three permutation indexes (SPO, POS, OSP) so that any
+triple pattern with at least one bound position is answered by hash
+lookups rather than scans — the same layout used by production triple
+stores (e.g. Jena's memory model).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.errors import GraphError
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.term import BNode, Literal, Node, URIRef
+
+__all__ = ["Triple", "Graph"]
+
+#: A stored triple.  Subjects may be URIRefs or BNodes; predicates are
+#: URIRefs; objects are any node kind.
+Triple = Tuple[Node, URIRef, Node]
+
+#: A match pattern: ``None`` is a wildcard at that position.
+Pattern = Tuple[Optional[Node], Optional[URIRef], Optional[Node]]
+
+_Index = Dict[Node, Dict[Node, Set[Node]]]
+
+
+def _validate(subject: Node, predicate: URIRef, obj: Node) -> None:
+    if not isinstance(subject, (URIRef, BNode)):
+        raise GraphError(f"triple subject must be URIRef or BNode, got "
+                         f"{type(subject).__name__}")
+    if not isinstance(predicate, URIRef):
+        raise GraphError(f"triple predicate must be URIRef, got "
+                         f"{type(predicate).__name__}")
+    if not isinstance(obj, (URIRef, BNode, Literal)):
+        raise GraphError(f"triple object must be URIRef, BNode or Literal, "
+                         f"got {type(obj).__name__}")
+
+
+class Graph:
+    """A set of RDF triples with pattern-matching access.
+
+    Supports the container protocol (``len``, ``in``, iteration), set
+    algebra (``+``, ``-``, ``|``, ``&``) and convenience accessors
+    (:meth:`value`, :meth:`objects`, :meth:`subjects`) modeled on the
+    rdflib API so the rest of the code base reads naturally.
+    """
+
+    def __init__(self, triples: Iterable[Triple] = (),
+                 identifier: str | None = None) -> None:
+        self.identifier = identifier
+        self.namespace_manager = NamespaceManager()
+        self._spo: _Index = defaultdict(lambda: defaultdict(set))
+        self._pos: _Index = defaultdict(lambda: defaultdict(set))
+        self._osp: _Index = defaultdict(lambda: defaultdict(set))
+        self._size = 0
+        for triple in triples:
+            self.add(triple)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def add(self, triple: Triple) -> bool:
+        """Insert a triple; returns True if it was not already present."""
+        subject, predicate, obj = triple
+        _validate(subject, predicate, obj)
+        objects = self._spo[subject][predicate]
+        if obj in objects:
+            return False
+        objects.add(obj)
+        self._pos[predicate][obj].add(subject)
+        self._osp[obj][subject].add(predicate)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Insert many triples; returns the number actually added."""
+        return sum(1 for triple in triples if self.add(triple))
+
+    def remove(self, pattern: Pattern) -> int:
+        """Delete every triple matching ``pattern``; returns the count."""
+        doomed = list(self.triples(pattern))
+        for subject, predicate, obj in doomed:
+            self._spo[subject][predicate].discard(obj)
+            self._pos[predicate][obj].discard(subject)
+            self._osp[obj][subject].discard(predicate)
+            self._size -= 1
+        return len(doomed)
+
+    def clear(self) -> None:
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+
+    def triples(self, pattern: Pattern = (None, None, None)
+                ) -> Iterator[Triple]:
+        """Yield every triple matching the (s, p, o) pattern.
+
+        ``None`` positions are wildcards.  The best available index is
+        chosen based on which positions are bound.
+        """
+        subject, predicate, obj = pattern
+        if subject is not None:
+            by_predicate = self._spo.get(subject)
+            if not by_predicate:
+                return
+            if predicate is not None:
+                objects = by_predicate.get(predicate)
+                if not objects:
+                    return
+                if obj is not None:
+                    if obj in objects:
+                        yield (subject, predicate, obj)
+                    return
+                for candidate in list(objects):
+                    yield (subject, predicate, candidate)
+                return
+            for pred, objects in list(by_predicate.items()):
+                if obj is not None:
+                    if obj in objects:
+                        yield (subject, pred, obj)
+                else:
+                    for candidate in list(objects):
+                        yield (subject, pred, candidate)
+            return
+        if predicate is not None:
+            by_object = self._pos.get(predicate)
+            if not by_object:
+                return
+            if obj is not None:
+                for subj in list(by_object.get(obj, ())):
+                    yield (subj, predicate, obj)
+                return
+            for candidate, subjects in list(by_object.items()):
+                for subj in list(subjects):
+                    yield (subj, predicate, candidate)
+            return
+        if obj is not None:
+            by_subject = self._osp.get(obj)
+            if not by_subject:
+                return
+            for subj, predicates in list(by_subject.items()):
+                for pred in list(predicates):
+                    yield (subj, pred, obj)
+            return
+        for subj, by_predicate in list(self._spo.items()):
+            for pred, objects in list(by_predicate.items()):
+                for candidate in list(objects):
+                    yield (subj, pred, candidate)
+
+    def count(self, pattern: Pattern = (None, None, None)) -> int:
+        """Number of triples matching ``pattern`` (fast paths for the
+        fully-wild and fully-bound cases)."""
+        if pattern == (None, None, None):
+            return self._size
+        subject, predicate, obj = pattern
+        if subject is not None and predicate is not None and obj is not None:
+            return 1 if pattern in self else 0
+        return sum(1 for _ in self.triples(pattern))
+
+    # ------------------------------------------------------------------
+    # convenience accessors
+    # ------------------------------------------------------------------
+
+    def subjects(self, predicate: URIRef | None = None,
+                 obj: Node | None = None) -> Iterator[Node]:
+        seen: Set[Node] = set()
+        for subject, _, _ in self.triples((None, predicate, obj)):
+            if subject not in seen:
+                seen.add(subject)
+                yield subject
+
+    def predicates(self, subject: Node | None = None,
+                   obj: Node | None = None) -> Iterator[URIRef]:
+        seen: Set[Node] = set()
+        for _, predicate, _ in self.triples((subject, None, obj)):
+            if predicate not in seen:
+                seen.add(predicate)
+                yield predicate
+
+    def objects(self, subject: Node | None = None,
+                predicate: URIRef | None = None) -> Iterator[Node]:
+        seen: Set[Node] = set()
+        for _, _, obj in self.triples((subject, predicate, None)):
+            if obj not in seen:
+                seen.add(obj)
+                yield obj
+
+    def value(self, subject: Node | None = None,
+              predicate: URIRef | None = None,
+              obj: Node | None = None,
+              default: Node | None = None) -> Node | None:
+        """Return the single missing component of a doubly-bound pattern.
+
+        Exactly one of the three positions must be ``None``; the value at
+        that position of the first matching triple is returned, or
+        ``default`` when no triple matches.
+        """
+        wild = [subject is None, predicate is None, obj is None]
+        if sum(wild) != 1:
+            raise GraphError("value() requires exactly one unbound position")
+        for triple in self.triples((subject, predicate, obj)):
+            return triple[wild.index(True)]
+        return default
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+
+    def copy(self) -> "Graph":
+        clone = Graph(identifier=self.identifier)
+        clone.namespace_manager = self.namespace_manager
+        clone.add_all(self)
+        return clone
+
+    def __or__(self, other: "Graph") -> "Graph":
+        union = self.copy()
+        union.add_all(other)
+        return union
+
+    __add__ = __or__
+
+    def __sub__(self, other: "Graph") -> "Graph":
+        return Graph(t for t in self if t not in other)
+
+    def __and__(self, other: "Graph") -> "Graph":
+        small, large = (self, other) if len(self) <= len(other) else (other, self)
+        return Graph(t for t in small if t in large)
+
+    def __ior__(self, other: Iterable[Triple]) -> "Graph":
+        self.add_all(other)
+        return self
+
+    # ------------------------------------------------------------------
+    # protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Triple]:
+        return self.triples()
+
+    def __contains__(self, triple: Triple) -> bool:
+        subject, predicate, obj = triple
+        return obj in self._spo.get(subject, {}).get(predicate, ())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return len(self) == len(other) and all(t in other for t in self)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    __hash__ = None  # type: ignore[assignment]  # graphs are mutable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = self.identifier or hex(id(self))
+        return f"<Graph {name} ({self._size} triples)>"

@@ -1,0 +1,131 @@
+"""Namespaces and the standard vocabularies used throughout the system.
+
+A :class:`Namespace` is a thin factory for :class:`~repro.rdf.term.URIRef`
+instances sharing a base IRI.  The module also defines the RDF, RDFS,
+OWL and XSD vocabularies plus the project's soccer namespace ``SOCCER``
+(the paper's ``pre:`` prefix).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.errors import TermError
+from repro.rdf.term import URIRef
+
+__all__ = [
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "SOCCER",
+]
+
+
+class Namespace(str):
+    """A base IRI that can be extended with local names.
+
+    Examples:
+        >>> EX = Namespace("http://example.org/ns#")
+        >>> EX.Player
+        URIRef('http://example.org/ns#Player')
+        >>> EX["has name"]          # doctest: +SKIP
+    """
+
+    def __new__(cls, base: str) -> "Namespace":
+        if not base:
+            raise TermError("Namespace base IRI must be non-empty")
+        return str.__new__(cls, base)
+
+    def term(self, name: str) -> URIRef:
+        return URIRef(str(self) + name)
+
+    def __getitem__(self, name) -> URIRef:  # type: ignore[override]
+        if not isinstance(name, str):
+            raise TypeError("namespace lookup requires a string local name")
+        return self.term(name)
+
+    def __getattr__(self, name: str) -> URIRef:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return self.term(name)
+
+    def __contains__(self, item) -> bool:  # type: ignore[override]
+        return isinstance(item, str) and item.startswith(str(self))
+
+
+class NamespaceManager:
+    """Registry of prefix ↔ namespace bindings for rendering and parsing.
+
+    Used by the Turtle serializer, the SPARQL parser and the rule parser
+    to resolve qualified names such as ``pre:Assist``.
+    """
+
+    def __init__(self) -> None:
+        self._prefix_to_ns: Dict[str, Namespace] = {}
+        self._ns_to_prefix: Dict[str, str] = {}
+        for prefix, namespace in (("rdf", RDF), ("rdfs", RDFS),
+                                  ("owl", OWL), ("xsd", XSD)):
+            self.bind(prefix, namespace)
+
+    def bind(self, prefix: str, namespace: str | Namespace,
+             replace: bool = True) -> None:
+        """Associate ``prefix`` with ``namespace``.
+
+        Args:
+            prefix: the short name (without the trailing colon).
+            namespace: the base IRI.
+            replace: when False, an existing binding for the prefix is
+                left untouched.
+        """
+        if not replace and prefix in self._prefix_to_ns:
+            return
+        ns = namespace if isinstance(namespace, Namespace) else Namespace(namespace)
+        previous = self._prefix_to_ns.get(prefix)
+        if previous is not None:
+            self._ns_to_prefix.pop(str(previous), None)
+        self._prefix_to_ns[prefix] = ns
+        self._ns_to_prefix[str(ns)] = prefix
+
+    def expand(self, qname: str) -> URIRef:
+        """Resolve a qualified name (``prefix:local``) to a URIRef."""
+        prefix, sep, local = qname.partition(":")
+        if not sep:
+            raise TermError(f"not a qualified name: {qname!r}")
+        try:
+            namespace = self._prefix_to_ns[prefix]
+        except KeyError:
+            raise TermError(f"unbound prefix {prefix!r} in {qname!r}") from None
+        return namespace.term(local)
+
+    def qname(self, uri: URIRef) -> str | None:
+        """Compact a URIRef to ``prefix:local`` if a binding matches."""
+        text = str(uri)
+        for base, prefix in self._ns_to_prefix.items():
+            if text.startswith(base):
+                local = text[len(base):]
+                if local and all(ch not in local for ch in "/#"):
+                    return f"{prefix}:{local}"
+        return None
+
+    def namespaces(self) -> Iterator[Tuple[str, Namespace]]:
+        """Iterate (prefix, namespace) bindings sorted by prefix."""
+        return iter(sorted(self._prefix_to_ns.items()))
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._prefix_to_ns
+
+    def __len__(self) -> int:
+        return len(self._prefix_to_ns)
+
+
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: The soccer domain namespace — the ``pre:`` prefix in the paper's
+#: Jena rule listing (Fig. 6).
+SOCCER = Namespace("http://repro.example.org/soccer#")

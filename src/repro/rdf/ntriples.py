@@ -1,0 +1,184 @@
+"""N-Triples serialization and parsing.
+
+N-Triples is the line-oriented exchange format used for persisting
+per-match models to disk.  The parser is a small hand-rolled scanner
+that accepts the W3C N-Triples grammar (IRIs, blank nodes, plain /
+language-tagged / typed literals, ``#`` comments, blank lines).
+"""
+
+from __future__ import annotations
+
+import io
+from typing import IO, Iterable
+
+from repro.errors import ParseError, TermError
+from repro.rdf.graph import Graph, Triple
+from repro.rdf.term import BNode, Literal, Node, URIRef
+
+__all__ = ["serialize", "serialize_to_string", "parse", "parse_string"]
+
+_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    '"': '"',
+    "\\": "\\",
+}
+
+
+def serialize(graph: Iterable[Triple], out: IO[str]) -> int:
+    """Write ``graph`` to ``out`` in N-Triples; returns the line count.
+
+    Triples are emitted in sorted order so output is canonical and
+    diff-friendly.
+    """
+    lines = sorted(_render(triple) for triple in graph)
+    for line in lines:
+        out.write(line)
+        out.write("\n")
+    return len(lines)
+
+
+def serialize_to_string(graph: Iterable[Triple]) -> str:
+    buffer = io.StringIO()
+    serialize(graph, buffer)
+    return buffer.getvalue()
+
+
+def _render(triple: Triple) -> str:
+    subject, predicate, obj = triple
+    return f"{subject.n3()} {predicate.n3()} {obj.n3()} ."
+
+
+def parse(source: IO[str], graph: Graph | None = None) -> Graph:
+    """Parse N-Triples from a text stream into ``graph`` (or a new one)."""
+    target = graph if graph is not None else Graph()
+    for lineno, raw in enumerate(source, start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        target.add(_parse_line(line, lineno))
+    return target
+
+
+def parse_string(text: str, graph: Graph | None = None) -> Graph:
+    return parse(io.StringIO(text), graph)
+
+
+def _parse_line(line: str, lineno: int) -> Triple:
+    scanner = _Scanner(line, lineno)
+    subject = scanner.read_term()
+    if isinstance(subject, Literal):
+        raise ParseError("literal in subject position", line=lineno)
+    predicate = scanner.read_term()
+    if not isinstance(predicate, URIRef):
+        raise ParseError("predicate must be an IRI", line=lineno)
+    obj = scanner.read_term()
+    scanner.expect_dot()
+    return (subject, predicate, obj)
+
+
+class _Scanner:
+    """Single-line N-Triples tokenizer."""
+
+    def __init__(self, line: str, lineno: int) -> None:
+        self.line = line
+        self.lineno = lineno
+        self.pos = 0
+
+    def _skip_space(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def _fail(self, message: str) -> ParseError:
+        return ParseError(message, line=self.lineno, column=self.pos + 1)
+
+    def read_term(self) -> Node:
+        self._skip_space()
+        if self.pos >= len(self.line):
+            raise self._fail("unexpected end of line")
+        char = self.line[self.pos]
+        if char == "<":
+            return self._read_iri()
+        if char == "_":
+            return self._read_bnode()
+        if char == '"':
+            return self._read_literal()
+        raise self._fail(f"unexpected character {char!r}")
+
+    def _read_iri(self) -> URIRef:
+        end = self.line.find(">", self.pos + 1)
+        if end < 0:
+            raise self._fail("unterminated IRI")
+        iri = self.line[self.pos + 1:end]
+        self.pos = end + 1
+        try:
+            return URIRef(iri)
+        except TermError as error:
+            raise self._fail(f"invalid IRI: {error}") from error
+
+    def _read_bnode(self) -> BNode:
+        if not self.line.startswith("_:", self.pos):
+            raise self._fail("malformed blank node")
+        start = self.pos + 2
+        end = start
+        while end < len(self.line) and not self.line[end].isspace():
+            end += 1
+        label = self.line[start:end]
+        if not label:
+            raise self._fail("empty blank node label")
+        self.pos = end
+        return BNode(label)
+
+    def _read_literal(self) -> Literal:
+        chars = []
+        i = self.pos + 1
+        while i < len(self.line):
+            char = self.line[i]
+            if char == "\\":
+                if i + 1 >= len(self.line):
+                    raise self._fail("dangling escape in literal")
+                escape = self.line[i + 1]
+                if escape in _ESCAPES:
+                    chars.append(_ESCAPES[escape])
+                    i += 2
+                    continue
+                if escape == "u" and i + 5 < len(self.line):
+                    chars.append(chr(int(self.line[i + 2:i + 6], 16)))
+                    i += 6
+                    continue
+                raise self._fail(f"unknown escape \\{escape}")
+            if char == '"':
+                break
+            chars.append(char)
+            i += 1
+        else:
+            raise self._fail("unterminated literal")
+        self.pos = i + 1
+        lexical = "".join(chars)
+        if self.line.startswith("@", self.pos):
+            end = self.pos + 1
+            while end < len(self.line) and (self.line[end].isalnum()
+                                            or self.line[end] == "-"):
+                end += 1
+            language = self.line[self.pos + 1:end]
+            if not language:
+                raise self._fail("empty language tag")
+            self.pos = end
+            return Literal(lexical, language=language)
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            if not self.line.startswith("<", self.pos):
+                raise self._fail("datatype must be an IRI")
+            datatype = self._read_iri()
+            return Literal(lexical, datatype=str(datatype))
+        return Literal(lexical)
+
+    def expect_dot(self) -> None:
+        self._skip_space()
+        if self.pos >= len(self.line) or self.line[self.pos] != ".":
+            raise self._fail("expected terminating '.'")
+        self.pos += 1
+        self._skip_space()
+        if self.pos < len(self.line) and not self.line[self.pos:].startswith("#"):
+            raise self._fail("trailing content after '.'")

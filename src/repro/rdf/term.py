@@ -1,0 +1,262 @@
+"""RDF term model: IRIs, literals, blank nodes and query variables.
+
+The classes here mirror the RDF 1.1 abstract syntax.  All terms are
+immutable, hashable value objects so they can be used freely as members
+of sets and dictionary keys inside the triple store indexes.
+
+Design notes
+------------
+* :class:`URIRef` and :class:`Variable` subclass :class:`str` so that
+  the common case (an IRI used as a dictionary key) costs nothing over a
+  plain string, mirroring the approach taken by rdflib.
+* :class:`Literal` carries an optional datatype IRI and language tag and
+  offers :meth:`Literal.to_python` for natural conversion to Python
+  values (int, float, bool, str).
+* :func:`bnode` produces process-unique blank node identifiers without
+  relying on global random state, keeping runs deterministic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Any, Union
+
+from repro.errors import TermError
+
+__all__ = [
+    "Term",
+    "Node",
+    "URIRef",
+    "BNode",
+    "Literal",
+    "Variable",
+    "XSD_STRING",
+    "XSD_INTEGER",
+    "XSD_DECIMAL",
+    "XSD_DOUBLE",
+    "XSD_BOOLEAN",
+    "XSD_DATE",
+    "XSD_DATETIME",
+    "bnode",
+    "reset_bnode_counter",
+]
+
+_XSD = "http://www.w3.org/2001/XMLSchema#"
+
+XSD_STRING = _XSD + "string"
+XSD_INTEGER = _XSD + "integer"
+XSD_DECIMAL = _XSD + "decimal"
+XSD_DOUBLE = _XSD + "double"
+XSD_BOOLEAN = _XSD + "boolean"
+XSD_DATE = _XSD + "date"
+XSD_DATETIME = _XSD + "dateTime"
+
+
+class Term:
+    """Marker base class for every RDF term kind."""
+
+    __slots__ = ()
+
+
+class URIRef(Term, str):
+    """An IRI reference identifying a resource.
+
+    Subclasses ``str``: comparing, hashing and sorting behave exactly
+    like the underlying IRI string, which keeps store indexes simple.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, value: str) -> "URIRef":
+        if not value:
+            raise TermError("URIRef must be a non-empty string")
+        if any(ch in value for ch in ("<", ">", '"', " ", "\n", "\t")):
+            raise TermError(f"URIRef contains forbidden character: {value!r}")
+        return str.__new__(cls, value)
+
+    @property
+    def local_name(self) -> str:
+        """The fragment or last path segment of the IRI.
+
+        Used for human-readable rendering and for deriving index terms
+        from ontology class names.
+        """
+        for sep in ("#", "/", ":"):
+            head, found, tail = self.rpartition(sep)
+            if found and tail:
+                return tail
+        return str(self)
+
+    @property
+    def namespace(self) -> str:
+        """Everything before :attr:`local_name`."""
+        local = self.local_name
+        return str(self)[: len(self) - len(local)]
+
+    def n3(self) -> str:
+        """Render in N-Triples / Turtle long form, e.g. ``<http://…>``."""
+        return f"<{self}>"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"URIRef({str.__repr__(self)})"
+
+
+class BNode(Term, str):
+    """A blank (anonymous) node.
+
+    The string value is the blank node label *without* the ``_:``
+    prefix.  Use :func:`bnode` to mint fresh labels.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, label: str) -> "BNode":
+        if not label:
+            raise TermError("BNode label must be non-empty")
+        if any(ch.isspace() for ch in label):
+            raise TermError(f"BNode label may not contain whitespace: {label!r}")
+        return str.__new__(cls, label)
+
+    def n3(self) -> str:
+        return f"_:{self}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BNode({str.__repr__(self)})"
+
+
+class Variable(Term, str):
+    """A query/rule variable such as ``?player``.
+
+    The string value excludes the leading ``?``.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, name: str) -> "Variable":
+        if name.startswith("?"):
+            name = name[1:]
+        if not name:
+            raise TermError("Variable name must be non-empty")
+        return str.__new__(cls, name)
+
+    def n3(self) -> str:
+        return f"?{self}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Variable({str.__repr__(self)})"
+
+
+class Literal(Term):
+    """An RDF literal: a lexical form plus optional datatype or language.
+
+    Instances compare equal when lexical form, datatype and language all
+    match — i.e. term equality, not value equality (``Literal(1)`` and
+    ``Literal("1")`` differ because their datatypes differ).
+    """
+
+    __slots__ = ("lexical", "datatype", "language", "_hash")
+
+    def __init__(self, value: Any, datatype: str | None = None,
+                 language: str | None = None) -> None:
+        if datatype is not None and language is not None:
+            raise TermError("a literal cannot carry both datatype and language")
+        if isinstance(value, bool):
+            lexical = "true" if value else "false"
+            datatype = datatype or XSD_BOOLEAN
+        elif isinstance(value, int):
+            lexical = str(value)
+            datatype = datatype or XSD_INTEGER
+        elif isinstance(value, float):
+            lexical = repr(value)
+            datatype = datatype or XSD_DOUBLE
+        else:
+            lexical = str(value)
+        object.__setattr__(self, "lexical", lexical)
+        object.__setattr__(self, "datatype", datatype)
+        object.__setattr__(self, "language", language)
+        object.__setattr__(self, "_hash",
+                           hash((lexical, datatype, language)))
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError("Literal instances are immutable")
+
+    def to_python(self) -> Any:
+        """Convert to the natural Python value for the datatype."""
+        if self.datatype == XSD_INTEGER:
+            return int(self.lexical)
+        if self.datatype in (XSD_DOUBLE, XSD_DECIMAL):
+            return float(self.lexical)
+        if self.datatype == XSD_BOOLEAN:
+            return self.lexical.strip().lower() in ("true", "1")
+        return self.lexical
+
+    def n3(self) -> str:
+        escaped = (self.lexical.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\r", "\\r")
+                   .replace("\t", "\\t"))
+        rendered = f'"{escaped}"'
+        if self.language:
+            return f"{rendered}@{self.language}"
+        if self.datatype and self.datatype != XSD_STRING:
+            return f"{rendered}^^<{self.datatype}>"
+        return rendered
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Literal):
+            return (self.lexical == other.lexical
+                    and self.datatype == other.datatype
+                    and self.language == other.language)
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __lt__(self, other: "Literal") -> bool:
+        if not isinstance(other, Literal):
+            return NotImplemented
+        mine, theirs = self.to_python(), other.to_python()
+        try:
+            return mine < theirs
+        except TypeError:
+            return self.lexical < other.lexical
+
+    def __str__(self) -> str:
+        return self.lexical
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = [repr(self.lexical)]
+        if self.datatype:
+            parts.append(f"datatype={self.datatype!r}")
+        if self.language:
+            parts.append(f"language={self.language!r}")
+        return f"Literal({', '.join(parts)})"
+
+
+#: Any concrete node that can appear in a stored triple.
+Node = Union[URIRef, BNode, Literal]
+
+_bnode_counter = itertools.count(1)
+_bnode_lock = threading.Lock()
+
+
+def bnode(prefix: str = "b") -> BNode:
+    """Mint a fresh, process-unique blank node.
+
+    Labels are sequential (``b1``, ``b2``, …) so that repeated runs of
+    deterministic pipelines produce identical graphs — important for the
+    reproducibility of the evaluation corpus.
+    """
+    with _bnode_lock:
+        return BNode(f"{prefix}{next(_bnode_counter)}")
+
+
+def reset_bnode_counter() -> None:
+    """Reset the blank-node counter (test isolation helper)."""
+    global _bnode_counter
+    with _bnode_lock:
+        _bnode_counter = itertools.count(1)

@@ -1,0 +1,271 @@
+"""Turtle serialization and parsing.
+
+Turtle is the human-facing syntax: populated match models and the
+ontology serialize to it for inspection, and hand-edited Turtle (e.g.
+a tweaked ontology fragment) parses back.  The parser covers the
+subset the writer emits plus common hand-written forms: ``@prefix``,
+``a``, predicate lists (``;``), object lists (``,``), blank node
+labels, and plain/typed/language literals.  Collections ``( … )`` and
+anonymous bnodes ``[ … ]`` are not supported — the system never emits
+them.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from collections import defaultdict
+from typing import IO, Dict, List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.term import BNode, Literal, Node, URIRef
+
+__all__ = ["serialize", "serialize_to_string", "parse", "parse_string"]
+
+
+def serialize(graph: Graph, out: IO[str]) -> None:
+    """Write ``graph`` as Turtle, grouping triples by subject.
+
+    Prefix bindings come from the graph's namespace manager; the
+    ``rdf:type`` predicate is rendered as ``a``.  Subjects and
+    predicates are sorted for deterministic output.
+    """
+    manager = graph.namespace_manager
+    used_prefixes = set()
+
+    def render(term: Node) -> str:
+        if isinstance(term, URIRef):
+            qname = manager.qname(term)
+            if qname is not None:
+                used_prefixes.add(qname.partition(":")[0])
+                return qname
+        return term.n3()
+
+    by_subject: Dict[Node, List] = defaultdict(list)
+    for subject, predicate, obj in graph:
+        by_subject[subject].append((predicate, obj))
+
+    body = io.StringIO()
+    for subject in sorted(by_subject, key=_sort_key):
+        pairs = by_subject[subject]
+        by_predicate: Dict[URIRef, List[Node]] = defaultdict(list)
+        for predicate, obj in pairs:
+            by_predicate[predicate].append(obj)
+        body.write(render(subject))
+        lines = []
+        for predicate in sorted(by_predicate, key=str):
+            verb = "a" if predicate == RDF.type else render(predicate)
+            objects = ", ".join(
+                render(obj) for obj in sorted(by_predicate[predicate],
+                                              key=_sort_key))
+            lines.append(f"    {verb} {objects}")
+        body.write(" ")
+        body.write(" ;\n".join(lines).lstrip())
+        body.write(" .\n\n")
+
+    for prefix, namespace in manager.namespaces():
+        if prefix in used_prefixes:
+            out.write(f"@prefix {prefix}: <{namespace}> .\n")
+    out.write("\n")
+    out.write(body.getvalue())
+
+
+def serialize_to_string(graph: Graph) -> str:
+    buffer = io.StringIO()
+    serialize(graph, buffer)
+    return buffer.getvalue()
+
+
+def _sort_key(term: Node) -> tuple:
+    if isinstance(term, Literal):
+        return (1, term.lexical, term.datatype or "", term.language or "")
+    return (0, str(term), "", "")
+
+
+# ----------------------------------------------------------------------
+# parsing
+# ----------------------------------------------------------------------
+
+_TOKEN = re.compile(r"""
+    (?P<COMMENT>\#[^\n]*)
+  | (?P<PREFIX_DECL>@prefix)
+  | (?P<IRI><[^<>\s]*>)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<BNODE>_:[A-Za-z0-9_]+)
+  | (?P<PNAME>[A-Za-z_][\w\-]*:[\w\-.]*|:[\w\-.]+)
+  | (?P<PREFIX_NS>[A-Za-z_][\w\-]*:|:)
+  | (?P<NUMBER>[+-]?\d+(?:\.\d+)?)
+  | (?P<BOOL>\btrue\b|\bfalse\b)
+  | (?P<A>\ba\b)
+  | (?P<DTYPE>\^\^)
+  | (?P<LANG>@[A-Za-z]+(?:-[A-Za-z0-9]+)*)
+  | (?P<PUNCT>[;,.\[\]()])
+  | (?P<WS>\s+)
+""", re.VERBOSE)
+
+_ESCAPES = {"n": "\n", "t": "\t", "r": "\r", '"': '"', "\\": "\\"}
+
+
+def _unescape(raw: str) -> str:
+    out = []
+    i = 0
+    while i < len(raw):
+        char = raw[i]
+        if char == "\\" and i + 1 < len(raw):
+            escape = raw[i + 1]
+            if escape in _ESCAPES:
+                out.append(_ESCAPES[escape])
+                i += 2
+                continue
+            if escape == "u" and i + 5 < len(raw):
+                out.append(chr(int(raw[i + 2:i + 6], 16)))
+                i += 6
+                continue
+        out.append(char)
+        i += 1
+    return "".join(out)
+
+
+def _tokenize_turtle(text: str) -> List[Tuple[str, str, int]]:
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} "
+                             f"in Turtle", line=line)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append((kind, value, line))
+        line += value.count("\n")
+        pos = match.end()
+    tokens.append(("EOF", "", line))
+    return tokens
+
+
+class _TurtleParser:
+    def __init__(self, tokens: List[Tuple[str, str, int]],
+                 namespaces: Optional[NamespaceManager]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._ns = namespaces or NamespaceManager()
+
+    @property
+    def _current(self) -> Tuple[str, str, int]:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Tuple[str, str, int]:
+        token = self._current
+        if token[0] != "EOF":
+            self._pos += 1
+        return token
+
+    def _fail(self, message: str) -> ParseError:
+        kind, value, line = self._current
+        return ParseError(f"{message}, found {value!r}", line=line)
+
+    def _expect_punct(self, char: str) -> None:
+        kind, value, _ = self._advance()
+        if kind != "PUNCT" or value != char:
+            self._pos -= 1
+            raise self._fail(f"expected {char!r}")
+
+    def parse(self, graph: Graph) -> Graph:
+        while self._current[0] != "EOF":
+            if self._current[0] == "PREFIX_DECL":
+                self._parse_prefix()
+            else:
+                self._parse_statement(graph)
+        return graph
+
+    def _parse_prefix(self) -> None:
+        self._advance()                       # @prefix
+        kind, value, _ = self._advance()
+        if kind not in ("PREFIX_NS", "PNAME"):
+            raise self._fail("expected prefix name")
+        prefix = value.rstrip(":") if kind == "PREFIX_NS" \
+            else value.partition(":")[0]
+        kind, iri, _ = self._advance()
+        if kind != "IRI":
+            raise self._fail("expected namespace IRI")
+        self._ns.bind(prefix, iri[1:-1])
+        self._expect_punct(".")
+
+    def _parse_statement(self, graph: Graph) -> None:
+        subject = self._parse_term(as_subject=True)
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term()
+                graph.add((subject, predicate, obj))  # type: ignore[arg-type]
+                if self._current[:2] == ("PUNCT", ","):
+                    self._advance()
+                    continue
+                break
+            if self._current[:2] == ("PUNCT", ";"):
+                self._advance()
+                # tolerate trailing ';' before '.'
+                if self._current[:2] == ("PUNCT", "."):
+                    break
+                continue
+            break
+        self._expect_punct(".")
+
+    def _parse_verb(self) -> URIRef:
+        if self._current[0] == "A":
+            self._advance()
+            return RDF.type
+        term = self._parse_term()
+        if not isinstance(term, URIRef):
+            raise self._fail("predicate must be an IRI")
+        return term
+
+    def _parse_term(self, as_subject: bool = False) -> Node:
+        kind, value, _ = self._advance()
+        if kind == "IRI":
+            return URIRef(value[1:-1])
+        if kind == "PNAME":
+            return self._ns.expand(value)
+        if kind == "BNODE":
+            return BNode(value[2:])
+        if as_subject:
+            self._pos -= 1
+            raise self._fail("expected IRI or blank node subject")
+        if kind == "STRING":
+            lexical = _unescape(value[1:-1])
+            if self._current[0] == "LANG":
+                language = self._advance()[1][1:]
+                return Literal(lexical, language=language)
+            if self._current[0] == "DTYPE":
+                self._advance()
+                datatype = self._parse_term()
+                if not isinstance(datatype, URIRef):
+                    raise self._fail("datatype must be an IRI")
+                return Literal(lexical, datatype=str(datatype))
+            return Literal(lexical)
+        if kind == "NUMBER":
+            if "." in value:
+                return Literal(float(value))
+            return Literal(int(value))
+        if kind == "BOOL":
+            return Literal(value == "true")
+        self._pos -= 1
+        raise self._fail("expected an RDF term")
+
+
+def parse(source: IO[str], graph: Graph | None = None,
+          namespaces: Optional[NamespaceManager] = None) -> Graph:
+    """Parse Turtle from a text stream into ``graph`` (or a new one)."""
+    target = graph if graph is not None else Graph()
+    parser = _TurtleParser(_tokenize_turtle(source.read()),
+                           namespaces or target.namespace_manager)
+    return parser.parse(target)
+
+
+def parse_string(text: str, graph: Graph | None = None,
+                 namespaces: Optional[NamespaceManager] = None) -> Graph:
+    return parse(io.StringIO(text), graph, namespaces)

@@ -1,0 +1,25 @@
+"""Reasoning services: classification, realization, consistency, rules.
+
+This package replaces the Pellet + Jena stack of the original system
+(§3.5) with from-scratch implementations of exactly the services the
+paper exercises.  The main entry point is
+:class:`~repro.reasoning.reasoner.Reasoner`.
+"""
+
+from repro.reasoning.consistency import (ConsistencyChecker, Violation,
+                                         check_consistency)
+from repro.reasoning.realization import Realizer, realize
+from repro.reasoning.reasoner import InferenceResult, Reasoner, schema_rules
+from repro.reasoning.taxonomy import Taxonomy
+
+__all__ = [
+    "Taxonomy",
+    "Realizer",
+    "realize",
+    "ConsistencyChecker",
+    "Violation",
+    "check_consistency",
+    "Reasoner",
+    "InferenceResult",
+    "schema_rules",
+]

@@ -1,0 +1,177 @@
+"""Consistency checking (§3.5).
+
+Validates an ABox against the TBox's constraints:
+
+* **disjointness** — no individual may belong to two disjoint classes;
+* **value constraints** — ``allValuesFrom`` fillers must hold for every
+  value (e.g. only goalkeepers in the goalkeeping position);
+* **cardinality constraints** — min/max/exact counts per property
+  (e.g. at most one goalkeeper per team, exactly one home team);
+* **functional properties** — at most one value;
+* **range conformance** — object property values typed against the
+  declared range.
+
+Violations are returned as data so callers can report them; pass
+``raise_on_error=True`` to get the paper's hard-failure behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConsistencyError
+from repro.rdf.term import Literal, URIRef
+from repro.ontology.model import (Individual, Ontology, PropertyKind,
+                                  RestrictionKind)
+from repro.reasoning.taxonomy import Taxonomy
+
+__all__ = ["Violation", "ConsistencyChecker", "check_consistency"]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected inconsistency."""
+
+    individual: URIRef
+    kind: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.individual.local_name}: {self.message}"
+
+
+class ConsistencyChecker:
+    """Checks ABoxes against one TBox.
+
+    Reuse one checker across many match models: the taxonomy is
+    computed once, matching the paper's offline-reasoning design.
+    """
+
+    def __init__(self, ontology: Ontology,
+                 taxonomy: Taxonomy | None = None) -> None:
+        self._ontology = ontology
+        self._taxonomy = taxonomy or Taxonomy(ontology)
+
+    def check(self, abox: Ontology,
+              raise_on_error: bool = False) -> List[Violation]:
+        violations: List[Violation] = []
+        for individual in abox.individuals():
+            violations.extend(self._check_disjointness(individual))
+            violations.extend(self._check_functional(individual))
+            violations.extend(self._check_ranges(abox, individual))
+            violations.extend(self._check_restrictions(abox, individual))
+        if violations and raise_on_error:
+            raise ConsistencyError(
+                f"{len(violations)} violation(s); first: {violations[0]}")
+        return violations
+
+    # ------------------------------------------------------------------
+
+    def _check_disjointness(self, individual: Individual) -> List[Violation]:
+        violations = []
+        types = [t for t in individual.types if self._ontology.has_class(t)]
+        for type_uri in types:
+            declared = self._ontology.get_class(type_uri).disjoint_with
+            for other in declared:
+                # disjointness is inherited by subclasses of both sides
+                for candidate in types:
+                    if candidate != type_uri and \
+                            self._taxonomy.is_subclass_of(candidate, other):
+                        violations.append(Violation(
+                            individual.uri, "disjoint",
+                            f"belongs to disjoint classes "
+                            f"{type_uri.local_name} and "
+                            f"{candidate.local_name}"))
+        return violations
+
+    def _check_functional(self, individual: Individual) -> List[Violation]:
+        violations = []
+        for prop_uri, values in individual.properties.items():
+            if not self._ontology.has_property(prop_uri):
+                continue
+            prop = self._ontology.get_property(prop_uri)
+            if prop.functional and len(values) > 1:
+                violations.append(Violation(
+                    individual.uri, "functional",
+                    f"{prop_uri.local_name} has {len(values)} values"))
+        return violations
+
+    def _check_ranges(self, abox: Ontology,
+                      individual: Individual) -> List[Violation]:
+        violations = []
+        for prop_uri, values in individual.properties.items():
+            if not self._ontology.has_property(prop_uri):
+                continue
+            prop = self._ontology.get_property(prop_uri)
+            if prop.kind != PropertyKind.OBJECT or prop.range is None:
+                continue
+            for value in values:
+                if isinstance(value, Literal):
+                    violations.append(Violation(
+                        individual.uri, "range",
+                        f"object property {prop_uri.local_name} "
+                        f"has literal value {value.lexical!r}"))
+                elif isinstance(value, URIRef) and abox.has_individual(value):
+                    target = abox.individual(value)
+                    if target.types and not any(
+                            self._taxonomy.is_subclass_of(t, prop.range)
+                            for t in target.types):
+                        violations.append(Violation(
+                            individual.uri, "range",
+                            f"value {value.local_name} of "
+                            f"{prop_uri.local_name} is not a "
+                            f"{prop.range.local_name}"))
+        return violations
+
+    def _check_restrictions(self, abox: Ontology,
+                            individual: Individual) -> List[Violation]:
+        violations = []
+        for restriction in self._ontology.restrictions():
+            applies = any(
+                self._taxonomy.is_subclass_of(t, restriction.on_class)
+                for t in individual.types)
+            if not applies:
+                continue
+            values = individual.properties.get(restriction.on_property, [])
+            kind = restriction.kind
+            prop_name = restriction.on_property.local_name
+            if kind == RestrictionKind.ALL_VALUES_FROM:
+                for value in values:
+                    if isinstance(value, URIRef) \
+                            and abox.has_individual(value):
+                        target = abox.individual(value)
+                        filler = restriction.filler
+                        if target.types and not any(
+                                self._taxonomy.is_subclass_of(t, filler)
+                                for t in target.types):
+                            violations.append(Violation(
+                                individual.uri, "allValuesFrom",
+                                f"value {value.local_name} of {prop_name} "
+                                f"is not a {filler.local_name}"))
+            elif kind == RestrictionKind.MAX_CARDINALITY:
+                if len(values) > restriction.filler:
+                    violations.append(Violation(
+                        individual.uri, "maxCardinality",
+                        f"{prop_name} has {len(values)} values, "
+                        f"at most {restriction.filler} allowed"))
+            elif kind == RestrictionKind.MIN_CARDINALITY:
+                if len(values) < restriction.filler:
+                    violations.append(Violation(
+                        individual.uri, "minCardinality",
+                        f"{prop_name} has {len(values)} values, "
+                        f"at least {restriction.filler} required"))
+            elif kind == RestrictionKind.CARDINALITY:
+                if len(values) != restriction.filler:
+                    violations.append(Violation(
+                        individual.uri, "cardinality",
+                        f"{prop_name} has {len(values)} values, "
+                        f"exactly {restriction.filler} required"))
+        return violations
+
+
+def check_consistency(abox: Ontology, ontology: Ontology | None = None,
+                      raise_on_error: bool = False) -> List[Violation]:
+    """Convenience wrapper around :class:`ConsistencyChecker`."""
+    tbox = ontology or abox
+    return ConsistencyChecker(tbox).check(abox, raise_on_error)

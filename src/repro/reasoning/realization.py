@@ -1,0 +1,183 @@
+"""Realization: inferring the most complete type set for individuals.
+
+Covers the inference services the paper quotes from Pellet (§3.5):
+
+* **type closure** — asserted types are expanded along the subclass
+  hierarchy (a ``LeftBack`` is a ``DefencePlayer`` is a ``Player`` …),
+  the inference behind Q-10's "defence players";
+* **property closure** — asserted property values are propagated to all
+  super-properties (``scorerPlayer`` implies ``subjectPlayer``;
+  ``actorOfRedCard`` implies ``actorOfNegativeMove``), the inference
+  behind Q-7;
+* **domain/range typing** — "we could infer the type of an individual
+  if it is the value of a property whose range is restricted to a
+  certain class" (§3.5), plus the symmetric domain inference;
+* **hasValue / someValuesFrom entailment** of restriction classes;
+* **inverse-property completion** (``hasPlayer`` ↔ ``playsFor``).
+
+The pass iterates to a fixpoint because each kind of inference can
+enable another (a range-typed goalkeeper gains ``Player`` by type
+closure, which may satisfy another restriction, …).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.rdf.term import URIRef
+from repro.ontology.model import Individual, Ontology, PropertyKind
+from repro.reasoning.taxonomy import Taxonomy
+
+__all__ = ["Realizer", "realize"]
+
+
+class Realizer:
+    """Stateful realization pass over one ABox."""
+
+    def __init__(self, ontology: Ontology,
+                 taxonomy: Taxonomy | None = None) -> None:
+        self._ontology = ontology
+        self._taxonomy = taxonomy or Taxonomy(ontology)
+
+    def realize(self, abox: Ontology) -> int:
+        """Expand every individual's types and properties in place.
+
+        Returns the total number of new facts (types + property values)
+        added.  Idempotent: calling twice adds nothing the second time.
+        """
+        added = 0
+        changed = True
+        while changed:
+            changed = False
+            for individual in list(abox.individuals()):
+                delta = self._expand(abox, individual)
+                if delta:
+                    changed = True
+                    added += delta
+        return added
+
+    # ------------------------------------------------------------------
+
+    def _expand(self, abox: Ontology, individual: Individual) -> int:
+        added = 0
+        added += self._close_types(individual)
+        added += self._close_properties(individual)
+        added += self._apply_domain_range(abox, individual)
+        added += self._apply_inverses(abox, individual)
+        added += self._apply_restrictions(abox, individual)
+        return added
+
+    def _close_types(self, individual: Individual) -> int:
+        inferred: Set[URIRef] = set()
+        for type_uri in individual.types:
+            if self._ontology.has_class(type_uri):
+                inferred |= self._taxonomy.superclasses(type_uri)
+        new_types = inferred - individual.types
+        individual.types |= new_types
+        return len(new_types)
+
+    def _close_properties(self, individual: Individual) -> int:
+        added = 0
+        for prop_uri in list(individual.properties):
+            if not self._ontology.has_property(prop_uri):
+                continue
+            supers = self._taxonomy.superproperties(prop_uri)
+            if not supers:
+                continue
+            for value in list(individual.properties[prop_uri]):
+                for super_uri in supers:
+                    existing = individual.properties.setdefault(super_uri, [])
+                    if value not in existing:
+                        existing.append(value)
+                        added += 1
+        return added
+
+    def _apply_domain_range(self, abox: Ontology,
+                            individual: Individual) -> int:
+        added = 0
+        for prop_uri, values in list(individual.properties.items()):
+            if not self._ontology.has_property(prop_uri):
+                continue
+            prop = self._ontology.get_property(prop_uri)
+            if prop.domain is not None and prop.domain not in individual.types:
+                individual.types.add(prop.domain)
+                added += 1
+            if prop.kind != PropertyKind.OBJECT or prop.range is None:
+                continue
+            for value in values:
+                if isinstance(value, URIRef) and abox.has_individual(value):
+                    target = abox.individual(value)
+                    if prop.range not in target.types:
+                        target.types.add(prop.range)
+                        added += 1
+        return added
+
+    def _apply_inverses(self, abox: Ontology, individual: Individual) -> int:
+        added = 0
+        for prop_uri, values in list(individual.properties.items()):
+            if not self._ontology.has_property(prop_uri):
+                continue
+            inverse = self._ontology.get_property(prop_uri).inverse_of
+            if inverse is None:
+                continue
+            for value in values:
+                if isinstance(value, URIRef) and abox.has_individual(value):
+                    target = abox.individual(value)
+                    existing = target.properties.setdefault(inverse, [])
+                    if individual.uri not in existing:
+                        existing.append(individual.uri)
+                        added += 1
+        # also run the declared inverse in the other direction:
+        # q inverseOf p means p(x,y) → q(y,x) and q(x,y) → p(y,x).
+        for prop in self._ontology.properties():
+            if prop.inverse_of is None:
+                continue
+            for value in list(individual.properties.get(prop.inverse_of, [])):
+                if isinstance(value, URIRef) and abox.has_individual(value):
+                    target = abox.individual(value)
+                    existing = target.properties.setdefault(prop.uri, [])
+                    if individual.uri not in existing:
+                        existing.append(individual.uri)
+                        added += 1
+        return added
+
+    def _apply_restrictions(self, abox: Ontology,
+                            individual: Individual) -> int:
+        """Entail restriction membership (hasValue / someValuesFrom).
+
+        When class C is restricted as ``C ⊑ p hasValue v`` the OWL
+        semantics also allow the converse recognition used here: any
+        individual with ``p = v`` asserted is recognized as a C (the
+        restriction acts as a defined class).  Likewise for
+        ``someValuesFrom`` when a value of the filler class is present.
+        """
+        added = 0
+        from repro.ontology.model import RestrictionKind
+        for restriction in self._ontology.restrictions():
+            if restriction.on_class in individual.types:
+                continue
+            values = individual.properties.get(restriction.on_property)
+            if not values:
+                continue
+            if restriction.kind == RestrictionKind.HAS_VALUE:
+                if restriction.filler in values:
+                    individual.types.add(restriction.on_class)
+                    added += 1
+            elif restriction.kind == RestrictionKind.SOME_VALUES_FROM:
+                filler = restriction.filler
+                for value in values:
+                    if (isinstance(value, URIRef)
+                            and abox.has_individual(value)
+                            and any(self._taxonomy.is_subclass_of(t, filler)
+                                    for t in abox.individual(value).types)):
+                        individual.types.add(restriction.on_class)
+                        added += 1
+                        break
+        return added
+
+
+def realize(abox: Ontology, ontology: Ontology | None = None,
+            taxonomy: Taxonomy | None = None) -> int:
+    """Convenience wrapper: realize ``abox`` against its (shared) TBox."""
+    tbox = ontology or abox
+    return Realizer(tbox, taxonomy).realize(abox)

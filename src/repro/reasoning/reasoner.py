@@ -1,0 +1,148 @@
+"""The reasoner facade — our stand-in for Pellet + Jena (§3.5).
+
+One :class:`Reasoner` bundles every offline inference service the paper
+uses, applied to a single match model at a time:
+
+1. **classification / realization** — schema rules generated from the
+   ontology (sub-class, sub-property, domain, range) are run together
+   with
+2. **domain rules** — the Jena-style rule base (assist, conceding team,
+   beaten goalkeeper, actor-of assertions), to a joint fixpoint on the
+   match's RDF graph;
+3. **restriction entailment** — hasValue/someValuesFrom recognition via
+   the model-level :class:`~repro.reasoning.realization.Realizer`;
+4. **consistency checking** via
+   :class:`~repro.reasoning.consistency.ConsistencyChecker`.
+
+Scalability follows the paper's design: the TBox (and the taxonomy,
+checker and compiled rules derived from it) is computed once and shared;
+each match ABox is inferred independently, so per-match cost does not
+grow with corpus size (benchmarked in
+``benchmarks/test_scalability_inference.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import RDF
+from repro.rdf.term import URIRef, Variable
+from repro.ontology.io import abox_to_graph, individuals_from_graph
+from repro.ontology.model import Ontology, PropertyKind
+from repro.reasoning.consistency import ConsistencyChecker, Violation
+from repro.reasoning.realization import Realizer
+from repro.reasoning.rules.ast import Rule, TriplePattern
+from repro.reasoning.rules.engine import FiringRecord, RuleEngine
+from repro.reasoning.taxonomy import Taxonomy
+
+__all__ = ["InferenceResult", "Reasoner", "schema_rules"]
+
+_X = Variable("x")
+_Y = Variable("y")
+
+
+def schema_rules(ontology: Ontology) -> List[Rule]:
+    """Compile the ontology's schema into forward rules.
+
+    Produces the RDFS-style entailments (sub-class, sub-property,
+    domain, object-property range) as plain rules so classification and
+    realization run in the same fixpoint as the domain rules —
+    rule-created individuals (e.g. assists) are classified too.
+    """
+    rules: List[Rule] = []
+    for cls in ontology.classes():
+        for parent in sorted(cls.parents):
+            rules.append(Rule(
+                name=f"sc_{cls.uri.local_name}_{parent.local_name}",
+                body=[TriplePattern(_X, RDF.type, cls.uri)],
+                head=[TriplePattern(_X, RDF.type, parent)],
+            ))
+    for prop in ontology.properties():
+        for parent in sorted(prop.parents):
+            rules.append(Rule(
+                name=f"sp_{prop.uri.local_name}_{parent.local_name}",
+                body=[TriplePattern(_X, prop.uri, _Y)],
+                head=[TriplePattern(_X, parent, _Y)],
+            ))
+        if prop.domain is not None:
+            rules.append(Rule(
+                name=f"dom_{prop.uri.local_name}",
+                body=[TriplePattern(_X, prop.uri, _Y)],
+                head=[TriplePattern(_X, RDF.type, prop.domain)],
+            ))
+        if prop.kind == PropertyKind.OBJECT and prop.range is not None:
+            rules.append(Rule(
+                name=f"rng_{prop.uri.local_name}",
+                body=[TriplePattern(_X, prop.uri, _Y)],
+                head=[TriplePattern(_Y, RDF.type, prop.range)],
+            ))
+        if prop.inverse_of is not None:
+            rules.append(Rule(
+                name=f"inv_{prop.uri.local_name}",
+                body=[TriplePattern(_X, prop.inverse_of, _Y)],
+                head=[TriplePattern(_Y, prop.uri, _X)],
+            ))
+            rules.append(Rule(
+                name=f"vni_{prop.uri.local_name}",
+                body=[TriplePattern(_X, prop.uri, _Y)],
+                head=[TriplePattern(_Y, prop.inverse_of, _X)],
+            ))
+    return rules
+
+
+@dataclass
+class InferenceResult:
+    """Everything produced by inferring one match model."""
+
+    abox: Ontology
+    graph: Graph
+    firing: FiringRecord
+    violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.violations
+
+
+class Reasoner:
+    """Shared-TBox reasoner applied per match model."""
+
+    def __init__(self, ontology: Ontology,
+                 domain_rules: Iterable[Rule] = ()) -> None:
+        self.ontology = ontology
+        self.taxonomy = Taxonomy(ontology)
+        self._realizer = Realizer(ontology, self.taxonomy)
+        self._checker = ConsistencyChecker(ontology, self.taxonomy)
+        self._engine = RuleEngine(
+            list(domain_rules) + schema_rules(ontology))
+
+    def infer(self, abox: Ontology,
+              check_consistency: bool = True) -> InferenceResult:
+        """Run the full offline inference pass over one match model.
+
+        The input ABox is not modified; a new, fully inferred ABox is
+        returned together with the inferred RDF graph (the artifact the
+        semantic indexer consumes — the paper's "inferred OWL files").
+        """
+        graph = abox_to_graph(abox)
+        firing = self._engine.run(graph)
+        inferred = individuals_from_graph(graph, self.ontology)
+        inferred.name = f"{abox.name}-inferred"
+        # restriction entailment needs the model view; it can add types
+        # (hasValue / someValuesFrom recognition) not expressible as
+        # plain triple rules.
+        self._realizer.realize(inferred)
+        violations = (self._checker.check(inferred)
+                      if check_consistency else [])
+        return InferenceResult(abox=inferred, graph=graph, firing=firing,
+                               violations=violations)
+
+    def classify(self, uri: URIRef) -> List[URIRef]:
+        """All superclasses of a class (the Fig. 5 service)."""
+        return sorted(self.taxonomy.superclasses(uri))
+
+    def check(self, abox: Ontology) -> List[Violation]:
+        """Consistency-check an ABox without inferring."""
+        return self._checker.check(abox)

@@ -1,0 +1,30 @@
+"""Jena-style forward-chaining rules (parser, builtins, engine).
+
+Entry points:
+
+* :func:`~repro.reasoning.rules.parser.parse_rules` — parse rule text.
+* :class:`~repro.reasoning.rules.engine.RuleEngine` — run to fixpoint.
+* :func:`~repro.reasoning.rules.rulesets.soccer_rules` — the paper's
+  domain rule base, including the Fig. 6 assist rule verbatim.
+"""
+
+from repro.reasoning.rules.ast import BuiltinCall, Rule, TriplePattern
+from repro.reasoning.rules.engine import FiringRecord, RuleEngine
+from repro.reasoning.rules.parser import parse_rule, parse_rules
+from repro.reasoning.rules.rulesets import (ASSIST_RULE_TEXT,
+                                            SOCCER_RULES_TEXT,
+                                            soccer_namespaces, soccer_rules)
+
+__all__ = [
+    "Rule",
+    "TriplePattern",
+    "BuiltinCall",
+    "RuleEngine",
+    "FiringRecord",
+    "parse_rule",
+    "parse_rules",
+    "soccer_rules",
+    "soccer_namespaces",
+    "ASSIST_RULE_TEXT",
+    "SOCCER_RULES_TEXT",
+]

@@ -1,0 +1,82 @@
+"""AST for Jena-style forward-chaining rules (paper §3.5, Fig. 6).
+
+A rule has the shape::
+
+    [ruleName:
+        (?pass rdf:type pre:Pass)
+        (?pass pre:passingPlayer ?passer)
+        noValue(?pass rdf:type pre:Assist)
+        makeTemp(?tmp)
+        -> (?tmp rdf:type pre:Assist)
+           (?tmp pre:passingPlayer ?passer)
+    ]
+
+The body is an ordered list of triple patterns and builtin calls; the
+head is a list of triple templates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.rdf.term import Literal, URIRef, Variable
+
+__all__ = ["RuleTerm", "TriplePattern", "BuiltinCall", "BodyAtom", "Rule"]
+
+#: Terms allowed in rule patterns.
+RuleTerm = Union[URIRef, Literal, Variable]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """A triple pattern in a rule body or head."""
+
+    subject: RuleTerm
+    predicate: RuleTerm
+    obj: RuleTerm
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(t for t in (self.subject, self.predicate, self.obj)
+                     if isinstance(t, Variable))
+
+    def __str__(self) -> str:
+        return (f"({_render(self.subject)} {_render(self.predicate)} "
+                f"{_render(self.obj)})")
+
+
+@dataclass(frozen=True)
+class BuiltinCall:
+    """A builtin invocation, e.g. ``noValue(?x rdf:type pre:Assist)``."""
+
+    name: str
+    args: Tuple[RuleTerm, ...]
+
+    def __str__(self) -> str:
+        rendered = " ".join(_render(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+
+BodyAtom = Union[TriplePattern, BuiltinCall]
+
+
+@dataclass
+class Rule:
+    """A complete parsed rule."""
+
+    name: str
+    body: List[BodyAtom] = field(default_factory=list)
+    head: List[TriplePattern] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        body = "\n  ".join(str(atom) for atom in self.body)
+        head = "\n     ".join(str(atom) for atom in self.head)
+        return f"[{self.name}:\n  {body}\n  -> {head}\n]"
+
+
+def _render(term: RuleTerm) -> str:
+    if isinstance(term, Variable):
+        return f"?{term}"
+    if isinstance(term, Literal):
+        return term.n3()
+    return f"<{term}>"

@@ -1,0 +1,163 @@
+"""Builtins for the rule engine.
+
+The subset Jena's docs call "core builtins", limited to the ones the
+paper's rule base needs plus the obvious comparison family:
+
+``noValue(s p o)``
+    Guard: succeeds when no matching triple exists in the graph under
+    the current bindings (unbound variables are wildcards).
+
+``makeTemp(?v)``
+    Binds ``?v`` to a fresh blank node.  Unlike Jena's, our temp is
+    **deterministic per rule firing**: the label is derived from the
+    rule name and the current variable bindings, so re-running a rule
+    reproduces the same node and forward chaining reaches a fixpoint
+    even without an explicit guard.  This also keeps the corpus builds
+    reproducible.
+
+``equal(?x ?y)`` / ``notEqual(?x ?y)``
+    Term equality under bindings.
+
+``lessThan`` / ``greaterThan`` / ``le`` / ``ge``
+    Numeric comparison of literal values.
+
+``bound(?x)`` / ``unbound(?x)``
+    Binding state tests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, Optional
+
+from repro.errors import RuleError
+from repro.rdf.graph import Graph
+from repro.rdf.term import BNode, Literal, Node, Variable
+from repro.reasoning.rules.ast import BuiltinCall, RuleTerm
+
+__all__ = ["Bindings", "evaluate_builtin", "BUILTIN_NAMES"]
+
+#: Variable bindings accumulated while matching a rule body.
+Bindings = Dict[Variable, Node]
+
+
+def _resolve(term: RuleTerm, bindings: Bindings) -> Optional[Node]:
+    if isinstance(term, Variable):
+        return bindings.get(term)
+    return term
+
+
+def _builtin_no_value(call: BuiltinCall, bindings: Bindings,
+                      graph: Graph, rule_name: str) -> bool:
+    if len(call.args) not in (2, 3):
+        raise RuleError("noValue expects (s p) or (s p o)")
+    subject = _resolve(call.args[0], bindings)
+    predicate = _resolve(call.args[1], bindings)
+    obj = _resolve(call.args[2], bindings) if len(call.args) == 3 else None
+    for _ in graph.triples((subject, predicate, obj)):  # type: ignore[arg-type]
+        return False
+    return True
+
+
+def _builtin_make_temp(call: BuiltinCall, bindings: Bindings,
+                       graph: Graph, rule_name: str) -> bool:
+    if len(call.args) != 1 or not isinstance(call.args[0], Variable):
+        raise RuleError("makeTemp expects exactly one variable")
+    variable = call.args[0]
+    if variable in bindings:
+        raise RuleError(f"makeTemp variable ?{variable} is already bound")
+    digest_source = rule_name + "|" + "|".join(
+        f"{name}={_canonical(value)}"
+        for name, value in sorted(bindings.items()))
+    digest = hashlib.md5(digest_source.encode("utf-8")).hexdigest()[:16]
+    bindings[variable] = BNode(f"tmp_{digest}")
+    return True
+
+
+def _canonical(value: Node) -> str:
+    if isinstance(value, Literal):
+        return value.n3()
+    return str(value)
+
+
+def _comparison(name: str, test: Callable[[float, float], bool]):
+    def builtin(call: BuiltinCall, bindings: Bindings,
+                graph: Graph, rule_name: str) -> bool:
+        if len(call.args) != 2:
+            raise RuleError(f"{name} expects two arguments")
+        left = _resolve(call.args[0], bindings)
+        right = _resolve(call.args[1], bindings)
+        if left is None or right is None:
+            return False
+        try:
+            left_value = float(left.to_python()) \
+                if isinstance(left, Literal) else None
+            right_value = float(right.to_python()) \
+                if isinstance(right, Literal) else None
+        except (TypeError, ValueError):
+            return False
+        if left_value is None or right_value is None:
+            return False
+        return test(left_value, right_value)
+
+    return builtin
+
+
+def _builtin_equal(call: BuiltinCall, bindings: Bindings,
+                   graph: Graph, rule_name: str) -> bool:
+    if len(call.args) != 2:
+        raise RuleError("equal expects two arguments")
+    left = _resolve(call.args[0], bindings)
+    right = _resolve(call.args[1], bindings)
+    return left is not None and left == right
+
+
+def _builtin_not_equal(call: BuiltinCall, bindings: Bindings,
+                       graph: Graph, rule_name: str) -> bool:
+    if len(call.args) != 2:
+        raise RuleError("notEqual expects two arguments")
+    left = _resolve(call.args[0], bindings)
+    right = _resolve(call.args[1], bindings)
+    return left is not None and right is not None and left != right
+
+
+def _builtin_bound(call: BuiltinCall, bindings: Bindings,
+                   graph: Graph, rule_name: str) -> bool:
+    return all(not isinstance(a, Variable) or a in bindings
+               for a in call.args)
+
+
+def _builtin_unbound(call: BuiltinCall, bindings: Bindings,
+                     graph: Graph, rule_name: str) -> bool:
+    return all(isinstance(a, Variable) and a not in bindings
+               for a in call.args)
+
+
+_BUILTINS: Dict[str, Callable] = {
+    "noValue": _builtin_no_value,
+    "makeTemp": _builtin_make_temp,
+    "equal": _builtin_equal,
+    "notEqual": _builtin_not_equal,
+    "lessThan": _comparison("lessThan", lambda a, b: a < b),
+    "greaterThan": _comparison("greaterThan", lambda a, b: a > b),
+    "le": _comparison("le", lambda a, b: a <= b),
+    "ge": _comparison("ge", lambda a, b: a >= b),
+    "bound": _builtin_bound,
+    "unbound": _builtin_unbound,
+}
+
+BUILTIN_NAMES = frozenset(_BUILTINS)
+
+
+def evaluate_builtin(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                     rule_name: str) -> bool:
+    """Run one builtin; may extend ``bindings`` (makeTemp).
+
+    Returns False to prune the current match branch.
+    """
+    try:
+        implementation = _BUILTINS[call.name]
+    except KeyError:
+        raise RuleError(f"unknown builtin {call.name!r} "
+                        f"in rule {rule_name!r}") from None
+    return implementation(call, bindings, graph, rule_name)

@@ -1,0 +1,168 @@
+"""Forward-chaining rule engine over RDF graphs.
+
+Semantics follow Jena's forward engine for the covered subset: each
+rule body is evaluated left-to-right against the working graph; triple
+patterns extend candidate bindings via indexed lookups; builtins filter
+(or, for ``makeTemp``, extend) bindings.  Satisfied rules instantiate
+their head templates and assert the resulting triples.  The engine
+iterates all rules until a full pass adds no new triple (fixpoint).
+
+Because ``makeTemp`` mints deterministic nodes (see
+:mod:`repro.reasoning.rules.builtins`), generative rules like the
+paper's assist rule (Fig. 6) terminate without needing a guard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Optional
+
+from repro.errors import RuleError
+from repro.rdf.graph import Graph
+from repro.rdf.term import Node, Variable
+from repro.reasoning.rules.ast import (BuiltinCall, Rule, RuleTerm,
+                                       TriplePattern)
+from repro.reasoning.rules.builtins import Bindings, evaluate_builtin
+
+__all__ = ["FiringRecord", "RuleEngine"]
+
+
+@dataclass
+class FiringRecord:
+    """Diagnostics for one engine run."""
+
+    iterations: int = 0
+    triples_added: int = 0
+    firings_per_rule: Dict[str, int] = field(default_factory=dict)
+
+    def record(self, rule_name: str, added: int) -> None:
+        self.triples_added += added
+        if added:
+            self.firings_per_rule[rule_name] = (
+                self.firings_per_rule.get(rule_name, 0) + 1)
+
+
+class RuleEngine:
+    """Runs a fixed rule base against graphs.
+
+    One engine instance is reusable across many match models — mirroring
+    the paper's design where the same rule base is applied to each game
+    independently (§3.5).
+    """
+
+    def __init__(self, rules: Iterable[Rule],
+                 max_iterations: int = 100) -> None:
+        self.rules = list(rules)
+        self.max_iterations = max_iterations
+        for rule in self.rules:
+            _validate_rule(rule)
+
+    def run(self, graph: Graph) -> FiringRecord:
+        """Apply all rules to ``graph`` until fixpoint.
+
+        Mutates ``graph`` in place and returns firing statistics.
+        Raises :class:`RuleError` if the fixpoint is not reached within
+        ``max_iterations`` passes (a runaway generative rule).
+        """
+        record = FiringRecord()
+        for iteration in range(self.max_iterations):
+            record.iterations = iteration + 1
+            added_this_pass = 0
+            for rule in self.rules:
+                added = self._apply_rule(rule, graph, record)
+                added_this_pass += added
+            if added_this_pass == 0:
+                return record
+        raise RuleError(
+            f"no fixpoint after {self.max_iterations} iterations; "
+            f"a rule is generating unbounded facts")
+
+    # ------------------------------------------------------------------
+
+    def _apply_rule(self, rule: Rule, graph: Graph,
+                    record: FiringRecord) -> int:
+        added = 0
+        # Materialize matches before asserting so a rule never consumes
+        # its own new facts within a single pass (pass-level semantics).
+        matches = list(self._match_body(rule, graph, 0, {}))
+        for bindings in matches:
+            for template in rule.head:
+                triple = _instantiate(template, bindings, rule.name)
+                if graph.add(triple):
+                    added += 1
+        record.record(rule.name, added)
+        return added
+
+    def _match_body(self, rule: Rule, graph: Graph, index: int,
+                    bindings: Bindings) -> Iterator[Bindings]:
+        if index == len(rule.body):
+            yield dict(bindings)
+            return
+        atom = rule.body[index]
+        if isinstance(atom, BuiltinCall):
+            scoped = dict(bindings)
+            if evaluate_builtin(atom, scoped, graph, rule.name):
+                yield from self._match_body(rule, graph, index + 1, scoped)
+            return
+        pattern = (
+            _resolve(atom.subject, bindings),
+            _resolve(atom.predicate, bindings),
+            _resolve(atom.obj, bindings),
+        )
+        for subject, predicate, obj in graph.triples(pattern):  # type: ignore[arg-type]
+            extended = _extend(atom, bindings, subject, predicate, obj)
+            if extended is not None:
+                yield from self._match_body(rule, graph, index + 1, extended)
+
+
+def _validate_rule(rule: Rule) -> None:
+    """Reject heads with variables that can never be bound."""
+    bindable = set()
+    for atom in rule.body:
+        if isinstance(atom, TriplePattern):
+            bindable.update(atom.variables())
+        elif atom.name == "makeTemp":
+            bindable.update(a for a in atom.args if isinstance(a, Variable))
+    for template in rule.head:
+        for variable in template.variables():
+            if variable not in bindable:
+                raise RuleError(
+                    f"rule {rule.name!r}: head variable ?{variable} "
+                    f"never bound in body")
+
+
+def _resolve(term: RuleTerm, bindings: Bindings) -> Optional[Node]:
+    if isinstance(term, Variable):
+        return bindings.get(term)
+    return term
+
+
+def _extend(pattern: TriplePattern, bindings: Bindings,
+            subject: Node, predicate: Node, obj: Node
+            ) -> Optional[Bindings]:
+    extended = dict(bindings)
+    for term, value in ((pattern.subject, subject),
+                        (pattern.predicate, predicate),
+                        (pattern.obj, obj)):
+        if isinstance(term, Variable):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def _instantiate(template: TriplePattern, bindings: Bindings,
+                 rule_name: str):
+    def substitute(term: RuleTerm) -> Node:
+        if isinstance(term, Variable):
+            value = bindings.get(term)
+            if value is None:
+                raise RuleError(f"rule {rule_name!r}: unbound head "
+                                f"variable ?{term}")
+            return value
+        return term
+
+    return (substitute(template.subject), substitute(template.predicate),
+            substitute(template.obj))

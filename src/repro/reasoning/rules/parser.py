@@ -1,0 +1,198 @@
+"""Parser for the Jena-style rule syntax.
+
+Accepts the notation of the paper's Fig. 6::
+
+    [assistRule:
+        noValue(?pass rdf:type pre:Assist)
+        (?pass rdf:type pre:Pass)
+        (?pass pre:passingPlayer ?passer)
+        makeTemp(?tmp)
+        -> (?tmp rdf:type pre:Assist)
+    ]
+
+Terms may be variables (``?x``), qualified names (``pre:Pass``,
+resolved through a :class:`~repro.rdf.namespace.NamespaceManager`),
+full IRIs (``<http://…>``), quoted strings or numbers.  Commas between
+arguments are optional, as in Jena.  ``#`` starts a line comment.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from repro.errors import ParseError
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.term import Literal, URIRef, Variable
+from repro.reasoning.rules.ast import (BodyAtom, BuiltinCall, Rule, RuleTerm,
+                                       TriplePattern)
+
+__all__ = ["parse_rules", "parse_rule"]
+
+_TOKEN = re.compile(r"""
+    (?P<COMMENT>\#[^\n]*)
+  | (?P<LBRACKET>\[) | (?P<RBRACKET>\])
+  | (?P<LPAREN>\()   | (?P<RPAREN>\))
+  | (?P<ARROW>->)
+  | (?P<IRI><[^<>\s]+>)
+  | (?P<VAR>\?[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<NUMBER>[+-]?\d+(?:\.\d+)?)
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_\-]*(?::[A-Za-z_][A-Za-z0-9_\-.]*)?)
+  | (?P<COLON>:)
+  | (?P<COMMA>,)
+  | (?P<WS>\s+)
+""", re.VERBOSE)
+
+
+def _tokenize(text: str) -> List[tuple]:
+    tokens = []
+    pos = 0
+    line = 1
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {text[pos]!r} in rules",
+                             line=line)
+        kind = match.lastgroup
+        value = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append((kind, value, line))
+        line += value.count("\n")
+        pos = match.end()
+    tokens.append(("EOF", "", line))
+    return tokens
+
+
+def parse_rules(text: str,
+                namespaces: NamespaceManager | None = None) -> List[Rule]:
+    """Parse zero or more ``[name: body -> head]`` rules from ``text``."""
+    parser = _RuleParser(_tokenize(text), namespaces)
+    return parser.parse_all()
+
+
+def parse_rule(text: str,
+               namespaces: NamespaceManager | None = None) -> Rule:
+    """Parse exactly one rule."""
+    rules = parse_rules(text, namespaces)
+    if len(rules) != 1:
+        raise ParseError(f"expected exactly one rule, found {len(rules)}")
+    return rules[0]
+
+
+class _RuleParser:
+    def __init__(self, tokens: List[tuple],
+                 namespaces: NamespaceManager | None) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._ns = namespaces or NamespaceManager()
+
+    @property
+    def _current(self) -> tuple:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> tuple:
+        token = self._current
+        if token[0] != "EOF":
+            self._pos += 1
+        return token
+
+    def _fail(self, message: str) -> ParseError:
+        kind, value, line = self._current
+        return ParseError(f"{message}, found {value!r}", line=line)
+
+    def _expect(self, kind: str) -> tuple:
+        token = self._advance()
+        if token[0] != kind:
+            self._pos -= 1
+            raise self._fail(f"expected {kind}")
+        return token
+
+    def parse_all(self) -> List[Rule]:
+        rules: List[Rule] = []
+        while self._current[0] != "EOF":
+            rules.append(self._parse_rule())
+        return rules
+
+    def _parse_rule(self) -> Rule:
+        self._expect("LBRACKET")
+        name_token = self._expect("NAME")
+        name = name_token[1]
+        if ":" in name:
+            # a qualified name would be ambiguous here; rule names are bare
+            raise ParseError(f"rule name may not contain ':': {name!r}",
+                             line=name_token[2])
+        self._expect("COLON")
+        body: List[BodyAtom] = []
+        while self._current[0] != "ARROW":
+            if self._current[0] == "EOF":
+                raise self._fail("unterminated rule (missing '->')")
+            body.append(self._parse_body_atom())
+        self._advance()  # consume ->
+        head: List[TriplePattern] = []
+        while self._current[0] != "RBRACKET":
+            if self._current[0] == "EOF":
+                raise self._fail("unterminated rule (missing ']')")
+            if self._current[0] != "LPAREN":
+                raise self._fail("rule head may contain only triple patterns")
+            head.append(self._parse_triple())
+        self._advance()  # consume ]
+        if not head:
+            raise ParseError(f"rule {name!r} has an empty head")
+        return Rule(name=name, body=body, head=head)
+
+    def _parse_body_atom(self) -> BodyAtom:
+        kind, value, _ = self._current
+        if kind == "LPAREN":
+            return self._parse_triple()
+        if kind == "NAME":
+            return self._parse_builtin()
+        raise self._fail("expected a triple pattern or builtin call")
+
+    def _parse_triple(self) -> TriplePattern:
+        self._expect("LPAREN")
+        subject = self._parse_term()
+        self._skip_comma()
+        predicate = self._parse_term()
+        self._skip_comma()
+        obj = self._parse_term()
+        self._expect("RPAREN")
+        return TriplePattern(subject, predicate, obj)
+
+    def _parse_builtin(self) -> BuiltinCall:
+        name = self._expect("NAME")[1]
+        self._expect("LPAREN")
+        args: List[RuleTerm] = []
+        while self._current[0] != "RPAREN":
+            if self._current[0] == "EOF":
+                raise self._fail("unterminated builtin call")
+            args.append(self._parse_term())
+            self._skip_comma()
+        self._advance()  # consume )
+        return BuiltinCall(name=name, args=tuple(args))
+
+    def _skip_comma(self) -> None:
+        if self._current[0] == "COMMA":
+            self._advance()
+
+    def _parse_term(self) -> RuleTerm:
+        kind, value, line = self._advance()
+        if kind == "VAR":
+            return Variable(value[1:])
+        if kind == "IRI":
+            return URIRef(value[1:-1])
+        if kind == "NAME":
+            if ":" in value:
+                return self._ns.expand(value)
+            raise ParseError(f"bare name {value!r} is not a term "
+                             f"(use prefix:name or <iri>)", line=line)
+        if kind == "STRING":
+            unescaped = (value[1:-1].replace('\\"', '"')
+                         .replace("\\n", "\n").replace("\\\\", "\\"))
+            return Literal(unescaped)
+        if kind == "NUMBER":
+            if "." in value:
+                return Literal(float(value))
+            return Literal(int(value))
+        self._pos -= 1
+        raise self._fail("expected a term")

@@ -1,0 +1,229 @@
+"""The soccer rule base (paper §3.5).
+
+``ASSIST_RULE_TEXT`` is the paper's Fig. 6 rule, executable verbatim by
+our parser/engine.  ``SOCCER_RULES_TEXT`` extends it with the other
+rules the evaluation relies on:
+
+* team attribution — "the subjectTeam and objectTeam fields are also
+  filled using the semantic rules" (§3.6.1, Table 1 note);
+* conceding team / beaten goalkeeper — "we can infer the implicit
+  knowledge of which goal is scored to which goalkeeper, even if that
+  knowledge does not exist explicitly" (§4, Q-6);
+* the ``actorOf…`` assertions that drive Q-7's property-hierarchy
+  inference.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.rdf.namespace import SOCCER, NamespaceManager
+from repro.reasoning.rules.ast import Rule
+from repro.reasoning.rules.parser import parse_rules
+
+__all__ = [
+    "ASSIST_RULE_TEXT",
+    "SOCCER_RULES_TEXT",
+    "soccer_namespaces",
+    "soccer_rules",
+]
+
+#: Fig. 6, as printed in the paper (prefix ``pre:`` = soccer namespace).
+ASSIST_RULE_TEXT = """
+[assistRule:
+    noValue(?pass rdf:type pre:Assist)
+    (?pass rdf:type pre:Pass)
+    (?pass pre:passingPlayer ?passer)
+    (?pass pre:passReceiver ?receiver)
+    (?pass pre:inMatch ?match)
+    (?pass pre:inMinute ?minute)
+    (?goal pre:inMatch ?match)
+    (?goal pre:inMinute ?minute)
+    (?goal pre:scorerPlayer ?receiver)
+    makeTemp(?tmp)
+    -> (?tmp rdf:type pre:Assist)
+       (?tmp pre:inMatch ?match)
+       (?tmp pre:inMinute ?minute)
+       (?tmp pre:passingPlayer ?passer)
+       (?tmp pre:passReceiver ?receiver)
+       (?tmp pre:assistedGoal ?goal)
+]
+"""
+
+_TEAM_ATTRIBUTION = """
+[subjectTeamRule:
+    (?event pre:subjectPlayer ?player)
+    (?player pre:playsFor ?team)
+    -> (?event pre:subjectTeam ?team)
+]
+
+[objectTeamRule:
+    (?event pre:objectPlayer ?player)
+    (?player pre:playsFor ?team)
+    -> (?event pre:objectTeam ?team)
+]
+
+[scoringTeamRule:
+    (?goal rdf:type pre:Goal)
+    noValue(?goal rdf:type pre:OwnGoal)
+    (?goal pre:scorerPlayer ?player)
+    (?player pre:playsFor ?team)
+    -> (?goal pre:scoringTeam ?team)
+]
+"""
+
+# Own goals invert team attribution: the scorer's own team concedes
+# and the opponents are credited.  The generic rules are guarded with
+# noValue so the two sets never both fire on the same goal.
+_CONCEDING_AND_GOALKEEPER = """
+[concedingHomeRule:
+    (?goal rdf:type pre:Goal)
+    noValue(?goal rdf:type pre:OwnGoal)
+    (?goal pre:inMatch ?match)
+    (?goal pre:scoringTeam ?scorers)
+    (?match pre:homeTeam ?home)
+    (?match pre:awayTeam ?away)
+    equal(?scorers ?away)
+    -> (?goal pre:concedingTeam ?home)
+]
+
+[concedingAwayRule:
+    (?goal rdf:type pre:Goal)
+    noValue(?goal rdf:type pre:OwnGoal)
+    (?goal pre:inMatch ?match)
+    (?goal pre:scoringTeam ?scorers)
+    (?match pre:homeTeam ?home)
+    (?match pre:awayTeam ?away)
+    equal(?scorers ?home)
+    -> (?goal pre:concedingTeam ?away)
+]
+
+[ownGoalConcedingRule:
+    (?goal rdf:type pre:OwnGoal)
+    (?goal pre:scorerPlayer ?player)
+    (?player pre:playsFor ?team)
+    -> (?goal pre:concedingTeam ?team)
+]
+
+[ownGoalScoringHomeRule:
+    (?goal rdf:type pre:OwnGoal)
+    (?goal pre:inMatch ?match)
+    (?goal pre:concedingTeam ?conceding)
+    (?match pre:homeTeam ?home)
+    (?match pre:awayTeam ?away)
+    equal(?conceding ?home)
+    -> (?goal pre:scoringTeam ?away)
+]
+
+[ownGoalScoringAwayRule:
+    (?goal rdf:type pre:OwnGoal)
+    (?goal pre:inMatch ?match)
+    (?goal pre:concedingTeam ?conceding)
+    (?match pre:homeTeam ?home)
+    (?match pre:awayTeam ?away)
+    equal(?conceding ?away)
+    -> (?goal pre:scoringTeam ?home)
+]
+
+[scoredToGoalkeeperRule:
+    (?goal rdf:type pre:Goal)
+    (?goal pre:concedingTeam ?team)
+    (?team pre:hasGoalkeeper ?keeper)
+    -> (?goal pre:beatenGoalkeeper ?keeper)
+]
+"""
+
+_ACTOR_RULES = """
+[actorOfGoalRule:
+    (?goal rdf:type pre:Goal)
+    (?goal pre:scorerPlayer ?player)
+    -> (?player pre:actorOfGoal ?goal)
+]
+
+[actorOfOwnGoalRule:
+    (?goal rdf:type pre:OwnGoal)
+    (?goal pre:scorerPlayer ?player)
+    -> (?player pre:actorOfOwnGoal ?goal)
+]
+
+[actorOfMissedGoalRule:
+    (?miss rdf:type pre:MissedGoal)
+    (?miss pre:missingPlayer ?player)
+    -> (?player pre:actorOfMissedGoal ?miss)
+]
+
+[actorOfOffsideRule:
+    (?offside rdf:type pre:Offside)
+    (?offside pre:offsidePlayer ?player)
+    -> (?player pre:actorOfOffside ?offside)
+]
+
+[actorOfRedCardRule:
+    (?card rdf:type pre:RedCard)
+    (?card pre:punishedPlayer ?player)
+    -> (?player pre:actorOfRedCard ?card)
+]
+
+[actorOfYellowCardRule:
+    (?card rdf:type pre:YellowCard)
+    (?card pre:punishedPlayer ?player)
+    -> (?player pre:actorOfYellowCard ?card)
+]
+
+[actorOfFoulRule:
+    (?foul rdf:type pre:Foul)
+    (?foul pre:foulingPlayer ?player)
+    -> (?player pre:actorOfFoul ?foul)
+]
+
+[actorOfAssistRule:
+    (?assist rdf:type pre:Assist)
+    (?assist pre:passingPlayer ?player)
+    -> (?player pre:actorOfAssist ?assist)
+]
+
+[actorOfSaveRule:
+    (?save rdf:type pre:Save)
+    (?save pre:savingGoalkeeper ?player)
+    -> (?player pre:actorOfSave ?save)
+]
+
+[actorOfPassRule:
+    (?pass rdf:type pre:Pass)
+    (?pass pre:passingPlayer ?player)
+    -> (?player pre:actorOfPass ?pass)
+]
+
+[actorOfTackleRule:
+    (?tackle rdf:type pre:Tackle)
+    (?tackle pre:tacklingPlayer ?player)
+    -> (?player pre:actorOfTackle ?tackle)
+]
+
+[actorOfDribbleRule:
+    (?dribble rdf:type pre:Dribble)
+    (?dribble pre:dribblingPlayer ?player)
+    -> (?player pre:actorOfDribble ?dribble)
+]
+"""
+
+SOCCER_RULES_TEXT = (ASSIST_RULE_TEXT + _TEAM_ATTRIBUTION
+                     + _CONCEDING_AND_GOALKEEPER + _ACTOR_RULES)
+
+
+def soccer_namespaces() -> NamespaceManager:
+    """Namespace bindings under which the rule base parses."""
+    manager = NamespaceManager()
+    manager.bind("pre", SOCCER)
+    return manager
+
+
+@lru_cache(maxsize=1)
+def _cached_rules() -> Tuple[Rule, ...]:
+    return tuple(parse_rules(SOCCER_RULES_TEXT, soccer_namespaces()))
+
+
+def soccer_rules() -> List[Rule]:
+    """Parse (once) and return the full soccer rule base."""
+    return list(_cached_rules())

@@ -1,0 +1,146 @@
+"""Classification: class and property hierarchy closure.
+
+Implements the "classification" reasoning service the paper obtains
+from Pellet (§3.5): computing, for every class, the complete set of
+super-classes implied by the subclass graph — the inference shown in
+Fig. 5 for "Long Pass".  The same machinery covers the sub-property
+hierarchy the paper uses for Q-7 (``actorOfRedCard`` ⊑
+``actorOfNegativeMove``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set
+
+from repro.errors import OntologyError
+from repro.rdf.term import URIRef
+from repro.ontology.model import Ontology
+
+__all__ = ["Taxonomy"]
+
+
+class Taxonomy:
+    """Pre-computed transitive closure over classes and properties.
+
+    Construction is O(V + E) per hierarchy via memoized depth-first
+    traversal; queries are set lookups.  Cycles in the declared
+    hierarchy are rejected — OWL permits them (they imply equivalence)
+    but the paper's engineering process never produces them and they
+    usually indicate authoring errors.
+    """
+
+    def __init__(self, ontology: Ontology) -> None:
+        self._ontology = ontology
+        self._class_ancestors: Dict[URIRef, FrozenSet[URIRef]] = {}
+        self._property_ancestors: Dict[URIRef, FrozenSet[URIRef]] = {}
+        self._class_descendants: Dict[URIRef, Set[URIRef]] = {}
+        self._property_descendants: Dict[URIRef, Set[URIRef]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        class_parents = {cls.uri: set(cls.parents)
+                         for cls in self._ontology.classes()}
+        property_parents = {prop.uri: set(prop.parents)
+                            for prop in self._ontology.properties()}
+        self._class_ancestors = _closure(class_parents, "class")
+        self._property_ancestors = _closure(property_parents, "property")
+        self._class_descendants = _invert(self._class_ancestors)
+        self._property_descendants = _invert(self._property_ancestors)
+
+    # ------------------------------------------------------------------
+    # classes
+    # ------------------------------------------------------------------
+
+    def superclasses(self, uri: URIRef, include_self: bool = False
+                     ) -> Set[URIRef]:
+        """All (transitive) superclasses of ``uri``."""
+        ancestors = set(self._class_ancestors.get(uri, frozenset()))
+        if include_self:
+            ancestors.add(uri)
+        return ancestors
+
+    def subclasses(self, uri: URIRef, include_self: bool = False
+                   ) -> Set[URIRef]:
+        """All (transitive) subclasses of ``uri``."""
+        descendants = set(self._class_descendants.get(uri, set()))
+        if include_self:
+            descendants.add(uri)
+        return descendants
+
+    def is_subclass_of(self, child: URIRef, parent: URIRef) -> bool:
+        """True when ``child`` ⊑ ``parent`` (reflexive)."""
+        return child == parent \
+            or parent in self._class_ancestors.get(child, frozenset())
+
+    def lineage(self, uri: URIRef) -> List[URIRef]:
+        """One root-ward path from ``uri`` (the Fig. 5 rendering).
+
+        Follows the lexicographically-first parent at each step so the
+        result is deterministic under multiple inheritance.
+        """
+        path = [uri]
+        current = uri
+        while True:
+            parents = sorted(self._ontology.get_class(current).parents)
+            if not parents:
+                return path
+            current = parents[0]
+            path.append(current)
+
+    # ------------------------------------------------------------------
+    # properties
+    # ------------------------------------------------------------------
+
+    def superproperties(self, uri: URIRef, include_self: bool = False
+                        ) -> Set[URIRef]:
+        ancestors = set(self._property_ancestors.get(uri, frozenset()))
+        if include_self:
+            ancestors.add(uri)
+        return ancestors
+
+    def subproperties(self, uri: URIRef, include_self: bool = False
+                      ) -> Set[URIRef]:
+        descendants = set(self._property_descendants.get(uri, set()))
+        if include_self:
+            descendants.add(uri)
+        return descendants
+
+    def is_subproperty_of(self, child: URIRef, parent: URIRef) -> bool:
+        return child == parent \
+            or parent in self._property_ancestors.get(child, frozenset())
+
+
+def _closure(parents: Dict[URIRef, Set[URIRef]], kind: str
+             ) -> Dict[URIRef, FrozenSet[URIRef]]:
+    """Memoized transitive closure with cycle detection."""
+    resolved: Dict[URIRef, FrozenSet[URIRef]] = {}
+    visiting: Set[URIRef] = set()
+
+    def resolve(uri: URIRef) -> FrozenSet[URIRef]:
+        cached = resolved.get(uri)
+        if cached is not None:
+            return cached
+        if uri in visiting:
+            raise OntologyError(f"cycle in {kind} hierarchy at {uri}")
+        visiting.add(uri)
+        ancestors: Set[URIRef] = set()
+        for parent in parents.get(uri, ()):
+            ancestors.add(parent)
+            ancestors |= resolve(parent)
+        visiting.discard(uri)
+        frozen = frozenset(ancestors)
+        resolved[uri] = frozen
+        return frozen
+
+    for uri in parents:
+        resolve(uri)
+    return resolved
+
+
+def _invert(ancestors: Dict[URIRef, FrozenSet[URIRef]]
+            ) -> Dict[URIRef, Set[URIRef]]:
+    descendants: Dict[URIRef, Set[URIRef]] = {}
+    for child, parents in ancestors.items():
+        for parent in parents:
+            descendants.setdefault(parent, set()).add(child)
+    return descendants

@@ -1,0 +1,38 @@
+"""Text analysis: tokenizers, filters, stemming, analyzers."""
+
+from repro.search.analysis.analyzer import (Analyzer, KeywordAnalyzer,
+                                            SimpleAnalyzer,
+                                            StandardAnalyzer,
+                                            analyzer_with_synonyms)
+from repro.search.analysis.filters import (ASCIIFoldingFilter,
+                                           ENGLISH_STOPWORDS,
+                                           LowercaseFilter, StemFilter,
+                                           StopFilter, SynonymFilter,
+                                           TokenFilter)
+from repro.search.analysis.stemmer import PorterStemmer, stem
+from repro.search.analysis.tokenizer import (KeywordTokenizer,
+                                             RegexTokenizer, Token,
+                                             Tokenizer,
+                                             WhitespaceTokenizer)
+
+__all__ = [
+    "Analyzer",
+    "StandardAnalyzer",
+    "SimpleAnalyzer",
+    "KeywordAnalyzer",
+    "analyzer_with_synonyms",
+    "TokenFilter",
+    "LowercaseFilter",
+    "StopFilter",
+    "StemFilter",
+    "SynonymFilter",
+    "ASCIIFoldingFilter",
+    "ENGLISH_STOPWORDS",
+    "PorterStemmer",
+    "stem",
+    "Token",
+    "Tokenizer",
+    "RegexTokenizer",
+    "WhitespaceTokenizer",
+    "KeywordTokenizer",
+]

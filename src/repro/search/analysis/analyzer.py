@@ -1,0 +1,85 @@
+"""Analyzers: tokenizer + filter chains.
+
+* :class:`StandardAnalyzer` — lowercase, ASCII-fold, stop, stem; the
+  default for free-text narration fields.
+* :class:`SimpleAnalyzer` — lowercase + fold only; for semantic fields
+  (event types, player names) where stemming would distort names.
+* :class:`KeywordAnalyzer` — whole value as one lowercase token; for
+  exact-match identifier fields.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.search.analysis.filters import (ASCIIFoldingFilter,
+                                           ENGLISH_STOPWORDS,
+                                           LowercaseFilter, StemFilter,
+                                           StopFilter, SynonymFilter,
+                                           TokenFilter)
+from repro.search.analysis.tokenizer import (KeywordTokenizer,
+                                             RegexTokenizer, Token,
+                                             Tokenizer)
+
+__all__ = ["Analyzer", "StandardAnalyzer", "SimpleAnalyzer",
+           "KeywordAnalyzer", "analyzer_with_synonyms"]
+
+
+class Analyzer:
+    """A tokenizer followed by an ordered filter chain."""
+
+    def __init__(self, tokenizer: Tokenizer,
+                 filters: Sequence[TokenFilter] = ()) -> None:
+        self._tokenizer = tokenizer
+        self._filters = list(filters)
+
+    def analyze(self, text: str) -> List[Token]:
+        """Run the full chain over ``text``."""
+        tokens = self._tokenizer.tokenize(text)
+        for filter_ in self._filters:
+            tokens = filter_.apply(tokens)
+        return tokens
+
+    def terms(self, text: str) -> List[str]:
+        """Just the term texts (convenience for query building)."""
+        return [token.text for token in self.analyze(text)]
+
+    def extended(self, extra: TokenFilter) -> "Analyzer":
+        """A new analyzer with one more filter appended."""
+        return Analyzer(self._tokenizer, [*self._filters, extra])
+
+
+class StandardAnalyzer(Analyzer):
+    """Lowercase, fold accents, drop stopwords, Porter-stem."""
+
+    def __init__(self, stopwords: Iterable[str] = ENGLISH_STOPWORDS,
+                 stem: bool = True) -> None:
+        filters: List[TokenFilter] = [LowercaseFilter(),
+                                      ASCIIFoldingFilter(),
+                                      StopFilter(stopwords)]
+        if stem:
+            filters.append(StemFilter())
+        super().__init__(RegexTokenizer(), filters)
+
+
+class SimpleAnalyzer(Analyzer):
+    """Lowercase + accent folding only (no stop removal, no stemming)."""
+
+    def __init__(self) -> None:
+        super().__init__(RegexTokenizer(),
+                         [LowercaseFilter(), ASCIIFoldingFilter()])
+
+
+class KeywordAnalyzer(Analyzer):
+    """Whole-value single token, lowercased."""
+
+    def __init__(self) -> None:
+        super().__init__(KeywordTokenizer(), [LowercaseFilter()])
+
+
+def analyzer_with_synonyms(base: Analyzer,
+                           synonyms: dict) -> Analyzer:
+    """Wrap ``base`` with a synonym-injection stage (§7 index
+    enrichment).  Synonym keys must already be in post-chain form
+    (lowercased/stemmed as the base analyzer would emit them)."""
+    return base.extended(SynonymFilter(synonyms))

@@ -1,0 +1,101 @@
+"""Token filters: lowercasing, stopwords, stemming, synonyms.
+
+Filters transform a token list and compose inside an
+:class:`~repro.search.analysis.analyzer.Analyzer`.  Dropping a token
+keeps subsequent positions intact (position increments survive stop
+removal) so phrase queries still work across removed stopwords.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Set
+
+from repro.search.analysis.stemmer import PorterStemmer
+from repro.search.analysis.tokenizer import Token
+
+__all__ = [
+    "TokenFilter",
+    "LowercaseFilter",
+    "StopFilter",
+    "StemFilter",
+    "SynonymFilter",
+    "ASCIIFoldingFilter",
+    "ENGLISH_STOPWORDS",
+]
+
+#: Lucene's classic English stopword set.
+ENGLISH_STOPWORDS = frozenset("""
+a an and are as at be but by for if in into is it no not of on or such
+that the their then there these they this to was will with
+""".split())
+
+
+class TokenFilter:
+    """Base class for token stream transformations."""
+
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        raise NotImplementedError
+
+
+class LowercaseFilter(TokenFilter):
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        return [token.with_text(token.text.lower()) for token in tokens]
+
+
+class StopFilter(TokenFilter):
+    """Remove stopwords (position numbers of survivors are preserved)."""
+
+    def __init__(self, stopwords: Iterable[str] = ENGLISH_STOPWORDS) -> None:
+        self._stopwords: Set[str] = set(stopwords)
+
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        return [token for token in tokens
+                if token.text not in self._stopwords]
+
+
+class StemFilter(TokenFilter):
+    """Porter-stem every token."""
+
+    def __init__(self, stemmer: PorterStemmer | None = None) -> None:
+        self._stemmer = stemmer or PorterStemmer()
+
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        return [token.with_text(self._stemmer.stem(token.text))
+                for token in tokens]
+
+
+class ASCIIFoldingFilter(TokenFilter):
+    """Fold common accented characters to ASCII ("Özgür" → "ozgur").
+
+    Narrations contain accented player names (Eto'o, Vidić, González);
+    folding makes them findable from unaccented keyboards.
+    """
+
+    _TABLE = str.maketrans(
+        "àáâãäåçèéêëìíîïñòóôõöøùúûüýÿčćđšžğışÀÁÂÃÄÅÇÈÉÊËÌÍÎÏÑÒÓÔÕÖØÙÚÛÜÝĞİŞ",
+        "aaaaaaceeeeiiiinoooooouuuuyyccdszgisAAAAAACEEEEIIIINOOOOOOUUUUYGIS")
+
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        return [token.with_text(token.text.translate(self._TABLE))
+                for token in tokens]
+
+
+class SynonymFilter(TokenFilter):
+    """Inject synonyms at the same position as the original token.
+
+    This is the index-expansion mechanism §7 sketches for multilingual
+    and WordNet-style enrichment: extra tokens share the position of
+    the source token, so both surface forms match at the same place.
+    """
+
+    def __init__(self, synonyms: Dict[str, Sequence[str]]) -> None:
+        self._synonyms = {key: list(values)
+                          for key, values in synonyms.items()}
+
+    def apply(self, tokens: List[Token]) -> List[Token]:
+        expanded: List[Token] = []
+        for token in tokens:
+            expanded.append(token)
+            for synonym in self._synonyms.get(token.text, ()):
+                expanded.append(token.with_text(synonym))
+        return expanded

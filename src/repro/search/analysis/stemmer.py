@@ -1,0 +1,201 @@
+"""The Porter stemming algorithm (Porter, 1980).
+
+A faithful implementation of the original five-step algorithm, used by
+the analyzer chain so that "scores", "scored" and "scoring" all index
+and query as "score" — the behaviour behind the paper's observation
+that the improved index answers both "goal" and "scores" (§4).
+"""
+
+from __future__ import annotations
+
+__all__ = ["PorterStemmer", "stem"]
+
+_VOWELS = set("aeiou")
+
+
+class PorterStemmer:
+    """Stateless Porter stemmer; use :meth:`stem`."""
+
+    # ------------------------------------------------------------------
+    # measure and shape predicates, defined over the word b[0:k+1]
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_consonant(word: str, i: int) -> bool:
+        char = word[i]
+        if char in _VOWELS:
+            return False
+        if char == "y":
+            if i == 0:
+                return True
+            return not PorterStemmer._is_consonant(word, i - 1)
+        return True
+
+    @staticmethod
+    def _measure(stem_part: str) -> int:
+        """The number of VC sequences (the 'm' of the paper)."""
+        m = 0
+        i = 0
+        length = len(stem_part)
+        # skip initial consonants
+        while i < length and PorterStemmer._is_consonant(stem_part, i):
+            i += 1
+        while i < length:
+            # inside a vowel run
+            while i < length and not PorterStemmer._is_consonant(stem_part, i):
+                i += 1
+            if i >= length:
+                break
+            m += 1
+            while i < length and PorterStemmer._is_consonant(stem_part, i):
+                i += 1
+        return m
+
+    @staticmethod
+    def _contains_vowel(stem_part: str) -> bool:
+        return any(not PorterStemmer._is_consonant(stem_part, i)
+                   for i in range(len(stem_part)))
+
+    @staticmethod
+    def _ends_double_consonant(word: str) -> bool:
+        return (len(word) >= 2 and word[-1] == word[-2]
+                and PorterStemmer._is_consonant(word, len(word) - 1))
+
+    @staticmethod
+    def _ends_cvc(word: str) -> bool:
+        """consonant-vowel-consonant, last consonant not w, x or y."""
+        if len(word) < 3:
+            return False
+        if not PorterStemmer._is_consonant(word, len(word) - 3):
+            return False
+        if PorterStemmer._is_consonant(word, len(word) - 2):
+            return False
+        if not PorterStemmer._is_consonant(word, len(word) - 1):
+            return False
+        return word[-1] not in "wxy"
+
+    # ------------------------------------------------------------------
+    # steps
+    # ------------------------------------------------------------------
+
+    def _step1a(self, word: str) -> str:
+        if word.endswith("sses"):
+            return word[:-2]
+        if word.endswith("ies"):
+            return word[:-2]
+        if word.endswith("ss"):
+            return word
+        if word.endswith("s"):
+            return word[:-1]
+        return word
+
+    def _step1b(self, word: str) -> str:
+        if word.endswith("eed"):
+            if self._measure(word[:-3]) > 0:
+                return word[:-1]
+            return word
+        flag = False
+        if word.endswith("ed") and self._contains_vowel(word[:-2]):
+            word = word[:-2]
+            flag = True
+        elif word.endswith("ing") and self._contains_vowel(word[:-3]):
+            word = word[:-3]
+            flag = True
+        if flag:
+            if word.endswith(("at", "bl", "iz")):
+                return word + "e"
+            if self._ends_double_consonant(word) \
+                    and not word.endswith(("l", "s", "z")):
+                return word[:-1]
+            if self._measure(word) == 1 and self._ends_cvc(word):
+                return word + "e"
+        return word
+
+    def _step1c(self, word: str) -> str:
+        if word.endswith("y") and self._contains_vowel(word[:-1]):
+            return word[:-1] + "i"
+        return word
+
+    _STEP2 = [
+        ("ational", "ate"), ("tional", "tion"), ("enci", "ence"),
+        ("anci", "ance"), ("izer", "ize"), ("abli", "able"),
+        ("alli", "al"), ("entli", "ent"), ("eli", "e"), ("ousli", "ous"),
+        ("ization", "ize"), ("ation", "ate"), ("ator", "ate"),
+        ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+        ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"),
+        ("biliti", "ble"),
+    ]
+
+    _STEP3 = [
+        ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+        ("ical", "ic"), ("ful", ""), ("ness", ""),
+    ]
+
+    _STEP4 = [
+        "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+        "ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive",
+        "ize",
+    ]
+
+    def _apply_rules(self, word: str, rules, min_measure: int) -> str:
+        for suffix, replacement in rules:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if self._measure(stem_part) > min_measure - 1:
+                    return stem_part + replacement
+                return word
+        return word
+
+    def _step2(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP2, 1)
+
+    def _step3(self, word: str) -> str:
+        return self._apply_rules(word, self._STEP3, 1)
+
+    def _step4(self, word: str) -> str:
+        for suffix in self._STEP4:
+            if word.endswith(suffix):
+                stem_part = word[: len(word) - len(suffix)]
+                if suffix == "ion" and not stem_part.endswith(("s", "t")):
+                    return word
+                if self._measure(stem_part) > 1:
+                    return stem_part
+                return word
+        return word
+
+    def _step5a(self, word: str) -> str:
+        if word.endswith("e"):
+            stem_part = word[:-1]
+            m = self._measure(stem_part)
+            if m > 1 or (m == 1 and not self._ends_cvc(stem_part)):
+                return stem_part
+        return word
+
+    def _step5b(self, word: str) -> str:
+        if (word.endswith("ll") and self._measure(word[:-1]) > 1):
+            return word[:-1]
+        return word
+
+    # ------------------------------------------------------------------
+
+    def stem(self, word: str) -> str:
+        """Stem one lowercase word."""
+        if len(word) <= 2:
+            return word
+        word = self._step1a(word)
+        word = self._step1b(word)
+        word = self._step1c(word)
+        word = self._step2(word)
+        word = self._step3(word)
+        word = self._step4(word)
+        word = self._step5a(word)
+        word = self._step5b(word)
+        return word
+
+
+_DEFAULT = PorterStemmer()
+
+
+def stem(word: str) -> str:
+    """Stem with a shared default stemmer instance."""
+    return _DEFAULT.stem(word)

@@ -1,0 +1,70 @@
+"""Tokenization: text → token stream.
+
+A :class:`Token` carries its term text, ordinal position (for phrase
+matching) and character offsets (for debugging / highlighting).  The
+:class:`RegexTokenizer` splits on word characters, which matches
+Lucene's StandardTokenizer closely enough for narration text.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, replace
+from typing import List
+
+__all__ = ["Token", "Tokenizer", "RegexTokenizer", "WhitespaceTokenizer",
+           "KeywordTokenizer"]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One token emitted by a tokenizer or filter."""
+
+    text: str
+    position: int
+    start: int
+    end: int
+
+    def with_text(self, text: str) -> "Token":
+        return replace(self, text=text)
+
+
+class Tokenizer:
+    """Base class: splits raw text into tokens."""
+
+    def tokenize(self, text: str) -> List[Token]:
+        raise NotImplementedError
+
+
+class RegexTokenizer(Tokenizer):
+    """Split on a word pattern (default: unicode word chars + digits,
+    keeping apostrophes inside words so "Eto'o" stays one token)."""
+
+    def __init__(self, pattern: str = r"[\w']+") -> None:
+        self._pattern = re.compile(pattern, re.UNICODE)
+
+    def tokenize(self, text: str) -> List[Token]:
+        tokens = []
+        for position, match in enumerate(self._pattern.finditer(text)):
+            tokens.append(Token(match.group(), position,
+                                match.start(), match.end()))
+        return tokens
+
+
+class WhitespaceTokenizer(Tokenizer):
+    """Split on runs of whitespace only."""
+
+    _SPLIT = re.compile(r"\S+")
+
+    def tokenize(self, text: str) -> List[Token]:
+        return [Token(match.group(), position, match.start(), match.end())
+                for position, match in enumerate(self._SPLIT.finditer(text))]
+
+
+class KeywordTokenizer(Tokenizer):
+    """Emit the entire input as a single token (exact-match fields)."""
+
+    def tokenize(self, text: str) -> List[Token]:
+        if not text:
+            return []
+        return [Token(text, 0, 0, len(text))]

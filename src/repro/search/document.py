@@ -1,0 +1,90 @@
+"""Documents and fields — the indexable unit.
+
+Mirrors Lucene's model: a :class:`Document` is a bag of named
+:class:`Field` values; each field controls whether it is indexed
+(searchable), stored (retrievable) and how much it is boosted.  In the
+semantic index one document represents one soccer event (§3.6.1,
+Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = ["Field", "Document"]
+
+
+@dataclass
+class Field:
+    """One named value within a document.
+
+    Attributes:
+        name: the field name (e.g. ``"event"``, ``"narration"``).
+        value: the raw text value.
+        stored: keep the raw value retrievable from the index.
+        indexed: make the value searchable.
+        boost: index-time boost multiplied into this field's score
+            contribution — how the paper stresses semantic fields over
+            raw narration text (§3.6.2).
+    """
+
+    name: str
+    value: str
+    stored: bool = True
+    indexed: bool = True
+    boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("field name must be non-empty")
+        if self.boost <= 0:
+            raise ValueError("field boost must be positive")
+        self.value = "" if self.value is None else str(self.value)
+
+
+class Document:
+    """An ordered multi-map of fields."""
+
+    def __init__(self, fields: Optional[List[Field]] = None) -> None:
+        self._fields: List[Field] = list(fields or [])
+
+    def add(self, field_: Field) -> "Document":
+        self._fields.append(field_)
+        return self
+
+    def add_text(self, name: str, value: str, *, stored: bool = True,
+                 boost: float = 1.0) -> "Document":
+        """Shorthand for the common indexed+stored text field."""
+        return self.add(Field(name, value, stored=stored, boost=boost))
+
+    def fields(self, name: Optional[str] = None) -> List[Field]:
+        if name is None:
+            return list(self._fields)
+        return [f for f in self._fields if f.name == name]
+
+    def get(self, name: str) -> Optional[str]:
+        """First value of the named field, or None."""
+        for field_ in self._fields:
+            if field_.name == name:
+                return field_.value
+        return None
+
+    def values(self, name: str) -> List[str]:
+        return [f.value for f in self._fields if f.name == name]
+
+    def field_names(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for field_ in self._fields:
+            seen.setdefault(field_.name, None)
+        return list(seen)
+
+    def __iter__(self) -> Iterator[Field]:
+        return iter(self._fields)
+
+    def __len__(self) -> int:
+        return len(self._fields)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        names = ", ".join(self.field_names())
+        return f"<Document [{names}]>"

@@ -1,0 +1,104 @@
+"""Result highlighting: mark query-term matches in stored text.
+
+Walks a query tree for its terms, re-analyzes the stored field value
+and wraps every token whose analyzed form matches a query term in
+configurable markers.  Offsets come from the analysis chain, so
+stemmed matches highlight the original surface form ("scores"
+highlights for the query "score").
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.search.analysis.analyzer import Analyzer, StandardAnalyzer
+from repro.search.query.queries import (BooleanQuery, DisMaxQuery,
+                                        PhraseQuery, PrefixQuery, Query,
+                                        TermQuery)
+
+__all__ = ["collect_terms", "Highlighter"]
+
+
+def collect_terms(query: Query) -> Set[str]:
+    """All (analyzed) terms a query tree can match."""
+    terms: Set[str] = set()
+
+    def walk(node: Query) -> None:
+        if isinstance(node, TermQuery):
+            terms.add(node.term)
+        elif isinstance(node, PhraseQuery):
+            terms.update(node.terms)
+        elif isinstance(node, PrefixQuery):
+            terms.add(node.prefix)          # prefix handled separately
+        elif isinstance(node, BooleanQuery):
+            for clause in node.clauses:
+                walk(clause.query)
+        elif isinstance(node, DisMaxQuery):
+            for sub in node.queries:
+                walk(sub)
+
+    walk(query)
+    return terms
+
+
+class Highlighter:
+    """Wraps matching tokens in ``pre``/``post`` markers."""
+
+    def __init__(self, analyzer: Analyzer | None = None,
+                 pre: str = "**", post: str = "**") -> None:
+        self.analyzer = analyzer or StandardAnalyzer()
+        self.pre = pre
+        self.post = post
+
+    def highlight(self, text: str, query: Query) -> str:
+        """Return ``text`` with every query-term match marked."""
+        return self.highlight_terms(text, collect_terms(query))
+
+    def highlight_terms(self, text: str, terms: Set[str]) -> str:
+        if not terms:
+            return text
+        spans = self._match_spans(text, terms)
+        if not spans:
+            return text
+        pieces: List[str] = []
+        cursor = 0
+        for start, end in spans:
+            pieces.append(text[cursor:start])
+            pieces.append(self.pre)
+            pieces.append(text[start:end])
+            pieces.append(self.post)
+            cursor = end
+        pieces.append(text[cursor:])
+        return "".join(pieces)
+
+    def best_fragment(self, text: str, query: Query,
+                      size: int = 80) -> str:
+        """A window of ``text`` around the densest match region."""
+        terms = collect_terms(query)
+        spans = self._match_spans(text, terms)
+        if not spans:
+            return text[:size]
+        center = (spans[0][0] + spans[0][1]) // 2
+        start = max(0, center - size // 2)
+        end = min(len(text), start + size)
+        fragment = self.highlight_terms(text[start:end],
+                                        terms)
+        prefix = "…" if start > 0 else ""
+        suffix = "…" if end < len(text) else ""
+        return prefix + fragment + suffix
+
+    def _match_spans(self, text: str,
+                     terms: Set[str]) -> List[Tuple[int, int]]:
+        spans: List[Tuple[int, int]] = []
+        for token in self.analyzer.analyze(text):
+            if token.text in terms:
+                spans.append((token.start, token.end))
+        # merge overlapping spans (synonym-expanded tokens share
+        # offsets)
+        merged: List[Tuple[int, int]] = []
+        for start, end in sorted(spans):
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        return merged

@@ -1,0 +1,17 @@
+"""Inverted index: postings, writer, persistence."""
+
+from repro.search.index.directory import list_indexes, load_index, save_index
+from repro.search.index.inverted import InvertedIndex
+from repro.search.index.postings import Posting, PostingsList
+from repro.search.index.writer import IndexWriter, PerFieldAnalyzer
+
+__all__ = [
+    "InvertedIndex",
+    "Posting",
+    "PostingsList",
+    "IndexWriter",
+    "PerFieldAnalyzer",
+    "save_index",
+    "load_index",
+    "list_indexes",
+]

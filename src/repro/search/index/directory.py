@@ -1,0 +1,47 @@
+"""Index persistence: save/load an inverted index as JSON.
+
+A directory holds one ``<name>.json`` file per index.  JSON keeps the
+on-disk format debuggable; the indexes in this system are small enough
+(hundreds to tens of thousands of events) that compactness is not a
+concern.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Union
+
+from repro.errors import IndexError_
+from repro.search.index.inverted import InvertedIndex
+
+__all__ = ["save_index", "load_index", "list_indexes"]
+
+PathLike = Union[str, Path]
+
+
+def save_index(index: InvertedIndex, directory: PathLike) -> Path:
+    """Write ``index`` to ``directory/<index.name>.json``."""
+    target = Path(directory)
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / f"{index.name}.json"
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(index.to_json(), handle, ensure_ascii=False)
+    return path
+
+
+def load_index(directory: PathLike, name: str) -> InvertedIndex:
+    """Load the index called ``name`` from ``directory``."""
+    path = Path(directory) / f"{name}.json"
+    if not path.exists():
+        raise IndexError_(f"no index {name!r} in {directory}")
+    with open(path, encoding="utf-8") as handle:
+        return InvertedIndex.from_json(json.load(handle))
+
+
+def list_indexes(directory: PathLike) -> List[str]:
+    """Names of all indexes stored in ``directory``."""
+    target = Path(directory)
+    if not target.exists():
+        return []
+    return sorted(path.stem for path in target.glob("*.json"))

@@ -1,0 +1,81 @@
+"""Postings: the inverted index's core data structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+__all__ = ["Posting", "PostingsList"]
+
+
+@dataclass
+class Posting:
+    """Occurrences of one term in one document field.
+
+    Attributes:
+        doc_id: internal document number.
+        positions: token positions of each occurrence (for phrases).
+    """
+
+    doc_id: int
+    positions: List[int] = field(default_factory=list)
+
+    @property
+    def frequency(self) -> int:
+        return len(self.positions)
+
+    def to_json(self) -> list:
+        return [self.doc_id, self.positions]
+
+    @classmethod
+    def from_json(cls, data: list) -> "Posting":
+        return cls(doc_id=data[0], positions=list(data[1]))
+
+
+class PostingsList:
+    """Doc-ordered postings for one (field, term) pair."""
+
+    __slots__ = ("_postings", "_by_doc")
+
+    def __init__(self) -> None:
+        self._postings: List[Posting] = []
+        self._by_doc: Dict[int, Posting] = {}
+
+    def add_occurrence(self, doc_id: int, position: int) -> None:
+        """Record one term occurrence.  doc_ids must arrive
+        non-decreasing (the writer guarantees this)."""
+        posting = self._by_doc.get(doc_id)
+        if posting is None:
+            posting = Posting(doc_id)
+            self._postings.append(posting)
+            self._by_doc[doc_id] = posting
+        posting.positions.append(position)
+
+    @property
+    def doc_frequency(self) -> int:
+        return len(self._postings)
+
+    @property
+    def total_frequency(self) -> int:
+        return sum(p.frequency for p in self._postings)
+
+    def get(self, doc_id: int) -> Posting | None:
+        return self._by_doc.get(doc_id)
+
+    def __iter__(self) -> Iterator[Posting]:
+        return iter(self._postings)
+
+    def __len__(self) -> int:
+        return len(self._postings)
+
+    def to_json(self) -> list:
+        return [posting.to_json() for posting in self._postings]
+
+    @classmethod
+    def from_json(cls, data: list) -> "PostingsList":
+        postings = cls()
+        for entry in data:
+            posting = Posting.from_json(entry)
+            postings._postings.append(posting)
+            postings._by_doc[posting.doc_id] = posting
+        return postings

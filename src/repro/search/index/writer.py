@@ -1,0 +1,64 @@
+"""IndexWriter: analyzes documents into an inverted index."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.search.analysis.analyzer import Analyzer, StandardAnalyzer
+from repro.search.document import Document
+from repro.search.index.inverted import InvertedIndex
+
+__all__ = ["PerFieldAnalyzer", "IndexWriter"]
+
+
+class PerFieldAnalyzer:
+    """Routes each field to its own analyzer, with a default fallback.
+
+    The semantic index needs this: narration text is stemmed, while
+    event/player fields keep exact (lowercased) tokens so ontology
+    terms are not distorted.
+    """
+
+    def __init__(self, default: Optional[Analyzer] = None,
+                 per_field: Optional[Dict[str, Analyzer]] = None) -> None:
+        self.default = default or StandardAnalyzer()
+        self.per_field = dict(per_field or {})
+
+    def for_field(self, field_name: str) -> Analyzer:
+        return self.per_field.get(field_name, self.default)
+
+
+class IndexWriter:
+    """Adds documents to an :class:`InvertedIndex`."""
+
+    def __init__(self, index: InvertedIndex,
+                 analyzer: PerFieldAnalyzer | Analyzer | None = None) -> None:
+        self.index = index
+        if analyzer is None:
+            analyzer = PerFieldAnalyzer()
+        elif isinstance(analyzer, Analyzer):
+            analyzer = PerFieldAnalyzer(default=analyzer)
+        self.analyzer = analyzer
+
+    def add_document(self, document: Document) -> int:
+        """Index one document; returns its internal doc id."""
+        doc_id = self.index.new_doc_id()
+        for field_ in document:
+            if field_.indexed and field_.value:
+                tokens = self.analyzer.for_field(field_.name).analyze(
+                    field_.value)
+                self.index.index_terms(
+                    doc_id, field_.name,
+                    [(token.text, token.position) for token in tokens],
+                    boost=field_.boost)
+            if field_.stored:
+                self.index.store_value(doc_id, field_.name, field_.value)
+        return doc_id
+
+    def add_documents(self, documents) -> int:
+        """Index many documents; returns the number added."""
+        count = 0
+        for document in documents:
+            self.add_document(document)
+            count += 1
+        return count

@@ -1,0 +1,20 @@
+"""Query trees and the query string parser."""
+
+from repro.search.query.parser import QueryParser
+from repro.search.query.queries import (BooleanClause, BooleanQuery,
+                                        DisMaxQuery, MatchAllQuery, Occur,
+                                        PhraseQuery, PrefixQuery, Query,
+                                        TermQuery)
+
+__all__ = [
+    "Query",
+    "TermQuery",
+    "PhraseQuery",
+    "PrefixQuery",
+    "MatchAllQuery",
+    "DisMaxQuery",
+    "BooleanQuery",
+    "BooleanClause",
+    "Occur",
+    "QueryParser",
+]

@@ -1,0 +1,127 @@
+"""Additional query types: numeric ranges and fuzzy matching.
+
+Not needed for the paper's headline tables, but part of what makes the
+index a usable retrieval system: "goals after minute 80" needs a
+range; misspelled player names ("mesi") need fuzzy matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.search.index.inverted import InvertedIndex
+from repro.search.query.queries import Query, Scores, TermQuery
+from repro.search.similarity import Similarity
+
+__all__ = ["RangeQuery", "FuzzyQuery", "edit_distance"]
+
+
+@dataclass
+class RangeQuery(Query):
+    """Match documents whose field holds a numeric term within
+    ``[low, high]`` (either bound may be None for open ranges).
+
+    Scores are constant (``boost``), like Lucene's constant-score
+    range queries.
+    """
+
+    field_name: str
+    low: Optional[float] = None
+    high: Optional[float] = None
+    boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise QueryError("range query needs at least one bound")
+        if self.low is not None and self.high is not None \
+                and self.low > self.high:
+            raise QueryError("range query bounds are inverted")
+
+    def score_docs(self, index: InvertedIndex,
+                   similarity: Similarity) -> Scores:
+        scores: Scores = {}
+        for term in index.terms(self.field_name):
+            try:
+                value = float(term)
+            except ValueError:
+                continue
+            if self.low is not None and value < self.low:
+                continue
+            if self.high is not None and value > self.high:
+                continue
+            postings = index.postings(self.field_name, term)
+            if postings is None:
+                continue
+            for posting in postings:
+                scores[posting.doc_id] = self.boost
+        return scores
+
+    def __str__(self) -> str:
+        low = "*" if self.low is None else self.low
+        high = "*" if self.high is None else self.high
+        return f"{self.field_name}:[{low} TO {high}]"
+
+
+def edit_distance(first: str, second: str, cutoff: int) -> int:
+    """Damerau-Levenshtein distance, bailing out early above
+    ``cutoff`` (returns ``cutoff + 1`` then)."""
+    if abs(len(first) - len(second)) > cutoff:
+        return cutoff + 1
+    previous2: list = []
+    previous = list(range(len(second) + 1))
+    for i, char1 in enumerate(first, start=1):
+        current = [i] + [0] * len(second)
+        for j, char2 in enumerate(second, start=1):
+            cost = 0 if char1 == char2 else 1
+            current[j] = min(previous[j] + 1,        # deletion
+                             current[j - 1] + 1,     # insertion
+                             previous[j - 1] + cost)  # substitution
+            if (i > 1 and j > 1 and char1 == second[j - 2]
+                    and first[i - 2] == char2):
+                current[j] = min(current[j],
+                                 previous2[j - 2] + 1)  # transposition
+        if min(current) > cutoff:
+            return cutoff + 1
+        previous2, previous = previous, current
+    return previous[-1]
+
+
+@dataclass
+class FuzzyQuery(Query):
+    """Match terms within ``max_edits`` of the query term.
+
+    Expansion scans the field's term dictionary; each matched term
+    scores like a TermQuery scaled by its closeness
+    (``1 - edits/len``), and a document keeps its best expansion.
+    """
+
+    field_name: str
+    term: str
+    max_edits: int = 1
+    boost: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_edits < 0:
+            raise QueryError("max_edits must be non-negative")
+
+    def score_docs(self, index: InvertedIndex,
+                   similarity: Similarity) -> Scores:
+        scores: Scores = {}
+        for candidate in index.terms(self.field_name):
+            edits = edit_distance(self.term, candidate, self.max_edits)
+            if edits > self.max_edits:
+                continue
+            closeness = 1.0 - edits / max(len(self.term), 1)
+            term_scores = TermQuery(
+                self.field_name, candidate,
+                boost=self.boost * max(closeness, 0.1),
+            ).score_docs(index, similarity)
+            for doc_id, score in term_scores.items():
+                if score > scores.get(doc_id, 0.0):
+                    scores[doc_id] = score
+        return scores
+
+    def __str__(self) -> str:
+        return f"{self.field_name}:{self.term}~{self.max_edits}"

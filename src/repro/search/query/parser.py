@@ -1,0 +1,108 @@
+"""Query string parser (Lucene-ish mini syntax).
+
+Supported syntax::
+
+    goal barcelona             # SHOULD terms over the default field
+    event:goal                 # fielded term
+    "yellow card"              # phrase
+    narration:"free kick"      # fielded phrase
+    +goal -miss                # required / prohibited terms
+    goal^2                     # boost
+    messi*                     # prefix query
+
+Terms are run through the analyzer assigned to their field (phrase
+terms too), so queries match the index's token forms.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.errors import QueryError
+from repro.search.analysis.analyzer import Analyzer
+from repro.search.index.writer import PerFieldAnalyzer
+from repro.search.query.queries import (BooleanQuery, MatchAllQuery, Occur,
+                                        PhraseQuery, PrefixQuery, Query,
+                                        TermQuery)
+
+__all__ = ["QueryParser"]
+
+_CLAUSE = re.compile(r"""
+    (?P<occur>[+-])?
+    (?:(?P<field>[A-Za-z_][A-Za-z0-9_.]*):)?
+    (?:
+        "(?P<phrase>[^"]*)"
+      | (?P<text>[^\s"]+)
+    )
+""", re.VERBOSE)
+
+_BOOST = re.compile(r"\^(\d+(?:\.\d+)?)$")
+
+
+class QueryParser:
+    """Parses user query strings into query trees."""
+
+    def __init__(self, default_field: str,
+                 analyzer: PerFieldAnalyzer | Analyzer) -> None:
+        self.default_field = default_field
+        if isinstance(analyzer, Analyzer):
+            analyzer = PerFieldAnalyzer(default=analyzer)
+        self.analyzer = analyzer
+
+    def parse(self, text: str) -> Query:
+        """Parse ``text``; raises :class:`QueryError` on empty input."""
+        text = text.strip()
+        if not text:
+            raise QueryError("empty query")
+        if text == "*:*":
+            return MatchAllQuery()
+        boolean = BooleanQuery()
+        for match in _CLAUSE.finditer(text):
+            occur = {"+": Occur.MUST, "-": Occur.MUST_NOT,
+                     None: Occur.SHOULD}[match.group("occur")]
+            field_name = match.group("field") or self.default_field
+            if match.group("phrase") is not None:
+                query = self._phrase(field_name, match.group("phrase"))
+            else:
+                query = self._term(field_name, match.group("text"))
+            if query is not None:
+                boolean.add(query, occur)
+        if not boolean.clauses:
+            raise QueryError(f"query has no effective terms: {text!r}")
+        if len(boolean.clauses) == 1 \
+                and boolean.clauses[0].occur is Occur.SHOULD:
+            return boolean.clauses[0].query
+        return boolean
+
+    # ------------------------------------------------------------------
+
+    def _phrase(self, field_name: str, raw: str) -> Optional[Query]:
+        terms = self.analyzer.for_field(field_name).terms(raw)
+        if not terms:
+            return None
+        if len(terms) == 1:
+            return TermQuery(field_name, terms[0])
+        return PhraseQuery(field_name, terms)
+
+    def _term(self, field_name: str, raw: str) -> Optional[Query]:
+        boost = 1.0
+        boost_match = _BOOST.search(raw)
+        if boost_match:
+            boost = float(boost_match.group(1))
+            raw = raw[: boost_match.start()]
+        if raw.endswith("*") and len(raw) > 1:
+            prefix_terms = self.analyzer.for_field(field_name).terms(
+                raw[:-1])
+            if not prefix_terms:
+                return None
+            return PrefixQuery(field_name, prefix_terms[0], boost=boost)
+        terms = self.analyzer.for_field(field_name).terms(raw)
+        if not terms:
+            return None
+        if len(terms) == 1:
+            return TermQuery(field_name, terms[0], boost=boost)
+        # one raw token analyzed into several (e.g. "eto'o") → phrase
+        phrase = PhraseQuery(field_name, terms)
+        phrase.boost = boost
+        return phrase

@@ -1,0 +1,69 @@
+"""IndexSearcher: executes query trees and ranks results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.search.document import Document
+from repro.search.index.inverted import InvertedIndex
+from repro.search.query.queries import Query
+from repro.search.similarity import ClassicSimilarity, Similarity
+
+__all__ = ["ScoredDoc", "TopDocs", "IndexSearcher"]
+
+
+@dataclass(frozen=True)
+class ScoredDoc:
+    """One hit: internal doc id plus score."""
+
+    doc_id: int
+    score: float
+
+
+@dataclass
+class TopDocs:
+    """Ranked result list."""
+
+    total_hits: int
+    scored: List[ScoredDoc]
+
+    def __iter__(self):
+        return iter(self.scored)
+
+    def __len__(self) -> int:
+        return len(self.scored)
+
+    def doc_ids(self) -> List[int]:
+        return [hit.doc_id for hit in self.scored]
+
+
+class IndexSearcher:
+    """Searches one inverted index with a pluggable similarity."""
+
+    def __init__(self, index: InvertedIndex,
+                 similarity: Optional[Similarity] = None) -> None:
+        self.index = index
+        self.similarity = similarity or ClassicSimilarity()
+
+    def search(self, query: Query, limit: Optional[int] = None) -> TopDocs:
+        """Run ``query``; return hits sorted by descending score.
+
+        Ties break on ascending doc id, making rankings deterministic —
+        important for reproducible evaluation numbers.
+        """
+        scores = query.score_docs(self.index, self.similarity)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
+        return TopDocs(total_hits=len(scores),
+                       scored=[ScoredDoc(doc_id, score)
+                               for doc_id, score in ranked])
+
+    def document(self, doc_id: int) -> Document:
+        """Fetch stored fields of a hit."""
+        return self.index.stored_document(doc_id)
+
+    def explain(self, query: Query, doc_id: int) -> float:
+        """Score of ``doc_id`` under ``query`` (0.0 when not matched)."""
+        return query.score_docs(self.index, self.similarity).get(doc_id, 0.0)

@@ -1,0 +1,95 @@
+"""Spelling suggestion ("did you mean") over the index vocabulary.
+
+Suggests corrections for query terms that are absent from (or rare
+in) the index, by scanning the field's term dictionary for close
+terms under Damerau-Levenshtein distance and ranking candidates by
+(distance, -document frequency).  Player names are the main customers:
+"mesi barcelona gaol" → "messi barcelona goal".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.search.analysis.analyzer import Analyzer, StandardAnalyzer
+from repro.search.index.inverted import InvertedIndex
+from repro.search.query.extras import edit_distance
+
+__all__ = ["Suggestion", "SpellChecker"]
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One correction candidate."""
+
+    term: str
+    distance: int
+    doc_frequency: int
+
+
+class SpellChecker:
+    """Suggests corrections from one or more index fields."""
+
+    def __init__(self, index: InvertedIndex,
+                 fields: Sequence[str] = ("narration",),
+                 max_edits: int = 2,
+                 analyzer: Optional[Analyzer] = None) -> None:
+        if max_edits < 1:
+            raise ValueError("max_edits must be at least 1")
+        self.index = index
+        self.fields = list(fields)
+        self.max_edits = max_edits
+        self.analyzer = analyzer or StandardAnalyzer()
+
+    # ------------------------------------------------------------------
+
+    def _doc_frequency(self, term: str) -> int:
+        return sum(self.index.doc_frequency(field_name, term)
+                   for field_name in self.fields)
+
+    def is_known(self, term: str) -> bool:
+        return self._doc_frequency(term) > 0
+
+    def suggestions(self, term: str, limit: int = 5
+                    ) -> List[Suggestion]:
+        """Correction candidates for one analyzed term, best first."""
+        candidates = {}
+        for field_name in self.fields:
+            for candidate in self.index.terms(field_name):
+                if candidate == term:
+                    continue
+                edits = edit_distance(term, candidate, self.max_edits)
+                if edits > self.max_edits:
+                    continue
+                frequency = self._doc_frequency(candidate)
+                existing = candidates.get(candidate)
+                if existing is None or edits < existing.distance:
+                    candidates[candidate] = Suggestion(
+                        candidate, edits, frequency)
+        ranked = sorted(candidates.values(),
+                        key=lambda s: (s.distance, -s.doc_frequency,
+                                       s.term))
+        return ranked[:limit]
+
+    def correct_query(self, text: str) -> str:
+        """Rewrite unknown query terms with their best suggestion.
+
+        Known terms pass through untouched; unknown terms with no
+        close candidate also pass through (the searcher will simply
+        not match them).
+        """
+        corrected: List[str] = []
+        for word in text.split():
+            terms = self.analyzer.terms(word)
+            if not terms:
+                corrected.append(word)
+                continue
+            term = terms[0]
+            if self.is_known(term):
+                corrected.append(word)
+                continue
+            suggestions = self.suggestions(term, limit=1)
+            corrected.append(suggestions[0].term if suggestions
+                             else word)
+        return " ".join(corrected)

@@ -1,0 +1,97 @@
+"""Index statistics: introspection for operations and debugging.
+
+Summarizes an inverted index the way production engines do (cf.
+Lucene's segment info / ES ``_stats``): per-field document coverage,
+term counts, total postings and the highest-frequency terms.  Used by
+the CLI's ``stats`` subcommand and handy when tuning field boosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.search.index.inverted import InvertedIndex
+
+__all__ = ["FieldStats", "IndexStats", "collect_stats", "render_stats"]
+
+
+@dataclass(frozen=True)
+class FieldStats:
+    """Statistics for one field."""
+
+    name: str
+    docs_with_field: int
+    unique_terms: int
+    total_postings: int
+    average_length: float
+    top_terms: Tuple[Tuple[str, int], ...]   # (term, doc freq)
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """Statistics for a whole index."""
+
+    name: str
+    doc_count: int
+    unique_terms: int
+    fields: Tuple[FieldStats, ...]
+
+    def field(self, name: str) -> FieldStats:
+        for stats in self.fields:
+            if stats.name == name:
+                return stats
+        raise KeyError(name)
+
+
+def collect_stats(index: InvertedIndex,
+                  top_n: int = 5) -> IndexStats:
+    """Compute statistics over every indexed field."""
+    fields: List[FieldStats] = []
+    for field_name in index.field_names():
+        terms = list(index.terms(field_name))
+        if not terms and index.docs_with_field(field_name) == 0:
+            continue   # stored-only field
+        frequencies = []
+        total_postings = 0
+        for term in terms:
+            postings = index.postings(field_name, term)
+            doc_frequency = postings.doc_frequency if postings else 0
+            total_postings += (postings.total_frequency
+                               if postings else 0)
+            frequencies.append((term, doc_frequency))
+        frequencies.sort(key=lambda pair: (-pair[1], pair[0]))
+        fields.append(FieldStats(
+            name=field_name,
+            docs_with_field=index.docs_with_field(field_name),
+            unique_terms=len(terms),
+            total_postings=total_postings,
+            average_length=index.average_field_length(field_name),
+            top_terms=tuple(frequencies[:top_n]),
+        ))
+    fields.sort(key=lambda stats: stats.name)
+    return IndexStats(
+        name=index.name,
+        doc_count=index.doc_count,
+        unique_terms=index.unique_term_count(),
+        fields=tuple(fields),
+    )
+
+
+def render_stats(stats: IndexStats) -> str:
+    """Human-readable statistics report."""
+    lines = [f"index {stats.name!r}: {stats.doc_count} documents, "
+             f"{stats.unique_terms} unique terms", ""]
+    header = (f"{'field':20} {'docs':>6} {'terms':>7} "
+              f"{'postings':>9} {'avg len':>8}  top terms")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for field_stats in stats.fields:
+        top = ", ".join(f"{term}({count})"
+                        for term, count in field_stats.top_terms[:3])
+        lines.append(
+            f"{field_stats.name:20} {field_stats.docs_with_field:>6} "
+            f"{field_stats.unique_terms:>7} "
+            f"{field_stats.total_postings:>9} "
+            f"{field_stats.average_length:>8.1f}  {top}")
+    return "\n".join(lines)

@@ -1,0 +1,49 @@
+"""Soccer domain: ground-truth model, simulator, narration, crawler.
+
+This package is the substitute for the paper's proprietary UEFA/SporX
+crawl (see DESIGN.md §2): a seeded simulator produces matches, a
+narration generator renders them as UEFA-style minute-by-minute text,
+and :class:`~repro.soccer.crawler.SimulatedCrawler` packages both into
+the same artifact the original crawler stored.
+"""
+
+from repro.soccer.corpus import (Corpus, DEFAULT_SEED, PAPER_EVENT_COUNT,
+                                 PAPER_NARRATION_COUNT, corpus_statistics,
+                                 standard_corpus)
+from repro.soccer.crawler import (BookingFact, CrawledMatch, GoalFact,
+                                  LineupEntry, SimulatedCrawler,
+                                  SubstitutionFact)
+from repro.soccer.domain import (EventKind, GroundTruthEvent, Match, Player,
+                                 Position, POSITION_GROUPS, Team)
+from repro.soccer.names import COMPETITION, FIXTURES, REFEREES, build_teams
+from repro.soccer.narration import Narration, NarrationGenerator
+from repro.soccer.simulator import MatchSimulator
+
+__all__ = [
+    "EventKind",
+    "Position",
+    "POSITION_GROUPS",
+    "Player",
+    "Team",
+    "GroundTruthEvent",
+    "Match",
+    "build_teams",
+    "FIXTURES",
+    "REFEREES",
+    "COMPETITION",
+    "MatchSimulator",
+    "Narration",
+    "NarrationGenerator",
+    "CrawledMatch",
+    "LineupEntry",
+    "GoalFact",
+    "SubstitutionFact",
+    "BookingFact",
+    "SimulatedCrawler",
+    "Corpus",
+    "standard_corpus",
+    "corpus_statistics",
+    "DEFAULT_SEED",
+    "PAPER_NARRATION_COUNT",
+    "PAPER_EVENT_COUNT",
+]

@@ -1,0 +1,189 @@
+"""The simulated crawler: produces exactly what the paper's crawler did.
+
+The original system crawled UEFA.com / SporX match pages and stored,
+per game (§3.1 step 1):
+
+* *basic information* — teams, line-ups (players with shirt numbers and
+  positions), goals, substitutions, bookings, the stadium, referee and
+  date; and
+* the *minute-by-minute narrations* in free text.
+
+:class:`SimulatedCrawler` renders simulated matches into the same
+artifact (:class:`CrawledMatch`).  Nothing downstream of this module
+ever sees the simulator's ground truth — the IE module works purely on
+the narration text plus the basic info, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.soccer.domain import EventKind, Match, Team
+from repro.soccer.narration import Narration, NarrationGenerator
+from repro.soccer.simulator import MatchSimulator
+
+__all__ = ["LineupEntry", "GoalFact", "SubstitutionFact", "BookingFact",
+           "CrawledMatch", "SimulatedCrawler"]
+
+
+@dataclass(frozen=True)
+class LineupEntry:
+    """One player in the crawled line-up sheet."""
+
+    name: str
+    full_name: str
+    shirt_number: int
+    position: str          # ontology position class local name
+    starter: bool
+
+
+@dataclass(frozen=True)
+class GoalFact:
+    """One goal from the crawled match-facts box.
+
+    ``source_id`` is an opaque provenance key carried through the
+    pipeline (it becomes the populated individual's ``hasEventId``);
+    the evaluation harness uses it to join index documents back to
+    gold relevance judgments.  No pipeline stage interprets it.
+    """
+
+    minute: int
+    scorer: str
+    team: str
+    kind: str              # "goal" | "penalty" | "own goal"
+    source_id: str = ""
+
+
+@dataclass(frozen=True)
+class SubstitutionFact:
+    minute: int
+    team: str
+    player_in: str
+    player_out: str
+    source_id: str = ""
+
+
+@dataclass(frozen=True)
+class BookingFact:
+    minute: int
+    team: str
+    player: str
+    color: str             # "yellow" | "red"
+    source_id: str = ""
+
+
+@dataclass
+class CrawledMatch:
+    """Everything the crawler hands to the pipeline for one game."""
+
+    match_id: str
+    competition: str
+    date: str
+    kick_off: str
+    stadium: str
+    referee: str
+    home_team: str
+    away_team: str
+    home_score: int
+    away_score: int
+    lineups: Dict[str, List[LineupEntry]] = field(default_factory=dict)
+    goals: List[GoalFact] = field(default_factory=list)
+    substitutions: List[SubstitutionFact] = field(default_factory=list)
+    bookings: List[BookingFact] = field(default_factory=list)
+    narrations: List[Narration] = field(default_factory=list)
+
+    @property
+    def teams(self) -> Tuple[str, str]:
+        return (self.home_team, self.away_team)
+
+    def lineup(self, team: str) -> List[LineupEntry]:
+        return self.lineups.get(team, [])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<CrawledMatch {self.home_team} {self.home_score}-"
+                f"{self.away_score} {self.away_team}, "
+                f"{len(self.narrations)} narrations>")
+
+
+class SimulatedCrawler:
+    """Generates crawled matches from the simulator.
+
+    ``language`` selects the narration phrasebook: ``"en"`` simulates
+    the UEFA.com crawl, ``"tr"`` the SporX crawl (paper §3.1 names
+    both sources).
+    """
+
+    def __init__(self, teams: Dict[str, Team], seed: int = 0,
+                 language: str = "en") -> None:
+        self.simulator = MatchSimulator(teams, seed=seed)
+        self.language = language
+        if language == "en":
+            self.narrator = NarrationGenerator(seed=seed + 1)
+        elif language == "tr":
+            from repro.soccer.turkish import (TURKISH_COLOR_TEMPLATES,
+                                              TURKISH_TEMPLATES)
+            self.narrator = NarrationGenerator(
+                seed=seed + 1, templates=TURKISH_TEMPLATES,
+                color_templates=TURKISH_COLOR_TEMPLATES)
+        else:
+            raise ValueError(f"unsupported narration language "
+                             f"{language!r} (expected 'en' or 'tr')")
+
+    def crawl_match(self, home: str, away: str, date: str,
+                    kick_off: str = "20:45",
+                    total_narrations: Optional[int] = None) -> CrawledMatch:
+        """Simulate one game and render the crawl artifact for it."""
+        match = self.simulator.simulate(home, away, date, kick_off)
+        return self.render(match, total_narrations)
+
+    def render(self, match: Match,
+               total_narrations: Optional[int] = None) -> CrawledMatch:
+        """Render an already-simulated match into a crawl artifact."""
+        narrations = self.narrator.narrate_match(match, total_narrations)
+        crawled = CrawledMatch(
+            match_id=match.match_id,
+            competition=match.competition,
+            date=match.date,
+            kick_off=match.kick_off,
+            stadium=match.stadium,
+            referee=match.referee,
+            home_team=match.home.name,
+            away_team=match.away.name,
+            home_score=match.home_score,
+            away_score=match.away_score,
+            narrations=narrations,
+        )
+        for team in match.teams:
+            crawled.lineups[team.name] = [
+                LineupEntry(name=player.name, full_name=player.full_name,
+                            shirt_number=player.shirt_number,
+                            position=player.position,
+                            starter=index < 11)
+                for index, player in enumerate(team.squad)
+            ]
+        for event in match.events:
+            if event.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL,
+                              EventKind.OWN_GOAL):
+                kind = {EventKind.GOAL: "goal",
+                        EventKind.PENALTY_GOAL: "penalty",
+                        EventKind.OWN_GOAL: "own goal"}[event.kind]
+                crawled.goals.append(GoalFact(
+                    minute=event.minute,
+                    scorer=event.subject.name if event.subject else "",
+                    team=event.team or "", kind=kind,
+                    source_id=event.event_id))
+            elif event.kind == EventKind.SUBSTITUTION:
+                crawled.substitutions.append(SubstitutionFact(
+                    minute=event.minute, team=event.team or "",
+                    player_in=event.subject.name if event.subject else "",
+                    player_out=event.object.name if event.object else "",
+                    source_id=event.event_id))
+            elif event.kind in (EventKind.YELLOW_CARD, EventKind.RED_CARD):
+                color = ("yellow" if event.kind == EventKind.YELLOW_CARD
+                         else "red")
+                crawled.bookings.append(BookingFact(
+                    minute=event.minute, team=event.team or "",
+                    player=event.subject.name if event.subject else "",
+                    color=color, source_id=event.event_id))
+        return crawled

@@ -1,0 +1,224 @@
+"""Ground-truth domain model for simulated soccer data.
+
+These dataclasses are the *simulator's* truth — what actually happened
+in a generated match.  The rest of the pipeline never reads them
+directly: the crawler renders them into the same artifacts the paper's
+crawler produced (basic info + free-text narrations), and the IE module
+has to recover the structure from the text.  The evaluation harness
+uses the ground truth only to compute gold relevance judgments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+__all__ = ["EventKind", "Position", "Player", "Team", "GroundTruthEvent",
+           "Match", "POSITION_GROUPS"]
+
+
+class EventKind:
+    """Ground-truth event kinds produced by the simulator.
+
+    Values equal the ontology class local names so population is a
+    direct mapping.
+    """
+
+    GOAL = "Goal"
+    OWN_GOAL = "OwnGoal"
+    PENALTY_GOAL = "PenaltyGoal"
+    MISSED_GOAL = "MissedGoal"
+    SAVE = "Save"
+    PASS = "Pass"
+    LONG_PASS = "LongPass"
+    CROSS = "Cross"
+    SHOOT = "Shoot"
+    FOUL = "Foul"
+    HANDBALL = "Handball"
+    OFFSIDE = "Offside"
+    YELLOW_CARD = "YellowCard"
+    RED_CARD = "RedCard"
+    CORNER = "Corner"
+    FREE_KICK = "FreeKick"
+    PENALTY = "Penalty"
+    SUBSTITUTION = "Substitution"
+    INJURY = "Injury"
+    TACKLE = "Tackle"
+    DRIBBLE = "Dribble"
+    CLEARANCE = "Clearance"
+    INTERCEPTION = "Interception"
+    KICK_OFF = "KickOff"
+    HALF_TIME = "HalfTime"
+    FULL_TIME = "FullTime"
+
+    ALL = (GOAL, OWN_GOAL, PENALTY_GOAL, MISSED_GOAL, SAVE, PASS, LONG_PASS,
+           CROSS, SHOOT, FOUL, HANDBALL, OFFSIDE, YELLOW_CARD, RED_CARD,
+           CORNER, FREE_KICK, PENALTY, SUBSTITUTION, INJURY, TACKLE,
+           DRIBBLE, CLEARANCE, INTERCEPTION, KICK_OFF, HALF_TIME, FULL_TIME)
+
+
+class Position:
+    """Player position constants = ontology class local names."""
+
+    GOALKEEPER = "Goalkeeper"
+    LEFT_BACK = "LeftBack"
+    RIGHT_BACK = "RightBack"
+    CENTRE_BACK = "CentreBack"
+    SWEEPER = "Sweeper"
+    DEFENSIVE_MIDFIELDER = "DefensiveMidfielder"
+    CENTRAL_MIDFIELDER = "CentralMidfielder"
+    ATTACKING_MIDFIELDER = "AttackingMidfielder"
+    LEFT_WINGER = "LeftWinger"
+    RIGHT_WINGER = "RightWinger"
+    CENTRE_FORWARD = "CentreForward"
+    STRIKER = "Striker"
+
+
+#: position → broad group class local name (Fig. 2 hierarchy).
+POSITION_GROUPS: Dict[str, str] = {
+    Position.GOALKEEPER: "Goalkeeper",
+    Position.LEFT_BACK: "DefencePlayer",
+    Position.RIGHT_BACK: "DefencePlayer",
+    Position.CENTRE_BACK: "DefencePlayer",
+    Position.SWEEPER: "DefencePlayer",
+    Position.DEFENSIVE_MIDFIELDER: "MidfieldPlayer",
+    Position.CENTRAL_MIDFIELDER: "MidfieldPlayer",
+    Position.ATTACKING_MIDFIELDER: "MidfieldPlayer",
+    Position.LEFT_WINGER: "MidfieldPlayer",
+    Position.RIGHT_WINGER: "MidfieldPlayer",
+    Position.CENTRE_FORWARD: "ForwardPlayer",
+    Position.STRIKER: "ForwardPlayer",
+}
+
+
+@dataclass(frozen=True)
+class Player:
+    """One squad member."""
+
+    name: str                 # display name as narrations print it
+    full_name: str
+    position: str             # a Position constant
+    shirt_number: int
+
+    @property
+    def is_goalkeeper(self) -> bool:
+        return self.position == Position.GOALKEEPER
+
+    @property
+    def position_group(self) -> str:
+        return POSITION_GROUPS[self.position]
+
+
+@dataclass
+class Team:
+    """A club with its squad (starters first)."""
+
+    name: str
+    city: str
+    stadium: str
+    country: str
+    squad: List[Player] = field(default_factory=list)
+
+    @property
+    def starters(self) -> List[Player]:
+        return self.squad[:11]
+
+    @property
+    def substitutes(self) -> List[Player]:
+        return self.squad[11:]
+
+    @property
+    def goalkeeper(self) -> Player:
+        for player in self.starters:
+            if player.is_goalkeeper:
+                return player
+        raise ValueError(f"team {self.name} has no starting goalkeeper")
+
+    def player_by_name(self, name: str) -> Optional[Player]:
+        for player in self.squad:
+            if player.name == name or player.full_name == name:
+                return player
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Team {self.name} ({len(self.squad)} players)>"
+
+
+@dataclass
+class GroundTruthEvent:
+    """What actually happened, per the simulator.
+
+    ``subject``/``object`` are the acting and acted-on players (the
+    generic roles of §3.4).  ``extras`` carries kind-specific detail
+    (e.g. the pass receiver for assists, the card reason).
+    """
+
+    event_id: str
+    kind: str                         # an EventKind constant
+    minute: int
+    team: Optional[str] = None        # acting team name
+    subject: Optional[Player] = None
+    object: Optional[Player] = None
+    object_team: Optional[str] = None
+    extras: Dict[str, str] = field(default_factory=dict)
+
+    def involves(self, player_name: str) -> bool:
+        """True when the player acts in or suffers this event."""
+        return any(p is not None and (p.name == player_name
+                                      or p.full_name == player_name)
+                   for p in (self.subject, self.object))
+
+
+@dataclass
+class Match:
+    """One simulated match with complete ground truth."""
+
+    match_id: str
+    home: Team
+    away: Team
+    date: str                          # ISO yyyy-mm-dd
+    kick_off: str                      # "20:45"
+    stadium: str
+    referee: str
+    competition: str
+    events: List[GroundTruthEvent] = field(default_factory=list)
+
+    @property
+    def teams(self) -> Tuple[Team, Team]:
+        return (self.home, self.away)
+
+    def team_by_name(self, name: str) -> Optional[Team]:
+        for team in self.teams:
+            if team.name == name:
+                return team
+        return None
+
+    @property
+    def home_score(self) -> int:
+        return self._score_for(self.home.name)
+
+    @property
+    def away_score(self) -> int:
+        return self._score_for(self.away.name)
+
+    def _score_for(self, team_name: str) -> int:
+        goals = 0
+        for event in self.events:
+            if event.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL) \
+                    and event.team == team_name:
+                goals += 1
+            elif event.kind == EventKind.OWN_GOAL \
+                    and event.object_team is not None \
+                    and event.object_team != team_name:
+                # an own goal credits the side that did NOT put it in
+                goals += 1
+        return goals
+
+    def events_of_kind(self, *kinds: str) -> Iterator[GroundTruthEvent]:
+        for event in self.events:
+            if event.kind in kinds:
+                yield event
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Match {self.home.name} {self.home_score}-"
+                f"{self.away_score} {self.away.name} ({self.date})>")

@@ -1,0 +1,268 @@
+"""Team and player rosters for the simulated corpus.
+
+Eight 2009/10-era Champions-League squads.  The rosters deliberately
+contain every entity the paper's evaluation queries mention by name —
+Barcelona, Messi, Henry, Ronaldo, Casillas, Alex, Daniel, Florent —
+so Q-1…Q-10 and the phrasal-expression queries (Table 6) run verbatim
+against the simulated data.
+
+Each squad lists 16 players: the first 11 are the starters (exactly
+one goalkeeper), the rest the bench.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.soccer.domain import Player, Position, Team
+
+__all__ = ["build_teams", "REFEREES", "FIXTURES", "COMPETITION",
+           "round_robin_fixtures"]
+
+COMPETITION = "UEFA Champions League"
+
+REFEREES = [
+    "Massimo Busacca",
+    "Howard Webb",
+    "Frank De Bleeckere",
+    "Wolfgang Stark",
+    "Olegário Benquerença",
+    "Martin Hansson",
+]
+
+#: (home, away, date, kick-off) — ten fixtures; Barcelona and Real
+#: Madrid appear three times each so the team-centric queries have
+#: enough relevant events.
+FIXTURES: List[Tuple[str, str, str, str]] = [
+    ("Barcelona", "Manchester United", "2009-05-27", "20:45"),
+    ("Chelsea", "Barcelona", "2009-05-06", "20:45"),
+    ("Real Madrid", "Barcelona", "2009-11-29", "19:00"),
+    ("Real Madrid", "Liverpool", "2009-02-25", "20:45"),
+    ("Arsenal", "Real Madrid", "2009-03-11", "20:45"),
+    ("Chelsea", "Manchester United", "2009-09-20", "17:00"),
+    ("Internazionale", "Chelsea", "2010-02-24", "20:45"),
+    ("Bayern Munich", "Internazionale", "2010-03-09", "20:45"),
+    ("Liverpool", "Arsenal", "2009-04-21", "20:45"),
+    ("Bayern Munich", "Manchester United", "2010-03-30", "20:45"),
+]
+
+def round_robin_fixtures(count: int,
+                         start_date: str = "2009-09-15"
+                         ) -> List[Tuple[str, str, str, str]]:
+    """Generate ``count`` fixtures cycling through all team pairings.
+
+    Used by scalability benchmarks that need corpora larger than the
+    paper's ten matches.  Dates advance week by week; pairings walk a
+    home/away round robin over the eight squads, so every corpus size
+    stays realistic (no team plays itself, home advantage rotates).
+    """
+    import datetime
+
+    team_names = list(_SQUADS)
+    pairings = []
+    for i, home in enumerate(team_names):
+        for away in team_names[i + 1:]:
+            pairings.append((home, away))
+            pairings.append((away, home))
+    date = datetime.date.fromisoformat(start_date)
+    fixtures = []
+    for index in range(count):
+        home, away = pairings[index % len(pairings)]
+        fixtures.append((home, away, date.isoformat(), "20:45"))
+        date += datetime.timedelta(days=7)
+    return fixtures
+
+
+_P = Position
+
+#: squad spec: (display name, full name, position, shirt number)
+_SQUADS: Dict[str, dict] = {
+    "Barcelona": {
+        "city": "Barcelona", "stadium": "Camp Nou", "country": "Spain",
+        "players": [
+            ("Valdes", "Victor Valdes", _P.GOALKEEPER, 1),
+            ("Daniel", "Daniel Alves", _P.RIGHT_BACK, 2),
+            ("Pique", "Gerard Pique", _P.CENTRE_BACK, 3),
+            ("Puyol", "Carles Puyol", _P.CENTRE_BACK, 5),
+            ("Abidal", "Eric Abidal", _P.LEFT_BACK, 22),
+            ("Busquets", "Sergio Busquets", _P.DEFENSIVE_MIDFIELDER, 16),
+            ("Xavi", "Xavi Hernandez", _P.CENTRAL_MIDFIELDER, 6),
+            ("Iniesta", "Andres Iniesta", _P.ATTACKING_MIDFIELDER, 8),
+            ("Messi", "Lionel Messi", _P.RIGHT_WINGER, 10),
+            ("Eto'o", "Samuel Eto'o", _P.CENTRE_FORWARD, 9),
+            ("Henry", "Thierry Henry", _P.LEFT_WINGER, 14),
+            ("Pinto", "Jose Manuel Pinto", _P.GOALKEEPER, 13),
+            ("Keita", "Seydou Keita", _P.CENTRAL_MIDFIELDER, 15),
+            ("Pedro", "Pedro Rodriguez", _P.RIGHT_WINGER, 17),
+            ("Bojan", "Bojan Krkic", _P.STRIKER, 11),
+            ("Toure", "Yaya Toure", _P.DEFENSIVE_MIDFIELDER, 24),
+        ],
+    },
+    "Real Madrid": {
+        "city": "Madrid", "stadium": "Santiago Bernabeu",
+        "country": "Spain",
+        "players": [
+            ("Casillas", "Iker Casillas", _P.GOALKEEPER, 1),
+            ("Ramos", "Sergio Ramos", _P.RIGHT_BACK, 4),
+            ("Pepe", "Kepler Pepe", _P.CENTRE_BACK, 3),
+            ("Albiol", "Raul Albiol", _P.CENTRE_BACK, 18),
+            ("Arbeloa", "Alvaro Arbeloa", _P.LEFT_BACK, 17),
+            ("Alonso", "Xabi Alonso", _P.DEFENSIVE_MIDFIELDER, 14),
+            ("Gago", "Fernando Gago", _P.CENTRAL_MIDFIELDER, 8),
+            ("Kaka", "Ricardo Kaka", _P.ATTACKING_MIDFIELDER, 10),
+            ("Ronaldo", "Cristiano Ronaldo", _P.RIGHT_WINGER, 9),
+            ("Benzema", "Karim Benzema", _P.CENTRE_FORWARD, 11),
+            ("Higuain", "Gonzalo Higuain", _P.STRIKER, 20),
+            ("Dudek", "Jerzy Dudek", _P.GOALKEEPER, 25),
+            ("Granero", "Esteban Granero", _P.CENTRAL_MIDFIELDER, 15),
+            ("Raul", "Raul Gonzalez", _P.STRIKER, 7),
+            ("Marcelo", "Marcelo Vieira", _P.LEFT_BACK, 12),
+            ("Diarra", "Lassana Diarra", _P.DEFENSIVE_MIDFIELDER, 24),
+        ],
+    },
+    "Chelsea": {
+        "city": "London", "stadium": "Stamford Bridge",
+        "country": "England",
+        "players": [
+            ("Cech", "Petr Cech", _P.GOALKEEPER, 1),
+            ("Ivanovic", "Branislav Ivanovic", _P.RIGHT_BACK, 2),
+            ("Alex", "Alex da Costa", _P.CENTRE_BACK, 33),
+            ("Terry", "John Terry", _P.CENTRE_BACK, 26),
+            ("Cole", "Ashley Cole", _P.LEFT_BACK, 3),
+            ("Essien", "Michael Essien", _P.DEFENSIVE_MIDFIELDER, 5),
+            ("Lampard", "Frank Lampard", _P.CENTRAL_MIDFIELDER, 8),
+            ("Ballack", "Michael Ballack", _P.CENTRAL_MIDFIELDER, 13),
+            ("Florent", "Florent Malouda", _P.LEFT_WINGER, 15),
+            ("Anelka", "Nicolas Anelka", _P.RIGHT_WINGER, 39),
+            ("Drogba", "Didier Drogba", _P.CENTRE_FORWARD, 11),
+            ("Hilario", "Henrique Hilario", _P.GOALKEEPER, 40),
+            ("Mikel", "John Obi Mikel", _P.DEFENSIVE_MIDFIELDER, 12),
+            ("Deco", "Anderson Deco", _P.ATTACKING_MIDFIELDER, 20),
+            ("Kalou", "Salomon Kalou", _P.RIGHT_WINGER, 21),
+            ("Belletti", "Juliano Belletti", _P.RIGHT_BACK, 35),
+        ],
+    },
+    "Manchester United": {
+        "city": "Manchester", "stadium": "Old Trafford",
+        "country": "England",
+        "players": [
+            ("van der Sar", "Edwin van der Sar", _P.GOALKEEPER, 1),
+            ("Rafael", "Rafael da Silva", _P.RIGHT_BACK, 21),
+            ("Vidic", "Nemanja Vidic", _P.CENTRE_BACK, 15),
+            ("Ferdinand", "Rio Ferdinand", _P.CENTRE_BACK, 5),
+            ("Evra", "Patrice Evra", _P.LEFT_BACK, 3),
+            ("Carrick", "Michael Carrick", _P.DEFENSIVE_MIDFIELDER, 16),
+            ("Scholes", "Paul Scholes", _P.CENTRAL_MIDFIELDER, 18),
+            ("Anderson", "Anderson Oliveira", _P.CENTRAL_MIDFIELDER, 8),
+            ("Valencia", "Antonio Valencia", _P.RIGHT_WINGER, 25),
+            ("Rooney", "Wayne Rooney", _P.CENTRE_FORWARD, 10),
+            ("Giggs", "Ryan Giggs", _P.LEFT_WINGER, 11),
+            ("Kuszczak", "Tomasz Kuszczak", _P.GOALKEEPER, 29),
+            ("Fletcher", "Darren Fletcher", _P.DEFENSIVE_MIDFIELDER, 24),
+            ("Berbatov", "Dimitar Berbatov", _P.STRIKER, 9),
+            ("Nani", "Luis Nani", _P.LEFT_WINGER, 17),
+            ("Park", "Ji-sung Park", _P.RIGHT_WINGER, 13),
+        ],
+    },
+    "Liverpool": {
+        "city": "Liverpool", "stadium": "Anfield", "country": "England",
+        "players": [
+            ("Reina", "Pepe Reina", _P.GOALKEEPER, 25),
+            ("Johnson", "Glen Johnson", _P.RIGHT_BACK, 2),
+            ("Carragher", "Jamie Carragher", _P.CENTRE_BACK, 23),
+            ("Agger", "Daniel Agger", _P.CENTRE_BACK, 5),
+            ("Insua", "Emiliano Insua", _P.LEFT_BACK, 22),
+            ("Mascherano", "Javier Mascherano", _P.DEFENSIVE_MIDFIELDER, 20),
+            ("Gerrard", "Steven Gerrard", _P.ATTACKING_MIDFIELDER, 8),
+            ("Lucas", "Lucas Leiva", _P.CENTRAL_MIDFIELDER, 21),
+            ("Kuyt", "Dirk Kuyt", _P.RIGHT_WINGER, 18),
+            ("Torres", "Fernando Torres", _P.CENTRE_FORWARD, 9),
+            ("Benayoun", "Yossi Benayoun", _P.LEFT_WINGER, 15),
+            ("Cavalieri", "Diego Cavalieri", _P.GOALKEEPER, 1),
+            ("Aquilani", "Alberto Aquilani", _P.CENTRAL_MIDFIELDER, 4),
+            ("N'Gog", "David N'Gog", _P.STRIKER, 24),
+            ("Babel", "Ryan Babel", _P.LEFT_WINGER, 19),
+            ("Skrtel", "Martin Skrtel", _P.CENTRE_BACK, 37),
+        ],
+    },
+    "Arsenal": {
+        "city": "London", "stadium": "Emirates Stadium",
+        "country": "England",
+        "players": [
+            ("Almunia", "Manuel Almunia", _P.GOALKEEPER, 1),
+            ("Sagna", "Bacary Sagna", _P.RIGHT_BACK, 3),
+            ("Gallas", "William Gallas", _P.CENTRE_BACK, 10),
+            ("Vermaelen", "Thomas Vermaelen", _P.CENTRE_BACK, 5),
+            ("Clichy", "Gael Clichy", _P.LEFT_BACK, 22),
+            ("Song", "Alex Song", _P.DEFENSIVE_MIDFIELDER, 17),
+            ("Fabregas", "Cesc Fabregas", _P.ATTACKING_MIDFIELDER, 4),
+            ("Denilson", "Denilson Neves", _P.CENTRAL_MIDFIELDER, 15),
+            ("Walcott", "Theo Walcott", _P.RIGHT_WINGER, 14),
+            ("van Persie", "Robin van Persie", _P.CENTRE_FORWARD, 11),
+            ("Arshavin", "Andrey Arshavin", _P.LEFT_WINGER, 23),
+            ("Fabianski", "Lukasz Fabianski", _P.GOALKEEPER, 21),
+            ("Diaby", "Abou Diaby", _P.CENTRAL_MIDFIELDER, 2),
+            ("Eduardo", "Eduardo da Silva", _P.STRIKER, 9),
+            ("Rosicky", "Tomas Rosicky", _P.ATTACKING_MIDFIELDER, 7),
+            ("Eboue", "Emmanuel Eboue", _P.RIGHT_BACK, 27),
+        ],
+    },
+    "Internazionale": {
+        "city": "Milan", "stadium": "San Siro", "country": "Italy",
+        "players": [
+            ("Julio Cesar", "Julio Cesar Soares", _P.GOALKEEPER, 12),
+            ("Maicon", "Maicon Douglas", _P.RIGHT_BACK, 13),
+            ("Lucio", "Lucimar Lucio", _P.CENTRE_BACK, 6),
+            ("Samuel", "Walter Samuel", _P.CENTRE_BACK, 25),
+            ("Chivu", "Cristian Chivu", _P.LEFT_BACK, 26),
+            ("Cambiasso", "Esteban Cambiasso", _P.DEFENSIVE_MIDFIELDER, 19),
+            ("Zanetti", "Javier Zanetti", _P.CENTRAL_MIDFIELDER, 4),
+            ("Sneijder", "Wesley Sneijder", _P.ATTACKING_MIDFIELDER, 10),
+            ("Pandev", "Goran Pandev", _P.LEFT_WINGER, 27),
+            ("Milito", "Diego Milito", _P.CENTRE_FORWARD, 22),
+            ("Balotelli", "Mario Balotelli", _P.STRIKER, 45),
+            ("Toldo", "Francesco Toldo", _P.GOALKEEPER, 1),
+            ("Stankovic", "Dejan Stankovic", _P.CENTRAL_MIDFIELDER, 5),
+            ("Muntari", "Sulley Muntari", _P.DEFENSIVE_MIDFIELDER, 11),
+            ("Quaresma", "Ricardo Quaresma", _P.RIGHT_WINGER, 7),
+            ("Materazzi", "Marco Materazzi", _P.CENTRE_BACK, 23),
+        ],
+    },
+    "Bayern Munich": {
+        "city": "Munich", "stadium": "Allianz Arena",
+        "country": "Germany",
+        "players": [
+            ("Butt", "Hans-Jorg Butt", _P.GOALKEEPER, 22),
+            ("Lahm", "Philipp Lahm", _P.RIGHT_BACK, 21),
+            ("Demichelis", "Martin Demichelis", _P.CENTRE_BACK, 6),
+            ("Badstuber", "Holger Badstuber", _P.CENTRE_BACK, 28),
+            ("Pranjic", "Danijel Pranjic", _P.LEFT_BACK, 23),
+            ("van Bommel", "Mark van Bommel", _P.DEFENSIVE_MIDFIELDER, 17),
+            ("Schweinsteiger", "Bastian Schweinsteiger",
+             _P.CENTRAL_MIDFIELDER, 31),
+            ("Muller", "Thomas Muller", _P.ATTACKING_MIDFIELDER, 25),
+            ("Robben", "Arjen Robben", _P.RIGHT_WINGER, 10),
+            ("Gomez", "Mario Gomez", _P.CENTRE_FORWARD, 33),
+            ("Ribery", "Franck Ribery", _P.LEFT_WINGER, 7),
+            ("Rensing", "Michael Rensing", _P.GOALKEEPER, 1),
+            ("Altintop", "Hamit Altintop", _P.CENTRAL_MIDFIELDER, 8),
+            ("Klose", "Miroslav Klose", _P.STRIKER, 18),
+            ("Olic", "Ivica Olic", _P.STRIKER, 11),
+            ("Tymoshchuk", "Anatoliy Tymoshchuk",
+             _P.DEFENSIVE_MIDFIELDER, 44),
+        ],
+    },
+}
+
+
+def build_teams() -> Dict[str, Team]:
+    """Instantiate all eight teams with their squads."""
+    teams: Dict[str, Team] = {}
+    for name, spec in _SQUADS.items():
+        squad = [Player(name=display, full_name=full, position=position,
+                        shirt_number=number)
+                 for display, full, position, number in spec["players"]]
+        teams[name] = Team(name=name, city=spec["city"],
+                           stadium=spec["stadium"],
+                           country=spec["country"], squad=squad)
+    return teams

@@ -1,0 +1,371 @@
+"""Seeded match simulator — the substitute for the UEFA/SporX crawl.
+
+The paper's experiments run over proprietary crawled match pages we
+cannot fetch; this simulator generates matches whose *shape* matches
+them: realistic per-match counts of goals, misses, saves, fouls,
+cards, offsides, corners, substitutions, passes and so on, with the
+roles (subject/object players and teams) the information extractor is
+expected to recover from the narrations.
+
+Everything is driven by one :class:`random.Random` instance, so a seed
+fully determines the corpus (see :mod:`repro.soccer.corpus` for the
+standard 10-match corpus).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.soccer.domain import (EventKind, GroundTruthEvent, Match, Player,
+                                 Team)
+from repro.soccer.names import COMPETITION, REFEREES
+
+__all__ = ["ScriptedEvent", "MatchSimulator"]
+
+
+class ScriptedEvent:
+    """A deterministic event injected into a simulated match.
+
+    The paper's evaluation queries name specific occurrences (Messi's
+    goals, Alex's yellow cards, Daniel fouling Florent) that its real
+    crawl happened to contain.  A purely random simulation cannot
+    guarantee them, so each fixture may carry a short script of events
+    that must occur; everything else stays random.  See
+    :data:`repro.soccer.corpus.SCRIPTED_EVENTS`.
+    """
+
+    def __init__(self, kind: str, minute: int, team: str,
+                 subject: str | None = None,
+                 object_: str | None = None,
+                 object_team: str | None = None) -> None:
+        self.kind = kind
+        self.minute = minute
+        self.team = team
+        self.subject = subject
+        self.object = object_
+        self.object_team = object_team
+
+#: relative likelihood of scoring / shooting by position group
+_SHOT_WEIGHTS = {
+    "ForwardPlayer": 10.0,
+    "MidfieldPlayer": 4.0,
+    "DefencePlayer": 1.5,
+    "Goalkeeper": 0.0,
+}
+
+_FOUL_WEIGHTS = {
+    "ForwardPlayer": 2.0,
+    "MidfieldPlayer": 4.0,
+    "DefencePlayer": 5.0,
+    "Goalkeeper": 0.3,
+}
+
+
+class MatchSimulator:
+    """Generates :class:`~repro.soccer.domain.Match` instances."""
+
+    def __init__(self, teams: Dict[str, Team], seed: int = 0) -> None:
+        self.teams = teams
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def simulate(self, home_name: str, away_name: str, date: str,
+                 kick_off: str = "20:45",
+                 scripted: Sequence[ScriptedEvent] = ()) -> Match:
+        """Simulate one match between two known teams.
+
+        ``scripted`` events are injected verbatim (resolved against the
+        squads) in addition to the random ones.
+        """
+        home = self.teams[home_name]
+        away = self.teams[away_name]
+        match_id = (f"{home_name}_{away_name}_{date}"
+                    .replace(" ", "_").replace("-", "_"))
+        match = Match(
+            match_id=match_id,
+            home=home, away=away, date=date, kick_off=kick_off,
+            stadium=home.stadium,
+            referee=self._rng.choice(REFEREES),
+            competition=COMPETITION,
+        )
+        self._event_counter = 0
+        events: List[GroundTruthEvent] = []
+        events.append(self._phase(match, EventKind.KICK_OFF, 1))
+        for team, other in ((home, away), (away, home)):
+            events.extend(self._goals(match, team, other))
+            events.extend(self._misses(match, team))
+            events.extend(self._saves(match, team, other))
+            events.extend(self._shoots(match, team))
+            events.extend(self._fouls_and_cards(match, team, other))
+            events.extend(self._offsides(match, team))
+            events.extend(self._set_pieces(match, team))
+            events.extend(self._substitutions(match, team))
+            events.extend(self._injuries(match, team))
+            events.extend(self._duels(match, team, other))
+            events.extend(self._passes(match, team))
+        for spec in scripted:
+            events.append(self._scripted(match, spec))
+        events.append(self._phase(match, EventKind.HALF_TIME, 46))
+        events.append(self._phase(match, EventKind.FULL_TIME, 90))
+        events.sort(key=lambda e: (e.minute, e.event_id))
+        match.events = events
+        return match
+
+    def _scripted(self, match: Match,
+                  spec: ScriptedEvent) -> GroundTruthEvent:
+        team = self.teams[spec.team]
+        other = match.away if team is match.home else match.home
+
+        def resolve(name: str | None) -> Optional[Player]:
+            if name is None:
+                return None
+            for candidate in (match.home, match.away):
+                player = candidate.player_by_name(name)
+                if player is not None:
+                    return player
+            raise KeyError(f"scripted player {name!r} not in either squad")
+
+        object_team = (self.teams[spec.object_team]
+                       if spec.object_team else other)
+        return self._event(match, spec.kind, spec.minute, team=team,
+                           subject=resolve(spec.subject),
+                           object_=resolve(spec.object),
+                           object_team=object_team)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _next_id(self, match: Match) -> str:
+        self._event_counter += 1
+        return f"{match.match_id}_e{self._event_counter:03d}"
+
+    def _minute(self, low: int = 2, high: int = 90) -> int:
+        return self._rng.randint(low, high)
+
+    def _weighted_player(self, team: Team,
+                         weights: Dict[str, float],
+                         exclude: Sequence[Player] = ()) -> Player:
+        candidates = [p for p in team.starters if p not in exclude]
+        player_weights = [weights.get(p.position_group, 1.0)
+                          for p in candidates]
+        return self._rng.choices(candidates, weights=player_weights, k=1)[0]
+
+    def _field_player(self, team: Team,
+                      exclude: Sequence[Player] = ()) -> Player:
+        candidates = [p for p in team.starters
+                      if not p.is_goalkeeper and p not in exclude]
+        return self._rng.choice(candidates)
+
+    def _event(self, match: Match, kind: str, minute: int,
+               team: Optional[Team] = None,
+               subject: Optional[Player] = None,
+               object_: Optional[Player] = None,
+               object_team: Optional[Team] = None,
+               **extras: str) -> GroundTruthEvent:
+        return GroundTruthEvent(
+            event_id=self._next_id(match),
+            kind=kind, minute=minute,
+            team=team.name if team else None,
+            subject=subject, object=object_,
+            object_team=object_team.name if object_team else None,
+            extras=dict(extras),
+        )
+
+    def _phase(self, match: Match, kind: str,
+               minute: int) -> GroundTruthEvent:
+        return self._event(match, kind, minute)
+
+    # ------------------------------------------------------------------
+    # event generators
+    # ------------------------------------------------------------------
+
+    def _goals(self, match: Match, team: Team,
+               other: Team) -> List[GroundTruthEvent]:
+        events: List[GroundTruthEvent] = []
+        count = self._rng.choices((0, 1, 2, 3),
+                                  weights=(20, 37, 30, 13), k=1)[0]
+        for _ in range(count):
+            minute = self._minute()
+            roll = self._rng.random()
+            scorer = self._weighted_player(team, _SHOT_WEIGHTS)
+            if roll < 0.06:
+                # own goal: a defender of `other` puts it into his own net
+                own_scorer = self._weighted_player(
+                    other, {"DefencePlayer": 5.0, "MidfieldPlayer": 1.0,
+                            "ForwardPlayer": 0.2, "Goalkeeper": 0.1})
+                events.append(self._event(
+                    match, EventKind.OWN_GOAL, minute, team=other,
+                    subject=own_scorer, object_team=other))
+                continue
+            if roll < 0.16:
+                events.append(self._event(
+                    match, EventKind.PENALTY_GOAL, minute, team=team,
+                    subject=scorer, object_team=other))
+                continue
+            goal = self._event(match, EventKind.GOAL, minute, team=team,
+                               subject=scorer, object_team=other)
+            events.append(goal)
+            if self._rng.random() < 0.7:
+                # the assist: a same-minute pass received by the scorer —
+                # exactly the situation the Fig. 6 rule recognizes.
+                passer = self._field_player(team, exclude=[scorer])
+                events.append(self._event(
+                    match, EventKind.PASS, minute, team=team,
+                    subject=passer, object_=scorer))
+        return events
+
+    def _misses(self, match: Match, team: Team) -> List[GroundTruthEvent]:
+        count = self._rng.randint(3, 5)
+        return [self._event(match, EventKind.MISSED_GOAL, self._minute(),
+                            team=team,
+                            subject=self._weighted_player(team,
+                                                          _SHOT_WEIGHTS))
+                for _ in range(count)]
+
+    def _saves(self, match: Match, team: Team,
+               other: Team) -> List[GroundTruthEvent]:
+        """Saves made by this team's goalkeeper (shots from `other`)."""
+        count = self._rng.randint(2, 4)
+        keeper = team.goalkeeper
+        return [self._event(match, EventKind.SAVE, self._minute(),
+                            team=team, subject=keeper,
+                            object_=self._weighted_player(other,
+                                                          _SHOT_WEIGHTS))
+                for _ in range(count)]
+
+    def _shoots(self, match: Match, team: Team) -> List[GroundTruthEvent]:
+        count = self._rng.randint(2, 4)
+        events = []
+        for _ in range(count):
+            # generic shots skew less to forwards: long-range efforts
+            shooter = self._weighted_player(
+                team, {"ForwardPlayer": 4.0, "MidfieldPlayer": 4.0,
+                       "DefencePlayer": 2.5, "Goalkeeper": 0.0})
+            events.append(self._event(match, EventKind.SHOOT,
+                                      self._minute(), team=team,
+                                      subject=shooter))
+        return events
+
+    def _fouls_and_cards(self, match: Match, team: Team,
+                         other: Team) -> List[GroundTruthEvent]:
+        events: List[GroundTruthEvent] = []
+        for _ in range(self._rng.randint(4, 6)):
+            minute = self._minute()
+            offender = self._weighted_player(team, _FOUL_WEIGHTS)
+            victim = self._field_player(other)
+            events.append(self._event(match, EventKind.FOUL, minute,
+                                      team=team, subject=offender,
+                                      object_=victim,
+                                      object_team=other))
+            card_roll = self._rng.random()
+            if card_roll < 0.30:
+                events.append(self._event(
+                    match, EventKind.YELLOW_CARD, minute, team=team,
+                    subject=offender, reason="foul"))
+            elif card_roll < 0.33:
+                events.append(self._event(
+                    match, EventKind.RED_CARD, minute, team=team,
+                    subject=offender, reason="serious foul play"))
+        if self._rng.random() < 0.25:
+            # an occasional booking for dissent, unattached to a foul
+            events.append(self._event(
+                match, EventKind.YELLOW_CARD, self._minute(), team=team,
+                subject=self._field_player(team), reason="dissent"))
+        return events
+
+    def _offsides(self, match: Match, team: Team) -> List[GroundTruthEvent]:
+        count = self._rng.randint(1, 3)
+        return [self._event(match, EventKind.OFFSIDE, self._minute(),
+                            team=team,
+                            subject=self._weighted_player(team,
+                                                          _SHOT_WEIGHTS))
+                for _ in range(count)]
+
+    def _set_pieces(self, match: Match,
+                    team: Team) -> List[GroundTruthEvent]:
+        events = []
+        for _ in range(self._rng.randint(3, 5)):
+            taker = self._weighted_player(
+                team, {"MidfieldPlayer": 5.0, "ForwardPlayer": 2.0,
+                       "DefencePlayer": 1.0, "Goalkeeper": 0.0})
+            events.append(self._event(match, EventKind.CORNER,
+                                      self._minute(), team=team,
+                                      subject=taker))
+        for _ in range(self._rng.randint(1, 3)):
+            taker = self._weighted_player(
+                team, {"MidfieldPlayer": 5.0, "ForwardPlayer": 3.0,
+                       "DefencePlayer": 1.0, "Goalkeeper": 0.0})
+            events.append(self._event(match, EventKind.FREE_KICK,
+                                      self._minute(), team=team,
+                                      subject=taker))
+        return events
+
+    def _substitutions(self, match: Match,
+                       team: Team) -> List[GroundTruthEvent]:
+        bench = [p for p in team.substitutes if not p.is_goalkeeper]
+        outfield = [p for p in team.starters if not p.is_goalkeeper]
+        count = min(self._rng.randint(2, 3), len(bench))
+        self._rng.shuffle(bench)
+        out_players = self._rng.sample(outfield, count)
+        return [self._event(match, EventKind.SUBSTITUTION,
+                            self._minute(46, 88), team=team,
+                            subject=bench[i], object_=out_players[i])
+                for i in range(count)]
+
+    def _injuries(self, match: Match, team: Team) -> List[GroundTruthEvent]:
+        if self._rng.random() < 0.45:
+            return [self._event(match, EventKind.INJURY, self._minute(),
+                                team=team,
+                                object_=self._field_player(team))]
+        return []
+
+    def _duels(self, match: Match, team: Team,
+               other: Team) -> List[GroundTruthEvent]:
+        events = []
+        for _ in range(self._rng.randint(2, 4)):
+            tackler = self._weighted_player(team, _FOUL_WEIGHTS)
+            events.append(self._event(match, EventKind.TACKLE,
+                                      self._minute(), team=team,
+                                      subject=tackler,
+                                      object_=self._field_player(other)))
+        for _ in range(self._rng.randint(1, 3)):
+            dribbler = self._weighted_player(team, _SHOT_WEIGHTS)
+            events.append(self._event(match, EventKind.DRIBBLE,
+                                      self._minute(), team=team,
+                                      subject=dribbler,
+                                      object_=self._field_player(other)))
+        for _ in range(self._rng.randint(1, 2)):
+            events.append(self._event(
+                match, EventKind.CLEARANCE, self._minute(), team=team,
+                subject=self._weighted_player(
+                    team, {"DefencePlayer": 6.0, "MidfieldPlayer": 2.0,
+                           "ForwardPlayer": 0.5, "Goalkeeper": 1.0})))
+        for _ in range(self._rng.randint(1, 2)):
+            events.append(self._event(
+                match, EventKind.INTERCEPTION, self._minute(), team=team,
+                subject=self._weighted_player(
+                    team, {"DefencePlayer": 4.0, "MidfieldPlayer": 4.0,
+                           "ForwardPlayer": 1.0, "Goalkeeper": 0.2})))
+        return events
+
+    def _passes(self, match: Match, team: Team) -> List[GroundTruthEvent]:
+        events = []
+        for _ in range(self._rng.randint(5, 8)):
+            passer = self._field_player(team)
+            receiver = self._field_player(team, exclude=[passer])
+            kind_roll = self._rng.random()
+            if kind_roll < 0.2:
+                kind = EventKind.LONG_PASS
+            elif kind_roll < 0.4:
+                kind = EventKind.CROSS
+            else:
+                kind = EventKind.PASS
+            events.append(self._event(match, kind, self._minute(),
+                                      team=team, subject=passer,
+                                      object_=receiver))
+        return events

@@ -1,0 +1,140 @@
+"""Turkish narration templates — the simulated SporX crawl.
+
+The paper crawls *two* sources: UEFA.com (English) and SporX
+(Turkish), and stresses that the template-based IE approach "can be
+applied to any domain or any language without using any linguistic
+tool" (§3.3) — the original templates were in fact first crafted for
+Turkish web-casting text [30].
+
+This module provides the Turkish phrasebook; the matching extraction
+templates live in :mod:`repro.extraction.templates_tr`.  Slot
+conventions are identical to the English set ({s}=subject, {o}=object,
+{t}=team, {ot}=object team, {st}=stadium, {n}=shirt number).
+
+The same deliberate lexical gaps exist: goal lines say "golü attı"
+rather than spelling the event type, bookings split between "sarı
+kart gördü" and "kartla cezalandırıldı", shots are "şut çekti" /
+"deneme".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.soccer.domain import EventKind
+
+__all__ = ["TURKISH_TEMPLATES", "TURKISH_COLOR_TEMPLATES"]
+
+TURKISH_TEMPLATES: Dict[str, List[tuple]] = {
+    EventKind.GOAL: [
+        ("{s} ({t}) golü attı! Muhteşem bir vuruş.", 5),
+        ("{s} ({t}) golü attı! Tribünler coştu.", 4),
+        ("{s} ({t}) golü attı! Bu sezonki dördüncü golü.", 1),
+    ],
+    EventKind.PENALTY_GOAL: [
+        ("{s} ({t}) penaltıyı gole çevirdi.", 1),
+        ("{s} ({t}) penaltı noktasından şaşırmadı.", 1),
+    ],
+    EventKind.OWN_GOAL: [
+        ("{s} ({t}) topu kendi ağlarına gönderdi.", 1),
+        ("Talihsiz an: {s} kendi kalesine attı.", 1),
+    ],
+    EventKind.MISSED_GOAL: [
+        ("{s} ({t}) mutlak fırsatı kaçırdı.", 2),
+        ("{s} ({t}) topu auta gönderdi.", 2),
+        ("{s} ({t}) kafa vuruşunda üstten auta yolladı.", 1),
+    ],
+    EventKind.SAVE: [
+        ("{s} ({t}) müthiş bir kurtarışla {o} şutunu çıkardı.", 3),
+        ("{s} ({t}) {o} vuruşunda gole izin vermedi.", 2),
+        ("{s} ({t}) topu kontrol etti, {o} üzgün.", 1),
+    ],
+    EventKind.SHOOT: [
+        ("{s} ({t}) uzaklardan şut çekti, savunmaya çarptı.", 2),
+        ("{s} ({t}) şansını denedi uzak mesafeden.", 2),
+    ],
+    EventKind.FOUL: [
+        ("{s} rakibi {o} üzerinde faul yaptı.", 3),
+        ("{s} ({t}) sert müdahalesiyle {o} oyuncusunu durdurdu.", 2),
+        ("Serbest vuruş: {s} rakibi {o} oyuncusunu düşürdü.", 2),
+    ],
+    EventKind.HANDBALL: [
+        ("{s} ({t}) elle oynadı, hakem düdüğü çaldı.", 1),
+    ],
+    EventKind.OFFSIDE: [
+        ("{s} ({t}) ofsayta yakalandı.", 3),
+        ("Bayrak kalktı: {s} ofsayt pozisyonunda.", 2),
+    ],
+    EventKind.YELLOW_CARD: [
+        ("{s} ({t}) sarı kart gördü.", 3),
+        ("{s} ({t}) sert müdahale sonrası kartla cezalandırıldı.", 3),
+    ],
+    EventKind.RED_CARD: [
+        ("{s} ({t}) kırmızı kartla oyun dışı kaldı!", 2),
+        ("{s} ({t}) direkt kırmızı kart gördü.", 2),
+    ],
+    EventKind.CORNER: [
+        ("{s} ({t}) kornere geldi ve ortaladı.", 2),
+        ("{s} ({t}) korner vuruşunu kullandı.", 2),
+    ],
+    EventKind.FREE_KICK: [
+        ("{s} ({t}) serbest vuruşu kullandı, baraja çarptı.", 1),
+        ("{s} ({t}) frikiği ceza sahasına gönderdi.", 1),
+    ],
+    EventKind.PENALTY: [
+        ("Penaltı {t} lehine! Topun başında {s} var.", 1),
+    ],
+    EventKind.SUBSTITUTION: [
+        ("{t} oyuncu değişikliği: {s} oyuna girdi, {o} çıktı.", 3),
+        ("{o} yerini {s} oyuncusuna bıraktı.", 2),
+    ],
+    EventKind.INJURY: [
+        ("{o} ({t}) sakatlandı, sağlık ekibi sahada.", 2),
+        ("Endişeli anlar: {o} yerde kaldı.", 1),
+    ],
+    EventKind.TACKLE: [
+        ("{s} ({t}) mükemmel bir müdahaleyle {o} elinden "
+         "topu aldı.", 2),
+    ],
+    EventKind.DRIBBLE: [
+        ("{s} ({t}) çalımlarıyla {o} oyuncusunu geçti.", 2),
+    ],
+    EventKind.CLEARANCE: [
+        ("{s} ({t}) tehlikeyi uzaklaştırdı.", 2),
+    ],
+    EventKind.INTERCEPTION: [
+        ("{s} ({t}) pası okudu ve araya girdi.", 2),
+    ],
+    EventKind.PASS: [
+        ("{s} güzel bir pasla {o} oyuncusunu buldu.", 3),
+        ("{s} topu {o} oyuncusuna aktardı.", 2),
+    ],
+    EventKind.LONG_PASS: [
+        ("{s} uzun topla {o} oyuncusunu aradı.", 2),
+    ],
+    EventKind.CROSS: [
+        ("{s} ortasını {o} için yaptı.", 2),
+    ],
+    EventKind.KICK_OFF: [
+        ("{st} stadında karşılaşma başladı.", 1),
+    ],
+    EventKind.HALF_TIME: [
+        ("Hakem ilk yarıyı bitiren düdüğü çaldı.", 1),
+    ],
+    EventKind.FULL_TIME: [
+        ("{st} stadında maç sona erdi.", 1),
+    ],
+}
+
+TURKISH_COLOR_TEMPLATES: List[str] = [
+    "{p} topu istiyor, sol kanatta boş durumda.",
+    "{t} topa sahip olmakta zorlanıyor.",
+    "Tempo son dakikalarda düştü.",
+    "Her iki takım da gol arıyor ama skor değişmiyor.",
+    "{st} tribünleri takımlarını destekliyor.",
+    "{t} savunmada güvenli oynuyor.",
+    "{p} ve {q} orta sahada mücadele ediyor.",
+    "Dördüncü hakem iki dakika uzatma gösterdi.",
+    "Ne pozisyon ama! Top bir türlü gol çizgisini geçmiyor.",
+    "{t} oyunu rakip yarı alana yıkmış durumda.",
+]

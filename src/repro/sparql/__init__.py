@@ -1,0 +1,25 @@
+"""A SPARQL subset (SELECT/ASK over basic graph patterns).
+
+Serves two purposes in the reproduction:
+
+* the formal-query baseline the paper positions keyword search against
+  ("the best that can be achieved with semantic querying", §8);
+* a general query facility over populated match models for tests and
+  examples.
+"""
+
+from repro.sparql.engine import (PreparedQuery, ask, construct,
+                                 prepare, query)
+from repro.sparql.parser import parse_query
+from repro.sparql.results import ResultSet, Row
+
+__all__ = [
+    "PreparedQuery",
+    "prepare",
+    "query",
+    "ask",
+    "construct",
+    "parse_query",
+    "ResultSet",
+    "Row",
+]

@@ -1,0 +1,222 @@
+"""Evaluation algebra for the SPARQL subset.
+
+Implements basic graph pattern matching with greedy join ordering
+(most-selective pattern first), left outer joins for OPTIONAL and
+effective-boolean-value FILTER evaluation, following the SPARQL 1.1
+semantics for the covered subset.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.errors import SparqlError
+from repro.rdf.graph import Graph
+from repro.rdf.term import Literal, Node, URIRef, Variable
+from repro.sparql.ast import (BoundCall, Comparison, ConstantExpr,
+                              Expression, GroupPattern, LogicalAnd,
+                              LogicalNot, LogicalOr, RegexCall,
+                              TriplePattern, VariableExpr)
+
+__all__ = ["Binding", "evaluate_group", "evaluate_expression"]
+
+#: A solution mapping from variable to bound node.
+Binding = Dict[Variable, Node]
+
+
+def evaluate_group(graph: Graph, group: GroupPattern) -> Iterator[Binding]:
+    """Yield every solution of ``group`` against ``graph``."""
+    solutions = _evaluate_bgp(graph, group.triples)
+    for union in group.unions:
+        solutions = _union_join(graph, solutions, union)
+    for optional in group.optionals:
+        solutions = _left_join(graph, solutions, optional.pattern)
+    for filter_ in group.filters:
+        solutions = (binding for binding in solutions
+                     if _ebv(evaluate_expression(filter_.expression, binding)))
+    return solutions
+
+
+def _union_join(graph: Graph, solutions: Iterable[Binding],
+                union) -> Iterator[Binding]:
+    """Join current solutions with the concatenated branch solutions.
+
+    Unlike OPTIONAL, at least one branch must match — a binding with
+    no compatible branch solution is dropped."""
+    for binding in solutions:
+        for branch in union.branches:
+            yield from evaluate_group_with_binding(graph, branch, binding)
+
+
+def evaluate_group_with_binding(graph: Graph, group: GroupPattern,
+                                binding: Binding) -> Iterator[Binding]:
+    """Evaluate a (nested) group under pre-existing bindings."""
+    ordered = sorted(group.triples,
+                     key=lambda p: _selectivity(graph, p, binding))
+    candidates: Iterable[Binding] = _join(graph, ordered, 0, binding)
+    for union in group.unions:
+        candidates = _union_join(graph, candidates, union)
+    for optional in group.optionals:
+        candidates = _left_join(graph, candidates, optional.pattern)
+    for filter_ in group.filters:
+        candidates = (b for b in candidates
+                      if _ebv(evaluate_expression(filter_.expression, b)))
+    yield from candidates
+
+
+def _evaluate_bgp(graph: Graph, patterns: List[TriplePattern]
+                  ) -> Iterator[Binding]:
+    if not patterns:
+        yield {}
+        return
+    ordered = sorted(patterns, key=lambda p: _selectivity(graph, p, {}))
+    yield from _join(graph, ordered, 0, {})
+
+
+def _selectivity(graph: Graph, pattern: TriplePattern,
+                 binding: Binding) -> int:
+    """Estimated result size for greedy join ordering."""
+    resolved = _resolve_pattern(pattern, binding)
+    return graph.count(resolved)
+
+
+def _resolve_pattern(pattern: TriplePattern, binding: Binding) -> tuple:
+    def resolve(term):
+        if isinstance(term, Variable):
+            return binding.get(term)
+        return term
+
+    return (resolve(pattern.subject), resolve(pattern.predicate),
+            resolve(pattern.obj))
+
+
+def _join(graph: Graph, patterns: List[TriplePattern], index: int,
+          binding: Binding) -> Iterator[Binding]:
+    if index == len(patterns):
+        yield dict(binding)
+        return
+    pattern = patterns[index]
+    resolved = _resolve_pattern(pattern, binding)
+    for subject, predicate, obj in graph.triples(resolved):
+        extended = _extend(pattern, binding, subject, predicate, obj)
+        if extended is not None:
+            yield from _join(graph, patterns, index + 1, extended)
+
+
+def _extend(pattern: TriplePattern, binding: Binding,
+            subject: Node, predicate: Node, obj: Node
+            ) -> Optional[Binding]:
+    extended = dict(binding)
+    for term, value in ((pattern.subject, subject),
+                        (pattern.predicate, predicate),
+                        (pattern.obj, obj)):
+        if isinstance(term, Variable):
+            bound = extended.get(term)
+            if bound is None:
+                extended[term] = value
+            elif bound != value:
+                return None
+    return extended
+
+
+def _left_join(graph: Graph, solutions: Iterable[Binding],
+               optional: GroupPattern) -> Iterator[Binding]:
+    for binding in solutions:
+        matched = False
+        for extension in evaluate_group_with_binding(graph, optional,
+                                                     binding):
+            matched = True
+            yield extension
+        if not matched:
+            yield binding
+
+
+# ----------------------------------------------------------------------
+# expression evaluation
+# ----------------------------------------------------------------------
+
+class _Unbound:
+    """Sentinel for evaluating expressions over unbound variables."""
+
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def evaluate_expression(expression: Expression, binding: Binding):
+    """Evaluate a FILTER expression under ``binding``.
+
+    Returns a Python value (bool, number, string) or node.  Unbound
+    variables evaluate to a sentinel which makes every comparison false
+    and ``BOUND`` false, per SPARQL error semantics.
+    """
+    if isinstance(expression, ConstantExpr):
+        return _to_python(expression.value)
+    if isinstance(expression, VariableExpr):
+        value = binding.get(expression.variable, _UNBOUND)
+        return _to_python(value)
+    if isinstance(expression, BoundCall):
+        return expression.variable in binding
+    if isinstance(expression, Comparison):
+        return _compare(expression.operator,
+                        evaluate_expression(expression.left, binding),
+                        evaluate_expression(expression.right, binding))
+    if isinstance(expression, LogicalAnd):
+        return (_ebv(evaluate_expression(expression.left, binding))
+                and _ebv(evaluate_expression(expression.right, binding)))
+    if isinstance(expression, LogicalOr):
+        return (_ebv(evaluate_expression(expression.left, binding))
+                or _ebv(evaluate_expression(expression.right, binding)))
+    if isinstance(expression, LogicalNot):
+        return not _ebv(evaluate_expression(expression.operand, binding))
+    if isinstance(expression, RegexCall):
+        text = evaluate_expression(expression.text, binding)
+        if not isinstance(text, str):
+            return False
+        flags = re.IGNORECASE if "i" in expression.flags else 0
+        return re.search(expression.pattern, text, flags) is not None
+    raise SparqlError(f"unsupported expression: {expression!r}")
+
+
+def _to_python(value):
+    if isinstance(value, Literal):
+        return value.to_python()
+    if isinstance(value, URIRef):
+        return str(value)
+    return value
+
+
+def _compare(operator: str, left, right) -> bool:
+    if isinstance(left, _Unbound) or isinstance(right, _Unbound):
+        return False
+    try:
+        if operator == "=":
+            return left == right
+        if operator == "!=":
+            return left != right
+        if operator == "<":
+            return left < right
+        if operator == "<=":
+            return left <= right
+        if operator == ">":
+            return left > right
+        if operator == ">=":
+            return left >= right
+    except TypeError:
+        return False
+    raise SparqlError(f"unknown comparison operator {operator!r}")
+
+
+def _ebv(value) -> bool:
+    """Effective boolean value."""
+    if isinstance(value, _Unbound):
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return bool(value)
+    return value is not None

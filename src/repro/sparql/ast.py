@@ -1,0 +1,206 @@
+"""Abstract syntax tree for the SPARQL subset.
+
+The grammar covered (enough for the paper's "formal query" comparison):
+
+* ``PREFIX`` declarations
+* ``SELECT [DISTINCT] (* | ?var …) WHERE { … }``
+* ``ASK { … }``
+* basic graph patterns (triple patterns over IRIs/literals/variables)
+* ``FILTER`` with comparisons, logical operators, ``BOUND``, ``REGEX``
+* ``OPTIONAL { … }``
+* ``ORDER BY [ASC|DESC](?var)``, ``LIMIT n``, ``OFFSET n``
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.rdf.term import Literal, Node, URIRef, Variable
+
+__all__ = [
+    "TriplePattern",
+    "Expression",
+    "VariableExpr",
+    "ConstantExpr",
+    "Comparison",
+    "LogicalAnd",
+    "LogicalOr",
+    "LogicalNot",
+    "BoundCall",
+    "RegexCall",
+    "Filter",
+    "Optional_",
+    "UnionPattern",
+    "GroupPattern",
+    "OrderCondition",
+    "SelectQuery",
+    "AskQuery",
+    "ConstructQuery",
+    "Query",
+]
+
+#: A pattern term: constant node or variable.
+PatternTerm = Union[URIRef, Literal, Variable]
+
+
+@dataclass(frozen=True)
+class TriplePattern:
+    """One triple pattern inside a basic graph pattern."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    obj: PatternTerm
+
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(t for t in (self.subject, self.predicate, self.obj)
+                     if isinstance(t, Variable))
+
+
+class Expression:
+    """Base class for FILTER expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VariableExpr(Expression):
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class ConstantExpr(Expression):
+    value: Node
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """A binary comparison: one of ``= != < <= > >=``."""
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class LogicalAnd(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class LogicalOr(Expression):
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class LogicalNot(Expression):
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BoundCall(Expression):
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class RegexCall(Expression):
+    """``REGEX(expr, "pattern" [, "flags"])``."""
+
+    text: Expression
+    pattern: str
+    flags: str = ""
+
+
+@dataclass(frozen=True)
+class Filter:
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class Optional_:
+    """An OPTIONAL group (left outer join)."""
+
+    pattern: "GroupPattern"
+
+
+@dataclass
+class UnionPattern:
+    """``{ A } UNION { B } [UNION { C } …]`` — alternatives whose
+    solutions are concatenated."""
+
+    branches: List["GroupPattern"] = field(default_factory=list)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: dict = {}
+        for branch in self.branches:
+            for variable in branch.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+
+@dataclass
+class GroupPattern:
+    """A group graph pattern: triples, filters, optionals, unions."""
+
+    triples: List[TriplePattern] = field(default_factory=list)
+    filters: List[Filter] = field(default_factory=list)
+    optionals: List[Optional_] = field(default_factory=list)
+    unions: List[UnionPattern] = field(default_factory=list)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        seen: dict = {}
+        for pattern in self.triples:
+            for variable in pattern.variables():
+                seen.setdefault(variable, None)
+        for union in self.unions:
+            for variable in union.variables():
+                seen.setdefault(variable, None)
+        for optional in self.optionals:
+            for variable in optional.pattern.variables():
+                seen.setdefault(variable, None)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    variable: Variable
+    descending: bool = False
+
+
+@dataclass
+class SelectQuery:
+    """A parsed SELECT query."""
+
+    variables: List[Variable]          # empty list means SELECT *
+    where: GroupPattern
+    distinct: bool = False
+    order_by: List[OrderCondition] = field(default_factory=list)
+    limit: Optional[int] = None
+    offset: int = 0
+
+    @property
+    def projection(self) -> Tuple[Variable, ...]:
+        """The variables actually projected (resolves ``*``)."""
+        if self.variables:
+            return tuple(self.variables)
+        return self.where.variables()
+
+
+@dataclass
+class AskQuery:
+    """A parsed ASK query."""
+
+    where: GroupPattern
+
+
+@dataclass
+class ConstructQuery:
+    """A parsed CONSTRUCT query: template triples + WHERE pattern."""
+
+    template: List[TriplePattern]
+    where: GroupPattern
+
+
+Query = Union[SelectQuery, AskQuery, ConstructQuery]

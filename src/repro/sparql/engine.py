@@ -1,0 +1,165 @@
+"""SPARQL query executor.
+
+Ties together the parser and the algebra: parse once, evaluate against
+any :class:`~repro.rdf.graph.Graph`.  This is the "formal query"
+interface the paper contrasts with keyword search (§8): maximal
+precision/recall, but requiring knowledge of the ontology and the query
+language.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.rdf.graph import Graph
+from repro.rdf.namespace import NamespaceManager
+from repro.rdf.term import Literal, Node, Variable
+from repro.rdf.term import BNode, URIRef, Variable as VariableTerm
+from repro.sparql.algebra import evaluate_group
+from repro.sparql.ast import (AskQuery, ConstructQuery, Query,
+                              SelectQuery)
+from repro.sparql.parser import parse_query
+from repro.sparql.results import ResultSet, Row
+
+__all__ = ["PreparedQuery", "prepare", "query", "ask", "construct"]
+
+
+class PreparedQuery:
+    """A parsed query that can be executed repeatedly."""
+
+    def __init__(self, parsed: Query) -> None:
+        self._parsed = parsed
+
+    @property
+    def is_ask(self) -> bool:
+        return isinstance(self._parsed, AskQuery)
+
+    @property
+    def is_construct(self) -> bool:
+        return isinstance(self._parsed, ConstructQuery)
+
+    def execute(self, graph: Graph):
+        """Run against ``graph``.
+
+        Returns a :class:`ResultSet` for SELECT, a bool for ASK and a
+        :class:`~repro.rdf.graph.Graph` for CONSTRUCT.
+        """
+        if isinstance(self._parsed, AskQuery):
+            for _ in evaluate_group(graph, self._parsed.where):
+                return True
+            return False
+        if isinstance(self._parsed, ConstructQuery):
+            return _execute_construct(graph, self._parsed)
+        return _execute_select(graph, self._parsed)
+
+
+def prepare(text: str, namespaces: NamespaceManager | None = None
+            ) -> PreparedQuery:
+    """Parse ``text`` into a reusable :class:`PreparedQuery`."""
+    return PreparedQuery(parse_query(text, namespaces))
+
+
+def query(graph: Graph, text: str,
+          namespaces: NamespaceManager | None = None) -> ResultSet:
+    """Parse and run a SELECT query in one call."""
+    result = prepare(text, namespaces or graph.namespace_manager).execute(graph)
+    if not isinstance(result, ResultSet):
+        raise TypeError("use ask()/construct() for ASK/CONSTRUCT "
+                        "queries")
+    return result
+
+
+def ask(graph: Graph, text: str,
+        namespaces: NamespaceManager | None = None) -> bool:
+    """Parse and run an ASK query in one call."""
+    result = prepare(text, namespaces or graph.namespace_manager).execute(graph)
+    if not isinstance(result, bool):
+        raise TypeError("use query() for SELECT queries")
+    return result
+
+
+def construct(graph: Graph, text: str,
+              namespaces: NamespaceManager | None = None) -> Graph:
+    """Parse and run a CONSTRUCT query in one call."""
+    result = prepare(text,
+                     namespaces or graph.namespace_manager).execute(graph)
+    if not isinstance(result, Graph):
+        raise TypeError("use query()/ask() for SELECT/ASK queries")
+    return result
+
+
+def _execute_construct(graph: Graph,
+                       parsed: ConstructQuery) -> Graph:
+    """Instantiate the template once per solution.
+
+    Template triples with an unbound variable, a literal in subject
+    position or a non-IRI predicate are skipped for that solution
+    (standard CONSTRUCT semantics)."""
+    output = Graph(identifier="constructed")
+    output.namespace_manager = graph.namespace_manager
+    for binding in evaluate_group(graph, parsed.where):
+        for pattern in parsed.template:
+            triple = []
+            ok = True
+            for term in (pattern.subject, pattern.predicate,
+                         pattern.obj):
+                if isinstance(term, VariableTerm):
+                    value = binding.get(term)
+                    if value is None:
+                        ok = False
+                        break
+                    triple.append(value)
+                else:
+                    triple.append(term)
+            if not ok:
+                continue
+            subject, predicate, obj = triple
+            if not isinstance(subject, (URIRef, BNode)):
+                continue
+            if not isinstance(predicate, URIRef):
+                continue
+            output.add((subject, predicate, obj))
+    return output
+
+
+def _execute_select(graph: Graph, select: SelectQuery) -> ResultSet:
+    projection = select.projection
+    rows: List[Row] = []
+    for binding in evaluate_group(graph, select.where):
+        values = tuple(binding.get(variable) for variable in projection)
+        rows.append(Row(projection, values))
+    if select.distinct:
+        seen = set()
+        unique: List[Row] = []
+        for row in rows:
+            key = row.astuple()
+            if key not in seen:
+                seen.add(key)
+                unique.append(row)
+        rows = unique
+    for condition in reversed(select.order_by):
+        rows.sort(key=lambda row: _sort_key(row[str(condition.variable)]),
+                  reverse=condition.descending)
+    if select.offset:
+        rows = rows[select.offset:]
+    if select.limit is not None:
+        rows = rows[:select.limit]
+    return ResultSet(projection, rows)
+
+
+def _sort_key(value: Node | None) -> tuple:
+    """Total order over heterogenous solution values.
+
+    Unbound < literals-by-value < IRIs/bnodes-by-string, with numeric
+    literals comparing numerically among themselves.
+    """
+    if value is None:
+        return (0, 0, "")
+    if isinstance(value, Literal):
+        python_value = value.to_python()
+        if isinstance(python_value, bool):
+            return (1, 0, str(int(python_value)))
+        if isinstance(python_value, (int, float)):
+            return (1, 1, float(python_value))
+        return (1, 2, str(python_value))
+    return (2, 0, str(value))

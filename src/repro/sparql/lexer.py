@@ -1,0 +1,69 @@
+"""Tokenizer for the SPARQL subset.
+
+Produces a flat token stream consumed by the recursive-descent parser.
+Token kinds are deliberately coarse; keyword recognition happens in the
+parser so that keywords remain usable as prefix names.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+__all__ = ["Token", "tokenize"]
+
+#: Token kinds, ordered by match priority.
+_TOKEN_SPEC = [
+    ("COMMENT", r"#[^\n]*"),
+    ("IRI", r"<[^<>\"\s{}|^`\\]*>"),
+    ("STRING", r'"(?:[^"\\]|\\.)*"'),
+    ("VAR", r"[?$][A-Za-z_][A-Za-z0-9_]*"),
+    ("NUMBER", r"[+-]?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?"),
+    ("PNAME", r"[A-Za-z_][A-Za-z0-9_\-]*:[A-Za-z_][A-Za-z0-9_\-.]*"),
+    ("PREFIX_NS", r"[A-Za-z_][A-Za-z0-9_\-]*:"),
+    ("KEYWORD", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("OP", r"<=|>=|!=|&&|\|\||[=<>!*{}().,;]"),
+    ("WS", r"[ \t\r\n]+"),
+]
+
+_MASTER = re.compile("|".join(f"(?P<{name}>{pattern})"
+                              for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+
+def tokenize(query: str) -> List[Token]:
+    """Split ``query`` into tokens, dropping whitespace and comments."""
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    while pos < len(query):
+        match = _MASTER.match(query, pos)
+        if match is None:
+            column = pos - line_start + 1
+            raise ParseError(f"unexpected character {query[pos]!r}",
+                             line=line, column=column)
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind not in ("WS", "COMMENT"):
+            tokens.append(Token(kind, text, line, pos - line_start + 1))
+        newlines = text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = pos + text.rindex("\n") + 1
+        pos = match.end()
+    tokens.append(Token("EOF", "", line, pos - line_start + 1))
+    return tokens

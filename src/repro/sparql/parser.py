@@ -1,0 +1,358 @@
+"""Recursive-descent parser for the SPARQL subset.
+
+Grammar (simplified EBNF)::
+
+    Query        := Prologue (SelectQuery | AskQuery)
+    Prologue     := ("PREFIX" PNAME_NS IRI)*
+    SelectQuery  := "SELECT" "DISTINCT"? ("*" | Var+) WhereClause Modifiers
+    AskQuery     := "ASK" GroupPattern
+    WhereClause  := "WHERE"? GroupPattern
+    GroupPattern := "{" (TriplesBlock | Filter | Optional)* "}"
+    Filter       := "FILTER" "(" Expression ")"
+    Optional     := "OPTIONAL" GroupPattern
+    Modifiers    := ("ORDER" "BY" OrderCond+)? ("LIMIT" n)? ("OFFSET" n)?
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ParseError
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.term import Literal, URIRef, Variable
+from repro.sparql.ast import (AskQuery, BoundCall, Comparison, ConstantExpr,
+                              ConstructQuery, Expression, Filter,
+                              GroupPattern, LogicalAnd, LogicalNot,
+                              LogicalOr, Optional_, OrderCondition,
+                              PatternTerm, Query, RegexCall, SelectQuery,
+                              TriplePattern, UnionPattern, VariableExpr)
+from repro.sparql.lexer import Token, tokenize
+
+__all__ = ["parse_query"]
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def parse_query(text: str,
+                namespaces: NamespaceManager | None = None) -> Query:
+    """Parse ``text`` into a :class:`SelectQuery` or :class:`AskQuery`.
+
+    Args:
+        text: the query string.
+        namespaces: optional pre-populated prefix bindings; PREFIX
+            declarations in the query extend (and shadow) them.
+    """
+    return _Parser(tokenize(text), namespaces).parse()
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token],
+                 namespaces: NamespaceManager | None) -> None:
+        self._tokens = tokens
+        self._pos = 0
+        self._ns = namespaces or NamespaceManager()
+
+    # ------------------------------------------------------------------
+    # token plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "EOF":
+            self._pos += 1
+        return token
+
+    def _fail(self, message: str) -> ParseError:
+        token = self._current
+        return ParseError(f"{message}, found {token.text!r}",
+                          line=token.line, column=token.column)
+
+    def _accept_keyword(self, word: str) -> bool:
+        token = self._current
+        if token.kind == "KEYWORD" and token.upper() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise self._fail(f"expected {word}")
+
+    def _accept_op(self, op: str) -> bool:
+        token = self._current
+        if token.kind == "OP" and token.text == op:
+            self._advance()
+            return True
+        return False
+
+    def _expect_op(self, op: str) -> None:
+        if not self._accept_op(op):
+            raise self._fail(f"expected {op!r}")
+
+    # ------------------------------------------------------------------
+    # grammar
+    # ------------------------------------------------------------------
+
+    def parse(self) -> Query:
+        self._parse_prologue()
+        token = self._current
+        if token.kind == "KEYWORD" and token.upper() == "SELECT":
+            query = self._parse_select()
+        elif token.kind == "KEYWORD" and token.upper() == "ASK":
+            query = self._parse_ask()
+        elif token.kind == "KEYWORD" and token.upper() == "CONSTRUCT":
+            query = self._parse_construct()
+        else:
+            raise self._fail("expected SELECT, ASK or CONSTRUCT")
+        if self._current.kind != "EOF":
+            raise self._fail("unexpected trailing content")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while self._accept_keyword("PREFIX"):
+            token = self._advance()
+            if token.kind != "PREFIX_NS":
+                raise self._fail("expected prefix name after PREFIX")
+            prefix = token.text[:-1]
+            iri_token = self._advance()
+            if iri_token.kind != "IRI":
+                raise self._fail("expected IRI after prefix name")
+            self._ns.bind(prefix, iri_token.text[1:-1])
+
+    def _parse_select(self) -> SelectQuery:
+        self._expect_keyword("SELECT")
+        distinct = self._accept_keyword("DISTINCT")
+        variables: List[Variable] = []
+        if self._accept_op("*"):
+            pass
+        else:
+            while self._current.kind == "VAR":
+                variables.append(Variable(self._advance().text[1:]))
+            if not variables:
+                raise self._fail("expected '*' or at least one variable")
+        self._accept_keyword("WHERE")
+        where = self._parse_group()
+        order_by = self._parse_order_by()
+        limit, offset = self._parse_limit_offset()
+        return SelectQuery(variables=variables, where=where,
+                           distinct=distinct, order_by=order_by,
+                           limit=limit, offset=offset)
+
+    def _parse_ask(self) -> AskQuery:
+        self._expect_keyword("ASK")
+        self._accept_keyword("WHERE")
+        return AskQuery(where=self._parse_group())
+
+    def _parse_construct(self) -> ConstructQuery:
+        self._expect_keyword("CONSTRUCT")
+        template_group = self._parse_group()
+        if template_group.filters or template_group.optionals \
+                or template_group.unions:
+            raise self._fail("CONSTRUCT template may contain only "
+                             "triple patterns")
+        self._accept_keyword("WHERE")
+        where = self._parse_group()
+        if not template_group.triples:
+            raise ParseError("CONSTRUCT template is empty")
+        return ConstructQuery(template=template_group.triples,
+                              where=where)
+
+    def _parse_order_by(self) -> List[OrderCondition]:
+        conditions: List[OrderCondition] = []
+        if not self._accept_keyword("ORDER"):
+            return conditions
+        self._expect_keyword("BY")
+        while True:
+            descending = False
+            if self._accept_keyword("DESC"):
+                descending = True
+                self._expect_op("(")
+                variable = self._expect_variable()
+                self._expect_op(")")
+            elif self._accept_keyword("ASC"):
+                self._expect_op("(")
+                variable = self._expect_variable()
+                self._expect_op(")")
+            elif self._current.kind == "VAR":
+                variable = self._expect_variable()
+            else:
+                break
+            conditions.append(OrderCondition(variable, descending))
+        if not conditions:
+            raise self._fail("expected order condition after ORDER BY")
+        return conditions
+
+    def _parse_limit_offset(self) -> tuple:
+        limit: Optional[int] = None
+        offset = 0
+        # LIMIT and OFFSET may appear in either order.
+        for _ in range(2):
+            if self._accept_keyword("LIMIT"):
+                limit = self._expect_integer()
+            elif self._accept_keyword("OFFSET"):
+                offset = self._expect_integer()
+        return limit, offset
+
+    def _expect_integer(self) -> int:
+        token = self._advance()
+        if token.kind != "NUMBER" or "." in token.text:
+            raise self._fail("expected an integer")
+        return int(token.text)
+
+    def _expect_variable(self) -> Variable:
+        token = self._advance()
+        if token.kind != "VAR":
+            raise self._fail("expected a variable")
+        return Variable(token.text[1:])
+
+    def _parse_group(self) -> GroupPattern:
+        self._expect_op("{")
+        group = GroupPattern()
+        while not self._accept_op("}"):
+            if self._current.kind == "EOF":
+                raise self._fail("unterminated group pattern")
+            if self._accept_op("."):
+                # stray separator (e.g. after a FILTER) is harmless
+                continue
+            if self._accept_keyword("FILTER"):
+                self._expect_op("(")
+                expression = self._parse_expression()
+                self._expect_op(")")
+                group.filters.append(Filter(expression))
+            elif self._accept_keyword("OPTIONAL"):
+                group.optionals.append(Optional_(self._parse_group()))
+            elif self._current.kind == "OP" and self._current.text == "{":
+                group.unions.append(self._parse_union())
+            else:
+                self._parse_triples_block(group)
+        return group
+
+    def _parse_union(self) -> UnionPattern:
+        union = UnionPattern(branches=[self._parse_group()])
+        while self._accept_keyword("UNION"):
+            union.branches.append(self._parse_group())
+        if len(union.branches) < 2:
+            raise self._fail("expected UNION after group")
+        return union
+
+    def _parse_triples_block(self, group: GroupPattern) -> None:
+        subject = self._parse_term()
+        while True:
+            predicate = self._parse_verb()
+            while True:
+                obj = self._parse_term()
+                group.triples.append(TriplePattern(subject, predicate, obj))
+                if not self._accept_op(","):
+                    break
+            if not self._accept_op(";"):
+                break
+            # allow trailing ';' before '.' or '}'
+            if self._current.kind == "OP" and self._current.text in (".", "}"):
+                break
+        self._accept_op(".")
+
+    def _parse_verb(self) -> PatternTerm:
+        token = self._current
+        if token.kind == "KEYWORD" and token.text == "a":
+            self._advance()
+            return RDF.type
+        return self._parse_term()
+
+    def _parse_term(self) -> PatternTerm:
+        token = self._advance()
+        if token.kind == "VAR":
+            return Variable(token.text[1:])
+        if token.kind == "IRI":
+            return URIRef(token.text[1:-1])
+        if token.kind == "PNAME":
+            return self._ns.expand(token.text)
+        if token.kind == "STRING":
+            return self._finish_literal(token)
+        if token.kind == "NUMBER":
+            text = token.text
+            if any(ch in text for ch in ".eE"):
+                return Literal(float(text))
+            return Literal(int(text))
+        if token.kind == "KEYWORD" and token.upper() in ("TRUE", "FALSE"):
+            return Literal(token.upper() == "TRUE")
+        raise self._fail("expected an RDF term")
+
+    def _finish_literal(self, token: Token) -> Literal:
+        # Only plain string literals are supported in query position;
+        # typed/tagged literals are rarely needed in keyword-era queries
+        # and can always be matched through FILTER comparisons instead.
+        return Literal(_unescape(token.text[1:-1]))
+
+    # ------------------------------------------------------------------
+    # expressions (precedence: || < && < comparison < unary)
+    # ------------------------------------------------------------------
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self._accept_op("||"):
+            left = LogicalOr(left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_comparison()
+        while self._accept_op("&&"):
+            left = LogicalAnd(left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expression:
+        left = self._parse_unary()
+        token = self._current
+        if token.kind == "OP" and token.text in _COMPARISON_OPS:
+            self._advance()
+            right = self._parse_unary()
+            return Comparison(token.text, left, right)
+        return left
+
+    def _parse_unary(self) -> Expression:
+        if self._accept_op("!"):
+            return LogicalNot(self._parse_unary())
+        if self._accept_op("("):
+            inner = self._parse_expression()
+            self._expect_op(")")
+            return inner
+        token = self._current
+        if token.kind == "KEYWORD" and token.upper() == "BOUND":
+            self._advance()
+            self._expect_op("(")
+            variable = self._expect_variable()
+            self._expect_op(")")
+            return BoundCall(variable)
+        if token.kind == "KEYWORD" and token.upper() == "REGEX":
+            self._advance()
+            self._expect_op("(")
+            text_expr = self._parse_expression()
+            self._expect_op(",")
+            pattern_token = self._advance()
+            if pattern_token.kind != "STRING":
+                raise self._fail("REGEX pattern must be a string literal")
+            flags = ""
+            if self._accept_op(","):
+                flags_token = self._advance()
+                if flags_token.kind != "STRING":
+                    raise self._fail("REGEX flags must be a string literal")
+                flags = _unescape(flags_token.text[1:-1])
+            self._expect_op(")")
+            return RegexCall(text_expr, _unescape(pattern_token.text[1:-1]),
+                             flags)
+        if token.kind == "VAR":
+            self._advance()
+            return VariableExpr(Variable(token.text[1:]))
+        return ConstantExpr(self._parse_term())
+
+
+def _unescape(text: str) -> str:
+    return (text.replace("\\n", "\n").replace("\\t", "\t")
+            .replace("\\r", "\r").replace('\\"', '"')
+            .replace("\\\\", "\\"))

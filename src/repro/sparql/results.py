@@ -1,0 +1,93 @@
+"""Result containers for SPARQL query execution."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.rdf.term import Node, Variable
+
+__all__ = ["Row", "ResultSet"]
+
+
+class Row:
+    """One solution row: access by variable name, index or attribute."""
+
+    __slots__ = ("_variables", "_values")
+
+    def __init__(self, variables: Sequence[Variable],
+                 values: Sequence[Node | None]) -> None:
+        self._variables = tuple(variables)
+        self._values = tuple(values)
+
+    def __getitem__(self, key) -> Node | None:
+        if isinstance(key, int):
+            return self._values[key]
+        name = key[1:] if isinstance(key, str) and key.startswith("?") else key
+        for variable, value in zip(self._variables, self._values):
+            if str(variable) == name:
+                return value
+        raise KeyError(key)
+
+    def __getattr__(self, name: str) -> Node | None:
+        try:
+            return self[name]
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def asdict(self) -> Dict[str, Node | None]:
+        return {str(var): value
+                for var, value in zip(self._variables, self._values)}
+
+    def astuple(self) -> Tuple[Node | None, ...]:
+        return self._values
+
+    def __iter__(self) -> Iterator[Node | None]:
+        return iter(self._values)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Row):
+            return (self._variables == other._variables
+                    and self._values == other._values)
+        if isinstance(other, tuple):
+            return self._values == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self._variables, self._values))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"?{var}={value!r}" for var, value
+                          in zip(self._variables, self._values))
+        return f"Row({pairs})"
+
+
+class ResultSet:
+    """An ordered collection of solution rows with a shared header."""
+
+    def __init__(self, variables: Sequence[Variable],
+                 rows: List[Row]) -> None:
+        self.variables = tuple(variables)
+        self._rows = rows
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __getitem__(self, index: int) -> Row:
+        return self._rows[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def column(self, variable: str) -> List[Node | None]:
+        """All values of one projected variable, in row order."""
+        return [row[variable] for row in self._rows]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        header = ", ".join(f"?{v}" for v in self.variables)
+        return f"<ResultSet [{header}] ({len(self._rows)} rows)>"

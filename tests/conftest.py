@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive artifacts (the standard corpus, the full pipeline run) are
+session-scoped: they are deterministic, read-only for tests, and take
+seconds to build.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import SemanticRetrievalPipeline
+from repro.evaluation import EvaluationHarness
+from repro.ontology import soccer_ontology
+from repro.reasoning import Reasoner
+from repro.reasoning.rules import soccer_rules
+from repro.soccer import standard_corpus
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    return soccer_ontology()
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    """The paper's standard corpus: 10 matches, 1182 narrations."""
+    return standard_corpus()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """A 2-match corpus for tests that only need pipeline mechanics."""
+    from repro.soccer.names import FIXTURES
+    return standard_corpus(fixtures=FIXTURES[:2], total_narrations=240)
+
+
+@pytest.fixture(scope="session")
+def pipeline():
+    return SemanticRetrievalPipeline()
+
+
+@pytest.fixture(scope="session")
+def pipeline_result(pipeline, corpus):
+    """The full Fig. 1 pipeline over the standard corpus."""
+    return pipeline.run(corpus.crawled)
+
+
+@pytest.fixture(scope="session")
+def harness(corpus, pipeline_result):
+    return EvaluationHarness(corpus, pipeline_result)
+
+
+@pytest.fixture(scope="session")
+def reasoner(ontology):
+    return Reasoner(ontology, soccer_rules())

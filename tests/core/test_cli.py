@@ -1,0 +1,90 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core import IndexName
+from repro.search import save_index
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_defaults(self):
+        args = build_parser().parse_args(["search", "goal"])
+        assert args.query == "goal"
+        assert args.index == IndexName.FULL_INF
+        assert args.limit == 10
+
+    def test_unknown_index_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["search", "goal", "-i", "NOPE"])
+
+
+class TestCommands:
+    def test_corpus_statistics(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "narrations: 1182" in out
+        assert "events:     902" in out
+
+    def test_ontology_tree(self, capsys):
+        assert main(["ontology"]) == 0
+        out = capsys.readouterr().out
+        assert "79 concepts, 95 properties" in out
+        assert "YellowCard" in out
+
+    def test_search_on_saved_index(self, pipeline_result, tmp_path,
+                                   capsys):
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        assert main(["search", "messi goal", "-d", str(tmp_path),
+                     "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3 hits" in out
+        assert "goal" in out
+
+    def test_search_missing_index_dir_fails_cleanly(self, tmp_path,
+                                                    capsys):
+        code = main(["search", "goal", "-d", str(tmp_path / "nothing")])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "hint" in err
+
+    def test_phrasal_search_on_saved_index(self, pipeline_result,
+                                           tmp_path, capsys):
+        save_index(pipeline_result.index(IndexName.PHR_EXP), tmp_path)
+        assert main(["search", "foul by Daniel", "--phrasal",
+                     "-d", str(tmp_path), "-n", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "PHR_EXP" in out
+
+    def test_stats_on_saved_index(self, pipeline_result, tmp_path,
+                                  capsys):
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        assert main(["stats", "-d", str(tmp_path),
+                     "-i", IndexName.FULL_INF]) == 0
+        out = capsys.readouterr().out
+        assert "1198 documents" in out
+        assert "subjectPlayerProp" in out
+
+    def test_stats_missing_index_fails_cleanly(self, tmp_path, capsys):
+        assert main(["stats", "-d", str(tmp_path)]) == 2
+
+    def test_build_persists_all_indexes(self, tmp_path, capsys,
+                                        monkeypatch):
+        # shrink the corpus so the build command stays fast
+        import repro.cli as cli
+        from repro.soccer import standard_corpus
+        from repro.soccer.names import FIXTURES
+
+        def tiny_corpus(seed):
+            return standard_corpus(fixtures=FIXTURES[:1],
+                                   total_narrations=120)
+
+        monkeypatch.setattr(cli, "_corpus", tiny_corpus)
+        assert main(["build", "-d", str(tmp_path)]) == 0
+        names = sorted(p.stem for p in tmp_path.glob("*.json"))
+        assert names == sorted(["TRAD", "BASIC_EXT", "FULL_EXT",
+                                "FULL_INF", "PHR_EXP"])

@@ -1,0 +1,136 @@
+"""Tests for user-feedback index expansion (§8 extension)."""
+
+import pytest
+
+from repro.core import IndexName
+from repro.core.feedback import (Click, FeedbackLearner,
+                                 FeedbackSearchEngine, FeedbackStore)
+from repro.core.fields import F
+
+
+@pytest.fixture(scope="module")
+def full_inf(pipeline_result):
+    return pipeline_result.index(IndexName.FULL_INF)
+
+
+def _yellow_card_keys(index, count):
+    keys = []
+    for doc_id in range(index.doc_count):
+        event = index.stored_value(doc_id, F.EVENT) or ""
+        if "yellow card" in event:
+            keys.append(index.stored_value(doc_id, F.DOC_KEY))
+            if len(keys) == count:
+                break
+    return keys
+
+
+class TestStore:
+    def test_record_and_replay(self):
+        store = FeedbackStore()
+        store.record("booking", "doc1")
+        store.record("booking", "doc2")
+        assert len(store) == 2
+        assert store.clicks()[0] == Click("booking", "doc1")
+
+
+class TestLearner:
+    def test_learns_after_min_support(self, full_inf):
+        learner = FeedbackLearner(full_inf, min_support=3)
+        store = FeedbackStore()
+        for key in _yellow_card_keys(full_inf, 3):
+            # "booking" does not occur in any semantic field
+            store.record("booking", key)
+        learned = learner.learn(store)
+        booking_term = learner.analyzer.for_field(F.NARRATION).terms(
+            "booking")[0]
+        assert booking_term in learned
+        assert "yellow" in learned[booking_term]
+        assert "card" in learned[booking_term]
+
+    def test_below_support_learns_nothing(self, full_inf):
+        learner = FeedbackLearner(full_inf, min_support=3)
+        store = FeedbackStore()
+        for key in _yellow_card_keys(full_inf, 2):
+            store.record("booking", key)
+        assert learner.learn(store) == {}
+
+    def test_inconsistent_clicks_learn_nothing(self, full_inf):
+        """A term clicked on different event types must not latch onto
+        either (the 'held on every click' conservatism)."""
+        learner = FeedbackLearner(full_inf, min_support=2)
+        store = FeedbackStore()
+        yellow = _yellow_card_keys(full_inf, 2)
+        # find a foul doc
+        foul_key = None
+        for doc_id in range(full_inf.doc_count):
+            event = full_inf.stored_value(doc_id, F.EVENT) or ""
+            if "foul" in event and "yellow" not in event:
+                foul_key = full_inf.stored_value(doc_id, F.DOC_KEY)
+                break
+        for key in (*yellow, foul_key):
+            store.record("booking", key)
+        learned = learner.learn(store)
+        # "yellow" appeared in 2 of 3 clicks → rejected
+        for terms in learned.values():
+            assert "yellow" not in terms
+
+    def test_already_matching_terms_not_expanded(self, full_inf):
+        learner = FeedbackLearner(full_inf, min_support=1)
+        store = FeedbackStore()
+        for key in _yellow_card_keys(full_inf, 3):
+            store.record("yellow", key)      # already in the event field
+        assert learner.learn(store) == {}
+
+    def test_invalid_min_support(self, full_inf):
+        with pytest.raises(ValueError):
+            FeedbackLearner(full_inf, min_support=0)
+
+    def test_unknown_doc_keys_ignored(self, full_inf):
+        learner = FeedbackLearner(full_inf, min_support=1)
+        store = FeedbackStore()
+        store.record("booking", "no-such-doc")
+        assert learner.learn(store) == {}
+
+
+class TestFeedbackSearchEngine:
+    def test_vocabulary_gap_closed_by_feedback(self, full_inf, corpus,
+                                               harness):
+        """The §8 scenario end-to-end: 'booking' finds nothing in the
+        semantic fields at first; after three clicks on yellow-card
+        events it retrieves cards directly."""
+        from repro.evaluation import average_precision
+        engine = FeedbackSearchEngine(full_inf, min_support=3)
+        judge = harness.judge
+        gold = judge.for_query("Q-4")        # all punishments
+
+        def ap():
+            hits = engine.search("booking")
+            return average_precision([h.doc_key for h in hits], gold,
+                                     judge.resolve)
+
+        before = ap()
+        # before feedback only the cards *narrated* with "booked…"
+        # match (via the free-text field) — the "shown the yellow
+        # card" ones are invisible to this vocabulary
+        assert before < 0.9
+
+        for key in _yellow_card_keys(full_inf, 3):
+            engine.record_click("booking", key)
+        learned = engine.refresh()
+        assert learned
+
+        after = ap()
+        assert after > before + 0.2
+        assert "yellow card" in engine.search("booking",
+                                              limit=1)[0].event_type
+
+    def test_expand_query_is_additive(self, full_inf):
+        engine = FeedbackSearchEngine(full_inf, min_support=1)
+        engine._expansions = {"book": ["yellow", "card"]}
+        expanded = engine.expand_query("booking alex")
+        assert expanded.startswith("booking alex")
+        assert "yellow" in expanded
+
+    def test_no_expansions_leaves_query_untouched(self, full_inf):
+        engine = FeedbackSearchEngine(full_inf)
+        assert engine.expand_query("messi goal") == "messi goal"

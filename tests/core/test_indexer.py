@@ -1,0 +1,149 @@
+"""Tests for the semantic indexer (Tables 1 and 2 structure)."""
+
+import pytest
+
+from repro.core import F, IndexName
+from repro.core.fields import camel_to_words, class_label
+from repro.ontology import soccer_ontology
+from repro.rdf import SOCCER
+
+
+class TestLabelRendering:
+    def test_camel_to_words(self):
+        assert camel_to_words("YellowCard") == "yellow card"
+        assert camel_to_words("Goal") == "goal"
+        assert camel_to_words("UnknownEvent") == "unknown event"
+
+    def test_class_label_uses_declared_label(self):
+        onto = soccer_ontology()
+        # the paper calls MissedGoal "Miss"
+        assert class_label(onto, SOCCER.MissedGoal) == "miss"
+        assert class_label(onto, SOCCER.YellowCard) == "yellow card"
+
+
+class TestTraditionalIndex:
+    def test_one_doc_per_narration(self, corpus, pipeline_result):
+        index = pipeline_result.index(IndexName.TRAD)
+        assert index.doc_count == corpus.narration_count == 1182
+
+    def test_only_narration_searchable(self, pipeline_result):
+        index = pipeline_result.index(IndexName.TRAD)
+        assert index.postings(F.EVENT, "goal") is None
+        assert index.unique_term_count(F.NARRATION) > 100
+
+
+class TestSemanticIndexStructure:
+    """Table 1: one document per event with semantic fields."""
+
+    def test_full_ext_doc_count(self, corpus, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        # one doc per narration (902 typed + 280 unknown)
+        assert index.doc_count == corpus.narration_count
+
+    def test_basic_ext_has_fact_docs_plus_narrations(self, corpus,
+                                                     pipeline_result):
+        index = pipeline_result.index(IndexName.BASIC_EXT)
+        facts = sum(len(c.goals) + len(c.substitutions) + len(c.bookings)
+                    for c in corpus.crawled)
+        assert index.doc_count == corpus.narration_count + facts
+
+    def test_event_field_has_type_label(self, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        assert index.postings(F.EVENT, "foul") is not None
+        assert index.postings(F.EVENT, "corner") is not None
+
+    def test_extracted_event_field_is_asserted_type_only(
+            self, pipeline_result):
+        """FULL_EXT must not contain inferred supertypes — that is
+        exactly what separates it from FULL_INF (Q-4's 0% vs 100%)."""
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        assert index.postings(F.EVENT, "punishment") is None
+
+    def test_inferred_event_field_has_all_supertypes(
+            self, pipeline_result):
+        """Table 2: 'Negative event foul'."""
+        from repro.search.analysis import stem
+        index = pipeline_result.index(IndexName.FULL_INF)
+        assert index.postings(F.EVENT, stem("punishment")) is not None
+        assert index.postings(F.EVENT, stem("negative")) is not None
+
+    def test_match_context_fields(self, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        assert index.postings(F.TEAM1, "barcelona") is not None
+        assert index.postings(F.DATE, "2009") is not None
+
+    def test_event_field_boost_applied(self, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        postings = index.postings(F.EVENT, "foul")
+        doc_id = next(iter(postings)).doc_id
+        assert index.field_boost(F.EVENT, doc_id) == 6.0
+
+    def test_subject_player_fields(self, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        assert index.postings(F.SUBJECT_PLAYER, "messi") is not None
+
+    def test_doc_key_stored(self, pipeline_result):
+        index = pipeline_result.index(IndexName.FULL_EXT)
+        doc = index.stored_document(0)
+        assert doc.get(F.DOC_KEY)
+
+
+class TestInferredOnlyFields:
+    """Table 2's additional fields exist only in FULL_INF."""
+
+    def test_player_prop_fields(self, pipeline_result):
+        inferred = pipeline_result.index(IndexName.FULL_INF)
+        extracted = pipeline_result.index(IndexName.FULL_EXT)
+        # stemmed "goalkeeper" → "goalkeep"
+        assert inferred.postings(F.SUBJECT_PLAYER_PROP, "goalkeep") \
+            is not None
+        assert extracted.postings(F.SUBJECT_PLAYER_PROP, "goalkeep") \
+            is None
+
+    def test_defence_player_labels(self, pipeline_result):
+        """Table 2: 'Left back defence player'."""
+        from repro.search.analysis import stem
+        inferred = pipeline_result.index(IndexName.FULL_INF)
+        assert inferred.postings(F.SUBJECT_PLAYER_PROP,
+                                 stem("defence")) is not None
+        assert inferred.postings(F.SUBJECT_PLAYER_PROP, "back") is not None
+        assert inferred.postings(F.SUBJECT_PLAYER_PROP, "player") is not None
+
+    def test_from_rules_field(self, pipeline_result):
+        from repro.search.analysis import stem
+        inferred = pipeline_result.index(IndexName.FULL_INF)
+        # "actor of negative move" → stemmed tokens
+        assert inferred.postings(F.FROM_RULES, stem("negative")) \
+            is not None
+        assert inferred.postings(F.FROM_RULES, stem("moves")) is not None
+        assert inferred.postings(F.FROM_RULES, "actor") is not None
+
+    def test_team_roles_filled_by_rules(self, pipeline_result):
+        """Table 1 note: subjectTeam/objectTeam filled by rules."""
+        inferred = pipeline_result.index(IndexName.FULL_INF)
+        extracted = pipeline_result.index(IndexName.FULL_EXT)
+        assert inferred.postings(F.SUBJECT_TEAM, "barcelona") is not None
+        assert extracted.postings(F.SUBJECT_TEAM, "barcelona") is None
+
+    def test_inferred_index_contains_rule_created_assists(
+            self, pipeline_result):
+        inferred = pipeline_result.index(IndexName.FULL_INF)
+        extracted = pipeline_result.index(IndexName.FULL_EXT)
+        assert inferred.postings(F.EVENT, "assist") is not None
+        assert extracted.postings(F.EVENT, "assist") is None
+
+
+class TestPhrasalIndex:
+    def test_phrase_fields_only_in_phr_exp(self, pipeline_result):
+        phr = pipeline_result.index(IndexName.PHR_EXP)
+        inf = pipeline_result.index(IndexName.FULL_INF)
+        assert phr.postings(F.SUBJECT_PHRASE, "by_daniel") is not None
+        assert inf.postings(F.SUBJECT_PHRASE, "by_daniel") is None
+
+    def test_object_phrase_prefix(self, pipeline_result):
+        phr = pipeline_result.index(IndexName.PHR_EXP)
+        assert phr.postings(F.OBJECT_PHRASE, "to_florent") is not None
+
+    def test_of_prefix_on_subjects(self, pipeline_result):
+        phr = pipeline_result.index(IndexName.PHR_EXP)
+        assert phr.postings(F.SUBJECT_PHRASE, "of_daniel") is not None

@@ -1,0 +1,68 @@
+"""Tests for the end-to-end pipeline (Fig. 1)."""
+
+import pytest
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+
+
+class TestPipelineOutputs:
+    def test_all_indexes_built(self, pipeline_result):
+        for name in (*IndexName.LADDER, IndexName.PHR_EXP):
+            assert pipeline_result.index(name).doc_count > 0
+
+    def test_engines_for_ladder(self, pipeline_result):
+        for name in IndexName.LADDER:
+            assert pipeline_result.engine(name) is not None
+
+    def test_inferred_models_per_match(self, corpus, pipeline_result):
+        assert len(pipeline_result.inferred_models) == len(corpus.matches)
+
+    def test_inference_times_recorded(self, corpus, pipeline_result):
+        times = pipeline_result.inference_seconds
+        assert len(times) == len(corpus.matches)
+        assert all(t > 0 for t in times)
+
+    def test_index_names(self, pipeline_result):
+        assert pipeline_result.index(IndexName.TRAD).name == "TRAD"
+        assert pipeline_result.index(IndexName.FULL_INF).name == "FULL_INF"
+
+    def test_inferred_models_are_consistent(self, pipeline, small_corpus):
+        result = pipeline.run(small_corpus.crawled,
+                              check_consistency=True)
+        assert result.violations == 0
+
+    def test_full_inf_has_more_docs_than_full_ext(self, pipeline_result):
+        """Rules create new individuals (assists), so the inferred
+        index grows."""
+        full_inf = pipeline_result.index(IndexName.FULL_INF).doc_count
+        full_ext = pipeline_result.index(IndexName.FULL_EXT).doc_count
+        assert full_inf > full_ext
+
+    def test_deterministic_rebuild(self, pipeline, small_corpus):
+        first = pipeline.run(small_corpus.crawled)
+        second = pipeline.run(small_corpus.crawled)
+        for name in IndexName.LADDER:
+            assert first.index(name).to_json() \
+                == second.index(name).to_json()
+
+    def test_fresh_pipeline_reuses_shared_tbox(self, small_corpus):
+        a = SemanticRetrievalPipeline()
+        b = SemanticRetrievalPipeline()
+        assert a.ontology is b.ontology      # lru_cached singleton
+
+    def test_staged_models_persisted(self, pipeline, small_corpus,
+                                     tmp_path):
+        """§3.1 steps 3/5/7: the initial, extracted and inferred OWL
+        files are written when a store is provided."""
+        from repro.core import ModelStore
+        store = ModelStore(tmp_path, pipeline.ontology)
+        pipeline.run(small_corpus.crawled, store=store)
+        for stage in ("initial", "extracted", "inferred"):
+            assert len(store.list(stage)) == len(small_corpus.matches)
+        # the inferred model reloads and still contains rule output
+        from repro.rdf import SOCCER
+        slug = store.list("inferred")[0]
+        model = store.load("inferred", slug)
+        goals = list(model.individuals(SOCCER.Goal))
+        if goals:
+            assert goals[0].get(SOCCER.subjectTeam)    # rule-filled

@@ -1,0 +1,133 @@
+"""Tests for keyword retrieval, query expansion and phrasal search."""
+
+import pytest
+
+from repro.core import IndexName
+from repro.core.expansion import QueryExpander
+from repro.core.phrasal import PhrasalQueryParser
+from repro.errors import QueryError
+from repro.ontology import soccer_ontology
+
+
+class TestKeywordSearchEngine:
+    def test_search_returns_hits_with_keys(self, pipeline_result):
+        hits = pipeline_result.engine(IndexName.FULL_INF).search(
+            "goal", limit=5)
+        assert len(hits) == 5
+        for hit in hits:
+            assert hit.doc_key
+            assert hit.score > 0
+
+    def test_scores_descending(self, pipeline_result):
+        hits = pipeline_result.engine(IndexName.FULL_INF).search(
+            "messi goal", limit=20)
+        scores = [hit.score for hit in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_event_type_accessible(self, pipeline_result):
+        [hit] = pipeline_result.engine(IndexName.FULL_INF).search(
+            "goal", limit=1)
+        assert "goal" in hit.event_type
+
+    def test_all_goal_hits_before_any_miss(self, pipeline_result):
+        """§3.6.2's motivating example: 'Ronaldo misses a goal' must
+        rank below real goals for the query 'goal'."""
+        hits = pipeline_result.engine(IndexName.FULL_INF).search("goal")
+        event_types = [hit.event_type for hit in hits]
+        first_miss = next((i for i, t in enumerate(event_types)
+                           if "miss" in t), len(event_types))
+        last_goal = max(i for i, t in enumerate(event_types)
+                        if " goal " in f" {t} ")
+        assert last_goal < first_miss
+
+    def test_empty_query_rejected(self, pipeline_result):
+        with pytest.raises(QueryError):
+            pipeline_result.engine(IndexName.FULL_INF).search("")
+
+    def test_stopword_only_query_rejected(self, pipeline_result):
+        with pytest.raises(QueryError):
+            pipeline_result.engine(IndexName.FULL_INF).search("the of")
+
+    def test_worst_case_equals_traditional(self, pipeline_result):
+        """§3.4/§4: narrations are preserved, so any query answerable
+        by TRAD is answerable by the semantic indexes."""
+        trad_hits = pipeline_result.engine(IndexName.TRAD).search(
+            "scramble")
+        inf_hits = pipeline_result.engine(IndexName.FULL_INF).search(
+            "scramble")
+        assert len(inf_hits) >= len(trad_hits) > 0
+
+
+class TestQueryExpander:
+    @pytest.fixture(scope="class")
+    def expander(self):
+        return QueryExpander(soccer_ontology())
+
+    def test_verb_expansion(self, expander):
+        expanded = expander.expand("goal")
+        assert "scores" in expanded.split()
+
+    def test_ontological_expansion(self, expander):
+        """§5: 'punishment' is augmented with its subclasses."""
+        expanded = expander.expand("punishment").split()
+        assert "yellow" in expanded
+        assert "red" in expanded
+        assert "card" in expanded
+        assert "book" in expanded or "booked" in expanded
+
+    def test_original_terms_kept_first(self, expander):
+        expanded = expander.expand("barcelona goal").split()
+        assert expanded[:2] == ["barcelona", "goal"]
+
+    def test_no_duplicates(self, expander):
+        expanded = expander.expand("goal goal").split()
+        assert len(expanded) == len(set(expanded)) + 1  # only the
+        # literal duplicate from the input survives
+
+    def test_unknown_terms_unchanged(self, expander):
+        assert expander.expand("ronaldo") == "ronaldo"
+
+    def test_expansion_search_runs(self, pipeline_result):
+        hits = pipeline_result.expansion_engine.search("punishment",
+                                                       limit=10)
+        assert hits          # TRAD alone finds nothing for this
+
+
+class TestPhrasalParser:
+    @pytest.fixture(scope="class")
+    def parser(self):
+        return PhrasalQueryParser()
+
+    def test_by_extracted(self, parser):
+        plain, roles = parser.parse_parts("foul by Daniel")
+        assert plain == ["foul"]
+        assert roles == [("subjectPhrase", "by_daniel")]
+
+    def test_by_and_to(self, parser):
+        plain, roles = parser.parse_parts("foul by Daniel to florent")
+        assert plain == ["foul"]
+        assert set(roles) == {("subjectPhrase", "by_daniel"),
+                              ("objectPhrase", "to_florent")}
+
+    def test_of_maps_to_subject(self, parser):
+        __, roles = parser.parse_parts("saves of Casillas")
+        assert roles == [("subjectPhrase", "of_casillas")]
+
+    def test_no_phrases_all_plain(self, parser):
+        plain, roles = parser.parse_parts("messi goal")
+        assert roles == []
+        assert plain == ["messi", "goal"]
+
+    def test_phrasal_search_discriminates_roles(self, pipeline_result,
+                                                harness):
+        """Table 6: by/to select the right role."""
+        by_daniel = pipeline_result.phrasal_engine.search(
+            "foul by Daniel to Florent")
+        resolve = harness.judge.resolve
+        gold = harness.judge.for_query("P-2")
+        assert by_daniel
+        assert resolve(by_daniel[0].doc_key) in gold
+
+    def test_phrasal_empty_query_rejected(self, pipeline_result):
+        with pytest.raises(QueryError):
+            pipeline_result.phrasal_engine.search("")

@@ -1,0 +1,129 @@
+"""Tests for model storage and index merging."""
+
+import pytest
+
+from repro.core import IndexName, SemanticIndexer
+from repro.core.storage import ModelStore
+from repro.errors import ReproError
+from repro.extraction import InformationExtractor
+from repro.ontology import soccer_ontology
+from repro.population import OntologyPopulator
+from repro.rdf import SOCCER
+from repro.search import IndexSearcher, TermQuery
+from repro.soccer import SimulatedCrawler, build_teams
+
+
+@pytest.fixture(scope="module")
+def model_pair():
+    """Two independent match models (the per-match 'OWL files')."""
+    ontology = soccer_ontology()
+    populator = OntologyPopulator(ontology)
+    crawler = SimulatedCrawler(build_teams(), seed=77)
+    models = {}
+    for home, away, date in (("Barcelona", "Chelsea", "2009-05-06"),
+                             ("Arsenal", "Liverpool", "2009-04-21")):
+        crawled = crawler.crawl_match(home, away, date)
+        extractor = InformationExtractor(crawled)
+        models[crawled.match_id] = populator.populate_full(
+            crawled, extractor.extract_all())
+    return ontology, models
+
+
+class TestModelStore:
+    def test_round_trip(self, model_pair, tmp_path):
+        ontology, models = model_pair
+        store = ModelStore(tmp_path, ontology)
+        match_id, model = next(iter(models.items()))
+        path = store.save("extracted", match_id, model)
+        assert path.exists()
+        loaded = store.load("extracted", match_id)
+        assert loaded.individual_count == model.individual_count
+        # spot-check one individual survives with its properties
+        original = next(model.individuals(SOCCER.Goal), None)
+        if original is not None:
+            reloaded = loaded.individual(original.uri)
+            assert reloaded.types == original.types
+            assert reloaded.get(SOCCER.scorerPlayer) \
+                == original.get(SOCCER.scorerPlayer)
+
+    def test_save_all_and_list(self, model_pair, tmp_path):
+        ontology, models = model_pair
+        store = ModelStore(tmp_path, ontology)
+        paths = store.save_all("initial", models)
+        assert len(paths) == 2
+        assert len(store.list("initial")) == 2
+        assert store.list("inferred") == []
+
+    def test_unknown_stage_rejected(self, model_pair, tmp_path):
+        ontology, __ = model_pair
+        store = ModelStore(tmp_path, ontology)
+        with pytest.raises(ReproError):
+            store.save("bogus", "m", ontology.spawn_abox("m"))
+        with pytest.raises(ReproError):
+            store.list("bogus")
+
+    def test_missing_model_rejected(self, model_pair, tmp_path):
+        ontology, __ = model_pair
+        store = ModelStore(tmp_path, ontology)
+        with pytest.raises(ReproError):
+            store.load("inferred", "ghost_match")
+
+
+class TestIndexMerge:
+    def test_incremental_indexing_equals_batch(self, model_pair):
+        """Per-match indexes merged together must behave exactly like
+        one batch-built index — the incremental-update path."""
+        ontology, models = model_pair
+        indexer = SemanticIndexer(ontology)
+        model_list = list(models.values())
+
+        batch = indexer.build_semantic(model_list, "batch")
+        merged = indexer.build_semantic(model_list[:1], "merged")
+        increment = indexer.build_semantic(model_list[1:], "increment")
+        offset = merged.merge(increment)
+
+        assert offset == increment.doc_count \
+            or offset == merged.doc_count - increment.doc_count
+        assert merged.doc_count == batch.doc_count
+        # identical postings statistics for a sample of terms
+        for field_name, term in (("event", "goal"), ("event", "foul"),
+                                 ("subjectPlayer", "messi")):
+            assert merged.doc_frequency(field_name, term) \
+                == batch.doc_frequency(field_name, term)
+
+    def test_merged_index_searchable(self, model_pair):
+        ontology, models = model_pair
+        indexer = SemanticIndexer(ontology)
+        model_list = list(models.values())
+        merged = indexer.build_semantic(model_list[:1], "m")
+        merged.merge(indexer.build_semantic(model_list[1:], "i"))
+        searcher = IndexSearcher(merged)
+        top = searcher.search(TermQuery("event", "foul"))
+        assert len(top) > 0
+        # hits from both halves of the merge
+        assert min(top.doc_ids()) < merged.doc_count // 2 \
+            < max(top.doc_ids())
+
+    def test_merge_preserves_boosts_and_lengths(self, model_pair):
+        ontology, models = model_pair
+        indexer = SemanticIndexer(ontology)
+        model_list = list(models.values())
+        base = indexer.build_semantic(model_list[:1], "base")
+        incoming = indexer.build_semantic(model_list[1:], "inc")
+        sample_doc = 0
+        boost_before = incoming.field_boost("event", sample_doc)
+        length_before = incoming.field_length("event", sample_doc)
+        offset = base.merge(incoming)
+        assert base.field_boost("event", offset + sample_doc) \
+            == boost_before
+        assert base.field_length("event", offset + sample_doc) \
+            == length_before
+
+    def test_merge_empty_index_is_noop(self, model_pair):
+        from repro.search import InvertedIndex
+        ontology, models = model_pair
+        indexer = SemanticIndexer(ontology)
+        index = indexer.build_semantic(list(models.values())[:1], "x")
+        before = index.to_json()
+        index.merge(InvertedIndex("empty"))
+        assert index.to_json() == before

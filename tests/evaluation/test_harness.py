@@ -1,0 +1,106 @@
+"""Tests for gold relevance, the harness and report rendering."""
+
+import pytest
+
+from repro.evaluation import (PAPER_TABLE4, RelevanceJudge, TABLE3_QUERIES,
+                              TABLE6_QUERIES, format_cell, render_table)
+from repro.soccer import EventKind
+
+
+class TestRelevanceJudge:
+    @pytest.fixture(scope="class")
+    def judge(self, corpus):
+        return RelevanceJudge(corpus)
+
+    def test_q1_counts_all_goal_kinds(self, judge, corpus):
+        gold = judge.for_query("Q-1")
+        expected = sum(
+            1 for m in corpus.matches for e in m.events
+            if e.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL,
+                          EventKind.OWN_GOAL))
+        assert len(gold) == expected
+
+    def test_q3_messi_three_goals(self, judge):
+        assert judge.relevant_count("Q-3") == 3
+
+    def test_q5_alex_two_cards(self, judge):
+        assert judge.relevant_count("Q-5") == 2
+
+    def test_q8_counts_subject_and_object(self, judge, corpus):
+        gold = judge.for_query("Q-8")
+        for event_id in gold:
+            event = next(e for m in corpus.matches for e in m.events
+                         if e.event_id == event_id)
+            assert event.involves("Ronaldo")
+
+    def test_all_queries_have_relevant_events(self, judge):
+        for query in (*TABLE3_QUERIES, *TABLE6_QUERIES):
+            assert judge.relevant_count(query.query_id) > 0, \
+                query.query_id
+
+    def test_unknown_query_raises(self, judge):
+        with pytest.raises(KeyError):
+            judge.for_query("Q-99")
+
+    def test_resolve_event_id_passthrough(self, judge, corpus):
+        event = corpus.matches[0].events[0]
+        assert judge.resolve(event.event_id) == event.event_id
+
+    def test_resolve_narration_id(self, judge, corpus):
+        crawled = corpus.crawled[0]
+        for index, narration in enumerate(crawled.narrations):
+            if narration.event_id is not None:
+                key = f"{crawled.match_id}_n{index:04d}"
+                assert judge.resolve(key) == narration.event_id
+                break
+
+    def test_resolve_color_narration_is_none(self, judge, corpus):
+        crawled = corpus.crawled[0]
+        for index, narration in enumerate(crawled.narrations):
+            if narration.event_id is None:
+                key = f"{crawled.match_id}_n{index:04d}"
+                assert judge.resolve(key) is None
+                break
+
+    def test_resolve_unknown_key_is_none(self, judge):
+        assert judge.resolve("skolem_tmp_whatever") is None
+
+
+class TestHarness:
+    def test_table4_structure(self, harness):
+        table = harness.table4()
+        assert table.systems == ["TRAD", "BASIC_EXT", "FULL_EXT",
+                                 "FULL_INF"]
+        assert table.query_ids() == [q.query_id for q in TABLE3_QUERIES]
+
+    def test_query_result_fields(self, harness):
+        table = harness.table4()
+        result = table.get("Q-1", "FULL_INF")
+        assert result.relevant_count > 0
+        assert 0.0 <= result.average_precision <= 1.0
+        assert result.scaled == pytest.approx(
+            result.average_precision * result.relevant_count)
+
+    def test_table6_structure(self, harness):
+        table = harness.table6()
+        assert table.systems == ["FULL_INF", "PHR_EXP"]
+        assert len(table.query_ids()) == 3
+
+
+class TestReport:
+    def test_format_cell(self, harness):
+        result = harness.table4().get("Q-1", "FULL_INF")
+        cell = format_cell(result)
+        assert "/" in cell and "%" in cell
+
+    def test_render_contains_all_queries(self, harness):
+        text = render_table(harness.table4(), "Table 4")
+        for query in TABLE3_QUERIES:
+            assert query.query_id in text
+        assert "MAP" in text
+
+    def test_paper_reference_numbers_complete(self):
+        assert set(PAPER_TABLE4) == {q.query_id for q in TABLE3_QUERIES}
+        for row in PAPER_TABLE4.values():
+            assert set(row) == {"TRAD", "BASIC_EXT", "FULL_EXT",
+                                "FULL_INF"}

@@ -1,0 +1,99 @@
+"""Tests for retrieval metrics."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.evaluation import (average_precision, f1_score,
+                              mean_average_precision, precision, recall,
+                              reciprocal_rank)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        assert precision(["a", "b"], {"a", "b"}) == 1.0
+        assert recall(["a", "b"], {"a", "b"}) == 1.0
+
+    def test_half_relevant(self):
+        assert precision(["a", "x"], {"a", "b"}) == 0.5
+        assert recall(["a", "x"], {"a", "b"}) == 0.5
+
+    def test_empty_ranking(self):
+        assert precision([], {"a"}) == 0.0
+        assert recall([], {"a"}) == 0.0
+
+    def test_empty_relevant_set(self):
+        assert recall(["a"], set()) == 0.0
+        assert average_precision(["a"], set()) == 0.0
+
+    def test_precision_at_k(self):
+        assert precision(["a", "x", "b"], {"a", "b"}, at=1) == 1.0
+        assert precision(["a", "x", "b"], {"a", "b"}, at=2) == 0.5
+
+    def test_f1(self):
+        # P = 1/2, R = 1/2 → F1 = 1/2
+        assert f1_score(["a", "x"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_f1_zero_when_nothing_found(self):
+        assert f1_score(["x"], {"a"}) == 0.0
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(["a", "b", "c"], {"a", "b", "c"}) == 1.0
+
+    def test_relevant_at_bottom(self):
+        # one relevant doc at rank 3 of 3 → AP = 1/3
+        assert average_precision(["x", "y", "a"], {"a"}) \
+            == pytest.approx(1 / 3)
+
+    def test_interleaved(self):
+        # relevant at ranks 1 and 3: AP = (1/1 + 2/3) / 2
+        assert average_precision(["a", "x", "b"], {"a", "b"}) \
+            == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_unretrieved_relevant_counts_against(self):
+        # 1 of 2 relevant retrieved at rank 1 → AP = (1/1)/2
+        assert average_precision(["a"], {"a", "b"}) == pytest.approx(0.5)
+
+    def test_resolver_maps_keys(self):
+        resolve = {"doc1": "a", "doc2": None, "doc3": "b"}.get
+        ap = average_precision(["doc1", "doc2", "doc3"], {"a", "b"},
+                               resolve)
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_duplicates_skipped_not_penalized(self):
+        # second retrieval of "a" occupies no rank position
+        resolve = {"d1": "a", "d2": "a", "d3": "b"}.get
+        ap = average_precision(["d1", "d2", "d3"], {"a", "b"}, resolve)
+        assert ap == pytest.approx(1.0)
+
+    @given(st.lists(st.sampled_from("abcdefgh"), unique=True,
+                    max_size=8),
+           st.sets(st.sampled_from("abcdefgh"), max_size=8))
+    def test_bounded_zero_one(self, ranking, relevant):
+        ap = average_precision(ranking, relevant)
+        assert 0.0 <= ap <= 1.0
+
+    @given(st.sets(st.sampled_from("abcdefgh"), min_size=1, max_size=8))
+    def test_perfect_ranking_is_one(self, relevant):
+        assert average_precision(sorted(relevant), relevant) == 1.0
+
+    @given(st.lists(st.sampled_from("abcd"), unique=True, min_size=1,
+                    max_size=4),
+           st.lists(st.sampled_from("wxyz"), unique=True, max_size=4))
+    def test_prepending_junk_never_helps(self, relevant_docs, junk):
+        relevant = set(relevant_docs)
+        clean = average_precision(relevant_docs, relevant)
+        polluted = average_precision(junk + relevant_docs, relevant)
+        assert polluted <= clean
+
+
+class TestOtherMetrics:
+    def test_reciprocal_rank(self):
+        assert reciprocal_rank(["x", "a"], {"a"}) == 0.5
+        assert reciprocal_rank(["a"], {"a"}) == 1.0
+        assert reciprocal_rank(["x"], {"a"}) == 0.0
+
+    def test_map(self):
+        assert mean_average_precision([1.0, 0.5]) == 0.75
+        assert mean_average_precision([]) == 0.0

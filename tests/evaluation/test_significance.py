@@ -1,0 +1,80 @@
+"""Tests for significance testing."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.evaluation.significance import (compare_systems,
+                                           paired_bootstrap_test,
+                                           paired_randomization_test)
+
+
+class TestRandomizationTest:
+    def test_obvious_difference_is_significant(self):
+        a = [0.0] * 10
+        b = [1.0] * 10
+        result = paired_randomization_test(a, b, iterations=2000)
+        assert result.mean_difference == pytest.approx(1.0)
+        # with constant differences every flip of all-10 signs is
+        # needed to reach |observed|; p ≈ 2/2^10
+        assert result.p_value < 0.05
+        assert result.significant()
+
+    def test_identical_systems_not_significant(self):
+        scores = [0.3, 0.5, 0.7, 0.2, 0.9]
+        result = paired_randomization_test(scores, scores,
+                                           iterations=1000)
+        assert result.mean_difference == 0.0
+        assert result.p_value == 1.0
+        assert not result.significant()
+
+    def test_noisy_small_difference_not_significant(self):
+        a = [0.50, 0.40, 0.60, 0.45, 0.55]
+        b = [0.52, 0.38, 0.61, 0.44, 0.57]
+        result = paired_randomization_test(a, b, iterations=2000)
+        assert not result.significant(alpha=0.01)
+
+    def test_deterministic_for_seed(self):
+        a = [0.1, 0.5, 0.3]
+        b = [0.2, 0.7, 0.4]
+        first = paired_randomization_test(a, b, seed=7)
+        second = paired_randomization_test(a, b, seed=7)
+        assert first == second
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(EvaluationError):
+            paired_randomization_test([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(EvaluationError):
+            paired_randomization_test([], [])
+
+
+class TestBootstrapTest:
+    def test_consistent_improvement_significant(self):
+        a = [0.1, 0.2, 0.15, 0.3, 0.25, 0.1, 0.2, 0.3]
+        b = [0.8, 0.9, 0.85, 0.9, 0.95, 0.8, 0.9, 0.85]
+        result = paired_bootstrap_test(a, b, iterations=2000)
+        assert result.p_value < 0.01
+
+    def test_sign_symmetric(self):
+        a = [0.1, 0.2, 0.15, 0.3]
+        b = [0.8, 0.9, 0.85, 0.9]
+        forward = paired_bootstrap_test(a, b, iterations=2000, seed=3)
+        backward = paired_bootstrap_test(b, a, iterations=2000, seed=3)
+        assert forward.mean_difference \
+            == pytest.approx(-backward.mean_difference)
+
+
+class TestCompareSystems:
+    def test_full_inf_beats_trad_significantly(self, harness):
+        """The headline claim survives a proper significance test."""
+        table = harness.table4()
+        result = compare_systems(table, "TRAD", "FULL_INF",
+                                 iterations=5000)
+        assert result.mean_difference > 0.5
+        assert result.significant(alpha=0.01)
+
+    def test_basic_vs_full_ext_direction(self, harness):
+        table = harness.table4()
+        result = compare_systems(table, "BASIC_EXT", "FULL_EXT")
+        assert result.mean_difference > 0    # FULL_EXT is the better

@@ -1,0 +1,171 @@
+"""Tests for NER, the two-level lexical analyzer and the extractor."""
+
+import pytest
+
+from repro.extraction import (DOMAIN_TRIGGERS, InformationExtractor,
+                              LexicalAnalyzer, NamedEntityRecognizer,
+                              TEMPLATES)
+from repro.soccer import EventKind, SimulatedCrawler, build_teams
+
+
+@pytest.fixture(scope="module")
+def crawled():
+    return SimulatedCrawler(build_teams(), seed=11).crawl_match(
+        "Barcelona", "Chelsea", "2009-05-06")
+
+
+@pytest.fixture(scope="module")
+def ner(crawled):
+    return NamedEntityRecognizer(crawled)
+
+
+class TestNER:
+    def test_player_replaced_with_positional_tag(self, ner):
+        """The paper's §3.3.1 example: "Iniesta scores!" becomes a
+        positional tag of the owning team."""
+        tagged = ner.tag("Iniesta scores!")
+        assert "Iniesta" not in tagged.text
+        assert tagged.text.endswith("scores!")
+        tag = tagged.text.split()[0]
+        entity = ner.entity(tag)
+        assert entity.name == "Iniesta"
+        assert entity.team == "Barcelona"
+
+    def test_team_replaced(self, ner):
+        tagged = ner.tag("Barcelona take the lead")
+        assert tagged.text.startswith("<team1>")
+
+    def test_home_team_is_team1(self, ner):
+        tagged = ner.tag("Barcelona against Chelsea")
+        assert "<team1>" in tagged.text
+        assert "<team2>" in tagged.text
+        assert tagged.text.index("<team1>") < tagged.text.index("<team2>")
+
+    def test_possessive_handled(self, ner):
+        tagged = ner.tag("Cech saves well from Messi's low drive")
+        assert "Messi" not in tagged.text
+        assert "'s low drive" in tagged.text
+
+    def test_apostrophe_names(self, ner):
+        tagged = ner.tag("Eto'o scores!")
+        assert "Eto'o" not in tagged.text
+
+    def test_full_names_recognized(self, ner):
+        tagged = ner.tag("Lionel Messi scores!")
+        assert "Messi" not in tagged.text
+        # full name maps to the same entity as the display name
+        tag = tagged.text.split()[0]
+        assert ner.entity(tag).name == "Messi"
+
+    def test_unknown_names_left_alone(self, ner):
+        tagged = ner.tag("Zidane watches from the stands")
+        assert "Zidane" in tagged.text
+
+    def test_lowercase_words_not_tagged(self, ner):
+        # "Alex" the Chelsea player must not fire inside other words,
+        # and common nouns stay untouched
+        tagged = ner.tag("the midfield complex is congested")
+        assert "<" not in tagged.text
+
+    def test_substring_names_do_not_shadow_longer(self, ner):
+        tagged = ner.tag("Daniel Alves bursts forward")
+        # "Daniel Alves" is one mention, not "Daniel" + "Alves"
+        assert tagged.text.count("<") == 1
+
+
+class TestLexicalAnalyzer:
+    @pytest.fixture(scope="class")
+    def analyzer(self):
+        return LexicalAnalyzer()
+
+    def test_level_one_rejects_color_comment(self, ner, analyzer):
+        tagged = ner.tag("The fans are in full voice here today.")
+        assert not analyzer.passes_level_one(tagged)
+
+    def test_level_one_accepts_event_text(self, ner, analyzer):
+        tagged = ner.tag("Messi scores! What a moment.")
+        assert analyzer.passes_level_one(tagged)
+
+    def test_keywords_in_order(self, ner, analyzer):
+        tagged = ner.tag("Xavi delivers the corner.")
+        keywords = analyzer.recognize_keywords(tagged)
+        assert keywords.index(tagged.text.split()[0]) \
+            < keywords.index("corner")
+
+    def test_level_two_matches_template(self, ner, analyzer):
+        tagged = ner.tag("Messi (Barcelona) scores!")
+        match = analyzer.analyze(tagged)
+        assert match is not None
+        assert match.kind == EventKind.GOAL
+
+    def test_level_two_none_for_unmatched(self, ner, analyzer):
+        tagged = ner.tag("A corner-ish situation develops slowly")
+        # passes level 1 ("corner") but matches no template
+        assert analyzer.match_template(tagged) is None
+
+    def test_card_template_beats_foul_wording(self, ner, analyzer):
+        tagged = ner.tag("Yellow card for Alex after persistent fouling.")
+        match = analyzer.analyze(tagged)
+        assert match.kind == EventKind.YELLOW_CARD
+
+    def test_triggers_cover_all_templates(self):
+        # every template's surface form must contain at least one
+        # level-1 trigger, otherwise level 1 would hide it
+        for template in TEMPLATES:
+            pattern_text = template.pattern.pattern.lower()
+            assert any(
+                trigger.split()[0] in pattern_text
+                or trigger.replace("-", "\\-").split()[0] in pattern_text
+                for trigger in DOMAIN_TRIGGERS), template.pattern.pattern
+
+
+class TestExtractor:
+    @pytest.fixture(scope="class")
+    def events(self, crawled):
+        return InformationExtractor(crawled).extract_all()
+
+    def test_one_event_per_narration(self, crawled, events):
+        assert len(events) == len(crawled.narrations)
+
+    def test_extraction_recovers_ground_truth_100_percent(self):
+        """The paper reports 100% extraction success on UEFA text
+        (§3.3.2); our templates achieve the same on generated text."""
+        crawler = SimulatedCrawler(build_teams(), seed=23)
+        crawled = crawler.crawl_match("Real Madrid", "Liverpool",
+                                      "2009-02-25")
+        extractor = InformationExtractor(crawled)
+        extracted = extractor.extract_all()
+        for narration, event in zip(crawled.narrations, extracted):
+            if narration.event_id is None:
+                assert event.is_unknown, narration.text
+            else:
+                assert not event.is_unknown, narration.text
+
+    def test_roles_filled_for_fouls(self, events):
+        fouls = [e for e in events if e.kind == EventKind.FOUL]
+        assert fouls
+        for foul in fouls:
+            assert foul.subject is not None
+            assert foul.object is not None
+            assert foul.subject_team != foul.object_team
+
+    def test_unknown_events_keep_narration(self, events):
+        unknowns = [e for e in events if e.is_unknown]
+        assert unknowns
+        for unknown in unknowns:
+            assert unknown.narration
+
+    def test_subject_position_attribute(self, events):
+        saves = [e for e in events if e.kind == EventKind.SAVE]
+        assert saves
+        for save in saves:
+            assert save.attributes.get("subject_position") == "Goalkeeper"
+
+    def test_narration_ids_unique_and_stable(self, events):
+        ids = [e.narration_id for e in events]
+        assert len(ids) == len(set(ids))
+        assert all(id_.split("_n")[-1].isdigit() for id_ in ids)
+
+    def test_minutes_propagated(self, crawled, events):
+        for narration, event in zip(crawled.narrations, events):
+            assert event.minute == narration.minute

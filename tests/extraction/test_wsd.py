@@ -1,0 +1,91 @@
+"""Tests for word sense disambiguation (§8 extension)."""
+
+import pytest
+
+from repro.extraction.wsd import (LeskDisambiguator, Sense,
+                                  SenseInventory, default_inventory)
+from repro.rdf import SOCCER
+
+
+@pytest.fixture(scope="module")
+def wsd():
+    return LeskDisambiguator()
+
+
+class TestInventory:
+    def test_default_covers_classic_traps(self):
+        inventory = default_inventory()
+        for word in ("cross", "book", "goal", "save", "corner"):
+            assert inventory.is_ambiguous(word), word
+
+    def test_signatures_are_normalized(self):
+        inventory = SenseInventory({
+            "kick": [Sense("kick/1", "kicking the ball",
+                           ("Kicks", "BALLS"))],
+        })
+        [signature] = inventory.signature_sets("kick")
+        assert "kick" in signature          # stemmed + lowercased
+        assert "ball" in signature
+
+    def test_lookup_matches_inflections(self):
+        inventory = default_inventory()
+        # "crosses" and "cross" hit the same entry via stemming
+        assert inventory.senses("crosses") == inventory.senses("cross")
+
+    def test_unknown_word_has_no_senses(self):
+        assert default_inventory().senses("xylophone") == []
+
+
+class TestDisambiguation:
+    def test_cross_as_pass(self, wsd):
+        sense = wsd.disambiguate(
+            "cross", "he delivers a cross into the box for the header")
+        assert sense.sense_id == "cross/pass"
+        assert sense.ontology_class == SOCCER.Cross
+
+    def test_cross_as_mood(self, wsd):
+        sense = wsd.disambiguate(
+            "cross", "the manager was cross and angry with the referee")
+        assert sense.sense_id == "cross/angry"
+        assert not sense.is_domain_sense
+
+    def test_book_as_caution(self, wsd):
+        sense = wsd.disambiguate(
+            "book", "the referee will book him, a yellow card surely")
+        assert sense.ontology_class == SOCCER.YellowCard
+
+    def test_goal_as_score(self, wsd):
+        sense = wsd.disambiguate("goal", "he scores a goal past the keeper")
+        assert sense.ontology_class == SOCCER.Goal
+
+    def test_goal_as_ambition(self, wsd):
+        sense = wsd.disambiguate(
+            "goal", "the club's goal this season is a target of top four")
+        assert sense.sense_id == "goal/aim"
+
+    def test_zero_overlap_falls_back_to_first_sense(self, wsd):
+        sense = wsd.disambiguate("corner", "lorem ipsum dolor")
+        assert sense.sense_id == "corner/kick"   # domain-first ordering
+
+    def test_unknown_word_returns_none(self, wsd):
+        assert wsd.disambiguate("xylophone", "any context") is None
+
+    def test_domain_class_helper(self, wsd):
+        assert wsd.domain_class(
+            "save", "great save by the goalkeeper to deny the shot") \
+            == SOCCER.Save
+        assert wsd.domain_class(
+            "save", "they save money and time") is None
+
+    def test_annotate_query(self, wsd):
+        annotated = wsd.annotate_query("great save by the keeper")
+        by_word = dict(annotated)
+        assert by_word["save"].ontology_class == SOCCER.Save
+        assert by_word["keeper"] is None    # not in the inventory
+
+    def test_single_sense_word_short_circuits(self):
+        inventory = SenseInventory({
+            "offside": [Sense("offside/1", "offside position", ())],
+        })
+        wsd = LeskDisambiguator(inventory)
+        assert wsd.disambiguate("offside", "").sense_id == "offside/1"

@@ -1,0 +1,83 @@
+"""Tests for the deployable application facade."""
+
+import pytest
+
+from repro.app import SemanticSearchApplication
+from repro.core import F, IndexName
+
+
+@pytest.fixture(scope="module")
+def app(pipeline_result):
+    return SemanticSearchApplication.from_pipeline(pipeline_result)
+
+
+class TestSearch:
+    def test_plain_keyword_search(self, app):
+        response = app.search("messi goal", limit=5)
+        assert len(response) == 5
+        assert not response.phrasal
+        assert response.query == "messi goal"
+
+    def test_spell_correction_applied(self, app):
+        response = app.search("mesi goal", limit=3)
+        assert response.corrected
+        assert response.query == "messi goal"
+        assert response.original_query == "mesi goal"
+        assert response.hits
+
+    def test_spell_correction_can_be_disabled(self, app):
+        response = app.search("mesi goal", spell_correct=False)
+        assert not response.corrected
+        assert response.query == "mesi goal"
+
+    def test_phrasal_routing(self, app):
+        response = app.search("foul by Daniel to Florent", limit=3)
+        assert response.phrasal
+        assert response.hits
+        assert "Daniel" in (response.hits[0].narration or "")
+
+    def test_snippets_highlight_matches(self, app):
+        response = app.search("alex yellow card", limit=5)
+        assert any("**yellow**" in snippet
+                   for snippet in response.snippets if snippet)
+
+    def test_semantic_only_match_has_clean_snippet(self, app):
+        """'punishment' matches through the event field, so the
+        narration snippet legitimately carries no highlights."""
+        response = app.search("punishment", limit=3)
+        assert response.hits
+        assert all("**" not in snippet for snippet in response.snippets)
+
+    def test_snippets_optional(self, app):
+        response = app.search("goal", snippets=False)
+        assert response.snippets == []
+
+
+class TestFeedback:
+    def test_click_learning_round_trip(self, pipeline_result):
+        app = SemanticSearchApplication.from_pipeline(pipeline_result)
+        index = pipeline_result.index(IndexName.FULL_INF)
+        clicked = 0
+        for doc_id in range(index.doc_count):
+            event = index.stored_value(doc_id, F.EVENT) or ""
+            if "yellow card" in event:
+                app.feedback("booking",
+                             index.stored_value(doc_id, F.DOC_KEY))
+                clicked += 1
+                if clicked == 3:
+                    break
+        assert app.learned_expansions
+        response = app.search("booking", limit=3)
+        assert "yellow card" in response.hits[0].event_type
+
+
+class TestPersistence:
+    def test_persist_and_open(self, pipeline_result, tmp_path):
+        SemanticSearchApplication.persist(pipeline_result, tmp_path)
+        app = SemanticSearchApplication.open(tmp_path)
+        response = app.search("save goalkeeper barcelona", limit=3)
+        assert response.hits
+        assert "save" in response.hits[0].event_type
+        # phrasal engine survives the round trip too
+        phrasal = app.search("foul by Daniel", limit=3)
+        assert phrasal.phrasal

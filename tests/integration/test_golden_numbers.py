@@ -1,0 +1,89 @@
+"""Golden-number regression locks.
+
+The whole pipeline is deterministic (seeded corpus, content-addressed
+rule temps, tie-broken ranking), so the measured Table 4/5/6 values
+are exact constants.  These tests pin them: any change to analysis,
+scoring, rules or the corpus that shifts a number — intentionally or
+not — fails here first and forces EXPERIMENTS.md to be re-checked.
+"""
+
+import pytest
+
+GOLDEN_TABLE4 = {
+    # query: (TRAD, BASIC_EXT, FULL_EXT, FULL_INF) AP in percent
+    "Q-1": (0.4, 100.0, 100.0, 100.0),
+    "Q-2": (4.1, 76.6, 78.8, 100.0),
+    "Q-3": (17.7, 100.0, 100.0, 100.0),
+    "Q-4": (0.0, 0.0, 0.0, 100.0),
+    "Q-5": (55.0, 100.0, 100.0, 100.0),
+    "Q-6": (23.9, 22.2, 33.8, 100.0),
+    "Q-7": (41.1, 33.9, 46.8, 100.0),
+    "Q-8": (93.4, 93.7, 100.0, 100.0),
+    "Q-9": (73.7, 54.6, 67.1, 100.0),
+    "Q-10": (0.0, 0.0, 26.3, 100.0),
+}
+
+GOLDEN_TABLE6 = {
+    "P-1": (100.0, 100.0),
+    "P-2": (50.0, 100.0),
+    "P-3": (100.0, 100.0),
+}
+
+GOLDEN_RELEVANT_COUNTS = {
+    "Q-1": 29, "Q-2": 6, "Q-3": 3, "Q-4": 35, "Q-5": 2,
+    "Q-6": 5, "Q-7": 8, "Q-8": 27, "Q-9": 7, "Q-10": 35,
+}
+
+
+class TestGoldenTable4:
+    @pytest.fixture(scope="class")
+    def table(self, harness):
+        return harness.table4()
+
+    @pytest.mark.parametrize("query_id", sorted(GOLDEN_TABLE4))
+    def test_ap_values_pinned(self, table, query_id):
+        expected = GOLDEN_TABLE4[query_id]
+        for system, value in zip(table.systems, expected):
+            measured = table.get(query_id, system).average_precision
+            assert measured * 100 == pytest.approx(value, abs=0.05), \
+                (query_id, system)
+
+    @pytest.mark.parametrize("query_id", sorted(GOLDEN_RELEVANT_COUNTS))
+    def test_relevant_counts_pinned(self, table, query_id):
+        measured = table.get(query_id, "FULL_INF").relevant_count
+        assert measured == GOLDEN_RELEVANT_COUNTS[query_id]
+
+    def test_map_values_pinned(self, table):
+        expected = {"TRAD": 30.9, "BASIC_EXT": 58.1,
+                    "FULL_EXT": 65.3, "FULL_INF": 100.0}
+        for system, value in expected.items():
+            assert table.mean_ap(system) * 100 \
+                == pytest.approx(value, abs=0.1), system
+
+
+class TestGoldenTable6:
+    def test_values_pinned(self, harness):
+        table = harness.table6()
+        for query_id, expected in GOLDEN_TABLE6.items():
+            for system, value in zip(table.systems, expected):
+                measured = table.get(query_id, system).average_precision
+                assert measured * 100 == pytest.approx(value, abs=0.05), \
+                    (query_id, system)
+
+
+class TestGoldenCorpus:
+    def test_index_sizes_pinned(self, pipeline_result):
+        from repro.core import IndexName
+        expected = {IndexName.TRAD: 1182, IndexName.BASIC_EXT: 1296,
+                    IndexName.FULL_EXT: 1182, IndexName.FULL_INF: 1198,
+                    IndexName.PHR_EXP: 1198}
+        for name, count in expected.items():
+            assert pipeline_result.index(name).doc_count == count, name
+
+    def test_assist_count_pinned(self, pipeline_result):
+        from repro.rdf import SOCCER
+        assists = sum(
+            1 for model in pipeline_result.inferred_models
+            for __ in model.individuals(SOCCER.Assist))
+        # FULL_INF (1198) = FULL_EXT (1182) + inferred assists
+        assert assists == 16

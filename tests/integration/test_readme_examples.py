@@ -1,0 +1,53 @@
+"""The README's code snippets must actually run."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+README = Path(__file__).parents[2] / "README.md"
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet_runs(self, corpus, pipeline_result):
+        """Execute the README quickstart against the session pipeline
+        (substituting the expensive build with the shared fixture)."""
+        engine = pipeline_result.engine("FULL_INF")
+        hits = list(engine.search("goal scored to casillas", limit=5))
+        assert len(hits) == 5
+        for hit in hits:
+            assert hit.score > 0
+            assert hit.event_type
+
+    def test_quickstart_code_block_is_valid_python(self):
+        text = README.read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", text, re.DOTALL)
+        assert blocks, "README lost its python quickstart"
+        for block in blocks:
+            compile(block, "<README>", "exec")
+
+    def test_documented_cli_commands_parse(self):
+        from repro.cli import build_parser
+        text = README.read_text(encoding="utf-8")
+        parser = build_parser()
+        commands = re.findall(r"^python -m repro (.+)$", text,
+                              re.MULTILINE)
+        assert commands
+        import shlex
+        for command in commands:
+            # drop trailing shell comments from the doc lines
+            command = command.split("#")[0].strip()
+            args = parser.parse_args(shlex.split(command))
+            assert args.command
+
+    def test_documented_examples_exist(self):
+        text = README.read_text(encoding="utf-8")
+        for match in re.finditer(r"`examples/([\w.]+\.py)`", text):
+            path = README.parent / "examples" / match.group(1)
+            assert path.exists(), match.group(1)
+
+    def test_mentioned_counts_match_reality(self, corpus):
+        text = README.read_text(encoding="utf-8")
+        assert "1182" in text and "902" in text
+        assert corpus.narration_count == 1182
+        assert corpus.event_count == 902

@@ -1,0 +1,79 @@
+"""Tests for the ontology documentation generator."""
+
+import pytest
+
+from repro.ontology import OntologyBuilder, soccer_ontology
+from repro.ontology.docgen import generate_markdown
+from repro.rdf import Namespace, XSD
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture(scope="module")
+def soccer_doc():
+    return generate_markdown(soccer_ontology())
+
+
+class TestSoccerReference:
+    def test_headline_counts(self, soccer_doc):
+        assert "79 classes, 95 properties" in soccer_doc
+
+    def test_hierarchy_indentation(self, soccer_doc):
+        assert "- **Agent**" in soccer_doc
+        assert "    - **Player**" in soccer_doc or \
+            "  - **Player**" in soccer_doc
+
+    def test_custom_labels_shown(self, soccer_doc):
+        assert '**MissedGoal** ("Miss")' in soccer_doc
+
+    def test_property_tables(self, soccer_doc):
+        assert "## Object properties" in soccer_doc
+        assert "## Data properties" in soccer_doc
+        assert "| scorerPlayer | subjectPlayer | Goal | Player" \
+            in soccer_doc
+
+    def test_restrictions_table(self, soccer_doc):
+        assert "## Restrictions" in soccer_doc
+        assert "| Team | hasGoalkeeper | maxCardinality | 1 |" \
+            in soccer_doc
+
+    def test_disjointness_section(self, soccer_doc):
+        assert "## Disjoint classes" in soccer_doc
+        assert "Person ⊥ Team" in soccer_doc
+
+    def test_generated_doc_file_in_sync(self, soccer_doc):
+        """docs/ontology.md is a generated artifact; keep it fresh."""
+        from pathlib import Path
+        path = Path(__file__).parents[2] / "docs" / "ontology.md"
+        stored = path.read_text(encoding="utf-8")
+        regenerated = generate_markdown(
+            soccer_ontology(),
+            title="Soccer ontology reference (paper §3.2, Fig. 2)")
+        assert stored == regenerated
+
+
+class TestSmallOntology:
+    def test_functional_and_inverse_notes(self):
+        b = OntologyBuilder(EX)
+        team = b.klass("Team")
+        player = b.klass("Player")
+        plays = b.object_property("playsFor", domain=player, range=team,
+                                  functional=True)
+        b.object_property("hasPlayer", domain=team, range=player,
+                          inverse_of=plays)
+        text = generate_markdown(b.build())
+        assert "functional" in text
+        assert "inverse of playsFor" in text
+
+    def test_data_property_range_rendered(self):
+        b = OntologyBuilder(EX)
+        event = b.klass("Event")
+        b.data_property("minute", domain=event, range=XSD.integer)
+        text = generate_markdown(b.build())
+        assert "integer" in text
+
+    def test_no_restriction_section_when_empty(self):
+        b = OntologyBuilder(EX)
+        b.klass("Event")
+        text = generate_markdown(b.build())
+        assert "## Restrictions" not in text

@@ -1,0 +1,100 @@
+"""Tests for ontology ↔ RDF graph round trips."""
+
+import pytest
+
+from repro.ontology import (Individual, OntologyBuilder, abox_to_graph,
+                            individuals_from_graph, soccer_ontology,
+                            to_graph)
+from repro.rdf import (OWL, RDF, RDFS, SOCCER, BNode, Graph, Literal,
+                       Namespace, URIRef)
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def small_ontology():
+    b = OntologyBuilder(EX)
+    event = b.klass("Event")
+    goal = b.klass("Goal", event)
+    player = b.klass("Player")
+    b.object_property("scorerPlayer", domain=goal, range=player,
+                      functional=True)
+    b.data_property("inMinute", domain=event)
+    b.max_cardinality(goal, "scorerPlayer", 1)
+    return b.build()
+
+
+class TestTBoxSerialization:
+    def test_classes_as_owl(self, small_ontology):
+        graph = to_graph(small_ontology)
+        assert (EX.Goal, RDF.type, OWL.Class) in graph
+        assert (EX.Goal, RDFS.subClassOf, EX.Event) in graph
+
+    def test_property_metadata(self, small_ontology):
+        graph = to_graph(small_ontology)
+        assert (EX.scorerPlayer, RDF.type, OWL.ObjectProperty) in graph
+        assert (EX.scorerPlayer, RDF.type, OWL.FunctionalProperty) in graph
+        assert (EX.scorerPlayer, RDFS.domain, EX.Goal) in graph
+        assert (EX.scorerPlayer, RDFS.range, EX.Player) in graph
+        assert (EX.inMinute, RDF.type, OWL.DatatypeProperty) in graph
+
+    def test_restrictions_as_bnodes(self, small_ontology):
+        graph = to_graph(small_ontology)
+        restrictions = list(graph.subjects(RDF.type, OWL.Restriction))
+        assert len(restrictions) == 1
+        node = restrictions[0]
+        assert graph.value(node, OWL.onProperty, None) == EX.scorerPlayer
+        assert graph.value(node, OWL.maxCardinality, None) == Literal(1)
+
+    def test_full_soccer_tbox_serializes(self):
+        graph = to_graph(soccer_ontology(), include_abox=False)
+        classes = set(graph.subjects(RDF.type, OWL.Class))
+        assert len(classes) == 79
+
+
+class TestAboxRoundTrip:
+    def test_individual_round_trip(self, small_ontology):
+        abox = small_ontology.spawn_abox("m1")
+        goal = Individual(EX.goal1, {EX.Goal})
+        goal.add(EX.scorerPlayer, EX.messi)
+        goal.add(EX.inMinute, Literal(10))
+        player = Individual(EX.messi, {EX.Player})
+        abox.add_individual(goal)
+        abox.add_individual(player)
+
+        graph = abox_to_graph(abox)
+        loaded = individuals_from_graph(graph, small_ontology)
+        reloaded = loaded.individual(EX.goal1)
+        assert reloaded.types == {EX.Goal}
+        assert reloaded.get(EX.scorerPlayer) == [EX.messi]
+        assert reloaded.get(EX.inMinute) == [Literal(10)]
+
+    def test_unknown_predicates_dropped_on_load(self, small_ontology):
+        graph = Graph()
+        graph.add((EX.goal1, RDF.type, EX.Goal))
+        graph.add((EX.goal1, EX.mystery, Literal("x")))
+        loaded = individuals_from_graph(graph, small_ontology)
+        assert loaded.individual(EX.goal1).properties == {}
+
+    def test_untyped_subjects_ignored(self, small_ontology):
+        graph = Graph()
+        graph.add((EX.something, EX.scorerPlayer, EX.messi))
+        loaded = individuals_from_graph(graph, small_ontology)
+        assert loaded.individual_count == 0
+
+    def test_blank_nodes_skolemized(self, small_ontology):
+        graph = Graph()
+        temp = BNode("tmp_123")
+        graph.add((temp, RDF.type, EX.Goal))
+        graph.add((temp, EX.inMinute, Literal(9)))
+        loaded = individuals_from_graph(graph, small_ontology)
+        [individual] = list(loaded.individuals())
+        assert isinstance(individual.uri, URIRef)
+        assert "skolem" in str(individual.uri)
+        assert individual.get(EX.inMinute) == [Literal(9)]
+
+    def test_types_outside_ontology_ignored(self, small_ontology):
+        graph = Graph()
+        graph.add((EX.x, RDF.type, EX.NotAClass))
+        loaded = individuals_from_graph(graph, small_ontology)
+        assert loaded.individual_count == 0

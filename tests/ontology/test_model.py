@@ -1,0 +1,213 @@
+"""Tests for the ontology model and builder."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.rdf import Literal, Namespace
+from repro.ontology import (Individual, OntClass, Ontology,
+                            OntologyBuilder, OntProperty, PropertyKind,
+                            Restriction, RestrictionKind)
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def builder():
+    return OntologyBuilder(EX, name="test")
+
+
+class TestClasses:
+    def test_add_and_get(self, builder):
+        builder.klass("Event")
+        onto = builder.ontology
+        assert onto.has_class(EX.Event)
+        assert onto.get_class(EX.Event).label == "Event"
+
+    def test_duplicate_class_rejected(self, builder):
+        builder.klass("Event")
+        with pytest.raises(OntologyError):
+            builder.klass("Event")
+
+    def test_multiple_parents(self, builder):
+        event = builder.klass("Event")
+        positive = builder.klass("PositiveEvent", event)
+        ball = builder.klass("BallEvent", event)
+        goal = builder.klass("Goal", positive, ball)
+        assert goal.parents == {positive.uri, ball.uri}
+
+    def test_direct_subclasses(self, builder):
+        event = builder.klass("Event")
+        builder.klass("Goal", event)
+        builder.klass("Foul", event)
+        assert set(builder.ontology.direct_subclasses(event.uri)) \
+            == {EX.Goal, EX.Foul}
+
+    def test_roots(self, builder):
+        event = builder.klass("Event")
+        builder.klass("Goal", event)
+        assert builder.ontology.roots() == [event.uri]
+
+    def test_unknown_class_raises(self, builder):
+        with pytest.raises(OntologyError):
+            builder.ontology.get_class(EX.Nope)
+
+    def test_validation_catches_dangling_parent(self):
+        onto = Ontology()
+        onto.add_class(OntClass(EX.Goal, parents={EX.Missing}))
+        with pytest.raises(OntologyError):
+            onto.validate()
+
+
+class TestProperties:
+    def test_object_property(self, builder):
+        event = builder.klass("Event")
+        player = builder.klass("Player")
+        prop = builder.object_property("subjectPlayer", domain=event,
+                                       range=player)
+        assert prop.kind == PropertyKind.OBJECT
+        assert prop.domain == event.uri
+        assert prop.range == player.uri
+
+    def test_data_property(self, builder):
+        event = builder.klass("Event")
+        prop = builder.data_property("inMinute", domain=event,
+                                     functional=True)
+        assert prop.kind == PropertyKind.DATA
+        assert prop.functional
+
+    def test_subproperty_kind_mismatch_fails_validation(self, builder):
+        builder.klass("Event")
+        parent = builder.object_property("subjectPlayer")
+        builder.data_property("weird", parents=[parent])
+        with pytest.raises(OntologyError):
+            builder.build()
+
+    def test_duplicate_property_rejected(self, builder):
+        builder.object_property("p")
+        with pytest.raises(OntologyError):
+            builder.object_property("p")
+
+    def test_direct_subproperties(self, builder):
+        parent = builder.object_property("subjectPlayer")
+        builder.object_property("scorerPlayer", parents=[parent])
+        assert builder.ontology.direct_subproperties(parent.uri) \
+            == [EX.scorerPlayer]
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(OntologyError):
+            OntProperty(EX.p, kind="weird")
+
+    def test_unknown_inverse_fails_validation(self, builder):
+        builder.object_property("p", inverse_of=EX.missing)
+        with pytest.raises(OntologyError):
+            builder.build()
+
+
+class TestRestrictions:
+    def test_all_values_from(self, builder):
+        save = builder.klass("Save")
+        keeper = builder.klass("Goalkeeper")
+        prop = builder.object_property("savingGoalkeeper")
+        restriction = builder.all_values_from(save, prop, keeper)
+        assert restriction.kind == RestrictionKind.ALL_VALUES_FROM
+        assert list(builder.ontology.restrictions(save.uri)) \
+            == [restriction]
+
+    def test_cardinality_needs_integer(self, builder):
+        match = builder.klass("Match")
+        builder.object_property("homeTeam")
+        with pytest.raises(OntologyError):
+            Restriction(match.uri, EX.homeTeam,
+                        RestrictionKind.CARDINALITY, "one")
+
+    def test_negative_cardinality_rejected(self, builder):
+        match = builder.klass("Match")
+        builder.object_property("homeTeam")
+        with pytest.raises(OntologyError):
+            Restriction(match.uri, EX.homeTeam,
+                        RestrictionKind.CARDINALITY, -1)
+
+    def test_restriction_on_unknown_class_rejected(self, builder):
+        builder.object_property("p")
+        with pytest.raises(OntologyError):
+            builder.ontology.add_restriction(Restriction(
+                EX.Nope, EX.p, RestrictionKind.MAX_CARDINALITY, 1))
+
+    def test_unknown_kind_rejected(self, builder):
+        save = builder.klass("Save")
+        builder.object_property("p")
+        with pytest.raises(OntologyError):
+            Restriction(save.uri, EX.p, "weird", 1)
+
+
+class TestDisjointness:
+    def test_symmetric(self, builder):
+        a = builder.klass("Person")
+        b = builder.klass("Team")
+        builder.disjoint(a, b)
+        assert b.uri in builder.ontology.get_class(a.uri).disjoint_with
+        assert a.uri in builder.ontology.get_class(b.uri).disjoint_with
+
+
+class TestIndividuals:
+    def test_add_and_query(self, builder):
+        goal_class = builder.klass("Goal")
+        ind = builder.individual("goal1", goal_class)
+        assert builder.ontology.has_individual(ind.uri)
+        assert list(builder.ontology.individuals(goal_class.uri)) == [ind]
+
+    def test_property_values_deduplicate(self):
+        ind = Individual(EX.goal1)
+        ind.add(EX.scorer, EX.messi)
+        ind.add(EX.scorer, EX.messi)
+        assert ind.get(EX.scorer) == [EX.messi]
+
+    def test_first(self):
+        ind = Individual(EX.goal1)
+        assert ind.first(EX.scorer) is None
+        ind.add(EX.scorer, EX.messi)
+        assert ind.first(EX.scorer) == EX.messi
+
+    def test_merge_on_re_add(self, builder):
+        goal_class = builder.klass("Goal")
+        event = builder.klass("Event")
+        first = Individual(EX.goal1, {goal_class.uri})
+        first.add(EX.minute, Literal(10))
+        second = Individual(EX.goal1, {event.uri})
+        second.add(EX.minute, Literal(10))
+        second.add(EX.scorer, EX.messi)
+        builder.ontology.add_individual(first)
+        merged = builder.ontology.add_individual(second)
+        assert merged is builder.ontology.individual(EX.goal1)
+        assert merged.types == {goal_class.uri, event.uri}
+        assert merged.get(EX.minute) == [Literal(10)]
+
+    def test_unknown_individual_raises(self, builder):
+        with pytest.raises(OntologyError):
+            builder.ontology.individual(EX.ghost)
+
+
+class TestAboxViews:
+    def test_spawn_shares_tbox(self, builder):
+        builder.klass("Goal")
+        onto = builder.build()
+        view = onto.spawn_abox("match1")
+        assert view.has_class(EX.Goal)
+        assert view.individual_count == 0
+
+    def test_spawned_individuals_stay_local(self, builder):
+        goal_class = builder.klass("Goal")
+        onto = builder.build()
+        view1 = onto.spawn_abox("m1")
+        view2 = onto.spawn_abox("m2")
+        view1.add_individual(Individual(EX.g1, {goal_class.uri}))
+        assert view1.individual_count == 1
+        assert view2.individual_count == 0
+        assert onto.individual_count == 0
+
+    def test_tbox_changes_visible_in_views(self, builder):
+        builder.klass("Goal")
+        onto = builder.build()
+        view = onto.spawn_abox("m1")
+        onto.add_class(OntClass(EX.Corner))
+        assert view.has_class(EX.Corner)

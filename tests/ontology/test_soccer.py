@@ -1,0 +1,164 @@
+"""Tests for the soccer domain ontology (paper §3.2, Fig. 2)."""
+
+import pytest
+
+from repro.ontology import (CLASS_COUNT, PROPERTY_COUNT, PropertyKind,
+                            soccer_ontology)
+from repro.rdf import SOCCER
+from repro.reasoning import Taxonomy
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return soccer_ontology()
+
+
+@pytest.fixture(scope="module")
+def taxonomy(onto):
+    return Taxonomy(onto)
+
+
+class TestPublishedCounts:
+    def test_79_concepts(self, onto):
+        assert onto.class_count == CLASS_COUNT == 79
+
+    def test_95_properties(self, onto):
+        assert onto.property_count == PROPERTY_COUNT == 95
+
+    def test_singleton(self):
+        assert soccer_ontology() is soccer_ontology()
+
+    def test_validates(self, onto):
+        onto.validate()   # raises on any dangling reference
+
+
+class TestEventHierarchy:
+    @pytest.mark.parametrize("child,ancestor", [
+        ("Goal", "Event"),
+        ("Goal", "PositiveEvent"),
+        ("Goal", "Shoot"),
+        ("LongPass", "Pass"),
+        ("LongPass", "BallEvent"),
+        ("LongPass", "Event"),
+        ("YellowCard", "Punishment"),
+        ("RedCard", "Punishment"),
+        ("Punishment", "NegativeEvent"),
+        ("MissedGoal", "Shoot"),
+        ("MissedGoal", "NegativeEvent"),
+        ("Offside", "RuleViolation"),
+        ("Corner", "SetPiece"),
+        ("UnknownEvent", "Event"),
+        ("OwnGoal", "Goal"),
+        ("Assist", "PositiveEvent"),
+    ])
+    def test_subclass_links(self, taxonomy, child, ancestor):
+        assert taxonomy.is_subclass_of(SOCCER.term(child),
+                                       SOCCER.term(ancestor))
+
+    def test_miss_label(self, onto):
+        # the paper calls the class "Miss" ("the type of the event
+        # above is a Miss", §3.6.2)
+        assert onto.get_class(SOCCER.MissedGoal).label == "Miss"
+
+    def test_goal_not_negative(self, taxonomy):
+        assert not taxonomy.is_subclass_of(SOCCER.Goal,
+                                           SOCCER.NegativeEvent)
+
+
+class TestPlayerHierarchy:
+    @pytest.mark.parametrize("position", [
+        "LeftBack", "RightBack", "CentreBack", "Sweeper"])
+    def test_defence_positions(self, taxonomy, position):
+        assert taxonomy.is_subclass_of(SOCCER.term(position),
+                                       SOCCER.DefencePlayer)
+        assert taxonomy.is_subclass_of(SOCCER.term(position),
+                                       SOCCER.Player)
+
+    def test_goalkeeper_is_player(self, taxonomy):
+        assert taxonomy.is_subclass_of(SOCCER.Goalkeeper, SOCCER.Player)
+
+    def test_goalkeeper_disjoint_with_outfield(self, onto):
+        keeper = onto.get_class(SOCCER.Goalkeeper)
+        assert SOCCER.DefencePlayer in keeper.disjoint_with
+        assert SOCCER.ForwardPlayer in keeper.disjoint_with
+
+
+class TestGenericRoleProperties:
+    """The §3.4 decoupling: four generic properties with
+    event-specific sub-properties."""
+
+    @pytest.mark.parametrize("sub,generic", [
+        ("scorerPlayer", "subjectPlayer"),
+        ("missingPlayer", "subjectPlayer"),
+        ("savingGoalkeeper", "subjectPlayer"),
+        ("bookedPlayer", "subjectPlayer"),
+        ("cornerTaker", "subjectPlayer"),
+        ("passReceiver", "objectPlayer"),
+        ("injuredPlayer", "objectPlayer"),
+        ("beatenGoalkeeper", "objectPlayer"),
+        ("scoringTeam", "subjectTeam"),
+        ("concedingTeam", "objectTeam"),
+    ])
+    def test_subproperty_links(self, taxonomy, sub, generic):
+        assert taxonomy.is_subproperty_of(SOCCER.term(sub),
+                                          SOCCER.term(generic))
+
+    def test_scorer_player_domain_is_goal(self, onto):
+        assert onto.get_property(SOCCER.scorerPlayer).domain == SOCCER.Goal
+
+    def test_saving_goalkeeper_range_is_goalkeeper(self, onto):
+        # "only the goalkeepers … are allowed in the position of
+        # goalkeeping" (§3.5)
+        prop = onto.get_property(SOCCER.savingGoalkeeper)
+        assert prop.range == SOCCER.Goalkeeper
+
+
+class TestActorHierarchy:
+    """Q-7's machinery: actorOfX ⊑ actorOfNegativeMove (§4)."""
+
+    @pytest.mark.parametrize("sub", [
+        "actorOfMissedGoal", "actorOfOffside", "actorOfRedCard",
+        "actorOfYellowCard", "actorOfFoul", "actorOfOwnGoal"])
+    def test_negative_moves(self, taxonomy, sub):
+        assert taxonomy.is_subproperty_of(SOCCER.term(sub),
+                                          SOCCER.actorOfNegativeMove)
+
+    @pytest.mark.parametrize("sub", [
+        "actorOfGoal", "actorOfAssist", "actorOfSave", "actorOfPass"])
+    def test_positive_moves(self, taxonomy, sub):
+        assert taxonomy.is_subproperty_of(SOCCER.term(sub),
+                                          SOCCER.actorOfPositiveMove)
+
+    def test_both_under_actor_of_move(self, taxonomy):
+        assert taxonomy.is_subproperty_of(SOCCER.actorOfNegativeMove,
+                                          SOCCER.actorOfMove)
+        assert taxonomy.is_subproperty_of(SOCCER.actorOfPositiveMove,
+                                          SOCCER.actorOfMove)
+
+
+class TestRestrictions:
+    def test_one_goalkeeper_per_team(self, onto):
+        # "only one goalkeeper is allowed in the game" (§3.5)
+        kinds = [(r.kind, r.filler) for r in
+                 onto.restrictions(SOCCER.Team)
+                 if r.on_property == SOCCER.hasGoalkeeper]
+        assert ("maxCardinality", 1) in kinds
+        assert ("allValuesFrom", SOCCER.Goalkeeper) in kinds
+
+    def test_match_has_exactly_one_home_team(self, onto):
+        kinds = [(r.on_property.local_name, r.kind, r.filler)
+                 for r in onto.restrictions(SOCCER.Match)]
+        assert ("homeTeam", "cardinality", 1) in kinds
+        assert ("awayTeam", "cardinality", 1) in kinds
+
+
+class TestPropertyKinds:
+    def test_in_minute_is_data_property(self, onto):
+        assert onto.get_property(SOCCER.inMinute).kind == PropertyKind.DATA
+
+    def test_in_match_is_functional(self, onto):
+        assert onto.get_property(SOCCER.inMatch).functional
+
+    def test_plays_for_inverse(self, onto):
+        assert onto.get_property(SOCCER.hasPlayer).inverse_of \
+            == SOCCER.playsFor

@@ -1,0 +1,167 @@
+"""Tests for ontology population (§3.4)."""
+
+import pytest
+
+from repro.extraction import InformationExtractor
+from repro.extraction.events import ExtractedEvent
+from repro.errors import PopulationError
+from repro.ontology import soccer_ontology
+from repro.population import (OntologyPopulator, iri_slug, role_mapping)
+from repro.rdf import SOCCER, Literal
+from repro.soccer import EventKind, SimulatedCrawler, build_teams
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return soccer_ontology()
+
+
+@pytest.fixture(scope="module")
+def crawled():
+    return SimulatedCrawler(build_teams(), seed=31).crawl_match(
+        "Chelsea", "Barcelona", "2009-05-06")
+
+
+@pytest.fixture(scope="module")
+def populator(onto):
+    return OntologyPopulator(onto)
+
+
+class TestRoleMapping:
+    def test_goal_uses_scorer(self):
+        mapping = role_mapping(EventKind.GOAL)
+        assert mapping.subject_property == SOCCER.scorerPlayer
+        assert mapping.object_property == SOCCER.objectPlayer
+
+    def test_foul_roles(self):
+        mapping = role_mapping(EventKind.FOUL)
+        assert mapping.subject_property == SOCCER.foulingPlayer
+        assert mapping.object_property == SOCCER.fouledPlayer
+
+    def test_injury_object_only(self):
+        mapping = role_mapping(EventKind.INJURY)
+        assert mapping.subject_property == SOCCER.subjectPlayer
+        assert mapping.object_property == SOCCER.injuredPlayer
+
+    def test_unknown_kind_falls_back_to_generic(self):
+        """The paper's loose coupling: unmapped events never fail."""
+        mapping = role_mapping("UnknownEvent")
+        assert mapping.subject_property == SOCCER.subjectPlayer
+        assert mapping.object_property == SOCCER.objectPlayer
+
+    def test_iri_slug(self):
+        assert iri_slug("Eto'o (Barcelona)!") == "Eto_o_Barcelona"
+        assert iri_slug("") == "x"
+        assert " " not in iri_slug("van der Sar")
+
+
+class TestStructurePopulation:
+    @pytest.fixture(scope="class")
+    def basic(self, populator, crawled):
+        return populator.populate_basic(crawled)
+
+    def test_match_individual(self, basic, crawled):
+        matches = list(basic.individuals(SOCCER.Match))
+        assert len(matches) == 1
+        match = matches[0]
+        assert match.first(SOCCER.onDate) == Literal(crawled.date)
+
+    def test_teams_linked(self, basic):
+        [match] = list(basic.individuals(SOCCER.Match))
+        assert match.first(SOCCER.homeTeam) is not None
+        assert match.first(SOCCER.awayTeam) is not None
+
+    def test_players_typed_by_position(self, basic):
+        keepers = list(basic.individuals(SOCCER.Goalkeeper))
+        # two squads with two goalkeepers each
+        assert len(keepers) == 4
+
+    def test_players_play_for_teams(self, basic):
+        for player in basic.individuals(SOCCER.LeftBack):
+            assert player.get(SOCCER.playsFor)
+
+    def test_team_has_exactly_one_starting_goalkeeper(self, basic):
+        for team in basic.individuals(SOCCER.Team):
+            assert len(team.get(SOCCER.hasGoalkeeper)) == 1
+
+    def test_stadium_and_referee(self, basic):
+        assert list(basic.individuals(SOCCER.Stadium))
+        assert list(basic.individuals(SOCCER.Referee))
+
+
+class TestBasicFacts:
+    @pytest.fixture(scope="class")
+    def basic(self, populator, crawled):
+        return populator.populate_basic(crawled)
+
+    def test_goal_events_from_facts(self, basic, crawled):
+        goals = list(basic.individuals(SOCCER.Goal))
+        plain = [g for g in crawled.goals if g.kind == "goal"]
+        assert len(goals) == len(plain)
+        for goal in goals:
+            assert goal.get(SOCCER.scorerPlayer)
+
+    def test_bookings_become_cards(self, basic, crawled):
+        yellows = list(basic.individuals(SOCCER.YellowCard))
+        expected = [b for b in crawled.bookings if b.color == "yellow"]
+        assert len(yellows) == len(expected)
+
+    def test_every_narration_is_an_unknown_event(self, basic, crawled):
+        unknowns = list(basic.individuals(SOCCER.UnknownEvent))
+        assert len(unknowns) == len(crawled.narrations)
+        for unknown in unknowns:
+            assert unknown.first(SOCCER.hasNarration) is not None
+
+    def test_event_ids_carry_provenance(self, basic, crawled):
+        goals = list(basic.individuals(SOCCER.Goal))
+        fact_ids = {g.source_id for g in crawled.goals}
+        for goal in goals:
+            assert str(goal.first(SOCCER.hasEventId)) in fact_ids
+
+
+class TestFullPopulation:
+    @pytest.fixture(scope="class")
+    def full(self, populator, crawled):
+        extracted = InformationExtractor(crawled).extract_all()
+        return populator.populate_full(crawled, extracted)
+
+    def test_typed_events_present(self, full):
+        assert list(full.individuals(SOCCER.Foul))
+        assert list(full.individuals(SOCCER.Corner))
+        assert list(full.individuals(SOCCER.Save))
+
+    def test_event_specific_properties_used(self, full):
+        """§3.4: the scorerPlayer property is filled automatically
+        from the generic subject via the mapping."""
+        for goal in full.individuals(SOCCER.Goal):
+            assert goal.get(SOCCER.scorerPlayer)
+            # the generic property is NOT asserted here (the reasoner
+            # closes it later)
+            assert not goal.get(SOCCER.subjectPlayer)
+
+    def test_team_roles_left_to_rules(self, full):
+        """Table 1 shows '-' for subjectTeam in the extracted index."""
+        for foul in full.individuals(SOCCER.Foul):
+            assert not foul.get(SOCCER.subjectTeam)
+            assert not foul.get(SOCCER.objectTeam)
+
+    def test_narrations_attached_to_events(self, full):
+        for save in full.individuals(SOCCER.Save):
+            assert save.first(SOCCER.hasNarration) is not None
+
+    def test_unknown_events_preserved(self, full):
+        assert list(full.individuals(SOCCER.UnknownEvent))
+
+    def test_wrong_match_rejected(self, populator, crawled):
+        alien = ExtractedEvent(narration_id="x_n0001",
+                               match_id="some_other_match",
+                               minute=1, narration="text")
+        with pytest.raises(PopulationError):
+            populator.populate_full(crawled, [alien])
+
+    def test_independent_models(self, populator, crawled):
+        """§3.5: each game is a separate model."""
+        first = populator.populate_basic(crawled)
+        second = populator.populate_basic(crawled)
+        assert first is not second
+        assert first.individual_count == second.individual_count

@@ -1,0 +1,190 @@
+"""Tests for the triple-indexed graph."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GraphError
+from repro.rdf import RDF, Graph, Literal, Namespace, URIRef
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.add((EX.goal1, RDF.type, EX.Goal))
+    g.add((EX.goal1, EX.scorer, EX.messi))
+    g.add((EX.goal1, EX.minute, Literal(10)))
+    g.add((EX.pass1, RDF.type, EX.Pass))
+    g.add((EX.pass1, EX.passer, EX.xavi))
+    return g
+
+
+class TestMutation:
+    def test_add_returns_true_for_new(self):
+        g = Graph()
+        assert g.add((EX.a, EX.p, EX.b)) is True
+
+    def test_add_duplicate_returns_false(self):
+        g = Graph()
+        g.add((EX.a, EX.p, EX.b))
+        assert g.add((EX.a, EX.p, EX.b)) is False
+        assert len(g) == 1
+
+    def test_add_all_counts_only_new(self):
+        g = Graph()
+        added = g.add_all([(EX.a, EX.p, EX.b), (EX.a, EX.p, EX.b),
+                           (EX.a, EX.p, EX.c)])
+        assert added == 2
+
+    def test_literal_subject_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add((Literal("x"), EX.p, EX.b))
+
+    def test_non_uri_predicate_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add((EX.a, Literal("p"), EX.b))
+
+    def test_remove_by_pattern(self, graph):
+        removed = graph.remove((EX.goal1, None, None))
+        assert removed == 3
+        assert len(graph) == 2
+
+    def test_remove_specific(self, graph):
+        assert graph.remove((EX.goal1, RDF.type, EX.Goal)) == 1
+        assert (EX.goal1, RDF.type, EX.Goal) not in graph
+
+    def test_clear(self, graph):
+        graph.clear()
+        assert len(graph) == 0
+        assert list(graph) == []
+
+
+class TestMatching:
+    def test_fully_bound_contains(self, graph):
+        assert (EX.goal1, RDF.type, EX.Goal) in graph
+        assert (EX.goal1, RDF.type, EX.Pass) not in graph
+
+    def test_subject_bound(self, graph):
+        triples = list(graph.triples((EX.goal1, None, None)))
+        assert len(triples) == 3
+
+    def test_predicate_bound(self, graph):
+        triples = list(graph.triples((None, RDF.type, None)))
+        assert len(triples) == 2
+
+    def test_object_bound(self, graph):
+        triples = list(graph.triples((None, None, EX.messi)))
+        assert triples == [(EX.goal1, EX.scorer, EX.messi)]
+
+    def test_subject_predicate_bound(self, graph):
+        triples = list(graph.triples((EX.goal1, EX.scorer, None)))
+        assert triples == [(EX.goal1, EX.scorer, EX.messi)]
+
+    def test_predicate_object_bound(self, graph):
+        triples = list(graph.triples((None, RDF.type, EX.Goal)))
+        assert triples == [(EX.goal1, RDF.type, EX.Goal)]
+
+    def test_wildcard_yields_all(self, graph):
+        assert len(list(graph.triples())) == len(graph) == 5
+
+    def test_no_match_empty(self, graph):
+        assert list(graph.triples((EX.nothing, None, None))) == []
+
+    def test_count(self, graph):
+        assert graph.count((EX.goal1, None, None)) == 3
+        assert graph.count() == 5
+        assert graph.count((EX.goal1, RDF.type, EX.Goal)) == 1
+        assert graph.count((EX.goal1, RDF.type, EX.Pass)) == 0
+
+
+class TestAccessors:
+    def test_subjects(self, graph):
+        assert set(graph.subjects(RDF.type)) == {EX.goal1, EX.pass1}
+
+    def test_objects(self, graph):
+        assert set(graph.objects(EX.goal1, RDF.type)) == {EX.Goal}
+
+    def test_predicates(self, graph):
+        assert EX.scorer in set(graph.predicates(EX.goal1))
+
+    def test_value(self, graph):
+        assert graph.value(EX.goal1, EX.scorer, None) == EX.messi
+
+    def test_value_default(self, graph):
+        assert graph.value(EX.goal1, EX.nothing, None,
+                           default=EX.fallback) == EX.fallback
+
+    def test_value_requires_one_wildcard(self, graph):
+        with pytest.raises(GraphError):
+            graph.value(EX.goal1, None, None)
+
+
+class TestSetAlgebra:
+    def test_union(self):
+        g1 = Graph([(EX.a, EX.p, EX.b)])
+        g2 = Graph([(EX.c, EX.p, EX.d)])
+        assert len(g1 | g2) == 2
+
+    def test_difference(self):
+        g1 = Graph([(EX.a, EX.p, EX.b), (EX.c, EX.p, EX.d)])
+        g2 = Graph([(EX.a, EX.p, EX.b)])
+        assert list(g1 - g2) == [(EX.c, EX.p, EX.d)]
+
+    def test_intersection(self):
+        g1 = Graph([(EX.a, EX.p, EX.b), (EX.c, EX.p, EX.d)])
+        g2 = Graph([(EX.a, EX.p, EX.b), (EX.e, EX.p, EX.f)])
+        assert list(g1 & g2) == [(EX.a, EX.p, EX.b)]
+
+    def test_copy_is_independent(self, graph):
+        clone = graph.copy()
+        clone.add((EX.new, EX.p, EX.v))
+        assert len(clone) == len(graph) + 1
+
+    def test_equality(self):
+        triples = [(EX.a, EX.p, EX.b), (EX.c, EX.p, EX.d)]
+        assert Graph(triples) == Graph(reversed(triples))
+
+    def test_inequality(self):
+        assert Graph([(EX.a, EX.p, EX.b)]) != Graph()
+
+    def test_inplace_union(self, graph):
+        before = len(graph)
+        graph |= [(EX.z, EX.p, EX.q)]
+        assert len(graph) == before + 1
+
+
+class TestPropertyBased:
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("pq"),
+                              st.sampled_from("xyz")), max_size=30))
+    def test_size_matches_unique_triples(self, raw):
+        triples = [(EX.term(s), EX.term(p), EX.term(o)) for s, p, o in raw]
+        g = Graph(triples)
+        assert len(g) == len(set(triples))
+
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("pq"),
+                              st.sampled_from("xyz")), max_size=30))
+    def test_every_added_triple_is_found_by_every_index(self, raw):
+        triples = [(EX.term(s), EX.term(p), EX.term(o)) for s, p, o in raw]
+        g = Graph(triples)
+        for s, p, o in set(triples):
+            assert (s, p, o) in g
+            assert (s, p, o) in g.triples((s, None, None))
+            assert (s, p, o) in g.triples((None, p, None))
+            assert (s, p, o) in g.triples((None, None, o))
+
+    @given(st.lists(st.tuples(st.sampled_from("ab"),
+                              st.sampled_from("p"),
+                              st.sampled_from("xy")), max_size=10),
+           st.lists(st.tuples(st.sampled_from("ab"),
+                              st.sampled_from("p"),
+                              st.sampled_from("xy")), max_size=10))
+    def test_union_commutes(self, raw1, raw2):
+        to_triples = lambda raw: [(EX.term(s), EX.term(p), EX.term(o))
+                                  for s, p, o in raw]
+        g1, g2 = Graph(to_triples(raw1)), Graph(to_triples(raw2))
+        assert (g1 | g2) == (g2 | g1)

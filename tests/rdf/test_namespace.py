@@ -1,0 +1,92 @@
+"""Tests for namespaces and the namespace manager."""
+
+import pytest
+
+from repro.errors import TermError
+from repro.rdf.namespace import (OWL, RDF, RDFS, SOCCER, XSD, Namespace,
+                                 NamespaceManager)
+from repro.rdf.term import URIRef
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        ns = Namespace("http://e.org/ns#")
+        assert ns.Player == URIRef("http://e.org/ns#Player")
+
+    def test_item_access(self):
+        ns = Namespace("http://e.org/ns#")
+        assert ns["Player"] == URIRef("http://e.org/ns#Player")
+
+    def test_term_method(self):
+        ns = Namespace("http://e.org/ns#")
+        assert ns.term("x") == "http://e.org/ns#x"
+
+    def test_contains(self):
+        ns = Namespace("http://e.org/ns#")
+        assert "http://e.org/ns#Player" in ns
+        assert "http://other.org/x" not in ns
+
+    def test_underscore_attributes_raise(self):
+        ns = Namespace("http://e.org/ns#")
+        with pytest.raises(AttributeError):
+            ns._private
+
+    def test_rejects_empty_base(self):
+        with pytest.raises(TermError):
+            Namespace("")
+
+    def test_standard_vocabularies(self):
+        assert RDF.type.endswith("#type")
+        assert RDFS.subClassOf.endswith("#subClassOf")
+        assert OWL.Class.endswith("#Class")
+        assert XSD.integer.endswith("#integer")
+        assert str(SOCCER).startswith("http://")
+
+
+class TestNamespaceManager:
+    def test_default_bindings(self):
+        manager = NamespaceManager()
+        assert "rdf" in manager
+        assert "owl" in manager
+
+    def test_expand(self):
+        manager = NamespaceManager()
+        assert manager.expand("rdf:type") == RDF.type
+
+    def test_expand_unbound_prefix(self):
+        manager = NamespaceManager()
+        with pytest.raises(TermError):
+            manager.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager()
+        with pytest.raises(TermError):
+            manager.expand("plainword")
+
+    def test_bind_and_qname(self):
+        manager = NamespaceManager()
+        manager.bind("pre", SOCCER)
+        assert manager.qname(SOCCER.Goal) == "pre:Goal"
+
+    def test_qname_unknown_namespace(self):
+        manager = NamespaceManager()
+        assert manager.qname(URIRef("http://nowhere.org/x")) is None
+
+    def test_bind_no_replace_keeps_existing(self):
+        manager = NamespaceManager()
+        manager.bind("pre", "http://a.org/")
+        manager.bind("pre", "http://b.org/", replace=False)
+        assert manager.expand("pre:x") == "http://a.org/x"
+
+    def test_rebinding_replaces(self):
+        manager = NamespaceManager()
+        manager.bind("pre", "http://a.org/")
+        manager.bind("pre", "http://b.org/")
+        assert manager.expand("pre:x") == "http://b.org/x"
+        # the old namespace no longer compacts through the old prefix
+        assert manager.qname(URIRef("http://a.org/x")) is None
+
+    def test_namespaces_sorted(self):
+        manager = NamespaceManager()
+        prefixes = [prefix for prefix, _ in manager.namespaces()]
+        assert prefixes == sorted(prefixes)

@@ -1,0 +1,191 @@
+"""Tests for N-Triples round-trip and Turtle output."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError
+from repro.rdf import BNode, Graph, Literal, Namespace, RDF, URIRef
+from repro.rdf import ntriples, turtle
+
+EX = Namespace("http://example.org/ns#")
+
+
+def sample_graph() -> Graph:
+    g = Graph()
+    g.add((EX.goal1, RDF.type, EX.Goal))
+    g.add((EX.goal1, EX.scorer, EX.messi))
+    g.add((EX.goal1, EX.minute, Literal(10)))
+    g.add((EX.goal1, EX.note, Literal('He said "gol"\nloudly')))
+    g.add((BNode("b1"), EX.about, EX.goal1))
+    g.add((EX.goal1, EX.label, Literal("gol", language="tr")))
+    return g
+
+
+class TestNTriplesRoundTrip:
+    def test_roundtrip_preserves_graph(self):
+        original = sample_graph()
+        text = ntriples.serialize_to_string(original)
+        parsed = ntriples.parse_string(text)
+        assert parsed == original
+
+    def test_output_is_sorted_and_line_terminated(self):
+        text = ntriples.serialize_to_string(sample_graph())
+        lines = text.strip().split("\n")
+        assert lines == sorted(lines)
+        assert all(line.endswith(" .") for line in lines)
+
+    def test_comments_and_blanks_ignored(self):
+        text = ("# a comment\n\n"
+                "<http://e.org/a> <http://e.org/p> <http://e.org/b> .\n")
+        g = ntriples.parse_string(text)
+        assert len(g) == 1
+
+    def test_typed_literal(self):
+        g = ntriples.parse_string(
+            '<http://e.org/a> <http://e.org/p> '
+            '"5"^^<http://www.w3.org/2001/XMLSchema#integer> .')
+        [(_, _, obj)] = list(g)
+        assert obj.to_python() == 5
+
+    def test_language_literal(self):
+        g = ntriples.parse_string(
+            '<http://e.org/a> <http://e.org/p> "gol"@tr .')
+        [(_, _, obj)] = list(g)
+        assert obj.language == "tr"
+
+    def test_unicode_escape(self):
+        g = ntriples.parse_string(
+            '<http://e.org/a> <http://e.org/p> "\\u00d6zg\\u00fcr" .')
+        [(_, _, obj)] = list(g)
+        assert obj.lexical == "Özgür"
+
+    def test_blank_node_subject(self):
+        g = ntriples.parse_string(
+            '_:x <http://e.org/p> <http://e.org/b> .')
+        [(subj, _, _)] = list(g)
+        assert isinstance(subj, BNode)
+        assert subj == "x"
+
+    @pytest.mark.parametrize("bad", [
+        '<http://e.org/a> <http://e.org/p> <http://e.org/b>',   # no dot
+        '"lit" <http://e.org/p> <http://e.org/b> .',            # literal subj
+        '<http://e.org/a> _:b <http://e.org/b> .',              # bnode pred
+        '<http://e.org/a> <http://e.org/p> "unterminated .',
+        '<http://e.org/a <http://e.org/p> <http://e.org/b> .',  # bad IRI
+        '<http://e.org/a> <http://e.org/p> <http://e.org/b> . junk',
+    ])
+    def test_malformed_lines_raise(self, bad):
+        with pytest.raises(ParseError):
+            ntriples.parse_string(bad)
+
+    def test_parse_error_carries_line_number(self):
+        text = ("<http://e.org/a> <http://e.org/p> <http://e.org/b> .\n"
+                "garbage\n")
+        with pytest.raises(ParseError) as exc:
+            ntriples.parse_string(text)
+        assert exc.value.line == 2
+
+    @given(st.lists(st.tuples(st.sampled_from("abc"),
+                              st.sampled_from("pq"),
+                              st.text(max_size=20)), max_size=15))
+    def test_roundtrip_arbitrary_literals(self, raw):
+        g = Graph((EX.term(s), EX.term(p), Literal(o)) for s, p, o in raw)
+        assert ntriples.parse_string(ntriples.serialize_to_string(g)) == g
+
+
+class TestTurtle:
+    def test_groups_by_subject(self):
+        g = sample_graph()
+        g.namespace_manager.bind("ex", EX)
+        text = turtle.serialize_to_string(g)
+        subject_lines = [line for line in text.splitlines()
+                         if line.startswith("ex:goal1 ")]
+        assert len(subject_lines) == 1            # one subject block
+
+    def test_uses_a_for_rdf_type(self):
+        g = sample_graph()
+        g.namespace_manager.bind("ex", EX)
+        text = turtle.serialize_to_string(g)
+        assert " a ex:Goal" in text
+
+    def test_declares_used_prefixes_only(self):
+        g = Graph([(EX.a, EX.p, EX.b)])
+        g.namespace_manager.bind("ex", EX)
+        text = turtle.serialize_to_string(g)
+        assert "@prefix ex:" in text
+        assert "@prefix xsd:" not in text
+
+    def test_deterministic(self):
+        g = sample_graph()
+        assert turtle.serialize_to_string(g) \
+            == turtle.serialize_to_string(g)
+
+
+class TestTurtleParser:
+    def test_full_round_trip(self):
+        g = sample_graph()
+        g.namespace_manager.bind("ex", EX)
+        text = turtle.serialize_to_string(g)
+        assert turtle.parse_string(text) == g
+
+    def test_prefix_declarations(self):
+        g = turtle.parse_string(
+            "@prefix ex: <http://e.org/> .\n"
+            "ex:a ex:p ex:b .")
+        assert (URIRef("http://e.org/a"), URIRef("http://e.org/p"),
+                URIRef("http://e.org/b")) in g
+
+    def test_a_shorthand(self):
+        g = turtle.parse_string(
+            "@prefix ex: <http://e.org/> .\nex:x a ex:Goal .")
+        assert (URIRef("http://e.org/x"), RDF.type,
+                URIRef("http://e.org/Goal")) in g
+
+    def test_predicate_and_object_lists(self):
+        g = turtle.parse_string(
+            "@prefix ex: <http://e.org/> .\n"
+            "ex:x ex:p ex:a , ex:b ; ex:q ex:c .")
+        assert len(g) == 3
+
+    def test_typed_and_numeric_literals(self):
+        g = turtle.parse_string(
+            "@prefix ex: <http://e.org/> .\n"
+            'ex:x ex:m 10 ; ex:f 2.5 ; ex:flag true ; '
+            'ex:s "text" .')
+        values = {obj.to_python()
+                  for _, _, obj in g}
+        assert values == {10, 2.5, True, "text"}
+
+    def test_language_tag(self):
+        g = turtle.parse_string(
+            '@prefix ex: <http://e.org/> .\nex:x ex:label "gol"@tr .')
+        [(_, _, obj)] = list(g)
+        assert obj.language == "tr"
+
+    def test_blank_node_subject(self):
+        g = turtle.parse_string(
+            "@prefix ex: <http://e.org/> .\n_:b1 ex:p ex:a .")
+        [(subject, _, _)] = list(g)
+        assert isinstance(subject, BNode)
+
+    def test_comments_skipped(self):
+        g = turtle.parse_string(
+            "# top comment\n@prefix ex: <http://e.org/> .\n"
+            "ex:a ex:p ex:b . # trailing\n")
+        assert len(g) == 1
+
+    @pytest.mark.parametrize("bad", [
+        "ex:a ex:p ex:b .",                     # unbound prefix
+        "@prefix ex: <http://e.org/> .\nex:a ex:p .",   # missing object
+        "@prefix ex: <http://e.org/> .\nex:a ex:p ex:b",  # missing dot
+        '@prefix ex: <http://e.org/> .\n"lit" ex:p ex:b .',
+    ])
+    def test_malformed_turtle_raises(self, bad):
+        with pytest.raises(Exception):
+            turtle.parse_string(bad)
+
+    def test_ontology_round_trips_via_turtle(self):
+        from repro.ontology import soccer_ontology, to_graph
+        g = to_graph(soccer_ontology(), include_abox=False)
+        text = turtle.serialize_to_string(g)
+        assert turtle.parse_string(text) == g

@@ -1,0 +1,148 @@
+"""Tests for RDF terms."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TermError
+from repro.rdf.term import (BNode, Literal, URIRef, Variable, XSD_BOOLEAN,
+                            XSD_DOUBLE, XSD_INTEGER, bnode,
+                            reset_bnode_counter)
+
+
+class TestURIRef:
+    def test_is_a_string(self):
+        uri = URIRef("http://example.org/x")
+        assert uri == "http://example.org/x"
+        assert isinstance(uri, str)
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            URIRef("")
+
+    @pytest.mark.parametrize("bad", ["http://x y", "a<b", 'a"b', "a\nb"])
+    def test_rejects_forbidden_characters(self, bad):
+        with pytest.raises(TermError):
+            URIRef(bad)
+
+    def test_local_name_from_fragment(self):
+        assert URIRef("http://example.org/ns#Player").local_name == "Player"
+
+    def test_local_name_from_path(self):
+        assert URIRef("http://example.org/ns/Player").local_name == "Player"
+
+    def test_namespace_complements_local_name(self):
+        uri = URIRef("http://example.org/ns#Player")
+        assert uri.namespace + uri.local_name == str(uri)
+
+    def test_n3_form(self):
+        assert URIRef("http://e.org/x").n3() == "<http://e.org/x>"
+
+    def test_usable_as_dict_key_interchangeably_with_str(self):
+        d = {URIRef("http://e.org/x"): 1}
+        assert d["http://e.org/x"] == 1
+
+
+class TestBNode:
+    def test_label(self):
+        assert BNode("b1") == "b1"
+
+    def test_n3_form(self):
+        assert BNode("b1").n3() == "_:b1"
+
+    def test_rejects_whitespace(self):
+        with pytest.raises(TermError):
+            BNode("a b")
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            BNode("")
+
+    def test_minting_is_sequential(self):
+        reset_bnode_counter()
+        first, second = bnode(), bnode()
+        assert first == "b1"
+        assert second == "b2"
+
+    def test_minting_with_prefix(self):
+        reset_bnode_counter()
+        assert bnode("tmp") == "tmp1"
+
+
+class TestVariable:
+    def test_strips_question_mark(self):
+        assert Variable("?player") == "player"
+
+    def test_plain_name(self):
+        assert Variable("player") == "player"
+
+    def test_n3_form(self):
+        assert Variable("x").n3() == "?x"
+
+    def test_rejects_empty(self):
+        with pytest.raises(TermError):
+            Variable("?")
+
+
+class TestLiteral:
+    def test_plain_string(self):
+        lit = Literal("hello")
+        assert lit.lexical == "hello"
+        assert lit.datatype is None
+        assert lit.to_python() == "hello"
+
+    def test_integer_gets_datatype(self):
+        lit = Literal(42)
+        assert lit.datatype == XSD_INTEGER
+        assert lit.to_python() == 42
+
+    def test_float_gets_datatype(self):
+        lit = Literal(2.5)
+        assert lit.datatype == XSD_DOUBLE
+        assert lit.to_python() == 2.5
+
+    def test_boolean_gets_datatype(self):
+        lit = Literal(True)
+        assert lit.datatype == XSD_BOOLEAN
+        assert lit.lexical == "true"
+        assert lit.to_python() is True
+
+    def test_term_equality_not_value_equality(self):
+        assert Literal(1) != Literal("1")
+
+    def test_language_literal(self):
+        lit = Literal("gol", language="tr")
+        assert lit.language == "tr"
+        assert lit.n3() == '"gol"@tr'
+
+    def test_datatype_and_language_conflict(self):
+        with pytest.raises(TermError):
+            Literal("x", datatype=XSD_INTEGER, language="en")
+
+    def test_immutable(self):
+        lit = Literal("x")
+        with pytest.raises(AttributeError):
+            lit.lexical = "y"
+
+    def test_n3_escapes_quotes_and_newlines(self):
+        assert Literal('say "hi"\n').n3() == '"say \\"hi\\"\\n"'
+
+    def test_n3_typed(self):
+        assert Literal(7).n3() == f'"7"^^<{XSD_INTEGER}>'
+
+    def test_hashable_and_equal(self):
+        assert hash(Literal("a")) == hash(Literal("a"))
+        assert Literal("a") == Literal("a")
+
+    def test_numeric_ordering(self):
+        assert Literal(2) < Literal(10)
+
+    def test_lexical_ordering_fallback(self):
+        assert Literal("apple") < Literal("banana")
+
+    @given(st.integers())
+    def test_integer_roundtrip(self, value):
+        assert Literal(value).to_python() == value
+
+    @given(st.text(max_size=50))
+    def test_string_lexical_preserved(self, value):
+        assert Literal(value).lexical == value

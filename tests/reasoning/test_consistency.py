@@ -1,0 +1,124 @@
+"""Tests for the consistency checker (§3.5)."""
+
+import pytest
+
+from repro.errors import ConsistencyError
+from repro.ontology import Individual, OntologyBuilder
+from repro.rdf import Literal, Namespace
+from repro.reasoning import ConsistencyChecker, check_consistency
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def onto():
+    b = OntologyBuilder(EX)
+    agent = b.klass("Agent")
+    person = b.klass("Person", agent)
+    team = b.klass("Team", agent)
+    player = b.klass("Player", person)
+    keeper = b.klass("Goalkeeper", player)
+    forward = b.klass("ForwardPlayer", player)
+    match = b.klass("Match")
+    b.disjoint(person, team)
+    b.disjoint(keeper, forward)
+    b.object_property("hasGoalkeeper", domain=team, range=keeper)
+    b.object_property("homeTeam", domain=match, range=team,
+                      functional=True)
+    b.data_property("name", domain=agent)
+    b.max_cardinality(team, "hasGoalkeeper", 1)
+    b.cardinality(match, "homeTeam", 1)
+    return b.build()
+
+
+def _check(onto, *individuals):
+    abox = onto.spawn_abox("test")
+    for individual in individuals:
+        abox.add_individual(individual)
+    return check_consistency(abox, onto)
+
+
+class TestDisjointness:
+    def test_direct_violation(self, onto):
+        violations = _check(onto, Individual(EX.x, {EX.Person, EX.Team}))
+        assert any(v.kind == "disjoint" for v in violations)
+
+    def test_inherited_violation(self, onto):
+        # Player ⊑ Person, so Player ∩ Team is also inconsistent
+        violations = _check(onto, Individual(EX.x, {EX.Player, EX.Team}))
+        assert any(v.kind == "disjoint" for v in violations)
+
+    def test_clean(self, onto):
+        assert _check(onto, Individual(EX.x, {EX.Player})) == []
+
+
+class TestFunctional:
+    def test_two_values_flagged(self, onto):
+        match = Individual(EX.m, {EX.Match})
+        match.add(EX.homeTeam, EX.a)
+        match.add(EX.homeTeam, EX.b)
+        violations = _check(onto, match,
+                            Individual(EX.a, {EX.Team}),
+                            Individual(EX.b, {EX.Team}))
+        kinds = {v.kind for v in violations}
+        assert "functional" in kinds
+
+    def test_single_value_ok(self, onto):
+        match = Individual(EX.m, {EX.Match})
+        match.add(EX.homeTeam, EX.a)
+        violations = _check(onto, match, Individual(EX.a, {EX.Team}))
+        assert violations == []
+
+
+class TestCardinality:
+    def test_max_cardinality_violated(self, onto):
+        team = Individual(EX.t, {EX.Team})
+        team.add(EX.hasGoalkeeper, EX.gk1)
+        team.add(EX.hasGoalkeeper, EX.gk2)
+        violations = _check(onto, team,
+                            Individual(EX.gk1, {EX.Goalkeeper}),
+                            Individual(EX.gk2, {EX.Goalkeeper}))
+        assert any(v.kind == "maxCardinality" for v in violations)
+
+    def test_exact_cardinality_missing_value(self, onto):
+        violations = _check(onto, Individual(EX.m, {EX.Match}))
+        assert any(v.kind == "cardinality" for v in violations)
+
+
+class TestValueConstraints:
+    def test_all_values_from_wrong_filler(self, onto):
+        """Only goalkeepers allowed in the goalkeeping position."""
+        team = Individual(EX.t, {EX.Team})
+        team.add(EX.hasGoalkeeper, EX.striker)
+        violations = _check(onto, team,
+                            Individual(EX.striker, {EX.ForwardPlayer}))
+        kinds = {v.kind for v in violations}
+        assert "allValuesFrom" in kinds or "range" in kinds
+
+    def test_range_violation_with_literal(self, onto):
+        team = Individual(EX.t, {EX.Team})
+        team.add(EX.hasGoalkeeper, Literal("not a player"))
+        violations = _check(onto, team)
+        assert any(v.kind == "range" for v in violations)
+
+    def test_untyped_value_not_flagged(self, onto):
+        # a value with no asserted types cannot be proven wrong
+        team = Individual(EX.t, {EX.Team})
+        team.add(EX.hasGoalkeeper, EX.unknown_person)
+        abox = onto.spawn_abox("t")
+        abox.add_individual(team)
+        assert check_consistency(abox, onto) == []
+
+
+class TestRaising:
+    def test_raise_on_error(self, onto):
+        abox = onto.spawn_abox("t")
+        abox.add_individual(Individual(EX.x, {EX.Person, EX.Team}))
+        with pytest.raises(ConsistencyError):
+            ConsistencyChecker(onto).check(abox, raise_on_error=True)
+
+    def test_violation_str_is_informative(self, onto):
+        violations = _check(onto, Individual(EX.x, {EX.Person, EX.Team}))
+        text = str(violations[0])
+        assert "disjoint" in text
+        assert "x" in text

@@ -1,0 +1,164 @@
+"""Property-based tests on reasoning invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ontology import Individual, OntClass, Ontology
+from repro.rdf import RDF, Graph, Namespace
+from repro.reasoning import Realizer, Taxonomy, realize
+from repro.reasoning.rules import RuleEngine, parse_rules
+from repro.rdf.namespace import NamespaceManager
+
+EX = Namespace("http://example.org/ns#")
+
+_CLASS_NAMES = [f"C{i}" for i in range(8)]
+
+
+@st.composite
+def class_dags(draw):
+    """A random acyclic subclass hierarchy over 8 classes.
+
+    Acyclicity by construction: class i may only have parents with a
+    smaller index.
+    """
+    edges = {}
+    for index, name in enumerate(_CLASS_NAMES):
+        candidates = _CLASS_NAMES[:index]
+        parents = draw(st.sets(st.sampled_from(candidates))
+                       if candidates else st.just(set()))
+        edges[name] = parents
+    return edges
+
+
+def _build_ontology(edges) -> Ontology:
+    onto = Ontology()
+    for name, parents in edges.items():
+        onto.add_class(OntClass(EX.term(name),
+                                parents={EX.term(p) for p in parents}))
+    return onto
+
+
+class TestTaxonomyProperties:
+    @given(class_dags())
+    @settings(max_examples=50)
+    def test_closure_is_transitive(self, edges):
+        taxonomy = Taxonomy(_build_ontology(edges))
+        for name in _CLASS_NAMES:
+            uri = EX.term(name)
+            for parent in taxonomy.superclasses(uri):
+                # every ancestor of my ancestor is my ancestor
+                assert taxonomy.superclasses(parent) \
+                    <= taxonomy.superclasses(uri)
+
+    @given(class_dags())
+    @settings(max_examples=50)
+    def test_sub_and_super_are_inverse(self, edges):
+        taxonomy = Taxonomy(_build_ontology(edges))
+        for name in _CLASS_NAMES:
+            uri = EX.term(name)
+            for ancestor in taxonomy.superclasses(uri):
+                assert uri in taxonomy.subclasses(ancestor)
+
+    @given(class_dags())
+    @settings(max_examples=50)
+    def test_no_class_is_its_own_strict_ancestor(self, edges):
+        taxonomy = Taxonomy(_build_ontology(edges))
+        for name in _CLASS_NAMES:
+            uri = EX.term(name)
+            assert uri not in taxonomy.superclasses(uri)
+
+
+class TestRealizationProperties:
+    @given(class_dags(),
+           st.lists(st.sampled_from(_CLASS_NAMES), min_size=1,
+                    max_size=4, unique=True))
+    @settings(max_examples=50)
+    def test_realization_matches_taxonomy_closure(self, edges,
+                                                  asserted):
+        onto = _build_ontology(edges)
+        taxonomy = Taxonomy(onto)
+        abox = onto.spawn_abox("t")
+        individual = Individual(EX.x,
+                                {EX.term(name) for name in asserted})
+        abox.add_individual(individual)
+        realize(abox, onto, taxonomy)
+        expected = set()
+        for name in asserted:
+            expected |= taxonomy.superclasses(EX.term(name),
+                                              include_self=True)
+        assert individual.types == expected
+
+    @given(class_dags(),
+           st.lists(st.sampled_from(_CLASS_NAMES), min_size=1,
+                    max_size=4, unique=True))
+    @settings(max_examples=30)
+    def test_realization_idempotent(self, edges, asserted):
+        onto = _build_ontology(edges)
+        abox = onto.spawn_abox("t")
+        abox.add_individual(
+            Individual(EX.x, {EX.term(name) for name in asserted}))
+        realize(abox, onto)
+        assert realize(abox, onto) == 0
+
+
+def _ns() -> NamespaceManager:
+    manager = NamespaceManager()
+    manager.bind("ex", EX)
+    return manager
+
+
+class TestRuleEngineProperties:
+    RULES = parse_rules(
+        "[up: (?x ex:linked ?y) -> (?y ex:reachable ?x)]\n"
+        "[close: (?x ex:reachable ?y) (?y ex:reachable ?z) "
+        "-> (?x ex:reachable ?z)]", _ns())
+
+    @st.composite
+    @staticmethod
+    def link_graphs(draw):
+        nodes = "abcdef"
+        edge_list = draw(st.lists(
+            st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+            max_size=10))
+        g = Graph()
+        for source, target in edge_list:
+            g.add((EX.term(source), EX.linked, EX.term(target)))
+        return g
+
+    @given(link_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_input(self, graph):
+        """Conclusions over a subgraph are a subset of conclusions
+        over the full graph (forward chaining is monotone)."""
+        full = graph.copy()
+        RuleEngine(self.RULES).run(full)
+        # drop one input triple and re-run
+        triples = list(graph)
+        if not triples:
+            return
+        reduced_input = Graph(triples[1:])
+        reduced = reduced_input.copy()
+        RuleEngine(self.RULES).run(reduced)
+        inferred_full = {t for t in full
+                         if t[1] == EX.reachable}
+        inferred_reduced = {t for t in reduced
+                            if t[1] == EX.reachable}
+        assert inferred_reduced <= inferred_full
+
+    @given(link_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic(self, graph):
+        first = graph.copy()
+        second = graph.copy()
+        RuleEngine(self.RULES).run(first)
+        RuleEngine(self.RULES).run(second)
+        assert first == second
+
+    @given(link_graphs())
+    @settings(max_examples=40, deadline=None)
+    def test_rerun_is_noop(self, graph):
+        engine = RuleEngine(self.RULES)
+        working = graph.copy()
+        engine.run(working)
+        record = engine.run(working)
+        assert record.triples_added == 0

@@ -1,0 +1,190 @@
+"""Tests for the reasoner facade + the soccer rule base (§3.5)."""
+
+import pytest
+
+from repro.ontology import Individual, soccer_ontology
+from repro.rdf import RDF, SOCCER, Graph, Literal, URIRef
+from repro.reasoning import Reasoner, schema_rules
+from repro.reasoning.rules import RuleEngine, soccer_rules
+
+
+@pytest.fixture(scope="module")
+def onto():
+    return soccer_ontology()
+
+
+def _base_match(onto):
+    """A minimal match: two teams with keepers, one goal, one pass."""
+    abox = onto.spawn_abox("test-match")
+    match = Individual(SOCCER.term("m1"), {SOCCER.Match})
+    barca = Individual(SOCCER.term("Barca"), {SOCCER.Team})
+    chelsea = Individual(SOCCER.term("ChelseaFC"), {SOCCER.Team})
+    valdes = Individual(SOCCER.term("ValdesGK"), {SOCCER.Goalkeeper})
+    cech = Individual(SOCCER.term("CechGK"), {SOCCER.Goalkeeper})
+    messi = Individual(SOCCER.term("Messi10"), {SOCCER.RightWinger})
+    xavi = Individual(SOCCER.term("Xavi6"), {SOCCER.CentralMidfielder})
+    match.add(SOCCER.homeTeam, barca.uri)
+    match.add(SOCCER.awayTeam, chelsea.uri)
+    barca.add(SOCCER.hasGoalkeeper, valdes.uri)
+    chelsea.add(SOCCER.hasGoalkeeper, cech.uri)
+    for player, team in ((valdes, barca), (messi, barca), (xavi, barca),
+                         (cech, chelsea)):
+        player.add(SOCCER.playsFor, team.uri)
+    goal = Individual(SOCCER.term("g1"), {SOCCER.Goal})
+    goal.add(SOCCER.scorerPlayer, messi.uri)
+    goal.add(SOCCER.inMatch, match.uri)
+    goal.add(SOCCER.inMinute, Literal(10))
+    pass_ = Individual(SOCCER.term("p1"), {SOCCER.Pass})
+    pass_.add(SOCCER.passingPlayer, xavi.uri)
+    pass_.add(SOCCER.passReceiver, messi.uri)
+    pass_.add(SOCCER.inMatch, match.uri)
+    pass_.add(SOCCER.inMinute, Literal(10))
+    for individual in (match, barca, chelsea, valdes, cech, messi, xavi,
+                       goal, pass_):
+        abox.add_individual(individual)
+    return abox
+
+
+@pytest.fixture(scope="module")
+def inferred(onto):
+    reasoner = Reasoner(onto, soccer_rules())
+    return reasoner.infer(_base_match(onto))
+
+
+class TestSchemaRules:
+    def test_rule_count_matches_schema_size(self, onto):
+        rules = schema_rules(onto)
+        # at least one rule per subclass link + per property with
+        # parents/domain/range
+        assert len(rules) > 150
+
+    def test_subclass_rule_works(self, onto):
+        engine = RuleEngine(schema_rules(onto))
+        g = Graph([(SOCCER.term("x"), RDF.type, SOCCER.LongPass)])
+        engine.run(g)
+        assert (SOCCER.term("x"), RDF.type, SOCCER.Pass) in g
+        assert (SOCCER.term("x"), RDF.type, SOCCER.Event) in g
+
+
+class TestAssistInference:
+    """The Fig. 6 rule in context."""
+
+    def test_assist_created(self, inferred):
+        assists = list(inferred.abox.individuals(SOCCER.Assist))
+        assert len(assists) == 1
+
+    def test_assist_carries_roles(self, inferred):
+        [assist] = list(inferred.abox.individuals(SOCCER.Assist))
+        passers = assist.get(SOCCER.passingPlayer)
+        receivers = assist.get(SOCCER.passReceiver)
+        assert any("Xavi" in str(p) for p in passers)
+        assert any("Messi" in str(r) for r in receivers)
+
+    def test_assist_links_goal(self, inferred):
+        [assist] = list(inferred.abox.individuals(SOCCER.Assist))
+        assert assist.get(SOCCER.assistedGoal)
+
+    def test_assist_classified_upward(self, inferred):
+        [assist] = list(inferred.abox.individuals(SOCCER.Assist))
+        assert SOCCER.PositiveEvent in assist.types
+        assert SOCCER.Event in assist.types
+
+
+class TestScoredToGoalkeeper:
+    """Q-6's machinery: which goal was scored past which keeper."""
+
+    def test_beaten_goalkeeper_inferred(self, inferred):
+        goal = inferred.abox.individual(SOCCER.term("g1"))
+        beaten = goal.get(SOCCER.beatenGoalkeeper)
+        assert [str(b) for b in beaten] == [str(SOCCER.term("CechGK"))]
+
+    def test_conceding_team_inferred(self, inferred):
+        goal = inferred.abox.individual(SOCCER.term("g1"))
+        assert goal.get(SOCCER.concedingTeam) \
+            == [SOCCER.term("ChelseaFC")]
+
+    def test_beaten_goalkeeper_is_object_player(self, inferred):
+        # beatenGoalkeeper ⊑ objectPlayer: the generic role is closed
+        goal = inferred.abox.individual(SOCCER.term("g1"))
+        assert SOCCER.term("CechGK") in goal.get(SOCCER.objectPlayer)
+
+
+class TestOwnGoalAttribution:
+    """Own goals invert team credit: the scorer's own side concedes."""
+
+    @pytest.fixture(scope="class")
+    def own_goal_inferred(self, onto):
+        reasoner = Reasoner(onto, soccer_rules())
+        abox = _base_match(onto)
+        # Xavi (Barcelona) puts it into his own net in the same match
+        own = Individual(SOCCER.term("og1"), {SOCCER.OwnGoal})
+        own.add(SOCCER.scorerPlayer, SOCCER.term("Xavi6"))
+        own.add(SOCCER.inMatch, SOCCER.term("m1"))
+        own.add(SOCCER.inMinute, Literal(70))
+        abox.add_individual(own)
+        return reasoner.infer(abox)
+
+    def test_conceding_team_is_scorers_team(self, own_goal_inferred):
+        own = own_goal_inferred.abox.individual(SOCCER.term("og1"))
+        assert own.get(SOCCER.concedingTeam) == [SOCCER.term("Barca")]
+
+    def test_scoring_team_is_opponent(self, own_goal_inferred):
+        own = own_goal_inferred.abox.individual(SOCCER.term("og1"))
+        assert own.get(SOCCER.scoringTeam) == [SOCCER.term("ChelseaFC")]
+
+    def test_beaten_goalkeeper_is_own_keeper(self, own_goal_inferred):
+        own = own_goal_inferred.abox.individual(SOCCER.term("og1"))
+        assert own.get(SOCCER.beatenGoalkeeper) \
+            == [SOCCER.term("ValdesGK")]
+
+    def test_regular_goal_unaffected(self, own_goal_inferred):
+        goal = own_goal_inferred.abox.individual(SOCCER.term("g1"))
+        assert goal.get(SOCCER.concedingTeam) \
+            == [SOCCER.term("ChelseaFC")]
+        assert goal.get(SOCCER.scoringTeam) == [SOCCER.term("Barca")]
+
+
+class TestTeamAttribution:
+    def test_subject_team_from_plays_for(self, inferred):
+        goal = inferred.abox.individual(SOCCER.term("g1"))
+        assert SOCCER.term("Barca") in goal.get(SOCCER.subjectTeam)
+
+    def test_scoring_team(self, inferred):
+        goal = inferred.abox.individual(SOCCER.term("g1"))
+        assert SOCCER.term("Barca") in goal.get(SOCCER.scoringTeam)
+
+
+class TestActorAssertions:
+    def test_actor_of_goal(self, inferred):
+        messi = inferred.abox.individual(SOCCER.term("Messi10"))
+        assert SOCCER.term("g1") in messi.get(SOCCER.actorOfGoal)
+
+    def test_actor_hierarchy_closed(self, inferred):
+        messi = inferred.abox.individual(SOCCER.term("Messi10"))
+        assert SOCCER.term("g1") in messi.get(SOCCER.actorOfPositiveMove)
+        assert SOCCER.term("g1") in messi.get(SOCCER.actorOfMove)
+
+
+class TestReasonerServices:
+    def test_classify(self, onto):
+        reasoner = Reasoner(onto)
+        supers = reasoner.classify(SOCCER.LongPass)
+        assert SOCCER.Pass in supers
+        assert SOCCER.Event in supers
+
+    def test_consistent_model(self, inferred):
+        assert inferred.consistent
+
+    def test_input_abox_not_mutated(self, onto):
+        reasoner = Reasoner(onto, soccer_rules())
+        abox = _base_match(onto)
+        before = abox.individual(SOCCER.term("g1")).properties.copy()
+        reasoner.infer(abox)
+        after = abox.individual(SOCCER.term("g1")).properties
+        assert set(before) == set(after)
+
+    def test_inference_is_deterministic(self, onto):
+        reasoner = Reasoner(onto, soccer_rules())
+        first = reasoner.infer(_base_match(onto))
+        second = reasoner.infer(_base_match(onto))
+        assert first.graph == second.graph

@@ -1,0 +1,200 @@
+"""Tests for the rule parser, builtins and forward-chaining engine."""
+
+import pytest
+
+from repro.errors import ParseError, RuleError
+from repro.rdf import RDF, Graph, Literal, Namespace, NamespaceManager
+from repro.reasoning.rules import (ASSIST_RULE_TEXT, BuiltinCall, Rule,
+                                   RuleEngine, TriplePattern, parse_rule,
+                                   parse_rules, soccer_namespaces)
+from repro.reasoning.rules.ast import RuleTerm
+from repro.rdf.term import Variable
+
+EX = Namespace("http://example.org/ns#")
+
+
+def _ns() -> NamespaceManager:
+    manager = NamespaceManager()
+    manager.bind("ex", EX)
+    return manager
+
+
+class TestParser:
+    def test_simple_rule(self):
+        rule = parse_rule(
+            "[r1: (?x rdf:type ex:Goal) -> (?x rdf:type ex:Event)]",
+            _ns())
+        assert rule.name == "r1"
+        assert len(rule.body) == 1
+        assert len(rule.head) == 1
+        assert rule.body[0].predicate == RDF.type
+
+    def test_builtin_call(self):
+        rule = parse_rule(
+            "[r: noValue(?x rdf:type ex:Assist) (?x rdf:type ex:Pass) "
+            "-> (?x ex:flag ex:yes)]", _ns())
+        assert isinstance(rule.body[0], BuiltinCall)
+        assert rule.body[0].name == "noValue"
+        assert len(rule.body[0].args) == 3
+
+    def test_multiple_rules(self):
+        rules = parse_rules(
+            "[a: (?x ex:p ?y) -> (?y ex:q ?x)]\n"
+            "[b: (?x ex:p ?y) -> (?x ex:r ?y)]", _ns())
+        assert [r.name for r in rules] == ["a", "b"]
+
+    def test_comments_allowed(self):
+        rules = parse_rules(
+            "# a comment\n[a: (?x ex:p ?y) -> (?y ex:q ?x)]", _ns())
+        assert len(rules) == 1
+
+    def test_literals_in_rules(self):
+        rule = parse_rule(
+            '[r: (?x ex:minute 10) (?x ex:note "hot") '
+            "-> (?x ex:flag 1)]", _ns())
+        assert rule.body[0].obj == Literal(10)
+        assert rule.body[1].obj == Literal("hot")
+
+    def test_full_iri_terms(self):
+        rule = parse_rule(
+            "[r: (?x <http://e.org/p> ?y) -> (?y <http://e.org/q> ?x)]")
+        assert str(rule.body[0].predicate) == "http://e.org/p"
+
+    def test_assist_rule_parses_verbatim(self):
+        """Fig. 6 is executable as printed."""
+        rule = parse_rule(ASSIST_RULE_TEXT, soccer_namespaces())
+        assert rule.name == "assistRule"
+        builtin_names = [a.name for a in rule.body
+                         if isinstance(a, BuiltinCall)]
+        assert builtin_names == ["noValue", "makeTemp"]
+        assert len(rule.head) == 6
+
+    @pytest.mark.parametrize("bad", [
+        "[r: (?x ex:p ?y) -> ]",                    # empty head
+        "[r: (?x ex:p ?y) (?y ex:q ?x)]",           # no arrow
+        "[r: (?x ex:p) -> (?x ex:q ?y)]",           # 2-term triple
+        "[r (?x ex:p ?y) -> (?x ex:q ?y)]",         # missing colon
+        "[r: (?x ex:p ?y) -> (?x ex:q ?y)",         # missing bracket
+        "[r: (?x bareword ?y) -> (?x ex:q ?y)]",    # bare name term
+    ])
+    def test_malformed_rules_raise(self, bad):
+        with pytest.raises(ParseError):
+            parse_rules(bad, _ns())
+
+
+class TestEngine:
+    def test_simple_derivation(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) -> (?x rdf:type ex:Event)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal)])
+        record = RuleEngine(rules).run(g)
+        assert (EX.g1, RDF.type, EX.Event) in g
+        assert record.triples_added == 1
+
+    def test_chained_derivation_reaches_fixpoint(self):
+        rules = parse_rules(
+            "[a: (?x rdf:type ex:A) -> (?x rdf:type ex:B)]\n"
+            "[b: (?x rdf:type ex:B) -> (?x rdf:type ex:C)]", _ns())
+        g = Graph([(EX.x, RDF.type, EX.A)])
+        RuleEngine(rules).run(g)
+        assert (EX.x, RDF.type, EX.C) in g
+
+    def test_join_across_patterns(self):
+        rules = parse_rules(
+            "[r: (?e ex:subject ?p) (?p ex:playsFor ?t) "
+            "-> (?e ex:team ?t)]", _ns())
+        g = Graph([(EX.e1, EX.subject, EX.messi),
+                   (EX.messi, EX.playsFor, EX.barca),
+                   (EX.e2, EX.subject, EX.kaka)])
+        RuleEngine(rules).run(g)
+        assert (EX.e1, EX.team, EX.barca) in g
+        assert not list(g.triples((EX.e2, EX.team, None)))
+
+    def test_no_value_guard(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) noValue(?x ex:checked ?v) "
+            "-> (?x ex:checked ex:yes)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal),
+                   (EX.g2, RDF.type, EX.Goal),
+                   (EX.g2, EX.checked, EX.no)])
+        RuleEngine(rules).run(g)
+        assert (EX.g1, EX.checked, EX.yes) in g
+        assert (EX.g2, EX.checked, EX.yes) not in g
+
+    def test_make_temp_deterministic(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) makeTemp(?t) "
+            "-> (?t ex:derivedFrom ?x)]", _ns())
+        g1 = Graph([(EX.g1, RDF.type, EX.Goal)])
+        g2 = Graph([(EX.g1, RDF.type, EX.Goal)])
+        RuleEngine(rules).run(g1)
+        RuleEngine(rules).run(g2)
+        assert g1 == g2         # identical temp labels across runs
+
+    def test_make_temp_reaches_fixpoint_without_guard(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) makeTemp(?t) "
+            "-> (?t rdf:type ex:Marker) (?t ex:derivedFrom ?x)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal)])
+        record = RuleEngine(rules).run(g)
+        markers = list(g.subjects(RDF.type, EX.Marker))
+        assert len(markers) == 1
+        assert record.iterations <= 3
+
+    def test_equal_not_equal(self):
+        rules = parse_rules(
+            "[r: (?m ex:home ?h) (?m ex:away ?a) (?g ex:team ?t) "
+            "equal(?t ?h) -> (?g ex:conceding ?a)]", _ns())
+        g = Graph([(EX.m, EX.home, EX.barca),
+                   (EX.m, EX.away, EX.chelsea),
+                   (EX.goal, EX.team, EX.barca)])
+        RuleEngine(rules).run(g)
+        assert (EX.goal, EX.conceding, EX.chelsea) in g
+
+    def test_less_than(self):
+        rules = parse_rules(
+            "[r: (?x ex:minute ?m) lessThan(?m 46) "
+            "-> (?x ex:half 1)]", _ns())
+        g = Graph([(EX.a, EX.minute, Literal(30)),
+                   (EX.b, EX.minute, Literal(80))])
+        RuleEngine(rules).run(g)
+        assert (EX.a, EX.half, Literal(1)) in g
+        assert not list(g.triples((EX.b, EX.half, None)))
+
+    def test_unknown_builtin_raises(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) frobnicate(?x) "
+            "-> (?x ex:flag 1)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal)])
+        with pytest.raises(RuleError):
+            RuleEngine(rules).run(g)
+
+    def test_unbindable_head_variable_rejected_at_construction(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) -> (?x ex:p ?never)]", _ns())
+        with pytest.raises(RuleError):
+            RuleEngine(rules)
+
+    def test_firing_statistics(self):
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) -> (?x rdf:type ex:Event)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal),
+                   (EX.g2, RDF.type, EX.Goal)])
+        record = RuleEngine(rules).run(g)
+        assert record.triples_added == 2
+        assert record.firings_per_rule.get("r") == 1
+
+    def test_runaway_rule_detected(self):
+        # a genuinely unbounded generator: each pass adds a new link
+        rules = [Rule(
+            name="runaway",
+            body=[TriplePattern(Variable("x"), EX.next, Variable("y"))],
+            head=[TriplePattern(Variable("y"), EX.next, Variable("y"))],
+        )]
+        # y next y is idempotent; craft a truly growing one instead:
+        rules = parse_rules(
+            "[grow: (?x ex:next ?y) makeTemp(?t) -> (?y ex:next ?t)]",
+            _ns())
+        g = Graph([(EX.a, EX.next, EX.b)])
+        with pytest.raises(RuleError):
+            RuleEngine(rules, max_iterations=10).run(g)

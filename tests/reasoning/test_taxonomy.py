@@ -1,0 +1,82 @@
+"""Tests for classification (taxonomy closure)."""
+
+import pytest
+
+from repro.errors import OntologyError
+from repro.ontology import OntologyBuilder, soccer_ontology
+from repro.rdf import SOCCER, Namespace
+from repro.reasoning import Taxonomy
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def diamond():
+    """A diamond-shaped hierarchy: D ⊑ B, C; B, C ⊑ A."""
+    b = OntologyBuilder(EX)
+    a = b.klass("A")
+    bb = b.klass("B", a)
+    cc = b.klass("C", a)
+    b.klass("D", bb, cc)
+    return Taxonomy(b.build())
+
+
+class TestClassClosure:
+    def test_transitive_superclasses(self, diamond):
+        assert diamond.superclasses(EX.D) == {EX.A, EX.B, EX.C}
+
+    def test_include_self(self, diamond):
+        assert EX.D in diamond.superclasses(EX.D, include_self=True)
+
+    def test_subclasses(self, diamond):
+        assert diamond.subclasses(EX.A) == {EX.B, EX.C, EX.D}
+
+    def test_is_subclass_reflexive(self, diamond):
+        assert diamond.is_subclass_of(EX.A, EX.A)
+
+    def test_is_subclass_not_symmetric(self, diamond):
+        assert diamond.is_subclass_of(EX.D, EX.A)
+        assert not diamond.is_subclass_of(EX.A, EX.D)
+
+    def test_root_has_no_superclasses(self, diamond):
+        assert diamond.superclasses(EX.A) == set()
+
+    def test_cycle_detected(self):
+        b = OntologyBuilder(EX)
+        a = b.klass("A")
+        bb = b.klass("B", a)
+        # introduce a cycle manually
+        b.ontology.get_class(a.uri).parents.add(bb.uri)
+        with pytest.raises(OntologyError):
+            Taxonomy(b.ontology)
+
+
+class TestPropertyClosure:
+    def test_superproperties(self):
+        b = OntologyBuilder(EX)
+        b.klass("Thing")
+        top = b.object_property("top")
+        mid = b.object_property("mid", parents=[top])
+        b.object_property("leaf", parents=[mid])
+        taxonomy = Taxonomy(b.build())
+        assert taxonomy.superproperties(EX.leaf) == {EX.mid, EX.top}
+        assert taxonomy.subproperties(EX.top) == {EX.mid, EX.leaf}
+        assert taxonomy.is_subproperty_of(EX.leaf, EX.top)
+        assert not taxonomy.is_subproperty_of(EX.top, EX.leaf)
+
+
+class TestLineage:
+    """Fig. 5: the inferred class hierarchy of 'Long Pass'."""
+
+    def test_long_pass_lineage(self):
+        taxonomy = Taxonomy(soccer_ontology())
+        lineage = taxonomy.lineage(SOCCER.LongPass)
+        assert lineage[0] == SOCCER.LongPass
+        assert SOCCER.Pass in lineage
+        assert SOCCER.BallEvent in lineage
+        assert lineage[-1] == SOCCER.Event
+
+    def test_lineage_deterministic(self, diamond):
+        assert diamond.lineage(EX.D) == diamond.lineage(EX.D)
+        # first parent alphabetically: B
+        assert diamond.lineage(EX.D) == [EX.D, EX.B, EX.A]

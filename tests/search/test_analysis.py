@@ -1,0 +1,185 @@
+"""Tests for tokenization, filters, stemming and analyzers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.search.analysis import (ASCIIFoldingFilter, ENGLISH_STOPWORDS,
+                                   KeywordAnalyzer, KeywordTokenizer,
+                                   LowercaseFilter, PorterStemmer,
+                                   RegexTokenizer, SimpleAnalyzer,
+                                   StandardAnalyzer, StemFilter,
+                                   StopFilter, SynonymFilter, Token,
+                                   WhitespaceTokenizer,
+                                   analyzer_with_synonyms, stem)
+
+
+class TestTokenizers:
+    def test_regex_tokenizer_positions_and_offsets(self):
+        tokens = RegexTokenizer().tokenize("Messi scores a goal")
+        assert [t.text for t in tokens] == ["Messi", "scores", "a", "goal"]
+        assert [t.position for t in tokens] == [0, 1, 2, 3]
+        assert tokens[0].start == 0 and tokens[0].end == 5
+
+    def test_apostrophes_kept_in_words(self):
+        tokens = RegexTokenizer().tokenize("Eto'o scores")
+        assert tokens[0].text == "Eto'o"
+
+    def test_punctuation_split(self):
+        tokens = RegexTokenizer().tokenize("Goal! 1-0, surely?")
+        assert [t.text for t in tokens] == ["Goal", "1", "0", "surely"]
+
+    def test_whitespace_tokenizer(self):
+        tokens = WhitespaceTokenizer().tokenize("a-b c")
+        assert [t.text for t in tokens] == ["a-b", "c"]
+
+    def test_keyword_tokenizer(self):
+        tokens = KeywordTokenizer().tokenize("Exact Value Here")
+        assert len(tokens) == 1
+        assert tokens[0].text == "Exact Value Here"
+
+    def test_keyword_tokenizer_empty(self):
+        assert KeywordTokenizer().tokenize("") == []
+
+
+class TestStemmer:
+    @pytest.mark.parametrize("word,expected", [
+        ("caresses", "caress"),
+        ("ponies", "poni"),
+        ("cats", "cat"),
+        ("feed", "feed"),
+        ("agreed", "agre"),
+        ("plastered", "plaster"),
+        ("motoring", "motor"),
+        ("sing", "sing"),
+        ("conflated", "conflat"),
+        ("troubling", "troubl"),
+        ("sized", "size"),
+        ("hopping", "hop"),
+        ("falling", "fall"),
+        ("hissing", "hiss"),
+        ("failing", "fail"),
+        ("filing", "file"),
+        ("happy", "happi"),
+        ("relational", "relat"),
+        ("conditional", "condit"),
+        ("rational", "ration"),
+        ("valenci", "valenc"),
+        ("digitizer", "digit"),
+        ("operator", "oper"),
+        ("feudalism", "feudal"),
+        ("decisiveness", "decis"),
+        ("hopefulness", "hope"),
+        ("formality", "formal"),
+        ("sensitivity", "sensit"),
+        ("triplicate", "triplic"),
+        ("formative", "form"),
+        ("formalize", "formal"),
+        ("electricity", "electr"),
+        ("hopeful", "hope"),
+        ("goodness", "good"),
+        ("revival", "reviv"),
+        ("allowance", "allow"),
+        ("inference", "infer"),
+        ("airliner", "airlin"),
+        ("adjustable", "adjust"),
+        ("defensible", "defens"),
+        ("irritant", "irrit"),
+        ("replacement", "replac"),
+        ("adjustment", "adjust"),
+        ("dependent", "depend"),
+        ("adoption", "adopt"),
+        ("homologou", "homolog"),
+        ("communism", "commun"),
+        ("activate", "activ"),
+        ("effective", "effect"),
+        ("bowdlerize", "bowdler"),
+        ("probate", "probat"),
+        ("rate", "rate"),
+        ("cease", "ceas"),
+        ("controll", "control"),
+        ("roll", "roll"),
+    ])
+    def test_porter_reference_vocabulary(self, word, expected):
+        assert stem(word) == expected
+
+    def test_short_words_untouched(self):
+        assert stem("at") == "at"
+        assert stem("by") == "by"
+
+    def test_domain_words(self):
+        # the critical retrieval behaviour: "scores" and "score" unify
+        assert stem("scores") == stem("score")
+        assert stem("misses") == stem("miss")
+        assert stem("saves") == stem("save")
+        assert stem("moves") == stem("move")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    def test_never_grows_words(self, word):
+        assert len(stem(word)) <= len(word)
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1,
+                   max_size=15))
+    def test_idempotent_for_retrieval(self, word):
+        # stemming a stem may reduce further in rare cases, but must
+        # never crash and must stay a string
+        result = stem(word)
+        assert isinstance(result, str)
+
+
+class TestFilters:
+    def _tokens(self, *texts):
+        return [Token(t, i, 0, len(t)) for i, t in enumerate(texts)]
+
+    def test_lowercase(self):
+        out = LowercaseFilter().apply(self._tokens("Messi", "SCORES"))
+        assert [t.text for t in out] == ["messi", "scores"]
+
+    def test_stop_removes_but_keeps_positions(self):
+        out = StopFilter().apply(self._tokens("goal", "of", "messi"))
+        assert [t.text for t in out] == ["goal", "messi"]
+        assert [t.position for t in out] == [0, 2]
+
+    def test_default_stopwords(self):
+        assert "the" in ENGLISH_STOPWORDS
+        assert "goal" not in ENGLISH_STOPWORDS
+
+    def test_stem_filter(self):
+        out = StemFilter().apply(self._tokens("scores"))
+        assert out[0].text == "score"
+
+    def test_ascii_folding(self):
+        out = ASCIIFoldingFilter().apply(self._tokens("Vidić", "Özgür"))
+        assert [t.text for t in out] == ["Vidic", "Ozgur"]
+
+    def test_synonyms_share_position(self):
+        synonyms = SynonymFilter({"goal": ["gol"]})
+        out = synonyms.apply(self._tokens("goal", "kick"))
+        assert [(t.text, t.position) for t in out] \
+            == [("goal", 0), ("gol", 0), ("kick", 1)]
+
+
+class TestAnalyzers:
+    def test_standard_full_chain(self):
+        terms = StandardAnalyzer().terms("The Goalkeeper SAVES brilliantly!")
+        assert "save" in terms
+        assert "the" not in terms
+
+    def test_standard_without_stemming(self):
+        terms = StandardAnalyzer(stem=False).terms("saves")
+        assert terms == ["saves"]
+
+    def test_simple_keeps_stopwords(self):
+        terms = SimpleAnalyzer().terms("goal of the season")
+        assert terms == ["goal", "of", "the", "season"]
+
+    def test_keyword_single_token(self):
+        terms = KeywordAnalyzer().terms("Yellow Card")
+        assert terms == ["yellow card"]
+
+    def test_synonym_extension(self):
+        base = SimpleAnalyzer()
+        extended = analyzer_with_synonyms(base, {"goal": ["gol"]})
+        assert extended.terms("goal") == ["goal", "gol"]
+        # the base analyzer is unchanged
+        assert base.terms("goal") == ["goal"]

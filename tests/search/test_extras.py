@@ -1,0 +1,154 @@
+"""Tests for range/fuzzy queries and highlighting."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.search import (Document, Field, IndexSearcher, IndexWriter,
+                          InvertedIndex, SimpleAnalyzer,
+                          StandardAnalyzer, TermQuery, BooleanQuery,
+                          PhraseQuery, Occur)
+from repro.search.highlight import Highlighter, collect_terms
+from repro.search.query.extras import (FuzzyQuery, RangeQuery,
+                                       edit_distance)
+
+
+@pytest.fixture
+def searcher():
+    idx = InvertedIndex()
+    writer = IndexWriter(idx, SimpleAnalyzer())
+    rows = [
+        ("messi scores late", "88"),
+        ("early strike by torres", "5"),
+        ("halftime approaches", "44"),
+        ("ronaldo equalises", "60"),
+    ]
+    for body, minute in rows:
+        writer.add_document(Document([Field("body", body),
+                                      Field("minute", minute)]))
+    return IndexSearcher(idx)
+
+
+class TestRangeQuery:
+    def test_closed_range(self, searcher):
+        top = searcher.search(RangeQuery("minute", 40, 70))
+        assert set(top.doc_ids()) == {2, 3}
+
+    def test_open_low(self, searcher):
+        top = searcher.search(RangeQuery("minute", None, 10))
+        assert top.doc_ids() == [1]
+
+    def test_open_high(self, searcher):
+        top = searcher.search(RangeQuery("minute", 80, None))
+        assert top.doc_ids() == [0]
+
+    def test_non_numeric_terms_skipped(self, searcher):
+        top = searcher.search(RangeQuery("body", 0, 100))
+        assert len(top) == 0
+
+    def test_combines_with_boolean(self, searcher):
+        query = (BooleanQuery()
+                 .add(TermQuery("body", "messi"), Occur.MUST)
+                 .add(RangeQuery("minute", 80, None), Occur.MUST))
+        assert searcher.search(query).doc_ids() == [0]
+
+    def test_no_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery("minute")
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(QueryError):
+            RangeQuery("minute", 50, 10)
+
+
+class TestEditDistance:
+    @pytest.mark.parametrize("a,b,expected", [
+        ("messi", "messi", 0),
+        ("messi", "mesi", 1),       # deletion
+        ("messi", "messsi", 1),     # insertion
+        ("messi", "massi", 1),      # substitution
+        ("messi", "mesis", 1),      # transposition of the final "si"
+        ("abcd", "abdc", 1),        # transposition
+        ("kitten", "sitting", 3),
+    ])
+    def test_distances(self, a, b, expected):
+        assert edit_distance(a, b, 5) == expected
+
+    def test_cutoff_short_circuits(self):
+        assert edit_distance("abcdefgh", "zyxwvuts", 2) == 3
+
+    def test_length_gap_short_circuits(self):
+        assert edit_distance("ab", "abcdefgh", 2) == 3
+
+
+class TestFuzzyQuery:
+    def test_typo_still_matches(self, searcher):
+        top = searcher.search(FuzzyQuery("body", "mesi", max_edits=1))
+        assert top.doc_ids() == [0]
+
+    def test_exact_match_outranks_fuzzy(self):
+        idx = InvertedIndex()
+        writer = IndexWriter(idx, SimpleAnalyzer())
+        writer.add_document(Document([Field("body", "messi")]))
+        writer.add_document(Document([Field("body", "mesut")]))
+        searcher = IndexSearcher(idx)
+        top = searcher.search(FuzzyQuery("body", "messi", max_edits=2))
+        assert top.doc_ids()[0] == 0
+
+    def test_zero_edits_is_exact(self, searcher):
+        top = searcher.search(FuzzyQuery("body", "ronaldo", max_edits=0))
+        assert top.doc_ids() == [3]
+        assert len(searcher.search(
+            FuzzyQuery("body", "ronalto", max_edits=0))) == 0
+
+    def test_negative_edits_rejected(self):
+        with pytest.raises(QueryError):
+            FuzzyQuery("body", "x", max_edits=-1)
+
+
+class TestCollectTerms:
+    def test_walks_nested_queries(self):
+        query = (BooleanQuery()
+                 .add(TermQuery("a", "one"))
+                 .add(PhraseQuery("a", ["two", "three"])))
+        assert collect_terms(query) == {"one", "two", "three"}
+
+
+class TestHighlighter:
+    def test_highlights_stemmed_match(self):
+        highlighter = Highlighter(StandardAnalyzer())
+        out = highlighter.highlight_terms("Messi scores a goal!",
+                                          {"score"})
+        assert "**scores**" in out
+
+    def test_multiple_matches(self):
+        highlighter = Highlighter(StandardAnalyzer())
+        out = highlighter.highlight_terms("goal after goal", {"goal"})
+        assert out == "**goal** after **goal**"
+
+    def test_no_match_returns_original(self):
+        highlighter = Highlighter(StandardAnalyzer())
+        text = "nothing relevant here"
+        assert highlighter.highlight_terms(text, {"goal"}) == text
+
+    def test_custom_markers(self):
+        highlighter = Highlighter(StandardAnalyzer(), pre="<em>",
+                                  post="</em>")
+        out = highlighter.highlight_terms("a goal", {"goal"})
+        assert "<em>goal</em>" in out
+
+    def test_highlight_from_query(self):
+        highlighter = Highlighter(StandardAnalyzer())
+        query = TermQuery("body", "goal")
+        assert "**goal**" in highlighter.highlight("the goal stands",
+                                                   query)
+
+    def test_best_fragment_window(self):
+        highlighter = Highlighter(StandardAnalyzer())
+        text = ("a very long opening spell of possession football "
+                "eventually produces the goal the crowd wanted to see "
+                "after sustained pressure on the visitors")
+        fragment = highlighter.best_fragment(
+            text, TermQuery("body", "goal"), size=40)
+        assert "**goal**" in fragment
+        assert len(fragment) < len(text)
+        assert fragment.startswith("…")

@@ -1,0 +1,260 @@
+"""Tests for query types, the query parser and the searcher."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.search import (BM25Similarity, BooleanQuery, ClassicSimilarity,
+                          DisMaxQuery, Document, Field, IndexSearcher,
+                          IndexWriter, InvertedIndex, MatchAllQuery, Occur,
+                          PhraseQuery, PrefixQuery, QueryParser,
+                          SimpleAnalyzer, StandardAnalyzer, TermQuery)
+
+
+@pytest.fixture
+def searcher():
+    idx = InvertedIndex()
+    writer = IndexWriter(idx, SimpleAnalyzer())
+    corpus = [
+        "messi scores a great goal",            # 0
+        "cech saves the shot from messi",       # 1
+        "ballack fouls busquets badly",         # 2
+        "free kick taken quickly",              # 3
+        "yellow card for ballack",              # 4
+        "the goal was ruled out for offside",   # 5
+    ]
+    for text in corpus:
+        writer.add_document(Document([Field("body", text)]))
+    return IndexSearcher(idx)
+
+
+class TestTermQuery:
+    def test_matches(self, searcher):
+        top = searcher.search(TermQuery("body", "messi"))
+        assert set(top.doc_ids()) == {0, 1}
+
+    def test_missing_term(self, searcher):
+        assert len(searcher.search(TermQuery("body", "zidane"))) == 0
+
+    def test_rarer_terms_score_higher(self, searcher):
+        goal = searcher.search(TermQuery("body", "goal")).scored[0].score
+        foul = searcher.search(TermQuery("body", "fouls")).scored[0].score
+        # "fouls" appears once, "goal" twice → higher idf for fouls;
+        # same field lengths modulo normalization
+        assert foul > 0 and goal > 0
+
+    def test_boost_scales_score(self, searcher):
+        plain = searcher.search(TermQuery("body", "messi")).scored[0].score
+        boosted = searcher.search(
+            TermQuery("body", "messi", boost=3.0)).scored[0].score
+        assert boosted == pytest.approx(plain * 3.0)
+
+
+class TestPhraseQuery:
+    def test_exact_phrase(self, searcher):
+        top = searcher.search(PhraseQuery("body", ["free", "kick"]))
+        assert top.doc_ids() == [3]
+
+    def test_order_matters(self, searcher):
+        top = searcher.search(PhraseQuery("body", ["kick", "free"]))
+        assert len(top) == 0
+
+    def test_gap_blocks_exact_match(self, searcher):
+        top = searcher.search(PhraseQuery("body", ["messi", "goal"]))
+        assert len(top) == 0
+
+    def test_slop_allows_gap(self, searcher):
+        # "messi scores a great goal": messi..goal gap of 3
+        top = searcher.search(PhraseQuery("body", ["messi", "goal"],
+                                          slop=3))
+        assert top.doc_ids() == [0]
+
+    def test_single_term_phrase_degenerates(self, searcher):
+        top = searcher.search(PhraseQuery("body", ["messi"]))
+        assert set(top.doc_ids()) == {0, 1}
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(QueryError):
+            PhraseQuery("body", [])
+
+
+class TestPrefixQuery:
+    def test_prefix_matches_all_expansions(self, searcher):
+        top = searcher.search(PrefixQuery("body", "ba"))
+        assert set(top.doc_ids()) == {2, 4}   # ballack, badly
+
+    def test_no_match(self, searcher):
+        assert len(searcher.search(PrefixQuery("body", "zz"))) == 0
+
+
+class TestBooleanQuery:
+    def test_must_intersects(self, searcher):
+        query = (BooleanQuery()
+                 .add(TermQuery("body", "messi"), Occur.MUST)
+                 .add(TermQuery("body", "goal"), Occur.MUST))
+        assert searcher.search(query).doc_ids() == [0]
+
+    def test_should_unions(self, searcher):
+        query = (BooleanQuery()
+                 .add(TermQuery("body", "messi"))
+                 .add(TermQuery("body", "ballack")))
+        assert set(searcher.search(query).doc_ids()) == {0, 1, 2, 4}
+
+    def test_must_not_excludes(self, searcher):
+        query = (BooleanQuery()
+                 .add(TermQuery("body", "messi"), Occur.MUST)
+                 .add(TermQuery("body", "goal"), Occur.MUST_NOT))
+        assert searcher.search(query).doc_ids() == [1]
+
+    def test_coord_rewards_more_matches(self, searcher):
+        query = (BooleanQuery()
+                 .add(TermQuery("body", "messi"))
+                 .add(TermQuery("body", "goal")))
+        top = searcher.search(query)
+        assert top.doc_ids()[0] == 0    # matches both clauses
+
+    def test_only_must_not_matches_nothing(self, searcher):
+        query = BooleanQuery().add(TermQuery("body", "messi"),
+                                   Occur.MUST_NOT)
+        assert len(searcher.search(query)) == 0
+
+
+class TestDisMaxQuery:
+    def test_takes_best_field(self):
+        idx = InvertedIndex()
+        writer = IndexWriter(idx, SimpleAnalyzer())
+        writer.add_document(Document([Field("event", "goal", boost=6.0),
+                                      Field("body", "a goal here")]))
+        searcher = IndexSearcher(idx)
+        dismax = DisMaxQuery([TermQuery("event", "goal"),
+                              TermQuery("body", "goal")])
+        best = max(
+            searcher.search(TermQuery("event", "goal")).scored[0].score,
+            searcher.search(TermQuery("body", "goal")).scored[0].score)
+        assert searcher.search(dismax).scored[0].score \
+            == pytest.approx(best)
+
+    def test_tie_breaker_adds_fraction(self):
+        idx = InvertedIndex()
+        writer = IndexWriter(idx, SimpleAnalyzer())
+        writer.add_document(Document([Field("a", "x"), Field("b", "x")]))
+        searcher = IndexSearcher(idx)
+        score_a = searcher.search(TermQuery("a", "x")).scored[0].score
+        score_b = searcher.search(TermQuery("b", "x")).scored[0].score
+        combined = DisMaxQuery([TermQuery("a", "x"), TermQuery("b", "x")],
+                               tie_breaker=0.5)
+        expected = max(score_a, score_b) + 0.5 * min(score_a, score_b)
+        assert searcher.search(combined).scored[0].score \
+            == pytest.approx(expected)
+
+
+class TestMatchAll:
+    def test_matches_everything(self, searcher):
+        assert len(searcher.search(MatchAllQuery())) == 6
+
+
+class TestSearcher:
+    def test_limit(self, searcher):
+        top = searcher.search(MatchAllQuery(), limit=2)
+        assert len(top) == 2
+        assert top.total_hits == 6
+
+    def test_deterministic_tie_break_by_doc_id(self, searcher):
+        top = searcher.search(MatchAllQuery())
+        assert top.doc_ids() == sorted(top.doc_ids())
+
+    def test_document_retrieval(self, searcher):
+        doc = searcher.document(3)
+        assert "free kick" in doc.get("body")
+
+    def test_explain(self, searcher):
+        query = TermQuery("body", "messi")
+        assert searcher.explain(query, 0) > 0
+        assert searcher.explain(query, 3) == 0.0
+
+
+class TestQueryParser:
+    @pytest.fixture
+    def parser(self):
+        return QueryParser("body", SimpleAnalyzer())
+
+    def test_single_term(self, parser):
+        query = parser.parse("messi")
+        assert isinstance(query, TermQuery)
+        assert query.term == "messi"
+
+    def test_multiple_terms_become_boolean(self, parser):
+        query = parser.parse("messi goal")
+        assert isinstance(query, BooleanQuery)
+        assert len(query.clauses) == 2
+
+    def test_fielded_term(self, parser):
+        query = parser.parse("event:goal")
+        assert isinstance(query, TermQuery)
+        assert query.field_name == "event"
+
+    def test_phrase(self, parser):
+        query = parser.parse('"free kick"')
+        assert isinstance(query, PhraseQuery)
+        assert list(query.terms) == ["free", "kick"]
+
+    def test_required_and_prohibited(self, parser):
+        query = parser.parse("+messi -goal")
+        occurs = [c.occur for c in query.clauses]
+        assert occurs == [Occur.MUST, Occur.MUST_NOT]
+
+    def test_boost_suffix(self, parser):
+        query = parser.parse("goal^2.5 messi")
+        boosted = query.clauses[0].query
+        assert boosted.boost == 2.5
+
+    def test_prefix_star(self, parser):
+        query = parser.parse("mes*")
+        assert isinstance(query, PrefixQuery)
+        assert query.prefix == "mes"
+
+    def test_match_all(self, parser):
+        assert isinstance(parser.parse("*:*"), MatchAllQuery)
+
+    def test_empty_rejected(self, parser):
+        with pytest.raises(QueryError):
+            parser.parse("   ")
+
+    def test_all_stopwords_rejected(self):
+        parser = QueryParser("body", StandardAnalyzer())
+        with pytest.raises(QueryError):
+            parser.parse("the of and")
+
+
+class TestSimilarities:
+    def test_classic_idf_decreases_with_df(self):
+        sim = ClassicSimilarity()
+        assert sim.idf(1, 100) > sim.idf(50, 100)
+
+    def test_classic_length_normalization(self):
+        sim = ClassicSimilarity()
+        short = sim.score(1, 1, 10, field_length=4,
+                          average_field_length=8)
+        long_ = sim.score(1, 1, 10, field_length=64,
+                          average_field_length=8)
+        assert short > long_
+
+    def test_classic_zero_tf(self):
+        assert ClassicSimilarity().score(0, 1, 10, 5, 5.0) == 0.0
+
+    def test_bm25_saturates_with_tf(self):
+        sim = BM25Similarity()
+        s1 = sim.score(1, 1, 100, 10, 10.0)
+        s2 = sim.score(2, 1, 100, 10, 10.0)
+        s10 = sim.score(10, 1, 100, 10, 10.0)
+        assert s1 < s2 < s10
+        assert (s2 - s1) > (s10 - sim.score(9, 1, 100, 10, 10.0))
+
+    def test_bm25_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BM25Similarity(k1=-1)
+        with pytest.raises(ValueError):
+            BM25Similarity(b=1.5)
+
+    def test_bm25_no_coord(self):
+        assert BM25Similarity().coord(1, 5) == 1.0
+        assert ClassicSimilarity().coord(1, 5) == pytest.approx(0.2)

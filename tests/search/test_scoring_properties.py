@@ -1,0 +1,98 @@
+"""Property-based tests on scoring invariants (hypothesis)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.search import (BooleanQuery, Document, Field, IndexSearcher,
+                          IndexWriter, InvertedIndex, Occur,
+                          SimpleAnalyzer, TermQuery)
+from repro.search.similarity import BM25Similarity, ClassicSimilarity
+
+_WORDS = ["goal", "foul", "save", "pass", "messi", "cech"]
+
+
+@st.composite
+def indexed_corpora(draw):
+    docs = draw(st.lists(
+        st.lists(st.sampled_from(_WORDS), min_size=1, max_size=8),
+        min_size=1, max_size=12))
+    index = InvertedIndex()
+    writer = IndexWriter(index, SimpleAnalyzer())
+    for words in docs:
+        writer.add_document(Document([Field("body", " ".join(words))]))
+    return index, docs
+
+
+class TestScoringInvariants:
+    @given(indexed_corpora(), st.sampled_from(_WORDS))
+    @settings(max_examples=40, deadline=None)
+    def test_scores_positive_and_matches_exact(self, corpus, term):
+        index, docs = corpus
+        searcher = IndexSearcher(index)
+        top = searcher.search(TermQuery("body", term))
+        expected = {i for i, words in enumerate(docs) if term in words}
+        assert set(top.doc_ids()) == expected
+        assert all(hit.score > 0 for hit in top)
+
+    @given(indexed_corpora(), st.sampled_from(_WORDS),
+           st.floats(min_value=1.5, max_value=10))
+    @settings(max_examples=40, deadline=None)
+    def test_boost_scales_scores_linearly(self, corpus, term, boost):
+        index, __ = corpus
+        searcher = IndexSearcher(index)
+        plain = TermQuery("body", term).score_docs(index,
+                                                   searcher.similarity)
+        boosted = TermQuery("body", term, boost=boost).score_docs(
+            index, searcher.similarity)
+        for doc_id, score in plain.items():
+            assert boosted[doc_id] == pytest.approx(score * boost)
+
+    @given(indexed_corpora(), st.sampled_from(_WORDS),
+           st.sampled_from(_WORDS))
+    @settings(max_examples=40, deadline=None)
+    def test_must_results_subset_of_should(self, corpus, term1, term2):
+        index, __ = corpus
+        searcher = IndexSearcher(index)
+        must = (BooleanQuery()
+                .add(TermQuery("body", term1), Occur.MUST)
+                .add(TermQuery("body", term2), Occur.MUST))
+        should = (BooleanQuery()
+                  .add(TermQuery("body", term1))
+                  .add(TermQuery("body", term2)))
+        assert set(searcher.search(must).doc_ids()) \
+            <= set(searcher.search(should).doc_ids())
+
+    @given(indexed_corpora(), st.sampled_from(_WORDS))
+    @settings(max_examples=40, deadline=None)
+    def test_must_not_disjoint_from_excluded(self, corpus, term):
+        index, docs = corpus
+        searcher = IndexSearcher(index)
+        query = (BooleanQuery()
+                 .add(TermQuery("body", _WORDS[0]))
+                 .add(TermQuery("body", term), Occur.MUST_NOT))
+        for doc_id in searcher.search(query).doc_ids():
+            assert term not in docs[doc_id]
+
+    @given(indexed_corpora(), st.sampled_from(_WORDS))
+    @settings(max_examples=30, deadline=None)
+    def test_bm25_and_classic_agree_on_match_sets(self, corpus, term):
+        index, __ = corpus
+        classic = IndexSearcher(index, ClassicSimilarity())
+        bm25 = IndexSearcher(index, BM25Similarity())
+        query = TermQuery("body", term)
+        assert set(classic.search(query).doc_ids()) \
+            == set(bm25.search(query).doc_ids())
+
+    @given(indexed_corpora())
+    @settings(max_examples=30, deadline=None)
+    def test_idf_monotone_in_rarity(self, corpus):
+        index, docs = corpus
+        sim = ClassicSimilarity()
+        frequencies = {
+            term: index.doc_frequency("body", term) for term in _WORDS}
+        present = [t for t in _WORDS if frequencies[t] > 0]
+        for first in present:
+            for second in present:
+                if frequencies[first] < frequencies[second]:
+                    assert sim.idf(frequencies[first], len(docs)) \
+                        >= sim.idf(frequencies[second], len(docs))

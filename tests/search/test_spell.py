@@ -1,0 +1,74 @@
+"""Tests for the spell checker."""
+
+import pytest
+
+from repro.search import (Document, Field, IndexWriter, InvertedIndex,
+                          SimpleAnalyzer)
+from repro.search.spell import SpellChecker
+
+
+@pytest.fixture
+def checker():
+    idx = InvertedIndex()
+    writer = IndexWriter(idx, SimpleAnalyzer())
+    texts = [
+        "messi scores a goal",
+        "messi dribbles again",
+        "ronaldo shoots wide",
+        "casillas saves the penalty",
+    ]
+    for text in texts:
+        writer.add_document(Document([Field("narration", text)]))
+    return SpellChecker(idx, fields=["narration"],
+                        analyzer=SimpleAnalyzer())
+
+
+class TestSuggestions:
+    def test_close_misspelling_found(self, checker):
+        [best, *_] = checker.suggestions("mesi")
+        assert best.term == "messi"
+        assert best.distance == 1
+
+    def test_frequency_breaks_distance_ties(self, checker):
+        # "messi" (df=2) should outrank equally-distant rarer terms
+        suggestions = checker.suggestions("mess")
+        assert suggestions[0].term == "messi"
+
+    def test_hopeless_term_no_suggestions(self, checker):
+        assert checker.suggestions("xylophone") == []
+
+    def test_known_term_detection(self, checker):
+        assert checker.is_known("goal")
+        assert not checker.is_known("gaol")
+
+    def test_limit_respected(self, checker):
+        assert len(checker.suggestions("save", limit=2)) <= 2
+
+    def test_invalid_max_edits(self, checker):
+        with pytest.raises(ValueError):
+            SpellChecker(checker.index, max_edits=0)
+
+
+class TestCorrectQuery:
+    def test_corrects_unknown_terms_only(self, checker):
+        assert checker.correct_query("mesi goal") == "messi goal"
+
+    def test_known_terms_untouched(self, checker):
+        assert checker.correct_query("messi goal") == "messi goal"
+
+    def test_unfixable_terms_pass_through(self, checker):
+        assert checker.correct_query("zzzzzzz goal") == "zzzzzzz goal"
+
+    def test_transposition_fixed(self, checker):
+        assert checker.correct_query("gaol") == "goal"
+
+
+class TestOnRealIndex:
+    def test_player_names_corrected(self, pipeline_result):
+        from repro.core import F, IndexName
+        index = pipeline_result.index(IndexName.FULL_INF)
+        checker = SpellChecker(index,
+                               fields=[F.SUBJECT_PLAYER, F.NARRATION])
+        assert checker.correct_query("mesi") == "messi"
+        corrected = checker.correct_query("ronaldo scores")
+        assert corrected == "ronaldo scores"

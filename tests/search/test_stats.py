@@ -1,0 +1,73 @@
+"""Tests for index statistics."""
+
+import pytest
+
+from repro.search import (Document, Field, IndexWriter, InvertedIndex,
+                          SimpleAnalyzer)
+from repro.search.stats import collect_stats, render_stats
+
+
+@pytest.fixture
+def stats():
+    idx = InvertedIndex("demo")
+    writer = IndexWriter(idx, SimpleAnalyzer())
+    writer.add_document(Document([Field("body", "goal goal miss"),
+                                  Field("event", "goal")]))
+    writer.add_document(Document([Field("body", "save by keeper"),
+                                  Field("event", "save"),
+                                  Field("hidden", "secret",
+                                        indexed=False)]))
+    return collect_stats(idx, top_n=2)
+
+
+class TestCollect:
+    def test_header_values(self, stats):
+        assert stats.name == "demo"
+        assert stats.doc_count == 2
+        assert stats.unique_terms == 7   # goal,miss,save,by,keeper + 2
+
+    def test_field_lookup(self, stats):
+        body = stats.field("body")
+        assert body.docs_with_field == 2
+        assert body.unique_terms == 5
+        assert body.total_postings == 6       # goal counted twice
+
+    def test_average_length(self, stats):
+        assert stats.field("body").average_length == pytest.approx(3.0)
+
+    def test_top_terms_ordered_by_df(self, stats):
+        event = stats.field("event")
+        assert event.top_terms[0] in (("goal", 1), ("save", 1))
+        assert len(event.top_terms) <= 2
+
+    def test_unknown_field_raises(self, stats):
+        with pytest.raises(KeyError):
+            stats.field("nope")
+
+    def test_stored_only_fields_excluded(self, stats):
+        names = [f.name for f in stats.fields]
+        assert "hidden" not in names
+
+
+class TestRender:
+    def test_render_contains_all_fields(self, stats):
+        text = render_stats(stats)
+        assert "body" in text and "event" in text
+        assert "2 documents" in text
+
+    def test_render_top_terms(self, stats):
+        text = render_stats(stats)
+        assert "goal(" in text
+
+
+class TestOnRealIndex:
+    def test_full_inf_statistics_sane(self, pipeline_result):
+        from repro.core import IndexName
+        index = pipeline_result.index(IndexName.FULL_INF)
+        stats = collect_stats(index)
+        assert stats.doc_count == index.doc_count
+        event = stats.field("event")
+        assert event.docs_with_field == index.doc_count
+        # every event doc contains the "event" supertype token
+        assert event.top_terms[0][0] == "event"
+        assert event.top_terms[0][1] == index.doc_count

@@ -1,0 +1,151 @@
+"""Tests for the standard evaluation corpus (paper §4)."""
+
+import pytest
+
+from repro.soccer import (EventKind, PAPER_EVENT_COUNT,
+                          PAPER_NARRATION_COUNT, corpus_statistics,
+                          standard_corpus)
+
+
+class TestPublishedTotals:
+    """The corpus reproduces the paper's §4 statistics exactly."""
+
+    def test_ten_matches(self, corpus):
+        assert len(corpus.matches) == 10
+
+    def test_1182_narrations(self, corpus):
+        assert corpus.narration_count == PAPER_NARRATION_COUNT == 1182
+
+    def test_902_events(self, corpus):
+        assert corpus.event_count == PAPER_EVENT_COUNT == 902
+
+    def test_statistics_report(self, corpus):
+        stats = corpus_statistics(corpus)
+        assert stats["matches"] == 10
+        assert stats["narrations"] == 1182
+        assert stats["events"] == 902
+        assert stats["kind_Goal"] > 0
+
+
+class TestQueryEntities:
+    """Every Table 3 / Table 6 query has relevant events (pinned by
+    the scripted events + seed choice)."""
+
+    def _count(self, corpus, predicate):
+        return sum(1 for m in corpus.matches for e in m.events
+                   if predicate(e))
+
+    def test_messi_scores_three(self, corpus):
+        # the paper's Q-3 has exactly 3 relevant goals
+        count = self._count(
+            corpus,
+            lambda e: e.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL)
+            and e.subject and e.subject.name == "Messi")
+        assert count == 3
+
+    def test_alex_booked_twice(self, corpus):
+        # the paper's Q-5 has exactly 2 relevant cards
+        count = self._count(
+            corpus,
+            lambda e: e.kind == EventKind.YELLOW_CARD
+            and e.subject and e.subject.name == "Alex")
+        assert count == 2
+
+    def test_daniel_fouls_florent_and_vice_versa(self, corpus):
+        def pair(subject, object_):
+            return self._count(
+                corpus,
+                lambda e: e.kind == EventKind.FOUL
+                and e.subject and e.subject.name == subject
+                and e.object and e.object.name == object_)
+        assert pair("Daniel", "Florent") >= 1
+        assert pair("Florent", "Daniel") >= 1
+
+    def test_henry_has_negative_moves(self, corpus):
+        negative = (EventKind.MISSED_GOAL, EventKind.OFFSIDE,
+                    EventKind.YELLOW_CARD, EventKind.RED_CARD,
+                    EventKind.FOUL, EventKind.OWN_GOAL)
+        count = self._count(
+            corpus,
+            lambda e: e.kind in negative
+            and e.subject and e.subject.name == "Henry")
+        assert count >= 3
+
+    def test_goals_conceded_by_real_madrid(self, corpus):
+        goals = (EventKind.GOAL, EventKind.PENALTY_GOAL,
+                 EventKind.OWN_GOAL)
+        count = self._count(
+            corpus,
+            lambda e: e.kind in goals and e.object_team == "Real Madrid")
+        assert count >= 3
+
+    def test_defence_players_shoot(self, corpus):
+        shoots = (EventKind.SHOOT, EventKind.MISSED_GOAL, EventKind.GOAL,
+                  EventKind.PENALTY_GOAL, EventKind.OWN_GOAL)
+        count = self._count(
+            corpus,
+            lambda e: e.kind in shoots and e.subject
+            and e.subject.position_group == "DefencePlayer")
+        assert count >= 10
+
+    def test_barcelona_scores(self, corpus):
+        count = self._count(
+            corpus,
+            lambda e: e.kind in (EventKind.GOAL, EventKind.PENALTY_GOAL)
+            and e.team == "Barcelona")
+        assert count >= 3
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self, corpus):
+        again = standard_corpus()
+        assert again.event_count == corpus.event_count
+        first_texts = [n.text for c in corpus.crawled
+                       for n in c.narrations]
+        second_texts = [n.text for c in again.crawled
+                        for n in c.narrations]
+        assert first_texts == second_texts
+
+    def test_custom_fixtures(self):
+        from repro.soccer.names import FIXTURES
+        small = standard_corpus(fixtures=FIXTURES[:2],
+                                total_narrations=240)
+        assert len(small.matches) == 2
+        assert small.narration_count == 240
+
+    def test_match_lookup(self, corpus):
+        match = corpus.matches[0]
+        assert corpus.match_by_id(match.match_id) is match
+        with pytest.raises(KeyError):
+            corpus.match_by_id("nope")
+
+
+class TestRoundRobinFixtures:
+    def test_requested_count(self):
+        from repro.soccer.names import round_robin_fixtures
+        assert len(round_robin_fixtures(25)) == 25
+
+    def test_no_team_plays_itself(self):
+        from repro.soccer.names import round_robin_fixtures
+        for home, away, _, __ in round_robin_fixtures(120):
+            assert home != away
+
+    def test_dates_advance_weekly(self):
+        from repro.soccer.names import round_robin_fixtures
+        fixtures = round_robin_fixtures(3, start_date="2009-09-15")
+        dates = [date for _, __, date, ___ in fixtures]
+        assert dates == ["2009-09-15", "2009-09-22", "2009-09-29"]
+
+    def test_scales_into_a_corpus(self):
+        from repro.soccer.names import round_robin_fixtures
+        corpus = standard_corpus(fixtures=round_robin_fixtures(12),
+                                 total_narrations=12 * 100)
+        assert len(corpus.matches) == 12
+        assert corpus.narration_count == 1200
+
+    def test_home_advantage_rotates(self):
+        from repro.soccer.names import round_robin_fixtures
+        fixtures = round_robin_fixtures(56)   # one full cycle
+        pairs = {(home, away) for home, away, _, __ in fixtures}
+        # each ordered pairing appears exactly once per cycle
+        assert len(pairs) == 56

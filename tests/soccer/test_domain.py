@@ -1,0 +1,128 @@
+"""Tests for the ground-truth domain model and rosters."""
+
+import pytest
+
+from repro.soccer import (EventKind, GroundTruthEvent, Match, Player,
+                          Position, POSITION_GROUPS, Team, build_teams)
+
+
+class TestPlayer:
+    def test_goalkeeper_flag(self):
+        keeper = Player("Cech", "Petr Cech", Position.GOALKEEPER, 1)
+        outfield = Player("Messi", "Lionel Messi", Position.RIGHT_WINGER,
+                          10)
+        assert keeper.is_goalkeeper
+        assert not outfield.is_goalkeeper
+
+    def test_position_groups_cover_all_positions(self):
+        positions = [getattr(Position, name) for name in dir(Position)
+                     if not name.startswith("_")]
+        for position in positions:
+            assert position in POSITION_GROUPS
+
+    @pytest.mark.parametrize("position,group", [
+        (Position.LEFT_BACK, "DefencePlayer"),
+        (Position.CENTRE_BACK, "DefencePlayer"),
+        (Position.CENTRAL_MIDFIELDER, "MidfieldPlayer"),
+        (Position.STRIKER, "ForwardPlayer"),
+        (Position.GOALKEEPER, "Goalkeeper"),
+    ])
+    def test_position_group(self, position, group):
+        player = Player("X", "X Y", position, 7)
+        assert player.position_group == group
+
+
+class TestRosters:
+    @pytest.fixture(scope="class")
+    def teams(self):
+        return build_teams()
+
+    def test_eight_teams(self, teams):
+        assert len(teams) == 8
+
+    def test_sixteen_players_each(self, teams):
+        for team in teams.values():
+            assert len(team.squad) == 16
+
+    def test_eleven_starters_with_one_goalkeeper(self, teams):
+        for team in teams.values():
+            starters = team.starters
+            assert len(starters) == 11
+            keepers = [p for p in starters if p.is_goalkeeper]
+            assert len(keepers) == 1, team.name
+
+    def test_goalkeeper_accessor(self, teams):
+        assert teams["Real Madrid"].goalkeeper.name == "Casillas"
+        assert teams["Barcelona"].goalkeeper.name == "Valdes"
+
+    def test_query_entities_present(self, teams):
+        """Every player the paper's queries name must exist."""
+        assert teams["Barcelona"].player_by_name("Messi")
+        assert teams["Barcelona"].player_by_name("Henry")
+        assert teams["Barcelona"].player_by_name("Daniel")
+        assert teams["Real Madrid"].player_by_name("Ronaldo")
+        assert teams["Real Madrid"].player_by_name("Casillas")
+        assert teams["Chelsea"].player_by_name("Alex")
+        assert teams["Chelsea"].player_by_name("Florent")
+
+    def test_player_lookup_by_full_name(self, teams):
+        player = teams["Barcelona"].player_by_name("Lionel Messi")
+        assert player is not None and player.name == "Messi"
+
+    def test_unknown_player_is_none(self, teams):
+        assert teams["Barcelona"].player_by_name("Zidane") is None
+
+    def test_display_names_unique_within_team(self, teams):
+        for team in teams.values():
+            names = [p.name for p in team.squad]
+            assert len(names) == len(set(names)), team.name
+
+    def test_alex_is_a_defender(self, teams):
+        """Q-5/Q-10 interplay: Alex's cards come from a centre back."""
+        alex = teams["Chelsea"].player_by_name("Alex")
+        assert alex.position_group == "DefencePlayer"
+
+
+class TestMatchScores:
+    def _team(self, name):
+        return Team(name=name, city="", stadium="", country="",
+                    squad=[Player(f"{name}{i}", f"{name} {i}",
+                                  Position.GOALKEEPER if i == 0
+                                  else Position.STRIKER, i)
+                           for i in range(16)])
+
+    def test_score_computation(self):
+        home, away = self._team("H"), self._team("A")
+        match = Match("m", home, away, "2009-01-01", "20:45", "S", "R",
+                      "Cup")
+        scorer_h = home.squad[1]
+        scorer_a = away.squad[1]
+        match.events = [
+            GroundTruthEvent("e1", EventKind.GOAL, 10, team="H",
+                             subject=scorer_h, object_team="A"),
+            GroundTruthEvent("e2", EventKind.PENALTY_GOAL, 20, team="A",
+                             subject=scorer_a, object_team="H"),
+            # own goal by home player credits the away side
+            GroundTruthEvent("e3", EventKind.OWN_GOAL, 30, team="H",
+                             subject=scorer_h, object_team="H"),
+        ]
+        assert match.home_score == 1
+        assert match.away_score == 2
+
+    def test_events_of_kind(self):
+        home, away = self._team("H"), self._team("A")
+        match = Match("m", home, away, "2009-01-01", "20:45", "S", "R",
+                      "Cup")
+        match.events = [
+            GroundTruthEvent("e1", EventKind.FOUL, 10),
+            GroundTruthEvent("e2", EventKind.GOAL, 20),
+        ]
+        assert [e.event_id for e in match.events_of_kind(EventKind.FOUL)] \
+            == ["e1"]
+
+    def test_involves(self):
+        player = Player("Messi", "Lionel Messi", Position.STRIKER, 10)
+        event = GroundTruthEvent("e", EventKind.FOUL, 5, object=player)
+        assert event.involves("Messi")
+        assert event.involves("Lionel Messi")
+        assert not event.involves("Xavi")

@@ -1,0 +1,184 @@
+"""Tests for the simulator, narration generator and crawler."""
+
+import pytest
+
+from repro.soccer import (EventKind, MatchSimulator, NarrationGenerator,
+                          SimulatedCrawler, build_teams)
+from repro.soccer.simulator import ScriptedEvent
+
+
+@pytest.fixture(scope="module")
+def teams():
+    return build_teams()
+
+
+def _simulate(teams, seed=1):
+    return MatchSimulator(teams, seed=seed).simulate(
+        "Barcelona", "Chelsea", "2009-05-06")
+
+
+class TestSimulator:
+    def test_deterministic_for_seed(self, teams):
+        a = _simulate(teams, seed=5)
+        b = _simulate(build_teams(), seed=5)
+        assert [e.kind for e in a.events] == [e.kind for e in b.events]
+        assert [e.minute for e in a.events] == [e.minute for e in b.events]
+
+    def test_different_seeds_differ(self, teams):
+        a = _simulate(teams, seed=1)
+        b = _simulate(teams, seed=2)
+        assert [e.event_id for e in a.events] != [e.event_id for e in b.events] \
+            or [e.minute for e in a.events] != [e.minute for e in b.events]
+
+    def test_phase_events_present(self, teams):
+        match = _simulate(teams)
+        kinds = [e.kind for e in match.events]
+        assert kinds.count(EventKind.KICK_OFF) == 1
+        assert kinds.count(EventKind.HALF_TIME) == 1
+        assert kinds.count(EventKind.FULL_TIME) == 1
+
+    def test_events_sorted_by_minute(self, teams):
+        match = _simulate(teams)
+        minutes = [e.minute for e in match.events]
+        assert minutes == sorted(minutes)
+
+    def test_saves_made_by_goalkeepers(self, teams):
+        match = _simulate(teams)
+        for save in match.events_of_kind(EventKind.SAVE):
+            assert save.subject.is_goalkeeper
+
+    def test_goalkeepers_never_score(self, teams):
+        for seed in range(5):
+            match = _simulate(teams, seed=seed)
+            for goal in match.events_of_kind(EventKind.GOAL,
+                                             EventKind.PENALTY_GOAL):
+                assert not goal.subject.is_goalkeeper
+
+    def test_fouls_cross_team_lines(self, teams):
+        match = _simulate(teams)
+        for foul in match.events_of_kind(EventKind.FOUL):
+            assert foul.subject is not None and foul.object is not None
+            subject_team = foul.team
+            home, away = match.teams
+            object_side = (home if away.name == subject_team
+                           else away)
+            assert object_side.player_by_name(foul.object.name)
+
+    def test_substitutions_bring_bench_players_on(self, teams):
+        match = _simulate(teams)
+        for sub in match.events_of_kind(EventKind.SUBSTITUTION):
+            team = match.team_by_name(sub.team)
+            assert sub.subject in team.substitutes
+            assert sub.object in team.starters
+
+    def test_passes_stay_within_team(self, teams):
+        match = _simulate(teams)
+        for pass_ in match.events_of_kind(EventKind.PASS,
+                                          EventKind.LONG_PASS,
+                                          EventKind.CROSS):
+            team = match.team_by_name(pass_.team)
+            assert team.player_by_name(pass_.subject.name)
+            assert team.player_by_name(pass_.object.name)
+            assert pass_.subject.name != pass_.object.name
+
+    def test_event_ids_unique(self, teams):
+        match = _simulate(teams)
+        ids = [e.event_id for e in match.events]
+        assert len(ids) == len(set(ids))
+
+    def test_scripted_events_injected(self, teams):
+        script = [ScriptedEvent(EventKind.FOUL, 38, "Barcelona",
+                                subject="Daniel", object_="Florent")]
+        match = MatchSimulator(teams, seed=1).simulate(
+            "Barcelona", "Chelsea", "2009-05-06", scripted=script)
+        fouls = [e for e in match.events_of_kind(EventKind.FOUL)
+                 if e.subject.name == "Daniel"
+                 and e.object and e.object.name == "Florent"]
+        assert len(fouls) == 1
+        assert fouls[0].minute == 38
+
+    def test_scripted_unknown_player_raises(self, teams):
+        script = [ScriptedEvent(EventKind.FOUL, 38, "Barcelona",
+                                subject="Zidane")]
+        with pytest.raises(KeyError):
+            MatchSimulator(teams, seed=1).simulate(
+                "Barcelona", "Chelsea", "2009-05-06", scripted=script)
+
+
+class TestNarrations:
+    def test_goal_narrations_use_scores_not_goal(self, teams):
+        """The paper's central lexical gap (§4)."""
+        match = _simulate(teams)
+        narrator = NarrationGenerator(seed=0)
+        for goal in match.events_of_kind(EventKind.GOAL):
+            text = narrator.narrate_event(match, goal).text
+            assert "scores!" in text
+
+    def test_every_event_kind_has_a_template(self, teams):
+        match = _simulate(teams, seed=3)
+        narrator = NarrationGenerator(seed=0)
+        for event in match.events:
+            narration = narrator.narrate_event(match, event)
+            assert narration.text
+            assert narration.event_id == event.event_id
+
+    def test_padding_to_target(self, teams):
+        match = _simulate(teams)
+        narrator = NarrationGenerator(seed=0)
+        target = len(match.events) + 25
+        narrations = narrator.narrate_match(match, total_narrations=target)
+        assert len(narrations) == target
+        color = [n for n in narrations if n.event_id is None]
+        assert len(color) == 25
+
+    def test_narrations_sorted_by_minute(self, teams):
+        match = _simulate(teams)
+        narrations = NarrationGenerator(seed=0).narrate_match(match)
+        minutes = [n.minute for n in narrations]
+        assert minutes == sorted(minutes)
+
+    def test_deterministic(self, teams):
+        match = _simulate(teams)
+        first = NarrationGenerator(seed=9).narrate_match(match, 120)
+        second = NarrationGenerator(seed=9).narrate_match(match, 120)
+        assert [n.text for n in first] == [n.text for n in second]
+
+
+class TestCrawler:
+    @pytest.fixture(scope="class")
+    def crawled(self, teams):
+        return SimulatedCrawler(teams, seed=4).crawl_match(
+            "Barcelona", "Chelsea", "2009-05-06")
+
+    def test_basic_structure(self, crawled):
+        assert crawled.home_team == "Barcelona"
+        assert crawled.away_team == "Chelsea"
+        assert crawled.stadium == "Camp Nou"
+
+    def test_lineups_complete(self, crawled):
+        for team in crawled.teams:
+            lineup = crawled.lineup(team)
+            assert len(lineup) == 16
+            assert sum(1 for e in lineup if e.starter) == 11
+
+    def test_goal_facts_match_score(self, crawled):
+        home_goals = sum(
+            1 for g in crawled.goals
+            if (g.kind != "own goal" and g.team == crawled.home_team)
+            or (g.kind == "own goal" and g.team == crawled.away_team))
+        assert home_goals == crawled.home_score
+
+    def test_bookings_have_colors(self, crawled):
+        for booking in crawled.bookings:
+            assert booking.color in ("yellow", "red")
+
+    def test_facts_carry_provenance(self, crawled):
+        for fact in (*crawled.goals, *crawled.substitutions,
+                     *crawled.bookings):
+            assert fact.source_id
+
+    def test_narrations_cover_all_events(self, crawled):
+        covered = {n.event_id for n in crawled.narrations
+                   if n.event_id is not None}
+        fact_ids = {g.source_id for g in crawled.goals}
+        assert fact_ids <= covered

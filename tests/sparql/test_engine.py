@@ -1,0 +1,222 @@
+"""Tests for SPARQL evaluation."""
+
+import pytest
+
+from repro.rdf import Graph, Literal, Namespace, RDF
+from repro.sparql import ask, construct, query
+
+EX = Namespace("http://example.org/ns#")
+
+
+@pytest.fixture
+def graph():
+    g = Graph()
+    g.namespace_manager.bind("ex", EX)
+    for name, minute in (("goal1", 10), ("goal2", 43), ("goal3", 88)):
+        g.add((EX.term(name), RDF.type, EX.Goal))
+        g.add((EX.term(name), EX.minute, Literal(minute)))
+    g.add((EX.goal1, EX.scorer, EX.messi))
+    g.add((EX.goal2, EX.scorer, EX.eto))
+    g.add((EX.goal3, EX.scorer, EX.messi))
+    g.add((EX.messi, EX.name, Literal("Lionel Messi")))
+    g.add((EX.pass1, RDF.type, EX.Pass))
+    return g
+
+
+class TestSelect:
+    def test_single_pattern(self, graph):
+        rows = query(graph, "SELECT ?g WHERE { ?g a ex:Goal }")
+        assert len(rows) == 3
+
+    def test_join(self, graph):
+        rows = query(graph,
+                     "SELECT ?g WHERE { ?g a ex:Goal . "
+                     "?g ex:scorer ex:messi }")
+        assert {row["g"] for row in rows} == {EX.goal1, EX.goal3}
+
+    def test_projection_order(self, graph):
+        rows = query(graph,
+                     "SELECT ?m ?g WHERE { ?g ex:minute ?m }")
+        for row in rows:
+            assert row[0] == row["m"]
+            assert row[1] == row["g"]
+
+    def test_filter_comparison(self, graph):
+        rows = query(graph,
+                     "SELECT ?g WHERE { ?g ex:minute ?m "
+                     "FILTER (?m > 40) }")
+        assert {row["g"] for row in rows} == {EX.goal2, EX.goal3}
+
+    def test_filter_regex(self, graph):
+        rows = query(graph,
+                     'SELECT ?p WHERE { ?p ex:name ?n '
+                     'FILTER (REGEX(?n, "messi", "i")) }')
+        assert rows.column("p") == [EX.messi]
+
+    def test_order_by(self, graph):
+        rows = query(graph,
+                     "SELECT ?g ?m WHERE { ?g ex:minute ?m } ORDER BY ?m")
+        minutes = [row["m"].to_python() for row in rows]
+        assert minutes == sorted(minutes)
+
+    def test_order_by_desc(self, graph):
+        rows = query(graph,
+                     "SELECT ?m WHERE { ?g ex:minute ?m } "
+                     "ORDER BY DESC(?m)")
+        minutes = [row["m"].to_python() for row in rows]
+        assert minutes == sorted(minutes, reverse=True)
+
+    def test_limit_offset(self, graph):
+        rows = query(graph,
+                     "SELECT ?m WHERE { ?g ex:minute ?m } "
+                     "ORDER BY ?m LIMIT 1 OFFSET 1")
+        assert [row["m"].to_python() for row in rows] == [43]
+
+    def test_distinct(self, graph):
+        rows = query(graph,
+                     "SELECT DISTINCT ?s WHERE { ?g ex:scorer ?s }")
+        assert len(rows) == 2
+
+    def test_optional_binds_when_present(self, graph):
+        rows = query(graph,
+                     "SELECT ?s ?n WHERE { ?g ex:scorer ?s "
+                     "OPTIONAL { ?s ex:name ?n } }")
+        by_scorer = {row["s"]: row["n"] for row in rows}
+        assert by_scorer[EX.messi] == Literal("Lionel Messi")
+        assert by_scorer[EX.eto] is None
+
+    def test_no_results(self, graph):
+        rows = query(graph, "SELECT ?x WHERE { ?x a ex:Corner }")
+        assert len(rows) == 0
+        assert not rows
+
+    def test_shared_variable_must_corefer(self, graph):
+        # ?x used in both subject and object positions must be the
+        # same binding; no goal scores itself.
+        rows = query(graph, "SELECT ?x WHERE { ?x ex:scorer ?x }")
+        assert len(rows) == 0
+
+
+class TestUnion:
+    def test_union_concatenates_branches(self, graph):
+        rows = query(graph,
+                     "SELECT ?x WHERE { { ?x a ex:Goal } "
+                     "UNION { ?x a ex:Pass } }")
+        assert len(rows) == 4
+
+    def test_union_joins_with_surrounding_triples(self, graph):
+        rows = query(graph,
+                     "SELECT ?g WHERE { ?g ex:minute ?m "
+                     "{ ?g ex:scorer ex:messi } "
+                     "UNION { ?g ex:scorer ex:eto } }")
+        assert len(rows) == 3
+
+    def test_three_way_union(self, graph):
+        rows = query(graph,
+                     "SELECT ?x WHERE { { ?x a ex:Goal } "
+                     "UNION { ?x a ex:Pass } "
+                     "UNION { ?x ex:name ?n } }")
+        assert len(rows) == 5
+
+    def test_union_branch_filters_apply(self, graph):
+        rows = query(graph,
+                     "SELECT ?g WHERE { "
+                     "{ ?g ex:minute ?m FILTER (?m > 80) } "
+                     "UNION { ?g ex:minute ?m FILTER (?m < 20) } }")
+        assert {str(row["g"]) for row in rows} \
+            == {str(EX.goal1), str(EX.goal3)}
+
+    def test_lone_group_without_union_rejected(self, graph):
+        import pytest as _pytest
+        from repro.errors import ParseError
+        with _pytest.raises(ParseError):
+            query(graph, "SELECT ?x WHERE { { ?x a ex:Goal } }")
+
+
+class TestAsk:
+    def test_true(self, graph):
+        assert ask(graph, "ASK { ex:goal1 a ex:Goal }") is True
+
+    def test_false(self, graph):
+        assert ask(graph, "ASK { ex:goal1 a ex:Pass }") is False
+
+    def test_mixing_apis_raises(self, graph):
+        with pytest.raises(TypeError):
+            query(graph, "ASK { ?s ?p ?o }")
+        with pytest.raises(TypeError):
+            ask(graph, "SELECT ?s WHERE { ?s ?p ?o }")
+
+
+class TestConstruct:
+    def test_builds_derived_triples(self, graph):
+        out = construct(graph,
+                        "CONSTRUCT { ?p ex:scored ?g } "
+                        "WHERE { ?g a ex:Goal . ?g ex:scorer ?p }")
+        assert len(out) == 3
+        assert (EX.messi, EX.scored, EX.goal1) in out
+
+    def test_multi_triple_template(self, graph):
+        out = construct(graph,
+                        "CONSTRUCT { ?p a ex:Scorer . "
+                        "?p ex:scored ?g } "
+                        "WHERE { ?g ex:scorer ?p }")
+        assert (EX.messi, RDF.type, EX.Scorer) in out
+        assert len(list(out.subjects(RDF.type, EX.Scorer))) == 2
+
+    def test_constants_in_template(self, graph):
+        out = construct(graph,
+                        "CONSTRUCT { ex:report ex:mentions ?p } "
+                        "WHERE { ?g ex:scorer ?p }")
+        assert (EX.report, EX.mentions, EX.messi) in out
+
+    def test_unbound_optional_var_skips_triple(self, graph):
+        out = construct(graph,
+                        "CONSTRUCT { ?s ex:alias ?n } WHERE { "
+                        "?g ex:scorer ?s OPTIONAL { ?s ex:name ?n } }")
+        # only messi has a name; eto's triple is skipped
+        assert len(out) == 1
+        assert (EX.messi, EX.alias,
+                Literal("Lionel Messi")) in out
+
+    def test_literal_subject_skipped(self, graph):
+        out = construct(graph,
+                        "CONSTRUCT { ?m ex:of ?g } "
+                        "WHERE { ?g ex:minute ?m }")
+        assert len(out) == 0
+
+    def test_empty_template_rejected(self, graph):
+        from repro.errors import ParseError
+        with pytest.raises(ParseError):
+            construct(graph, "CONSTRUCT { } WHERE { ?s ?p ?o }")
+
+    def test_wrong_api_raises(self, graph):
+        with pytest.raises(TypeError):
+            construct(graph, "SELECT ?s WHERE { ?s ?p ?o }")
+        with pytest.raises(TypeError):
+            query(graph,
+                  "CONSTRUCT { ?s ex:x ?o } WHERE { ?s ex:scorer ?o }")
+
+    def test_rule_like_construct_over_match_model(self, graph):
+        """CONSTRUCT can express rule-style derivations — an
+        alternative surface for the Fig. 6 pattern."""
+        out = construct(graph,
+                        "CONSTRUCT { ?g ex:lateGoal ex:true } "
+                        "WHERE { ?g ex:minute ?m FILTER (?m > 80) }")
+        assert (EX.goal3, EX.lateGoal, EX.true) in out
+        assert len(out) == 1
+
+
+class TestRowApi:
+    def test_attribute_access(self, graph):
+        rows = query(graph, "SELECT ?g WHERE { ?g a ex:Goal }")
+        assert rows[0].g == rows[0]["g"]
+
+    def test_asdict(self, graph):
+        rows = query(graph, "SELECT ?g ?m WHERE { ?g ex:minute ?m }")
+        d = rows[0].asdict()
+        assert set(d) == {"g", "m"}
+
+    def test_unknown_variable_raises(self, graph):
+        rows = query(graph, "SELECT ?g WHERE { ?g a ex:Goal }")
+        with pytest.raises(KeyError):
+            rows[0]["nope"]

@@ -1,0 +1,149 @@
+"""Tests for the SPARQL lexer and parser."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf import RDF, Literal, URIRef, Variable
+from repro.sparql.ast import (AskQuery, BoundCall, Comparison, LogicalAnd,
+                              LogicalNot, LogicalOr, RegexCall, SelectQuery)
+from repro.sparql.lexer import tokenize
+from repro.sparql.parser import parse_query
+
+
+class TestLexer:
+    def test_basic_kinds(self):
+        tokens = tokenize('SELECT ?x WHERE { ?x <http://e.org/p> "v" }')
+        kinds = [t.kind for t in tokens]
+        assert kinds == ["KEYWORD", "VAR", "KEYWORD", "OP", "VAR", "IRI",
+                         "STRING", "OP", "EOF"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT # a comment\n ?x")
+        assert [t.kind for t in tokens] == ["KEYWORD", "VAR", "EOF"]
+
+    def test_pname(self):
+        tokens = tokenize("pre:Goal")
+        assert tokens[0].kind == "PNAME"
+
+    def test_line_tracking(self):
+        tokens = tokenize("SELECT\n?x")
+        assert tokens[1].line == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @")
+
+
+class TestSelectParsing:
+    def test_simple_select(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/p> ?o }")
+        assert isinstance(query, SelectQuery)
+        assert query.variables == [Variable("s")]
+        assert len(query.where.triples) == 1
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert query.variables == []
+        assert set(query.projection) == {Variable("s"), Variable("p"),
+                                         Variable("o")}
+
+    def test_distinct(self):
+        query = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+        assert query.distinct is True
+
+    def test_prefix_resolution(self):
+        query = parse_query(
+            "PREFIX ex: <http://e.org/> "
+            "SELECT ?s WHERE { ?s a ex:Goal }")
+        pattern = query.where.triples[0]
+        assert pattern.predicate == RDF.type
+        assert pattern.obj == URIRef("http://e.org/Goal")
+
+    def test_semicolon_shares_subject(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/p> ?a ; "
+            "<http://e.org/q> ?b . }")
+        subjects = {t.subject for t in query.where.triples}
+        assert subjects == {Variable("s")}
+        assert len(query.where.triples) == 2
+
+    def test_comma_shares_predicate(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/p> ?a , ?b }")
+        assert len(query.where.triples) == 2
+        predicates = {t.predicate for t in query.where.triples}
+        assert len(predicates) == 1
+
+    def test_numeric_literal(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/minute> 10 }")
+        assert query.where.triples[0].obj == Literal(10)
+
+    def test_order_limit_offset(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) "
+            "LIMIT 5 OFFSET 2")
+        assert query.order_by[0].descending is True
+        assert query.limit == 5
+        assert query.offset == 2
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert len(query.where.triples) == 1
+
+    def test_optional_group(self):
+        query = parse_query(
+            "SELECT ?s ?n WHERE { ?s ?p ?o "
+            "OPTIONAL { ?s <http://e.org/name> ?n } }")
+        assert len(query.where.optionals) == 1
+
+
+class TestFilterParsing:
+    def test_comparison(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s <http://e.org/m> ?m "
+            "FILTER (?m > 45) }")
+        expr = query.where.filters[0].expression
+        assert isinstance(expr, Comparison)
+        assert expr.operator == ">"
+
+    def test_logical_combination(self):
+        query = parse_query(
+            "SELECT ?s WHERE { ?s ?p ?o "
+            "FILTER (?o > 1 && ?o < 9 || !BOUND(?s)) }")
+        expr = query.where.filters[0].expression
+        assert isinstance(expr, LogicalOr)
+        assert isinstance(expr.left, LogicalAnd)
+        assert isinstance(expr.right, LogicalNot)
+        assert isinstance(expr.right.operand, BoundCall)
+
+    def test_regex(self):
+        query = parse_query(
+            'SELECT ?s WHERE { ?s ?p ?o FILTER (REGEX(?o, "mes", "i")) }')
+        expr = query.where.filters[0].expression
+        assert isinstance(expr, RegexCall)
+        assert expr.pattern == "mes"
+        assert expr.flags == "i"
+
+
+class TestAskParsing:
+    def test_ask(self):
+        query = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(query, AskQuery)
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "",
+        "SELECT WHERE { ?s ?p ?o }",
+        "SELECT ?s WHERE { ?s ?p }",
+        "SELECT ?s WHERE { ?s ?p ?o ",
+        "FOO ?s WHERE { ?s ?p ?o }",
+        "SELECT ?s WHERE { ?s ?p ?o } trailing",
+        "SELECT ?s WHERE { ?s pre:Goal ?o }",   # unbound prefix
+        "SELECT ?s WHERE { ?s ?p ?o } LIMIT x",
+    ])
+    def test_malformed_queries_raise(self, bad):
+        with pytest.raises(Exception):
+            parse_query(bad)
