@@ -1,0 +1,114 @@
+"""Ingestion throughput: serial vs parallel batch ingestion.
+
+Measures full steps 2–8 (IE → population → inference → indexing →
+merge) over the standard corpus, serial and with a 4-worker process
+pool, and writes machine-readable ``BENCH_ingest.json`` so future
+scaling PRs can track the perf trajectory.
+
+The parallel path must be bit-identical to the serial one regardless
+of hardware; the ≥1.5× speedup assertion only runs on machines with
+at least 4 cores (a process pool cannot beat serial on a single
+core — the JSON records why the assertion was skipped).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+from benchmarks.conftest import write_result
+
+PARALLEL_WORKERS = 4
+REQUIRED_SPEEDUP = 1.5
+
+
+def _timed_run(corpus, workers: int, profile: bool = False):
+    pipeline = SemanticRetrievalPipeline()
+    started = time.perf_counter()
+    result = pipeline.run(corpus.crawled, workers=workers,
+                          profile=profile)
+    return time.perf_counter() - started, result
+
+
+def test_ingestion_throughput(corpus, results_dir):
+    matches = len(corpus.crawled)
+    narrations = sum(len(crawled.narrations)
+                     for crawled in corpus.crawled)
+    cpu_count = os.cpu_count() or 1
+
+    serial_seconds, serial = _timed_run(corpus, workers=1, profile=True)
+    parallel_seconds, parallel = _timed_run(corpus,
+                                            workers=PARALLEL_WORKERS)
+
+    parity = all(serial.index(name).to_json()
+                 == parallel.index(name).to_json()
+                 for name in IndexName.BUILT)
+    speedup = serial_seconds / parallel_seconds
+    assert_speedup = cpu_count >= PARALLEL_WORKERS
+
+    profile = serial.profile.to_json() if serial.profile else {}
+    payload = {
+        "benchmark": "ingestion_throughput",
+        "corpus": {"matches": matches, "narrations": narrations},
+        "cpu_count": cpu_count,
+        "serial": {
+            "workers": 1,
+            "seconds": round(serial_seconds, 3),
+            "matches_per_sec": round(matches / serial_seconds, 3),
+        },
+        "parallel": {
+            "workers": PARALLEL_WORKERS,
+            "seconds": round(parallel_seconds, 3),
+            "matches_per_sec": round(matches / parallel_seconds, 3),
+        },
+        "speedup": round(speedup, 3),
+        "parity": parity,
+        "speedup_asserted": assert_speedup,
+        "speedup_assertion_note": (
+            f"asserted >= {REQUIRED_SPEEDUP}x" if assert_speedup else
+            f"skipped: {cpu_count} core(s) < {PARALLEL_WORKERS} workers"),
+        "serial_profile": profile,
+    }
+    write_result(results_dir, "BENCH_ingest.json",
+                 json.dumps(payload, indent=2) + "\n")
+
+    text = (f"ingestion: {matches} matches / {narrations} narrations — "
+            f"serial {serial_seconds:.2f}s "
+            f"({matches / serial_seconds:.2f} matches/s), "
+            f"{PARALLEL_WORKERS} workers {parallel_seconds:.2f}s "
+            f"({matches / parallel_seconds:.2f} matches/s), "
+            f"speedup {speedup:.2f}x on {cpu_count} core(s)")
+    write_result(results_dir, "ingest_throughput.txt", text)
+    print("\n" + text)
+
+    assert parity, "parallel ingestion diverged from serial output"
+    if assert_speedup:
+        assert speedup >= REQUIRED_SPEEDUP, (
+            f"expected >= {REQUIRED_SPEEDUP}x speedup at "
+            f"{PARALLEL_WORKERS} workers on {cpu_count} cores, "
+            f"got {speedup:.2f}x")
+
+
+def test_cache_hit_rates_on_hot_path(corpus, results_dir):
+    """The analysis caches must actually absorb the repeated work."""
+    from repro.search.analysis.stemmer import PorterStemmer
+
+    PorterStemmer.cache_clear()
+    pipeline = SemanticRetrievalPipeline()
+    result = pipeline.run(corpus.crawled, profile=True)
+    caches = result.profile.caches
+
+    stem_info = caches["stemmer.porter"]
+    stem_total = stem_info["hits"] + stem_info["misses"]
+    assert stem_total > 0
+    assert stem_info["hit_rate"] > 0.9, stem_info
+
+    token_info = caches["analyzer.token_stream"]
+    assert token_info["hits"] + token_info["misses"] > 0
+    assert token_info["hit_rate"] > 0.3, token_info
+
+    for name in ("indexer.event_class", "indexer.class_label"):
+        info = caches[name]
+        assert info["hit_rate"] > 0.9, (name, info)

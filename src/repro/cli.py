@@ -39,6 +39,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=None,
                         help="corpus seed (default: the paper-matched "
                              "seed)")
+    parser.add_argument("-w", "--workers", type=int, default=1,
+                        help="worker processes for batch ingestion "
+                             "(default: 1, serial)")
+    parser.add_argument("--profile", action="store_true",
+                        help="print per-stage timings and cache hit "
+                             "rates after pipeline runs")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("corpus",
@@ -82,6 +88,17 @@ def _corpus(seed: Optional[int]):
     return standard_corpus(seed=seed)
 
 
+def _run_pipeline(args, corpus):
+    """Run the pipeline honoring the --workers/--profile flags."""
+    result = SemanticRetrievalPipeline().run(
+        corpus.crawled, workers=args.workers, profile=args.profile)
+    if args.profile and result.profile is not None:
+        print()
+        print(result.profile.render())
+        print()
+    return result
+
+
 def _command_corpus(args) -> int:
     corpus = _corpus(args.seed)
     stats = corpus_statistics(corpus)
@@ -97,9 +114,10 @@ def _command_corpus(args) -> int:
 
 def _command_build(args) -> int:
     corpus = _corpus(args.seed)
-    print(f"building pipeline over {len(corpus.matches)} matches…")
+    print(f"building pipeline over {len(corpus.matches)} matches "
+          f"with {args.workers} worker(s)…")
     started = time.perf_counter()
-    result = SemanticRetrievalPipeline().run(corpus.crawled)
+    result = _run_pipeline(args, corpus)
     elapsed = time.perf_counter() - started
     print(f"pipeline finished in {elapsed:.1f}s")
     for name, index in result.indexes.items():
@@ -120,7 +138,7 @@ def _command_search(args) -> int:
             return 2
     else:
         corpus = _corpus(args.seed)
-        result = SemanticRetrievalPipeline().run(corpus.crawled)
+        result = _run_pipeline(args, corpus)
         index = result.index(index_name)
 
     if args.phrasal:
@@ -144,7 +162,7 @@ def _command_search(args) -> int:
 def _command_evaluate(args) -> int:
     corpus = _corpus(args.seed)
     print("building pipeline…")
-    result = SemanticRetrievalPipeline().run(corpus.crawled)
+    result = _run_pipeline(args, corpus)
     harness = EvaluationHarness(corpus, result)
     print()
     print(render_table(harness.table4(), "Table 4"))

@@ -17,9 +17,14 @@ from repro.core.feedback import (FeedbackLearner, FeedbackSearchEngine,
                                  FeedbackStore)
 from repro.core.fields import F, FIELD_BOOSTS, SEARCHED_FIELDS
 from repro.core.indexer import SemanticIndexer, default_index_analyzer
+from repro.core.names import IndexName
+from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
+                                 ParallelPipelineExecutor)
 from repro.core.phrasal import PhrasalQueryParser, PhrasalSearchEngine
-from repro.core.pipeline import (IndexName, PipelineResult,
+from repro.core.pipeline import (PipelineResult,
                                  SemanticRetrievalPipeline)
+from repro.core.profiling import (CacheCounter, PipelineProfile,
+                                  StageProfiler)
 from repro.core.retrieval import KeywordSearchEngine, SearchHit
 from repro.core.storage import ModelStore
 
@@ -43,4 +48,11 @@ __all__ = [
     "PipelineResult",
     "SemanticRetrievalPipeline",
     "ModelStore",
+    "MatchTask",
+    "MatchPartial",
+    "MatchProcessor",
+    "ParallelPipelineExecutor",
+    "CacheCounter",
+    "PipelineProfile",
+    "StageProfiler",
 ]

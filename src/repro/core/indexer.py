@@ -23,6 +23,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.core.fields import (F, FIELD_BOOSTS, camel_to_words,
                                class_label)
+from repro.core.profiling import CacheCounter
 from repro.ontology.model import Individual, Ontology
 from repro.rdf.namespace import SOCCER
 from repro.rdf.term import URIRef
@@ -67,6 +68,59 @@ class SemanticIndexer:
             SOCCER.objectTeam, include_self=True)
         self._actor_props = self.taxonomy.subproperties(
             SOCCER.actorOfMove, include_self=True)
+        # ancestor-closure caches: every event document re-asks the
+        # same "is this class an Event/Player?" and label questions,
+        # so memoize them per class URI instead of re-walking the
+        # taxonomy per document.
+        self._event_class_cache: Dict[URIRef, bool] = {}
+        self._player_class_cache: Dict[URIRef, bool] = {}
+        self._label_cache: Dict[URIRef, str] = {}
+        self._cache_counters = {
+            "event_class": CacheCounter(),
+            "player_class": CacheCounter(),
+            "class_label": CacheCounter(),
+        }
+
+    # ------------------------------------------------------------------
+    # taxonomy / label caches
+    # ------------------------------------------------------------------
+
+    def _is_event_class(self, uri: URIRef) -> bool:
+        counter = self._cache_counters["event_class"]
+        cached = self._event_class_cache.get(uri)
+        if cached is not None:
+            counter.hit()
+            return cached
+        counter.miss()
+        result = self.taxonomy.is_subclass_of(uri, SOCCER.Event)
+        self._event_class_cache[uri] = result
+        return result
+
+    def _is_player_class(self, uri: URIRef) -> bool:
+        counter = self._cache_counters["player_class"]
+        cached = self._player_class_cache.get(uri)
+        if cached is not None:
+            counter.hit()
+            return cached
+        counter.miss()
+        result = self.taxonomy.is_subclass_of(uri, SOCCER.Player)
+        self._player_class_cache[uri] = result
+        return result
+
+    def _class_label(self, uri: URIRef) -> str:
+        counter = self._cache_counters["class_label"]
+        cached = self._label_cache.get(uri)
+        if cached is not None:
+            counter.hit()
+            return cached
+        counter.miss()
+        label = class_label(self.ontology, uri)
+        self._label_cache[uri] = label
+        return label
+
+    def cache_stats(self) -> Dict[str, CacheCounter]:
+        """Hit/miss counters of the taxonomy and label caches."""
+        return dict(self._cache_counters)
 
     # ------------------------------------------------------------------
     # TRAD
@@ -123,8 +177,7 @@ class SemanticIndexer:
     # ------------------------------------------------------------------
 
     def _is_event(self, individual: Individual) -> bool:
-        return any(self.taxonomy.is_subclass_of(t, SOCCER.Event)
-                   for t in individual.types)
+        return any(self._is_event_class(t) for t in individual.types)
 
     def _find_match(self, abox: Ontology) -> Optional[Individual]:
         for individual in abox.individuals(SOCCER.Match):
@@ -174,8 +227,8 @@ class SemanticIndexer:
                            else event.uri.local_name))
 
         event_types = sorted(
-            class_label(self.ontology, t) for t in event.types
-            if self.taxonomy.is_subclass_of(t, SOCCER.Event))
+            self._class_label(t) for t in event.types
+            if self._is_event_class(t))
         document.add(Field(F.EVENT, " ".join(event_types),
                            boost=FIELD_BOOSTS[F.EVENT]))
 
@@ -255,9 +308,8 @@ class SemanticIndexer:
                 if isinstance(value, URIRef) and abox.has_individual(value):
                     player = abox.individual(value)
                     for type_uri in sorted(player.types):
-                        if self.taxonomy.is_subclass_of(type_uri,
-                                                        SOCCER.Player):
-                            label = class_label(self.ontology, type_uri)
+                        if self._is_player_class(type_uri):
+                            label = self._class_label(type_uri)
                             if label not in labels:
                                 labels.append(label)
         return labels

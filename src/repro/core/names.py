@@ -1,0 +1,26 @@
+"""Canonical index names shared across pipeline, benchmarks, reports.
+
+Lives in its own module so both the orchestrating pipeline and the
+parallel per-match executor can import it without a cycle.
+"""
+
+from __future__ import annotations
+
+__all__ = ["IndexName"]
+
+
+class IndexName:
+    """Canonical index names used across benchmarks and reports."""
+
+    TRAD = "TRAD"
+    BASIC_EXT = "BASIC_EXT"
+    FULL_EXT = "FULL_EXT"
+    FULL_INF = "FULL_INF"
+    PHR_EXP = "PHR_EXP"
+    QUERY_EXP = "QUERY_EXP"
+
+    LADDER = (TRAD, BASIC_EXT, FULL_EXT, FULL_INF)
+
+    #: every index the pipeline materializes (QUERY_EXP is a
+    #: query-rewriting baseline over TRAD, not a separate index).
+    BUILT = (TRAD, BASIC_EXT, FULL_EXT, FULL_INF, PHR_EXP)

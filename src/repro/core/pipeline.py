@@ -12,9 +12,15 @@ Orchestrates the full flow from crawl artifacts to searchable indexes:
 8. FULL_INF index .................. step 8
 
 plus the §6 PHR_EXP index and the §5 QUERY_EXP baseline.  Per-match
-models are inferred independently (the paper's scalability design);
+models are independent (the paper's scalability design), so steps 2–8
+run per match through :mod:`repro.core.parallel` — serially in-process
+by default, or fanned out over a worker pool with ``workers=N`` — and
+the per-match partial indexes are merged back in match order, which
+reproduces the sequential doc ids exactly.
 :attr:`PipelineResult.inference_seconds` records the per-match times
-the scalability benchmark validates.
+the scalability benchmark validates, and ``run(..., profile=True)``
+attaches a :class:`~repro.core.profiling.PipelineProfile` with
+per-stage / per-match wall-clock and cache hit rates.
 """
 
 from __future__ import annotations
@@ -25,31 +31,22 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.expansion import ExpandedSearchEngine, QueryExpander
 from repro.core.indexer import SemanticIndexer
+from repro.core.names import IndexName
+from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
+                                 ParallelPipelineExecutor)
+from repro.core.profiling import PipelineProfile, StageProfiler
 from repro.core.storage import ModelStore
 from repro.core.phrasal import PhrasalSearchEngine
 from repro.core.retrieval import KeywordSearchEngine
-from repro.extraction import InformationExtractor
 from repro.ontology import Ontology, soccer_ontology
 from repro.population import OntologyPopulator
 from repro.reasoning import Reasoner
 from repro.reasoning.rules import soccer_rules
+from repro.search.analysis.stemmer import PorterStemmer
 from repro.search.index import InvertedIndex
 from repro.soccer.crawler import CrawledMatch
 
 __all__ = ["IndexName", "PipelineResult", "SemanticRetrievalPipeline"]
-
-
-class IndexName:
-    """Canonical index names used across benchmarks and reports."""
-
-    TRAD = "TRAD"
-    BASIC_EXT = "BASIC_EXT"
-    FULL_EXT = "FULL_EXT"
-    FULL_INF = "FULL_INF"
-    PHR_EXP = "PHR_EXP"
-    QUERY_EXP = "QUERY_EXP"
-
-    LADDER = (TRAD, BASIC_EXT, FULL_EXT, FULL_INF)
 
 
 @dataclass
@@ -63,9 +60,27 @@ class PipelineResult:
     inferred_models: List[Ontology]
     inference_seconds: List[float] = field(default_factory=list)
     violations: int = 0
+    profile: Optional[PipelineProfile] = None
 
-    def engine(self, name: str) -> KeywordSearchEngine:
-        return self.engines[name]
+    def engine(self, name: str):
+        """The search engine for an index name.
+
+        ``PHR_EXP`` resolves to the phrasal engine and ``QUERY_EXP``
+        to the query-expansion engine; both search interfaces match
+        :class:`KeywordSearchEngine`.
+        """
+        try:
+            return self.engines[name]
+        except KeyError:
+            pass
+        if name == IndexName.PHR_EXP:
+            return self.phrasal_engine
+        if name == IndexName.QUERY_EXP:
+            return self.expansion_engine
+        known = sorted(self.engines) + [IndexName.PHR_EXP,
+                                        IndexName.QUERY_EXP]
+        raise KeyError(f"no engine for index {name!r}; "
+                       f"available: {', '.join(known)}")
 
     def index(self, name: str) -> InvertedIndex:
         return self.indexes[name]
@@ -83,74 +98,105 @@ class SemanticRetrievalPipeline:
 
     def run(self, crawled_matches: Sequence[CrawledMatch],
             check_consistency: bool = False,
-            store: Optional["ModelStore"] = None) -> PipelineResult:
+            store: Optional["ModelStore"] = None,
+            workers: int = 1,
+            profile: bool = False) -> PipelineResult:
         """Execute steps 2–8 over ``crawled_matches``.
 
+        ``workers`` fans the per-match stages out over a process pool;
+        any value produces indexes and results identical to the serial
+        path.  ``profile=True`` attaches a
+        :class:`~repro.core.profiling.PipelineProfile` to the result.
         When ``store`` is given, the per-match models of each stage
         are persisted as N-Triples files — the paper's initial /
         extracted / inferred "OWL files" (§3.1 steps 3, 5, 7).
         """
-        trad = self.indexer.build_traditional(crawled_matches)
+        started = time.perf_counter()
+        profiler = StageProfiler(enabled=profile)
+        matches = list(crawled_matches)
+        tasks = [MatchTask(position=position, crawled=crawled,
+                           check_consistency=check_consistency,
+                           keep_intermediate=store is not None)
+                 for position, crawled in enumerate(matches)]
+        executor = ParallelPipelineExecutor(
+            workers=workers, ontology=self.ontology,
+            processor=MatchProcessor(self.ontology,
+                                     populator=self.populator,
+                                     reasoner=self.reasoner,
+                                     indexer=self.indexer))
 
-        basic_models = [self.populator.populate_basic(crawled)
-                        for crawled in crawled_matches]
+        ingest_started = time.perf_counter()
+        partials = executor.run(tasks)
+        profiler.record("per_match_total",
+                        time.perf_counter() - ingest_started)
+        for partial in partials:
+            profiler.record_match(partial.match_id, partial.stage_seconds)
+
+        with profiler.stage("merge_indexes"):
+            indexes = {name: InvertedIndex(name)
+                       for name in IndexName.BUILT}
+            for partial in partials:
+                for name, mini in partial.indexes.items():
+                    indexes[name].merge(mini)
+
+        inferred_models = [
+            self._rebuild_model(f"{partial.match_id}-full-inferred",
+                                partial.inferred_individuals)
+            for partial in partials]
         if store is not None:
-            for crawled, model in zip(crawled_matches, basic_models):
-                store.save("initial", crawled.match_id, model)
-        basic_ext = self.indexer.build_semantic(
-            basic_models, IndexName.BASIC_EXT)
+            with profiler.stage("persist_models"):
+                for partial, inferred in zip(partials, inferred_models):
+                    store.save("initial", partial.match_id,
+                               self._rebuild_model(
+                                   f"{partial.match_id}-basic",
+                                   partial.basic_individuals or []))
+                    store.save("extracted", partial.match_id,
+                               self._rebuild_model(
+                                   f"{partial.match_id}-full",
+                                   partial.full_individuals or []))
+                    store.save("inferred", partial.match_id, inferred)
 
-        full_models = []
-        for crawled in crawled_matches:
-            extractor = InformationExtractor(crawled)
-            full_models.append(self.populator.populate_full(
-                crawled, extractor.extract_all()))
-        if store is not None:
-            for crawled, model in zip(crawled_matches, full_models):
-                store.save("extracted", crawled.match_id, model)
-        full_ext = self.indexer.build_semantic(
-            full_models, IndexName.FULL_EXT)
-
-        inferred_models: List[Ontology] = []
-        inference_seconds: List[float] = []
-        violation_count = 0
-        for model in full_models:
-            started = time.perf_counter()
-            result = self.reasoner.infer(
-                model, check_consistency=check_consistency)
-            inference_seconds.append(time.perf_counter() - started)
-            inferred_models.append(result.abox)
-            violation_count += len(result.violations)
-        if store is not None:
-            for crawled, model in zip(crawled_matches, inferred_models):
-                store.save("inferred", crawled.match_id, model)
-        full_inf = self.indexer.build_semantic(
-            inferred_models, IndexName.FULL_INF, inferred=True)
-        phr_exp = self.indexer.build_semantic(
-            inferred_models, IndexName.PHR_EXP, inferred=True,
-            phrasal=True)
-
-        indexes = {
-            IndexName.TRAD: trad,
-            IndexName.BASIC_EXT: basic_ext,
-            IndexName.FULL_EXT: full_ext,
-            IndexName.FULL_INF: full_inf,
-            IndexName.PHR_EXP: phr_exp,
-        }
-        engines = {
-            IndexName.TRAD: KeywordSearchEngine(trad),
-            IndexName.BASIC_EXT: KeywordSearchEngine(basic_ext),
-            IndexName.FULL_EXT: KeywordSearchEngine(full_ext),
-            IndexName.FULL_INF: KeywordSearchEngine(full_inf),
-        }
+        engines = {name: KeywordSearchEngine(indexes[name])
+                   for name in IndexName.LADDER}
+        if profile:
+            self._collect_cache_stats(profiler)
         return PipelineResult(
             indexes=indexes,
             engines=engines,
-            phrasal_engine=PhrasalSearchEngine(phr_exp),
+            phrasal_engine=PhrasalSearchEngine(
+                indexes[IndexName.PHR_EXP]),
             expansion_engine=ExpandedSearchEngine(
-                trad, QueryExpander(self.ontology,
-                                    taxonomy=self.reasoner.taxonomy)),
+                indexes[IndexName.TRAD],
+                QueryExpander(self.ontology,
+                              taxonomy=self.reasoner.taxonomy)),
             inferred_models=inferred_models,
-            inference_seconds=inference_seconds,
-            violations=violation_count,
+            inference_seconds=[partial.inference_seconds
+                               for partial in partials],
+            violations=sum(partial.violations for partial in partials),
+            profile=(profiler.snapshot(
+                workers=workers,
+                total_seconds=time.perf_counter() - started)
+                if profile else None),
         )
+
+    def _rebuild_model(self, name: str,
+                       individuals: Sequence) -> Ontology:
+        """An ABox over this pipeline's TBox from a list of
+        individuals (as returned inside a :class:`MatchPartial`)."""
+        abox = self.ontology.spawn_abox(name)
+        for individual in individuals:
+            abox.add_individual(individual)
+        return abox
+
+    def _collect_cache_stats(self, profiler: StageProfiler) -> None:
+        """Register the analysis-path cache counters.
+
+        With ``workers>1`` the hot caches live in the worker
+        processes; the parent-side numbers reported here then only
+        cover parent-side work (e.g. nothing, or earlier serial runs).
+        """
+        for name, counter in self.indexer.cache_stats().items():
+            profiler.add_cache(f"indexer.{name}", counter)
+        profiler.add_cache("analyzer.token_stream",
+                           self.indexer.analyzer.cache_info())
+        profiler.add_cache("stemmer.porter", PorterStemmer.cache_info())

@@ -1,0 +1,200 @@
+"""Lightweight stage profiler for the ingestion pipeline.
+
+Records per-stage and per-match wall-clock plus cache hit rates, so
+every scaling PR can measure where ingestion time goes before and
+after a change.  The profiler is deliberately tiny: a disabled
+profiler costs one attribute check per stage, and an enabled one two
+``perf_counter`` calls — cheap enough to leave on in production
+builds (``repro build --profile``).
+
+The snapshot (:class:`PipelineProfile`) is attached to
+:class:`~repro.core.pipeline.PipelineResult` and serializes to JSON
+for the ``BENCH_ingest.json`` trajectory file.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+__all__ = ["CacheCounter", "StageStats", "PipelineProfile",
+           "StageProfiler"]
+
+
+@dataclass
+class CacheCounter:
+    """Hit/miss tally for one memoization layer."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def hit(self) -> None:
+        self.hits += 1
+
+    def miss(self) -> None:
+        self.misses += 1
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "hit_rate": round(self.hit_rate, 4)}
+
+
+@dataclass
+class StageStats:
+    """Accumulated wall-clock for one named stage."""
+
+    seconds: float = 0.0
+    calls: int = 0
+
+    def add(self, seconds: float) -> None:
+        self.seconds += seconds
+        self.calls += 1
+
+
+@dataclass
+class PipelineProfile:
+    """An immutable snapshot of one profiled pipeline run."""
+
+    stages: Dict[str, StageStats] = field(default_factory=dict)
+    # match_id -> stage -> seconds
+    match_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    caches: Dict[str, dict] = field(default_factory=dict)
+    total_seconds: float = 0.0
+    workers: int = 1
+
+    def stage_seconds(self, name: str) -> float:
+        stats = self.stages.get(name)
+        return stats.seconds if stats else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "workers": self.workers,
+            "total_seconds": round(self.total_seconds, 6),
+            "stages": {name: {"seconds": round(stats.seconds, 6),
+                              "calls": stats.calls}
+                       for name, stats in self.stages.items()},
+            "match_stages": {
+                match_id: {stage: round(seconds, 6)
+                           for stage, seconds in stages.items()}
+                for match_id, stages in self.match_stages.items()
+            },
+            "caches": dict(self.caches),
+        }
+
+    def render(self) -> str:
+        """A human-readable table (the ``--profile`` CLI output)."""
+        lines = [f"pipeline profile — {self.total_seconds:.2f}s total, "
+                 f"{self.workers} worker(s)"]
+        if self.stages:
+            lines.append("")
+            lines.append(f"{'stage':28} {'calls':>6} {'seconds':>9}")
+            for name, stats in sorted(self.stages.items(),
+                                      key=lambda kv: -kv[1].seconds):
+                lines.append(f"{name:28} {stats.calls:6d} "
+                             f"{stats.seconds:9.3f}")
+        if self.caches:
+            lines.append("")
+            lines.append(f"{'cache':28} {'hits':>9} {'misses':>8} "
+                         f"{'hit rate':>9}")
+            for name, info in sorted(self.caches.items()):
+                total = info.get("hits", 0) + info.get("misses", 0)
+                rate = info.get("hits", 0) / total if total else 0.0
+                lines.append(f"{name:28} {info.get('hits', 0):9d} "
+                             f"{info.get('misses', 0):8d} {rate:8.1%}")
+        return "\n".join(lines)
+
+
+class StageProfiler:
+    """Collects stage timings while the pipeline runs.
+
+    Usage::
+
+        profiler = StageProfiler()
+        with profiler.stage("merge_indexes"):
+            ...
+        profiler.record_match("match_03", {"inference": 0.41})
+        profile = profiler.snapshot(workers=4)
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._stages: Dict[str, StageStats] = {}
+        self._match_stages: Dict[str, Dict[str, float]] = {}
+        self._caches: Dict[str, dict] = {}
+        self._started = time.perf_counter()
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time one block under ``name`` (no-op when disabled)."""
+        if not self.enabled:
+            yield
+            return
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.record(name, time.perf_counter() - started)
+
+    def record(self, name: str, seconds: float) -> None:
+        """Accumulate an externally-measured stage duration."""
+        if not self.enabled:
+            return
+        self._stages.setdefault(name, StageStats()).add(seconds)
+
+    def record_match(self, match_id: str,
+                     stage_seconds: Dict[str, float]) -> None:
+        """Attach one match's per-stage wall-clock, and fold each
+        stage into the aggregate totals."""
+        if not self.enabled:
+            return
+        self._match_stages[match_id] = dict(stage_seconds)
+        for stage, seconds in stage_seconds.items():
+            self.record(stage, seconds)
+
+    def add_cache(self, name: str, info) -> None:
+        """Register cache statistics under ``name``.
+
+        Accepts a :class:`CacheCounter`, anything with ``hits`` /
+        ``misses`` attributes (e.g. ``functools.lru_cache`` info), or
+        a plain mapping.
+        """
+        if not self.enabled:
+            return
+        if isinstance(info, CacheCounter):
+            self._caches[name] = info.as_dict()
+        elif hasattr(info, "hits") and hasattr(info, "misses"):
+            entry = {"hits": int(info.hits), "misses": int(info.misses)}
+            if getattr(info, "currsize", None) is not None:
+                entry["currsize"] = int(info.currsize)
+            total = entry["hits"] + entry["misses"]
+            entry["hit_rate"] = round(entry["hits"] / total, 4) \
+                if total else 0.0
+            self._caches[name] = entry
+        else:
+            self._caches[name] = dict(info)
+
+    def snapshot(self, workers: int = 1,
+                 total_seconds: Optional[float] = None) -> PipelineProfile:
+        """Freeze the collected data into a :class:`PipelineProfile`."""
+        if total_seconds is None:
+            total_seconds = time.perf_counter() - self._started
+        return PipelineProfile(
+            stages={name: StageStats(stats.seconds, stats.calls)
+                    for name, stats in self._stages.items()},
+            match_stages={match_id: dict(stages)
+                          for match_id, stages
+                          in self._match_stages.items()},
+            caches=dict(self._caches),
+            total_seconds=total_seconds,
+            workers=workers,
+        )

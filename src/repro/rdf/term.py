@@ -216,6 +216,13 @@ class Literal(Term):
     def __hash__(self) -> int:
         return self._hash
 
+    def __reduce__(self):
+        # Default slot-based pickling would call __setattr__ on the
+        # restored instance, which immutability forbids; reconstruct
+        # through the constructor instead.  Needed so per-match ABoxes
+        # can cross process boundaries in the parallel pipeline.
+        return (Literal, (self.lexical, self.datatype, self.language))
+
     def __lt__(self, other: "Literal") -> bool:
         if not isinstance(other, Literal):
             return NotImplemented

@@ -8,9 +8,15 @@ that the improved index answers both "goal" and "scores" (§4).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 __all__ = ["PorterStemmer", "stem"]
 
 _VOWELS = set("aeiou")
+
+#: Size of the shared stem cache.  Narrations re-use the same soccer
+#: vocabulary thousands of times, so the working set is far smaller.
+STEM_CACHE_SIZE = 65536
 
 
 class PorterStemmer:
@@ -179,7 +185,18 @@ class PorterStemmer:
     # ------------------------------------------------------------------
 
     def stem(self, word: str) -> str:
-        """Stem one lowercase word."""
+        """Stem one lowercase word (memoized across all instances).
+
+        The stemmer is stateless, so every plain :class:`PorterStemmer`
+        shares one :func:`functools.lru_cache`; subclasses that change
+        the algorithm bypass it.
+        """
+        if type(self) is PorterStemmer:
+            return _cached_stem(word)
+        return self.stem_uncached(word)
+
+    def stem_uncached(self, word: str) -> str:
+        """Run the five-step algorithm without consulting the cache."""
         if len(word) <= 2:
             return word
         word = self._step1a(word)
@@ -192,10 +209,25 @@ class PorterStemmer:
         word = self._step5b(word)
         return word
 
+    @staticmethod
+    def cache_info():
+        """hits/misses/maxsize/currsize of the shared stem cache."""
+        return _cached_stem.cache_info()
+
+    @staticmethod
+    def cache_clear() -> None:
+        """Empty the shared stem cache (test isolation helper)."""
+        _cached_stem.cache_clear()
+
 
 _DEFAULT = PorterStemmer()
 
 
+@lru_cache(maxsize=STEM_CACHE_SIZE)
+def _cached_stem(word: str) -> str:
+    return _DEFAULT.stem_uncached(word)
+
+
 def stem(word: str) -> str:
     """Stem with a shared default stemmer instance."""
-    return _DEFAULT.stem(word)
+    return _cached_stem(word)

@@ -10,7 +10,7 @@ query-time scalability (§1, §3.6).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import IndexError_
 from repro.search.document import Document, Field
@@ -32,6 +32,9 @@ class InvertedIndex:
         self._boosts: Dict[str, Dict[int, float]] = {}
         # doc_id -> field name -> stored values
         self._stored: List[Dict[str, List[str]]] = []
+        # every field seen at write time (indexed or stored), so
+        # field_names() never has to rescan the stored documents
+        self._field_names: Set[str] = set()
 
     # ------------------------------------------------------------------
     # writing
@@ -47,6 +50,7 @@ class InvertedIndex:
         """Add analyzed terms of one document field."""
         if not 0 <= doc_id < len(self._stored):
             raise IndexError_(f"unknown doc_id {doc_id}")
+        self._field_names.add(field_name)
         field_terms = self._terms.setdefault(field_name, {})
         for term, position in terms_with_positions:
             postings = field_terms.get(term)
@@ -61,6 +65,7 @@ class InvertedIndex:
             boosts[doc_id] = boosts.get(doc_id, 1.0) * boost
 
     def store_value(self, doc_id: int, field_name: str, value: str) -> None:
+        self._field_names.add(field_name)
         self._stored[doc_id].setdefault(field_name, []).append(value)
 
     # ------------------------------------------------------------------
@@ -72,8 +77,7 @@ class InvertedIndex:
         return len(self._stored)
 
     def field_names(self) -> List[str]:
-        return sorted(set(self._terms) | {name for doc in self._stored
-                                          for name in doc})
+        return sorted(self._field_names)
 
     def postings(self, field_name: str, term: str) -> Optional[PostingsList]:
         return self._terms.get(field_name, {}).get(term)
@@ -166,6 +170,7 @@ class InvertedIndex:
             target_boosts = self._boosts.setdefault(field_name, {})
             for doc_id, boost in boosts.items():
                 target_boosts[doc_id + offset] = boost
+        self._field_names |= other._field_names
         return offset
 
     # ------------------------------------------------------------------
@@ -213,6 +218,8 @@ class InvertedIndex:
             {name: list(values) for name, values in doc.items()}
             for doc in data.get("stored", [])
         ]
+        index._field_names = set(index._terms) | {
+            name for doc in index._stored for name in doc}
         return index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

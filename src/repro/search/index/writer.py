@@ -2,13 +2,25 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from collections import OrderedDict, namedtuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.search.analysis.analyzer import Analyzer, StandardAnalyzer
+from repro.search.analysis.tokenizer import Token
 from repro.search.document import Document
 from repro.search.index.inverted import InvertedIndex
 
-__all__ = ["PerFieldAnalyzer", "IndexWriter"]
+__all__ = ["PerFieldAnalyzer", "IndexWriter", "CacheInfo"]
+
+#: Mirrors :func:`functools.lru_cache`'s info tuple so stemmer and
+#: analyzer caches report through one shape.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize",
+                                     "currsize"])
+
+#: Default capacity of the token-stream cache.  Field values repeat
+#: heavily (event types, team names, player names), so the hot set is
+#: small relative to corpus size.
+TOKEN_CACHE_SIZE = 32768
 
 
 class PerFieldAnalyzer:
@@ -17,15 +29,56 @@ class PerFieldAnalyzer:
     The semantic index needs this: narration text is stemmed, while
     event/player fields keep exact (lowercased) tokens so ontology
     terms are not distorted.
+
+    :meth:`analyze` additionally memoizes token streams keyed by
+    ``(field, text)`` — the indexing hot path re-analyzes the same
+    event labels and names for every document that carries them.
     """
 
     def __init__(self, default: Optional[Analyzer] = None,
-                 per_field: Optional[Dict[str, Analyzer]] = None) -> None:
+                 per_field: Optional[Dict[str, Analyzer]] = None,
+                 cache_size: int = TOKEN_CACHE_SIZE) -> None:
         self.default = default or StandardAnalyzer()
         self.per_field = dict(per_field or {})
+        self._cache: "OrderedDict[Tuple[str, str], List[Token]]" = \
+            OrderedDict()
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
 
     def for_field(self, field_name: str) -> Analyzer:
         return self.per_field.get(field_name, self.default)
+
+    def analyze(self, field_name: str, text: str) -> List[Token]:
+        """Analyze ``text`` for ``field_name`` through the LRU cache.
+
+        The returned list is shared between callers and must not be
+        mutated.
+        """
+        if self._cache_size <= 0:
+            return self.for_field(field_name).analyze(text)
+        key = (field_name, text)
+        tokens = self._cache.get(key)
+        if tokens is not None:
+            self._hits += 1
+            self._cache.move_to_end(key)
+            return tokens
+        self._misses += 1
+        tokens = self.for_field(field_name).analyze(text)
+        self._cache[key] = tokens
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return tokens
+
+    def cache_info(self) -> CacheInfo:
+        """hits/misses/maxsize/currsize of the token-stream cache."""
+        return CacheInfo(self._hits, self._misses, self._cache_size,
+                         len(self._cache))
+
+    def cache_clear(self) -> None:
+        self._cache.clear()
+        self._hits = 0
+        self._misses = 0
 
 
 class IndexWriter:
@@ -45,8 +98,7 @@ class IndexWriter:
         doc_id = self.index.new_doc_id()
         for field_ in document:
             if field_.indexed and field_.value:
-                tokens = self.analyzer.for_field(field_.name).analyze(
-                    field_.value)
+                tokens = self.analyzer.analyze(field_.name, field_.value)
                 self.index.index_terms(
                     doc_id, field_.name,
                     [(token.text, token.position) for token in tokens],

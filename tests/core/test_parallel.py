@@ -1,0 +1,132 @@
+"""Parallel batch ingestion: parity with the serial path.
+
+The acceptance bar is bit-identical output: ``workers=N`` must yield
+the same indexes, rankings and inference results as ``workers=1``.
+"""
+
+import pytest
+
+from repro.core import (IndexName, MatchProcessor, MatchTask,
+                        ParallelPipelineExecutor,
+                        SemanticRetrievalPipeline)
+
+
+@pytest.fixture(scope="module")
+def serial_result(small_corpus):
+    return SemanticRetrievalPipeline().run(small_corpus.crawled, workers=1)
+
+
+@pytest.fixture(scope="module")
+def parallel_result(small_corpus):
+    return SemanticRetrievalPipeline().run(small_corpus.crawled, workers=2)
+
+
+class TestParallelParity:
+    def test_indexes_bit_identical(self, serial_result, parallel_result):
+        for name in IndexName.BUILT:
+            assert serial_result.index(name).to_json() \
+                == parallel_result.index(name).to_json(), name
+
+    def test_rankings_identical(self, serial_result, parallel_result):
+        for query in ("goal", "penalty save", "yellow card", "corner"):
+            serial_hits = [(hit.doc_key, hit.score) for hit in
+                           serial_result.engine(IndexName.FULL_INF)
+                           .search(query, limit=20)]
+            parallel_hits = [(hit.doc_key, hit.score) for hit in
+                             parallel_result.engine(IndexName.FULL_INF)
+                             .search(query, limit=20)]
+            assert serial_hits == parallel_hits, query
+
+    def test_inference_results_identical(self, serial_result,
+                                         parallel_result):
+        assert serial_result.violations == parallel_result.violations
+        assert len(serial_result.inference_seconds) \
+            == len(parallel_result.inference_seconds)
+        for serial_model, parallel_model in zip(
+                serial_result.inferred_models,
+                parallel_result.inferred_models):
+            assert serial_model.name == parallel_model.name
+            assert serial_model.individual_count \
+                == parallel_model.individual_count
+            for individual in serial_model.individuals():
+                other = parallel_model.individual(individual.uri)
+                assert individual.types == other.types
+                assert individual.properties == other.properties
+
+    def test_persisted_models_identical(self, small_corpus, tmp_path):
+        from repro.core import ModelStore
+        pipeline = SemanticRetrievalPipeline()
+        serial_store = ModelStore(tmp_path / "serial", pipeline.ontology)
+        parallel_store = ModelStore(tmp_path / "parallel",
+                                    pipeline.ontology)
+        pipeline.run(small_corpus.crawled, store=serial_store, workers=1)
+        pipeline.run(small_corpus.crawled, store=parallel_store,
+                     workers=2)
+        for stage in ("initial", "extracted", "inferred"):
+            slugs = serial_store.list(stage)
+            assert slugs == parallel_store.list(stage)
+            for slug in slugs:
+                serial_path = serial_store.root / stage / f"{slug}.nt"
+                parallel_path = parallel_store.root / stage / f"{slug}.nt"
+                assert sorted(serial_path.read_text().splitlines()) \
+                    == sorted(parallel_path.read_text().splitlines())
+
+
+class TestExecutor:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError):
+            ParallelPipelineExecutor(workers=0)
+
+    def test_results_ordered_by_position(self, small_corpus):
+        tasks = [MatchTask(position=index, crawled=crawled)
+                 for index, crawled in enumerate(small_corpus.crawled)]
+        executor = ParallelPipelineExecutor(workers=2)
+        partials = executor.run(list(reversed(tasks)))
+        assert [partial.position for partial in partials] \
+            == sorted(task.position for task in tasks)
+
+    def test_serial_reuses_one_processor(self, small_corpus):
+        executor = ParallelPipelineExecutor(workers=1)
+        executor.run([MatchTask(position=0,
+                                crawled=small_corpus.crawled[0])])
+        first = executor._processor
+        executor.run([MatchTask(position=0,
+                                crawled=small_corpus.crawled[0])])
+        assert executor._processor is first
+
+
+class TestMatchProcessor:
+    def test_partial_contents(self, small_corpus):
+        processor = MatchProcessor()
+        crawled = small_corpus.crawled[0]
+        partial = processor.process(MatchTask(position=3, crawled=crawled))
+        assert partial.position == 3
+        assert partial.match_id == crawled.match_id
+        assert set(partial.indexes) == set(IndexName.BUILT)
+        assert partial.indexes[IndexName.TRAD].doc_count \
+            == len(crawled.narrations)
+        assert partial.inferred_individuals
+        assert partial.inference_seconds > 0
+        assert "extraction" in partial.stage_seconds
+        # intermediates only when asked for (they cost pickling)
+        assert partial.basic_individuals is None
+        assert partial.full_individuals is None
+
+    def test_keep_intermediate(self, small_corpus):
+        processor = MatchProcessor()
+        partial = processor.process(MatchTask(
+            position=0, crawled=small_corpus.crawled[0],
+            keep_intermediate=True))
+        assert partial.basic_individuals
+        assert partial.full_individuals
+
+    def test_work_unit_and_partial_pickle(self, small_corpus):
+        import pickle
+        task = MatchTask(position=0, crawled=small_corpus.crawled[0],
+                         keep_intermediate=True)
+        partial = MatchProcessor().process(pickle.loads(
+            pickle.dumps(task)))
+        restored = pickle.loads(pickle.dumps(partial))
+        assert restored.match_id == partial.match_id
+        assert restored.indexes[IndexName.FULL_INF].to_json() \
+            == partial.indexes[IndexName.FULL_INF].to_json()

@@ -14,6 +14,25 @@ class TestPipelineOutputs:
         for name in IndexName.LADDER:
             assert pipeline_result.engine(name) is not None
 
+    def test_engine_resolves_phrasal_and_expansion(self, pipeline_result):
+        from repro.core import ExpandedSearchEngine, PhrasalSearchEngine
+        assert pipeline_result.engine(IndexName.PHR_EXP) \
+            is pipeline_result.phrasal_engine
+        assert isinstance(pipeline_result.engine(IndexName.PHR_EXP),
+                          PhrasalSearchEngine)
+        assert pipeline_result.engine(IndexName.QUERY_EXP) \
+            is pipeline_result.expansion_engine
+        assert isinstance(pipeline_result.engine(IndexName.QUERY_EXP),
+                          ExpandedSearchEngine)
+
+    def test_engine_unknown_name_lists_available(self, pipeline_result):
+        with pytest.raises(KeyError) as excinfo:
+            pipeline_result.engine("BOGUS")
+        message = str(excinfo.value)
+        assert "BOGUS" in message
+        assert IndexName.PHR_EXP in message
+        assert IndexName.QUERY_EXP in message
+
     def test_inferred_models_per_match(self, corpus, pipeline_result):
         assert len(pipeline_result.inferred_models) == len(corpus.matches)
 

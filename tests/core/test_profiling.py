@@ -1,0 +1,111 @@
+"""Unit tests for the stage profiler."""
+
+import json
+import time
+
+from repro.core import SemanticRetrievalPipeline
+from repro.core.profiling import (CacheCounter, PipelineProfile,
+                                  StageProfiler)
+
+
+class TestStageProfiler:
+    def test_stage_context_records_time(self):
+        profiler = StageProfiler()
+        with profiler.stage("work"):
+            time.sleep(0.005)
+        profile = profiler.snapshot()
+        assert profile.stages["work"].calls == 1
+        assert profile.stages["work"].seconds >= 0.004
+
+    def test_record_accumulates(self):
+        profiler = StageProfiler()
+        profiler.record("stage", 1.0)
+        profiler.record("stage", 2.0)
+        profile = profiler.snapshot()
+        assert profile.stages["stage"].calls == 2
+        assert profile.stages["stage"].seconds == 3.0
+
+    def test_record_match_folds_into_stages(self):
+        profiler = StageProfiler()
+        profiler.record_match("m1", {"inference": 0.5, "extraction": 0.1})
+        profiler.record_match("m2", {"inference": 0.25})
+        profile = profiler.snapshot()
+        assert profile.match_stages["m1"]["extraction"] == 0.1
+        assert profile.stages["inference"].seconds == 0.75
+        assert profile.stages["inference"].calls == 2
+
+    def test_disabled_profiler_records_nothing(self):
+        profiler = StageProfiler(enabled=False)
+        with profiler.stage("work"):
+            pass
+        profiler.record("stage", 1.0)
+        profiler.record_match("m", {"s": 1.0})
+        profiler.add_cache("c", CacheCounter(hits=1))
+        profile = profiler.snapshot()
+        assert not profile.stages
+        assert not profile.match_stages
+        assert not profile.caches
+
+    def test_add_cache_accepts_counter_and_lru_info(self):
+        from repro.search.analysis.stemmer import PorterStemmer, stem
+        profiler = StageProfiler()
+        counter = CacheCounter()
+        counter.hit()
+        counter.miss()
+        profiler.add_cache("counter", counter)
+        stem("running")
+        profiler.add_cache("stemmer", PorterStemmer.cache_info())
+        profile = profiler.snapshot()
+        assert profile.caches["counter"]["hits"] == 1
+        assert profile.caches["counter"]["hit_rate"] == 0.5
+        assert "hits" in profile.caches["stemmer"]
+
+    def test_snapshot_serializes_and_renders(self):
+        profiler = StageProfiler()
+        profiler.record("stage", 0.5)
+        profiler.record_match("m", {"stage": 0.5})
+        profiler.add_cache("cache", CacheCounter(hits=3, misses=1))
+        profile = profiler.snapshot(workers=4)
+        payload = json.loads(json.dumps(profile.to_json()))
+        assert payload["workers"] == 4
+        assert payload["stages"]["stage"]["calls"] == 2
+        assert payload["caches"]["cache"]["hit_rate"] == 0.75
+        rendered = profile.render()
+        assert "stage" in rendered and "cache" in rendered
+
+    def test_stage_seconds_missing_stage_is_zero(self):
+        assert PipelineProfile().stage_seconds("nope") == 0.0
+
+
+class TestCacheCounter:
+    def test_hit_rate(self):
+        counter = CacheCounter()
+        assert counter.hit_rate == 0.0
+        counter.hit()
+        counter.hit()
+        counter.miss()
+        assert counter.total == 3
+        assert abs(counter.hit_rate - 2 / 3) < 1e-9
+
+
+class TestPipelineProfile:
+    def test_pipeline_attaches_profile(self, small_corpus):
+        result = SemanticRetrievalPipeline().run(
+            small_corpus.crawled, profile=True)
+        profile = result.profile
+        assert profile is not None
+        assert profile.workers == 1
+        assert profile.total_seconds > 0
+        # every per-match stage shows up, once per match
+        for stage in ("trad_index", "extraction", "inference",
+                      "full_inf_index", "phr_exp_index"):
+            assert profile.stages[stage].calls \
+                == len(small_corpus.matches), stage
+        assert len(profile.match_stages) == len(small_corpus.matches)
+        assert "merge_indexes" in profile.stages
+        assert any(name.startswith("indexer.") for name in profile.caches)
+        assert "stemmer.porter" in profile.caches
+        assert "analyzer.token_stream" in profile.caches
+
+    def test_profile_off_by_default(self, pipeline_result):
+        assert pipeline_result.profile is None

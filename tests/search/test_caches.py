@@ -1,0 +1,127 @@
+"""Analysis-path caches: memoized stemmer, token-stream cache, and
+the incrementally-maintained field-name set."""
+
+from repro.search.analysis import StandardAnalyzer
+from repro.search.analysis.stemmer import PorterStemmer, stem
+from repro.search.document import Document, Field
+from repro.search.index import (IndexWriter, InvertedIndex,
+                                PerFieldAnalyzer)
+
+
+class TestStemmerCache:
+    def test_cached_matches_uncached(self):
+        stemmer = PorterStemmer()
+        for word in ("scores", "running", "happiness", "relational",
+                     "goal", "penalties", "ty"):
+            assert stemmer.stem(word) == stemmer.stem_uncached(word)
+
+    def test_repeat_stems_hit_cache(self):
+        PorterStemmer.cache_clear()
+        stemmer = PorterStemmer()
+        stemmer.stem("galatasaray")
+        before = PorterStemmer.cache_info()
+        stemmer.stem("galatasaray")
+        after = PorterStemmer.cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_cache_shared_across_instances_and_module_function(self):
+        PorterStemmer.cache_clear()
+        stem("fenerbahce")
+        before = PorterStemmer.cache_info()
+        PorterStemmer().stem("fenerbahce")
+        assert PorterStemmer.cache_info().hits == before.hits + 1
+
+    def test_cache_clear(self):
+        stem("besiktas")
+        PorterStemmer.cache_clear()
+        assert PorterStemmer.cache_info().currsize == 0
+
+    def test_subclass_bypasses_shared_cache(self):
+        class ShoutingStemmer(PorterStemmer):
+            def stem_uncached(self, word):
+                return word.upper()
+
+        assert ShoutingStemmer().stem("goal") == "GOAL"
+        # the shared cache must not have been poisoned
+        assert PorterStemmer().stem("goal") == "goal"
+
+
+class TestTokenStreamCache:
+    def test_repeat_analysis_hits_cache(self):
+        analyzer = PerFieldAnalyzer(default=StandardAnalyzer())
+        first = analyzer.analyze("narration", "Alex scores a goal")
+        second = analyzer.analyze("narration", "Alex scores a goal")
+        assert second is first
+        info = analyzer.cache_info()
+        assert info.hits == 1
+        assert info.misses == 1
+        assert info.currsize == 1
+
+    def test_cache_keyed_by_field(self):
+        analyzer = PerFieldAnalyzer(default=StandardAnalyzer())
+        analyzer.analyze("narration", "goal")
+        analyzer.analyze("event", "goal")
+        assert analyzer.cache_info().misses == 2
+
+    def test_eviction_respects_capacity(self):
+        analyzer = PerFieldAnalyzer(default=StandardAnalyzer(),
+                                    cache_size=2)
+        analyzer.analyze("f", "one")
+        analyzer.analyze("f", "two")
+        analyzer.analyze("f", "three")      # evicts "one"
+        assert analyzer.cache_info().currsize == 2
+        analyzer.analyze("f", "one")
+        assert analyzer.cache_info().hits == 0
+
+    def test_zero_capacity_disables_caching(self):
+        analyzer = PerFieldAnalyzer(default=StandardAnalyzer(),
+                                    cache_size=0)
+        analyzer.analyze("f", "goal")
+        analyzer.analyze("f", "goal")
+        assert analyzer.cache_info().currsize == 0
+
+    def test_cache_clear(self):
+        analyzer = PerFieldAnalyzer(default=StandardAnalyzer())
+        analyzer.analyze("f", "goal")
+        analyzer.cache_clear()
+        info = analyzer.cache_info()
+        assert (info.hits, info.misses, info.currsize) == (0, 0, 0)
+
+    def test_writer_goes_through_cache(self):
+        index = InvertedIndex()
+        writer = IndexWriter(index)
+        for _ in range(3):
+            document = Document()
+            document.add(Field("event", "goal"))
+            writer.add_document(document)
+        info = writer.analyzer.cache_info()
+        assert info.misses == 1
+        assert info.hits == 2
+
+
+class TestFieldNamesIncremental:
+    def test_indexed_and_stored_fields_tracked(self):
+        index = InvertedIndex()
+        doc = index.new_doc_id()
+        index.index_terms(doc, "narration", [("goal", 0)])
+        index.store_value(doc, "docKey", "k1")
+        assert index.field_names() == ["docKey", "narration"]
+
+    def test_merge_unions_field_names(self):
+        left = InvertedIndex()
+        doc = left.new_doc_id()
+        left.index_terms(doc, "a", [("x", 0)])
+        right = InvertedIndex()
+        doc = right.new_doc_id()
+        right.store_value(doc, "b", "y")
+        left.merge(right)
+        assert left.field_names() == ["a", "b"]
+
+    def test_from_json_rebuilds_field_names(self):
+        index = InvertedIndex()
+        doc = index.new_doc_id()
+        index.index_terms(doc, "narration", [("goal", 0)])
+        index.store_value(doc, "docKey", "k1")
+        restored = InvertedIndex.from_json(index.to_json())
+        assert restored.field_names() == index.field_names()
