@@ -45,6 +45,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache hit "
                              "rates after pipeline runs")
+    parser.add_argument("--max-retries", type=int, default=None,
+                        metavar="N",
+                        help="retries per pipeline stage before a "
+                             "match is given up (enables the "
+                             "resilience layer; default 2 once "
+                             "enabled)")
+    parser.add_argument("--stage-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock bound per stage attempt "
+                             "(enables the resilience layer)")
+    tolerance = parser.add_mutually_exclusive_group()
+    tolerance.add_argument("--degrade", action="store_true",
+                           help="quarantine matches that exhaust "
+                                "their retries and keep indexing the "
+                                "survivors")
+    tolerance.add_argument("--fail-fast", action="store_true",
+                           help="abort the run on the first match "
+                                "that exhausts its retries")
+    parser.add_argument("--inject-faults", type=Path, default=None,
+                        metavar="PLAN.json",
+                        help="JSON fault plan for resilience testing "
+                             "(see docs/resilience.md)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("corpus",
@@ -88,13 +110,38 @@ def _corpus(seed: Optional[int]):
     return standard_corpus(seed=seed)
 
 
+def _resilience_config(args):
+    """A ResilienceConfig from the CLI flags, or None when every
+    resilience flag is at its default (the bare fast path)."""
+    if (args.max_retries is None and args.stage_timeout is None
+            and not args.degrade and not args.fail_fast
+            and args.inject_faults is None):
+        return None
+    from repro.core import FaultPlan, ResilienceConfig, RetryPolicy
+    retry = RetryPolicy(
+        max_retries=(2 if args.max_retries is None
+                     else args.max_retries),
+        stage_timeout=args.stage_timeout)
+    plan = (FaultPlan.from_file(args.inject_faults)
+            if args.inject_faults is not None else None)
+    return ResilienceConfig(retry=retry, degrade=not args.fail_fast,
+                            fault_plan=plan)
+
+
 def _run_pipeline(args, corpus):
-    """Run the pipeline honoring the --workers/--profile flags."""
+    """Run the pipeline honoring the --workers/--profile flags and
+    the resilience flags (--max-retries, --stage-timeout,
+    --degrade/--fail-fast, --inject-faults)."""
     result = SemanticRetrievalPipeline().run(
-        corpus.crawled, workers=args.workers, profile=args.profile)
+        corpus.crawled, workers=args.workers, profile=args.profile,
+        resilience=_resilience_config(args))
     if args.profile and result.profile is not None:
         print()
         print(result.profile.render())
+        print()
+    if result.quarantine:
+        print()
+        print(result.quarantine.render())
         print()
     return result
 

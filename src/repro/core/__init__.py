@@ -25,6 +25,11 @@ from repro.core.pipeline import (PipelineResult,
                                  SemanticRetrievalPipeline)
 from repro.core.profiling import (CacheCounter, PipelineProfile,
                                   StageProfiler)
+from repro.core.resilience import (ExecutionOutcome, FaultMode,
+                                   FaultPlan, FaultSpec,
+                                   QuarantineRecord, QuarantineReport,
+                                   ResilienceConfig, RetryPolicy,
+                                   StageRunner)
 from repro.core.retrieval import KeywordSearchEngine, SearchHit
 from repro.core.storage import ModelStore
 
@@ -55,4 +60,13 @@ __all__ = [
     "CacheCounter",
     "PipelineProfile",
     "StageProfiler",
+    "FaultMode",
+    "FaultSpec",
+    "FaultPlan",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "StageRunner",
+    "QuarantineRecord",
+    "QuarantineReport",
+    "ExecutionOutcome",
 ]

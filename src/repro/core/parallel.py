@@ -23,12 +23,20 @@ match's payload stays proportional to the match, not the ontology.
 from __future__ import annotations
 
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.indexer import SemanticIndexer
 from repro.core.names import IndexName
+from repro.core.resilience import (ExecutionOutcome, QuarantineRecord,
+                                   ResilienceConfig, StageRunner,
+                                   validate_partial)
+from repro.errors import (MatchProcessingError, ResilienceError,
+                          WorkerCrashError)
 from repro.extraction import InformationExtractor
 from repro.ontology import Ontology, soccer_ontology
 from repro.ontology.model import Individual
@@ -52,6 +60,12 @@ class MatchTask:
     #: also return the basic/full (pre-inference) individuals, needed
     #: only when the caller persists per-stage models to a ModelStore.
     keep_intermediate: bool = False
+    #: resubmission count after worker crashes / pool-level timeouts;
+    #: feeds the fault plan's attempt arithmetic.
+    attempt: int = 0
+    #: retry/timeout/fault-injection policy; None runs the stages
+    #: bare, exactly as before the resilience layer existed.
+    resilience: Optional[ResilienceConfig] = None
 
 
 @dataclass
@@ -68,6 +82,10 @@ class MatchPartial:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     basic_individuals: Optional[List[Individual]] = None
     full_individuals: Optional[List[Individual]] = None
+    #: stage retries consumed / faults injected while producing this
+    #: partial (always 0 without a resilience config).
+    retries: int = 0
+    faults_injected: int = 0
 
 
 class MatchProcessor:
@@ -92,12 +110,23 @@ class MatchProcessor:
     def process(self, task: MatchTask) -> MatchPartial:
         crawled = task.crawled
         times: Dict[str, float] = {}
+        runner: Optional[StageRunner] = None
+        if task.resilience is not None:
+            runner = StageRunner(task.resilience, crawled.match_id,
+                                 base_attempt=task.attempt,
+                                 allow_crash=_IN_POOL_WORKER)
 
         def timed(stage: str, func):
             started = time.perf_counter()
-            result = func()
+            if runner is not None:
+                result = runner.run(stage, func)
+            else:
+                result = func()
             times[stage] = time.perf_counter() - started
             return result
+
+        if runner is not None:
+            timed("crawl", crawled.validate)
 
         trad = timed("trad_index", lambda: self.indexer
                      .build_traditional([crawled]))
@@ -121,7 +150,7 @@ class MatchProcessor:
                         .build_semantic([inferred], IndexName.PHR_EXP,
                                         inferred=True, phrasal=True))
 
-        return MatchPartial(
+        partial = MatchPartial(
             position=task.position,
             match_id=crawled.match_id,
             indexes={
@@ -140,6 +169,17 @@ class MatchProcessor:
             full_individuals=(list(full.individuals())
                               if task.keep_intermediate else None),
         )
+        if runner is not None:
+            partial.retries = runner.retries
+            partial.faults_injected = runner.faults_injected
+            try:
+                validate_partial(task, partial)
+            except Exception as error:
+                raise MatchProcessingError.from_exception(
+                    crawled.match_id, "validate_partial",
+                    task.attempt + 1, error, retries=runner.retries,
+                    faults_injected=runner.faults_injected) from error
+        return partial
 
 
 # ----------------------------------------------------------------------
@@ -148,11 +188,17 @@ class MatchProcessor:
 
 _WORKER_PROCESSOR: Optional[MatchProcessor] = None
 
+#: True only inside pool worker processes; injected crash faults call
+#: os._exit there but raise WorkerCrashError in-process (see
+#: :mod:`repro.core.resilience`).
+_IN_POOL_WORKER = False
+
 
 def _init_worker(ontology: Optional[Ontology]) -> None:
     """Pool initializer: build the per-process component bundle once."""
-    global _WORKER_PROCESSOR
+    global _WORKER_PROCESSOR, _IN_POOL_WORKER
     _WORKER_PROCESSOR = MatchProcessor(ontology)
+    _IN_POOL_WORKER = True
 
 
 def _process_task(task: MatchTask) -> MatchPartial:
@@ -182,17 +228,245 @@ class ParallelPipelineExecutor:
         self._processor = processor
 
     def run(self, tasks: Sequence[MatchTask]) -> List[MatchPartial]:
+        return self.execute(tasks).partials
+
+    def execute(self, tasks: Sequence[MatchTask],
+                resilience: Optional[ResilienceConfig] = None
+                ) -> ExecutionOutcome:
+        """Run tasks, optionally under a resilience policy.
+
+        Without a config this is exactly the pre-resilience behavior
+        (any failure propagates, pool crashes are fatal).  With one,
+        stages retry with backoff inside the workers, tasks lost to
+        worker crashes are resubmitted to a fresh pool (bounded by
+        ``crash_budget``), and permanently-failing matches are
+        quarantined (``degrade=True``) or re-raised (fail-fast).
+        """
         tasks = list(tasks)
+        if resilience is not None:
+            tasks = [replace(task, resilience=resilience)
+                     for task in tasks]
         if self.workers == 1 or len(tasks) <= 1:
-            processor = self._processor
-            if processor is None:
-                processor = MatchProcessor(self.ontology)
-                self._processor = processor
-            partials = [processor.process(task) for task in tasks]
+            outcome = self._execute_serial(tasks, resilience)
+        elif resilience is None:
+            outcome = self._execute_pool_fast(tasks)
         else:
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(tasks)),
-                    initializer=_init_worker,
-                    initargs=(self.ontology,)) as pool:
-                partials = list(pool.map(_process_task, tasks))
-        return sorted(partials, key=lambda partial: partial.position)
+            outcome = self._execute_pool_resilient(tasks, resilience)
+        outcome.partials.sort(key=lambda partial: partial.position)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # execution strategies
+    # ------------------------------------------------------------------
+
+    def _execute_serial(self, tasks: List[MatchTask],
+                        config: Optional[ResilienceConfig]
+                        ) -> ExecutionOutcome:
+        processor = self._processor
+        if processor is None:
+            processor = MatchProcessor(self.ontology)
+            self._processor = processor
+        outcome = ExecutionOutcome(partials=[])
+        for task in tasks:
+            try:
+                partial = processor.process(task)
+            except MatchProcessingError as error:
+                self._quarantine(outcome, config, task, error)
+                continue
+            self._accept(outcome, partial)
+        return outcome
+
+    def _execute_pool_fast(self, tasks: List[MatchTask]
+                           ) -> ExecutionOutcome:
+        with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(tasks)),
+                initializer=_init_worker,
+                initargs=(self.ontology,)) as pool:
+            partials = list(pool.map(_process_task, tasks))
+        return ExecutionOutcome(partials=partials)
+
+    def _execute_pool_resilient(self, tasks: List[MatchTask],
+                                config: ResilienceConfig
+                                ) -> ExecutionOutcome:
+        """Fan out with worker-crash recovery.
+
+        Tasks are submitted individually so each failure maps to one
+        future.  A worker crash breaks the whole pool; because the
+        pool cannot say *which* worker died, the executor rebuilds it
+        and switches to **isolation mode** — probing the queued tasks
+        one at a time — until the poison task crashes alone and can
+        be charged for it.  A task whose crash budget is exhausted is
+        quarantined with stage ``worker``; innocent bystanders are
+        resubmitted without being charged.  A pool-level watchdog
+        (``retry.task_timeout``) backstops in-worker stage timeouts:
+        a future that outlives it is treated like a crash of its
+        task.
+        """
+        outcome = ExecutionOutcome(partials=[])
+        pending = deque(tasks)
+        pool_size = min(self.workers, len(tasks))
+        pool = self._new_pool(pool_size)
+        isolate = False
+        # every rebuild charges at least one crash attempt (isolation
+        # probes break one at a time), so this bound is generous; it
+        # exists so a bug can never loop forever.
+        rebuild_budget = len(tasks) * (config.crash_budget + 2) + 4
+        try:
+            while pending:
+                if isolate:
+                    batch = [pending.popleft()]
+                else:
+                    batch = list(pending)
+                    pending.clear()
+                futures = [(pool.submit(_process_task, task), task)
+                           for task in batch]
+                broken = self._drain_futures(outcome, config, futures,
+                                             pending, isolate)
+                if broken:
+                    outcome.bump("worker_crashes")
+                    rebuild_budget -= 1
+                    if rebuild_budget < 0:  # pragma: no cover - safety
+                        raise ResilienceError(
+                            "pool rebuild budget exhausted; aborting "
+                            "to avoid an infinite crash loop")
+                    self._kill_pool(pool)
+                    outcome.bump("pool_rebuilds")
+                    pool = self._new_pool(pool_size)
+                    isolate = True
+                else:
+                    isolate = False
+        finally:
+            self._kill_pool(pool)
+        return outcome
+
+    def _drain_futures(self, outcome: ExecutionOutcome,
+                       config: ResilienceConfig, futures, pending,
+                       isolate: bool) -> bool:
+        """Consume one batch's futures; True if the pool must be
+        rebuilt (worker crash or watchdog timeout)."""
+        task_timeout = config.retry.task_timeout
+        for index, (future, task) in enumerate(futures):
+            try:
+                partial = future.result(timeout=task_timeout)
+            except MatchProcessingError as error:
+                self._quarantine(outcome, config, task, error)
+            except (BrokenProcessPool, FutureTimeoutError,
+                    OSError) as error:
+                hung = isinstance(error, FutureTimeoutError)
+                suspects: List[MatchTask] = []
+                casualties: List[MatchTask] = []
+                # a watchdog timeout names its task; a broken pool
+                # only names one once the task crashed alone.
+                if hung or isolate:
+                    suspects.append(task)
+                else:
+                    casualties.append(task)
+                self._salvage(outcome, config, futures[index + 1:],
+                              casualties)
+                for suspect in suspects:
+                    self._charge_crash(outcome, config, suspect,
+                                       pending, hung=hung)
+                # requeue casualties ahead of untouched work, in order
+                for casualty in reversed(casualties):
+                    pending.appendleft(casualty)
+                return True
+            except Exception as error:  # pragma: no cover - unexpected
+                self._quarantine(
+                    outcome, config, task,
+                    MatchProcessingError.from_exception(
+                        task.crawled.match_id, "task",
+                        task.attempt + 1, error))
+            else:
+                self._accept(outcome, partial)
+        return False
+
+    def _salvage(self, outcome: ExecutionOutcome,
+                 config: ResilienceConfig, remaining,
+                 casualties: List[MatchTask]) -> None:
+        """After a pool break, keep every already-finished result and
+        requeue the rest without charging them."""
+        for future, task in remaining:
+            salvaged = False
+            if future.done() and not future.cancelled():
+                try:
+                    partial = future.result()
+                except MatchProcessingError as error:
+                    self._quarantine(outcome, config, task, error)
+                    salvaged = True
+                except Exception:
+                    pass  # died with the pool; requeue below
+                else:
+                    self._accept(outcome, partial)
+                    salvaged = True
+            else:
+                future.cancel()
+            if not salvaged:
+                casualties.append(task)
+
+    def _charge_crash(self, outcome: ExecutionOutcome,
+                      config: ResilienceConfig, task: MatchTask,
+                      pending, hung: bool) -> None:
+        attempts = task.attempt + 1
+        if task.attempt >= config.crash_budget:
+            error_type = ("StageTimeoutError" if hung
+                          else "WorkerCrashError")
+            detail = ("task exceeded the pool watchdog timeout"
+                      if hung else "worker process died")
+            error = MatchProcessingError(
+                task.crawled.match_id, "worker", attempts,
+                error_type, detail)
+            self._quarantine(outcome, config, task, error)
+            return
+        pending.appendleft(replace(task, attempt=attempts))
+
+    def _accept(self, outcome: ExecutionOutcome,
+                partial: MatchPartial) -> None:
+        outcome.partials.append(partial)
+        if partial.retries:
+            outcome.bump("stage_retries", partial.retries)
+        if partial.faults_injected:
+            outcome.bump("faults_injected", partial.faults_injected)
+
+    def _quarantine(self, outcome: ExecutionOutcome,
+                    config: Optional[ResilienceConfig],
+                    task: MatchTask,
+                    error: MatchProcessingError) -> None:
+        if config is None or not config.degrade:
+            raise error
+        outcome.quarantine.add(QuarantineRecord(
+            match_id=error.match_id, position=task.position,
+            stage=error.stage, error_type=error.error_type,
+            error=error.error, attempts=error.attempts))
+        outcome.bump("quarantined")
+        if error.retries:
+            outcome.bump("stage_retries", error.retries)
+        if error.faults_injected:
+            outcome.bump("faults_injected", error.faults_injected)
+
+    def _new_pool(self, pool_size: int) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=pool_size,
+                                   initializer=_init_worker,
+                                   initargs=(self.ontology,))
+
+    @staticmethod
+    def _kill_pool(pool: ProcessPoolExecutor) -> None:
+        """Tear a pool down even if a worker is hung or dead.
+
+        ``shutdown`` alone never returns workers stuck in a hung
+        stage, so terminate the worker processes first (via the
+        private process map — there is no public kill switch) and
+        fall back to a plain shutdown if the internals ever move.
+        """
+        try:
+            processes = list((pool._processes or {}).values())
+        except Exception:  # pragma: no cover - interpreter internals
+            processes = []
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already dead
+                pass
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken pool teardown
+            pass

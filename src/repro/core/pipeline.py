@@ -35,6 +35,8 @@ from repro.core.names import IndexName
 from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
                                  ParallelPipelineExecutor)
 from repro.core.profiling import PipelineProfile, StageProfiler
+from repro.core.resilience import (FaultPlan, QuarantineReport,
+                                   ResilienceConfig, config_with_degrade)
 from repro.core.storage import ModelStore
 from repro.core.phrasal import PhrasalSearchEngine
 from repro.core.retrieval import KeywordSearchEngine
@@ -61,6 +63,9 @@ class PipelineResult:
     inference_seconds: List[float] = field(default_factory=list)
     violations: int = 0
     profile: Optional[PipelineProfile] = None
+    #: matches skipped by a degraded run; empty on healthy corpora
+    #: and whenever resilience is disabled.
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
 
     def engine(self, name: str):
         """The search engine for an index name.
@@ -100,7 +105,10 @@ class SemanticRetrievalPipeline:
             check_consistency: bool = False,
             store: Optional["ModelStore"] = None,
             workers: int = 1,
-            profile: bool = False) -> PipelineResult:
+            profile: bool = False,
+            resilience: Optional[ResilienceConfig] = None,
+            degrade: Optional[bool] = None,
+            fault_plan: Optional[FaultPlan] = None) -> PipelineResult:
         """Execute steps 2–8 over ``crawled_matches``.
 
         ``workers`` fans the per-match stages out over a process pool;
@@ -110,9 +118,18 @@ class SemanticRetrievalPipeline:
         When ``store`` is given, the per-match models of each stage
         are persisted as N-Triples files — the paper's initial /
         extracted / inferred "OWL files" (§3.1 steps 3, 5, 7).
+
+        ``resilience`` (or the ``degrade`` / ``fault_plan``
+        shorthands, which imply a default config) turns on the
+        fault-tolerance layer: per-stage retries with backoff,
+        worker-crash recovery, and — with ``degrade=True`` — poison
+        matches quarantined into ``result.quarantine`` while the
+        surviving corpus is indexed normally.  On a healthy corpus
+        the resilient path produces bit-identical indexes.
         """
         started = time.perf_counter()
         profiler = StageProfiler(enabled=profile)
+        resilience = config_with_degrade(resilience, degrade, fault_plan)
         matches = list(crawled_matches)
         tasks = [MatchTask(position=position, crawled=crawled,
                            check_consistency=check_consistency,
@@ -126,11 +143,18 @@ class SemanticRetrievalPipeline:
                                      indexer=self.indexer))
 
         ingest_started = time.perf_counter()
-        partials = executor.run(tasks)
+        outcome = executor.execute(tasks, resilience=resilience)
+        partials = outcome.partials
+        quarantine = outcome.quarantine
         profiler.record("per_match_total",
                         time.perf_counter() - ingest_started)
         for partial in partials:
             profiler.record_match(partial.match_id, partial.stage_seconds)
+        if resilience is not None:
+            for name in ("stage_retries", "faults_injected",
+                         "quarantined", "worker_crashes",
+                         "pool_rebuilds"):
+                profiler.add_counter(name, outcome.counters.get(name, 0))
 
         with profiler.stage("merge_indexes"):
             indexes = {name: InvertedIndex(name)
@@ -177,6 +201,7 @@ class SemanticRetrievalPipeline:
                 workers=workers,
                 total_seconds=time.perf_counter() - started)
                 if profile else None),
+            quarantine=quarantine,
         )
 
     def _rebuild_model(self, name: str,

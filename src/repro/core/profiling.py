@@ -69,6 +69,9 @@ class PipelineProfile:
     # match_id -> stage -> seconds
     match_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
     caches: Dict[str, dict] = field(default_factory=dict)
+    #: resilience tallies (stage retries, injected faults,
+    #: quarantined matches, worker crashes, pool rebuilds)
+    counters: Dict[str, int] = field(default_factory=dict)
     total_seconds: float = 0.0
     workers: int = 1
 
@@ -89,6 +92,7 @@ class PipelineProfile:
                 for match_id, stages in self.match_stages.items()
             },
             "caches": dict(self.caches),
+            "counters": dict(self.counters),
         }
 
     def render(self) -> str:
@@ -111,6 +115,11 @@ class PipelineProfile:
                 rate = info.get("hits", 0) / total if total else 0.0
                 lines.append(f"{name:28} {info.get('hits', 0):9d} "
                              f"{info.get('misses', 0):8d} {rate:8.1%}")
+        if self.counters:
+            lines.append("")
+            lines.append(f"{'resilience counter':28} {'count':>6}")
+            for name, count in sorted(self.counters.items()):
+                lines.append(f"{name:28} {count:6d}")
         return "\n".join(lines)
 
 
@@ -131,6 +140,7 @@ class StageProfiler:
         self._stages: Dict[str, StageStats] = {}
         self._match_stages: Dict[str, Dict[str, float]] = {}
         self._caches: Dict[str, dict] = {}
+        self._counters: Dict[str, int] = {}
         self._started = time.perf_counter()
 
     @contextmanager
@@ -183,6 +193,12 @@ class StageProfiler:
         else:
             self._caches[name] = dict(info)
 
+    def add_counter(self, name: str, count: int = 1) -> None:
+        """Accumulate a resilience tally (retries, quarantines, …)."""
+        if not self.enabled:
+            return
+        self._counters[name] = self._counters.get(name, 0) + count
+
     def snapshot(self, workers: int = 1,
                  total_seconds: Optional[float] = None) -> PipelineProfile:
         """Freeze the collected data into a :class:`PipelineProfile`."""
@@ -195,6 +211,7 @@ class StageProfiler:
                           for match_id, stages
                           in self._match_stages.items()},
             caches=dict(self._caches),
+            counters=dict(self._counters),
             total_seconds=total_seconds,
             workers=workers,
         )

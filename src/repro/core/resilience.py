@@ -1,0 +1,494 @@
+"""Fault-tolerant ingestion: fault injection, retry, quarantine.
+
+The paper's scalability argument (§3.5, §6) rests on every match
+being an independent model, so one unparseable page must never
+poison the corpus — ingestion over noisy crawls fails routinely
+*per document*, and the retrieval layer has to stay serviceable
+while extraction degrades.  This module provides both halves of
+that contract:
+
+* **Deterministic fault injection** — a :class:`FaultPlan` makes a
+  chosen stage raise, hang, crash the worker, or return corrupt
+  output, either for explicit match ids or probabilistically with a
+  seeded hash, so every failure mode has a reproducible test.
+* **The machinery to survive it** — :class:`StageRunner` gives every
+  per-match stage bounded retries with exponential backoff and an
+  optional wall-clock timeout;
+  :class:`~repro.core.parallel.ParallelPipelineExecutor` resubmits
+  tasks lost to worker crashes to a fresh pool; and matches whose
+  retries are exhausted are *quarantined* — skipped, recorded in a
+  :class:`QuarantineReport` on the pipeline result — while the
+  surviving corpus is still indexed and searchable.
+
+The survivors' indexes are bit-identical to a clean run over only
+the surviving matches, at any worker count; the property tests in
+``tests/integration/test_resilience_properties.py`` enforce this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import (TYPE_CHECKING, Dict, FrozenSet, Iterator, List,
+                    Optional, Tuple)
+
+from repro.errors import (CorruptOutputError, InjectedFaultError,
+                          MatchProcessingError, ResilienceError,
+                          StageTimeoutError, WorkerCrashError)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle is type-only
+    from repro.core.parallel import MatchPartial
+
+__all__ = ["STAGE_NAMES", "STAGE_ALIASES", "FaultMode", "FaultSpec",
+           "FaultPlan", "RetryPolicy", "ResilienceConfig",
+           "StageRunner", "QuarantineRecord", "QuarantineReport",
+           "ExecutionOutcome", "validate_partial"]
+
+
+#: per-match stages in execution order (the profiler uses the same
+#: names); ``crawl`` is the artifact validation the resilience layer
+#: prepends.
+STAGE_NAMES: Tuple[str, ...] = (
+    "crawl", "trad_index", "populate_basic", "basic_ext_index",
+    "extraction", "populate_full", "full_ext_index", "inference",
+    "full_inf_index", "phr_exp_index")
+
+#: component aliases accepted wherever a stage name is expected, so a
+#: fault plan can say "the extractor" without naming internal stages.
+STAGE_ALIASES: Dict[str, Tuple[str, ...]] = {
+    "crawler": ("crawl",),
+    "extractor": ("extraction",),
+    "populator": ("populate_basic", "populate_full"),
+    "reasoner": ("inference",),
+    "indexer": ("trad_index", "basic_ext_index", "full_ext_index",
+                "full_inf_index", "phr_exp_index"),
+}
+
+
+class FaultMode:
+    """How an injected fault manifests."""
+
+    RAISE = "raise"        #: the stage raises InjectedFaultError
+    HANG = "hang"          #: the stage blocks for ``hang_seconds``
+    CORRUPT = "corrupt"    #: the stage returns invalid (None) output
+    CRASH = "crash"        #: the worker process dies (os._exit)
+
+    ALL = (RAISE, HANG, CORRUPT, CRASH)
+
+
+def resolve_stages(stage: str) -> Tuple[str, ...]:
+    """Expand a stage name or component alias to concrete stages."""
+    if stage in STAGE_ALIASES:
+        return STAGE_ALIASES[stage]
+    if stage in STAGE_NAMES:
+        return (stage,)
+    known = ", ".join((*STAGE_NAMES, *STAGE_ALIASES))
+    raise ResilienceError(f"unknown fault stage {stage!r}; "
+                          f"expected one of: {known}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule.
+
+    ``times`` bounds how many *attempts* the fault survives: a spec
+    with ``times=2`` fails the first two attempts of each targeted
+    stage and lets the third succeed (a transient fault), while
+    ``times=None`` fails every attempt (a permanent, poison match).
+    ``probability < 1`` gates firing on a seeded hash of
+    ``(seed, match, stage, attempt)``, so probabilistic plans are
+    still reproducible across runs and across worker processes.
+    """
+
+    stage: str
+    mode: str = FaultMode.RAISE
+    match_ids: Optional[FrozenSet[str]] = None
+    probability: float = 1.0
+    times: Optional[int] = None
+    hang_seconds: float = 30.0
+
+    def __post_init__(self) -> None:
+        resolve_stages(self.stage)
+        if self.mode not in FaultMode.ALL:
+            raise ResilienceError(
+                f"unknown fault mode {self.mode!r}; expected one of: "
+                f"{', '.join(FaultMode.ALL)}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ResilienceError(
+                f"fault probability must be in [0, 1], got "
+                f"{self.probability}")
+        if self.times is not None and self.times < 1:
+            raise ResilienceError(
+                f"fault times must be >= 1 or None, got {self.times}")
+        if isinstance(self.match_ids, (list, tuple, set)):
+            object.__setattr__(self, "match_ids",
+                               frozenset(self.match_ids))
+
+    def targets(self, stage: str, match_id: str) -> bool:
+        if stage not in resolve_stages(self.stage):
+            return False
+        return self.match_ids is None or match_id in self.match_ids
+
+    def to_json(self) -> dict:
+        data: dict = {"stage": self.stage, "mode": self.mode}
+        if self.match_ids is not None:
+            data["match_ids"] = sorted(self.match_ids)
+        if self.probability < 1.0:
+            data["probability"] = self.probability
+        if self.times is not None:
+            data["times"] = self.times
+        if self.mode == FaultMode.HANG:
+            data["hang_seconds"] = self.hang_seconds
+        return data
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultSpec":
+        match_ids = data.get("match_ids")
+        return cls(stage=data["stage"],
+                   mode=data.get("mode", FaultMode.RAISE),
+                   match_ids=(frozenset(match_ids)
+                              if match_ids is not None else None),
+                   probability=data.get("probability", 1.0),
+                   times=data.get("times"),
+                   hang_seconds=data.get("hang_seconds", 30.0))
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A picklable collection of fault rules plus the RNG seed."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.specs, tuple):
+            object.__setattr__(self, "specs", tuple(self.specs))
+
+    def spec_for(self, stage: str, match_id: str,
+                 attempt: int) -> Optional[FaultSpec]:
+        """The first spec that fires for this stage attempt, if any."""
+        for index, spec in enumerate(self.specs):
+            if not spec.targets(stage, match_id):
+                continue
+            if spec.times is not None and attempt >= spec.times:
+                continue
+            if spec.probability >= 1.0 or self._roll(
+                    index, stage, match_id, attempt) < spec.probability:
+                return spec
+        return None
+
+    def _roll(self, index: int, stage: str, match_id: str,
+              attempt: int) -> float:
+        """A deterministic uniform draw in [0, 1).
+
+        Keyed on the plan seed plus the full decision coordinates and
+        hashed with blake2b (not :func:`hash`, which is randomized
+        per interpreter), so serial and pool runs agree.
+        """
+        key = f"{self.seed}:{index}:{stage}:{match_id}:{attempt}"
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big") / 2 ** 64
+
+    def to_json(self) -> dict:
+        return {"seed": self.seed,
+                "specs": [spec.to_json() for spec in self.specs]}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FaultPlan":
+        return cls(specs=tuple(FaultSpec.from_json(entry)
+                               for entry in data.get("specs", [])),
+                   seed=data.get("seed", 0))
+
+    @classmethod
+    def from_file(cls, path: "Path | str") -> "FaultPlan":
+        return cls.from_json(json.loads(Path(path).read_text()))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-stage retry budget, backoff curve and timeouts."""
+
+    #: retries per stage *after* the first attempt (so a stage runs
+    #: at most ``max_retries + 1`` times).
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    #: wall-clock bound per stage attempt; enforced by running the
+    #: stage on a watchdog thread, so a hung stage is abandoned and
+    #: counted as a failed attempt.
+    stage_timeout: Optional[float] = None
+    #: pool-level backstop: how long the parent waits on one task's
+    #: future before declaring the worker hung and rebuilding the
+    #: pool.  ``None`` waits forever (in-worker stage timeouts are
+    #: the first line of defense).
+    task_timeout: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ResilienceError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+
+    def delay(self, retry_index: int) -> float:
+        """Backoff before retry ``retry_index`` (0-based)."""
+        return min(self.backoff_base * self.backoff_factor ** retry_index,
+                   self.backoff_max)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Everything ``pipeline.run`` needs to survive flaky input."""
+
+    retry: RetryPolicy = RetryPolicy()
+    #: degrade=True quarantines poison matches and keeps going;
+    #: degrade=False re-raises the first permanent failure.
+    degrade: bool = True
+    fault_plan: Optional[FaultPlan] = None
+    #: resubmissions after a worker crash, per task; ``None`` follows
+    #: ``retry.max_retries`` so serial and pool runs agree on when a
+    #: repeatedly-crashing match is declared poison.
+    crash_retries: Optional[int] = None
+
+    @property
+    def crash_budget(self) -> int:
+        return (self.retry.max_retries if self.crash_retries is None
+                else self.crash_retries)
+
+
+# ----------------------------------------------------------------------
+# quarantine
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One poison match: where and how it died."""
+
+    match_id: str
+    position: int
+    stage: str
+    error_type: str
+    error: str
+    attempts: int
+
+    def to_json(self) -> dict:
+        return {"match_id": self.match_id, "position": self.position,
+                "stage": self.stage, "error_type": self.error_type,
+                "error": self.error, "attempts": self.attempts}
+
+
+@dataclass
+class QuarantineReport:
+    """Every match skipped by a degraded run, in corpus order."""
+
+    records: List[QuarantineRecord] = field(default_factory=list)
+
+    def add(self, record: QuarantineRecord) -> None:
+        self.records.append(record)
+        self.records.sort(key=lambda item: item.position)
+
+    def match_ids(self) -> List[str]:
+        return [record.match_id for record in self.records]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __iter__(self) -> Iterator[QuarantineRecord]:
+        return iter(self.records)
+
+    def to_json(self) -> list:
+        return [record.to_json() for record in self.records]
+
+    def render(self) -> str:
+        """Human-readable summary (printed by the CLI)."""
+        if not self.records:
+            return "quarantine: empty (no matches skipped)"
+        lines = [f"quarantine: {len(self.records)} match(es) skipped"]
+        for record in self.records:
+            lines.append(
+                f"  {record.match_id}  stage={record.stage} "
+                f"attempts={record.attempts} "
+                f"{record.error_type}: {record.error}")
+        return "\n".join(lines)
+
+
+@dataclass
+class ExecutionOutcome:
+    """What a resilient executor run produced."""
+
+    partials: List["MatchPartial"]
+    quarantine: QuarantineReport = field(default_factory=QuarantineReport)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + amount
+
+
+# ----------------------------------------------------------------------
+# stage execution
+# ----------------------------------------------------------------------
+
+
+class StageRunner:
+    """Runs one match's stages under the resilience policy.
+
+    Each stage call gets fault injection, up to ``max_retries``
+    retries with exponential backoff, and an optional watchdog-thread
+    timeout.  A stage whose budget is exhausted raises
+    :class:`~repro.errors.MatchProcessingError`, which the executor
+    converts into a quarantine record (or re-raises under
+    fail-fast).
+
+    ``base_attempt`` is the task's resubmission count: attempt
+    numbers seen by the fault plan are ``base_attempt + stage_retry``
+    so a crash fault consumed by a pool resubmission and one consumed
+    by an in-process retry burn the same budget — that keeps the set
+    of surviving matches identical at any worker count.
+    """
+
+    def __init__(self, config: ResilienceConfig, match_id: str,
+                 base_attempt: int = 0,
+                 allow_crash: bool = False) -> None:
+        self.config = config
+        self.match_id = match_id
+        self.base_attempt = base_attempt
+        #: real os._exit crashes only inside pool workers; in-process
+        #: execution converts them to WorkerCrashError (see module
+        #: docs) so workers=1 survives the same plans.
+        self.allow_crash = allow_crash
+        self.retries = 0
+        self.faults_injected = 0
+
+    def run(self, stage: str, func):
+        policy = self.config.retry
+        for stage_retry in range(policy.max_retries + 1):
+            try:
+                return self._attempt(stage,
+                                     self.base_attempt + stage_retry,
+                                     func)
+            except MatchProcessingError:
+                raise
+            except Exception as error:
+                if stage_retry >= policy.max_retries:
+                    raise MatchProcessingError.from_exception(
+                        self.match_id, stage,
+                        self.base_attempt + stage_retry + 1,
+                        error, retries=self.retries,
+                        faults_injected=self.faults_injected
+                    ) from error
+                self.retries += 1
+                time.sleep(policy.delay(stage_retry))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _attempt(self, stage: str, attempt: int, func):
+        plan = self.config.fault_plan
+        spec = (plan.spec_for(stage, self.match_id, attempt)
+                if plan is not None else None)
+        corrupting = False
+        if spec is not None:
+            self.faults_injected += 1
+            if spec.mode == FaultMode.RAISE:
+                raise InjectedFaultError(stage, self.match_id)
+            if spec.mode == FaultMode.CRASH:
+                if self.allow_crash:
+                    os._exit(17)  # the real thing: the worker dies
+                raise WorkerCrashError(
+                    f"injected worker crash at stage {stage!r} for "
+                    f"match {self.match_id!r} (simulated in-process)")
+            if spec.mode == FaultMode.HANG:
+                func = self._hang_stage(stage, spec)
+            elif spec.mode == FaultMode.CORRUPT:
+                corrupting = True
+        result = None if corrupting else self._call(stage, func)
+        if result is None:
+            # stages always produce a value; None means the stage (or
+            # an injected corruption) returned garbage.
+            raise CorruptOutputError(
+                f"stage {stage!r} for match {self.match_id!r} "
+                f"returned corrupt (empty) output")
+        return result
+
+    def _hang_stage(self, stage: str, spec: FaultSpec):
+        def hang():
+            time.sleep(spec.hang_seconds)
+            raise InjectedFaultError(
+                stage, self.match_id,
+                f"hang of {spec.hang_seconds:g}s elapsed")
+        return hang
+
+    def _call(self, stage: str, func):
+        timeout = self.config.retry.stage_timeout
+        if timeout is None:
+            return func()
+        box: dict = {}
+
+        def target():
+            try:
+                box["result"] = func()
+            except BaseException as error:  # noqa: BLE001 - re-raised
+                box["error"] = error
+
+        worker = threading.Thread(target=target, daemon=True,
+                                  name=f"stage-{stage}-{self.match_id}")
+        worker.start()
+        worker.join(timeout)
+        if worker.is_alive():
+            # abandon the hung thread (daemon); the attempt failed.
+            raise StageTimeoutError(stage, self.match_id, timeout)
+        if "error" in box:
+            raise box["error"]
+        return box.get("result")
+
+
+def validate_partial(task, partial) -> None:
+    """Cheap invariant checks on a finished :class:`MatchPartial`.
+
+    Catches corrupt partials (injected or organic) before they are
+    merged into the global indexes: the partial must belong to the
+    task's match, contain every index variant, and its TRAD index
+    must cover each narration.
+    """
+    from repro.core.names import IndexName
+    from repro.search.index import InvertedIndex
+
+    match_id = task.crawled.match_id
+    if partial.match_id != match_id:
+        raise CorruptOutputError(
+            f"partial for match {match_id!r} reports match id "
+            f"{partial.match_id!r}")
+    for name in IndexName.BUILT:
+        index = partial.indexes.get(name)
+        if not isinstance(index, InvertedIndex):
+            raise CorruptOutputError(
+                f"partial for match {match_id!r} is missing index "
+                f"{name}")
+    trad_docs = partial.indexes[IndexName.TRAD].doc_count
+    if trad_docs != len(task.crawled.narrations):
+        raise CorruptOutputError(
+            f"partial for match {match_id!r} indexed {trad_docs} "
+            f"narration docs, expected "
+            f"{len(task.crawled.narrations)}")
+
+
+def config_with_degrade(config: Optional[ResilienceConfig],
+                        degrade: Optional[bool],
+                        fault_plan: Optional[FaultPlan]
+                        ) -> Optional[ResilienceConfig]:
+    """Fold the ``pipeline.run`` convenience kwargs into a config."""
+    if config is None:
+        if degrade is None and fault_plan is None:
+            return None
+        config = ResilienceConfig()
+    if degrade is not None:
+        config = replace(config, degrade=degrade)
+    if fault_plan is not None:
+        config = replace(config, fault_plan=fault_plan)
+    return config

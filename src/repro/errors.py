@@ -73,6 +73,103 @@ class ExtractionError(ReproError):
     """The information-extraction module met malformed input."""
 
 
+class CrawlError(ReproError):
+    """A crawled match artifact is structurally invalid."""
+
+
+class ResilienceError(ReproError):
+    """Base class for the fault-tolerance layer's own failures."""
+
+
+class InjectedFaultError(ResilienceError):
+    """A fault deliberately injected by a :class:`FaultPlan` fired.
+
+    Only ever raised under fault injection (testing); production runs
+    never see it unless a plan is attached.
+    """
+
+    def __init__(self, stage: str, match_id: str,
+                 detail: str = "") -> None:
+        suffix = f": {detail}" if detail else ""
+        super().__init__(f"injected fault at stage {stage!r} "
+                         f"for match {match_id!r}{suffix}")
+        self.stage = stage
+        self.match_id = match_id
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.stage, self.match_id, self.detail))
+
+
+class StageTimeoutError(ResilienceError):
+    """A pipeline stage exceeded its configured timeout."""
+
+    def __init__(self, stage: str, match_id: str,
+                 timeout: float) -> None:
+        super().__init__(f"stage {stage!r} for match {match_id!r} "
+                         f"exceeded its {timeout:g}s timeout")
+        self.stage = stage
+        self.match_id = match_id
+        self.timeout = timeout
+
+    def __reduce__(self):
+        return (type(self), (self.stage, self.match_id, self.timeout))
+
+
+class CorruptOutputError(ResilienceError):
+    """A pipeline stage returned detectably-invalid output."""
+
+
+class WorkerCrashError(ResilienceError):
+    """A pool worker process died while holding a task.
+
+    In serial (in-process) execution an injected crash raises this
+    instead of actually killing the interpreter, so ``workers=1`` and
+    ``workers=N`` agree on which matches survive a fault plan.
+    """
+
+
+class MatchProcessingError(ResilienceError):
+    """One match permanently failed ingestion (retries exhausted).
+
+    Carries everything the quarantine report records: the match, the
+    stage that failed, how many attempts were made, and the final
+    underlying error.  The cause is stored as ``(error_type, error)``
+    strings so the exception pickles cleanly across the pool's
+    process boundary.
+    """
+
+    def __init__(self, match_id: str, stage: str, attempts: int,
+                 error_type: str, error: str, retries: int = 0,
+                 faults_injected: int = 0) -> None:
+        super().__init__(
+            f"match {match_id!r} failed at stage {stage!r} after "
+            f"{attempts} attempt(s): {error_type}: {error}")
+        self.match_id = match_id
+        self.stage = stage
+        self.attempts = attempts
+        self.error_type = error_type
+        self.error = error
+        # retry/fault tallies burned before the match was given up,
+        # so quarantined matches still show up in profiler counters
+        self.retries = retries
+        self.faults_injected = faults_injected
+
+    @classmethod
+    def from_exception(cls, match_id: str, stage: str, attempts: int,
+                       cause: BaseException, retries: int = 0,
+                       faults_injected: int = 0
+                       ) -> "MatchProcessingError":
+        return cls(match_id, stage, attempts,
+                   type(cause).__name__, str(cause),
+                   retries=retries, faults_injected=faults_injected)
+
+    def __reduce__(self):
+        return (type(self), (self.match_id, self.stage, self.attempts,
+                             self.error_type, self.error,
+                             self.retries, self.faults_injected))
+
+
 class PopulationError(ReproError):
     """Ontology population could not map an extracted event."""
 

@@ -100,6 +100,33 @@ class CrawledMatch:
     def lineup(self, team: str) -> List[LineupEntry]:
         return self.lineups.get(team, [])
 
+    def validate(self) -> "CrawledMatch":
+        """Check the crawl artifact is structurally sound.
+
+        The resilience layer runs this as the ``crawl`` stage before
+        ingestion, so a truncated or mangled page fails fast with a
+        :class:`~repro.errors.CrawlError` instead of surfacing as a
+        confusing downstream extraction or population failure.
+        Returns ``self`` so it can run as a pipeline stage.
+        """
+        from repro.errors import CrawlError
+        if not self.match_id:
+            raise CrawlError("crawled match has no match_id")
+        if not self.home_team or not self.away_team:
+            raise CrawlError(
+                f"match {self.match_id!r} is missing a team name")
+        if self.home_team == self.away_team:
+            raise CrawlError(
+                f"match {self.match_id!r} has identical teams "
+                f"{self.home_team!r}")
+        if not self.narrations:
+            raise CrawlError(
+                f"match {self.match_id!r} has no narrations")
+        if min(self.home_score, self.away_score) < 0:
+            raise CrawlError(
+                f"match {self.match_id!r} has a negative score")
+        return self
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<CrawledMatch {self.home_team} {self.home_score}-"
                 f"{self.away_score} {self.away_team}, "

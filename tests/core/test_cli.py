@@ -88,3 +88,36 @@ class TestCommands:
         names = sorted(p.stem for p in tmp_path.glob("*.json"))
         assert names == sorted(["TRAD", "BASIC_EXT", "FULL_EXT",
                                 "FULL_INF", "PHR_EXP"])
+
+    def test_build_with_fault_plan_quarantines_and_persists(
+            self, tmp_path, capsys, monkeypatch):
+        """End-to-end --inject-faults: a poison match is reported on
+        stdout and the survivors' indexes still land on disk."""
+        import json
+
+        import repro.cli as cli
+        from repro.soccer import standard_corpus
+        from repro.soccer.names import FIXTURES
+
+        corpus = standard_corpus(fixtures=FIXTURES[:3],
+                                 total_narrations=150)
+        poison = corpus.crawled[1].match_id
+        monkeypatch.setattr(cli, "_corpus", lambda seed: corpus)
+
+        plan_path = tmp_path / "plan.json"
+        plan_path.write_text(json.dumps({
+            "seed": 0,
+            "specs": [{"stage": "extractor", "mode": "raise",
+                       "match_ids": [poison]}],
+        }))
+        index_dir = tmp_path / "idx"
+        assert main(["--inject-faults", str(plan_path), "--degrade",
+                     "--max-retries", "1", "--workers", "2",
+                     "build", "-d", str(index_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "quarantine: 1 match(es) skipped" in out
+        assert poison in out
+        assert "stage=extraction" in out
+        names = sorted(p.stem for p in index_dir.glob("*.json"))
+        assert names == sorted(["TRAD", "BASIC_EXT", "FULL_EXT",
+                                "FULL_INF", "PHR_EXP"])

@@ -30,8 +30,10 @@ class TestPipelineOutputs:
             pipeline_result.engine("BOGUS")
         message = str(excinfo.value)
         assert "BOGUS" in message
-        assert IndexName.PHR_EXP in message
-        assert IndexName.QUERY_EXP in message
+        # every engine the caller could have meant is listed
+        for name in (*IndexName.LADDER, IndexName.PHR_EXP,
+                     IndexName.QUERY_EXP):
+            assert name in message, name
 
     def test_inferred_models_per_match(self, corpus, pipeline_result):
         assert len(pipeline_result.inferred_models) == len(corpus.matches)

@@ -41,10 +41,30 @@ class TestStageProfiler:
         profiler.record("stage", 1.0)
         profiler.record_match("m", {"s": 1.0})
         profiler.add_cache("c", CacheCounter(hits=1))
+        profiler.add_counter("stage_retries")
         profile = profiler.snapshot()
         assert not profile.stages
         assert not profile.match_stages
         assert not profile.caches
+        assert not profile.counters
+
+    def test_add_counter_accumulates(self):
+        profiler = StageProfiler()
+        profiler.add_counter("stage_retries")
+        profiler.add_counter("stage_retries", 2)
+        profiler.add_counter("quarantined")
+        profile = profiler.snapshot()
+        assert profile.counters == {"stage_retries": 3,
+                                    "quarantined": 1}
+
+    def test_counters_serialized_and_rendered(self):
+        profiler = StageProfiler()
+        profiler.add_counter("worker_crashes", 2)
+        profile = profiler.snapshot()
+        payload = json.loads(json.dumps(profile.to_json()))
+        assert payload["counters"] == {"worker_crashes": 2}
+        rendered = profile.render()
+        assert "worker_crashes" in rendered and "2" in rendered
 
     def test_add_cache_accepts_counter_and_lru_info(self):
         from repro.search.analysis.stemmer import PorterStemmer, stem

@@ -1,0 +1,414 @@
+"""Unit tests for the fault-tolerance layer.
+
+Covers the deterministic fault plan, the retry/backoff/timeout stage
+runner, quarantine bookkeeping, serialization of the plan and of the
+errors that cross process boundaries, and the CLI flags.  End-to-end
+invariants (survivor parity, chaos) live in
+``tests/integration/test_resilience_properties.py``.
+"""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import (FaultMode, FaultPlan, FaultSpec, QuarantineRecord,
+                        QuarantineReport, ResilienceConfig, RetryPolicy,
+                        StageRunner)
+from repro.core.resilience import STAGE_ALIASES, STAGE_NAMES, resolve_stages
+from repro.errors import (CorruptOutputError, CrawlError,
+                          InjectedFaultError, MatchProcessingError,
+                          ResilienceError, StageTimeoutError,
+                          WorkerCrashError)
+
+
+class TestFaultSpec:
+    def test_alias_targets_every_member_stage(self):
+        spec = FaultSpec(stage="indexer")
+        for stage in STAGE_ALIASES["indexer"]:
+            assert spec.targets(stage, "m1")
+        assert not spec.targets("extraction", "m1")
+
+    def test_match_filter(self):
+        spec = FaultSpec(stage="extraction", match_ids={"m1", "m2"})
+        assert spec.targets("extraction", "m1")
+        assert not spec.targets("extraction", "m3")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(stage="bogus_stage")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(stage="extraction", mode="explode")
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(stage="extraction", probability=1.5)
+
+    def test_bad_times_rejected(self):
+        with pytest.raises(ResilienceError):
+            FaultSpec(stage="extraction", times=0)
+
+
+class TestFaultPlan:
+    def test_times_bounds_attempts(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference", times=2),))
+        assert plan.spec_for("inference", "m1", 0) is not None
+        assert plan.spec_for("inference", "m1", 1) is not None
+        assert plan.spec_for("inference", "m1", 2) is None
+
+    def test_permanent_fault_never_clears(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference"),))
+        for attempt in range(10):
+            assert plan.spec_for("inference", "m1", attempt) is not None
+
+    def test_probabilistic_draws_are_deterministic(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="extraction",
+                                          probability=0.5),), seed=7)
+        decisions = [plan.spec_for("extraction", f"m{i}", 0) is not None
+                     for i in range(40)]
+        again = [plan.spec_for("extraction", f"m{i}", 0) is not None
+                 for i in range(40)]
+        assert decisions == again
+        # a fair-ish coin: both outcomes occur
+        assert any(decisions) and not all(decisions)
+
+    def test_seed_changes_probabilistic_outcome(self):
+        def draws(seed):
+            plan = FaultPlan(specs=(FaultSpec(stage="extraction",
+                                              probability=0.5),),
+                             seed=seed)
+            return [plan.spec_for("extraction", f"m{i}", 0) is not None
+                    for i in range(40)]
+        assert draws(1) != draws(2)
+
+    def test_json_round_trip(self):
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="extractor", mode=FaultMode.RAISE,
+                      match_ids=frozenset({"m1"}), times=2),
+            FaultSpec(stage="inference", mode=FaultMode.HANG,
+                      probability=0.25, hang_seconds=1.5),
+        ), seed=42)
+        restored = FaultPlan.from_json(
+            json.loads(json.dumps(plan.to_json())))
+        assert restored == plan
+
+    def test_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        plan = FaultPlan(specs=(FaultSpec(stage="reasoner"),), seed=9)
+        path.write_text(json.dumps(plan.to_json()))
+        assert FaultPlan.from_file(path) == plan
+
+    def test_plan_pickles(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="crawler",
+                                          match_ids={"m1"}),))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+
+
+class TestResolveStages:
+    def test_every_alias_expands_to_known_stages(self):
+        for alias, stages in STAGE_ALIASES.items():
+            assert resolve_stages(alias) == stages
+            for stage in stages:
+                assert stage in STAGE_NAMES
+
+    def test_concrete_stage_resolves_to_itself(self):
+        assert resolve_stages("inference") == ("inference",)
+
+
+class TestRetryPolicy:
+    def test_backoff_curve_is_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.3)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.3)
+        assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(max_retries=-1)
+
+    def test_crash_budget_follows_max_retries(self):
+        config = ResilienceConfig(retry=RetryPolicy(max_retries=3))
+        assert config.crash_budget == 3
+        assert ResilienceConfig(retry=RetryPolicy(max_retries=3),
+                                crash_retries=1).crash_budget == 1
+
+
+def _config(**retry_kwargs):
+    retry_kwargs.setdefault("backoff_base", 0.001)
+    return ResilienceConfig(retry=RetryPolicy(**retry_kwargs))
+
+
+class TestStageRunner:
+    def test_success_passes_through(self):
+        runner = StageRunner(_config(), "m1")
+        assert runner.run("inference", lambda: 41 + 1) == 42
+        assert runner.retries == 0
+
+    def test_transient_failure_retried(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise ValueError("transient")
+            return "ok"
+
+        runner = StageRunner(_config(max_retries=2), "m1")
+        assert runner.run("inference", flaky) == "ok"
+        assert len(calls) == 3
+        assert runner.retries == 2
+
+    def test_exhausted_retries_raise_match_processing_error(self):
+        def always_fails():
+            raise ValueError("permanent")
+
+        runner = StageRunner(_config(max_retries=1), "m1")
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("extraction", always_fails)
+        error = excinfo.value
+        assert error.match_id == "m1"
+        assert error.stage == "extraction"
+        assert error.attempts == 2
+        assert error.error_type == "ValueError"
+        assert "permanent" in error.error
+
+    def test_injected_raise_fault(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          match_ids={"m1"}),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=1, backoff_base=0.001),
+            fault_plan=plan)
+        runner = StageRunner(config, "m1")
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("inference", lambda: "never reached")
+        assert excinfo.value.error_type == "InjectedFaultError"
+        assert runner.faults_injected == 2
+        # other matches sail through
+        other = StageRunner(config, "m2")
+        assert other.run("inference", lambda: "fine") == "fine"
+
+    def test_transient_injected_fault_recovers(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          times=2),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=2, backoff_base=0.001),
+            fault_plan=plan)
+        runner = StageRunner(config, "m1")
+        assert runner.run("inference", lambda: "recovered") \
+            == "recovered"
+        assert runner.retries == 2
+        assert runner.faults_injected == 2
+
+    def test_base_attempt_shifts_fault_arithmetic(self):
+        """A resubmitted task (attempt=1) no longer sees a times=1
+        fault — the pool resubmission consumed it."""
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          times=1),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            fault_plan=plan)
+        with pytest.raises(MatchProcessingError):
+            StageRunner(config, "m1", base_attempt=0).run(
+                "inference", lambda: "x")
+        assert StageRunner(config, "m1", base_attempt=1).run(
+            "inference", lambda: "x") == "x"
+
+    def test_corrupt_fault_detected(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="trad_index",
+                                          mode=FaultMode.CORRUPT),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            fault_plan=plan)
+        runner = StageRunner(config, "m1")
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("trad_index", lambda: "real output")
+        assert excinfo.value.error_type == "CorruptOutputError"
+
+    def test_organic_none_output_detected(self):
+        runner = StageRunner(_config(max_retries=0), "m1")
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("inference", lambda: None)
+        assert excinfo.value.error_type == "CorruptOutputError"
+
+    def test_crash_fault_simulated_in_process(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          mode=FaultMode.CRASH),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            fault_plan=plan)
+        runner = StageRunner(config, "m1", allow_crash=False)
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("inference", lambda: "x")
+        assert excinfo.value.error_type == "WorkerCrashError"
+
+    def test_hang_fault_hits_stage_timeout(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          mode=FaultMode.HANG,
+                                          hang_seconds=30.0),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001,
+                              stage_timeout=0.1),
+            fault_plan=plan)
+        runner = StageRunner(config, "m1")
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("inference", lambda: "x")
+        assert excinfo.value.error_type == "StageTimeoutError"
+
+    def test_hang_fault_without_timeout_elapses_then_fails(self):
+        plan = FaultPlan(specs=(FaultSpec(stage="inference",
+                                          mode=FaultMode.HANG,
+                                          hang_seconds=0.01),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            fault_plan=plan)
+        with pytest.raises(MatchProcessingError) as excinfo:
+            StageRunner(config, "m1").run("inference", lambda: "x")
+        assert excinfo.value.error_type == "InjectedFaultError"
+        assert "hang" in excinfo.value.error
+
+    def test_timeout_abandons_slow_stage(self):
+        import time as time_module
+
+        def slow():
+            time_module.sleep(5.0)
+            return "too late"
+
+        config = _config(max_retries=0, stage_timeout=0.1)
+        runner = StageRunner(config, "m1")
+        started = time_module.perf_counter()
+        with pytest.raises(MatchProcessingError) as excinfo:
+            runner.run("inference", slow)
+        assert time_module.perf_counter() - started < 2.0
+        assert excinfo.value.error_type == "StageTimeoutError"
+
+    def test_timeout_propagates_stage_exception(self):
+        def boom():
+            raise KeyError("inside thread")
+
+        config = _config(max_retries=0, stage_timeout=5.0)
+        with pytest.raises(MatchProcessingError) as excinfo:
+            StageRunner(config, "m1").run("inference", boom)
+        assert excinfo.value.error_type == "KeyError"
+
+
+class TestQuarantineReport:
+    def _record(self, match_id="m1", position=0):
+        return QuarantineRecord(match_id=match_id, position=position,
+                                stage="extraction",
+                                error_type="InjectedFaultError",
+                                error="boom", attempts=3)
+
+    def test_empty_report_is_falsy(self):
+        report = QuarantineReport()
+        assert not report
+        assert len(report) == 0
+        assert report.match_ids() == []
+        assert "empty" in report.render()
+
+    def test_records_kept_in_corpus_order(self):
+        report = QuarantineReport()
+        report.add(self._record("m9", position=9))
+        report.add(self._record("m2", position=2))
+        assert report.match_ids() == ["m2", "m9"]
+        assert [r.position for r in report] == [2, 9]
+
+    def test_render_names_stage_and_error(self):
+        report = QuarantineReport()
+        report.add(self._record())
+        rendered = report.render()
+        assert "m1" in rendered
+        assert "extraction" in rendered
+        assert "InjectedFaultError" in rendered
+
+    def test_json_shape(self):
+        report = QuarantineReport()
+        report.add(self._record())
+        [entry] = report.to_json()
+        assert entry == {"match_id": "m1", "position": 0,
+                         "stage": "extraction",
+                         "error_type": "InjectedFaultError",
+                         "error": "boom", "attempts": 3}
+
+
+class TestErrorPickling:
+    """Errors raised inside pool workers must survive pickling."""
+
+    @pytest.mark.parametrize("error", [
+        InjectedFaultError("inference", "m1", "detail"),
+        StageTimeoutError("inference", "m1", 1.5),
+        MatchProcessingError("m1", "extraction", 3, "ValueError",
+                             "boom", retries=2, faults_injected=3),
+    ])
+    def test_round_trip(self, error):
+        restored = pickle.loads(pickle.dumps(error))
+        assert type(restored) is type(error)
+        assert str(restored) == str(error)
+        assert restored.__dict__ == error.__dict__
+
+
+class TestCrawledMatchValidate:
+    def test_clean_match_validates(self, small_corpus):
+        crawled = small_corpus.crawled[0]
+        assert crawled.validate() is crawled
+
+    @pytest.mark.parametrize("mangle, message", [
+        (lambda c: setattr(c, "match_id", ""), "match_id"),
+        (lambda c: setattr(c, "away_team", ""), "team"),
+        (lambda c: setattr(c, "away_team", c.home_team), "identical"),
+        (lambda c: setattr(c, "narrations", []), "narrations"),
+        (lambda c: setattr(c, "home_score", -1), "negative"),
+    ])
+    def test_mangled_match_rejected(self, small_corpus, mangle,
+                                    message):
+        import copy
+        crawled = copy.copy(small_corpus.crawled[0])
+        mangle(crawled)
+        with pytest.raises(CrawlError, match=message):
+            crawled.validate()
+
+
+class TestCliResilienceFlags:
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+        args = build_parser().parse_args(
+            ["--max-retries", "3", "--stage-timeout", "1.5",
+             "--degrade", "corpus"])
+        assert args.max_retries == 3
+        assert args.stage_timeout == 1.5
+        assert args.degrade and not args.fail_fast
+
+    def test_degrade_and_fail_fast_conflict(self):
+        from repro.cli import build_parser
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--degrade", "--fail-fast",
+                                       "corpus"])
+
+    def test_no_flags_means_no_config(self):
+        from repro.cli import _resilience_config, build_parser
+        args = build_parser().parse_args(["corpus"])
+        assert _resilience_config(args) is None
+
+    def test_flags_build_config(self, tmp_path):
+        from repro.cli import _resilience_config, build_parser
+        plan = FaultPlan(specs=(FaultSpec(stage="extractor"),), seed=3)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan.to_json()))
+        args = build_parser().parse_args(
+            ["--max-retries", "1", "--fail-fast",
+             "--inject-faults", str(path), "corpus"])
+        config = _resilience_config(args)
+        assert config.retry.max_retries == 1
+        assert config.degrade is False
+        assert config.fault_plan == plan
+
+    def test_degrade_alone_enables_layer_with_defaults(self):
+        from repro.cli import _resilience_config, build_parser
+        args = build_parser().parse_args(["--degrade", "corpus"])
+        config = _resilience_config(args)
+        assert config is not None
+        assert config.degrade is True
+        assert config.retry.max_retries == 2

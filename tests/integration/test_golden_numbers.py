@@ -71,6 +71,33 @@ class TestGoldenTable6:
                     (query_id, system)
 
 
+class TestResilienceGoldenParity:
+    """Enabling the resilience layer with zero injected faults must
+    be a strict no-op on a healthy corpus: identical indexes byte for
+    byte, identical Table 4/5/6 numbers, empty quarantine."""
+
+    @pytest.fixture(scope="class")
+    def resilient_result(self, pipeline, corpus):
+        return pipeline.run(corpus.crawled, degrade=True, workers=2)
+
+    def test_indexes_bit_identical(self, pipeline_result,
+                                   resilient_result):
+        from repro.core import IndexName
+        assert not resilient_result.quarantine
+        for name in IndexName.BUILT:
+            assert resilient_result.index(name).to_json() \
+                == pipeline_result.index(name).to_json(), name
+
+    def test_tables_unchanged(self, corpus, harness, resilient_result):
+        from repro.evaluation import EvaluationHarness
+        from repro.evaluation.report import render_table
+        resilient = EvaluationHarness(corpus, resilient_result)
+        for table_name in ("table4", "table5", "table6"):
+            baseline = render_table(getattr(harness, table_name)())
+            measured = render_table(getattr(resilient, table_name)())
+            assert measured == baseline, table_name
+
+
 class TestGoldenCorpus:
     def test_index_sizes_pinned(self, pipeline_result):
         from repro.core import IndexName

@@ -1,0 +1,244 @@
+"""End-to-end fault-tolerance invariants.
+
+The load-bearing property (ISSUE 2): **for any set of quarantined
+matches, the surviving index is bit-identical to a clean run over
+only the surviving matches**, at ``workers=1`` and ``workers=4``.
+Plus the chaos check — a pool worker killed with ``os._exit``
+mid-run never hangs the pipeline — and the 2-of-20 degraded-run
+acceptance scenario.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.core import (FaultMode, FaultPlan, FaultSpec, IndexName,
+                        ResilienceConfig, RetryPolicy,
+                        SemanticRetrievalPipeline)
+from repro.soccer import standard_corpus
+from repro.soccer.names import FIXTURES, round_robin_fixtures
+
+#: retry budget used throughout: transient faults with times <=
+#: MAX_RETRIES recover, permanent faults quarantine after
+#: MAX_RETRIES + 1 attempts.
+MAX_RETRIES = 1
+FAST_RETRY = RetryPolicy(max_retries=MAX_RETRIES, backoff_base=0.001,
+                         backoff_max=0.01)
+
+#: fault shapes a poison match can die of (hang kept sub-second so
+#: the un-timed attempt fails quickly).
+POISON_MODES = (FaultMode.RAISE, FaultMode.CORRUPT, FaultMode.HANG)
+#: stages/aliases the generator draws from.
+TARGET_STAGES = ("crawler", "extractor", "populator", "reasoner",
+                 "indexer", "inference", "extraction")
+
+
+@pytest.fixture(scope="module")
+def res_corpus():
+    """Five matches — enough to quarantine some and keep several."""
+    return standard_corpus(fixtures=FIXTURES[:5], total_narrations=250)
+
+
+def run_with_watchdog(func, timeout=180.0):
+    """Run ``func`` on a thread and fail loudly if it hangs — the
+    chaos tests' no-hang guarantee, independent of any CI timeout."""
+    box = {}
+
+    def target():
+        try:
+            box["result"] = func()
+        except BaseException as error:  # noqa: BLE001 - re-raised
+            box["error"] = error
+
+    worker = threading.Thread(target=target, daemon=True)
+    worker.start()
+    worker.join(timeout)
+    assert not worker.is_alive(), \
+        f"pipeline run hung for more than {timeout}s"
+    if "error" in box:
+        raise box["error"]
+    return box["result"]
+
+
+def random_plan(rng, match_ids):
+    """A seeded random fault plan: 1–2 permanent poison matches plus
+    transient faults (recoverable within the retry budget) on some
+    survivors.  Returns (plan, expected_quarantined_ids)."""
+    shuffled = list(match_ids)
+    rng.shuffle(shuffled)
+    poison_count = rng.randint(1, 2)
+    poison, healthy = shuffled[:poison_count], shuffled[poison_count:]
+    specs = []
+    for match_id in poison:
+        specs.append(FaultSpec(
+            stage=rng.choice(TARGET_STAGES),
+            mode=rng.choice(POISON_MODES),
+            match_ids=frozenset({match_id}),
+            hang_seconds=0.01))
+    for match_id in rng.sample(healthy, rng.randint(1, len(healthy))):
+        specs.append(FaultSpec(
+            stage=rng.choice(TARGET_STAGES),
+            mode=rng.choice((FaultMode.RAISE, FaultMode.CORRUPT)),
+            match_ids=frozenset({match_id}),
+            times=rng.randint(1, MAX_RETRIES)))
+    return FaultPlan(specs=tuple(specs), seed=rng.randint(0, 9999)), \
+        sorted(poison, key=match_ids.index)
+
+
+class TestSurvivorParityProperty:
+    """Seeded random fault plans at workers=1 and workers=4."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_survivors_bit_identical_to_clean_run(self, res_corpus,
+                                                  seed):
+        ids = [crawled.match_id for crawled in res_corpus.crawled]
+        plan, expected_poison = random_plan(random.Random(seed), ids)
+        config = ResilienceConfig(retry=FAST_RETRY, fault_plan=plan)
+        pipeline = SemanticRetrievalPipeline()
+
+        survivors = [crawled for crawled in res_corpus.crawled
+                     if crawled.match_id not in expected_poison]
+        clean = pipeline.run(survivors)
+
+        for workers in (1, 4):
+            degraded = run_with_watchdog(
+                lambda: pipeline.run(res_corpus.crawled,
+                                     resilience=config,
+                                     workers=workers))
+            assert degraded.quarantine.match_ids() == expected_poison, \
+                (seed, workers)
+            for name in IndexName.BUILT:
+                assert degraded.index(name).to_json() \
+                    == clean.index(name).to_json(), (seed, workers,
+                                                     name)
+            assert len(degraded.inferred_models) == len(survivors)
+
+    def test_rankings_match_clean_run(self, res_corpus):
+        """Searching the degraded index behaves exactly like the
+        clean survivors-only index, not just byte equality."""
+        ids = [crawled.match_id for crawled in res_corpus.crawled]
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="extractor", match_ids={ids[1]}),))
+        pipeline = SemanticRetrievalPipeline()
+        degraded = pipeline.run(
+            res_corpus.crawled,
+            resilience=ResilienceConfig(retry=FAST_RETRY,
+                                        fault_plan=plan))
+        clean = pipeline.run([c for c in res_corpus.crawled
+                              if c.match_id != ids[1]])
+        for query in ("goal", "yellow card", "penalty save"):
+            degraded_hits = [(hit.doc_key, hit.score) for hit in
+                             degraded.engine(IndexName.FULL_INF)
+                             .search(query, limit=20)]
+            clean_hits = [(hit.doc_key, hit.score) for hit in
+                          clean.engine(IndexName.FULL_INF)
+                          .search(query, limit=20)]
+            assert degraded_hits == clean_hits, query
+
+
+class TestChaosWorkerCrash:
+    """A real pool worker dies via os._exit mid-run: the run must
+    finish — task recovered or quarantined — and never hang."""
+
+    def _run(self, corpus, plan):
+        config = ResilienceConfig(retry=FAST_RETRY, fault_plan=plan)
+        pipeline = SemanticRetrievalPipeline()
+        return run_with_watchdog(
+            lambda: pipeline.run(corpus.crawled, resilience=config,
+                                 workers=4, profile=True))
+
+    def test_permanent_crasher_quarantined(self, res_corpus):
+        ids = [crawled.match_id for crawled in res_corpus.crawled]
+        plan = FaultPlan(specs=(FaultSpec(
+            stage="inference", mode=FaultMode.CRASH,
+            match_ids={ids[2]}),))
+        result = self._run(res_corpus, plan)
+        assert result.quarantine.match_ids() == [ids[2]]
+        record = result.quarantine.records[0]
+        assert record.stage == "worker"
+        assert record.error_type == "WorkerCrashError"
+        assert record.attempts == MAX_RETRIES + 1
+        assert result.profile.counters["worker_crashes"] >= 1
+        assert result.profile.counters["pool_rebuilds"] >= 1
+        # the survivors are all present and searchable
+        assert len(result.inferred_models) == len(ids) - 1
+        assert result.engine(IndexName.FULL_INF).search("goal",
+                                                        limit=5)
+
+    def test_transient_crasher_recovered(self, res_corpus):
+        ids = [crawled.match_id for crawled in res_corpus.crawled]
+        plan = FaultPlan(specs=(FaultSpec(
+            stage="inference", mode=FaultMode.CRASH,
+            match_ids={ids[2]}, times=1),))
+        result = self._run(res_corpus, plan)
+        assert not result.quarantine
+        assert len(result.inferred_models) == len(ids)
+        assert result.profile.counters["worker_crashes"] >= 1
+
+    def test_crash_parity_with_serial_simulation(self, res_corpus):
+        """workers=1 simulates the crash in-process; the surviving
+        corpus must match the real-crash pool run bit for bit."""
+        ids = [crawled.match_id for crawled in res_corpus.crawled]
+        plan = FaultPlan(specs=(FaultSpec(
+            stage="inference", mode=FaultMode.CRASH,
+            match_ids={ids[0]}),))
+        config = ResilienceConfig(retry=FAST_RETRY, fault_plan=plan)
+        pipeline = SemanticRetrievalPipeline()
+        serial = pipeline.run(res_corpus.crawled, resilience=config)
+        pooled = run_with_watchdog(
+            lambda: pipeline.run(res_corpus.crawled, resilience=config,
+                                 workers=4))
+        assert serial.quarantine.match_ids() \
+            == pooled.quarantine.match_ids() == [ids[0]]
+        for name in IndexName.BUILT:
+            assert serial.index(name).to_json() \
+                == pooled.index(name).to_json(), name
+
+
+class TestDegradedTwentyMatchRun:
+    """ISSUE 2 acceptance: permanently fail 2 of 20 matches at
+    workers=4 and still get a searchable index over the 18
+    survivors plus an exact quarantine report."""
+
+    def test_two_of_twenty(self):
+        corpus = standard_corpus(fixtures=round_robin_fixtures(20),
+                                 total_narrations=400)
+        ids = [crawled.match_id for crawled in corpus.crawled]
+        poison = [ids[4], ids[13]]
+        plan = FaultPlan(specs=(
+            FaultSpec(stage="extractor", match_ids={poison[0]}),
+            FaultSpec(stage="reasoner", mode=FaultMode.CORRUPT,
+                      match_ids={poison[1]}),
+        ))
+        pipeline = SemanticRetrievalPipeline()
+        result = run_with_watchdog(
+            lambda: pipeline.run(
+                corpus.crawled,
+                resilience=ResilienceConfig(retry=FAST_RETRY,
+                                            fault_plan=plan),
+                degrade=True, workers=4))
+
+        assert result.quarantine.match_ids() == poison
+        by_id = {record.match_id: record
+                 for record in result.quarantine}
+        assert by_id[poison[0]].stage == "extraction"
+        assert by_id[poison[1]].stage == "inference"
+        for record in result.quarantine:
+            assert record.attempts == MAX_RETRIES + 1
+
+        # 18 survivors, fully indexed and searchable
+        assert len(result.inferred_models) == 18
+        survivor_narrations = sum(
+            len(crawled.narrations) for crawled in corpus.crawled
+            if crawled.match_id not in poison)
+        assert result.index(IndexName.TRAD).doc_count \
+            == survivor_narrations
+        hits = result.engine(IndexName.FULL_INF).search("goal",
+                                                        limit=10)
+        assert hits
+        # doc keys are "<match_id>_nNNNN"/"<match_id>_eNNN"; nothing
+        # from a quarantined match may surface
+        for hit in hits:
+            assert not any(hit.doc_key.startswith(match_id)
+                           for match_id in poison), hit.doc_key

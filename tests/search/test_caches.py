@@ -118,6 +118,23 @@ class TestFieldNamesIncremental:
         left.merge(right)
         assert left.field_names() == ["a", "b"]
 
+    def test_merge_with_empty_partial_keeps_field_names(self):
+        """Regression: merging an empty partial (a match that
+        contributed no documents, e.g. after quarantine) must leave
+        the field registry untouched — in either direction."""
+        full = InvertedIndex()
+        doc = full.new_doc_id()
+        full.index_terms(doc, "narration", [("goal", 0)])
+        full.store_value(doc, "docKey", "k1")
+        before = full.field_names()
+        full.merge(InvertedIndex())
+        assert full.field_names() == before
+        assert full.doc_count == 1
+
+        accumulator = InvertedIndex()
+        accumulator.merge(full)
+        assert accumulator.field_names() == before
+
     def test_from_json_rebuilds_field_names(self):
         index = InvertedIndex()
         doc = index.new_doc_id()
