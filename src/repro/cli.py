@@ -16,19 +16,33 @@ pipeline — the offline/online split of §3.5.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+import traceback
 from pathlib import Path
 from typing import List, Optional
 
 from repro.core import (IndexName, KeywordSearchEngine,
                         PhrasalSearchEngine, SemanticRetrievalPipeline)
+from repro.core.observability import (Observability, get_observability,
+                                      install_observability,
+                                      render_metrics)
+from repro.errors import ReproError
 from repro.evaluation import EvaluationHarness, render_table
 from repro.ontology import soccer_ontology
 from repro.search import Highlighter, load_index, save_index
 from repro.soccer import corpus_statistics, standard_corpus
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser",
+           "EXIT_OK", "EXIT_USER_ERROR", "EXIT_INTERNAL_ERROR"]
+
+#: exit-code contract: 2 for bad input/environment (fixable by the
+#: user), 70 (BSD EX_SOFTWARE) for internal bugs.  KeyboardInterrupt
+#: and SystemExit always propagate.
+EXIT_OK = 0
+EXIT_USER_ERROR = 2
+EXIT_INTERNAL_ERROR = 70
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -67,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
                         metavar="PLAN.json",
                         help="JSON fault plan for resilience testing "
                              "(see docs/resilience.md)")
+    parser.add_argument("--trace", type=Path, default=None,
+                        metavar="OUT.json",
+                        help="record a span trace of the command and "
+                             "write it as JSON (docs/observability.md)")
+    parser.add_argument("--metrics", type=Path, default=None,
+                        metavar="OUT.prom",
+                        help="record metrics and write them on exit "
+                             "(.json → JSON, anything else → "
+                             "Prometheus text format)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     subparsers.add_parser("corpus",
@@ -96,11 +119,16 @@ def build_parser() -> argparse.ArgumentParser:
     subparsers.add_parser("ontology",
                           help="print the Fig. 2 class hierarchy")
 
-    stats = subparsers.add_parser("stats",
-                                  help="statistics of a saved index")
+    stats = subparsers.add_parser(
+        "stats", help="statistics of a saved index, or a readable "
+                      "rendering of an exported metrics file")
     stats.add_argument("-i", "--index", default=IndexName.FULL_INF,
                        choices=[*IndexName.LADDER, IndexName.PHR_EXP])
-    stats.add_argument("-d", "--index-dir", type=Path, required=True)
+    stats.add_argument("-d", "--index-dir", type=Path, default=None)
+    stats.add_argument("--metrics-file", type=Path, default=None,
+                       metavar="METRICS.json",
+                       help="render a metrics JSON file previously "
+                            "exported with --metrics")
     return parser
 
 
@@ -176,13 +204,15 @@ def _command_build(args) -> int:
 def _command_search(args) -> int:
     index_name = IndexName.PHR_EXP if args.phrasal else args.index
     if args.index_dir is not None:
+        # user-input problems only (missing/corrupt files, bad index
+        # names); programming errors propagate to main()'s backstop.
         try:
             index = load_index(args.index_dir, index_name)
-        except Exception as error:
+        except (OSError, ValueError, ReproError) as error:
             print(f"error: {error}", file=sys.stderr)
             print(f"hint: run 'repro build -d {args.index_dir}' first",
                   file=sys.stderr)
-            return 2
+            return EXIT_USER_ERROR
     else:
         corpus = _corpus(args.seed)
         result = _run_pipeline(args, corpus)
@@ -237,12 +267,25 @@ def _command_ontology(args) -> int:
 
 def _command_stats(args) -> int:
     from repro.search.stats import collect_stats, render_stats
-    try:
-        index = load_index(args.index_dir, args.index)
-    except Exception as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    print(render_stats(collect_stats(index)))
+    if args.index_dir is None and args.metrics_file is None:
+        print("error: stats needs --index-dir and/or --metrics-file",
+              file=sys.stderr)
+        return EXIT_USER_ERROR
+    if args.metrics_file is not None:
+        try:
+            data = json.loads(args.metrics_file.read_text())
+            rendered = render_metrics(data)
+        except (OSError, ValueError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USER_ERROR
+        print(rendered)
+    if args.index_dir is not None:
+        try:
+            index = load_index(args.index_dir, args.index)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return EXIT_USER_ERROR
+        print(render_stats(collect_stats(index)))
     return 0
 
 
@@ -256,9 +299,47 @@ _COMMANDS = {
 }
 
 
+def _export_observability(args) -> None:
+    obs = get_observability()
+    if args.trace is not None:
+        args.trace.write_text(
+            json.dumps(obs.tracer.to_json(), indent=2) + "\n")
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if args.metrics is not None:
+        if args.metrics.suffix == ".json":
+            text = json.dumps(obs.metrics.to_json(), indent=2) + "\n"
+        else:
+            text = obs.metrics.to_prometheus()
+        args.metrics.write_text(text)
+        print(f"metrics written to {args.metrics}", file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    observing = args.trace is not None or args.metrics is not None
+    previous = None
+    if observing:
+        previous = install_observability(Observability(
+            tracing=args.trace is not None,
+            metrics=args.metrics is not None))
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        # domain errors carry a user-actionable message; internal
+        # bugs fall through to the next handler with a traceback.
+        # KeyboardInterrupt/SystemExit are BaseExceptions: they
+        # propagate past both handlers untouched.
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_USER_ERROR
+    except Exception:
+        traceback.print_exc()
+        return EXIT_INTERNAL_ERROR
+    finally:
+        if observing:
+            # export even when the command failed — a partial trace
+            # of a crashed run is exactly when you want one.
+            _export_observability(args)
+            install_observability(previous)
 
 
 if __name__ == "__main__":       # pragma: no cover - direct execution

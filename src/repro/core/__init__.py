@@ -18,6 +18,11 @@ from repro.core.feedback import (FeedbackLearner, FeedbackSearchEngine,
 from repro.core.fields import F, FIELD_BOOSTS, SEARCHED_FIELDS
 from repro.core.indexer import SemanticIndexer, default_index_analyzer
 from repro.core.names import IndexName
+from repro.core.observability import (Counter, Gauge, Histogram,
+                                      MetricsRegistry, Observability,
+                                      Span, Tracer, get_observability,
+                                      install_observability, observed,
+                                      validate_trace)
 from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
                                  ParallelPipelineExecutor)
 from repro.core.phrasal import PhrasalQueryParser, PhrasalSearchEngine
@@ -69,4 +74,15 @@ __all__ = [
     "QuarantineRecord",
     "QuarantineReport",
     "ExecutionOutcome",
+    "Observability",
+    "Tracer",
+    "Span",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "get_observability",
+    "install_observability",
+    "observed",
+    "validate_trace",
 ]

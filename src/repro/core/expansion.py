@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.core.fields import F, class_label
+from repro.core.observability import get_observability
 from repro.core.retrieval import KeywordSearchEngine, SearchHit
 from repro.ontology.model import Ontology
 from repro.reasoning.taxonomy import Taxonomy
@@ -86,4 +87,18 @@ class ExpandedSearchEngine:
 
     def search(self, text: str,
                limit: Optional[int] = None) -> List[SearchHit]:
-        return self.engine.search(self.expander.expand(text), limit)
+        obs = get_observability()
+        with obs.tracer.span("query", engine="query_exp"):
+            with obs.tracer.span("query.expand",
+                                 original=text[:120]) as span:
+                expanded = self.expander.expand(text)
+                if span is not None:
+                    span.attributes["added_terms"] = (
+                        len(expanded.split()) - len(text.split()))
+            if obs.metrics.enabled:
+                obs.metrics.counter("query_expansions_total",
+                                    "queries expanded before retrieval"
+                                    ).inc()
+            # the inner keyword engine opens the nested "query" span
+            # and records latency/queries_total for this search.
+            return self.engine.search(expanded, limit)

@@ -1,0 +1,566 @@
+"""Tracing + metrics for the ingest and query paths.
+
+The ROADMAP's north star is a serving system, and a serving system
+must be able to *see* where time and failures go — per request, not
+just in the coarse :class:`~repro.core.profiling.StageProfiler`
+totals.  This module is the cross-cutting layer every scaling PR
+measures against:
+
+* **Tracing** — nested :class:`Span`s with monotonic timing,
+  per-match and per-query trace trees, and deterministic span ids
+  (content-addressed from the span's path in the tree, so two runs of
+  the same workload produce the same ids at any worker count).
+  Worker processes build their match subtree locally; the subtree is
+  pickled back inside the :class:`~repro.core.parallel.MatchPartial`
+  and *stitched* under the parent's ``ingest`` span.
+* **Metrics** — a registry of counters, gauges and fixed-bucket
+  histograms with JSON and Prometheus-text exporters.  Ingest metrics
+  are folded in by the pipeline from the per-match partials (so they
+  are complete at any worker count); query metrics are recorded where
+  the query executes.
+* **A process-wide switchboard** — :func:`get_observability` returns
+  the installed :class:`Observability` bundle.  The default bundle is
+  *disabled*: every span is a no-op context manager and every
+  instrument a shared null object, so the hot paths pay one attribute
+  check.  Disabled observability leaves pipeline output byte-identical
+  (guarded by ``tests/core/test_observability.py``).
+
+Span model, metric names and exporter formats are documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "TRACE_SCHEMA", "METRICS_SCHEMA", "DEFAULT_LATENCY_BUCKETS",
+    "Span", "Tracer", "Counter", "Gauge", "Histogram",
+    "MetricsRegistry", "Observability", "get_observability",
+    "install_observability", "observed", "fold_cache_info",
+    "validate_trace", "render_metrics",
+]
+
+TRACE_SCHEMA = "repro.trace/v1"
+METRICS_SCHEMA = "repro.metrics/v1"
+
+#: default histogram buckets (seconds), tuned for sub-second queries
+#: with a tail for cold pipeline-backed searches.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 10.0)
+
+
+# ----------------------------------------------------------------------
+# tracing
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class Span:
+    """One timed operation in a trace tree.
+
+    ``started`` is a process-local ``perf_counter`` value, so offsets
+    are only meaningful relative to spans of the same process;
+    subtrees adopted across a process boundary are marked ``foreign``
+    and export a null offset.  Span ids are not stored — they are
+    derived at export time from the span's path (see
+    :meth:`Tracer.to_json`), which makes them deterministic across
+    runs and worker counts.
+    """
+
+    name: str
+    started: float = 0.0
+    duration: float = 0.0
+    attributes: Dict[str, Any] = field(default_factory=dict)
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    children: List["Span"] = field(default_factory=list)
+    #: adopted from another process; offset relative to the parent is
+    #: unknowable (different perf_counter epochs).
+    foreign: bool = False
+
+    def add_event(self, name: str, **attributes: Any) -> None:
+        self.events.append({"name": name, **attributes})
+
+
+def _span_id(path: str) -> str:
+    """Deterministic 16-hex id from the span's path in the tree."""
+    return hashlib.blake2b(path.encode(), digest_size=8).hexdigest()
+
+
+def _export_span(span: Span, parent_path: str, sibling_index: int,
+                 parent_id: Optional[str],
+                 parent_started: Optional[float]) -> dict:
+    path = f"{parent_path}/{span.name}[{sibling_index}]"
+    span_id = _span_id(path)
+    if span.foreign or parent_started is None:
+        offset = None
+    else:
+        offset = round(max(0.0, span.started - parent_started), 6)
+    sibling_counts: Dict[str, int] = {}
+    children = []
+    for child in span.children:
+        index = sibling_counts.get(child.name, 0)
+        sibling_counts[child.name] = index + 1
+        children.append(_export_span(child, path, index, span_id,
+                                     span.started))
+    return {
+        "name": span.name,
+        "span_id": span_id,
+        "parent_id": parent_id,
+        "offset_seconds": offset,
+        "duration_seconds": round(span.duration, 6),
+        "attributes": dict(span.attributes),
+        "events": [dict(event) for event in span.events],
+        "children": children,
+    }
+
+
+class Tracer:
+    """Builds one trace tree via a stack of open spans.
+
+    A disabled tracer is a pile of no-ops: ``span`` yields ``None``
+    without touching the clock, ``event`` and ``adopt`` return
+    immediately.  The tracer is deliberately single-threaded (one
+    stack); concurrent tracing happens by giving each worker its own
+    tracer and stitching the subtree back with :meth:`adopt`.
+    """
+
+    def __init__(self, enabled: bool = True, name: str = "repro") -> None:
+        self.enabled = enabled
+        self.root: Optional[Span] = None
+        self._stack: List[Span] = []
+        if enabled:
+            self.root = Span(name=name, started=time.perf_counter())
+            self._stack = [self.root]
+
+    @contextmanager
+    def span(self, name: str, **attributes: Any) -> Iterator[Optional[Span]]:
+        """Open a child span under the current one (no-op if disabled)."""
+        if not self.enabled:
+            yield None
+            return
+        span = Span(name=name, started=time.perf_counter(),
+                    attributes=dict(attributes))
+        self._stack[-1].children.append(span)
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.duration = time.perf_counter() - span.started
+            self._stack.pop()
+
+    def event(self, name: str, *, span: Optional[Span] = None,
+              **attributes: Any) -> None:
+        """Attach an event to ``span`` (default: the current span)."""
+        if not self.enabled:
+            return
+        target = span if span is not None else self._stack[-1]
+        target.add_event(name, **attributes)
+
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self.enabled else None
+
+    def adopt(self, span: Optional[Span],
+              into: Optional[Span] = None) -> None:
+        """Stitch a foreign subtree (e.g. shipped back from a worker
+        process) under ``into`` (default: the current span)."""
+        if not self.enabled or span is None:
+            return
+        span.foreign = True
+        parent = into if into is not None else self._stack[-1]
+        parent.children.append(span)
+
+    def close(self) -> None:
+        """Seal the root span's duration (idempotent)."""
+        if self.enabled and self.root is not None:
+            self.root.duration = time.perf_counter() - self.root.started
+
+    def to_json(self) -> dict:
+        """Export the trace with deterministic path-derived span ids."""
+        if not self.enabled or self.root is None:
+            return {"schema": TRACE_SCHEMA, "root": None}
+        if self.root.duration == 0.0:
+            self.close()
+        return {"schema": TRACE_SCHEMA,
+                "root": _export_span(self.root, "", 0, None, None)}
+
+
+def validate_trace(data: dict) -> None:
+    """Validate an exported trace against the ``repro.trace/v1``
+    schema; raises :class:`ValueError` on the first violation.  Used
+    by the test suite and the CI smoke job."""
+    if not isinstance(data, dict) or data.get("schema") != TRACE_SCHEMA:
+        raise ValueError(f"not a {TRACE_SCHEMA} document")
+    root = data.get("root")
+    if root is None:
+        return
+    seen_ids: set = set()
+
+    def check(node: dict, parent_id: Optional[str]) -> None:
+        if not isinstance(node, dict):
+            raise ValueError("span node is not an object")
+        for key in ("name", "span_id", "parent_id", "offset_seconds",
+                    "duration_seconds", "attributes", "events",
+                    "children"):
+            if key not in node:
+                raise ValueError(f"span missing key {key!r}")
+        if not isinstance(node["name"], str) or not node["name"]:
+            raise ValueError("span name must be a non-empty string")
+        span_id = node["span_id"]
+        if (not isinstance(span_id, str) or len(span_id) != 16
+                or any(c not in "0123456789abcdef" for c in span_id)):
+            raise ValueError(f"bad span id {span_id!r}")
+        if span_id in seen_ids:
+            raise ValueError(f"duplicate span id {span_id!r}")
+        seen_ids.add(span_id)
+        if node["parent_id"] != parent_id:
+            raise ValueError(
+                f"span {node['name']!r} has parent_id "
+                f"{node['parent_id']!r}, expected {parent_id!r}")
+        duration = node["duration_seconds"]
+        if not isinstance(duration, (int, float)) or duration < 0:
+            raise ValueError(f"bad duration {duration!r}")
+        offset = node["offset_seconds"]
+        if offset is not None and (not isinstance(offset, (int, float))
+                                   or offset < 0):
+            raise ValueError(f"bad offset {offset!r}")
+        if not isinstance(node["attributes"], dict):
+            raise ValueError("span attributes must be an object")
+        if not isinstance(node["events"], list):
+            raise ValueError("span events must be a list")
+        for event in node["events"]:
+            if not isinstance(event, dict) or "name" not in event:
+                raise ValueError(f"bad span event {event!r}")
+        for child in node["children"]:
+            check(child, span_id)
+
+    check(root, None)
+
+
+# ----------------------------------------------------------------------
+# metrics
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """Monotonically-increasing value (floats allowed, e.g. seconds)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Fixed-bucket histogram (Prometheus-style ``le`` semantics:
+    a value equal to a bucket boundary lands in that bucket)."""
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
+                 ) -> None:
+        self.buckets: Tuple[float, ...] = tuple(
+            sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+        # one overflow slot past the last bucket (the +Inf bucket)
+        self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_counts(self) -> List[int]:
+        """Cumulative per-bucket counts, ending with the +Inf total."""
+        totals, running = [], 0
+        for count in self.bucket_counts:
+            running += count
+            totals.append(running)
+        return totals
+
+
+class _NullInstrument:
+    """Shared do-nothing instrument handed out by a disabled registry."""
+
+    __slots__ = ()
+    value = 0.0
+    sum = 0.0
+    count = 0
+    buckets: Tuple[float, ...] = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+_LabelKey = Tuple[Tuple[str, str], ...]
+
+
+class MetricsRegistry:
+    """Creates-or-returns instruments by (name, labels) and exports
+    them as JSON or Prometheus text.
+
+    A disabled registry returns a shared null instrument from every
+    accessor, so call sites never branch on ``enabled`` themselves
+    (though hot paths may, to skip label-dict construction).
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._instruments: Dict[Tuple[str, _LabelKey], Any] = {}
+        self._kinds: Dict[str, str] = {}
+        self._helps: Dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, help: str = "", **labels: Any) -> Counter:
+        return self._get("counter", Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", **labels: Any) -> Gauge:
+        return self._get("gauge", Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: Any) -> Histogram:
+        if not self.enabled:
+            return _NULL  # type: ignore[return-value]
+        instrument = self._get(
+            "histogram", lambda: Histogram(buckets or
+                                           DEFAULT_LATENCY_BUCKETS),
+            name, help, labels)
+        return instrument
+
+    def _get(self, kind: str, factory, name: str, help: str,
+             labels: Dict[str, Any]):
+        if not self.enabled:
+            return _NULL
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise ValueError(f"metric {name!r} already registered as a "
+                             f"{known}, not a {kind}")
+        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+            if help:
+                self._helps[name] = help
+        elif help and name not in self._helps:
+            self._helps[name] = help
+        return instrument
+
+    # ------------------------------------------------------------------
+    # exporters
+    # ------------------------------------------------------------------
+
+    def _series(self) -> Iterator[Tuple[str, _LabelKey, Any]]:
+        for (name, labels), instrument in sorted(
+                self._instruments.items()):
+            yield name, labels, instrument
+
+    def to_json(self) -> dict:
+        data: dict = {"schema": METRICS_SCHEMA, "counters": {},
+                      "gauges": {}, "histograms": {}}
+        for name, labels, instrument in self._series():
+            kind = self._kinds[name]
+            entry: dict = {"labels": dict(labels)}
+            if kind == "histogram":
+                entry.update(buckets=list(instrument.buckets),
+                             counts=list(instrument.bucket_counts),
+                             sum=round(instrument.sum, 6),
+                             count=instrument.count)
+            else:
+                entry["value"] = round(instrument.value, 6)
+            data[kind + "s"].setdefault(name, []).append(entry)
+        return data
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (deterministic order)."""
+        lines: List[str] = []
+        emitted_header: set = set()
+
+        def header(name: str, kind: str) -> None:
+            if name in emitted_header:
+                return
+            emitted_header.add(name)
+            help_text = self._helps.get(name, "")
+            if help_text:
+                lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+
+        def labelled(name: str, labels: _LabelKey,
+                     extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+            pairs = [*labels, *extra]
+            if not pairs:
+                return name
+            rendered = ",".join(f'{k}="{v}"' for k, v in pairs)
+            return f"{name}{{{rendered}}}"
+
+        def fmt(value: float) -> str:
+            return repr(round(value, 9)) if isinstance(value, float) \
+                else str(value)
+
+        for name, labels, instrument in self._series():
+            kind = self._kinds[name]
+            header(name, kind)
+            if kind == "histogram":
+                cumulative = instrument.cumulative_counts()
+                for bound, count in zip(instrument.buckets, cumulative):
+                    lines.append(
+                        f"{labelled(name + '_bucket', labels, (('le', repr(bound)),))}"
+                        f" {count}")
+                lines.append(
+                    f"{labelled(name + '_bucket', labels, (('le', '+Inf'),))}"
+                    f" {cumulative[-1]}")
+                lines.append(f"{labelled(name + '_sum', labels)} "
+                             f"{fmt(instrument.sum)}")
+                lines.append(f"{labelled(name + '_count', labels)} "
+                             f"{instrument.count}")
+            else:
+                lines.append(f"{labelled(name, labels)} "
+                             f"{fmt(instrument.value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+
+def fold_cache_info(metrics: MetricsRegistry, name: str, info) -> None:
+    """Fold one cache's hit/miss tallies into the registry as gauges.
+
+    Accepts a :class:`~repro.core.profiling.CacheCounter`, anything
+    with ``hits``/``misses`` attributes (``functools.lru_cache``
+    info), or a plain mapping — the same sources
+    :meth:`StageProfiler.add_cache` accepts.
+    """
+    if not metrics.enabled:
+        return
+    if hasattr(info, "hits") and hasattr(info, "misses"):
+        hits, misses = int(info.hits), int(info.misses)
+    else:
+        hits = int(info.get("hits", 0))
+        misses = int(info.get("misses", 0))
+    total = hits + misses
+    metrics.gauge("cache_hits", "cache hits per memoization layer",
+                  cache=name).set(hits)
+    metrics.gauge("cache_misses", "cache misses per memoization layer",
+                  cache=name).set(misses)
+    metrics.gauge("cache_hit_rate", "hit fraction per memoization layer",
+                  cache=name).set(round(hits / total, 4) if total else 0.0)
+
+
+def render_metrics(data: dict) -> str:
+    """Human-readable table of an exported metrics JSON document
+    (the ``repro stats --metrics-file`` view)."""
+    if data.get("schema") != METRICS_SCHEMA:
+        raise ValueError(f"not a {METRICS_SCHEMA} document")
+    lines: List[str] = []
+
+    def label_text(labels: dict) -> str:
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v
+                              in sorted(labels.items())) + "}"
+
+    for kind in ("counters", "gauges"):
+        series = data.get(kind, {})
+        if not series:
+            continue
+        lines.append(kind)
+        for name in sorted(series):
+            for entry in series[name]:
+                lines.append(f"  {name + label_text(entry['labels']):52} "
+                             f"{entry['value']:>14}")
+    for name in sorted(data.get("histograms", {})):
+        for entry in data["histograms"][name]:
+            lines.append(f"histogram {name}{label_text(entry['labels'])} "
+                         f"count={entry['count']} sum={entry['sum']}")
+            running = 0
+            for bound, count in zip(entry["buckets"], entry["counts"]):
+                running += count
+                if count:
+                    lines.append(f"  le={bound:<10} {running:>8}")
+    return "\n".join(lines) if lines else "no metrics recorded"
+
+
+# ----------------------------------------------------------------------
+# the process-wide switchboard
+# ----------------------------------------------------------------------
+
+
+class Observability:
+    """One tracer + one metrics registry, enabled independently."""
+
+    def __init__(self, tracing: bool = False, metrics: bool = False,
+                 trace_name: str = "repro") -> None:
+        self.tracer = Tracer(enabled=tracing, name=trace_name)
+        self.metrics = MetricsRegistry(enabled=metrics)
+
+    @property
+    def enabled(self) -> bool:
+        return self.tracer.enabled or self.metrics.enabled
+
+
+#: the default bundle: everything disabled, everything no-op.
+_ACTIVE = Observability()
+
+
+def get_observability() -> Observability:
+    """The currently-installed bundle (disabled by default)."""
+    return _ACTIVE
+
+
+def install_observability(observability: Observability) -> Observability:
+    """Install a bundle process-wide; returns the previous one so
+    callers can restore it (see :func:`observed`)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = observability
+    return previous
+
+
+@contextmanager
+def observed(tracing: bool = True, metrics: bool = True,
+             trace_name: str = "repro") -> Iterator[Observability]:
+    """Temporarily install an enabled bundle (test/CLI helper)."""
+    bundle = Observability(tracing=tracing, metrics=metrics,
+                           trace_name=trace_name)
+    previous = install_observability(bundle)
+    try:
+        yield bundle
+    finally:
+        install_observability(previous)

@@ -32,6 +32,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.indexer import SemanticIndexer
 from repro.core.names import IndexName
+from repro.core.observability import Span, Tracer
 from repro.core.resilience import (ExecutionOutcome, QuarantineRecord,
                                    ResilienceConfig, StageRunner,
                                    validate_partial)
@@ -66,6 +67,9 @@ class MatchTask:
     #: retry/timeout/fault-injection policy; None runs the stages
     #: bare, exactly as before the resilience layer existed.
     resilience: Optional[ResilienceConfig] = None
+    #: build a per-stage span tree for this match and ship it back in
+    #: the partial (set when the pipeline's tracer is enabled).
+    trace: bool = False
 
 
 @dataclass
@@ -86,6 +90,11 @@ class MatchPartial:
     #: partial (always 0 without a resilience config).
     retries: int = 0
     faults_injected: int = 0
+    #: the match's span tree (root span ``match`` with one child per
+    #: stage), built when the task asked for tracing; picklable, so
+    #: pool workers ship it back and the pipeline stitches it under
+    #: its ``ingest`` span.
+    spans: Optional[Span] = None
 
 
 class MatchProcessor:
@@ -110,19 +119,32 @@ class MatchProcessor:
     def process(self, task: MatchTask) -> MatchPartial:
         crawled = task.crawled
         times: Dict[str, float] = {}
+        # the match-local tracer keeps worker and serial execution on
+        # one code path: both build the subtree here and the pipeline
+        # adopts it, so trace trees are identical at any worker count.
+        tracer = Tracer(enabled=task.trace, name="match")
+        if tracer.enabled:
+            tracer.root.attributes.update(match_id=crawled.match_id,
+                                          position=task.position)
         runner: Optional[StageRunner] = None
         if task.resilience is not None:
             runner = StageRunner(task.resilience, crawled.match_id,
                                  base_attempt=task.attempt,
-                                 allow_crash=_IN_POOL_WORKER)
+                                 allow_crash=_IN_POOL_WORKER,
+                                 tracer=tracer if tracer.enabled
+                                 else None)
 
         def timed(stage: str, func):
-            started = time.perf_counter()
-            if runner is not None:
-                result = runner.run(stage, func)
-            else:
-                result = func()
-            times[stage] = time.perf_counter() - started
+            with tracer.span(stage) as span:
+                started = time.perf_counter()
+                if runner is not None:
+                    result = runner.run(stage, func)
+                else:
+                    result = func()
+                elapsed = time.perf_counter() - started
+            # with tracing on, the profiler's per-stage numbers ARE
+            # the span durations — one clock, two views.
+            times[stage] = span.duration if span is not None else elapsed
             return result
 
         if runner is not None:
@@ -169,6 +191,9 @@ class MatchProcessor:
             full_individuals=(list(full.individuals())
                               if task.keep_intermediate else None),
         )
+        if tracer.enabled:
+            tracer.close()
+            partial.spans = tracer.root
         if runner is not None:
             partial.retries = runner.retries
             partial.faults_injected = runner.faults_injected

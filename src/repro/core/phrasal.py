@@ -13,10 +13,12 @@ indexer), simple prepositional phrases in the query — "by X", "to X",
 from __future__ import annotations
 
 import re
+import time
 from typing import List, Optional, Tuple
 
 from repro.core.fields import F, SEARCHED_FIELDS
 from repro.core.indexer import default_index_analyzer
+from repro.core.observability import get_observability
 from repro.core.retrieval import KeywordSearchEngine, SearchHit
 from repro.errors import QueryError
 from repro.search.index import InvertedIndex, PerFieldAnalyzer
@@ -88,4 +90,19 @@ class PhrasalSearchEngine:
 
     def search(self, text: str,
                limit: Optional[int] = None) -> List[SearchHit]:
-        return self.engine.search_query(self.build_query(text), limit)
+        obs = get_observability()
+        started = time.perf_counter()
+        with obs.tracer.span("query", engine="phrasal",
+                             index=self.engine.index.name):
+            with obs.tracer.span("query.parse", phrasal=True,
+                                 text=text[:120]):
+                query = self.build_query(text)
+            hits = self.engine.search_query(query, limit)
+        if obs.metrics.enabled:
+            obs.metrics.counter("queries_total", "queries served",
+                                engine="phrasal").inc()
+            obs.metrics.histogram(
+                "query_latency_seconds",
+                "end-to-end keyword query latency"
+            ).observe(time.perf_counter() - started)
+        return hits

@@ -32,6 +32,8 @@ from typing import Dict, List, Optional, Sequence
 from repro.core.expansion import ExpandedSearchEngine, QueryExpander
 from repro.core.indexer import SemanticIndexer
 from repro.core.names import IndexName
+from repro.core.observability import (Observability, fold_cache_info,
+                                      get_observability)
 from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
                                  ParallelPipelineExecutor)
 from repro.core.profiling import PipelineProfile, StageProfiler
@@ -108,7 +110,9 @@ class SemanticRetrievalPipeline:
             profile: bool = False,
             resilience: Optional[ResilienceConfig] = None,
             degrade: Optional[bool] = None,
-            fault_plan: Optional[FaultPlan] = None) -> PipelineResult:
+            fault_plan: Optional[FaultPlan] = None,
+            observability: Optional[Observability] = None
+            ) -> PipelineResult:
         """Execute steps 2–8 over ``crawled_matches``.
 
         ``workers`` fans the per-match stages out over a process pool;
@@ -126,14 +130,26 @@ class SemanticRetrievalPipeline:
         matches quarantined into ``result.quarantine`` while the
         surviving corpus is indexed normally.  On a healthy corpus
         the resilient path produces bit-identical indexes.
+
+        ``observability`` overrides the process-wide bundle from
+        :func:`~repro.core.observability.get_observability`: with
+        tracing enabled the run builds a ``pipeline.build`` trace tree
+        (per-match subtrees stitched from the workers), and with
+        metrics enabled ingest counters/histograms are folded into
+        the registry.  Both disabled (the default) leaves this method
+        byte-identical to the uninstrumented path.
         """
         started = time.perf_counter()
+        obs = (observability if observability is not None
+               else get_observability())
+        tracer, metrics = obs.tracer, obs.metrics
         profiler = StageProfiler(enabled=profile)
         resilience = config_with_degrade(resilience, degrade, fault_plan)
         matches = list(crawled_matches)
         tasks = [MatchTask(position=position, crawled=crawled,
                            check_consistency=check_consistency,
-                           keep_intermediate=store is not None)
+                           keep_intermediate=store is not None,
+                           trace=tracer.enabled)
                  for position, crawled in enumerate(matches)]
         executor = ParallelPipelineExecutor(
             workers=workers, ontology=self.ontology,
@@ -142,48 +158,67 @@ class SemanticRetrievalPipeline:
                                      reasoner=self.reasoner,
                                      indexer=self.indexer))
 
-        ingest_started = time.perf_counter()
-        outcome = executor.execute(tasks, resilience=resilience)
-        partials = outcome.partials
-        quarantine = outcome.quarantine
-        profiler.record("per_match_total",
-                        time.perf_counter() - ingest_started)
-        for partial in partials:
-            profiler.record_match(partial.match_id, partial.stage_seconds)
-        if resilience is not None:
-            for name in ("stage_retries", "faults_injected",
-                         "quarantined", "worker_crashes",
-                         "pool_rebuilds"):
-                profiler.add_counter(name, outcome.counters.get(name, 0))
-
-        with profiler.stage("merge_indexes"):
-            indexes = {name: InvertedIndex(name)
-                       for name in IndexName.BUILT}
+        with tracer.span("pipeline.build", matches=len(matches),
+                         workers=workers):
+            ingest_started = time.perf_counter()
+            with tracer.span("ingest", workers=workers) as ingest_span:
+                outcome = executor.execute(tasks, resilience=resilience)
+                partials = outcome.partials
+                quarantine = outcome.quarantine
+                for partial in partials:
+                    tracer.adopt(partial.spans, into=ingest_span)
+                for record in quarantine:
+                    tracer.event("quarantine", span=ingest_span,
+                                 match_id=record.match_id,
+                                 stage=record.stage,
+                                 error_type=record.error_type,
+                                 attempts=record.attempts)
+            profiler.record("per_match_total",
+                            time.perf_counter() - ingest_started)
             for partial in partials:
-                for name, mini in partial.indexes.items():
-                    indexes[name].merge(mini)
+                profiler.record_match(partial.match_id,
+                                      partial.stage_seconds)
+            if resilience is not None:
+                for name in ("stage_retries", "faults_injected",
+                             "quarantined", "worker_crashes",
+                             "pool_rebuilds"):
+                    profiler.add_counter(name,
+                                         outcome.counters.get(name, 0))
 
-        inferred_models = [
-            self._rebuild_model(f"{partial.match_id}-full-inferred",
-                                partial.inferred_individuals)
-            for partial in partials]
-        if store is not None:
-            with profiler.stage("persist_models"):
-                for partial, inferred in zip(partials, inferred_models):
-                    store.save("initial", partial.match_id,
-                               self._rebuild_model(
-                                   f"{partial.match_id}-basic",
-                                   partial.basic_individuals or []))
-                    store.save("extracted", partial.match_id,
-                               self._rebuild_model(
-                                   f"{partial.match_id}-full",
-                                   partial.full_individuals or []))
-                    store.save("inferred", partial.match_id, inferred)
+            with profiler.stage("merge_indexes"), \
+                    tracer.span("merge_indexes"):
+                indexes = {name: InvertedIndex(name)
+                           for name in IndexName.BUILT}
+                for partial in partials:
+                    for name, mini in partial.indexes.items():
+                        indexes[name].merge(mini)
+
+            inferred_models = [
+                self._rebuild_model(f"{partial.match_id}-full-inferred",
+                                    partial.inferred_individuals)
+                for partial in partials]
+            if store is not None:
+                with profiler.stage("persist_models"), \
+                        tracer.span("persist_models"):
+                    for partial, inferred in zip(partials,
+                                                 inferred_models):
+                        store.save("initial", partial.match_id,
+                                   self._rebuild_model(
+                                       f"{partial.match_id}-basic",
+                                       partial.basic_individuals or []))
+                        store.save("extracted", partial.match_id,
+                                   self._rebuild_model(
+                                       f"{partial.match_id}-full",
+                                       partial.full_individuals or []))
+                        store.save("inferred", partial.match_id,
+                                   inferred)
 
         engines = {name: KeywordSearchEngine(indexes[name])
                    for name in IndexName.LADDER}
         if profile:
             self._collect_cache_stats(profiler)
+        if metrics.enabled:
+            self._fold_metrics(metrics, outcome, partials, quarantine)
         return PipelineResult(
             indexes=indexes,
             engines=engines,
@@ -212,6 +247,43 @@ class SemanticRetrievalPipeline:
         for individual in individuals:
             abox.add_individual(individual)
         return abox
+
+    def _fold_metrics(self, metrics, outcome, partials,
+                      quarantine: QuarantineReport) -> None:
+        """Fold one run's ingest tallies into the metrics registry.
+
+        Stage seconds come from the per-match partials, so the
+        numbers are complete at any worker count (worker-process
+        registries are never shipped — the partials are the wire
+        format).
+        """
+        metrics.counter("ingest_matches_total",
+                        "matches ingested to completion"
+                        ).inc(len(partials))
+        metrics.counter("ingest_quarantined_total",
+                        "matches skipped by degraded runs"
+                        ).inc(len(quarantine))
+        for name, value in outcome.counters.items():
+            if name == "quarantined":  # folded explicitly above
+                continue
+            metrics.counter(f"ingest_{name}_total").inc(value)
+        match_buckets = (0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+        for partial in partials:
+            for stage, seconds in partial.stage_seconds.items():
+                metrics.counter("ingest_stage_seconds_total",
+                                "wall-clock per ingest stage",
+                                stage=stage).inc(seconds)
+            metrics.histogram("ingest_match_seconds",
+                              "per-match ingestion wall-clock",
+                              buckets=match_buckets
+                              ).observe(sum(partial.stage_seconds
+                                            .values()))
+        for name, counter in self.indexer.cache_stats().items():
+            fold_cache_info(metrics, f"indexer.{name}", counter)
+        fold_cache_info(metrics, "analyzer.token_stream",
+                        self.indexer.analyzer.cache_info())
+        fold_cache_info(metrics, "stemmer.porter",
+                        PorterStemmer.cache_info())
 
     def _collect_cache_stats(self, profiler: StageProfiler) -> None:
         """Register the analysis-path cache counters.

@@ -219,6 +219,14 @@ class RetryPolicy:
     backoff_base: float = 0.02
     backoff_factor: float = 2.0
     backoff_max: float = 1.0
+    #: fraction of each backoff delay shaved off by a seeded roll, so
+    #: simultaneous retries at high worker counts don't stampede in
+    #: lockstep.  A delay stays within ``[(1 - jitter) * d, d]`` of
+    #: the un-jittered delay ``d``; 0 disables jitter entirely.
+    jitter: float = 0.1
+    #: seed for the jitter rolls — delays are a pure function of
+    #: (seed, key, retry_index), so runs are reproducible.
+    jitter_seed: int = 0
     #: wall-clock bound per stage attempt; enforced by running the
     #: stage on a watchdog thread, so a hung stage is abandoned and
     #: counted as a failed attempt.
@@ -233,11 +241,26 @@ class RetryPolicy:
         if self.max_retries < 0:
             raise ResilienceError(
                 f"max_retries must be >= 0, got {self.max_retries}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ResilienceError(
+                f"jitter must be in [0, 1), got {self.jitter}")
 
-    def delay(self, retry_index: int) -> float:
-        """Backoff before retry ``retry_index`` (0-based)."""
-        return min(self.backoff_base * self.backoff_factor ** retry_index,
-                   self.backoff_max)
+    def delay(self, retry_index: int, key: str = "") -> float:
+        """Backoff before retry ``retry_index`` (0-based).
+
+        ``key`` decorrelates concurrent retriers (the stage runner
+        passes ``"match_id:stage"``): distinct keys draw distinct
+        jitter rolls, while the same (seed, key, retry_index) always
+        yields the same delay.
+        """
+        capped = min(self.backoff_base * self.backoff_factor ** retry_index,
+                     self.backoff_max)
+        if not self.jitter:
+            return capped
+        token = f"{self.jitter_seed}:{key}:{retry_index}"
+        digest = hashlib.blake2b(token.encode(), digest_size=8).digest()
+        roll = int.from_bytes(digest, "big") / 2 ** 64
+        return capped * (1.0 - self.jitter * roll)
 
 
 @dataclass(frozen=True)
@@ -356,7 +379,8 @@ class StageRunner:
 
     def __init__(self, config: ResilienceConfig, match_id: str,
                  base_attempt: int = 0,
-                 allow_crash: bool = False) -> None:
+                 allow_crash: bool = False,
+                 tracer=None) -> None:
         self.config = config
         self.match_id = match_id
         self.base_attempt = base_attempt
@@ -364,8 +388,15 @@ class StageRunner:
         #: execution converts them to WorkerCrashError (see module
         #: docs) so workers=1 survives the same plans.
         self.allow_crash = allow_crash
+        #: optional :class:`~repro.core.observability.Tracer`; retry
+        #: and fault-injection events land on the current stage span.
+        self.tracer = tracer
         self.retries = 0
         self.faults_injected = 0
+
+    def _event(self, name: str, **attributes) -> None:
+        if self.tracer is not None:
+            self.tracer.event(name, **attributes)
 
     def run(self, stage: str, func):
         policy = self.config.retry
@@ -385,7 +416,13 @@ class StageRunner:
                         faults_injected=self.faults_injected
                     ) from error
                 self.retries += 1
-                time.sleep(policy.delay(stage_retry))
+                delay = policy.delay(stage_retry,
+                                     key=f"{self.match_id}:{stage}")
+                self._event("retry", stage=stage,
+                            attempt=self.base_attempt + stage_retry + 1,
+                            error=type(error).__name__,
+                            delay_seconds=round(delay, 6))
+                time.sleep(delay)
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _attempt(self, stage: str, attempt: int, func):
@@ -395,6 +432,8 @@ class StageRunner:
         corrupting = False
         if spec is not None:
             self.faults_injected += 1
+            self._event("fault_injected", stage=stage, mode=spec.mode,
+                        attempt=attempt)
             if spec.mode == FaultMode.RAISE:
                 raise InjectedFaultError(stage, self.match_id)
             if spec.mode == FaultMode.CRASH:

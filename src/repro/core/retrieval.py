@@ -10,11 +10,13 @@ Lucene" the paper describes.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.fields import F, QUERY_FIELD_WEIGHTS, SEARCHED_FIELDS
 from repro.core.indexer import default_index_analyzer
+from repro.core.observability import get_observability
 from repro.errors import QueryError
 from repro.search.document import Document
 from repro.search.index import InvertedIndex, PerFieldAnalyzer
@@ -80,8 +82,22 @@ class KeywordSearchEngine:
     def search(self, text: str,
                limit: Optional[int] = None) -> List[SearchHit]:
         """Run a keyword query; hits sorted by descending score."""
-        top = self.searcher.search(self.build_query(text), limit)
-        return self._hits(top)
+        obs = get_observability()
+        started = time.perf_counter()
+        with obs.tracer.span("query", engine="keyword",
+                             index=self.index.name):
+            with obs.tracer.span("query.parse", text=text[:120]):
+                query = self.build_query(text)
+            top = self.searcher.search(query, limit)
+            hits = self._hits(top)
+        if obs.metrics.enabled:
+            obs.metrics.counter("queries_total", "queries served",
+                                engine="keyword").inc()
+            obs.metrics.histogram(
+                "query_latency_seconds",
+                "end-to-end keyword query latency"
+            ).observe(time.perf_counter() - started)
+        return hits
 
     def search_query(self, query: Query,
                      limit: Optional[int] = None) -> List[SearchHit]:

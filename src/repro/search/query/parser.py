@@ -52,6 +52,16 @@ class QueryParser:
 
     def parse(self, text: str) -> Query:
         """Parse ``text``; raises :class:`QueryError` on empty input."""
+        from repro.core.observability import get_observability
+        obs = get_observability()
+        with obs.tracer.span("query.parse", syntax="lucene"):
+            query = self._parse(text)
+        if obs.metrics.enabled:
+            obs.metrics.counter("query_parsed_total",
+                                "query strings parsed").inc()
+        return query
+
+    def _parse(self, text: str) -> Query:
         text = text.strip()
         if not text:
             raise QueryError("empty query")

@@ -22,6 +22,17 @@ __all__ = ["Query", "TermQuery", "PhraseQuery", "PrefixQuery",
 Scores = Dict[int, float]
 
 
+def _count_postings(amount: int) -> None:
+    """Tally postings scanned into the active metrics registry (the
+    import is deferred — see repro.search.searcher._observability)."""
+    from repro.core.observability import get_observability
+    metrics = get_observability().metrics
+    if metrics.enabled:
+        metrics.counter("query_postings_scanned_total",
+                        "postings entries read while scoring queries"
+                        ).inc(amount)
+
+
 class Query:
     """Base query node."""
 
@@ -45,6 +56,7 @@ class TermQuery(Query):
         postings = index.postings(self.field_name, self.term)
         if postings is None:
             return {}
+        _count_postings(len(postings))
         doc_count = index.doc_count
         average = index.average_field_length(self.field_name)
         scores: Scores = {}
@@ -87,6 +99,7 @@ class PhraseQuery(Query):
             if postings is None:
                 return {}
             postings_lists.append(postings)
+        _count_postings(sum(len(p) for p in postings_lists))
         candidates = set(p.doc_id for p in postings_lists[0])
         for postings in postings_lists[1:]:
             candidates &= set(p.doc_id for p in postings)
@@ -154,6 +167,7 @@ class PrefixQuery(Query):
             postings = index.postings(self.field_name, term)
             if postings is None:
                 continue
+            _count_postings(len(postings))
             for posting in postings:
                 index_boost = index.field_boost(self.field_name,
                                                 posting.doc_id)

@@ -3,14 +3,22 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.search.document import Document
 from repro.search.index.inverted import InvertedIndex
 from repro.search.query.queries import Query
 from repro.search.similarity import ClassicSimilarity, Similarity
 
-__all__ = ["ScoredDoc", "TopDocs", "IndexSearcher"]
+__all__ = ["ScoredDoc", "TopDocs", "IndexSearcher", "rank_docs"]
+
+
+def _observability():
+    # deferred: repro.core.retrieval imports this module while
+    # repro.core is still initializing, so a top-level import of
+    # repro.core.observability would hit a half-built package.
+    from repro.core.observability import get_observability
+    return get_observability()
 
 
 @dataclass(frozen=True)
@@ -38,6 +46,22 @@ class TopDocs:
         return [hit.doc_id for hit in self.scored]
 
 
+def rank_docs(scores: Dict[int, float],
+              limit: Optional[int] = None) -> List[Tuple[int, float]]:
+    """Rank a doc→score map: descending score, ties broken by
+    ascending doc id.
+
+    The tie-break is applied *before* any ``limit`` cut, so top-k
+    result sets are stable across runs, worker counts, and the
+    insertion order of the score map — equal-score documents can
+    never swap in or out of the window.
+    """
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    if limit is not None:
+        ranked = ranked[:limit]
+    return ranked
+
+
 class IndexSearcher:
     """Searches one inverted index with a pluggable similarity."""
 
@@ -49,13 +73,22 @@ class IndexSearcher:
     def search(self, query: Query, limit: Optional[int] = None) -> TopDocs:
         """Run ``query``; return hits sorted by descending score.
 
-        Ties break on ascending doc id, making rankings deterministic —
-        important for reproducible evaluation numbers.
+        Ties break on ascending doc id (see :func:`rank_docs`), making
+        rankings deterministic — important for reproducible evaluation
+        numbers.
         """
-        scores = query.score_docs(self.index, self.similarity)
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        if limit is not None:
-            ranked = ranked[:limit]
+        obs = _observability()
+        with obs.tracer.span("query.retrieve",
+                             index=self.index.name) as span:
+            scores = query.score_docs(self.index, self.similarity)
+            if span is not None:
+                span.attributes["candidates"] = len(scores)
+        with obs.tracer.span("query.score", candidates=len(scores)):
+            ranked = rank_docs(scores, limit)
+        if obs.metrics.enabled:
+            obs.metrics.counter("query_candidates_scored_total",
+                                "documents scored across all queries"
+                                ).inc(len(scores))
         return TopDocs(total_hits=len(scores),
                        scored=[ScoredDoc(doc_id, score)
                                for doc_id, score in ranked])

@@ -1,9 +1,13 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
-from repro.core import IndexName
+import repro.cli as cli
+from repro.cli import (EXIT_INTERNAL_ERROR, EXIT_USER_ERROR, build_parser,
+                       main)
+from repro.core import IndexName, validate_trace
 from repro.search import save_index
 
 
@@ -121,3 +125,102 @@ class TestCommands:
         names = sorted(p.stem for p in index_dir.glob("*.json"))
         assert names == sorted(["TRAD", "BASIC_EXT", "FULL_EXT",
                                 "FULL_INF", "PHR_EXP"])
+
+
+class TestExitCodes:
+    """The exit-code contract: 2 for user problems, 70 for internal
+    bugs, BaseExceptions propagate untouched."""
+
+    def test_domain_error_reports_and_returns_2(self, pipeline_result,
+                                                tmp_path, capsys):
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        # an all-stopword query has no searchable terms → QueryError,
+        # a user-input problem
+        assert main(["search", "the of and", "-d", str(tmp_path)]) \
+            == EXIT_USER_ERROR
+        assert "error:" in capsys.readouterr().err
+
+    def test_internal_bug_returns_70_with_traceback(self, monkeypatch,
+                                                    capsys):
+        def broken(args):
+            raise RuntimeError("boom")
+
+        monkeypatch.setitem(cli._COMMANDS, "corpus", broken)
+        assert main(["corpus"]) == EXIT_INTERNAL_ERROR
+        err = capsys.readouterr().err
+        assert "Traceback" in err
+        assert "boom" in err
+
+    def test_keyboard_interrupt_propagates(self, monkeypatch):
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setitem(cli._COMMANDS, "corpus", interrupted)
+        with pytest.raises(KeyboardInterrupt):
+            main(["corpus"])
+
+    def test_system_exit_propagates(self, monkeypatch):
+        def exiting(args):
+            raise SystemExit(3)
+
+        monkeypatch.setitem(cli._COMMANDS, "corpus", exiting)
+        with pytest.raises(SystemExit) as info:
+            main(["corpus"])
+        assert info.value.code == 3
+
+
+class TestObservabilityFlags:
+    def test_trace_and_metrics_written_for_search(self, pipeline_result,
+                                                  tmp_path, capsys):
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main(["--trace", str(trace_path),
+                     "--metrics", str(metrics_path),
+                     "search", "messi goal", "-d", str(tmp_path),
+                     "-n", "3"]) == 0
+        trace = json.loads(trace_path.read_text())
+        validate_trace(trace)
+        names = set()
+
+        def collect(node):
+            names.add(node["name"])
+            for child in node["children"]:
+                collect(child)
+
+        collect(trace["root"])
+        assert {"query", "query.parse", "query.retrieve",
+                "query.score"} <= names
+        prom = metrics_path.read_text()
+        assert 'queries_total{engine="keyword"} 1' in prom
+        assert "query_latency_seconds_bucket" in prom
+
+    def test_metrics_json_round_trips_through_stats(self, pipeline_result,
+                                                    tmp_path, capsys):
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        metrics_path = tmp_path / "metrics.json"
+        assert main(["--metrics", str(metrics_path),
+                     "search", "goal", "-d", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--metrics-file", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "queries_total" in out
+        assert "histogram query_latency_seconds" in out
+
+    def test_observability_is_uninstalled_after_the_command(
+            self, pipeline_result, tmp_path):
+        from repro.core import get_observability
+        save_index(pipeline_result.index(IndexName.FULL_INF), tmp_path)
+        assert main(["--trace", str(tmp_path / "t.json"),
+                     "search", "goal", "-d", str(tmp_path)]) == 0
+        assert not get_observability().enabled
+
+    def test_stats_without_any_source_is_a_user_error(self, capsys):
+        assert main(["stats"]) == EXIT_USER_ERROR
+        assert "--metrics-file" in capsys.readouterr().err
+
+    def test_stats_with_corrupt_metrics_file(self, tmp_path, capsys):
+        bad = tmp_path / "metrics.json"
+        bad.write_text("{not json")
+        assert main(["stats", "--metrics-file", str(bad)]) \
+            == EXIT_USER_ERROR

@@ -1,0 +1,403 @@
+"""Tests for the tracing + metrics layer.
+
+Covers the span model (nesting, deterministic ids, stitching across
+the process boundary), the metrics registry (bucket boundaries, the
+Prometheus exporter), the pipeline/query wiring, and the guard that
+disabled observability leaves pipeline output byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+from repro.core.observability import (DEFAULT_LATENCY_BUCKETS, Histogram,
+                                      MetricsRegistry, Observability,
+                                      Span, Tracer, fold_cache_info,
+                                      get_observability, observed,
+                                      render_metrics, validate_trace)
+from repro.core.resilience import (FaultPlan, FaultSpec, ResilienceConfig,
+                                   RetryPolicy)
+from repro.soccer import standard_corpus
+
+#: per-match stage spans in a bare (no-resilience) run.
+INGEST_STAGES = {"trad_index", "populate_basic", "basic_ext_index",
+                 "extraction", "populate_full", "full_ext_index",
+                 "inference", "full_inf_index", "phr_exp_index"}
+
+
+def structure(node):
+    """A trace tree reduced to what must be deterministic."""
+    return {"name": node["name"], "span_id": node["span_id"],
+            "children": [structure(child)
+                         for child in node["children"]]}
+
+
+def find_spans(node, name):
+    found = [node] if node["name"] == name else []
+    for child in node["children"]:
+        found.extend(find_spans(child, name))
+    return found
+
+
+@pytest.fixture(scope="module")
+def trace_corpus():
+    from repro.soccer.names import FIXTURES
+    return standard_corpus(fixtures=FIXTURES[:4], total_narrations=200)
+
+
+class TestTracer:
+    def test_spans_nest_and_time(self):
+        tracer = Tracer(name="t")
+        with tracer.span("outer", kind="demo") as outer:
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        assert outer.attributes == {"kind": "demo"}
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.duration >= sum(c.duration
+                                     for c in outer.children) >= 0
+
+    def test_disabled_tracer_is_a_no_op(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("anything") as span:
+            assert span is None
+        tracer.event("ignored")
+        assert tracer.current() is None
+        assert tracer.to_json() == {"schema": "repro.trace/v1",
+                                    "root": None}
+
+    def test_events_attach_to_the_current_span(self):
+        tracer = Tracer()
+        with tracer.span("stage") as span:
+            tracer.event("retry", attempt=1)
+        assert span.events == [{"name": "retry", "attempt": 1}]
+
+    def test_span_ids_are_deterministic_and_unique(self):
+        def build():
+            tracer = Tracer(name="repro")
+            with tracer.span("a"):
+                with tracer.span("b"):
+                    pass
+                with tracer.span("b"):
+                    pass
+            return tracer.to_json()["root"]
+
+        first, second = build(), build()
+        assert structure(first) == structure(second)
+        b_ids = [c["span_id"] for c in first["children"][0]["children"]]
+        assert len(set(b_ids)) == 2  # same name, distinct path index
+
+    def test_adopted_subtree_has_null_offset(self):
+        worker = Tracer(name="match")
+        with worker.span("inference"):
+            pass
+        worker.close()
+        parent = Tracer(name="repro")
+        with parent.span("ingest") as ingest:
+            parent.adopt(worker.root, into=ingest)
+        exported = parent.to_json()["root"]
+        match = find_spans(exported, "match")[0]
+        assert match["offset_seconds"] is None
+        # children of the adopted root are same-process: offsets valid
+        assert match["children"][0]["offset_seconds"] is not None
+
+    def test_spans_pickle(self):
+        tracer = Tracer(name="match")
+        with tracer.span("inference"):
+            tracer.event("retry", attempt=1)
+        tracer.close()
+        clone = pickle.loads(pickle.dumps(tracer.root))
+        assert isinstance(clone, Span)
+        assert clone.children[0].events[0]["name"] == "retry"
+
+    def test_validate_trace_accepts_exports_and_rejects_tampering(self):
+        tracer = Tracer(name="repro")
+        with tracer.span("a"):
+            pass
+        data = tracer.to_json()
+        validate_trace(data)  # must not raise
+        bad = json.loads(json.dumps(data))
+        bad["root"]["children"][0]["span_id"] = "not-hex"
+        with pytest.raises(ValueError):
+            validate_trace(bad)
+        with pytest.raises(ValueError):
+            validate_trace({"schema": "something/else"})
+        missing = json.loads(json.dumps(data))
+        del missing["root"]["duration_seconds"]
+        with pytest.raises(ValueError):
+            validate_trace(missing)
+
+
+class TestMetrics:
+    def test_counter_and_gauge_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "help text").inc()
+        registry.counter("hits_total").inc(2)
+        registry.gauge("depth", cache="a").set(7)
+        data = registry.to_json()
+        assert data["counters"]["hits_total"][0]["value"] == 3
+        assert data["gauges"]["depth"][0] == {"labels": {"cache": "a"},
+                                              "value": 7}
+
+    def test_counters_refuse_to_go_down(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_kind_collisions_are_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        registry.counter("a").inc()
+        registry.histogram("b").observe(1.0)
+        assert registry.to_json()["counters"] == {}
+
+    def test_histogram_bucket_boundaries_are_inclusive(self):
+        histogram = Histogram(buckets=(0.1, 0.2, 0.4))
+        # a value equal to a bound lands in that bucket (le semantics)
+        histogram.observe(0.1)
+        histogram.observe(0.15)
+        histogram.observe(0.2)
+        histogram.observe(0.4)
+        histogram.observe(99.0)   # overflow → +Inf slot
+        assert histogram.bucket_counts == [1, 2, 1, 1]
+        assert histogram.cumulative_counts() == [1, 3, 4, 5]
+        assert histogram.count == 5
+        assert histogram.sum == pytest.approx(99.85)
+
+    def test_prometheus_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total", "queries served",
+                         engine="keyword").inc(4)
+        histogram = registry.histogram("latency_seconds",
+                                       buckets=(0.1, 0.5))
+        histogram.observe(0.05)
+        histogram.observe(0.3)
+        text = registry.to_prometheus()
+        assert "# HELP queries_total queries served" in text
+        assert "# TYPE queries_total counter" in text
+        assert 'queries_total{engine="keyword"} 4' in text
+        assert "# TYPE latency_seconds histogram" in text
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="0.5"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 2' in text
+        assert "latency_seconds_count 2" in text
+        assert text.endswith("\n")
+
+    def test_fold_cache_info_accepts_counters_and_mappings(self):
+        from repro.core.profiling import CacheCounter
+        registry = MetricsRegistry()
+        counter = CacheCounter(hits=3, misses=1)
+        fold_cache_info(registry, "indexer.labels", counter)
+        fold_cache_info(registry, "plain", {"hits": 1, "misses": 0})
+        gauges = registry.to_json()["gauges"]
+        rates = {entry["labels"]["cache"]: entry["value"]
+                 for entry in gauges["cache_hit_rate"]}
+        assert rates == {"indexer.labels": 0.75, "plain": 1.0}
+
+    def test_render_metrics_is_readable(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(2)
+        registry.histogram("latency_seconds", buckets=(1.0,)).observe(0.5)
+        text = render_metrics(registry.to_json())
+        assert "queries_total" in text
+        assert "histogram latency_seconds" in text
+
+
+class TestSwitchboard:
+    def test_default_bundle_is_disabled(self):
+        bundle = get_observability()
+        assert not bundle.enabled
+
+    def test_observed_installs_and_restores(self):
+        before = get_observability()
+        with observed() as bundle:
+            assert get_observability() is bundle
+            assert bundle.tracer.enabled and bundle.metrics.enabled
+        assert get_observability() is before
+
+
+class TestPipelineTracing:
+    def run_traced(self, corpus, workers, **kwargs):
+        bundle = Observability(tracing=True, metrics=True)
+        result = SemanticRetrievalPipeline().run(
+            corpus.crawled, workers=workers, observability=bundle,
+            **kwargs)
+        bundle.tracer.close()
+        return result, bundle
+
+    def test_trace_covers_every_ingest_stage(self, trace_corpus):
+        result, bundle = self.run_traced(trace_corpus, workers=1)
+        root = bundle.tracer.to_json()["root"]
+        validate_trace(bundle.tracer.to_json())
+        matches = find_spans(root, "match")
+        assert len(matches) == len(trace_corpus.crawled)
+        for match in matches:
+            stages = {child["name"] for child in match["children"]}
+            assert stages == INGEST_STAGES
+        assert find_spans(root, "merge_indexes")
+
+    def test_worker_spans_stitch_identically_at_workers_4(
+            self, trace_corpus):
+        serial, serial_bundle = self.run_traced(trace_corpus, workers=1)
+        pooled, pooled_bundle = self.run_traced(trace_corpus, workers=4)
+        serial_root = serial_bundle.tracer.to_json()["root"]
+        pooled_root = pooled_bundle.tracer.to_json()["root"]
+        validate_trace(pooled_bundle.tracer.to_json())
+        # identical span names and deterministic ids, match order
+        # preserved, regardless of which process ran which match
+        assert structure(serial_root) == structure(pooled_root)
+        assert all(serial.index(name).to_json()
+                   == pooled.index(name).to_json()
+                   for name in IndexName.BUILT)
+
+    def test_profile_is_a_view_over_span_durations(self, trace_corpus):
+        result, bundle = self.run_traced(trace_corpus, workers=1,
+                                         profile=True)
+        root = bundle.tracer.to_json()["root"]
+        for match in find_spans(root, "match"):
+            match_id = match["attributes"]["match_id"]
+            recorded = result.profile.match_stages[match_id]
+            for child in match["children"]:
+                assert child["duration_seconds"] == pytest.approx(
+                    recorded[child["name"]], abs=1e-6)
+
+    def test_ingest_metrics_are_folded(self, trace_corpus):
+        result, bundle = self.run_traced(trace_corpus, workers=1)
+        data = bundle.metrics.to_json()
+        total = data["counters"]["ingest_matches_total"][0]["value"]
+        assert total == len(trace_corpus.crawled)
+        stages = {entry["labels"]["stage"]: entry["value"] for entry in
+                  data["counters"]["ingest_stage_seconds_total"]}
+        assert set(stages) == INGEST_STAGES
+        assert all(value > 0 for value in stages.values())
+        histogram = data["histograms"]["ingest_match_seconds"][0]
+        assert histogram["count"] == len(trace_corpus.crawled)
+        caches = {entry["labels"]["cache"]
+                  for entry in data["gauges"]["cache_hits"]}
+        assert "stemmer.porter" in caches
+
+    def test_retry_and_fault_events_attach_to_stage_spans(
+            self, trace_corpus):
+        poison = trace_corpus.crawled[1].match_id
+        plan = FaultPlan(specs=(FaultSpec(stage="extractor",
+                                          times=1,
+                                          match_ids=frozenset({poison})),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=1, backoff_base=0.001),
+            fault_plan=plan)
+        bundle = Observability(tracing=True, metrics=True)
+        SemanticRetrievalPipeline().run(
+            trace_corpus.crawled, resilience=config,
+            observability=bundle)
+        root = bundle.tracer.to_json()["root"]
+        injected = [match for match in find_spans(root, "match")
+                    if match["attributes"]["match_id"] == poison]
+        events = [event
+                  for child in injected[0]["children"]
+                  if child["name"] == "extraction"
+                  for event in child["events"]]
+        names = [event["name"] for event in events]
+        assert "fault_injected" in names
+        assert "retry" in names
+        retry = events[names.index("retry")]
+        assert retry["delay_seconds"] > 0
+
+    def test_quarantine_events_attach_to_the_ingest_span(
+            self, trace_corpus):
+        poison = trace_corpus.crawled[2].match_id
+        plan = FaultPlan(specs=(FaultSpec(stage="reasoner",
+                                          mode="corrupt",
+                                          match_ids=frozenset({poison})),))
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_retries=0, backoff_base=0.001),
+            degrade=True, fault_plan=plan)
+        bundle = Observability(tracing=True, metrics=True)
+        result = SemanticRetrievalPipeline().run(
+            trace_corpus.crawled, resilience=config,
+            observability=bundle)
+        assert result.quarantine.match_ids() == [poison]
+        root = bundle.tracer.to_json()["root"]
+        ingest = find_spans(root, "ingest")[0]
+        quarantines = [event for event in ingest["events"]
+                       if event["name"] == "quarantine"]
+        assert quarantines[0]["match_id"] == poison
+        assert quarantines[0]["stage"] == "inference"
+        counters = bundle.metrics.to_json()["counters"]
+        assert counters["ingest_quarantined_total"][0]["value"] == 1
+
+    def test_disabled_observability_is_byte_identical(self, trace_corpus):
+        plain = SemanticRetrievalPipeline().run(trace_corpus.crawled)
+        traced, _ = self.run_traced(trace_corpus, workers=1)
+        for name in IndexName.BUILT:
+            assert plain.index(name).to_json() \
+                == traced.index(name).to_json()
+
+
+class TestQueryPathTracing:
+    @pytest.fixture(scope="class")
+    def small_result(self, trace_corpus):
+        return SemanticRetrievalPipeline().run(trace_corpus.crawled)
+
+    def test_keyword_query_spans_and_metrics(self, small_result):
+        with observed() as bundle:
+            engine = small_result.engine(IndexName.FULL_INF)
+            engine.search("messi goal", limit=3)
+        root = bundle.tracer.to_json()["root"]
+        queries = find_spans(root, "query")
+        assert queries and queries[0]["attributes"]["engine"] == "keyword"
+        child_names = [c["name"] for c in queries[0]["children"]]
+        assert child_names == ["query.parse", "query.retrieve",
+                               "query.score"]
+        retrieve = find_spans(root, "query.retrieve")[0]
+        assert retrieve["attributes"]["candidates"] > 0
+        data = bundle.metrics.to_json()
+        assert data["counters"]["queries_total"][0]["value"] == 1
+        assert data["counters"]["query_postings_scanned_total"][0][
+            "value"] > 0
+        assert data["counters"]["query_candidates_scored_total"][0][
+            "value"] > 0
+        assert data["histograms"]["query_latency_seconds"][0][
+            "count"] == 1
+
+    def test_expansion_query_spans(self, small_result):
+        with observed() as bundle:
+            small_result.engine(IndexName.QUERY_EXP).search(
+                "punishment", limit=3)
+        root = bundle.tracer.to_json()["root"]
+        assert find_spans(root, "query.expand")
+        # the expansion wraps a nested keyword query span
+        outer = find_spans(root, "query")[0]
+        assert outer["attributes"]["engine"] == "query_exp"
+        assert find_spans(outer, "query.retrieve")
+        counters = bundle.metrics.to_json()["counters"]
+        assert counters["query_expansions_total"][0]["value"] == 1
+
+    def test_phrasal_query_spans(self, small_result):
+        with observed() as bundle:
+            small_result.engine(IndexName.PHR_EXP).search(
+                "foul by Daniel", limit=3)
+        root = bundle.tracer.to_json()["root"]
+        query = find_spans(root, "query")[0]
+        assert query["attributes"]["engine"] == "phrasal"
+        parse = find_spans(query, "query.parse")[0]
+        assert parse["attributes"]["phrasal"] is True
+
+    def test_query_parser_span(self):
+        from repro.core.indexer import default_index_analyzer
+        from repro.search.query.parser import QueryParser
+        parser = QueryParser("narration", default_index_analyzer())
+        with observed() as bundle:
+            parser.parse("goal -miss")
+        root = bundle.tracer.to_json()["root"]
+        assert find_spans(root, "query.parse")
+        counters = bundle.metrics.to_json()["counters"]
+        assert counters["query_parsed_total"][0]["value"] == 1

@@ -119,12 +119,44 @@ class TestResolveStages:
 
 class TestRetryPolicy:
     def test_backoff_curve_is_capped(self):
+        # jitter=0 isolates the exponential curve itself
         policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
-                             backoff_max=0.3)
+                             backoff_max=0.3, jitter=0.0)
         assert policy.delay(0) == pytest.approx(0.1)
         assert policy.delay(1) == pytest.approx(0.2)
         assert policy.delay(2) == pytest.approx(0.3)
         assert policy.delay(10) == pytest.approx(0.3)
+
+    def test_jitter_is_bounded_and_still_capped(self):
+        policy = RetryPolicy(backoff_base=0.1, backoff_factor=2.0,
+                             backoff_max=0.3, jitter=0.25)
+        for retry_index, capped in ((0, 0.1), (1, 0.2), (2, 0.3),
+                                    (10, 0.3)):
+            delay = policy.delay(retry_index, key="m1:inference")
+            assert capped * 0.75 <= delay <= capped
+
+    def test_jitter_is_deterministic_given_the_seed(self):
+        policy = RetryPolicy(jitter=0.5, jitter_seed=42)
+        twin = RetryPolicy(jitter=0.5, jitter_seed=42)
+        assert policy.delay(1, key="m1:inference") \
+            == twin.delay(1, key="m1:inference")
+        reseeded = RetryPolicy(jitter=0.5, jitter_seed=43)
+        assert policy.delay(1, key="m1:inference") \
+            != reseeded.delay(1, key="m1:inference")
+
+    def test_jitter_decorrelates_concurrent_retriers(self):
+        # the whole point: two matches retrying the same stage at the
+        # same retry index must not sleep in lockstep
+        policy = RetryPolicy(jitter=0.5)
+        delays = {policy.delay(0, key=f"m{i}:inference")
+                  for i in range(8)}
+        assert len(delays) == 8
+
+    def test_jitter_out_of_range_rejected(self):
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=1.0)
+        with pytest.raises(ResilienceError):
+            RetryPolicy(jitter=-0.1)
 
     def test_negative_retries_rejected(self):
         with pytest.raises(ResilienceError):

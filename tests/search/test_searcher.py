@@ -1,0 +1,62 @@
+"""Deterministic-ranking regression tests for the searcher.
+
+Equal-score documents must order by ascending doc id, and the
+tie-break must be applied *before* the ``limit`` cut — otherwise
+which of the tied documents makes the top-k window depends on dict
+iteration order, and rankings stop being reproducible.
+"""
+
+import pytest
+
+from repro.search import (Document, Field, IndexSearcher, IndexWriter,
+                          InvertedIndex, MatchAllQuery, SimpleAnalyzer)
+from repro.search.searcher import rank_docs
+
+
+class TestRankDocs:
+    def test_descending_score(self):
+        assert rank_docs({1: 0.5, 2: 2.0, 3: 1.0}) == \
+            [(2, 2.0), (3, 1.0), (1, 0.5)]
+
+    def test_equal_scores_order_by_doc_id(self):
+        # insertion order deliberately scrambled: the tie-break must
+        # not depend on it
+        assert rank_docs({3: 1.0, 1: 1.0, 2: 2.0}) == \
+            [(2, 2.0), (1, 1.0), (3, 1.0)]
+        assert rank_docs({1: 1.0, 3: 1.0, 2: 2.0}) == \
+            [(2, 2.0), (1, 1.0), (3, 1.0)]
+
+    def test_ties_resolved_before_the_limit_cut(self):
+        # both insertion orders must keep the SAME tied doc (the
+        # lowest id) inside the window
+        scrambled = {7: 1.0, 4: 1.0, 9: 3.0}
+        ordered = {4: 1.0, 7: 1.0, 9: 3.0}
+        assert rank_docs(scrambled, limit=2) \
+            == rank_docs(ordered, limit=2) \
+            == [(9, 3.0), (4, 1.0)]
+
+    def test_empty_and_no_limit(self):
+        assert rank_docs({}) == []
+        assert rank_docs({5: 1.0}, limit=0) == []
+
+
+class TestSearcherTieBreak:
+    @pytest.fixture
+    def searcher(self):
+        index = InvertedIndex()
+        writer = IndexWriter(index, SimpleAnalyzer())
+        for text in ["alpha", "bravo", "charlie", "delta"]:
+            writer.add_document(Document([Field("body", text)]))
+        return IndexSearcher(index)
+
+    def test_match_all_returns_ascending_doc_ids(self, searcher):
+        # MatchAllQuery scores every document identically, so the
+        # whole result list is one big tie
+        top = searcher.search(MatchAllQuery())
+        assert top.doc_ids() == [0, 1, 2, 3]
+        assert len({hit.score for hit in top.scored}) == 1
+
+    def test_limit_keeps_the_lowest_tied_ids(self, searcher):
+        top = searcher.search(MatchAllQuery(), limit=2)
+        assert top.doc_ids() == [0, 1]
+        assert top.total_hits == 4
