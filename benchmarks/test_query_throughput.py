@@ -9,7 +9,9 @@ corpus at hand.
 
 from __future__ import annotations
 
+import json
 import random
+import time
 
 from repro.core import IndexName
 from benchmarks.conftest import write_result
@@ -68,3 +70,225 @@ def test_sustained_query_throughput(pipeline_result, results_dir,
             f"answered:       {answered}/{len(log)}")
     write_result(results_dir, "query_throughput.txt", text)
     print("\n" + text)
+
+
+def _serving_scale_index(doc_count: int = 12000, seed: int = 7):
+    """Synthetic index with the term-frequency skew real query logs
+    meet at serving scale: a handful of ubiquitous terms, a mid tier,
+    and rare discriminative terms, over documents of varying length.
+    The paper's 10-match corpus is small enough that every query's
+    candidate set fits in a screenful — pruning has nothing to skip
+    there — so the latency headline is measured here, where the
+    MaxScore bounds have headroom to retire the common clauses.
+    """
+    from repro.search.index.inverted import InvertedIndex
+
+    rng = random.Random(seed)
+    index = InvertedIndex("serving")
+    common = [f"common{i}" for i in range(8)]
+    mid = [f"mid{i}" for i in range(40)]
+    rare = [f"rare{i}" for i in range(120)]
+    for _ in range(doc_count):
+        doc_id = index.new_doc_id()
+        terms, position = [], 0
+        for word in rng.sample(common, rng.randint(2, 5)):
+            terms.append((word, position))
+            position += 1
+        for word in rng.sample(mid, rng.randint(1, 4)):
+            terms.append((word, position))
+            position += 1
+        if rng.random() < 0.6:
+            terms.append((rng.choice(rare), position))
+            position += 1
+        for _ in range(rng.randint(0, 20)):   # vary the length norm
+            terms.append((f"filler{rng.randrange(400)}", position))
+            position += 1
+        index.index_terms(doc_id, "body", terms)
+    return index, common, mid, rare
+
+
+def _serving_scale_log(common, mid, rare, count: int = 100,
+                       seed: int = 11) -> list:
+    """Disjunctions pairing a rare discriminative term with one or two
+    ubiquitous ones — the shape MaxScore exists for."""
+    from repro.search.query.queries import BooleanQuery, TermQuery
+
+    rng = random.Random(seed)
+    log = []
+    for _ in range(count):
+        tree = BooleanQuery()
+        tree.add(TermQuery("body", rng.choice(rare)))
+        tree.add(TermQuery("body", rng.choice(common)))
+        if rng.random() < 0.5:
+            tree.add(TermQuery("body", rng.choice(common)))
+        if rng.random() < 0.3:
+            tree.add(TermQuery("body", rng.choice(mid)))
+        log.append(tree)
+    return log
+
+
+def _measure_modes(index, similarity, trees, limit, metrics):
+    """Time the three serving paths over ``trees`` on one index and
+    count postings read per path; returns the measurement dict plus
+    the searchers (for parity checks) and the cache statistics."""
+    from repro.search.searcher import IndexSearcher
+
+    def scanned() -> int:
+        return int(metrics.counter(
+            "query_postings_scanned_total", "postings read").value)
+
+    def timed(searcher_run):
+        start = time.perf_counter()
+        for tree in trees:
+            searcher_run(tree)
+        return time.perf_counter() - start
+
+    # exhaustive baseline (oracle path; counts postings itself)
+    oracle = IndexSearcher(index, similarity, cache_size=0)
+    base = scanned()
+    exhaustive_s = timed(lambda tree: oracle.search_exhaustive(tree, limit))
+    exhaustive_scanned = scanned() - base
+
+    # pruned top-k, cache off
+    pruned_searcher = IndexSearcher(index, similarity, cache_size=0)
+    base = scanned()
+    pruned_s = timed(lambda tree: pruned_searcher.search(tree, limit))
+    pruned_scanned = scanned() - base
+
+    # warm result cache
+    cached_searcher = IndexSearcher(index, similarity, cache_size=1024)
+    for tree in trees:
+        cached_searcher.search(tree, limit)
+    base = scanned()
+    cached_s = timed(lambda tree: cached_searcher.search(tree, limit))
+    cached_scanned = scanned() - base
+
+    queries = len(trees)
+    measurement = {
+        "docs": index.doc_count,
+        "queries": queries,
+        "limit": limit,
+        "latency_ms_per_query": {
+            "exhaustive": round(exhaustive_s / queries * 1000, 4),
+            "pruned": round(pruned_s / queries * 1000, 4),
+            "cached": round(cached_s / queries * 1000, 4),
+        },
+        "postings_scanned": {
+            "exhaustive": exhaustive_scanned,
+            "pruned": pruned_scanned,
+            "cached": cached_scanned,
+        },
+    }
+    timings = (exhaustive_s, pruned_s, cached_s)
+    searchers = (oracle, pruned_searcher, cached_searcher)
+    return measurement, timings, searchers
+
+
+def _assert_parity(searchers, trees, limit) -> None:
+    oracle, pruned_searcher, cached_searcher = searchers
+    for tree in trees:
+        a = oracle.search_exhaustive(tree, limit)
+        b = pruned_searcher.search(tree, limit)
+        c = cached_searcher.search(tree, limit)
+        assert [(h.doc_id, h.score) for h in a] \
+            == [(h.doc_id, h.score) for h in b] \
+            == [(h.doc_id, h.score) for h in c]
+
+
+def test_query_serving_modes(pipeline_result, results_dir, tmp_path):
+    """Compare the three serving paths and the two index formats on
+    the same run; emit ``benchmarks/results/BENCH_query.json``.
+
+    Deliberately does NOT use the pytest-benchmark fixture so the CI
+    smoke job can run it with plain pytest.  The emitted document
+    records exhaustive / pruned / cached top-10 latency and postings
+    scanned per path on two corpora — the serving-scale synthetic
+    index (headline: where early termination has headroom) and the
+    paper's 10-match corpus (where candidate sets are tiny and tie
+    groups dense, so pruning saves postings but not wall time) — plus
+    JSON vs binary load time for the paper's FULL_INF index.  The
+    asserts hold the pruned+cached paths and the binary format to
+    actually beating their baselines within this run.
+    """
+    from repro.core import KeywordSearchEngine
+    from repro.core.observability import (Observability, get_observability,
+                                          install_observability)
+    from repro.search.index import load_index, save_index
+    from repro.search.searcher import IndexSearcher
+    from repro.search.similarity import ClassicSimilarity
+
+    limit = 10
+    paper_index = pipeline_result.index(IndexName.FULL_INF)
+    engine = KeywordSearchEngine(paper_index)
+    paper_trees = [engine.build_query(text) for text in _query_log(200)]
+    scale_index, common, mid, rare = _serving_scale_index()
+    scale_trees = _serving_scale_log(common, mid, rare)
+
+    previous = install_observability(Observability(metrics=True))
+    try:
+        metrics = get_observability().metrics
+        scale, scale_timings, scale_searchers = _measure_modes(
+            scale_index, ClassicSimilarity(), scale_trees, limit, metrics)
+        paper, paper_timings, paper_searchers = _measure_modes(
+            paper_index, engine.searcher.similarity, paper_trees, limit,
+            metrics)
+        cache_info = paper_searchers[2].cache.cache_info()
+    finally:
+        install_observability(previous)
+
+    # results must stay bit-identical across paths
+    _assert_parity(scale_searchers, scale_trees[:25], limit)
+    _assert_parity(paper_searchers, paper_trees[:25], limit)
+
+    # index load: JSON vs binary (lazy header-only decode)
+    json_path = save_index(paper_index, tmp_path / "json", format="json")
+    binary_path = save_index(paper_index, tmp_path / "binary",
+                             format="binary")
+    start = time.perf_counter()
+    load_index(tmp_path / "json", paper_index.name)
+    json_load_s = time.perf_counter() - start
+    start = time.perf_counter()
+    load_index(tmp_path / "binary", paper_index.name)
+    binary_load_s = time.perf_counter() - start
+
+    scale["synthetic"] = True
+    paper["result_cache"] = {"hits": cache_info.hits,
+                             "misses": cache_info.misses,
+                             "entries": cache_info.currsize}
+    document = {
+        "corpus": {"docs": scale["docs"], "queries": scale["queries"],
+                   "limit": limit, "synthetic": True},
+        "latency_ms_per_query": scale["latency_ms_per_query"],
+        "postings_scanned": scale["postings_scanned"],
+        "paper_corpus": paper,
+        "index_load": {
+            "json_bytes": json_path.stat().st_size,
+            "binary_bytes": binary_path.stat().st_size,
+            "json_load_ms": round(json_load_s * 1000, 3),
+            "binary_load_ms": round(binary_load_s * 1000, 3),
+        },
+    }
+    write_result(results_dir, "BENCH_query.json",
+                 json.dumps(document, indent=2) + "\n")
+    print("\n" + json.dumps(document, indent=2))
+
+    # the optimized paths must beat their baselines, same run
+    scale_exhaustive_s, scale_pruned_s, scale_cached_s = scale_timings
+    assert scale["postings_scanned"]["pruned"] \
+        < scale["postings_scanned"]["exhaustive"]
+    assert scale["postings_scanned"]["cached"] == 0
+    assert scale_pruned_s < scale_exhaustive_s
+    assert scale_cached_s < scale_pruned_s
+
+    # the paper corpus is too small for wall-time pruning wins (every
+    # candidate set is tiny), but pruning must still read fewer
+    # postings and the cache must beat both scoring paths
+    paper_exhaustive_s, paper_pruned_s, paper_cached_s = paper_timings
+    assert paper["postings_scanned"]["pruned"] \
+        < paper["postings_scanned"]["exhaustive"]
+    assert paper["postings_scanned"]["cached"] == 0
+    assert paper_cached_s < paper_exhaustive_s
+    assert paper_cached_s < paper_pruned_s
+
+    assert binary_load_s < json_load_s
+    assert binary_path.stat().st_size < json_path.stat().st_size

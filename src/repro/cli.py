@@ -8,9 +8,12 @@ Subcommands::
     python -m repro evaluate            # Tables 4, 5 and 6
     python -m repro ontology            # Fig. 2 class hierarchy
 
-``build`` persists every index as JSON under the given directory;
-``search --index-dir`` then answers queries without re-running the
-pipeline — the offline/online split of §3.5.
+``build`` persists every index under the given directory — JSON by
+default, or the compact binary format with ``--format binary``
+(``repro build`` rejects unknown formats with exit code 2, the
+user-error code below); ``search --index-dir`` then answers queries
+without re-running the pipeline — the offline/online split of §3.5 —
+auto-detecting whichever format is on disk.
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from repro.errors import ReproError
 from repro.evaluation import EvaluationHarness, render_table
 from repro.ontology import soccer_ontology
 from repro.search import Highlighter, load_index, save_index
+from repro.search.index import INDEX_FORMATS
 from repro.soccer import corpus_statistics, standard_corpus
 
 __all__ = ["main", "build_parser",
@@ -98,7 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
     build = subparsers.add_parser(
         "build", help="run the pipeline and persist all indexes")
     build.add_argument("-d", "--index-dir", type=Path, required=True,
-                       help="directory to write the JSON indexes to")
+                       help="directory to write the indexes to")
+    build.add_argument("--format", default="json",
+                       choices=list(INDEX_FORMATS),
+                       help="on-disk index format: 'json' (legacy, "
+                            "debuggable) or 'binary' (compact "
+                            "delta+varint .ridx, lazy-loading)")
 
     search = subparsers.add_parser("search",
                                    help="keyword search over an index")
@@ -108,7 +117,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="which index to search")
     search.add_argument("-d", "--index-dir", type=Path, default=None,
                         help="load a saved index instead of rebuilding")
-    search.add_argument("-n", "--limit", type=int, default=10)
+    search.add_argument("-n", "--limit", "--top-k", type=int, default=10,
+                        help="number of hits to return; drives the "
+                             "pruned top-k scoring path")
     search.add_argument("--phrasal", action="store_true",
                         help="interpret by/to/of phrases (§6; implies "
                              "the PHR_EXP index)")
@@ -196,7 +207,7 @@ def _command_build(args) -> int:
     elapsed = time.perf_counter() - started
     print(f"pipeline finished in {elapsed:.1f}s")
     for name, index in result.indexes.items():
-        path = save_index(index, args.index_dir)
+        path = save_index(index, args.index_dir, format=args.format)
         print(f"  {name:10} {index.doc_count:5} docs → {path}")
     return 0
 
@@ -265,6 +276,23 @@ def _command_ontology(args) -> int:
     return 0
 
 
+def _query_cache_line(metrics_data: dict) -> Optional[str]:
+    """Summarize the query result cache counters of an exported
+    metrics document, or None when no cache traffic was recorded."""
+    counters = metrics_data.get("counters", {})
+
+    def total(name: str) -> float:
+        return sum(entry.get("value", 0) for entry in counters.get(name, []))
+
+    hits = total("query_cache_hits_total")
+    misses = total("query_cache_misses_total")
+    lookups = hits + misses
+    if not lookups:
+        return None
+    return (f"query cache: {hits:.0f} hits / {misses:.0f} misses "
+            f"({hits / lookups:.1%} hit rate)")
+
+
 def _command_stats(args) -> int:
     from repro.search.stats import collect_stats, render_stats
     if args.index_dir is None and args.metrics_file is None:
@@ -279,6 +307,9 @@ def _command_stats(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return EXIT_USER_ERROR
         print(rendered)
+        cache_line = _query_cache_line(data)
+        if cache_line:
+            print(cache_line)
     if args.index_dir is not None:
         try:
             index = load_index(args.index_dir, args.index)

@@ -52,13 +52,19 @@ class KeywordSearchEngine:
                  analyzer: Optional[PerFieldAnalyzer] = None,
                  similarity: Optional[Similarity] = None,
                  fields: Sequence[str] = SEARCHED_FIELDS,
-                 tie_breaker: float = 0.1) -> None:
+                 tie_breaker: float = 0.1,
+                 cache_size: int = 256) -> None:
         self.index = index
         self.analyzer = analyzer or default_index_analyzer()
         self.searcher = IndexSearcher(index,
-                                      similarity or ClassicSimilarity())
+                                      similarity or ClassicSimilarity(),
+                                      cache_size=cache_size)
         self.fields = list(fields)
         self.tie_breaker = tie_breaker
+
+    def cache_info(self):
+        """Hit/miss statistics of the query result cache."""
+        return self.searcher.cache.cache_info()
 
     # ------------------------------------------------------------------
 

@@ -1,6 +1,8 @@
 """Inverted index: postings, writer, persistence."""
 
-from repro.search.index.directory import list_indexes, load_index, save_index
+from repro.search.index.directory import (INDEX_FORMATS, index_path,
+                                          list_indexes, load_index,
+                                          save_index)
 from repro.search.index.inverted import InvertedIndex
 from repro.search.index.postings import Posting, PostingsList
 from repro.search.index.writer import IndexWriter, PerFieldAnalyzer
@@ -14,4 +16,6 @@ __all__ = [
     "save_index",
     "load_index",
     "list_indexes",
+    "index_path",
+    "INDEX_FORMATS",
 ]

@@ -1,9 +1,12 @@
-"""Index persistence: save/load an inverted index as JSON.
+"""Index persistence: save/load an inverted index as JSON or binary.
 
-A directory holds one ``<name>.json`` file per index.  JSON keeps the
-on-disk format debuggable; the indexes in this system are small enough
-(hundreds to tens of thousands of events) that compactness is not a
-concern.
+A directory holds one file per index: ``<name>.json`` (the legacy,
+debuggable format) or ``<name>.ridx`` (the compact binary format, see
+:mod:`repro.search.index.codec`).  :func:`load_index` auto-detects
+which one is present — callers never name a format when reading.
+When both exist the binary file wins (it is the optimized serving
+format; the JSON twin is typically a debugging export of the same
+index).
 """
 
 from __future__ import annotations
@@ -13,35 +16,63 @@ from pathlib import Path
 from typing import List, Union
 
 from repro.errors import IndexError_
+from repro.search.index import codec
 from repro.search.index.inverted import InvertedIndex
 
-__all__ = ["save_index", "load_index", "list_indexes"]
+__all__ = ["save_index", "load_index", "list_indexes", "index_path",
+           "INDEX_FORMATS"]
 
 PathLike = Union[str, Path]
 
+#: accepted values for ``save_index(..., format=...)``
+INDEX_FORMATS = ("json", "binary")
 
-def save_index(index: InvertedIndex, directory: PathLike) -> Path:
-    """Write ``index`` to ``directory/<index.name>.json``."""
+
+def index_path(directory: PathLike, name: str,
+               format: str = "json") -> Path:
+    """The file an index of ``name`` would occupy in ``directory``."""
+    suffix = codec.BINARY_SUFFIX if format == "binary" else ".json"
+    return Path(directory) / f"{name}{suffix}"
+
+
+def save_index(index: InvertedIndex, directory: PathLike,
+               format: str = "json") -> Path:
+    """Write ``index`` to ``directory/<index.name>.json`` (default) or
+    ``directory/<index.name>.ridx`` when ``format="binary"``."""
+    if format not in INDEX_FORMATS:
+        raise IndexError_(
+            f"unknown index format {format!r} "
+            f"(expected one of {', '.join(INDEX_FORMATS)})")
     target = Path(directory)
     target.mkdir(parents=True, exist_ok=True)
-    path = target / f"{index.name}.json"
+    path = index_path(target, index.name, format)
+    if format == "binary":
+        return codec.write_index(index, path)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(index.to_json(), handle, ensure_ascii=False)
     return path
 
 
 def load_index(directory: PathLike, name: str) -> InvertedIndex:
-    """Load the index called ``name`` from ``directory``."""
-    path = Path(directory) / f"{name}.json"
-    if not path.exists():
+    """Load the index called ``name`` from ``directory``, whatever
+    format it was saved in.  Binary indexes load lazily: postings
+    decode per field on first access."""
+    binary_path = index_path(directory, name, "binary")
+    if binary_path.exists():
+        return codec.read_index(binary_path)
+    json_path = index_path(directory, name, "json")
+    if not json_path.exists():
         raise IndexError_(f"no index {name!r} in {directory}")
-    with open(path, encoding="utf-8") as handle:
+    with open(json_path, encoding="utf-8") as handle:
         return InvertedIndex.from_json(json.load(handle))
 
 
 def list_indexes(directory: PathLike) -> List[str]:
-    """Names of all indexes stored in ``directory``."""
+    """Names of all indexes stored in ``directory`` (either format)."""
     target = Path(directory)
     if not target.exists():
         return []
-    return sorted(path.stem for path in target.glob("*.json"))
+    names = {path.stem for path in target.glob("*.json")}
+    names |= {path.stem
+              for path in target.glob(f"*{codec.BINARY_SUFFIX}")}
+    return sorted(names)

@@ -6,11 +6,23 @@ index keeps per-document field lengths (for length normalization),
 index-time field boosts, and the stored document values.  This is the
 "single special inverted index structure" that gives the paper its
 query-time scalability (§1, §3.6).
+
+Two serving-side mechanisms live here:
+
+* a **generation counter** (:attr:`InvertedIndex.generation`) bumped
+  on every mutation — documents added, terms indexed, values stored,
+  indexes merged.  Query-side caches (the searcher's result cache,
+  the memoized per-field average lengths) key on it, so any write
+  invalidates them without explicit notification.
+* **lazy field postings** — the binary index format registers a
+  per-field thunk instead of decoding every postings block at load
+  time; the first read of a field materializes it (see
+  :mod:`repro.search.index.codec`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Set, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import IndexError_
 from repro.search.document import Document, Field
@@ -35,6 +47,16 @@ class InvertedIndex:
         # every field seen at write time (indexed or stored), so
         # field_names() never has to rescan the stored documents
         self._field_names: Set[str] = set()
+        # bumped on every mutation; caches key on it
+        self._generation = 0
+        # field -> (generation, average length) memo
+        self._avg_length_cache: Dict[str, Tuple[int, float]] = {}
+        # field -> highest index-time boost seen (>= 1.0), for the
+        # top-k score upper bounds
+        self._max_boosts: Dict[str, float] = {}
+        # field -> thunk decoding that field's postings on first read
+        self._pending_fields: Dict[str, Callable[[],
+                                                 Dict[str, PostingsList]]] = {}
 
     # ------------------------------------------------------------------
     # writing
@@ -42,6 +64,7 @@ class InvertedIndex:
 
     def new_doc_id(self) -> int:
         self._stored.append({})
+        self._generation += 1
         return len(self._stored) - 1
 
     def index_terms(self, doc_id: int, field_name: str,
@@ -50,7 +73,10 @@ class InvertedIndex:
         """Add analyzed terms of one document field."""
         if not 0 <= doc_id < len(self._stored):
             raise IndexError_(f"unknown doc_id {doc_id}")
+        if self._pending_fields:
+            self._ensure_field(field_name)
         self._field_names.add(field_name)
+        self._generation += 1
         field_terms = self._terms.setdefault(field_name, {})
         for term, position in terms_with_positions:
             postings = field_terms.get(term)
@@ -63,10 +89,38 @@ class InvertedIndex:
         if boost != 1.0:
             boosts = self._boosts.setdefault(field_name, {})
             boosts[doc_id] = boosts.get(doc_id, 1.0) * boost
+            self._note_boost(field_name, boosts[doc_id])
 
     def store_value(self, doc_id: int, field_name: str, value: str) -> None:
         self._field_names.add(field_name)
+        self._generation += 1
         self._stored[doc_id].setdefault(field_name, []).append(value)
+
+    def _note_boost(self, field_name: str, boost: float) -> None:
+        if boost > self._max_boosts.get(field_name, 1.0):
+            self._max_boosts[field_name] = boost
+
+    # ------------------------------------------------------------------
+    # lazy postings (binary format support)
+    # ------------------------------------------------------------------
+
+    def _ensure_field(self, field_name: str) -> None:
+        """Materialize a lazily-loaded field's postings."""
+        loader = self._pending_fields.pop(field_name, None)
+        if loader is not None:
+            self._terms[field_name] = loader()
+
+    def _ensure_all_fields(self) -> None:
+        for field_name in list(self._pending_fields):
+            self._ensure_field(field_name)
+
+    def _attach_lazy_field(
+            self, field_name: str,
+            loader: Callable[[], Dict[str, PostingsList]]) -> None:
+        """Register a thunk that decodes ``field_name``'s postings on
+        first access (used by the binary codec's lazy loading)."""
+        self._pending_fields[field_name] = loader
+        self._field_names.add(field_name)
 
     # ------------------------------------------------------------------
     # reading
@@ -76,10 +130,18 @@ class InvertedIndex:
     def doc_count(self) -> int:
         return len(self._stored)
 
+    @property
+    def generation(self) -> int:
+        """Mutation counter: changes whenever the index changes.
+        Caches key on (index name, generation)."""
+        return self._generation
+
     def field_names(self) -> List[str]:
         return sorted(self._field_names)
 
     def postings(self, field_name: str, term: str) -> Optional[PostingsList]:
+        if self._pending_fields:
+            self._ensure_field(field_name)
         return self._terms.get(field_name, {}).get(term)
 
     def doc_frequency(self, field_name: str, term: str) -> int:
@@ -88,6 +150,8 @@ class InvertedIndex:
 
     def terms(self, field_name: str) -> Iterator[str]:
         """All terms of a field, sorted (the term dictionary)."""
+        if self._pending_fields:
+            self._ensure_field(field_name)
         return iter(sorted(self._terms.get(field_name, {})))
 
     def terms_with_prefix(self, field_name: str, prefix: str
@@ -102,11 +166,22 @@ class InvertedIndex:
     def field_boost(self, field_name: str, doc_id: int) -> float:
         return self._boosts.get(field_name, {}).get(doc_id, 1.0)
 
+    def max_field_boost(self, field_name: str) -> float:
+        """Upper bound on :meth:`field_boost` over all documents
+        (maintained incrementally; never below 1.0)."""
+        return self._max_boosts.get(field_name, 1.0)
+
     def average_field_length(self, field_name: str) -> float:
+        """Mean token count of a field, memoized per generation —
+        queries read this once per term, so the sum over every
+        document must not be recomputed each time."""
+        cached = self._avg_length_cache.get(field_name)
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
         lengths = self._lengths.get(field_name)
-        if not lengths:
-            return 0.0
-        return sum(lengths.values()) / len(lengths)
+        value = (sum(lengths.values()) / len(lengths)) if lengths else 0.0
+        self._avg_length_cache[field_name] = (self._generation, value)
+        return value
 
     def docs_with_field(self, field_name: str) -> int:
         return len(self._lengths.get(field_name, {}))
@@ -129,7 +204,10 @@ class InvertedIndex:
 
     def unique_term_count(self, field_name: str | None = None) -> int:
         if field_name is not None:
+            if self._pending_fields:
+                self._ensure_field(field_name)
             return len(self._terms.get(field_name, {}))
+        self._ensure_all_fields()
         return sum(len(terms) for terms in self._terms.values())
 
     # ------------------------------------------------------------------
@@ -148,10 +226,14 @@ class InvertedIndex:
         Returns the doc-id offset applied to ``other``'s documents.
         """
         offset = self.doc_count
+        self._generation += 1
+        other._ensure_all_fields()
         self._stored.extend(
             {name: list(values) for name, values in doc.items()}
             for doc in other._stored)
         for field_name, terms in other._terms.items():
+            if self._pending_fields:
+                self._ensure_field(field_name)
             target_terms = self._terms.setdefault(field_name, {})
             for term, postings in terms.items():
                 target = target_terms.get(term)
@@ -170,6 +252,7 @@ class InvertedIndex:
             target_boosts = self._boosts.setdefault(field_name, {})
             for doc_id, boost in boosts.items():
                 target_boosts[doc_id + offset] = boost
+                self._note_boost(field_name, boost)
         self._field_names |= other._field_names
         return offset
 
@@ -178,6 +261,7 @@ class InvertedIndex:
     # ------------------------------------------------------------------
 
     def to_json(self) -> dict:
+        self._ensure_all_fields()
         return {
             "name": self.name,
             "terms": {
@@ -220,6 +304,9 @@ class InvertedIndex:
         ]
         index._field_names = set(index._terms) | {
             name for doc in index._stored for name in doc}
+        for field_name, boosts in index._boosts.items():
+            for boost in boosts.values():
+                index._note_boost(field_name, boost)
         return index
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,13 +33,31 @@ class Posting:
 
 
 class PostingsList:
-    """Doc-ordered postings for one (field, term) pair."""
+    """Doc-ordered postings for one (field, term) pair.
 
-    __slots__ = ("_postings", "_by_doc")
+    Besides the postings themselves the list maintains two summary
+    statistics *incrementally* (updated on every
+    :meth:`add_occurrence`, so the writer and :meth:`InvertedIndex.merge
+    <repro.search.index.inverted.InvertedIndex.merge>` keep them fresh
+    for free):
+
+    * :attr:`total_frequency` — total occurrence count, used by the
+      stats/scoring path; and
+    * :attr:`max_frequency` — the highest within-document frequency,
+      the per-(field, term) *max-impact* figure that
+      :meth:`Similarity.max_score
+      <repro.search.similarity.Similarity.max_score>` turns into a
+      score upper bound for top-k pruning.
+    """
+
+    __slots__ = ("_postings", "_by_doc", "_total_frequency",
+                 "_max_frequency")
 
     def __init__(self) -> None:
         self._postings: List[Posting] = []
         self._by_doc: Dict[int, Posting] = {}
+        self._total_frequency = 0
+        self._max_frequency = 0
 
     def add_occurrence(self, doc_id: int, position: int) -> None:
         """Record one term occurrence.  doc_ids must arrive
@@ -50,6 +68,9 @@ class PostingsList:
             self._postings.append(posting)
             self._by_doc[doc_id] = posting
         posting.positions.append(position)
+        self._total_frequency += 1
+        if len(posting.positions) > self._max_frequency:
+            self._max_frequency = len(posting.positions)
 
     @property
     def doc_frequency(self) -> int:
@@ -57,16 +78,34 @@ class PostingsList:
 
     @property
     def total_frequency(self) -> int:
-        return sum(p.frequency for p in self._postings)
+        return self._total_frequency
+
+    @property
+    def max_frequency(self) -> int:
+        """Highest per-document frequency (the max-impact bound)."""
+        return self._max_frequency
 
     def get(self, doc_id: int) -> Posting | None:
         return self._by_doc.get(doc_id)
+
+    def doc_ids(self) -> List[int]:
+        """Matching doc ids, in postings (ascending) order."""
+        return [posting.doc_id for posting in self._postings]
 
     def __iter__(self) -> Iterator[Posting]:
         return iter(self._postings)
 
     def __len__(self) -> int:
         return len(self._postings)
+
+    def _append(self, posting: Posting) -> None:
+        """Adopt a fully-built posting (deserialization path); keeps
+        the incremental statistics in sync."""
+        self._postings.append(posting)
+        self._by_doc[posting.doc_id] = posting
+        self._total_frequency += posting.frequency
+        if posting.frequency > self._max_frequency:
+            self._max_frequency = posting.frequency
 
     def to_json(self) -> list:
         return [posting.to_json() for posting in self._postings]
@@ -75,7 +114,5 @@ class PostingsList:
     def from_json(cls, data: list) -> "PostingsList":
         postings = cls()
         for entry in data:
-            posting = Posting.from_json(entry)
-            postings._postings.append(posting)
-            postings._by_doc[posting.doc_id] = posting
+            postings._append(Posting.from_json(entry))
         return postings

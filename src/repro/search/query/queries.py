@@ -4,20 +4,35 @@ Each query knows how to score itself against an
 :class:`~repro.search.index.inverted.InvertedIndex` given a
 :class:`~repro.search.similarity.Similarity`; the searcher merely ranks
 the resulting document→score map.
+
+Two scoring paths exist:
+
+* :meth:`Query.score_docs` — the exhaustive path: materializes the
+  full doc→score map.  This is the semantics oracle; ``explain()``
+  and the pruned path are verified against it.
+* :meth:`Query.scorer` — returns a :class:`Scorer` supporting exact
+  *single-document* scoring plus a per-clause score upper bound, or
+  ``None`` for query types without one (phrase, prefix, match-all,
+  and the extras), which then always score exhaustively.  The
+  MaxScore-style top-k driver (:mod:`repro.search.topk`) is built on
+  scorers; every ``score_one`` replicates the exhaustive path's
+  floating-point operations *in the same order*, so pruned top-k
+  results are bit-identical to exhaustive ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence, Set
 
 from repro.errors import QueryError
 from repro.search.index.inverted import InvertedIndex
 from repro.search.similarity import Similarity
 
 __all__ = ["Query", "TermQuery", "PhraseQuery", "PrefixQuery",
-           "MatchAllQuery", "Occur", "BooleanClause", "BooleanQuery"]
+           "MatchAllQuery", "Occur", "BooleanClause", "BooleanQuery",
+           "Scorer", "TermScorer", "DisMaxScorer", "BooleanScorer"]
 
 Scores = Dict[int, float]
 
@@ -33,6 +48,38 @@ def _count_postings(amount: int) -> None:
                         ).inc(amount)
 
 
+class Scorer:
+    """Exact per-document scoring for one query node.
+
+    ``score_one`` must return bit-for-bit the value the node's
+    ``score_docs`` map holds for that doc (``None`` for non-matches);
+    ``max_contribution`` bounds it from above over all documents.
+    """
+
+    __slots__ = ("scanned",)
+
+    def __init__(self) -> None:
+        #: postings entries read through ``score_one`` (leaf scorers
+        #: only; aggregates sum their children)
+        self.scanned = 0
+
+    def max_contribution(self) -> float:
+        raise NotImplementedError
+
+    def doc_ids(self) -> List[int]:
+        """Matching doc ids, ascending."""
+        raise NotImplementedError
+
+    def doc_id_set(self) -> Set[int]:
+        raise NotImplementedError
+
+    def score_one(self, doc_id: int) -> Optional[float]:
+        raise NotImplementedError
+
+    def postings_scanned(self) -> int:
+        return self.scanned
+
+
 class Query:
     """Base query node."""
 
@@ -41,6 +88,12 @@ class Query:
     def score_docs(self, index: InvertedIndex,
                    similarity: Similarity) -> Scores:
         raise NotImplementedError
+
+    def scorer(self, index: InvertedIndex,
+               similarity: Similarity) -> Optional[Scorer]:
+        """A per-doc scorer for the pruned top-k path, or ``None``
+        when this query type only supports exhaustive scoring."""
+        return None
 
 
 @dataclass
@@ -69,9 +122,66 @@ class TermQuery(Query):
             scores[posting.doc_id] = base * self.boost * index_boost
         return scores
 
+    def scorer(self, index: InvertedIndex,
+               similarity: Similarity) -> "TermScorer":
+        return TermScorer(self, index, similarity)
+
     def __str__(self) -> str:
         suffix = f"^{self.boost}" if self.boost != 1.0 else ""
         return f"{self.field_name}:{self.term}{suffix}"
+
+
+class TermScorer(Scorer):
+    """Single-doc scoring for one (field, term) pair.
+
+    ``score_one`` evaluates ``similarity.score(...) * boost *
+    index_boost`` with exactly the arguments and operation order of
+    :meth:`TermQuery.score_docs`, so values match bit for bit.
+    """
+
+    __slots__ = ("_query", "_index", "_similarity", "_postings",
+                 "_doc_frequency", "_doc_count", "_average")
+
+    def __init__(self, query: TermQuery, index: InvertedIndex,
+                 similarity: Similarity) -> None:
+        super().__init__()
+        self._query = query
+        self._index = index
+        self._similarity = similarity
+        self._postings = index.postings(query.field_name, query.term)
+        self._doc_frequency = (self._postings.doc_frequency
+                               if self._postings else 0)
+        self._doc_count = index.doc_count
+        self._average = index.average_field_length(query.field_name)
+
+    def max_contribution(self) -> float:
+        if self._postings is None:
+            return 0.0
+        bound = self._similarity.max_score(
+            self._postings.max_frequency, self._doc_frequency,
+            self._doc_count)
+        return (bound * self._query.boost
+                * self._index.max_field_boost(self._query.field_name))
+
+    def doc_ids(self) -> List[int]:
+        return self._postings.doc_ids() if self._postings else []
+
+    def doc_id_set(self) -> Set[int]:
+        return set(self._postings.doc_ids()) if self._postings else set()
+
+    def score_one(self, doc_id: int) -> Optional[float]:
+        if self._postings is None:
+            return None
+        posting = self._postings.get(doc_id)
+        if posting is None:
+            return None
+        self.scanned += 1
+        field_name = self._query.field_name
+        base = self._similarity.score(
+            posting.frequency, self._doc_frequency, self._doc_count,
+            self._index.field_length(field_name, doc_id), self._average)
+        index_boost = self._index.field_boost(field_name, doc_id)
+        return base * self._query.boost * index_boost
 
 
 @dataclass
@@ -227,9 +337,103 @@ class DisMaxQuery(Query):
                         for doc, score in combined.items()}
         return combined
 
+    def scorer(self, index: InvertedIndex,
+               similarity: Similarity) -> Optional["DisMaxScorer"]:
+        subs = [query.scorer(index, similarity) for query in self.queries]
+        if not subs or any(sub is None for sub in subs):
+            return None
+        return DisMaxScorer(self, subs)
+
     def __str__(self) -> str:
         inner = " | ".join(str(q) for q in self.queries)
         return f"dismax({inner})"
+
+
+class DisMaxScorer(Scorer):
+    """Single-doc disjunction-max over sub-scorers.
+
+    Replicates :meth:`DisMaxQuery.score_docs` per document: the best
+    sub-score is found with the same ``>`` comparisons, the total is
+    summed in sub-query order, and the tie-breaker/boost arithmetic
+    runs in the same order — identical floats out.
+    """
+
+    __slots__ = ("_subs", "_tie_breaker", "_boost", "_contributors")
+
+    def __init__(self, query: "DisMaxQuery", subs: List[Scorer]) -> None:
+        super().__init__()
+        self._subs = subs
+        self._tie_breaker = query.tie_breaker
+        self._boost = query.boost
+        self._contributors: Optional[Dict[int, List[Scorer]]] = None
+
+    def _contributor_map(self) -> Dict[int, List[Scorer]]:
+        """doc id → the sub-scorers that contain it, in sub order.
+
+        Built once per scorer: scoring a candidate then touches only
+        the clauses that actually match it, instead of probing every
+        field's postings for (mostly) misses.  Enumerating doc ids is
+        far cheaper than the similarity math it avoids."""
+        if self._contributors is None:
+            contributors: Dict[int, List[Scorer]] = {}
+            for sub in self._subs:
+                for doc_id in sub.doc_ids():
+                    contributors.setdefault(doc_id, []).append(sub)
+            self._contributors = contributors
+        return self._contributors
+
+    def max_contribution(self) -> float:
+        bounds = [sub.max_contribution() for sub in self._subs]
+        if not bounds:
+            return 0.0
+        best, total = max(bounds), sum(bounds)
+        tie = self._tie_breaker
+        if tie <= 0.0:
+            bound = best
+        elif tie <= 1.0:
+            bound = (1.0 - tie) * best + tie * total
+        else:
+            bound = tie * total
+        return bound * self._boost
+
+    def doc_ids(self) -> List[int]:
+        return sorted(self._contributor_map())
+
+    def doc_id_set(self) -> Set[int]:
+        return set(self._contributor_map())
+
+    def score_one(self, doc_id: int) -> Optional[float]:
+        # mirrors score_docs: the running max starts at 0.0 (the
+        # dict-get default), so a doc only matches once some sub-score
+        # exceeds 0.0 — and the total still sums every sub-score.
+        # Only the clauses containing the doc are consulted; the
+        # skipped ones contributed nothing in the exhaustive path
+        # either, so the float sequence is unchanged.
+        subs = self._contributor_map().get(doc_id)
+        if subs is None:
+            return None
+        best = 0.0
+        matched = False
+        total = 0.0
+        for sub in subs:
+            score = sub.score_one(doc_id)
+            if score is None:
+                continue
+            if score > best:
+                best = score
+                matched = True
+            total += score
+        if not matched:
+            return None
+        if self._tie_breaker:
+            rest = total - best
+            best += self._tie_breaker * rest
+        if self._boost != 1.0:
+            best *= self._boost
+        return best
+
+    def postings_scanned(self) -> int:
+        return sum(sub.postings_scanned() for sub in self._subs)
 
 
 class Occur(Enum):
@@ -306,9 +510,105 @@ class BooleanQuery(Query):
             combined[doc_id] = score * coord * self.boost
         return combined
 
+    def scorer(self, index: InvertedIndex,
+               similarity: Similarity) -> Optional["BooleanScorer"]:
+        musts, shoulds, nots = [], [], []
+        for clause in self.clauses:
+            sub = clause.query.scorer(index, similarity)
+            if sub is None:
+                return None
+            {Occur.MUST: musts, Occur.SHOULD: shoulds,
+             Occur.MUST_NOT: nots}[clause.occur].append(sub)
+        if not musts and not shoulds:
+            return None
+        return BooleanScorer(self, similarity, musts, shoulds, nots)
+
     def __str__(self) -> str:
         rendered = []
         marker = {Occur.MUST: "+", Occur.SHOULD: "", Occur.MUST_NOT: "-"}
         for clause in self.clauses:
             rendered.append(f"{marker[clause.occur]}({clause.query})")
         return " ".join(rendered)
+
+
+class BooleanScorer(Scorer):
+    """Single-doc boolean scoring with Lucene semantics.
+
+    Replicates :meth:`BooleanQuery.score_docs` per document: MUST
+    scores sum in clause order, then SHOULD contributions in clause
+    order, then the coordination factor and boost — the same
+    floating-point sequence as the exhaustive path.
+    """
+
+    __slots__ = ("musts", "shoulds", "nots", "_similarity",
+                 "_total_clauses", "_boost", "_not_docs")
+
+    def __init__(self, query: "BooleanQuery", similarity: Similarity,
+                 musts: List[Scorer], shoulds: List[Scorer],
+                 nots: List[Scorer]) -> None:
+        super().__init__()
+        self.musts = musts
+        self.shoulds = shoulds
+        self.nots = nots
+        self._similarity = similarity
+        self._total_clauses = len(musts) + len(shoulds)
+        self._boost = query.boost
+        self._not_docs: Optional[Set[int]] = None
+
+    @property
+    def boost(self) -> float:
+        return self._boost
+
+    def excluded_docs(self) -> Set[int]:
+        """Union of the MUST_NOT clauses' matches (memoized)."""
+        if self._not_docs is None:
+            excluded: Set[int] = set()
+            for sub in self.nots:
+                excluded |= sub.doc_id_set()
+            self._not_docs = excluded
+        return self._not_docs
+
+    def max_contribution(self) -> float:
+        # coord <= 1, so the clause-bound sum times boost dominates
+        total = sum(sub.max_contribution()
+                    for sub in self.musts + self.shoulds)
+        return total * self._boost
+
+    def doc_ids(self) -> List[int]:
+        return sorted(self.doc_id_set())
+
+    def doc_id_set(self) -> Set[int]:
+        if self.musts:
+            matching = self.musts[0].doc_id_set()
+            for sub in self.musts[1:]:
+                matching &= sub.doc_id_set()
+        else:
+            matching = set()
+            for sub in self.shoulds:
+                matching |= sub.doc_id_set()
+        return matching - self.excluded_docs()
+
+    def score_one(self, doc_id: int) -> Optional[float]:
+        if doc_id in self.excluded_docs():
+            return None
+        score = 0.0
+        matched = 0
+        for sub in self.musts:
+            contribution = sub.score_one(doc_id)
+            if contribution is None:
+                return None
+            score += contribution
+            matched += 1
+        for sub in self.shoulds:
+            contribution = sub.score_one(doc_id)
+            if contribution is not None:
+                score += contribution
+                matched += 1
+        if not self.musts and matched == 0:
+            return None
+        coord = self._similarity.coord(matched, self._total_clauses)
+        return score * coord * self._boost
+
+    def postings_scanned(self) -> int:
+        return sum(sub.postings_scanned()
+                   for sub in self.musts + self.shoulds + self.nots)

@@ -1,16 +1,39 @@
-"""IndexSearcher: executes query trees and ranks results."""
+"""IndexSearcher: executes query trees and ranks results.
+
+Query serving runs through three layers, fastest first:
+
+1. **result cache** — a thread-safe LRU keyed on (index name, index
+   generation, canonical query string, limit).  The generation
+   component makes invalidation implicit: any index mutation bumps
+   the counter, so stale entries simply stop being addressable and
+   age out of the LRU.
+2. **pruned top-k** — when the query supports per-clause score upper
+   bounds (:meth:`Query.scorer`) and a ``limit`` is given, the
+   MaxScore driver (:mod:`repro.search.topk`) skips documents that
+   cannot enter the top k.  Results are bit-identical to exhaustive
+   scoring (same docs, order, floats).
+3. **exhaustive scoring** — the oracle path; also serves unlimited
+   searches and query types without scorers.  Exposed directly as
+   :meth:`IndexSearcher.search_exhaustive` for parity testing.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import heapq
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 from repro.search.document import Document
 from repro.search.index.inverted import InvertedIndex
+from repro.search.index.writer import CacheInfo
 from repro.search.query.queries import Query
 from repro.search.similarity import ClassicSimilarity, Similarity
+from repro.search.topk import run_top_k
 
-__all__ = ["ScoredDoc", "TopDocs", "IndexSearcher", "rank_docs"]
+__all__ = ["ScoredDoc", "TopDocs", "QueryResultCache", "IndexSearcher",
+           "rank_docs"]
 
 
 def _observability():
@@ -35,6 +58,10 @@ class TopDocs:
 
     total_hits: int
     scored: List[ScoredDoc]
+    #: True when early termination skipped scoring some documents
+    pruned: bool = False
+    #: True when served from the query result cache
+    cached: bool = False
 
     def __iter__(self):
         return iter(self.scored)
@@ -55,40 +82,177 @@ def rank_docs(scores: Dict[int, float],
     result sets are stable across runs, worker counts, and the
     insertion order of the score map — equal-score documents can
     never swap in or out of the window.
+
+    When ``limit`` is given and smaller than the map, a bounded heap
+    selects the window in O(n log k) instead of sorting all n scores;
+    ``heapq.nsmallest`` is defined to equal ``sorted(...)[:k]``, so
+    the output is identical to the full sort.
     """
-    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-    if limit is not None:
-        ranked = ranked[:limit]
+    def key(item):
+        return (-item[1], item[0])
+
+    if limit is not None and 0 <= limit < len(scores):
+        ranked = heapq.nsmallest(limit, scores.items(), key=key)
+    else:
+        ranked = sorted(scores.items(), key=key)
+        if limit is not None:
+            ranked = ranked[:limit]
     return ranked
+
+
+class QueryResultCache:
+    """Thread-safe LRU for ranked results.
+
+    Keys are ``(index name, index generation, canonical query string,
+    limit)``.  Because the generation changes on every index mutation
+    (:attr:`InvertedIndex.generation`), entries written against an
+    older snapshot can never be returned for the current one — no
+    explicit invalidation hooks needed.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[tuple, TopDocs]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key: tuple) -> Optional[TopDocs]:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry
+
+    def put(self, key: tuple, value: TopDocs) -> None:
+        if self.maxsize <= 0:
+            return
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(self._hits, self._misses, self.maxsize,
+                             len(self._entries))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
 
 
 class IndexSearcher:
     """Searches one inverted index with a pluggable similarity."""
 
     def __init__(self, index: InvertedIndex,
-                 similarity: Optional[Similarity] = None) -> None:
+                 similarity: Optional[Similarity] = None,
+                 cache_size: int = 256) -> None:
         self.index = index
         self.similarity = similarity or ClassicSimilarity()
+        self.cache = QueryResultCache(maxsize=cache_size)
+
+    # ------------------------------------------------------------------
+
+    def _cache_key(self, query: Query, limit: Optional[int]) -> tuple:
+        # repr() of the dataclass query trees is a canonical string:
+        # it covers every field (terms, boosts, occurs, tie breakers)
+        # and is stable across processes, unlike hash().
+        return (self.index.name, self.index.generation, repr(query), limit)
 
     def search(self, query: Query, limit: Optional[int] = None) -> TopDocs:
         """Run ``query``; return hits sorted by descending score.
 
         Ties break on ascending doc id (see :func:`rank_docs`), making
         rankings deterministic — important for reproducible evaluation
-        numbers.
+        numbers.  Served from the result cache when possible, and via
+        the pruned top-k path when ``limit`` is set and the query
+        supports it; both return exactly what exhaustive scoring
+        would (see :meth:`search_exhaustive`).
         """
         obs = _observability()
+        key = self._cache_key(query, limit)
+        cached_top = self.cache.get(key)
+        if obs.metrics.enabled:
+            name = ("query_cache_hits_total" if cached_top is not None
+                    else "query_cache_misses_total")
+            obs.metrics.counter(name, "query result cache traffic").inc()
+            obs.metrics.gauge("query_cache_size",
+                              "entries in the query result cache"
+                              ).set(len(self.cache))
+        if cached_top is not None:
+            # keep the span shape of a live query so traces stay
+            # uniform: parse/retrieve/score children always exist
+            with obs.tracer.span("query.retrieve",
+                                 index=self.index.name) as span:
+                if span is not None:
+                    span.attributes["candidates"] = cached_top.total_hits
+                    span.attributes["cached"] = True
+            with obs.tracer.span("query.score",
+                                 candidates=cached_top.total_hits):
+                pass
+            # shallow copy so the flag doesn't retroactively mark the
+            # miss-path object that produced the entry
+            return replace(cached_top, cached=True)
+
+        top = self._search_uncached(query, limit, obs)
+        self.cache.put(key, top)
+        return top
+
+    def _search_uncached(self, query: Query, limit: Optional[int],
+                         obs) -> TopDocs:
         with obs.tracer.span("query.retrieve",
                              index=self.index.name) as span:
-            scores = query.score_docs(self.index, self.similarity)
+            result = run_top_k(self.index, self.similarity, query, limit)
+            if result is not None:
+                ranked = result.ranked
+                total_hits = result.total_hits
+                candidates = result.candidates_scored
+                pruned = result.pruned
+                if obs.metrics.enabled:
+                    obs.metrics.counter(
+                        "query_postings_scanned_total",
+                        "postings entries read while scoring queries"
+                    ).inc(result.postings_scanned)
+            else:
+                scores = query.score_docs(self.index, self.similarity)
+                candidates = total_hits = len(scores)
+                pruned = False
             if span is not None:
-                span.attributes["candidates"] = len(scores)
-        with obs.tracer.span("query.score", candidates=len(scores)):
-            ranked = rank_docs(scores, limit)
+                span.attributes["candidates"] = candidates
+                span.attributes["pruned"] = pruned
+        with obs.tracer.span("query.score", candidates=candidates):
+            if result is None:
+                ranked = rank_docs(scores, limit)
         if obs.metrics.enabled:
             obs.metrics.counter("query_candidates_scored_total",
                                 "documents scored across all queries"
-                                ).inc(len(scores))
+                                ).inc(candidates)
+            if pruned:
+                obs.metrics.counter("query_pruned_total",
+                                    "queries served by the pruned "
+                                    "top-k path").inc()
+        return TopDocs(total_hits=total_hits,
+                       scored=[ScoredDoc(doc_id, score)
+                               for doc_id, score in ranked],
+                       pruned=pruned)
+
+    def search_exhaustive(self, query: Query,
+                          limit: Optional[int] = None) -> TopDocs:
+        """The oracle: full scoring, no cache, no pruning.  The pruned
+        :meth:`search` path is verified bit-identical against this."""
+        scores = query.score_docs(self.index, self.similarity)
+        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+        if limit is not None:
+            ranked = ranked[:limit]
         return TopDocs(total_hits=len(scores),
                        scored=[ScoredDoc(doc_id, score)
                                for doc_id, score in ranked])
@@ -98,5 +262,13 @@ class IndexSearcher:
         return self.index.stored_document(doc_id)
 
     def explain(self, query: Query, doc_id: int) -> float:
-        """Score of ``doc_id`` under ``query`` (0.0 when not matched)."""
+        """Score of ``doc_id`` under ``query`` (0.0 when not matched).
+
+        Uses the single-document scorer path when available — O(query
+        terms) instead of re-scoring the whole index — and falls back
+        to the exhaustive map for query types without scorers."""
+        scorer = query.scorer(self.index, self.similarity)
+        if scorer is not None:
+            score = scorer.score_one(doc_id)
+            return 0.0 if score is None else score
         return query.score_docs(self.index, self.similarity).get(doc_id, 0.0)

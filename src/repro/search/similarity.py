@@ -25,6 +25,19 @@ class Similarity:
               average_field_length: float) -> float:
         raise NotImplementedError
 
+    def max_score(self, max_frequency: int, doc_frequency: int,
+                  doc_count: int) -> float:
+        """Upper bound on :meth:`score` over every document of a
+        postings list whose highest within-document frequency is
+        ``max_frequency`` (the list's max-impact statistic).
+
+        Used by the top-k pruned scoring path to skip documents that
+        cannot reach the current k-th score.  The default is
+        ``+inf`` — always safe, never prunes — so custom similarities
+        stay correct without opting in.
+        """
+        return math.inf
+
     def coord(self, matched_clauses: int, total_clauses: int) -> float:
         """Coordination factor rewarding docs matching more clauses."""
         if total_clauses <= 1:
@@ -48,6 +61,14 @@ class ClassicSimilarity(Similarity):
         idf = self.idf(doc_frequency, doc_count)
         norm = 1.0 / math.sqrt(field_length) if field_length > 0 else 1.0
         return tf * idf * idf * norm
+
+    def max_score(self, max_frequency: int, doc_frequency: int,
+                  doc_count: int) -> float:
+        # norm is at most 1.0 (field_length >= 1 for any matching doc)
+        if max_frequency <= 0:
+            return 0.0
+        idf = self.idf(doc_frequency, doc_count)
+        return math.sqrt(max_frequency) * idf * idf
 
 
 class BM25Similarity(Similarity):
@@ -79,6 +100,18 @@ class BM25Similarity(Similarity):
         tf_component = (term_frequency * (self.k1 + 1.0)
                         / (term_frequency + self.k1 * length_norm))
         return idf * tf_component
+
+    def max_score(self, max_frequency: int, doc_frequency: int,
+                  doc_count: int) -> float:
+        # tf_component grows with tf and shrinks with length_norm;
+        # length_norm is at least (1 - b), so plugging max_frequency
+        # and that floor in gives a sound upper bound.
+        if max_frequency <= 0:
+            return 0.0
+        idf = self.idf(doc_frequency, doc_count)
+        floor = self.k1 * (1.0 - self.b)
+        return idf * (max_frequency * (self.k1 + 1.0)
+                      / (max_frequency + floor))
 
     def coord(self, matched_clauses: int, total_clauses: int) -> float:
         # BM25 in Lucene drops the coordination factor.

@@ -1,0 +1,230 @@
+"""MaxScore-style top-k query evaluation (the pruned serving path).
+
+Exhaustive scoring (``Query.score_docs``) computes a score for every
+matching document, even when the caller only wants the top ten.  This
+module evaluates ``limit=k`` queries with *early termination*: each
+scoring clause carries a score upper bound (from the postings lists'
+max-impact statistics, see
+:meth:`~repro.search.index.postings.PostingsList.max_frequency` and
+:meth:`~repro.search.similarity.Similarity.max_score`), and once the
+bounded result heap holds ``k`` documents, clauses whose combined
+bounds cannot beat the current k-th score stop feeding candidates —
+documents that appear only in those clauses are never scored at all.
+
+**Pruning invariant**: the returned top-k is bit-identical to the
+exhaustive path — same doc ids, same order (score descending, doc id
+ascending) and same floating-point scores.  Three properties make
+that hold:
+
+1. every candidate that *is* scored goes through the clause scorers'
+   ``score_one``, which replicates the exhaustive arithmetic in the
+   same operation order;
+2. a candidate is skipped only when its score *upper bound* is
+   **strictly** below the current k-th score, so equal-score ties
+   (which resolve by doc id) are never pruned away; and
+3. the k-th score only ever grows, so a skip decision never needs to
+   be revisited.
+
+Queries whose type has no :class:`~repro.search.query.queries.Scorer`
+(phrase, prefix, match-all, extras) return ``None`` here and fall
+back to the exhaustive path, which remains the semantics oracle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from itertools import accumulate
+from typing import Iterable, List, Optional, Set, Tuple
+
+from repro.search.index.inverted import InvertedIndex
+from repro.search.query.queries import (BooleanScorer, DisMaxScorer,
+                                        Query, Scorer, TermScorer)
+from repro.search.similarity import Similarity
+
+__all__ = ["TopKResult", "run_top_k"]
+
+
+@dataclass
+class TopKResult:
+    """Outcome of a pruned top-k evaluation."""
+
+    #: (doc_id, score), score descending then doc id ascending
+    ranked: List[Tuple[int, float]]
+    #: exact number of matching documents (candidate count)
+    total_hits: int
+    #: documents actually pushed through full scoring
+    candidates_scored: int
+    #: postings entries read while scoring
+    postings_scanned: int
+    #: True when clause bounds allowed skipping whole clauses
+    pruned: bool
+
+
+def run_top_k(index: InvertedIndex, similarity: Similarity,
+              query: Query, k: Optional[int]) -> Optional[TopKResult]:
+    """Evaluate ``query`` for its top ``k`` documents, or return
+    ``None`` when the query (or ``k``) does not support pruning and
+    the caller should score exhaustively."""
+    if k is None or k <= 0:
+        return None
+    scorer = query.scorer(index, similarity)
+    if scorer is None:
+        return None
+    if isinstance(scorer, BooleanScorer) and scorer.musts:
+        return _conjunctive(scorer, k)
+    if isinstance(scorer, BooleanScorer):
+        bounds = [sub.max_contribution() * scorer.boost
+                  for sub in scorer.shoulds]
+        return _maxscore(scorer.shoulds, bounds, scorer,
+                         scorer.excluded_docs(), k)
+    if isinstance(scorer, DisMaxScorer):
+        # per-doc dismax <= sum of the contributing clauses' bounds
+        # (times boost, and tie_breaker when it exceeds 1)
+        scale = scorer._boost * max(1.0, scorer._tie_breaker)
+        bounds = [sub.max_contribution() * scale
+                  for sub in scorer._subs]
+        return _maxscore(scorer._subs, bounds, scorer, frozenset(), k)
+    if isinstance(scorer, TermScorer):
+        # a single term has no sibling clauses to prune against, but
+        # the bounded heap still avoids materializing + sorting the
+        # full score map
+        candidates = scorer.doc_ids()
+        heap = _heap_over(candidates, scorer, k)
+        return TopKResult(ranked=_drain(heap),
+                          total_hits=len(candidates),
+                          candidates_scored=len(candidates),
+                          postings_scanned=scorer.postings_scanned(),
+                          pruned=False)
+    return None
+
+
+def _heap_over(candidates: Iterable[int], scorer: Scorer,
+               k: int) -> List[Tuple[float, int]]:
+    """Score every candidate, keeping the best ``k`` in a bounded
+    min-heap keyed (score, -doc_id) so ties resolve doc-id-ascending."""
+    heap: List[Tuple[float, int]] = []
+    for doc_id in candidates:
+        score = scorer.score_one(doc_id)
+        if score is None:
+            continue
+        key = (score, -doc_id)
+        if len(heap) < k:
+            heapq.heappush(heap, key)
+        elif key > heap[0]:
+            heapq.heapreplace(heap, key)
+    return heap
+
+
+def _drain(heap: List[Tuple[float, int]]) -> List[Tuple[int, float]]:
+    ordered = sorted(heap, reverse=True)
+    return [(-negative_doc, score) for score, negative_doc in ordered]
+
+
+def _conjunctive(scorer: BooleanScorer, k: int) -> TopKResult:
+    """MUST clauses present: candidates are the (small) intersection
+    of the MUST matches minus exclusions; score those and only those."""
+    candidates = sorted(scorer.doc_id_set())
+    heap = _heap_over(candidates, scorer, k)
+    return TopKResult(ranked=_drain(heap),
+                      total_hits=len(candidates),
+                      candidates_scored=len(candidates),
+                      postings_scanned=scorer.postings_scanned(),
+                      pruned=True)
+
+
+def _maxscore(clauses: List[Scorer], bounds: List[float],
+              combiner: Scorer, exclude: Set[int], k: int) -> TopKResult:
+    """The MaxScore loop over disjunctive clauses.
+
+    Two pruning levels, both sound because skips require a *strict*
+    bound-below-θ comparison (score ≤ bound, so a skipped doc can
+    never tie the k-th entry):
+
+    * **clause retirement** (MaxScore proper) — clauses are ordered
+      by ascending bound; once the heap is full, every prefix whose
+      bound sum is strictly below the k-th score stops streaming.
+      Documents appearing only in retired clauses are never visited.
+    * **per-document bound skip** (WAND-style) — the merge knows
+      exactly which live clauses contain the current doc, so its
+      upper bound is their bound sum plus the retired clauses' total
+      (membership there is unknown).  Below θ → not even scored.
+
+    Doc-id streams are merged with a linear scan over the live
+    clauses rather than a heap: clause counts are small (query terms,
+    not index terms), and the scan also yields the membership list the
+    document bound needs.
+    """
+    doc_lists = [clause.doc_ids() for clause in clauses]
+    count = len(clauses)
+    order = sorted(range(count), key=lambda i: (bounds[i], i))
+    prefix_bounds = list(accumulate(bounds[i] for i in order))
+
+    # exact match count is cheap (set union, no scoring) and keeps
+    # TopDocs.total_hits identical to the exhaustive path
+    matching: Set[int] = set()
+    for doc_list in doc_lists:
+        matching.update(doc_list)
+    matching -= exclude
+    total_hits = len(matching)
+
+    heap: List[Tuple[float, int]] = []
+    theta: Optional[float] = None
+    scored = 0
+    pruned = False
+    retired = [False] * count
+    retired_bound = 0.0        # bound mass of the retired clauses
+    non_essential = 0
+    cursors = [0] * count
+    active = [ci for ci in range(count) if doc_lists[ci]]
+
+    def raise_theta(new_theta: float) -> None:
+        nonlocal theta, non_essential, retired_bound, active, pruned
+        theta = new_theta
+        changed = False
+        while (non_essential < count
+               and prefix_bounds[non_essential] < theta):
+            retired[order[non_essential]] = True
+            retired_bound = prefix_bounds[non_essential]
+            non_essential += 1
+            changed = True
+        if changed:
+            pruned = True
+            active = [ci for ci in active if not retired[ci]]
+
+    while active:
+        doc_id = min(doc_lists[ci][cursors[ci]] for ci in active)
+        doc_bound = retired_bound
+        exhausted = False
+        for ci in active:
+            if doc_lists[ci][cursors[ci]] == doc_id:
+                doc_bound += bounds[ci]
+                cursors[ci] += 1
+                if cursors[ci] == len(doc_lists[ci]):
+                    exhausted = True
+        if exhausted:
+            active = [ci for ci in active
+                      if cursors[ci] < len(doc_lists[ci])]
+        if doc_id in exclude:
+            continue
+        if theta is not None and doc_bound < theta:
+            pruned = True      # provably below the k-th score
+            continue
+        score = combiner.score_one(doc_id)
+        scored += 1
+        if score is None:
+            continue
+        key = (score, -doc_id)
+        if len(heap) < k:
+            heapq.heappush(heap, key)
+            if len(heap) == k:
+                raise_theta(heap[0][0])
+        elif key > heap[0]:
+            heapq.heapreplace(heap, key)
+            if heap[0][0] > theta:
+                raise_theta(heap[0][0])
+    return TopKResult(ranked=_drain(heap),
+                      total_hits=total_hits,
+                      candidates_scored=scored,
+                      postings_scanned=combiner.postings_scanned(),
+                      pruned=pruned)

@@ -1,0 +1,162 @@
+"""Binary index format: round-trip fidelity, laziness, auto-detection."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+
+from repro.errors import IndexError_
+from repro.search.index import (INDEX_FORMATS, InvertedIndex, index_path,
+                                list_indexes, load_index, save_index)
+from repro.search.index import codec
+from repro.search.query.queries import TermQuery
+from repro.search.searcher import IndexSearcher
+from repro.search.similarity import ClassicSimilarity
+
+
+def sample_index(seed: int = 7, docs: int = 30) -> InvertedIndex:
+    rng = random.Random(seed)
+    vocab = ["goal", "foul", "messi", "pass", "Zürich", "corner"]
+    index = InvertedIndex("demo")
+    for _ in range(docs):
+        doc_id = index.new_doc_id()
+        index.index_terms(
+            doc_id, "event",
+            [(rng.choice(vocab), p) for p in range(rng.randint(1, 5))],
+            boost=rng.choice([1.0, 2.0]))
+        if rng.random() < 0.8:
+            index.index_terms(
+                doc_id, "narration",
+                [(rng.choice(vocab), p)
+                 for p in range(rng.randint(1, 8))])
+        index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+    return index
+
+
+class TestRoundTrip:
+    def test_binary_equals_json_semantics(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="binary")
+        loaded = load_index(tmp_path, "demo")
+        assert loaded.to_json() == index.to_json()
+
+    def test_search_results_identical_across_formats(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path / "j", format="json")
+        save_index(index, tmp_path / "b", format="binary")
+        from_json = load_index(tmp_path / "j", "demo")
+        from_binary = load_index(tmp_path / "b", "demo")
+        query = TermQuery("event", "goal")
+        for source in (from_json, from_binary):
+            searcher = IndexSearcher(source, ClassicSimilarity())
+            top = searcher.search(query, 10)
+            oracle = IndexSearcher(index, ClassicSimilarity()
+                                   ).search_exhaustive(query, 10)
+            assert [(h.doc_id, h.score) for h in top] \
+                == [(h.doc_id, h.score) for h in oracle]
+
+    def test_postings_statistics_survive(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="binary")
+        loaded = load_index(tmp_path, "demo")
+        original = index.postings("event", "goal")
+        round_tripped = loaded.postings("event", "goal")
+        assert round_tripped.max_frequency == original.max_frequency
+        assert round_tripped.total_frequency == original.total_frequency
+        assert loaded.max_field_boost("event") \
+            == index.max_field_boost("event")
+
+    def test_binary_is_smaller(self, tmp_path):
+        index = sample_index(docs=200)
+        json_file = save_index(index, tmp_path / "j", format="json")
+        binary_file = save_index(index, tmp_path / "b", format="binary")
+        assert binary_file.stat().st_size < json_file.stat().st_size
+
+
+class TestLazyLoading:
+    def test_only_touched_fields_decode(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="binary")
+        loaded = load_index(tmp_path, "demo")
+        assert set(loaded._pending_fields) == {"event", "narration"}
+        loaded.postings("event", "goal")
+        assert "event" not in loaded._pending_fields
+        assert "narration" in loaded._pending_fields
+
+    def test_lazy_index_accepts_new_documents(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="binary")
+        loaded = load_index(tmp_path, "demo")
+        doc_id = loaded.new_doc_id()
+        loaded.index_terms(doc_id, "event", [("goal", 0)])
+        assert loaded.doc_frequency("event", "goal") \
+            == index.doc_frequency("event", "goal") + 1
+
+    def test_merge_materializes_pending_fields(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="binary")
+        loaded = load_index(tmp_path, "demo")
+        target = InvertedIndex("target")
+        target.merge(loaded)
+        assert target.to_json()["terms"] == index.to_json()["terms"]
+
+
+class TestFormatHandling:
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(IndexError_, match="unknown index format"):
+            save_index(sample_index(), tmp_path, format="msgpack")
+        assert set(INDEX_FORMATS) == {"json", "binary"}
+
+    def test_binary_preferred_when_both_exist(self, tmp_path):
+        index = sample_index()
+        save_index(index, tmp_path, format="json")
+        save_index(index, tmp_path, format="binary")
+        assert list_indexes(tmp_path) == ["demo"]
+        assert load_index(tmp_path, "demo").to_json() == index.to_json()
+
+    def test_missing_index_raises(self, tmp_path):
+        with pytest.raises(IndexError_, match="no index"):
+            load_index(tmp_path, "absent")
+
+    def test_bad_magic_rejected(self, tmp_path):
+        path = index_path(tmp_path, "demo", "binary")
+        path.write_bytes(b"JSON{}..")
+        with pytest.raises(IndexError_, match="bad magic"):
+            codec.read_index(path)
+
+    def test_future_version_rejected(self, tmp_path):
+        save_index(sample_index(), tmp_path, format="binary")
+        path = index_path(tmp_path, "demo", "binary")
+        data = bytearray(path.read_bytes())
+        data[4] = codec.VERSION + 1
+        path.write_bytes(bytes(data))
+        with pytest.raises(IndexError_, match="unsupported binary index "
+                                              "version"):
+            codec.read_index(path)
+
+    def test_header_length_matches_struct(self, tmp_path):
+        # pin the on-disk prelude: magic, version byte, u32 LE length
+        save_index(sample_index(), tmp_path, format="binary")
+        raw = index_path(tmp_path, "demo", "binary").read_bytes()
+        assert raw[:4] == b"RIDX"
+        assert raw[4] == codec.VERSION
+        (header_length,) = struct.unpack_from("<I", raw, 5)
+        assert raw[9:9 + header_length].lstrip().startswith(b"{")
+
+
+class TestVarintPrimitives:
+    @pytest.mark.parametrize("value", [0, 1, 127, 128, 300, 2 ** 21,
+                                       2 ** 40])
+    def test_uvarint_round_trip(self, value):
+        import io
+        out = io.BytesIO()
+        codec._write_uvarint(out, value)
+        decoded, end = codec._read_uvarint(out.getvalue(), 0)
+        assert decoded == value
+        assert end == len(out.getvalue())
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 1000, -1000])
+    def test_zigzag_round_trip(self, value):
+        assert codec._unzigzag(codec._zigzag(value)) == value

@@ -1,0 +1,196 @@
+"""Query result cache: keying, LRU behavior, generation invalidation.
+
+The cache key is (index name, index generation, canonical query
+string, limit).  Correctness hangs on the generation component: every
+index mutation bumps it, so a cached ranking can never be served for
+an index state it was not computed on — without any invalidation
+callbacks.  The per-field average-length memo inside InvertedIndex
+uses the same counter and is tested here too.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.search.index.inverted import InvertedIndex
+from repro.search.query.queries import TermQuery
+from repro.search.searcher import IndexSearcher, QueryResultCache, TopDocs
+from repro.search.similarity import ClassicSimilarity
+
+
+def goal_index(docs: int = 4, name: str = "cached") -> InvertedIndex:
+    index = InvertedIndex(name)
+    for i in range(docs):
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "event",
+                          [("goal", p) for p in range(i + 1)])
+    return index
+
+
+class TestSearcherCaching:
+    def test_repeat_query_is_a_hit_with_identical_results(self):
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity())
+        query = TermQuery("event", "goal")
+        first = searcher.search(query, 3)
+        second = searcher.search(query, 3)
+        assert first.cached is False
+        assert second.cached is True
+        assert second.scored == first.scored
+        assert second.total_hits == first.total_hits
+        info = searcher.cache.cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+
+    def test_equivalent_query_objects_share_an_entry(self):
+        # keying is on the canonical string, not object identity
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity())
+        searcher.search(TermQuery("event", "goal"), 3)
+        searcher.search(TermQuery("event", "goal"), 3)
+        assert searcher.cache.cache_info().hits == 1
+
+    def test_limit_is_part_of_the_key(self):
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity())
+        query = TermQuery("event", "goal")
+        assert len(searcher.search(query, 1)) == 1
+        assert len(searcher.search(query, 3)) == 3
+        assert searcher.cache.cache_info().hits == 0
+
+    def test_boost_changes_the_key(self):
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity())
+        searcher.search(TermQuery("event", "goal"), 3)
+        searcher.search(TermQuery("event", "goal", boost=2.0), 3)
+        assert searcher.cache.cache_info().hits == 0
+
+    def test_index_terms_invalidates(self):
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity())
+        query = TermQuery("event", "goal")
+        before = searcher.search(query, 10)
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "event", [("goal", 0)])
+        after = searcher.search(query, 10)
+        assert searcher.cache.cache_info().hits == 0
+        assert after.total_hits == before.total_hits + 1
+
+    def test_merge_invalidates(self):
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity())
+        query = TermQuery("event", "goal")
+        before = searcher.search(query, 10)
+        index.merge(goal_index(2, name="incoming"))
+        after = searcher.search(query, 10)
+        assert searcher.cache.cache_info().hits == 0
+        assert after.total_hits == before.total_hits + 2
+
+    def test_store_value_invalidates(self):
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity())
+        searcher.search(TermQuery("event", "goal"), 2)
+        index.store_value(0, "doc_key", "k")
+        searcher.search(TermQuery("event", "goal"), 2)
+        assert searcher.cache.cache_info().hits == 0
+
+    def test_cache_size_zero_disables(self):
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity(),
+                                 cache_size=0)
+        query = TermQuery("event", "goal")
+        searcher.search(query, 3)
+        searcher.search(query, 3)
+        assert len(searcher.cache) == 0
+        assert searcher.cache.cache_info().hits == 0
+
+
+class TestQueryResultCacheLRU:
+    def entry(self) -> TopDocs:
+        return TopDocs(total_hits=0, scored=[])
+
+    def test_evicts_least_recently_used(self):
+        cache = QueryResultCache(maxsize=2)
+        cache.put(("a",), self.entry())
+        cache.put(("b",), self.entry())
+        assert cache.get(("a",)) is not None   # refresh "a"
+        cache.put(("c",), self.entry())        # evicts "b"
+        assert cache.get(("b",)) is None
+        assert cache.get(("a",)) is not None
+        assert cache.get(("c",)) is not None
+
+    def test_cache_info_counts(self):
+        cache = QueryResultCache(maxsize=4)
+        cache.put(("x",), self.entry())
+        cache.get(("x",))
+        cache.get(("y",))
+        info = cache.cache_info()
+        assert (info.hits, info.misses, info.maxsize, info.currsize) \
+            == (1, 1, 4, 1)
+
+    def test_concurrent_access_is_safe(self):
+        cache = QueryResultCache(maxsize=8)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(300):
+                    key = ("q", (seed + i) % 10)
+                    cache.put(key, self.entry())
+                    cache.get(key)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert len(cache) <= 8
+
+
+class TestAverageFieldLengthMemo:
+    def test_memoized_between_reads(self):
+        index = goal_index()
+        first = index.average_field_length("event")
+        assert index.average_field_length("event") == first
+        assert index._avg_length_cache["event"] == (index.generation, first)
+
+    def test_index_terms_invalidates(self):
+        index = goal_index(docs=2)           # lengths 1 and 2
+        assert index.average_field_length("event") == 1.5
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "event",
+                          [("goal", p) for p in range(6)])
+        assert index.average_field_length("event") == 3.0
+
+    def test_merge_invalidates(self):
+        index = goal_index(docs=2)           # lengths 1 and 2
+        assert index.average_field_length("event") == 1.5
+        other = InvertedIndex("other")
+        doc_id = other.new_doc_id()
+        other.index_terms(doc_id, "event",
+                          [("goal", p) for p in range(9)])
+        index.merge(other)
+        assert index.average_field_length("event") == 4.0
+
+
+class TestIncrementalPostingsStats:
+    def test_total_frequency_tracks_add_occurrence(self):
+        index = InvertedIndex("stats")
+        doc_a = index.new_doc_id()
+        index.index_terms(doc_a, "event", [("goal", 0), ("goal", 1)])
+        postings = index.postings("event", "goal")
+        assert postings.total_frequency == 2
+        assert postings.max_frequency == 2
+        doc_b = index.new_doc_id()
+        index.index_terms(doc_b, "event", [("goal", 0)])
+        assert postings.total_frequency == 3
+        assert postings.max_frequency == 2
+
+    def test_stats_survive_merge_and_json(self):
+        index = goal_index(docs=3)           # freqs 1, 2, 3
+        index.merge(goal_index(docs=4, name="in"))
+        postings = index.postings("event", "goal")
+        assert postings.total_frequency == 1 + 2 + 3 + 1 + 2 + 3 + 4
+        assert postings.max_frequency == 4
+        reloaded = InvertedIndex.from_json(index.to_json())
+        round_tripped = reloaded.postings("event", "goal")
+        assert round_tripped.total_frequency == postings.total_frequency
+        assert round_tripped.max_frequency == postings.max_frequency
