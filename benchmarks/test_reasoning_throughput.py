@@ -1,0 +1,155 @@
+"""Naive vs semi-naive offline reasoning (§3.5's cost center).
+
+Runs both fixpoint strategies over a simulator corpus scaled to ~10×
+the paper's size (100 matches vs the paper's 10; override with
+``REASON_BENCH_MATCHES``, the CI smoke job uses 30) and emits
+machine-readable ``benchmarks/results/BENCH_reason.json``.
+
+Deliberately does NOT use the pytest-benchmark fixture so the CI smoke
+job can run it with plain pytest.  Two properties are asserted inside
+the benchmark itself:
+
+* **parity** — for every match the two strategies must produce
+  bit-identical inferred models: the same triples asserted in the same
+  order (triple order feeds dict/set insertion order downstream, all
+  the way to FULL_INF postings), the same deterministic ``makeTemp``
+  nodes, and the same firing statistics;
+* **speedup** — the semi-naive reasoning stages (rules + realize) must
+  be ≥ 2× faster than naive over the whole corpus.  Timings are
+  paired per match (naive then semi, back to back) so ambient noise —
+  GC, scheduler, thermal shifts — hits both modes alike.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from repro.extraction import InformationExtractor
+from repro.population import OntologyPopulator
+from repro.soccer import standard_corpus
+from repro.soccer.names import round_robin_fixtures
+from benchmarks.conftest import write_result
+
+PAPER_MATCHES = 10
+TRIALS = 3
+MIN_SPEEDUP = 2.0
+
+
+def _scaled_models(pipeline, match_count):
+    corpus = standard_corpus(fixtures=round_robin_fixtures(match_count),
+                             total_narrations=118 * match_count)
+    populator = OntologyPopulator(pipeline.ontology)
+    models = []
+    for crawled in corpus.crawled:
+        extractor = InformationExtractor(crawled)
+        models.append(populator.populate_full(
+            crawled, extractor.extract_all()))
+    return corpus, models
+
+
+def _snapshot(abox):
+    """Order-sensitive view of an inferred model (insertion order of
+    individuals, types and property values all included)."""
+    return [(individual.uri, sorted(individual.types),
+             [(prop, list(values))
+              for prop, values in individual.properties.items()])
+            for individual in abox.individuals()]
+
+
+def _assert_parity(naive_result, semi_result, match_index):
+    context = f"match {match_index}"
+    everything = (None, None, None)
+    assert list(naive_result.graph.triples(everything)) \
+        == list(semi_result.graph.triples(everything)), \
+        f"{context}: inferred triple sequences diverge"
+    assert _snapshot(naive_result.abox) == _snapshot(semi_result.abox), \
+        f"{context}: inferred models diverge"
+    assert naive_result.firing.firings_per_rule \
+        == semi_result.firing.firings_per_rule, \
+        f"{context}: firing counts diverge"
+    assert naive_result.firing.iterations \
+        == semi_result.firing.iterations, \
+        f"{context}: iteration counts diverge"
+
+
+def _mode_bucket():
+    return {"reason_seconds": 0.0,
+            "stage_seconds": {"rules": 0.0, "realize": 0.0},
+            "iterations": 0, "matches_attempted": 0,
+            "rule_firings": 0, "triples_inferred": 0,
+            "rules_skipped": 0, "delta_triples": 0}
+
+
+def _tally(bucket, stats):
+    bucket["reason_seconds"] += (stats.seconds["rules"]
+                                 + stats.seconds["realize"])
+    bucket["stage_seconds"]["rules"] += stats.seconds["rules"]
+    bucket["stage_seconds"]["realize"] += stats.seconds["realize"]
+    bucket["iterations"] += stats.iterations
+    bucket["matches_attempted"] += stats.matches_attempted
+    bucket["rule_firings"] += stats.firings_total
+    bucket["triples_inferred"] += stats.triples_added
+    bucket["rules_skipped"] += stats.rules_skipped
+    bucket["delta_triples"] += stats.delta_total
+
+
+def test_semi_naive_vs_naive_reasoning(pipeline, results_dir):
+    match_count = int(os.environ.get("REASON_BENCH_MATCHES",
+                                     10 * PAPER_MATCHES))
+    corpus, models = _scaled_models(pipeline, match_count)
+    reasoner = pipeline.reasoner
+
+    # parity: every model, both strategies, bit-identical output
+    for index, model in enumerate(models):
+        naive_result = reasoner.infer(model, check_consistency=False,
+                                      naive=True)
+        semi_result = reasoner.infer(model, check_consistency=False)
+        _assert_parity(naive_result, semi_result, index)
+
+    # timing: per-match naive/semi pairs, summed over TRIALS rounds
+    naive = _mode_bucket()
+    semi = _mode_bucket()
+    started = time.perf_counter()
+    gc.disable()
+    try:
+        for _ in range(TRIALS):
+            for model in models:
+                result = reasoner.infer(model, check_consistency=False,
+                                        naive=True)
+                _tally(naive, result.stats)
+                result = reasoner.infer(model, check_consistency=False)
+                _tally(semi, result.stats)
+    finally:
+        gc.enable()
+    wall_seconds = time.perf_counter() - started
+
+    speedup = naive["reason_seconds"] / semi["reason_seconds"]
+    document = {
+        "corpus": {"matches": match_count,
+                   "narrations": corpus.narration_count,
+                   "scale_vs_paper": round(match_count / PAPER_MATCHES, 1),
+                   "trials": TRIALS},
+        "naive": naive,
+        "semi_naive": semi,
+        "speedup": round(speedup, 2),
+        "parity": "bit-identical",
+        "wall_seconds": round(wall_seconds, 2),
+    }
+    for bucket in (naive, semi):
+        bucket["reason_seconds"] = round(bucket["reason_seconds"], 3)
+        for stage in bucket["stage_seconds"]:
+            bucket["stage_seconds"][stage] = round(
+                bucket["stage_seconds"][stage], 3)
+    write_result(results_dir, "BENCH_reason.json",
+                 json.dumps(document, indent=2) + "\n")
+    print("\n" + json.dumps(document, indent=2))
+
+    # the delta engine must actually skip work ...
+    assert semi["matches_attempted"] < naive["matches_attempted"]
+    # ... and convert it into wall-clock
+    assert speedup >= MIN_SPEEDUP, (
+        f"semi-naive reasoning only {speedup:.2f}x faster than naive "
+        f"(need >= {MIN_SPEEDUP}x)")

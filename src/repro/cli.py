@@ -63,6 +63,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print per-stage timings and cache hit "
                              "rates after pipeline runs")
+    parser.add_argument("--naive-inference", action="store_true",
+                        help="run the reasoner's naive fixpoint "
+                             "instead of the semi-naive default "
+                             "(identical output, slower; the parity "
+                             "oracle — see docs/reasoning.md)")
     parser.add_argument("--max-retries", type=int, default=None,
                         metavar="N",
                         help="retries per pipeline stage before a "
@@ -168,12 +173,13 @@ def _resilience_config(args):
 
 
 def _run_pipeline(args, corpus):
-    """Run the pipeline honoring the --workers/--profile flags and
-    the resilience flags (--max-retries, --stage-timeout,
-    --degrade/--fail-fast, --inject-faults)."""
+    """Run the pipeline honoring the --workers/--profile/
+    --naive-inference flags and the resilience flags (--max-retries,
+    --stage-timeout, --degrade/--fail-fast, --inject-faults)."""
     result = SemanticRetrievalPipeline().run(
         corpus.crawled, workers=args.workers, profile=args.profile,
-        resilience=_resilience_config(args))
+        resilience=_resilience_config(args),
+        naive_inference=args.naive_inference)
     if args.profile and result.profile is not None:
         print()
         print(result.profile.render())

@@ -17,7 +17,14 @@ measures against:
   histograms with JSON and Prometheus-text exporters.  Ingest metrics
   are folded in by the pipeline from the per-match partials (so they
   are complete at any worker count); query metrics are recorded where
-  the query executes.
+  the query executes.  Reasoning telemetry travels the same road: the
+  reasoner opens ``reason > rules/realize/consistency`` spans under
+  each match's ``inference`` span and ships a picklable
+  ``ReasonStats`` in the partial, which the pipeline folds into the
+  ``reason_*`` metric family (stage seconds, matches/firings, delta
+  sizes, per-rule firing histograms) — separate names from the
+  ``ingest_*`` family so existing dashboards keep their exact label
+  universe.
 * **A process-wide switchboard** — :func:`get_observability` returns
   the installed :class:`Observability` bundle.  The default bundle is
   *disabled*: every span is a no-op context manager and every

@@ -43,6 +43,7 @@ from repro.ontology import Ontology, soccer_ontology
 from repro.ontology.model import Individual
 from repro.population import OntologyPopulator
 from repro.reasoning import Reasoner
+from repro.reasoning.reasoner import ReasonStats
 from repro.reasoning.rules import soccer_rules
 from repro.search.index import InvertedIndex
 from repro.soccer.crawler import CrawledMatch
@@ -70,6 +71,9 @@ class MatchTask:
     #: build a per-stage span tree for this match and ship it back in
     #: the partial (set when the pipeline's tracer is enabled).
     trace: bool = False
+    #: run the reasoner's naive fixpoint strategies instead of the
+    #: semi-naive/worklist defaults (parity oracle / benchmarking).
+    naive_inference: bool = False
 
 
 @dataclass
@@ -95,6 +99,10 @@ class MatchPartial:
     #: pool workers ship it back and the pipeline stitches it under
     #: its ``ingest`` span.
     spans: Optional[Span] = None
+    #: reasoning telemetry (delta sizes, firings, sub-stage seconds);
+    #: picklable like the rest of the partial so the pipeline can fold
+    #: reasoning metrics at any worker count.
+    reason: Optional[ReasonStats] = None
 
 
 class MatchProcessor:
@@ -162,8 +170,12 @@ class MatchProcessor:
                      .populate_full(crawled, extracted))
         full_ext = timed("full_ext_index", lambda: self.indexer
                          .build_semantic([full], IndexName.FULL_EXT))
+        # the reasoner opens its reason > rules/realize/consistency
+        # spans on the match-local tracer, nesting them under the
+        # inference stage span above.
         inference = timed("inference", lambda: self.reasoner.infer(
-            full, check_consistency=task.check_consistency))
+            full, check_consistency=task.check_consistency,
+            tracer=tracer, naive=task.naive_inference))
         inferred = inference.abox
         full_inf = timed("full_inf_index", lambda: self.indexer
                          .build_semantic([inferred], IndexName.FULL_INF,
@@ -190,6 +202,7 @@ class MatchProcessor:
                                if task.keep_intermediate else None),
             full_individuals=(list(full.individuals())
                               if task.keep_intermediate else None),
+            reason=inference.stats,
         )
         if tracer.enabled:
             tracer.close()

@@ -111,7 +111,8 @@ class SemanticRetrievalPipeline:
             resilience: Optional[ResilienceConfig] = None,
             degrade: Optional[bool] = None,
             fault_plan: Optional[FaultPlan] = None,
-            observability: Optional[Observability] = None
+            observability: Optional[Observability] = None,
+            naive_inference: bool = False
             ) -> PipelineResult:
         """Execute steps 2–8 over ``crawled_matches``.
 
@@ -138,6 +139,11 @@ class SemanticRetrievalPipeline:
         metrics enabled ingest counters/histograms are folded into
         the registry.  Both disabled (the default) leaves this method
         byte-identical to the uninstrumented path.
+
+        ``naive_inference=True`` runs the reasoner's naive fixpoint
+        strategies instead of the semi-naive/worklist defaults; the
+        output is bit-identical (the parity suite holds both modes to
+        it), only slower — kept as an oracle and for benchmarking.
         """
         started = time.perf_counter()
         obs = (observability if observability is not None
@@ -149,7 +155,8 @@ class SemanticRetrievalPipeline:
         tasks = [MatchTask(position=position, crawled=crawled,
                            check_consistency=check_consistency,
                            keep_intermediate=store is not None,
-                           trace=tracer.enabled)
+                           trace=tracer.enabled,
+                           naive_inference=naive_inference)
                  for position, crawled in enumerate(matches)]
         executor = ParallelPipelineExecutor(
             workers=workers, ontology=self.ontology,
@@ -178,6 +185,18 @@ class SemanticRetrievalPipeline:
             for partial in partials:
                 profiler.record_match(partial.match_id,
                                       partial.stage_seconds)
+                if partial.reason is not None:
+                    # reasoning sub-stages live under the inference
+                    # stage; recorded with a prefix so they never mix
+                    # with the top-level ingest stages.
+                    for stage, seconds in partial.reason.seconds.items():
+                        profiler.record(f"reason.{stage}", seconds)
+                    profiler.add_counter("reason_rule_firings",
+                                         partial.reason.firings_total)
+                    profiler.add_counter("reason_rules_skipped",
+                                         partial.reason.rules_skipped)
+                    profiler.add_counter("reason_delta_triples",
+                                         partial.reason.delta_total)
             if resilience is not None:
                 for name in ("stage_retries", "faults_injected",
                              "quarantined", "worker_crashes",
@@ -278,12 +297,58 @@ class SemanticRetrievalPipeline:
                               buckets=match_buckets
                               ).observe(sum(partial.stage_seconds
                                             .values()))
+        self._fold_reason_metrics(metrics, partials)
         for name, counter in self.indexer.cache_stats().items():
             fold_cache_info(metrics, f"indexer.{name}", counter)
         fold_cache_info(metrics, "analyzer.token_stream",
                         self.indexer.analyzer.cache_info())
         fold_cache_info(metrics, "stemmer.porter",
                         PorterStemmer.cache_info())
+
+    @staticmethod
+    def _fold_reason_metrics(metrics, partials) -> None:
+        """Fold per-match reasoning telemetry into the registry.
+
+        Kept under ``reason_*`` names, NOT mixed into the
+        ``ingest_stage_*`` family — dashboards built on the ingest
+        stage set keep their exact label universe.
+        """
+        iteration_buckets = (1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0)
+        firing_buckets = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0)
+        for partial in partials:
+            stats = partial.reason
+            if stats is None:
+                continue
+            for stage, seconds in stats.seconds.items():
+                metrics.counter("reason_stage_seconds_total",
+                                "wall-clock per reasoning sub-stage",
+                                stage=stage).inc(seconds)
+            metrics.counter("reason_rule_matches_total",
+                            "candidate rule bindings enumerated"
+                            ).inc(stats.matches_attempted)
+            metrics.counter("reason_rule_firings_total",
+                            "head instantiations that added triples"
+                            ).inc(stats.firings_total)
+            metrics.counter("reason_triples_inferred_total",
+                            "triples asserted by forward chaining"
+                            ).inc(stats.triples_added)
+            metrics.counter("reason_rules_skipped_total",
+                            "rule evaluations skipped by the delta "
+                            "applicability check"
+                            ).inc(stats.rules_skipped)
+            metrics.counter("reason_delta_triples_total",
+                            "delta-window triples evaluated by "
+                            "semi-naive passes"
+                            ).inc(stats.delta_total)
+            metrics.histogram("reason_iterations",
+                              "fixpoint passes per match",
+                              buckets=iteration_buckets
+                              ).observe(stats.iterations)
+            for rule, firings in stats.firings_per_rule.items():
+                metrics.histogram("reason_rule_firings",
+                                  "per-rule firings per match",
+                                  buckets=firing_buckets,
+                                  rule=rule).observe(firings)
 
     def _collect_cache_stats(self, profiler: StageProfiler) -> None:
         """Register the analysis-path cache counters.

@@ -69,8 +69,9 @@ class PipelineProfile:
     # match_id -> stage -> seconds
     match_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
     caches: Dict[str, dict] = field(default_factory=dict)
-    #: resilience tallies (stage retries, injected faults,
-    #: quarantined matches, worker crashes, pool rebuilds)
+    #: event tallies — resilience (stage retries, injected faults,
+    #: quarantined matches, worker crashes, pool rebuilds) and
+    #: reasoning (rule firings, delta sizes, skipped evaluations)
     counters: Dict[str, int] = field(default_factory=dict)
     total_seconds: float = 0.0
     workers: int = 1
@@ -117,7 +118,7 @@ class PipelineProfile:
                              f"{info.get('misses', 0):8d} {rate:8.1%}")
         if self.counters:
             lines.append("")
-            lines.append(f"{'resilience counter':28} {'count':>6}")
+            lines.append(f"{'counter':28} {'count':>6}")
             for name, count in sorted(self.counters.items()):
                 lines.append(f"{name:28} {count:6d}")
         return "\n".join(lines)
@@ -194,7 +195,8 @@ class StageProfiler:
             self._caches[name] = dict(info)
 
     def add_counter(self, name: str, count: int = 1) -> None:
-        """Accumulate a resilience tally (retries, quarantines, …)."""
+        """Accumulate an event tally (retries, quarantines, rule
+        firings, …)."""
         if not self.enabled:
             return
         self._counters[name] = self._counters.get(name, 0) + count

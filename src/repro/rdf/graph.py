@@ -9,12 +9,22 @@ The store keeps three permutation indexes (SPO, POS, OSP) so that any
 triple pattern with at least one bound position is answered by hash
 lookups rather than scans — the same layout used by production triple
 stores (e.g. Jena's memory model).
+
+For incremental consumers the graph also exposes a cheap change
+journal: :attr:`Graph.generation` is a monotonic mutation counter
+(the same invalidation contract as ``InvertedIndex.generation``), and
+:meth:`Graph.journal` attaches an append-only buffer that records
+every triple *added* while it is open.  The semi-naive rule engine
+(:mod:`repro.reasoning.rules.engine`) seeds each fixpoint pass from
+that buffer instead of re-scanning the whole store.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from contextlib import contextmanager
+from typing import (Dict, Iterable, Iterator, List, Optional, Set,
+                    Tuple)
 
 from repro.errors import GraphError
 from repro.rdf.namespace import NamespaceManager
@@ -61,6 +71,11 @@ class Graph:
         self._pos: _Index = defaultdict(lambda: defaultdict(set))
         self._osp: _Index = defaultdict(lambda: defaultdict(set))
         self._size = 0
+        #: Monotonic mutation counter.  Bumped on every successful add,
+        #: remove or clear, never reset — consumers snapshot it to detect
+        #: staleness, the same contract as ``InvertedIndex.generation``.
+        self.generation = 0
+        self._journals: List[List[Triple]] = []
         for triple in triples:
             self.add(triple)
 
@@ -79,27 +94,88 @@ class Graph:
         self._pos[predicate][obj].add(subject)
         self._osp[obj][subject].add(predicate)
         self._size += 1
+        self.generation += 1
+        for buffer in self._journals:
+            buffer.append(triple)
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Insert many triples; returns the number actually added."""
         return sum(1 for triple in triples if self.add(triple))
 
+    @staticmethod
+    def _prune(index: _Index, first: Node, second: Node,
+               member: Node) -> None:
+        """Discard ``member`` from ``index[first][second]`` and drop the
+        bucket (and the outer entry) once empty, so removals do not leave
+        dead dict/set shells that wildcard scans still have to walk."""
+        inner = index.get(first)
+        if inner is None:
+            return
+        bucket = inner.get(second)
+        if bucket is None:
+            return
+        bucket.discard(member)
+        if not bucket:
+            del inner[second]
+            if not inner:
+                del index[first]
+
     def remove(self, pattern: Pattern) -> int:
         """Delete every triple matching ``pattern``; returns the count."""
         doomed = list(self.triples(pattern))
         for subject, predicate, obj in doomed:
-            self._spo[subject][predicate].discard(obj)
-            self._pos[predicate][obj].discard(subject)
-            self._osp[obj][subject].discard(predicate)
+            self._prune(self._spo, subject, predicate, obj)
+            self._prune(self._pos, predicate, obj, subject)
+            self._prune(self._osp, obj, subject, predicate)
             self._size -= 1
+            self.generation += 1
         return len(doomed)
 
     def clear(self) -> None:
+        if self._size or self._spo:
+            self.generation += 1
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
         self._size = 0
+
+    # ------------------------------------------------------------------
+    # change journal
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def journal(self) -> Iterator[List[Triple]]:
+        """Attach an append-only buffer recording every triple added
+        while the context is open (in insertion order, duplicates never
+        recorded because :meth:`add` reports them).  Removals are *not*
+        journaled — the semi-naive engine assumes a grow-only graph.
+        Multiple journals may be open at once; each sees every addition
+        made during its own lifetime.
+        """
+        buffer: List[Triple] = []
+        self._journals.append(buffer)
+        try:
+            yield buffer
+        finally:
+            self._journals.remove(buffer)
+
+    def index_sizes(self) -> Dict[str, int]:
+        """Triple counts recomputed from each permutation index —
+        test/debug hook for the no-empty-bucket invariant.  All three
+        must equal ``len(self)``, and no inner dict or set may be empty.
+        """
+        sizes = {}
+        for name, index in (("spo", self._spo), ("pos", self._pos),
+                            ("osp", self._osp)):
+            total = 0
+            for inner in index.values():
+                assert inner, f"{name} index holds an empty inner dict"
+                for bucket in inner.values():
+                    assert bucket, f"{name} index holds an empty bucket"
+                    total += len(bucket)
+            sizes[name] = total
+        return sizes
 
     # ------------------------------------------------------------------
     # matching

@@ -18,14 +18,27 @@ Covers the inference services the paper quotes from Pellet (§3.5):
 The pass iterates to a fixpoint because each kind of inference can
 enable another (a range-typed goalkeeper gains ``Player`` by type
 closure, which may satisfy another restriction, …).
+
+Two fixpoint strategies are available.  :meth:`Realizer.realize_naive`
+re-expands *every* individual each sweep until a sweep adds nothing.
+:meth:`Realizer.realize` (the default) keeps a **dirty-individual
+worklist**: an individual is re-expanded only when another expansion
+changed its types or properties, when its own expansion fed an earlier
+stage of itself (an unclosed late type add or a self-loop inverse), or
+— the one cross-individual dependency, used by ``someValuesFrom``
+recognition — when the types of an individual it points at changed.  Both sweep in ABox insertion order and apply the
+same mutations, so the resulting models (including the append order of
+every property-value list) are identical; the parity suite holds them
+to it.
 """
 
 from __future__ import annotations
 
-from typing import Set
+from typing import Dict, List, Optional, Set
 
 from repro.rdf.term import URIRef
-from repro.ontology.model import Individual, Ontology, PropertyKind
+from repro.ontology.model import (Individual, Ontology, PropertyKind,
+                                  RestrictionKind)
 from repro.reasoning.taxonomy import Taxonomy
 
 __all__ = ["Realizer", "realize"]
@@ -38,45 +51,154 @@ class Realizer:
                  taxonomy: Taxonomy | None = None) -> None:
         self._ontology = ontology
         self._taxonomy = taxonomy or Taxonomy(ontology)
+        #: properties whose values feed someValuesFrom recognition —
+        #: the only way one individual's expansion reads another's
+        #: types, hence the only cross-individual dirtiness edge.
+        self._svf_properties = {
+            restriction.on_property
+            for restriction in ontology.restrictions()
+            if restriction.kind == RestrictionKind.SOME_VALUES_FROM}
+        #: diagnostics of the most recent realize()/realize_naive().
+        self.last_stats: Dict[str, int] = {}
+        #: set by expansion stages that feed an earlier stage of the
+        #: same individual's expansion (see realize()).
+        self._feedback = False
 
     def realize(self, abox: Ontology) -> int:
         """Expand every individual's types and properties in place.
 
         Returns the total number of new facts (types + property values)
         added.  Idempotent: calling twice adds nothing the second time.
+
+        Delta-driven: after the first sweep only individuals marked
+        dirty by a prior expansion are revisited.  Sweeps iterate the
+        ABox in insertion order and individuals dirtied at a position
+        not yet reached join the *current* sweep — exactly the
+        visibility :meth:`realize_naive`'s full re-scan has — so both
+        strategies apply identical mutations in identical order.
         """
+        individuals = list(abox.individuals())
+        order = {individual.uri: position
+                 for position, individual in enumerate(individuals)}
+        # value-uri -> uris of owners whose someValuesFrom recognition
+        # reads that value's types.
+        dependents: Dict[URIRef, Set[URIRef]] = {}
+        dirty: Set[URIRef] = {individual.uri
+                              for individual in individuals}
         added = 0
+        sweeps = 0
+        expansions = 0
+        while dirty:
+            sweeps += 1
+            carried: Set[URIRef] = set()
+            for position, individual in enumerate(individuals):
+                if individual.uri not in dirty:
+                    continue
+                dirty.discard(individual.uri)
+                expansions += 1
+                changes: Dict[URIRef, bool] = {}
+                added += self._expand(abox, individual, changes)
+                self._register_dependents(individual, dependents)
+                for changed_uri, types_changed in changes.items():
+                    if changed_uri == individual.uri \
+                            and not self._feedback:
+                        # the expansion's own stages run feed-forward
+                        # (types → properties → domain/range → inverses
+                        # → restrictions), so self-changes are already
+                        # fully applied unless a stage fed an earlier
+                        # one (unclosed late type add or a self-loop
+                        # inverse) — no re-expansion needed.
+                        affected = set()
+                    else:
+                        affected = {changed_uri}
+                    if types_changed:
+                        affected |= dependents.get(changed_uri, set())
+                    for uri in affected:
+                        target = dirty if order[uri] > position \
+                            else carried
+                        target.add(uri)
+            dirty |= carried
+        self.last_stats = {"mode": "worklist", "added": added,
+                           "sweeps": sweeps, "expansions": expansions}
+        return added
+
+    def realize_naive(self, abox: Ontology) -> int:
+        """The original fixpoint: re-expand every individual per sweep
+        until one full sweep adds nothing.  The parity oracle for
+        :meth:`realize`."""
+        added = 0
+        sweeps = 0
+        expansions = 0
         changed = True
         while changed:
+            sweeps += 1
             changed = False
             for individual in list(abox.individuals()):
-                delta = self._expand(abox, individual)
+                expansions += 1
+                delta = self._expand(abox, individual, None)
                 if delta:
                     changed = True
                     added += delta
+        self.last_stats = {"mode": "naive", "added": added,
+                           "sweeps": sweeps, "expansions": expansions}
         return added
 
     # ------------------------------------------------------------------
 
-    def _expand(self, abox: Ontology, individual: Individual) -> int:
+    def _register_dependents(self, individual: Individual,
+                             dependents: Dict[URIRef, Set[URIRef]]
+                             ) -> None:
+        for prop_uri in self._svf_properties:
+            for value in individual.properties.get(prop_uri, ()):
+                if isinstance(value, URIRef):
+                    dependents.setdefault(value, set()).add(
+                        individual.uri)
+
+    def _expand(self, abox: Ontology, individual: Individual,
+                changes: Optional[Dict[URIRef, bool]]) -> int:
+        """One expansion of ``individual``; mutates the ABox in place.
+
+        ``changes`` (when given) collects which individuals were
+        touched: uri -> True when their *types* changed (the signal the
+        someValuesFrom dependents need), False for property-only
+        changes.
+        """
+        self._feedback = False
         added = 0
-        added += self._close_types(individual)
-        added += self._close_properties(individual)
-        added += self._apply_domain_range(abox, individual)
-        added += self._apply_inverses(abox, individual)
-        added += self._apply_restrictions(abox, individual)
+        added += self._close_types(individual, changes)
+        added += self._close_properties(individual, changes)
+        added += self._apply_domain_range(abox, individual, changes)
+        added += self._apply_inverses(abox, individual, changes)
+        added += self._apply_restrictions(abox, individual, changes)
         return added
 
-    def _close_types(self, individual: Individual) -> int:
+    def _type_feedback(self, individual: Individual,
+                       type_uri: URIRef) -> None:
+        """A type added after :meth:`_close_types` ran feeds back into
+        the expansion only if its superclass closure is incomplete."""
+        if not self._taxonomy.superclasses(type_uri) <= individual.types:
+            self._feedback = True
+
+    @staticmethod
+    def _note(changes: Optional[Dict[URIRef, bool]], uri: URIRef,
+              types_changed: bool) -> None:
+        if changes is not None:
+            changes[uri] = changes.get(uri, False) or types_changed
+
+    def _close_types(self, individual: Individual,
+                     changes: Optional[Dict[URIRef, bool]]) -> int:
         inferred: Set[URIRef] = set()
         for type_uri in individual.types:
             if self._ontology.has_class(type_uri):
                 inferred |= self._taxonomy.superclasses(type_uri)
         new_types = inferred - individual.types
         individual.types |= new_types
+        if new_types:
+            self._note(changes, individual.uri, True)
         return len(new_types)
 
-    def _close_properties(self, individual: Individual) -> int:
+    def _close_properties(self, individual: Individual,
+                          changes: Optional[Dict[URIRef, bool]]) -> int:
         added = 0
         for prop_uri in list(individual.properties):
             if not self._ontology.has_property(prop_uri):
@@ -90,10 +212,12 @@ class Realizer:
                     if value not in existing:
                         existing.append(value)
                         added += 1
+        if added:
+            self._note(changes, individual.uri, False)
         return added
 
-    def _apply_domain_range(self, abox: Ontology,
-                            individual: Individual) -> int:
+    def _apply_domain_range(self, abox: Ontology, individual: Individual,
+                            changes: Optional[Dict[URIRef, bool]]) -> int:
         added = 0
         for prop_uri, values in list(individual.properties.items()):
             if not self._ontology.has_property(prop_uri):
@@ -101,6 +225,8 @@ class Realizer:
             prop = self._ontology.get_property(prop_uri)
             if prop.domain is not None and prop.domain not in individual.types:
                 individual.types.add(prop.domain)
+                self._type_feedback(individual, prop.domain)
+                self._note(changes, individual.uri, True)
                 added += 1
             if prop.kind != PropertyKind.OBJECT or prop.range is None:
                 continue
@@ -109,10 +235,14 @@ class Realizer:
                     target = abox.individual(value)
                     if prop.range not in target.types:
                         target.types.add(prop.range)
+                        if target.uri == individual.uri:
+                            self._type_feedback(target, prop.range)
+                        self._note(changes, target.uri, True)
                         added += 1
         return added
 
-    def _apply_inverses(self, abox: Ontology, individual: Individual) -> int:
+    def _apply_inverses(self, abox: Ontology, individual: Individual,
+                        changes: Optional[Dict[URIRef, bool]]) -> int:
         added = 0
         for prop_uri, values in list(individual.properties.items()):
             if not self._ontology.has_property(prop_uri):
@@ -126,6 +256,9 @@ class Realizer:
                     existing = target.properties.setdefault(inverse, [])
                     if individual.uri not in existing:
                         existing.append(individual.uri)
+                        if target.uri == individual.uri:
+                            self._feedback = True
+                        self._note(changes, target.uri, False)
                         added += 1
         # also run the declared inverse in the other direction:
         # q inverseOf p means p(x,y) → q(y,x) and q(x,y) → p(y,x).
@@ -138,11 +271,14 @@ class Realizer:
                     existing = target.properties.setdefault(prop.uri, [])
                     if individual.uri not in existing:
                         existing.append(individual.uri)
+                        if target.uri == individual.uri:
+                            self._feedback = True
+                        self._note(changes, target.uri, False)
                         added += 1
         return added
 
-    def _apply_restrictions(self, abox: Ontology,
-                            individual: Individual) -> int:
+    def _apply_restrictions(self, abox: Ontology, individual: Individual,
+                            changes: Optional[Dict[URIRef, bool]]) -> int:
         """Entail restriction membership (hasValue / someValuesFrom).
 
         When class C is restricted as ``C ⊑ p hasValue v`` the OWL
@@ -152,7 +288,6 @@ class Realizer:
         ``someValuesFrom`` when a value of the filler class is present.
         """
         added = 0
-        from repro.ontology.model import RestrictionKind
         for restriction in self._ontology.restrictions():
             if restriction.on_class in individual.types:
                 continue
@@ -162,6 +297,8 @@ class Realizer:
             if restriction.kind == RestrictionKind.HAS_VALUE:
                 if restriction.filler in values:
                     individual.types.add(restriction.on_class)
+                    self._type_feedback(individual, restriction.on_class)
+                    self._note(changes, individual.uri, True)
                     added += 1
             elif restriction.kind == RestrictionKind.SOME_VALUES_FROM:
                 filler = restriction.filler
@@ -171,6 +308,9 @@ class Realizer:
                             and any(self._taxonomy.is_subclass_of(t, filler)
                                     for t in abox.individual(value).types)):
                         individual.types.add(restriction.on_class)
+                        self._type_feedback(individual,
+                                            restriction.on_class)
+                        self._note(changes, individual.uri, True)
                         added += 1
                         break
         return added

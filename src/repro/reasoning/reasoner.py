@@ -23,8 +23,9 @@ grow with corpus size (benchmarked in
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 from repro.rdf.graph import Graph
 from repro.rdf.namespace import RDF
@@ -37,7 +38,10 @@ from repro.reasoning.rules.ast import Rule, TriplePattern
 from repro.reasoning.rules.engine import FiringRecord, RuleEngine
 from repro.reasoning.taxonomy import Taxonomy
 
-__all__ = ["InferenceResult", "Reasoner", "schema_rules"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.observability import Tracer
+
+__all__ = ["InferenceResult", "ReasonStats", "Reasoner", "schema_rules"]
 
 _X = Variable("x")
 _Y = Variable("y")
@@ -93,6 +97,35 @@ def schema_rules(ontology: Ontology) -> List[Rule]:
 
 
 @dataclass
+class ReasonStats:
+    """Picklable per-model reasoning telemetry.
+
+    Built by :meth:`Reasoner.infer` and shipped inside
+    :class:`~repro.core.parallel.MatchPartial` so the pipeline can fold
+    reasoning metrics that are complete at any worker count (worker
+    process registries are never shipped — partials are the wire
+    format, same design as the ingest stage metrics).
+    """
+
+    mode: str = "semi_naive"
+    #: sub-stage wall clock: rules / realize / consistency.
+    seconds: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 0
+    triples_added: int = 0
+    matches_attempted: int = 0
+    rules_skipped: int = 0
+    delta_total: int = 0
+    firings_per_rule: Dict[str, int] = field(default_factory=dict)
+    realize_added: int = 0
+    realize_sweeps: int = 0
+    realize_expansions: int = 0
+
+    @property
+    def firings_total(self) -> int:
+        return sum(self.firings_per_rule.values())
+
+
+@dataclass
 class InferenceResult:
     """Everything produced by inferring one match model."""
 
@@ -100,6 +133,7 @@ class InferenceResult:
     graph: Graph
     firing: FiringRecord
     violations: List[Violation] = field(default_factory=list)
+    stats: ReasonStats = field(default_factory=ReasonStats)
 
     @property
     def consistent(self) -> bool:
@@ -119,25 +153,65 @@ class Reasoner:
             list(domain_rules) + schema_rules(ontology))
 
     def infer(self, abox: Ontology,
-              check_consistency: bool = True) -> InferenceResult:
+              check_consistency: bool = True,
+              tracer: "Optional[Tracer]" = None,
+              naive: bool = False) -> InferenceResult:
         """Run the full offline inference pass over one match model.
 
         The input ABox is not modified; a new, fully inferred ABox is
         returned together with the inferred RDF graph (the artifact the
         semantic indexer consumes — the paper's "inferred OWL files").
+
+        ``tracer`` nests the ``reason > rules/realize/consistency``
+        spans under the caller's active span (the pipeline passes its
+        match-local tracer); without one the process-global tracer is
+        used.  ``naive=True`` switches both the rule engine and the
+        realizer to their naive fixpoint strategies — the parity oracle
+        for the default semi-naive/worklist pair.
         """
-        graph = abox_to_graph(abox)
-        firing = self._engine.run(graph)
-        inferred = individuals_from_graph(graph, self.ontology)
-        inferred.name = f"{abox.name}-inferred"
-        # restriction entailment needs the model view; it can add types
-        # (hasValue / someValuesFrom recognition) not expressible as
-        # plain triple rules.
-        self._realizer.realize(inferred)
-        violations = (self._checker.check(inferred)
-                      if check_consistency else [])
+        if tracer is None:
+            # deferred: repro.core imports this module at package init
+            from repro.core.observability import get_observability
+            tracer = get_observability().tracer
+        stats = ReasonStats(mode="naive" if naive else "semi_naive")
+        with tracer.span("reason", model=abox.name, mode=stats.mode):
+            graph = abox_to_graph(abox)
+            started = time.perf_counter()
+            with tracer.span("rules"):
+                firing = (self._engine.run_naive(graph) if naive
+                          else self._engine.run(graph))
+            stats.seconds["rules"] = time.perf_counter() - started
+            inferred = individuals_from_graph(graph, self.ontology)
+            inferred.name = f"{abox.name}-inferred"
+            # restriction entailment needs the model view; it can add
+            # types (hasValue / someValuesFrom recognition) not
+            # expressible as plain triple rules.
+            started = time.perf_counter()
+            with tracer.span("realize"):
+                if naive:
+                    self._realizer.realize_naive(inferred)
+                else:
+                    self._realizer.realize(inferred)
+            stats.seconds["realize"] = time.perf_counter() - started
+            started = time.perf_counter()
+            if check_consistency:
+                with tracer.span("consistency"):
+                    violations = self._checker.check(inferred)
+            else:
+                violations = []
+            stats.seconds["consistency"] = time.perf_counter() - started
+        stats.iterations = firing.iterations
+        stats.triples_added = firing.triples_added
+        stats.matches_attempted = firing.matches_attempted
+        stats.rules_skipped = firing.rules_skipped
+        stats.delta_total = sum(firing.delta_sizes)
+        stats.firings_per_rule = dict(firing.firings_per_rule)
+        realize_stats = self._realizer.last_stats
+        stats.realize_added = realize_stats.get("added", 0)
+        stats.realize_sweeps = realize_stats.get("sweeps", 0)
+        stats.realize_expansions = realize_stats.get("expansions", 0)
         return InferenceResult(abox=inferred, graph=graph, firing=firing,
-                               violations=violations)
+                               violations=violations, stats=stats)
 
     def classify(self, uri: URIRef) -> List[URIRef]:
         """All superclasses of a class (the Fig. 5 service)."""

@@ -7,6 +7,20 @@ paper's rule base needs plus the obvious comparison family:
     Guard: succeeds when no matching triple exists in the graph under
     the current bindings (unbound variables are wildcards).
 
+    **Semi-naive re-check semantics.** The delta-driven engine
+    (:meth:`RuleEngine.run`) does NOT index ``noValue`` guards: a guard
+    that held when a rule fired is never revisited for that binding.
+    This is sound for the engine's add-only graphs because ``noValue``
+    is *anti-monotone* — as the graph grows its truth can only flip
+    true→false, so a previously-fired rule's conclusions remain
+    derivable facts (the engine implements a fact cache, not truth
+    maintenance; Jena's forward engine behaves the same way).  What
+    semi-naive must still guarantee — and does, by evaluating guards at
+    the same pass-ordered graph states as the naive engine — is that a
+    *new* match whose guard has already turned false is not derived.
+    Guards are re-evaluated on every candidate match; only triple
+    patterns are delta-seeded.
+
 ``makeTemp(?v)``
     Binds ``?v`` to a fresh blank node.  Unlike Jena's, our temp is
     **deterministic per rule firing**: the label is derived from the
@@ -19,7 +33,14 @@ paper's rule base needs plus the obvious comparison family:
     Term equality under bindings.
 
 ``lessThan`` / ``greaterThan`` / ``le`` / ``ge``
-    Numeric comparison of literal values.
+    Numeric comparison of literal values.  An argument that resolves to
+    a URIRef/BNode or a non-numeric literal fails the comparison; since
+    that usually means a rule-authoring typo (comparing the resource
+    instead of its value) the engine surfaces it — a once-per-(rule,
+    builtin) ``RuleWarning`` plus an observability counter by default,
+    or a hard :class:`RuleError` under strict mode (see
+    :class:`BuiltinContext`).  Unbound (``None``) arguments stay a
+    silent False: guards over optional bindings are legitimate.
 
 ``bound(?x)`` / ``unbound(?x)``
     Binding state tests.
@@ -28,17 +49,61 @@ paper's rule base needs plus the obvious comparison family:
 from __future__ import annotations
 
 import hashlib
-from typing import Callable, Dict, Optional
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Set, Tuple
 
 from repro.errors import RuleError
 from repro.rdf.graph import Graph
 from repro.rdf.term import BNode, Literal, Node, Variable
 from repro.reasoning.rules.ast import BuiltinCall, RuleTerm
 
-__all__ = ["Bindings", "evaluate_builtin", "BUILTIN_NAMES"]
+__all__ = ["Bindings", "BuiltinContext", "RuleWarning",
+           "evaluate_builtin", "BUILTIN_NAMES"]
 
 #: Variable bindings accumulated while matching a rule body.
 Bindings = Dict[Variable, Node]
+
+
+class RuleWarning(UserWarning):
+    """A rule body asked a builtin something it cannot sensibly answer
+    (e.g. numeric comparison of a URIRef) — likely an authoring typo."""
+
+
+@dataclass
+class BuiltinContext:
+    """Per-run evaluation policy and warning dedup state.
+
+    ``strict=True`` turns suspicious builtin arguments into hard
+    :class:`RuleError`\\ s; the default emits one :class:`RuleWarning`
+    per (rule, builtin) pair and bumps the
+    ``reason_builtin_warnings_total`` observability counter, then keeps
+    returning False for that branch like before.
+    """
+
+    strict: bool = False
+    warned: Set[Tuple[str, str]] = field(default_factory=set)
+
+    def flag(self, rule_name: str, builtin_name: str, detail: str) -> None:
+        if self.strict:
+            raise RuleError(f"rule {rule_name!r}: {builtin_name} {detail}")
+        key = (rule_name, builtin_name)
+        if key in self.warned:
+            return
+        self.warned.add(key)
+        warnings.warn(
+            f"rule {rule_name!r}: {builtin_name} {detail} "
+            f"(comparison treated as False; enable strict builtins to "
+            f"raise instead)", RuleWarning, stacklevel=2)
+        from repro.core.observability import get_observability
+        get_observability().metrics.counter(
+            "reason_builtin_warnings_total",
+            "suspicious builtin arguments flagged, by rule and builtin",
+            rule=rule_name, builtin=builtin_name).inc()
+
+
+#: Fallback context for callers that don't thread one through.
+_DEFAULT_CONTEXT = BuiltinContext()
 
 
 def _resolve(term: RuleTerm, bindings: Bindings) -> Optional[Node]:
@@ -47,8 +112,8 @@ def _resolve(term: RuleTerm, bindings: Bindings) -> Optional[Node]:
     return term
 
 
-def _builtin_no_value(call: BuiltinCall, bindings: Bindings,
-                      graph: Graph, rule_name: str) -> bool:
+def _builtin_no_value(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                      rule_name: str, context: BuiltinContext) -> bool:
     if len(call.args) not in (2, 3):
         raise RuleError("noValue expects (s p) or (s p o)")
     subject = _resolve(call.args[0], bindings)
@@ -59,8 +124,8 @@ def _builtin_no_value(call: BuiltinCall, bindings: Bindings,
     return True
 
 
-def _builtin_make_temp(call: BuiltinCall, bindings: Bindings,
-                       graph: Graph, rule_name: str) -> bool:
+def _builtin_make_temp(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                       rule_name: str, context: BuiltinContext) -> bool:
     if len(call.args) != 1 or not isinstance(call.args[0], Variable):
         raise RuleError("makeTemp expects exactly one variable")
     variable = call.args[0]
@@ -80,31 +145,41 @@ def _canonical(value: Node) -> str:
     return str(value)
 
 
+def _numeric(value: Optional[Node]) -> Optional[float]:
+    """The float behind a numeric literal, or None for anything else
+    (URIRef, BNode, non-numeric literal)."""
+    if not isinstance(value, Literal):
+        return None
+    try:
+        return float(value.to_python())
+    except (TypeError, ValueError):
+        return None
+
+
 def _comparison(name: str, test: Callable[[float, float], bool]):
-    def builtin(call: BuiltinCall, bindings: Bindings,
-                graph: Graph, rule_name: str) -> bool:
+    def builtin(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                rule_name: str, context: BuiltinContext) -> bool:
         if len(call.args) != 2:
             raise RuleError(f"{name} expects two arguments")
         left = _resolve(call.args[0], bindings)
         right = _resolve(call.args[1], bindings)
         if left is None or right is None:
+            # unbound variable: a legitimate optional-binding guard
             return False
-        try:
-            left_value = float(left.to_python()) \
-                if isinstance(left, Literal) else None
-            right_value = float(right.to_python()) \
-                if isinstance(right, Literal) else None
-        except (TypeError, ValueError):
-            return False
+        left_value = _numeric(left)
+        right_value = _numeric(right)
         if left_value is None or right_value is None:
+            offender = left if left_value is None else right
+            context.flag(rule_name, name,
+                         f"got non-numeric argument {offender!r}")
             return False
         return test(left_value, right_value)
 
     return builtin
 
 
-def _builtin_equal(call: BuiltinCall, bindings: Bindings,
-                   graph: Graph, rule_name: str) -> bool:
+def _builtin_equal(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                   rule_name: str, context: BuiltinContext) -> bool:
     if len(call.args) != 2:
         raise RuleError("equal expects two arguments")
     left = _resolve(call.args[0], bindings)
@@ -112,8 +187,8 @@ def _builtin_equal(call: BuiltinCall, bindings: Bindings,
     return left is not None and left == right
 
 
-def _builtin_not_equal(call: BuiltinCall, bindings: Bindings,
-                       graph: Graph, rule_name: str) -> bool:
+def _builtin_not_equal(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                       rule_name: str, context: BuiltinContext) -> bool:
     if len(call.args) != 2:
         raise RuleError("notEqual expects two arguments")
     left = _resolve(call.args[0], bindings)
@@ -121,14 +196,14 @@ def _builtin_not_equal(call: BuiltinCall, bindings: Bindings,
     return left is not None and right is not None and left != right
 
 
-def _builtin_bound(call: BuiltinCall, bindings: Bindings,
-                   graph: Graph, rule_name: str) -> bool:
+def _builtin_bound(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                   rule_name: str, context: BuiltinContext) -> bool:
     return all(not isinstance(a, Variable) or a in bindings
                for a in call.args)
 
 
-def _builtin_unbound(call: BuiltinCall, bindings: Bindings,
-                     graph: Graph, rule_name: str) -> bool:
+def _builtin_unbound(call: BuiltinCall, bindings: Bindings, graph: Graph,
+                     rule_name: str, context: BuiltinContext) -> bool:
     return all(isinstance(a, Variable) and a not in bindings
                for a in call.args)
 
@@ -150,14 +225,19 @@ BUILTIN_NAMES = frozenset(_BUILTINS)
 
 
 def evaluate_builtin(call: BuiltinCall, bindings: Bindings, graph: Graph,
-                     rule_name: str) -> bool:
+                     rule_name: str,
+                     context: Optional[BuiltinContext] = None) -> bool:
     """Run one builtin; may extend ``bindings`` (makeTemp).
 
-    Returns False to prune the current match branch.
+    Returns False to prune the current match branch.  ``context``
+    carries the strict/warn policy; omitting it uses a shared lenient
+    default (warn once per process per (rule, builtin) pair).
     """
     try:
         implementation = _BUILTINS[call.name]
     except KeyError:
         raise RuleError(f"unknown builtin {call.name!r} "
                         f"in rule {rule_name!r}") from None
-    return implementation(call, bindings, graph, rule_name)
+    return implementation(call, bindings, graph, rule_name,
+                          context if context is not None
+                          else _DEFAULT_CONTEXT)

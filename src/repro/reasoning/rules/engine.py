@@ -7,39 +7,160 @@ patterns extend candidate bindings via indexed lookups; builtins filter
 their head templates and assert the resulting triples.  The engine
 iterates all rules until a full pass adds no new triple (fixpoint).
 
+Two evaluation strategies produce that fixpoint:
+
+* :meth:`RuleEngine.run_naive` — the textbook loop: every pass
+  re-matches every rule against the entire graph.  Kept as the parity
+  oracle.
+* :meth:`RuleEngine.run` — **semi-naive (delta-driven) evaluation**,
+  the default.  The engine journals every addition (via
+  :meth:`~repro.rdf.graph.Graph.journal`) and keeps, per rule, the
+  journal position of its previous evaluation.  On later passes a rule
+  is evaluated only when its delta window (additions since its last
+  turn) contains a triple matching some body atom's constant
+  projection; during evaluation, join subtrees that provably cannot
+  touch the delta are pruned, and when the delta can only enter at the
+  current atom, candidates outside the delta are skipped outright.
+
+The semi-naive strategy is deliberately *order-preserving*: pruning
+only ever removes matches that would re-derive existing triples, and
+every surviving candidate is still enumerated through the same
+``Graph.triples`` calls at the same graph states as the naive engine.
+The sequence of asserted triples — not just the final set — is
+therefore identical in both modes, which is what keeps downstream
+artifacts (ABox individual order, property-value lists, index doc ids)
+bit-identical.  A delta-seeded join that re-ordered enumeration would
+produce the same *set* of triples in a different insertion order and
+silently change every ordered structure built from the graph.
+
 Because ``makeTemp`` mints deterministic nodes (see
 :mod:`repro.reasoning.rules.builtins`), generative rules like the
-paper's assist rule (Fig. 6) terminate without needing a guard.
+paper's assist rule (Fig. 6) terminate without needing a guard.  The
+same determinism, plus the anti-monotonicity of ``noValue`` on
+add-only graphs, is what makes the delta skip sound — see the
+``noValue`` notes in :mod:`repro.reasoning.rules.builtins`.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, Optional
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.errors import RuleError
-from repro.rdf.graph import Graph
+from repro.rdf.graph import Graph, Triple
 from repro.rdf.term import Node, Variable
 from repro.reasoning.rules.ast import (BuiltinCall, Rule, RuleTerm,
                                        TriplePattern)
-from repro.reasoning.rules.builtins import Bindings, evaluate_builtin
+from repro.reasoning.rules.builtins import (Bindings, BuiltinContext,
+                                            evaluate_builtin)
 
 __all__ = ["FiringRecord", "RuleEngine"]
 
 
 @dataclass
 class FiringRecord:
-    """Diagnostics for one engine run."""
+    """Diagnostics for one engine run.
 
+    ``firings_per_rule`` counts *head instantiations that added at
+    least one triple* — i.e. distinct bindings that actually produced
+    facts.  (An earlier version counted passes-with-any-additions,
+    which capped every rule at one firing per pass and under-reported
+    multi-match rules like the Fig. 6 assist rule.)
+
+    ``matches_attempted`` counts enumerated candidate bindings and so
+    depends on the evaluation mode: the naive engine re-enumerates
+    every match each pass, the semi-naive engine only the ones its
+    delta analysis could not rule out.  ``triples_added``,
+    ``iterations`` and ``firings_per_rule`` are mode-independent (the
+    parity suite holds both engines to identical values).
+    """
+
+    mode: str = "semi_naive"
     iterations: int = 0
     triples_added: int = 0
     firings_per_rule: Dict[str, int] = field(default_factory=dict)
+    matches_attempted: int = 0
+    #: semi-naive only: rule evaluations skipped by the delta check.
+    rules_skipped: int = 0
+    #: semi-naive only: per-pass sum of evaluated delta windows.
+    delta_sizes: List[int] = field(default_factory=list)
 
-    def record(self, rule_name: str, added: int) -> None:
+    def record(self, rule_name: str, added: int, firings: int,
+               attempted: int = 0) -> None:
         self.triples_added += added
-        if added:
+        self.matches_attempted += attempted
+        if firings:
             self.firings_per_rule[rule_name] = (
-                self.firings_per_rule.get(rule_name, 0) + 1)
+                self.firings_per_rule.get(rule_name, 0) + firings)
+
+
+class _DeltaIndex:
+    """Constant-projection index over the run's addition journal.
+
+    Supports the two questions semi-naive evaluation asks, both keyed
+    by a journal position ``since`` (a rule's previous snapshot):
+
+    * :meth:`possible` — *could* any triple added at or after ``since``
+      match this (partially resolved) pattern?  Answers may err on the
+      side of True (unresolved positions are wildcards); a False is a
+      proof, which is what makes pruning on it sound.
+    * :meth:`contains` — is this concrete triple part of the delta?
+
+    Position lists are append-ordered, so "any position >= since"
+    is a single look at the last element.
+    """
+
+    def __init__(self, journal: List[Triple]) -> None:
+        self._journal = journal
+        self._processed = 0
+        self._position: Dict[Triple, int] = {}
+        self._by_p: Dict[Node, List[int]] = {}
+        self._by_po: Dict[Tuple[Node, Node], List[int]] = {}
+        self._by_sp: Dict[Tuple[Node, Node], List[int]] = {}
+
+    def catch_up(self) -> None:
+        journal = self._journal
+        for position in range(self._processed, len(journal)):
+            subject, predicate, obj = journal[position]
+            self._position[journal[position]] = position
+            self._by_p.setdefault(predicate, []).append(position)
+            self._by_po.setdefault((predicate, obj), []).append(position)
+            self._by_sp.setdefault((subject, predicate), []).append(position)
+        self._processed = len(journal)
+
+    def possible(self, pattern, since: int) -> bool:
+        subject, predicate, obj = pattern
+        if predicate is None:
+            # no predicate constant to project on; only the journal
+            # length can answer, conservatively.
+            return self._processed > since
+        if subject is not None and obj is not None:
+            return self._position.get(pattern, -1) >= since
+        if obj is not None:
+            positions = self._by_po.get((predicate, obj))
+        elif subject is not None:
+            positions = self._by_sp.get((subject, predicate))
+        else:
+            positions = self._by_p.get(predicate)
+        return bool(positions) and positions[-1] >= since
+
+    def contains(self, triple: Triple, since: int) -> bool:
+        return self._position.get(triple, -1) >= since
+
+    def subjects(self, predicate: Node, obj: Node, since: int):
+        """Subjects of delta triples matching ``(?, predicate, obj)``.
+        Position lists are append-ordered, so the ``since`` cut is a
+        bisect."""
+        positions = self._by_po.get((predicate, obj), ())
+        start = bisect_left(positions, since)
+        return {self._journal[i][0] for i in positions[start:]}
+
+    def objects(self, subject: Node, predicate: Node, since: int):
+        """Objects of delta triples matching ``(subject, predicate, ?)``."""
+        positions = self._by_sp.get((subject, predicate), ())
+        start = bisect_left(positions, since)
+        return {self._journal[i][2] for i in positions[start:]}
 
 
 class RuleEngine:
@@ -47,30 +168,103 @@ class RuleEngine:
 
     One engine instance is reusable across many match models — mirroring
     the paper's design where the same rule base is applied to each game
-    independently (§3.5).
+    independently (§3.5).  ``strict_builtins=True`` turns suspicious
+    builtin arguments (e.g. ``lessThan`` over a URIRef) into hard
+    :class:`RuleError`\\ s instead of once-per-rule warnings.
     """
 
     def __init__(self, rules: Iterable[Rule],
-                 max_iterations: int = 100) -> None:
+                 max_iterations: int = 100,
+                 strict_builtins: bool = False) -> None:
         self.rules = list(rules)
         self.max_iterations = max_iterations
+        self.strict_builtins = strict_builtins
         for rule in self.rules:
             _validate_rule(rule)
 
+    # ------------------------------------------------------------------
+    # evaluation strategies
+    # ------------------------------------------------------------------
+
     def run(self, graph: Graph) -> FiringRecord:
-        """Apply all rules to ``graph`` until fixpoint.
+        """Apply all rules to ``graph`` until fixpoint — semi-naive.
 
         Mutates ``graph`` in place and returns firing statistics.
         Raises :class:`RuleError` if the fixpoint is not reached within
-        ``max_iterations`` passes (a runaway generative rule).
+        ``max_iterations`` passes (a runaway generative rule).  The
+        resulting graph — including the order its triples were
+        asserted in — is identical to :meth:`run_naive`.
         """
-        record = FiringRecord()
+        record = FiringRecord(mode="semi_naive")
+        context = BuiltinContext(strict=self.strict_builtins)
+        with graph.journal() as journal:
+            delta = _DeltaIndex(journal)
+            last_pos: List[Optional[int]] = [None] * len(self.rules)
+            for iteration in range(self.max_iterations):
+                record.iterations = iteration + 1
+                added_this_pass = 0
+                pass_delta = 0
+                for rule_index, rule in enumerate(self.rules):
+                    if delta._processed != len(journal):
+                        delta.catch_up()
+                    since = last_pos[rule_index]
+                    last_pos[rule_index] = len(journal)
+                    if since is not None:
+                        window = len(journal) - since
+                        if window == 0 or not self._applicable(
+                                rule, delta, since):
+                            record.rules_skipped += 1
+                            continue
+                        pass_delta += window
+                    body = rule.body
+                    if len(body) == 1 and isinstance(body[0],
+                                                     TriplePattern):
+                        # fast path for one-atom bodies (the bulk of the
+                        # compiled schema rules): same matches as the
+                        # general DFS, minus the generator machinery.
+                        atom = body[0]
+                        pattern = (_resolve(atom.subject, {}),
+                                   _resolve(atom.predicate, {}),
+                                   _resolve(atom.obj, {}))
+                        source = (
+                            graph.triples(pattern) if since is None
+                            else _delta_triples(graph, pattern, delta,
+                                                since))
+                        matches = []
+                        for subject, predicate, obj in source:
+                            extended = _extend(atom, {}, subject,
+                                               predicate, obj)
+                            if extended is not None:
+                                matches.append(extended)
+                    else:
+                        matches = list(self._match_body(
+                            rule, graph, 0, {}, context,
+                            delta=delta if since is not None else None,
+                            since=since or 0,
+                            used_delta=since is None))
+                    added_this_pass += self._fire(rule, graph, matches,
+                                                  record)
+                record.delta_sizes.append(pass_delta)
+                if added_this_pass == 0:
+                    return record
+        raise RuleError(
+            f"no fixpoint after {self.max_iterations} iterations; "
+            f"a rule is generating unbounded facts")
+
+    def run_naive(self, graph: Graph) -> FiringRecord:
+        """Apply all rules to ``graph`` until fixpoint — the textbook
+        loop re-matching every rule against the whole graph each pass.
+        The parity oracle for :meth:`run`."""
+        record = FiringRecord(mode="naive")
+        context = BuiltinContext(strict=self.strict_builtins)
         for iteration in range(self.max_iterations):
             record.iterations = iteration + 1
             added_this_pass = 0
             for rule in self.rules:
-                added = self._apply_rule(rule, graph, record)
-                added_this_pass += added
+                matches = list(self._match_body(rule, graph, 0, {},
+                                                context))
+                added_this_pass += self._fire(rule, graph, matches,
+                                              record)
             if added_this_pass == 0:
                 return record
         raise RuleError(
@@ -79,40 +273,159 @@ class RuleEngine:
 
     # ------------------------------------------------------------------
 
-    def _apply_rule(self, rule: Rule, graph: Graph,
-                    record: FiringRecord) -> int:
+    def _fire(self, rule: Rule, graph: Graph, matches: List[Bindings],
+              record: FiringRecord) -> int:
+        """Assert the head for every match; returns triples added.
+
+        Matches were materialized before this runs, so a rule never
+        consumes its own new facts within a single pass (pass-level
+        semantics, same as Jena).
+        """
         added = 0
-        # Materialize matches before asserting so a rule never consumes
-        # its own new facts within a single pass (pass-level semantics).
-        matches = list(self._match_body(rule, graph, 0, {}))
+        firings = 0
         for bindings in matches:
+            match_added = 0
             for template in rule.head:
                 triple = _instantiate(template, bindings, rule.name)
                 if graph.add(triple):
-                    added += 1
-        record.record(rule.name, added)
+                    match_added += 1
+            if match_added:
+                firings += 1
+                added += match_added
+        record.record(rule.name, added, firings, attempted=len(matches))
         return added
 
+    def _applicable(self, rule: Rule, delta: _DeltaIndex,
+                    since: int) -> bool:
+        """Can this rule's delta window yield a new match at all?
+
+        Every new match must bind at least one body atom to a delta
+        triple; if no delta triple fits any atom's constant positions,
+        the rule would only re-derive what it already derived.  Bodies
+        without triple patterns never see new bindings (builtins are
+        deterministic and ``noValue`` can only flip true→false on an
+        add-only graph), so they are never re-evaluated.
+        """
+        for atom in rule.body:
+            if isinstance(atom, TriplePattern):
+                pattern = (_resolve(atom.subject, {}),
+                           _resolve(atom.predicate, {}),
+                           _resolve(atom.obj, {}))
+                if delta.possible(pattern, since):
+                    return True
+        return False
+
     def _match_body(self, rule: Rule, graph: Graph, index: int,
-                    bindings: Bindings) -> Iterator[Bindings]:
+                    bindings: Bindings, context: BuiltinContext,
+                    delta: Optional[_DeltaIndex] = None,
+                    since: int = 0,
+                    used_delta: bool = True) -> Iterator[Bindings]:
         if index == len(rule.body):
             yield dict(bindings)
             return
         atom = rule.body[index]
         if isinstance(atom, BuiltinCall):
             scoped = dict(bindings)
-            if evaluate_builtin(atom, scoped, graph, rule.name):
-                yield from self._match_body(rule, graph, index + 1, scoped)
+            if evaluate_builtin(atom, scoped, graph, rule.name, context):
+                yield from self._match_body(rule, graph, index + 1,
+                                            scoped, context, delta,
+                                            since, used_delta)
             return
         pattern = (
             _resolve(atom.subject, bindings),
             _resolve(atom.predicate, bindings),
             _resolve(atom.obj, bindings),
         )
+        if delta is not None and not used_delta:
+            later_possible = any(
+                delta.possible((_resolve(later.subject, bindings),
+                                _resolve(later.predicate, bindings),
+                                _resolve(later.obj, bindings)), since)
+                for later in rule.body[index + 1:]
+                if isinstance(later, TriplePattern))
+            if not later_possible:
+                if not delta.possible(pattern, since):
+                    # no remaining atom can touch the delta: every
+                    # completion re-derives an old match — prune.
+                    return
+                # the delta can only enter here: enumerate just the
+                # delta triples, in graph-enumeration order.
+                for subject, predicate, obj in _delta_triples(
+                        graph, pattern, delta, since):
+                    extended = _extend(atom, bindings, subject,
+                                       predicate, obj)
+                    if extended is not None:
+                        yield from self._match_body(
+                            rule, graph, index + 1, extended, context,
+                            delta, since, True)
+                return
         for subject, predicate, obj in graph.triples(pattern):  # type: ignore[arg-type]
             extended = _extend(atom, bindings, subject, predicate, obj)
             if extended is not None:
-                yield from self._match_body(rule, graph, index + 1, extended)
+                in_delta = (not used_delta and delta is not None
+                            and delta.contains(
+                                (subject, predicate, obj), since))
+                yield from self._match_body(rule, graph, index + 1,
+                                            extended, context, delta,
+                                            since,
+                                            used_delta or in_delta)
+
+
+def _delta_triples(graph: Graph, pattern, delta: _DeltaIndex,
+                   since: int) -> Iterator[Triple]:
+    """Delta triples matching ``pattern``, in the exact relative order
+    :meth:`Graph.triples` would enumerate them.
+
+    This is the work-saving half of semi-naive evaluation: when every
+    surviving candidate must come from the delta, walking the full
+    pattern extent and discarding old triples wastes time proportional
+    to the *graph*, not the *delta*.  Instead we walk the same
+    permutation indexes ``Graph.triples`` walks — same outer dict
+    insertion order, same inner set order — but skip whole buckets the
+    delta provably cannot touch and filter survivors by delta
+    membership.  Because skipping never reorders, the yielded sequence
+    is the subsequence of the full enumeration whose members are delta
+    triples — exactly what the filter loop produced, at delta cost.
+
+    Patterns without a bound predicate (rare in rule bodies) fall back
+    to the full enumeration with a membership filter.
+    """
+    subject, predicate, obj = pattern
+    if predicate is None:
+        for triple in graph.triples(pattern):
+            if delta.contains(triple, since):
+                yield triple
+        return
+    if subject is not None:
+        if obj is not None:
+            triple = (subject, predicate, obj)
+            if triple in graph and delta.contains(triple, since):
+                yield triple
+            return
+        objects = graph._spo.get(subject, {}).get(predicate)
+        if not objects:
+            return
+        new_objects = delta.objects(subject, predicate, since)
+        for candidate in list(objects):
+            if candidate in new_objects:
+                yield (subject, predicate, candidate)
+        return
+    by_object = graph._pos.get(predicate)
+    if not by_object:
+        return
+    if obj is not None:
+        new_subjects = delta.subjects(predicate, obj, since)
+        for subj in list(by_object.get(obj, ())):
+            if subj in new_subjects:
+                yield (subj, predicate, obj)
+        return
+    for candidate, subjects in list(by_object.items()):
+        if not delta.possible((None, predicate, candidate), since):
+            continue
+        new_subjects = delta.subjects(predicate, candidate, since)
+        for subj in list(subjects):
+            if subj in new_subjects:
+                yield (subj, predicate, candidate)
 
 
 def _validate_rule(rule: Rule) -> None:

@@ -188,3 +188,78 @@ class TestPropertyBased:
                                   for s, p, o in raw]
         g1, g2 = Graph(to_triples(raw1)), Graph(to_triples(raw2))
         assert (g1 | g2) == (g2 | g1)
+
+
+class TestChangeJournal:
+    def test_generation_bumps_on_add_remove_clear(self):
+        g = Graph()
+        assert g.generation == 0
+        g.add((EX.a, EX.p, EX.b))
+        assert g.generation == 1
+        g.add((EX.a, EX.p, EX.b))        # duplicate: no bump
+        assert g.generation == 1
+        g.remove((EX.a, EX.p, EX.b))
+        assert g.generation == 2
+        g.add((EX.a, EX.p, EX.b))
+        g.clear()
+        assert g.generation == 4
+        g.clear()                        # already empty: no bump
+        assert g.generation == 4
+
+    def test_journal_records_additions_in_order(self):
+        g = Graph([(EX.a, EX.p, EX.b)])
+        with g.journal() as journal:
+            g.add((EX.a, EX.p, EX.c))
+            g.add((EX.a, EX.p, EX.c))    # duplicate: not journaled
+            g.add((EX.b, EX.q, EX.c))
+            assert journal == [(EX.a, EX.p, EX.c), (EX.b, EX.q, EX.c)]
+        g.add((EX.x, EX.p, EX.y))        # after close: not journaled
+        assert len(journal) == 2
+
+    def test_multiple_journals_each_see_their_window(self):
+        g = Graph()
+        with g.journal() as outer:
+            g.add((EX.a, EX.p, EX.b))
+            with g.journal() as inner:
+                g.add((EX.a, EX.p, EX.c))
+            g.add((EX.a, EX.p, EX.d))
+        assert len(outer) == 3
+        assert inner == [(EX.a, EX.p, EX.c)]
+
+
+class TestIndexPruning:
+    def test_remove_prunes_empty_buckets(self, graph):
+        graph.remove((EX.goal1, None, None))
+        sizes = graph.index_sizes()      # asserts no empty shells
+        assert sizes == {"spo": 2, "pos": 2, "osp": 2}
+
+    def test_remove_everything_leaves_empty_indexes(self, graph):
+        graph.remove((None, None, None))
+        assert len(graph) == 0
+        assert graph.index_sizes() == {"spo": 0, "pos": 0, "osp": 0}
+
+    def test_clear_leaves_empty_indexes(self, graph):
+        graph.clear()
+        assert graph.index_sizes() == {"spo": 0, "pos": 0, "osp": 0}
+
+    def test_partial_remove_keeps_sibling_entries(self):
+        g = Graph([(EX.a, EX.p, EX.b), (EX.a, EX.p, EX.c),
+                   (EX.a, EX.q, EX.b)])
+        g.remove((EX.a, EX.p, EX.b))
+        assert (EX.a, EX.p, EX.c) in g
+        assert (EX.a, EX.q, EX.b) in g
+        assert g.index_sizes() == {"spo": 2, "pos": 2, "osp": 2}
+
+    @given(st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("pq"),
+                              st.sampled_from("xyz")), max_size=30),
+           st.lists(st.tuples(st.sampled_from("abcd"),
+                              st.sampled_from("pq"),
+                              st.sampled_from("xyz")), max_size=30))
+    def test_index_invariants_after_any_removals(self, raw_add, raw_del):
+        g = Graph((EX.term(s), EX.term(p), EX.term(o))
+                  for s, p, o in raw_add)
+        for s, p, o in raw_del:
+            g.remove((EX.term(s), EX.term(p), EX.term(o)))
+        sizes = g.index_sizes()
+        assert sizes["spo"] == sizes["pos"] == sizes["osp"] == len(g)

@@ -182,7 +182,35 @@ class TestEngine:
                    (EX.g2, RDF.type, EX.Goal)])
         record = RuleEngine(rules).run(g)
         assert record.triples_added == 2
-        assert record.firings_per_rule.get("r") == 1
+        # two bindings, each adding a triple: two firings, not one
+        # per-pass tally (the pre-fix behavior capped every rule at
+        # one firing per pass)
+        assert record.firings_per_rule.get("r") == 2
+
+    def test_firing_counts_each_productive_instantiation(self):
+        """Regression: a rule matching three bindings in ONE pass must
+        report three firings (the old counter recorded
+        passes-with-additions, i.e. 1)."""
+        rules = parse_rules(
+            "[r: (?x rdf:type ex:Goal) -> (?x rdf:type ex:Event)]", _ns())
+        g = Graph([(EX.g1, RDF.type, EX.Goal),
+                   (EX.g2, RDF.type, EX.Goal),
+                   (EX.g3, RDF.type, EX.Goal),
+                   # already entailed: this binding adds nothing and
+                   # must not count as a firing
+                   (EX.g3, RDF.type, EX.Event)])
+        for runner in (lambda: RuleEngine(rules).run(
+                Graph(g)), lambda: RuleEngine(rules).run_naive(Graph(g))):
+            record = runner()
+            assert record.firings_per_rule.get("r") == 2
+            assert record.triples_added == 2
+        # and with nothing pre-entailed, all three count
+        g2 = Graph([(EX.g1, RDF.type, EX.Goal),
+                    (EX.g2, RDF.type, EX.Goal),
+                    (EX.g3, RDF.type, EX.Goal)])
+        record = RuleEngine(rules).run(g2)
+        assert record.firings_per_rule.get("r") == 3
+        assert record.iterations == 2  # fire pass + fixpoint pass
 
     def test_runaway_rule_detected(self):
         # a genuinely unbounded generator: each pass adds a new link

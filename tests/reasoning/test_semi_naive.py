@@ -1,0 +1,331 @@
+"""Parity suite: semi-naive evaluation ≡ naive evaluation.
+
+The semi-naive engine and the worklist realizer are pure
+optimizations; the contract (docs/reasoning.md) is that they are
+**bit-identical** to their naive oracles — not just the same final
+triple set, but the same triple *assertion order*, the same firing
+statistics and the same inferred ABoxes down to the append order of
+every property-value list.  These tests hold them to it with random
+rule bases, random graphs and real simulator match models.
+"""
+
+import random
+import warnings
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.extraction import InformationExtractor
+from repro.ontology import Individual, soccer_ontology
+from repro.population import OntologyPopulator
+from repro.rdf import RDF, SOCCER, Graph, Literal, Namespace
+from repro.rdf.term import Variable
+from repro.reasoning import Reasoner, schema_rules
+from repro.reasoning.realization import Realizer
+from repro.reasoning.rules import RuleEngine, soccer_rules
+from repro.reasoning.rules.ast import BuiltinCall, Rule, TriplePattern
+
+EX = Namespace("http://example.org/ns#")
+
+_PREDICATES = [EX.term(f"p{i}") for i in range(4)]
+_CONSTANTS = [EX.term(f"c{i}") for i in range(5)]
+_VARIABLES = [Variable(name) for name in "xyz"]
+
+
+def _random_rules(rng: random.Random, count: int):
+    """A terminating random rule base (no makeTemp, so the Herbrand
+    universe is finite and every run reaches a fixpoint)."""
+    rules = []
+    for index in range(count):
+        body = []
+        bound = []
+        for _ in range(rng.randint(1, 3)):
+            subject = rng.choice(_VARIABLES + _CONSTANTS[:2])
+            obj = rng.choice(_VARIABLES + _CONSTANTS)
+            body.append(TriplePattern(subject,
+                                      rng.choice(_PREDICATES), obj))
+            bound.extend(t for t in (subject, obj)
+                         if isinstance(t, Variable))
+        if bound and rng.random() < 0.3:
+            # anti-monotone guard: exercises the delta re-check rules
+            body.append(BuiltinCall("noValue", (
+                rng.choice(bound), rng.choice(_PREDICATES))))
+        head = []
+        for _ in range(rng.randint(1, 2)):
+            subject = rng.choice(bound) if bound \
+                else rng.choice(_CONSTANTS[:2])
+            head.append(TriplePattern(
+                subject, rng.choice(_PREDICATES),
+                rng.choice(bound + _CONSTANTS)))
+        rules.append(Rule(name=f"r{index}", body=body, head=head))
+    return rules
+
+
+def _random_graph(rng: random.Random, size: int) -> Graph:
+    graph = Graph()
+    for _ in range(size):
+        graph.add((rng.choice(_CONSTANTS), rng.choice(_PREDICATES),
+                   rng.choice(_CONSTANTS)))
+    return graph
+
+
+def _run_both(rules, graph: Graph):
+    """Run both strategies from the same start state; return
+    (journal, record) per mode.  The outer journals capture the exact
+    assertion sequence — the bit-identity witness."""
+    semi_graph, naive_graph = Graph(graph), Graph(graph)
+    with semi_graph.journal() as semi_journal:
+        semi_record = RuleEngine(rules).run(semi_graph)
+    with naive_graph.journal() as naive_journal:
+        naive_record = RuleEngine(rules).run_naive(naive_graph)
+    assert semi_graph == naive_graph
+    assert semi_journal == naive_journal
+    assert semi_record.iterations == naive_record.iterations
+    assert semi_record.triples_added == naive_record.triples_added
+    assert semi_record.firings_per_rule == naive_record.firings_per_rule
+    return semi_record, naive_record
+
+
+class TestRandomizedEngineParity:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_random_rulebases_match_naive_exactly(self, seed):
+        rng = random.Random(seed)
+        rules = _random_rules(rng, rng.randint(1, 6))
+        graph = _random_graph(rng, rng.randint(0, 25))
+        _run_both(rules, graph)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_semi_naive_attempts_no_more_matches(self, seed):
+        """The optimization must actually optimize: the delta engine
+        never enumerates more candidate bindings than naive."""
+        rng = random.Random(seed)
+        rules = _random_rules(rng, rng.randint(1, 6))
+        graph = _random_graph(rng, rng.randint(5, 25))
+        semi, naive = _run_both(rules, graph)
+        assert semi.matches_attempted <= naive.matches_attempted
+
+
+class TestSoccerModelParity:
+    """Parity on the real rule base over real simulator models."""
+
+    def _models(self, ontology, corpus):
+        populator = OntologyPopulator(ontology)
+        models = []
+        for crawled in corpus.crawled:
+            extracted = InformationExtractor(crawled).extract_all()
+            models.append(populator.populate_full(crawled, extracted))
+        return models
+
+    def test_full_reasoner_parity_on_simulator_matches(
+            self, ontology, small_corpus):
+        semi = Reasoner(ontology, soccer_rules())
+        naive = Reasoner(ontology, soccer_rules())
+        for model in self._models(ontology, small_corpus):
+            semi_result = semi.infer(model)
+            naive_result = naive.infer(model, naive=True)
+            assert semi_result.stats.mode == "semi_naive"
+            assert naive_result.stats.mode == "naive"
+            # same triples, same assertion order
+            assert list(semi_result.graph) == list(naive_result.graph)
+            assert semi_result.firing.firings_per_rule \
+                == naive_result.firing.firings_per_rule
+            assert semi_result.firing.iterations \
+                == naive_result.firing.iterations
+            assert _abox_snapshot(semi_result.abox) \
+                == _abox_snapshot(naive_result.abox)
+            assert [str(v) for v in semi_result.violations] \
+                == [str(v) for v in naive_result.violations]
+
+    def test_schema_rules_engine_journal_parity(self, ontology):
+        rules = list(soccer_rules()) + schema_rules(ontology)
+        graph = Graph([
+            (SOCCER.term("g1"), RDF.type, SOCCER.Goal),
+            (SOCCER.term("g1"), SOCCER.scorerPlayer,
+             SOCCER.term("messi")),
+            (SOCCER.term("messi"), RDF.type, SOCCER.RightWinger),
+            (SOCCER.term("messi"), SOCCER.playsFor,
+             SOCCER.term("barca")),
+            (SOCCER.term("barca"), RDF.type, SOCCER.Team),
+        ])
+        semi, _ = _run_both(rules, graph)
+        # the delta engine must actually skip work on this input
+        assert semi.rules_skipped > 0
+
+    def test_pipeline_output_identical_under_naive_inference(
+            self, small_corpus):
+        from repro.core import IndexName, SemanticRetrievalPipeline
+        default = SemanticRetrievalPipeline().run(small_corpus.crawled)
+        naive = SemanticRetrievalPipeline().run(small_corpus.crawled,
+                                                naive_inference=True)
+        for name in IndexName.BUILT:
+            assert default.index(name).to_json() \
+                == naive.index(name).to_json()
+
+
+def _abox_snapshot(abox):
+    """Everything order-sensitive downstream consumers can see."""
+    return [(individual.uri,
+             sorted(str(t) for t in individual.types),
+             [(prop, list(values))
+              for prop, values in individual.properties.items()])
+            for individual in abox.individuals()]
+
+
+class TestRealizerParity:
+    def _abox(self, ontology):
+        abox = ontology.spawn_abox("parity")
+        match = Individual(SOCCER.term("m1"), {SOCCER.Match})
+        barca = Individual(SOCCER.term("Barca"), {SOCCER.Team})
+        keeper = Individual(SOCCER.term("GK"), {SOCCER.Goalkeeper})
+        scorer = Individual(SOCCER.term("S9"), {SOCCER.Striker})
+        goal = Individual(SOCCER.term("g1"), {SOCCER.Goal})
+        match.add(SOCCER.homeTeam, barca.uri)
+        barca.add(SOCCER.hasGoalkeeper, keeper.uri)
+        keeper.add(SOCCER.playsFor, barca.uri)
+        scorer.add(SOCCER.playsFor, barca.uri)
+        goal.add(SOCCER.scorerPlayer, scorer.uri)
+        goal.add(SOCCER.inMatch, match.uri)
+        goal.add(SOCCER.inMinute, Literal(10))
+        for individual in (match, barca, keeper, scorer, goal):
+            abox.add_individual(individual)
+        return abox
+
+    def test_worklist_matches_naive_bit_for_bit(self, ontology):
+        worklist_abox = self._abox(ontology)
+        naive_abox = self._abox(ontology)
+        worklist_added = Realizer(ontology).realize(worklist_abox)
+        naive_added = Realizer(ontology).realize_naive(naive_abox)
+        assert worklist_added == naive_added
+        assert _abox_snapshot(worklist_abox) == _abox_snapshot(naive_abox)
+
+    def test_worklist_is_idempotent(self, ontology):
+        abox = self._abox(ontology)
+        realizer = Realizer(ontology)
+        first = realizer.realize(abox)
+        assert first > 0
+        assert realizer.realize(abox) == 0
+
+    def test_worklist_expands_less_after_first_sweep(self, ontology):
+        abox = self._abox(ontology)
+        realizer = Realizer(ontology)
+        realizer.realize(abox)
+        stats = realizer.last_stats
+        individuals = len(list(abox.individuals()))
+        assert stats["sweeps"] >= 2
+        # strictly fewer expansions than naive's sweeps × individuals
+        naive = Realizer(ontology)
+        naive.realize_naive(self._abox(ontology))
+        assert stats["expansions"] \
+            < naive.last_stats["sweeps"] * individuals
+
+
+class TestNoValueDeltaSemantics:
+    def test_guard_flip_during_run_matches_naive(self):
+        """A noValue guard invalidated mid-run must behave identically
+        in both modes (the anti-monotonicity argument in
+        builtins.py)."""
+        x = Variable("x")
+        rules = [
+            Rule(name="mark",
+                 body=[TriplePattern(x, RDF.type, EX.Goal)],
+                 head=[TriplePattern(x, EX.checked, EX.yes)]),
+            Rule(name="guarded",
+                 body=[TriplePattern(x, RDF.type, EX.Goal),
+                       BuiltinCall("noValue", (x, EX.checked))],
+                 head=[TriplePattern(x, EX.flagged, EX.yes)]),
+        ]
+        graph = Graph([(EX.g1, RDF.type, EX.Goal)])
+        _run_both(rules, graph)
+
+    def test_chained_derivation_through_guard(self):
+        x = Variable("x")
+        rules = [
+            Rule(name="step1",
+                 body=[TriplePattern(x, EX.p, EX.c0)],
+                 head=[TriplePattern(x, EX.q, EX.c1)]),
+            Rule(name="step2",
+                 body=[TriplePattern(x, EX.q, EX.c1),
+                       BuiltinCall("noValue", (x, EX.stop))],
+                 head=[TriplePattern(x, EX.r, EX.c2)]),
+        ]
+        graph = Graph([(EX.a, EX.p, EX.c0), (EX.b, EX.p, EX.c0),
+                       (EX.b, EX.stop, EX.c0)])
+        _run_both(rules, graph)
+
+
+class TestBuiltinDiagnostics:
+    def _rules(self):
+        return [Rule(
+            name="cmp",
+            body=[TriplePattern(Variable("x"), EX.minute, Variable("m")),
+                  BuiltinCall("lessThan", (Variable("m"), Literal(46)))],
+            head=[TriplePattern(Variable("x"), EX.half, Literal(1))])]
+
+    def _graph(self):
+        # two non-numeric objects: still only ONE warning per (rule,
+        # builtin) pair
+        return Graph([(EX.a, EX.minute, EX.notANumber),
+                      (EX.b, EX.minute, EX.alsoNotANumber),
+                      (EX.c, EX.minute, Literal(30))])
+
+    def test_non_numeric_argument_warns_once_and_continues(self):
+        from repro.reasoning.rules.builtins import RuleWarning
+        graph = self._graph()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RuleEngine(self._rules()).run(graph)
+        rule_warnings = [w for w in caught
+                         if issubclass(w.category, RuleWarning)]
+        assert len(rule_warnings) == 1
+        assert "lessThan" in str(rule_warnings[0].message)
+        # the numeric binding still fired; the offenders did not
+        assert (EX.c, EX.half, Literal(1)) in graph
+        assert not list(graph.triples((EX.a, EX.half, None)))
+
+    def test_warning_bumps_observability_counter(self):
+        from repro.core.observability import (Observability,
+                                              get_observability,
+                                              install_observability)
+        previous = get_observability()
+        install_observability(Observability(metrics=True))
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                RuleEngine(self._rules()).run(self._graph())
+            exported = get_observability().metrics.to_json()
+            entries = exported["counters"][
+                "reason_builtin_warnings_total"]
+            flagged = [entry for entry in entries
+                       if entry["labels"] == {"rule": "cmp",
+                                              "builtin": "lessThan"}]
+            assert flagged and flagged[0]["value"] == 1
+        finally:
+            install_observability(previous)
+
+    def test_strict_mode_raises(self):
+        from repro.errors import RuleError
+        engine = RuleEngine(self._rules(), strict_builtins=True)
+        with pytest.raises(RuleError, match="lessThan"):
+            engine.run(self._graph())
+
+    def test_strict_mode_raises_under_naive_too(self):
+        from repro.errors import RuleError
+        engine = RuleEngine(self._rules(), strict_builtins=True)
+        with pytest.raises(RuleError, match="lessThan"):
+            engine.run_naive(self._graph())
+
+    def test_unbound_comparison_stays_silent(self):
+        rules = [Rule(
+            name="opt",
+            body=[TriplePattern(Variable("x"), RDF.type, EX.Goal),
+                  BuiltinCall("lessThan",
+                              (Variable("unbound"), Literal(1)))],
+            head=[TriplePattern(Variable("x"), EX.flag, Literal(1))])]
+        graph = Graph([(EX.g, RDF.type, EX.Goal)])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            RuleEngine(rules, strict_builtins=True).run(graph)
+        assert not caught
+        assert not list(graph.triples((EX.g, EX.flag, None)))
