@@ -1,0 +1,232 @@
+"""Segment architecture benchmarks → ``BENCH_segments.json``.
+
+Three claims of the segment design are measured and pinned:
+
+1. **O(1) open** — a segment directory opens by mmapping files and
+   parsing O(fields) headers; postings and term dictionaries decode
+   lazily.  Open latency must stay flat while the corpus grows 10×.
+2. **Scatter-gather serving** — searching N segments through the
+   shared-heap top-k driver stays within a small constant of the
+   monolithic single-index scan, and the per-segment score bounds
+   actually skip whole segments (pruning counters > 0).
+3. **Parallel segment build** — ingestion workers seal their own
+   segments, so multi-core builds beat serial (asserted only on
+   multi-core machines; a pool cannot win on one core).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+
+from repro.core import IndexName, SemanticRetrievalPipeline
+from repro.search.index import (IndexDirectory, InvertedIndex,
+                                SegmentedIndex)
+from repro.search.query.queries import DisMaxQuery, TermQuery
+from repro.search.searcher import IndexSearcher
+from repro.search.topk import run_top_k
+from repro.search.similarity import ClassicSimilarity
+from benchmarks.conftest import write_result
+
+VOCAB = ["goal", "messi", "pass", "foul", "corner", "shot", "save",
+         "header", "cross", "tackle"]
+
+PARALLEL_WORKERS = 4
+REQUIRED_PARALLEL_SPEEDUP = 1.3
+MAX_SCATTER_GATHER_RATIO = 1.3
+MAX_OPEN_GROWTH = 5.0          # "flat": generous CI-noise ceiling
+SEGMENT_COUNTS = (1, 2, 4, 8)
+QUERY_REPS = 30
+
+
+def synthetic_docs(docs: int, seed: int = 42):
+    rng = random.Random(seed)
+    specs = []
+    for number in range(docs):
+        terms = [(rng.choice(VOCAB), position)
+                 for position in range(rng.randint(2, 8))]
+        # the first tenth of the corpus carries boosted docs: later
+        # segments' max-boost bounds fall below the top-k heap, which
+        # is what lets the driver skip them whole.
+        boost = 3.0 if number < docs // 10 else 1.0
+        specs.append((terms, boost))
+    return specs
+
+
+def build_monolithic(specs) -> InvertedIndex:
+    index = InvertedIndex("bench")
+    for terms, boost in specs:
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "body", terms, boost=boost)
+        index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+    return index
+
+
+def build_segmented(specs, segments: int, path) -> IndexDirectory:
+    directory = IndexDirectory(path, name="bench")
+    size = (len(specs) + segments - 1) // segments
+    for start in range(0, len(specs), size):
+        chunk = InvertedIndex("bench")
+        for offset, (terms, boost) in enumerate(specs[start:start + size]):
+            doc_id = chunk.new_doc_id()
+            chunk.index_terms(doc_id, "body", terms, boost=boost)
+            chunk.store_value(doc_id, "doc_key",
+                              f"doc-{start + offset}")
+        directory.add_index(chunk)
+    return directory
+
+
+def open_latency(path) -> float:
+    """Seconds to open the directory and serve one point lookup
+    (min of 5 — the O(1)-open claim under test)."""
+    best = float("inf")
+    for _ in range(5):
+        started = time.perf_counter()
+        with SegmentedIndex(IndexDirectory(path)) as index:
+            index.doc_frequency("body", "goal")
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def query_workload():
+    queries = [TermQuery("body", term) for term in VOCAB[:6]]
+    queries.append(DisMaxQuery([TermQuery("body", "goal"),
+                                TermQuery("body", "messi")],
+                               tie_breaker=0.1))
+    return queries
+
+
+def time_queries(index, queries):
+    """(best-of-3 batch seconds, segments searched, segments pruned,
+    rankings) for QUERY_REPS passes over the workload."""
+    similarity = ClassicSimilarity()
+    searched = pruned = 0
+    rankings = []
+    best = float("inf")
+    for attempt in range(3):
+        started = time.perf_counter()
+        for _ in range(QUERY_REPS):
+            for query in queries:
+                result = run_top_k(index, similarity, query, 5)
+                if attempt == 0:
+                    searched += result.segments_searched
+                    pruned += result.segments_pruned
+        best = min(best, time.perf_counter() - started)
+    for query in queries:
+        top = IndexSearcher(index, similarity, cache_size=0
+                            ).search(query, 5)
+        rankings.append([(hit.doc_id, hit.score) for hit in top])
+    return best, searched, pruned, rankings
+
+
+def test_segment_throughput(corpus, results_dir, tmp_path):
+    cpu_count = os.cpu_count() or 1
+
+    # -- 1: open latency stays flat across 10x corpus growth ---------
+    small_docs, large_docs = 400, 4000
+    small = build_segmented(synthetic_docs(small_docs), 4,
+                            tmp_path / "small.segd")
+    large = build_segmented(synthetic_docs(large_docs), 4,
+                            tmp_path / "large.segd")
+    open_small = open_latency(small.path)
+    open_large = open_latency(large.path)
+    open_growth = open_large / open_small
+
+    # -- 2: scatter-gather vs monolithic at 1/2/4/8 segments ---------
+    specs = synthetic_docs(2000)
+    mono = build_monolithic(specs)
+    queries = query_workload()
+    mono_seconds, _, _, mono_rankings = time_queries(mono, queries)
+    per_segments = {}
+    for count in SEGMENT_COUNTS:
+        directory = build_segmented(specs, count,
+                                    tmp_path / f"sg{count}.segd")
+        with SegmentedIndex(directory) as index:
+            seconds, searched, pruned, rankings = time_queries(
+                index, queries)
+        assert rankings == mono_rankings, \
+            f"rankings diverged at {count} segments"
+        per_segments[count] = {
+            "seconds": round(seconds, 4),
+            "ratio_vs_monolithic": round(seconds / mono_seconds, 3),
+            "segments_searched": searched,
+            "segments_pruned": pruned,
+        }
+    ratio_at_4 = per_segments[4]["ratio_vs_monolithic"]
+    pruned_at_4 = per_segments[4]["segments_pruned"]
+
+    # -- 3: parallel segment build ------------------------------------
+    pipeline = SemanticRetrievalPipeline()
+    started = time.perf_counter()
+    serial = pipeline.run_segmented(corpus.crawled,
+                                    tmp_path / "build_serial",
+                                    workers=1, segment_size=1)
+    serial_seconds = time.perf_counter() - started
+    serial.close()
+    started = time.perf_counter()
+    parallel = pipeline.run_segmented(corpus.crawled,
+                                      tmp_path / "build_parallel",
+                                      workers=PARALLEL_WORKERS,
+                                      segment_size=1)
+    parallel_seconds = time.perf_counter() - started
+    parallel.close()
+    build_speedup = serial_seconds / parallel_seconds
+    assert_build = cpu_count >= 2
+
+    payload = {
+        "benchmark": "segment_throughput",
+        "cpu_count": cpu_count,
+        "open_latency": {
+            "docs_small": small_docs,
+            "docs_large": large_docs,
+            "open_small_ms": round(open_small * 1000, 3),
+            "open_large_ms": round(open_large * 1000, 3),
+            "growth_at_10x_docs": round(open_growth, 3),
+        },
+        "scatter_gather": {
+            "docs": len(specs),
+            "queries": len(queries),
+            "reps": QUERY_REPS,
+            "monolithic_seconds": round(mono_seconds, 4),
+            "per_segment_count": {str(count): stats for count, stats
+                                  in per_segments.items()},
+        },
+        "parallel_build": {
+            "matches": len(corpus.crawled),
+            "serial_seconds": round(serial_seconds, 3),
+            "parallel_workers": PARALLEL_WORKERS,
+            "parallel_seconds": round(parallel_seconds, 3),
+            "speedup": round(build_speedup, 3),
+            "speedup_asserted": assert_build,
+            "speedup_assertion_note": (
+                f"asserted >= {REQUIRED_PARALLEL_SPEEDUP}x"
+                if assert_build
+                else f"skipped: single core ({cpu_count})"),
+        },
+    }
+    write_result(results_dir, "BENCH_segments.json",
+                 json.dumps(payload, indent=2) + "\n")
+
+    text = (f"segments: open {open_small * 1000:.2f}ms → "
+            f"{open_large * 1000:.2f}ms at 10x docs "
+            f"(growth {open_growth:.2f}x); scatter-gather at 4 "
+            f"segments {ratio_at_4:.2f}x monolithic, "
+            f"{pruned_at_4} segment(s) pruned; parallel build "
+            f"{build_speedup:.2f}x on {cpu_count} core(s)")
+    write_result(results_dir, "segment_throughput.txt", text)
+    print("\n" + text)
+
+    assert open_growth < MAX_OPEN_GROWTH, (
+        f"open latency grew {open_growth:.2f}x across a 10x corpus — "
+        f"opening is supposed to be O(1) in documents")
+    assert pruned_at_4 > 0, \
+        "score bounds never skipped a segment at 4 segments"
+    assert ratio_at_4 <= MAX_SCATTER_GATHER_RATIO, (
+        f"scatter-gather at 4 segments is {ratio_at_4:.2f}x "
+        f"monolithic (ceiling {MAX_SCATTER_GATHER_RATIO}x)")
+    if assert_build:
+        assert build_speedup >= REQUIRED_PARALLEL_SPEEDUP, (
+            f"expected >= {REQUIRED_PARALLEL_SPEEDUP}x parallel build "
+            f"speedup on {cpu_count} cores, got {build_speedup:.2f}x")

@@ -5,15 +5,20 @@ Subcommands::
     python -m repro corpus              # corpus statistics (§4)
     python -m repro build -d INDEXDIR   # run the pipeline, save indexes
     python -m repro search QUERY        # keyword search (built or saved)
+    python -m repro merge -d INDEXDIR   # tiered merge of segmented indexes
     python -m repro evaluate            # Tables 4, 5 and 6
     python -m repro ontology            # Fig. 2 class hierarchy
 
 ``build`` persists every index under the given directory — JSON by
-default, or the compact binary format with ``--format binary``
-(``repro build`` rejects unknown formats with exit code 2, the
-user-error code below); ``search --index-dir`` then answers queries
-without re-running the pipeline — the offline/online split of §3.5 —
-auto-detecting whichever format is on disk.
+default, the compact binary format with ``--format binary``, or (with
+``--segmented``) immutable mmap'd segment directories built straight
+from the ingestion workers (``repro build`` rejects unknown formats
+with exit code 2, the user-error code below); ``search --index-dir``
+then answers queries without re-running the pipeline — the
+offline/online split of §3.5 — auto-detecting whichever format is on
+disk.  ``merge`` runs the tiered merge policy over segmented indexes
+(documents, doc ids and rankings are unchanged; only segment counts
+drop).
 """
 
 from __future__ import annotations
@@ -35,7 +40,9 @@ from repro.errors import ReproError
 from repro.evaluation import EvaluationHarness, render_table
 from repro.ontology import soccer_ontology
 from repro.search import Highlighter, load_index, save_index
-from repro.search.index import INDEX_FORMATS
+from repro.search.index import (DEFAULT_MERGE_FACTOR, INDEX_FORMATS,
+                                SEGMENT_DIR_SUFFIX, IndexDirectory,
+                                SegmentedIndex)
 from repro.soccer import corpus_statistics, standard_corpus
 
 __all__ = ["main", "build_parser",
@@ -113,6 +120,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk index format: 'json' (legacy, "
                             "debuggable) or 'binary' (compact "
                             "delta+varint .ridx, lazy-loading)")
+    build.add_argument("--segmented", action="store_true",
+                       help="build immutable mmap'd segment "
+                            "directories instead of monolithic files; "
+                            "ingestion workers seal their own "
+                            "segments, so --workers scales (results "
+                            "are bit-identical either way)")
+    build.add_argument("--segment-size", type=int, default=1,
+                       metavar="MATCHES",
+                       help="matches per segment with --segmented "
+                            "(default: 1)")
+
+    merge = subparsers.add_parser(
+        "merge", help="run the tiered merge policy over segmented "
+                      "indexes (fewer segments, same documents and "
+                      "rankings)")
+    merge.add_argument("-d", "--index-dir", type=Path, required=True,
+                       help="directory holding <name>.segd indexes")
+    merge.add_argument("-i", "--index", default=None,
+                       choices=[*IndexName.BUILT],
+                       help="merge only this index (default: every "
+                            "segmented index found)")
+    merge.add_argument("--merge-factor", type=int,
+                       default=DEFAULT_MERGE_FACTOR, metavar="N",
+                       help="adjacent same-tier segments needed "
+                            f"before a merge fires (default: "
+                            f"{DEFAULT_MERGE_FACTOR})")
+    merge.add_argument("--force", action="store_true",
+                       help="collapse each index into one segment "
+                            "regardless of tiers")
+    merge.add_argument("--vacuum", action="store_true",
+                       help="delete superseded segment files and "
+                            "manifests after merging")
 
     search = subparsers.add_parser("search",
                                    help="keyword search over an index")
@@ -206,6 +245,8 @@ def _command_corpus(args) -> int:
 
 def _command_build(args) -> int:
     corpus = _corpus(args.seed)
+    if args.segmented:
+        return _build_segmented(args, corpus)
     print(f"building pipeline over {len(corpus.matches)} matches "
           f"with {args.workers} worker(s)…")
     started = time.perf_counter()
@@ -215,6 +256,64 @@ def _command_build(args) -> int:
     for name, index in result.indexes.items():
         path = save_index(index, args.index_dir, format=args.format)
         print(f"  {name:10} {index.doc_count:5} docs → {path}")
+    return 0
+
+
+def _build_segmented(args, corpus) -> int:
+    print(f"building segmented indexes over {len(corpus.matches)} "
+          f"matches with {args.workers} worker(s), "
+          f"{args.segment_size} match(es) per segment…")
+    started = time.perf_counter()
+    result = SemanticRetrievalPipeline().run_segmented(
+        corpus.crawled, args.index_dir, workers=args.workers,
+        segment_size=args.segment_size,
+        naive_inference=args.naive_inference)
+    elapsed = time.perf_counter() - started
+    print(f"pipeline finished in {elapsed:.1f}s")
+    try:
+        for name, index in result.indexes.items():
+            on_disk = sum(info.size_bytes
+                          for info in index.segment_infos())
+            print(f"  {name:10} {index.doc_count:5} docs in "
+                  f"{index.segment_count} segment(s), "
+                  f"{on_disk:,} bytes, generation {index.generation} "
+                  f"→ {result.directories[name].path}")
+    finally:
+        result.close()
+    return 0
+
+
+def _command_merge(args) -> int:
+    target: Path = args.index_dir
+    if args.index is not None:
+        names = [args.index]
+    else:
+        names = sorted(entry.name[:-len(SEGMENT_DIR_SUFFIX)]
+                       for entry in target.glob(f"*{SEGMENT_DIR_SUFFIX}")
+                       if entry.is_dir())
+    if not names:
+        print(f"error: no segmented indexes in {target}",
+              file=sys.stderr)
+        print("hint: build them with 'repro build --segmented "
+              f"-d {target}'", file=sys.stderr)
+        return EXIT_USER_ERROR
+    for name in names:
+        path = target / f"{name}{SEGMENT_DIR_SUFFIX}"
+        if not path.is_dir():
+            print(f"error: no segmented index {name!r} in {target}",
+                  file=sys.stderr)
+            return EXIT_USER_ERROR
+        directory = IndexDirectory(path, name=name)
+        merges = directory.merge(merge_factor=args.merge_factor,
+                                 force=args.force)
+        manifest = directory.manifest()
+        line = (f"  {name:10} {merges} merge(s) → "
+                f"{len(manifest.segments)} segment(s), "
+                f"generation {manifest.generation}")
+        if args.vacuum:
+            deleted = directory.vacuum()
+            line += f", {len(deleted)} file(s) vacuumed"
+        print(line)
     return 0
 
 
@@ -323,12 +422,20 @@ def _command_stats(args) -> int:
             print(f"error: {error}", file=sys.stderr)
             return EXIT_USER_ERROR
         print(render_stats(collect_stats(index)))
+        if isinstance(index, SegmentedIndex):
+            print()
+            print(f"segments (generation {index.generation}):")
+            for info in index.segment_infos():
+                print(f"  {info.file:24} {info.doc_count:>6} docs "
+                      f"{info.size_bytes:>12,} bytes")
+            index.close()
     return 0
 
 
 _COMMANDS = {
     "corpus": _command_corpus,
     "build": _command_build,
+    "merge": _command_merge,
     "search": _command_search,
     "evaluate": _command_evaluate,
     "ontology": _command_ontology,

@@ -28,7 +28,8 @@ from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.indexer import SemanticIndexer
 from repro.core.names import IndexName
@@ -46,9 +47,12 @@ from repro.reasoning import Reasoner
 from repro.reasoning.reasoner import ReasonStats
 from repro.reasoning.rules import soccer_rules
 from repro.search.index import InvertedIndex
+from repro.search.index.segment import write_segment
+from repro.search.index.segments import SEGMENT_DIR_SUFFIX, SegmentInfo
 from repro.soccer.crawler import CrawledMatch
 
 __all__ = ["MatchTask", "MatchPartial", "MatchProcessor",
+           "SegmentChunkTask", "SegmentChunkResult",
            "ParallelPipelineExecutor"]
 
 
@@ -221,6 +225,97 @@ class MatchProcessor:
 
 
 # ----------------------------------------------------------------------
+# segment chunk builds
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SegmentChunkTask:
+    """A contiguous run of matches a worker turns into one sealed
+    segment per index variant.
+
+    This is the segment-native ingestion unit: instead of pickling
+    per-match mini-indexes back to the parent (whose serial merge was
+    the BENCH_ingest bottleneck), the worker merges its chunk locally
+    and writes the result straight to disk — only file names and
+    counters cross the process boundary.  The parent pre-assigns
+    ``files`` so concurrent workers can never collide, and nothing
+    becomes visible until the parent commits a manifest referencing
+    the files.
+    """
+
+    position: int
+    crawled: Tuple[CrawledMatch, ...]
+    #: index name -> pre-assigned segment file name
+    files: Mapping[str, str]
+    #: root output directory; index ``name`` seals into
+    #: ``<directory>/<name>.segd/<files[name]>``
+    directory: str
+    check_consistency: bool = False
+    naive_inference: bool = False
+
+
+@dataclass
+class SegmentChunkResult:
+    """What one sealed chunk reports back (no index payloads)."""
+
+    position: int
+    match_ids: List[str]
+    #: index name -> the sealed (not yet committed) segment
+    segments: Dict[str, SegmentInfo]
+    inference_seconds: List[float]
+    violations: int
+    #: per-match processing (steps 2-8) wall seconds for this chunk
+    build_seconds: float
+    #: segment encode + fsync wall seconds for this chunk
+    seal_seconds: float
+
+
+def _build_segment_chunk(task: SegmentChunkTask) -> SegmentChunkResult:
+    """Run steps 2–8 for every match of the chunk, merge the
+    per-match mini indexes locally (in match order, preserving the
+    serial pipeline's doc ids), and seal one segment per index."""
+    processor = _WORKER_PROCESSOR
+    if processor is None:
+        processor = MatchProcessor()
+    build_started = time.perf_counter()
+    chunk_indexes = {name: InvertedIndex(name)
+                     for name in IndexName.BUILT}
+    match_ids: List[str] = []
+    inference_seconds: List[float] = []
+    violations = 0
+    for offset, crawled in enumerate(task.crawled):
+        partial = processor.process(MatchTask(
+            position=task.position + offset, crawled=crawled,
+            check_consistency=task.check_consistency,
+            naive_inference=task.naive_inference))
+        match_ids.append(partial.match_id)
+        inference_seconds.append(partial.inference_seconds)
+        violations += partial.violations
+        for name, mini in partial.indexes.items():
+            chunk_indexes[name].merge(mini)
+    build_seconds = time.perf_counter() - build_started
+
+    seal_started = time.perf_counter()
+    segments: Dict[str, SegmentInfo] = {}
+    root = Path(task.directory)
+    for name, file_name in task.files.items():
+        target = root / f"{name}{SEGMENT_DIR_SUFFIX}" / file_name
+        path = write_segment(chunk_indexes[name], target)
+        segments[name] = SegmentInfo(
+            file=file_name,
+            doc_count=chunk_indexes[name].doc_count,
+            size_bytes=path.stat().st_size)
+    return SegmentChunkResult(
+        position=task.position,
+        match_ids=match_ids,
+        segments=segments,
+        inference_seconds=inference_seconds,
+        violations=violations,
+        build_seconds=build_seconds,
+        seal_seconds=time.perf_counter() - seal_started)
+
+
+# ----------------------------------------------------------------------
 # worker-process plumbing
 # ----------------------------------------------------------------------
 
@@ -292,6 +387,38 @@ class ParallelPipelineExecutor:
             outcome = self._execute_pool_resilient(tasks, resilience)
         outcome.partials.sort(key=lambda partial: partial.position)
         return outcome
+
+    def build_segments(self, tasks: Sequence[SegmentChunkTask]
+                       ) -> List[SegmentChunkResult]:
+        """Seal one segment set per chunk, serially or over the pool.
+
+        Workers write segment files directly (nothing index-sized is
+        pickled back); results come back in chunk (doc-id) order.
+        The caller commits the returned :class:`SegmentInfo`s into the
+        target directories' manifests — until then the files are
+        invisible orphans, so a crash here cannot corrupt anything.
+        """
+        tasks = list(tasks)
+        if self.workers == 1 or len(tasks) <= 1:
+            processor = self._processor
+            if processor is None:
+                processor = MatchProcessor(self.ontology)
+                self._processor = processor
+            global _WORKER_PROCESSOR
+            previous = _WORKER_PROCESSOR
+            _WORKER_PROCESSOR = processor
+            try:
+                results = [_build_segment_chunk(task) for task in tasks]
+            finally:
+                _WORKER_PROCESSOR = previous
+        else:
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks)),
+                    initializer=_init_worker,
+                    initargs=(self.ontology,)) as pool:
+                results = list(pool.map(_build_segment_chunk, tasks))
+        results.sort(key=lambda result: result.position)
+        return results
 
     # ------------------------------------------------------------------
     # execution strategies

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 from repro.core.expansion import ExpandedSearchEngine, QueryExpander
 from repro.core.indexer import SemanticIndexer
@@ -35,7 +36,8 @@ from repro.core.names import IndexName
 from repro.core.observability import (Observability, fold_cache_info,
                                       get_observability)
 from repro.core.parallel import (MatchPartial, MatchProcessor, MatchTask,
-                                 ParallelPipelineExecutor)
+                                 ParallelPipelineExecutor,
+                                 SegmentChunkTask)
 from repro.core.profiling import PipelineProfile, StageProfiler
 from repro.core.resilience import (FaultPlan, QuarantineReport,
                                    ResilienceConfig, config_with_degrade)
@@ -48,9 +50,12 @@ from repro.reasoning import Reasoner
 from repro.reasoning.rules import soccer_rules
 from repro.search.analysis.stemmer import PorterStemmer
 from repro.search.index import InvertedIndex
+from repro.search.index.segments import (SEGMENT_DIR_SUFFIX,
+                                         IndexDirectory, SegmentedIndex)
 from repro.soccer.crawler import CrawledMatch
 
-__all__ = ["IndexName", "PipelineResult", "SemanticRetrievalPipeline"]
+__all__ = ["IndexName", "PipelineResult", "SegmentedPipelineResult",
+           "SemanticRetrievalPipeline"]
 
 
 @dataclass
@@ -91,6 +96,65 @@ class PipelineResult:
 
     def index(self, name: str) -> InvertedIndex:
         return self.indexes[name]
+
+
+@dataclass
+class SegmentedPipelineResult:
+    """A segment-native ingestion run: on-disk directories plus open
+    readers, no in-memory master indexes.
+
+    The engines serve straight off the mmap'd segments through
+    :class:`~repro.search.index.segments.SegmentedIndex`, which is
+    bit-identical to the monolithic indexes a
+    :class:`PipelineResult` would hold for the same corpus.
+    """
+
+    directories: Dict[str, IndexDirectory]
+    indexes: Dict[str, SegmentedIndex]
+    engines: Dict[str, KeywordSearchEngine]
+    phrasal_engine: PhrasalSearchEngine
+    expansion_engine: ExpandedSearchEngine
+    match_ids: List[str] = field(default_factory=list)
+    inference_seconds: List[float] = field(default_factory=list)
+    violations: int = 0
+    #: per-chunk steps 2–8 wall seconds (one entry per segment chunk)
+    chunk_build_seconds: List[float] = field(default_factory=list)
+    #: per-chunk segment encode + fsync wall seconds
+    chunk_seal_seconds: List[float] = field(default_factory=list)
+
+    def engine(self, name: str):
+        """Mirror of :meth:`PipelineResult.engine` over segments."""
+        try:
+            return self.engines[name]
+        except KeyError:
+            pass
+        if name == IndexName.PHR_EXP:
+            return self.phrasal_engine
+        if name == IndexName.QUERY_EXP:
+            return self.expansion_engine
+        known = sorted(self.engines) + [IndexName.PHR_EXP,
+                                        IndexName.QUERY_EXP]
+        raise KeyError(f"no engine for index {name!r}; "
+                       f"available: {', '.join(known)}")
+
+    def index(self, name: str) -> SegmentedIndex:
+        return self.indexes[name]
+
+    def refresh(self) -> None:
+        """Re-open every index at its newest committed manifest
+        (e.g. after a merge)."""
+        for index in self.indexes.values():
+            index.refresh()
+
+    def close(self) -> None:
+        for index in self.indexes.values():
+            index.close()
+
+    def __enter__(self) -> "SegmentedPipelineResult":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class SemanticRetrievalPipeline:
@@ -257,6 +321,114 @@ class SemanticRetrievalPipeline:
                 if profile else None),
             quarantine=quarantine,
         )
+
+    def run_segmented(self, crawled_matches: Sequence[CrawledMatch],
+                      output_dir: Union[str, Path],
+                      workers: int = 1,
+                      segment_size: int = 1,
+                      check_consistency: bool = False,
+                      naive_inference: bool = False
+                      ) -> SegmentedPipelineResult:
+        """Steps 2–8, sealed straight into on-disk segments.
+
+        The corpus is split into contiguous chunks of ``segment_size``
+        matches; each chunk becomes one immutable segment per index
+        variant under ``<output_dir>/<name>.segd/``.  With
+        ``workers > 1`` the chunks build concurrently — workers write
+        their own segment files (into names the parent reserved
+        up-front), so nothing index-sized crosses a process boundary;
+        this is what the per-match :meth:`run` path could never do,
+        because its partial indexes had to be pickled back and merged
+        serially.
+
+        Chunks are contiguous and committed in corpus order, so doc
+        ids — and with them every ranking and tie-break — are
+        identical to :meth:`run` over the same matches at any
+        ``workers`` / ``segment_size``.  Appending to an existing
+        directory commits a new manifest generation, which the query
+        result cache keys on.
+        """
+        if segment_size < 1:
+            raise ValueError(
+                f"segment_size must be >= 1, got {segment_size}")
+        obs = get_observability()
+        matches = list(crawled_matches)
+        chunks = [matches[start:start + segment_size]
+                  for start in range(0, len(matches), segment_size)]
+        output_dir = Path(output_dir)
+        directories = {
+            name: IndexDirectory(
+                output_dir / f"{name}{SEGMENT_DIR_SUFFIX}", name=name)
+            for name in IndexName.BUILT}
+
+        # reserve every file name before any worker starts: chunk i
+        # always seals into the i-th reserved name, so concurrent
+        # workers cannot collide and results commit in corpus order.
+        reserved: Dict[str, List[str]] = {}
+        counters: Dict[str, int] = {}
+        for name, directory in directories.items():
+            reserved[name], counters[name] = directory.reserve(
+                len(chunks))
+        tasks = [SegmentChunkTask(
+                     position=start,
+                     crawled=tuple(chunk),
+                     files={name: reserved[name][number]
+                            for name in directories},
+                     directory=str(output_dir),
+                     check_consistency=check_consistency,
+                     naive_inference=naive_inference)
+                 for number, (start, chunk) in enumerate(
+                     zip(range(0, len(matches), segment_size), chunks))]
+
+        executor = ParallelPipelineExecutor(
+            workers=workers, ontology=self.ontology,
+            processor=MatchProcessor(self.ontology,
+                                     populator=self.populator,
+                                     reasoner=self.reasoner,
+                                     indexer=self.indexer))
+        with obs.tracer.span("pipeline.build_segments",
+                             matches=len(matches), chunks=len(chunks),
+                             workers=workers):
+            results = executor.build_segments(tasks)
+            for name, directory in directories.items():
+                directory.add_sealed(
+                    [result.segments[name] for result in results],
+                    counter=counters[name])
+
+        if obs.metrics.enabled:
+            obs.metrics.counter("ingest_matches_total",
+                                "matches ingested to completion"
+                                ).inc(len(matches))
+            obs.metrics.counter("segment_seals_total",
+                                "segments sealed by ingestion"
+                                ).inc(len(results) * len(directories))
+            obs.metrics.counter("segment_seal_seconds_total",
+                                "wall seconds spent encoding segments"
+                                ).inc(sum(result.seal_seconds
+                                          for result in results))
+
+        indexes = {name: SegmentedIndex(directory)
+                   for name, directory in directories.items()}
+        return SegmentedPipelineResult(
+            directories=directories,
+            indexes=indexes,
+            engines={name: KeywordSearchEngine(indexes[name])
+                     for name in IndexName.LADDER},
+            phrasal_engine=PhrasalSearchEngine(
+                indexes[IndexName.PHR_EXP]),
+            expansion_engine=ExpandedSearchEngine(
+                indexes[IndexName.TRAD],
+                QueryExpander(self.ontology,
+                              taxonomy=self.reasoner.taxonomy)),
+            match_ids=[match_id for result in results
+                       for match_id in result.match_ids],
+            inference_seconds=[seconds for result in results
+                               for seconds in result.inference_seconds],
+            violations=sum(result.violations for result in results),
+            chunk_build_seconds=[result.build_seconds
+                                 for result in results],
+            chunk_seal_seconds=[result.seal_seconds
+                                for result in results])
 
     def _rebuild_model(self, name: str,
                        individuals: Sequence) -> Ontology:

@@ -1,10 +1,17 @@
-"""Inverted index: postings, writer, persistence."""
+"""Inverted index: postings, writer, persistence, segments."""
 
 from repro.search.index.directory import (INDEX_FORMATS, index_path,
                                           list_indexes, load_index,
-                                          save_index)
+                                          save_index, segment_dir_path)
 from repro.search.index.inverted import InvertedIndex
 from repro.search.index.postings import Posting, PostingsList
+from repro.search.index.segment import (SegmentReader,
+                                        merge_segment_files,
+                                        write_segment)
+from repro.search.index.segments import (DEFAULT_MERGE_FACTOR,
+                                         SEGMENT_DIR_SUFFIX,
+                                         IndexDirectory, Manifest,
+                                         SegmentedIndex, SegmentInfo)
 from repro.search.index.writer import IndexWriter, PerFieldAnalyzer
 
 __all__ = [
@@ -17,5 +24,15 @@ __all__ = [
     "load_index",
     "list_indexes",
     "index_path",
+    "segment_dir_path",
     "INDEX_FORMATS",
+    "SegmentReader",
+    "write_segment",
+    "merge_segment_files",
+    "IndexDirectory",
+    "SegmentedIndex",
+    "SegmentInfo",
+    "Manifest",
+    "SEGMENT_DIR_SUFFIX",
+    "DEFAULT_MERGE_FACTOR",
 ]

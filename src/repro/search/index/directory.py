@@ -1,12 +1,14 @@
 """Index persistence: save/load an inverted index as JSON or binary.
 
-A directory holds one file per index: ``<name>.json`` (the legacy,
-debuggable format) or ``<name>.ridx`` (the compact binary format, see
-:mod:`repro.search.index.codec`).  :func:`load_index` auto-detects
+A directory holds one entry per index: ``<name>.json`` (the legacy,
+debuggable format), ``<name>.ridx`` (the compact binary format, see
+:mod:`repro.search.index.codec`), or a ``<name>.segd/`` segment
+directory (immutable mmap'd segments plus a manifest, see
+:mod:`repro.search.index.segments`).  :func:`load_index` auto-detects
 which one is present — callers never name a format when reading.
-When both exist the binary file wins (it is the optimized serving
-format; the JSON twin is typically a debugging export of the same
-index).
+Precedence when several exist: segmented > binary > JSON (newest
+serving format wins; the others are typically debugging exports or
+leftovers of the same index).
 """
 
 from __future__ import annotations
@@ -18,9 +20,11 @@ from typing import List, Union
 from repro.errors import IndexError_
 from repro.search.index import codec
 from repro.search.index.inverted import InvertedIndex
+from repro.search.index.segments import (SEGMENT_DIR_SUFFIX,
+                                         IndexDirectory, SegmentedIndex)
 
 __all__ = ["save_index", "load_index", "list_indexes", "index_path",
-           "INDEX_FORMATS"]
+           "segment_dir_path", "INDEX_FORMATS"]
 
 PathLike = Union[str, Path]
 
@@ -53,10 +57,22 @@ def save_index(index: InvertedIndex, directory: PathLike,
     return path
 
 
-def load_index(directory: PathLike, name: str) -> InvertedIndex:
+def segment_dir_path(directory: PathLike, name: str) -> Path:
+    """The segment directory an index of ``name`` would occupy."""
+    return Path(directory) / f"{name}{SEGMENT_DIR_SUFFIX}"
+
+
+def load_index(directory: PathLike, name: str):
     """Load the index called ``name`` from ``directory``, whatever
     format it was saved in.  Binary indexes load lazily: postings
-    decode per field on first access."""
+    decode per field on first access.  A committed ``<name>.segd``
+    segment directory opens as a :class:`SegmentedIndex` — same read
+    API, mmap-backed, O(1) in corpus size."""
+    segment_dir = segment_dir_path(directory, name)
+    if segment_dir.is_dir():
+        segmented = IndexDirectory(segment_dir, name=name)
+        if segmented.read_manifest() is not None:
+            return SegmentedIndex(segmented)
     binary_path = index_path(directory, name, "binary")
     if binary_path.exists():
         return codec.read_index(binary_path)
@@ -68,11 +84,14 @@ def load_index(directory: PathLike, name: str) -> InvertedIndex:
 
 
 def list_indexes(directory: PathLike) -> List[str]:
-    """Names of all indexes stored in ``directory`` (either format)."""
+    """Names of all indexes stored in ``directory`` (any format)."""
     target = Path(directory)
     if not target.exists():
         return []
     names = {path.stem for path in target.glob("*.json")}
     names |= {path.stem
               for path in target.glob(f"*{codec.BINARY_SUFFIX}")}
+    names |= {entry.name[:-len(SEGMENT_DIR_SUFFIX)]
+              for entry in target.glob(f"*{SEGMENT_DIR_SUFFIX}")
+              if entry.is_dir()}
     return sorted(names)

@@ -1,0 +1,771 @@
+"""Immutable on-disk index segments (``.ridx``, format version 2).
+
+A *segment* is a write-once snapshot of an :class:`InvertedIndex`,
+laid out so that opening one touches only a fixed-size header and
+everything else — term dictionaries, postings, per-document lengths,
+boosts and stored fields — is memory-mapped and decoded lazily on
+first use:
+
+* **open is O(header)** — the JSON header grows with the number of
+  *fields*, not documents or terms, so opening a 10x larger segment
+  costs the same;
+* **per-term lazy postings** — the per-field term dictionary maps
+  each term to the byte range of its postings, so a query decodes
+  exactly the terms it touches (PR 4's lazy *per-field* decode taken
+  one level further);
+* **skip blocks** — postings are encoded in blocks of
+  :data:`SKIP_BLOCK` documents with a per-block (first doc id, byte
+  offset) skip pointer, so a point lookup (``explain``, conjunctive
+  probing) decodes one block instead of the whole list;
+* **page-cache friendly** — reads go through ``mmap``, so repeated
+  opens of the same segment share the OS page cache and cold data is
+  never copied into the process until touched.
+
+File layout (little-endian)::
+
+    magic   "RIDX"                      4 bytes
+    version u8                          2 for segments
+    hlen    u32                         header length in bytes
+    header  JSON, utf-8                 hlen bytes
+    blocks  term dicts / postings / lengths / boosts / stored
+
+The header carries ``name``, ``doc_count``, ``field_names`` and a
+per-field table of ``[offset, length]`` block locators (offsets
+relative to the end of the header) plus the per-field summary
+statistics global scoring needs without decoding anything:
+``sum_lengths``, ``docs_with_field`` and ``max_boost``.
+
+Block encodings (all integers LEB128 varints)::
+
+    tdict    := term_count, term*
+    term     := len(utf8), utf8, doc_freq, total_freq, max_freq,
+                postings_off, postings_len,
+                block_count, (first_doc_delta, off_delta)*
+    postings := block*                 # SKIP_BLOCK docs per block
+    block    := doc*                   # first doc absolute, rest
+    doc      := doc_delta, freq, zigzag(position_delta)*
+    lengths  := count, (doc_delta, length)*
+    boosts   := count, (doc_delta, f64)*
+    stored_index := (doc_count + 1) * u64    # blob offsets
+    stored   := per-doc JSON blobs, utf-8
+
+Every encoder iterates its inputs in a canonical order (fields and
+terms sorted, documents ascending), so sealing an index is fully
+deterministic: merging segments A+B byte-for-byte equals sealing an
+index built over the union corpus — the property the merge tests pin.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import mmap
+import os
+import struct
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import IndexError_
+from repro.search.index.codec import (MAGIC, _read_uvarint, _unzigzag,
+                                      _write_uvarint, _zigzag)
+from repro.search.index.inverted import InvertedIndex
+from repro.search.index.postings import Posting
+
+__all__ = ["SEGMENT_VERSION", "SEGMENT_SUFFIX", "SKIP_BLOCK",
+           "write_segment", "merge_segment_files", "SegmentReader",
+           "LazyPostings", "TermMeta"]
+
+SEGMENT_VERSION = 2
+SEGMENT_SUFFIX = ".ridx"
+
+#: documents per postings block; each block restarts delta encoding
+#: and gets one skip pointer, so point lookups decode ≤ this many docs
+SKIP_BLOCK = 64
+
+PathLike = Union[str, Path]
+
+
+def _segment_metrics():
+    # deferred for the same reason as repro.search.searcher: the
+    # observability module sits above this package in import order.
+    from repro.core.observability import get_observability
+    return get_observability().metrics
+
+
+# ----------------------------------------------------------------------
+# encoding
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TermMeta:
+    """Term-dictionary entry: everything known about one term's
+    postings without decoding them."""
+
+    doc_frequency: int
+    total_frequency: int
+    max_frequency: int
+    offset: int            # postings byte range, relative to the
+    length: int            # field's postings block
+    skip_docs: Tuple[int, ...]      # first doc id per block
+    skip_offsets: Tuple[int, ...]   # block byte offset per block
+
+
+def _encode_term_postings(docs: Sequence[Tuple[int, Sequence[int]]]
+                          ) -> Tuple[bytes, List[int], List[int],
+                                     int, int]:
+    """Encode one term's ``(doc_id, positions)`` sequence.
+
+    Returns ``(payload, skip_docs, skip_offsets, total_freq,
+    max_freq)``.  Documents must arrive ascending (the index and the
+    merge both guarantee it).
+    """
+    out = io.BytesIO()
+    skip_docs: List[int] = []
+    skip_offsets: List[int] = []
+    total_frequency = 0
+    max_frequency = 0
+    previous_doc = 0
+    for position_in_list, (doc_id, positions) in enumerate(docs):
+        if position_in_list % SKIP_BLOCK == 0:
+            skip_docs.append(doc_id)
+            skip_offsets.append(out.tell())
+            previous_doc = 0          # block restart: absolute doc id
+        _write_uvarint(out, doc_id - previous_doc)
+        previous_doc = doc_id
+        _write_uvarint(out, len(positions))
+        previous_position = 0
+        for position in positions:
+            _write_uvarint(out, _zigzag(position - previous_position))
+            previous_position = position
+        total_frequency += len(positions)
+        if len(positions) > max_frequency:
+            max_frequency = len(positions)
+    return (out.getvalue(), skip_docs, skip_offsets,
+            total_frequency, max_frequency)
+
+
+def _encode_field(terms: Iterable[Tuple[str,
+                                        Sequence[Tuple[int,
+                                                       Sequence[int]]]]]
+                  ) -> Tuple[bytes, bytes, int]:
+    """Encode one field's sorted ``(term, docs)`` stream into a term
+    dictionary block and a postings block.  Returns
+    ``(tdict, postings, term_count)``."""
+    tdict = io.BytesIO()
+    postings = io.BytesIO()
+    term_count = 0
+    for term, docs in terms:
+        payload, skip_docs, skip_offsets, total_freq, max_freq = \
+            _encode_term_postings(docs)
+        raw = term.encode("utf-8")
+        _write_uvarint(tdict, len(raw))
+        tdict.write(raw)
+        _write_uvarint(tdict, len(docs))
+        _write_uvarint(tdict, total_freq)
+        _write_uvarint(tdict, max_freq)
+        _write_uvarint(tdict, postings.tell())
+        _write_uvarint(tdict, len(payload))
+        _write_uvarint(tdict, len(skip_docs))
+        previous_doc = 0
+        previous_offset = 0
+        for doc_id, offset in zip(skip_docs, skip_offsets):
+            _write_uvarint(tdict, doc_id - previous_doc)
+            _write_uvarint(tdict, offset - previous_offset)
+            previous_doc, previous_offset = doc_id, offset
+        postings.write(payload)
+        term_count += 1
+    body = tdict.getvalue()
+    head = io.BytesIO()
+    _write_uvarint(head, term_count)
+    return head.getvalue() + body, postings.getvalue(), term_count
+
+
+def _encode_lengths(lengths: Dict[int, int]) -> bytes:
+    out = io.BytesIO()
+    _write_uvarint(out, len(lengths))
+    previous_doc = 0
+    for doc_id in sorted(lengths):
+        _write_uvarint(out, doc_id - previous_doc)
+        previous_doc = doc_id
+        _write_uvarint(out, lengths[doc_id])
+    return out.getvalue()
+
+
+def _encode_boosts(boosts: Dict[int, float]) -> bytes:
+    out = io.BytesIO()
+    _write_uvarint(out, len(boosts))
+    previous_doc = 0
+    for doc_id in sorted(boosts):
+        _write_uvarint(out, doc_id - previous_doc)
+        previous_doc = doc_id
+        out.write(struct.pack("<d", boosts[doc_id]))
+    return out.getvalue()
+
+
+def _encode_stored(blobs: Iterable[bytes], doc_count: int
+                   ) -> Tuple[bytes, bytes]:
+    """Fixed-width offset table + concatenated JSON blobs, so stored
+    fields of any document resolve in O(1)."""
+    offsets = [0]
+    body = io.BytesIO()
+    for blob in blobs:
+        body.write(blob)
+        offsets.append(body.tell())
+    if len(offsets) != doc_count + 1:
+        raise IndexError_(
+            f"stored blob count {len(offsets) - 1} != doc count "
+            f"{doc_count}")
+    index = struct.pack(f"<{len(offsets)}Q", *offsets)
+    return index, body.getvalue()
+
+
+class _BlockAssembler:
+    """Accumulates named blocks and hands out header locators."""
+
+    def __init__(self) -> None:
+        self.blocks: List[bytes] = []
+        self.offset = 0
+
+    def add(self, block: bytes) -> List[int]:
+        locator = [self.offset, len(block)]
+        self.blocks.append(block)
+        self.offset += len(block)
+        return locator
+
+
+def _write_file(path: Path, header: dict,
+                assembler: _BlockAssembler) -> Path:
+    """Write header + blocks atomically (temp file + rename) so a
+    crash mid-seal never leaves a half-written ``.ridx`` under the
+    final name."""
+    raw_header = json.dumps(header, ensure_ascii=False).encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<B", SEGMENT_VERSION))
+        handle.write(struct.pack("<I", len(raw_header)))
+        handle.write(raw_header)
+        for block in assembler.blocks:
+            handle.write(block)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+# ----------------------------------------------------------------------
+# sealing an in-memory index
+# ----------------------------------------------------------------------
+
+def write_segment(index: InvertedIndex, path: PathLike) -> Path:
+    """Seal ``index`` into an immutable segment file at ``path``.
+
+    The index is not modified; the output is deterministic, so two
+    sealings of equal indexes produce byte-identical files.
+    """
+    index._ensure_all_fields()
+    path = Path(path)
+    assembler = _BlockAssembler()
+    field_table = []
+    field_names = sorted(index._field_names
+                         | set(index._terms) | set(index._lengths))
+    indexed = sorted(set(index._terms) | set(index._lengths)
+                     | set(index._boosts))
+    for field_name in indexed:
+        terms = index._terms.get(field_name, {})
+        stream = ((term, [(posting.doc_id, posting.positions)
+                          for posting in terms[term]])
+                  for term in sorted(terms))
+        tdict, postings, term_count = _encode_field(stream)
+        lengths = index._lengths.get(field_name, {})
+        boosts = index._boosts.get(field_name, {})
+        field_table.append({
+            "name": field_name,
+            "terms": term_count,
+            "tdict": assembler.add(tdict),
+            "postings": assembler.add(postings),
+            "lengths": assembler.add(_encode_lengths(lengths)),
+            "boosts": assembler.add(_encode_boosts(boosts)),
+            "sum_lengths": sum(lengths.values()),
+            "docs_with_field": len(lengths),
+            "max_boost": index.max_field_boost(field_name),
+        })
+    blobs = (json.dumps(doc, ensure_ascii=False).encode("utf-8")
+             for doc in index._stored)
+    stored_index, stored = _encode_stored(blobs, index.doc_count)
+    header = {
+        "name": index.name,
+        "doc_count": index.doc_count,
+        "field_names": field_names,
+        "fields": field_table,
+        "stored_index": assembler.add(stored_index),
+        "stored": assembler.add(stored),
+    }
+    return _write_file(path, header, assembler)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+
+class LazyPostings:
+    """Postings of one term, decoded per skip block on demand.
+
+    Duck-compatible with
+    :class:`~repro.search.index.postings.PostingsList` where scoring
+    needs it.  Two statistics intentionally differ in scope:
+
+    * :attr:`doc_frequency` is the **global** document frequency the
+      caller supplied (scoring must use corpus-wide IDF to stay
+      bit-identical to the monolithic index), while
+    * :attr:`max_frequency`, :attr:`total_frequency` and ``len()``
+      are **segment-local** (the local max-impact bound is tighter,
+      and still sound, for pruning this segment).
+
+    ``base`` shifts decoded doc ids into the global doc-id space.
+    """
+
+    __slots__ = ("_data", "_meta", "_base", "_doc_frequency",
+                 "_blocks", "_all", "_by_doc")
+
+    def __init__(self, data, meta: TermMeta, base: int = 0,
+                 doc_frequency: Optional[int] = None) -> None:
+        self._data = data          # the field's postings block (mmap)
+        self._meta = meta
+        self._base = base
+        self._doc_frequency = (meta.doc_frequency
+                               if doc_frequency is None
+                               else doc_frequency)
+        self._blocks: List[Optional[List[Posting]]] = \
+            [None] * len(meta.skip_docs)
+        self._all: Optional[List[Posting]] = None
+        self._by_doc: Optional[Dict[int, Posting]] = None
+
+    # -- statistics ----------------------------------------------------
+
+    @property
+    def doc_frequency(self) -> int:
+        return self._doc_frequency
+
+    @property
+    def total_frequency(self) -> int:
+        return self._meta.total_frequency
+
+    @property
+    def max_frequency(self) -> int:
+        return self._meta.max_frequency
+
+    def __len__(self) -> int:
+        return self._meta.doc_frequency
+
+    # -- decoding ------------------------------------------------------
+
+    def _decode_block(self, block: int) -> List[Posting]:
+        decoded = self._blocks[block]
+        if decoded is not None:
+            return decoded
+        meta = self._meta
+        pos = meta.offset + meta.skip_offsets[block]
+        end = (meta.offset + meta.skip_offsets[block + 1]
+               if block + 1 < len(meta.skip_offsets)
+               else meta.offset + meta.length)
+        count = min(SKIP_BLOCK,
+                    meta.doc_frequency - block * SKIP_BLOCK)
+        data = self._data
+        decoded = []
+        doc_id = 0
+        for _ in range(count):
+            delta, pos = _read_uvarint(data, pos)
+            doc_id += delta
+            frequency, pos = _read_uvarint(data, pos)
+            position = 0
+            positions = []
+            for _ in range(frequency):
+                position_delta, pos = _read_uvarint(data, pos)
+                position += _unzigzag(position_delta)
+                positions.append(position)
+            decoded.append(Posting(doc_id + self._base, positions))
+        if pos > end:
+            raise IndexError_("postings block overran its byte range "
+                              "(corrupt segment)")
+        self._blocks[block] = decoded
+        return decoded
+
+    def _materialize(self) -> List[Posting]:
+        if self._all is None:
+            postings: List[Posting] = []
+            for block in range(len(self._blocks)):
+                postings.extend(self._decode_block(block))
+            self._all = postings
+            self._by_doc = {posting.doc_id: posting
+                            for posting in postings}
+        return self._all
+
+    # -- PostingsList API ---------------------------------------------
+
+    def get(self, doc_id: int) -> Optional[Posting]:
+        if self._by_doc is not None:
+            return self._by_doc.get(doc_id)
+        local = doc_id - self._base
+        skip_docs = self._meta.skip_docs
+        if not skip_docs or local < skip_docs[0]:
+            return None
+        block = bisect_right(skip_docs, local) - 1
+        for posting in self._decode_block(block):
+            if posting.doc_id == doc_id:
+                return posting
+        return None
+
+    def doc_ids(self) -> List[int]:
+        return [posting.doc_id for posting in self._materialize()]
+
+    def __iter__(self):
+        return iter(self._materialize())
+
+
+class SegmentReader:
+    """Memory-mapped random access into one sealed segment.
+
+    Opening parses the magic, version and JSON header only — O(fields)
+    work however many documents the segment holds.  Term dictionaries,
+    postings, lengths, boosts and stored documents decode lazily on
+    first touch and stay cached on the reader.
+    """
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self._file = open(self.path, "rb")
+        try:
+            self._mmap = mmap.mmap(self._file.fileno(), 0,
+                                   access=mmap.ACCESS_READ)
+        except ValueError:           # pragma: no cover - 0-byte file
+            self._file.close()
+            raise IndexError_(f"{self.path} is empty, not a segment")
+        data = self._mmap
+        if data[:4] != MAGIC:
+            self.close()
+            raise IndexError_(f"{self.path} is not a segment "
+                              f"(bad magic {bytes(data[:4])!r})")
+        version = data[4]
+        if version != SEGMENT_VERSION:
+            self.close()
+            raise IndexError_(
+                f"unsupported segment version {version} in "
+                f"{self.path} (supported: {SEGMENT_VERSION})")
+        (header_length,) = struct.unpack_from("<I", data, 5)
+        self._blocks_start = 9 + header_length
+        header = json.loads(data[9:self._blocks_start].decode("utf-8"))
+        self.name: str = header["name"]
+        self.doc_count: int = header["doc_count"]
+        self._field_names: List[str] = header["field_names"]
+        self._fields: Dict[str, dict] = {entry["name"]: entry
+                                         for entry in header["fields"]}
+        self._stored_index = header["stored_index"]
+        self._stored = header["stored"]
+        # lazy caches
+        self._term_metas: Dict[str, Dict[str, TermMeta]] = {}
+        self._lengths: Dict[str, Dict[int, int]] = {}
+        self._boosts: Dict[str, Dict[int, float]] = {}
+        metrics = _segment_metrics()
+        if metrics.enabled:
+            metrics.counter("segment_opens_total",
+                            "segment files opened").inc()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._mmap.close()
+        except Exception:            # pragma: no cover - already closed
+            pass
+        self._file.close()
+
+    def __enter__(self) -> "SegmentReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._mmap)
+
+    # -- header-level reads -------------------------------------------
+
+    def field_names(self) -> List[str]:
+        return list(self._field_names)
+
+    def indexed_fields(self) -> List[str]:
+        return sorted(self._fields)
+
+    def field_entry(self, field_name: str) -> Optional[dict]:
+        return self._fields.get(field_name)
+
+    def sum_lengths(self, field_name: str) -> int:
+        entry = self._fields.get(field_name)
+        return entry["sum_lengths"] if entry else 0
+
+    def docs_with_field(self, field_name: str) -> int:
+        entry = self._fields.get(field_name)
+        return entry["docs_with_field"] if entry else 0
+
+    def max_field_boost(self, field_name: str) -> float:
+        entry = self._fields.get(field_name)
+        return entry["max_boost"] if entry else 1.0
+
+    # -- term dictionary ----------------------------------------------
+
+    def term_metas(self, field_name: str) -> Dict[str, TermMeta]:
+        """The field's full term dictionary (term → :class:`TermMeta`),
+        decoded once and cached.  Iteration order is sorted — the
+        on-disk order."""
+        metas = self._term_metas.get(field_name)
+        if metas is not None:
+            return metas
+        metas = {}
+        entry = self._fields.get(field_name)
+        if entry is not None:
+            data = self._mmap
+            pos = self._blocks_start + entry["tdict"][0]
+            term_count, pos = _read_uvarint(data, pos)
+            for _ in range(term_count):
+                length, pos = _read_uvarint(data, pos)
+                term = bytes(data[pos:pos + length]).decode("utf-8")
+                pos += length
+                doc_freq, pos = _read_uvarint(data, pos)
+                total_freq, pos = _read_uvarint(data, pos)
+                max_freq, pos = _read_uvarint(data, pos)
+                offset, pos = _read_uvarint(data, pos)
+                payload_len, pos = _read_uvarint(data, pos)
+                block_count, pos = _read_uvarint(data, pos)
+                skip_docs: List[int] = []
+                skip_offsets: List[int] = []
+                doc_id = 0
+                block_offset = 0
+                for _ in range(block_count):
+                    doc_delta, pos = _read_uvarint(data, pos)
+                    off_delta, pos = _read_uvarint(data, pos)
+                    doc_id += doc_delta
+                    block_offset += off_delta
+                    skip_docs.append(doc_id)
+                    skip_offsets.append(block_offset)
+                metas[term] = TermMeta(
+                    doc_frequency=doc_freq,
+                    total_frequency=total_freq,
+                    max_frequency=max_freq,
+                    offset=(self._blocks_start + entry["postings"][0]
+                            + offset),
+                    length=payload_len,
+                    skip_docs=tuple(skip_docs),
+                    skip_offsets=tuple(skip_offsets))
+        self._term_metas[field_name] = metas
+        return metas
+
+    def term_meta(self, field_name: str, term: str) -> Optional[TermMeta]:
+        return self.term_metas(field_name).get(term)
+
+    def postings(self, field_name: str, term: str, base: int = 0,
+                 doc_frequency: Optional[int] = None
+                 ) -> Optional[LazyPostings]:
+        """Lazy postings for ``(field, term)``, or ``None`` when the
+        term is absent.  ``base`` rebases doc ids (scatter-gather);
+        ``doc_frequency`` overrides the reported df with the global
+        one (scoring parity)."""
+        meta = self.term_meta(field_name, term)
+        if meta is None:
+            return None
+        return LazyPostings(self._mmap, meta, base=base,
+                            doc_frequency=doc_frequency)
+
+    # -- per-document attributes --------------------------------------
+
+    def lengths(self, field_name: str) -> Dict[int, int]:
+        lengths = self._lengths.get(field_name)
+        if lengths is not None:
+            return lengths
+        lengths = {}
+        entry = self._fields.get(field_name)
+        if entry is not None:
+            data = self._mmap
+            pos = self._blocks_start + entry["lengths"][0]
+            count, pos = _read_uvarint(data, pos)
+            doc_id = 0
+            for _ in range(count):
+                delta, pos = _read_uvarint(data, pos)
+                doc_id += delta
+                value, pos = _read_uvarint(data, pos)
+                lengths[doc_id] = value
+        self._lengths[field_name] = lengths
+        return lengths
+
+    def boosts(self, field_name: str) -> Dict[int, float]:
+        boosts = self._boosts.get(field_name)
+        if boosts is not None:
+            return boosts
+        boosts = {}
+        entry = self._fields.get(field_name)
+        if entry is not None:
+            data = self._mmap
+            pos = self._blocks_start + entry["boosts"][0]
+            count, pos = _read_uvarint(data, pos)
+            doc_id = 0
+            for _ in range(count):
+                delta, pos = _read_uvarint(data, pos)
+                doc_id += delta
+                (value,) = struct.unpack_from("<d", data, pos)
+                pos += 8
+                boosts[doc_id] = value
+        self._boosts[field_name] = boosts
+        return boosts
+
+    def field_length(self, field_name: str, doc_id: int) -> int:
+        return self.lengths(field_name).get(doc_id, 0)
+
+    def field_boost(self, field_name: str, doc_id: int) -> float:
+        return self.boosts(field_name).get(doc_id, 1.0)
+
+    # -- stored fields ------------------------------------------------
+
+    def stored_fields(self, doc_id: int) -> Dict[str, List[str]]:
+        """The raw stored-field dict of one document (O(1) via the
+        fixed-width offset table)."""
+        if not 0 <= doc_id < self.doc_count:
+            raise IndexError_(f"unknown doc_id {doc_id}")
+        table = self._blocks_start + self._stored_index[0]
+        start, end = struct.unpack_from("<2Q", self._mmap,
+                                        table + 8 * doc_id)
+        base = self._blocks_start + self._stored[0]
+        blob = bytes(self._mmap[base + start:base + end])
+        return json.loads(blob.decode("utf-8"))
+
+    # -- materialization (tests, stats, JSON export) ------------------
+
+    def to_inverted(self) -> InvertedIndex:
+        """Fully decode into a mutable :class:`InvertedIndex` (a
+        debugging/parity aid — serving never needs it)."""
+        index = InvertedIndex(name=self.name)
+        index._stored = [self.stored_fields(doc_id)
+                         for doc_id in range(self.doc_count)]
+        index._field_names = set(self._field_names)
+        for field_name in self.indexed_fields():
+            terms = {}
+            for term, meta in self.term_metas(field_name).items():
+                postings = LazyPostings(self._mmap, meta)
+                target = terms.setdefault(term, None)
+                del target
+                from repro.search.index.postings import PostingsList
+                plist = PostingsList()
+                for posting in postings:
+                    plist._append(Posting(posting.doc_id,
+                                          list(posting.positions)))
+                terms[term] = plist
+            index._terms[field_name] = terms
+            index._lengths[field_name] = dict(self.lengths(field_name))
+            boosts = self.boosts(field_name)
+            if boosts:
+                index._boosts[field_name] = dict(boosts)
+                for boost in boosts.values():
+                    index._note_boost(field_name, boost)
+        index._generation = 0
+        return index
+
+    def __repr__(self) -> str:     # pragma: no cover - debugging aid
+        return (f"<SegmentReader {self.path.name}: {self.doc_count} "
+                f"docs, {len(self._fields)} fields>")
+
+
+# ----------------------------------------------------------------------
+# streaming merge
+# ----------------------------------------------------------------------
+
+def merge_segment_files(readers: Sequence[SegmentReader],
+                        path: PathLike) -> Path:
+    """Merge ``readers`` (in order) into one segment at ``path``.
+
+    This is a *streaming postings merge*: per term, only that term's
+    postings from each input are decoded, re-based and re-encoded —
+    memory stays proportional to a single term, never the whole
+    index.  Stored-field blobs are copied byte-for-byte.  Because the
+    encoders are deterministic, the output is byte-identical to
+    sealing an index built over the concatenated corpus directly.
+    """
+    if not readers:
+        raise IndexError_("cannot merge zero segments")
+    path = Path(path)
+    bases = []
+    base = 0
+    for reader in readers:
+        bases.append(base)
+        base += reader.doc_count
+    doc_count = base
+
+    assembler = _BlockAssembler()
+    field_names = sorted({name for reader in readers
+                          for name in reader.field_names()})
+    indexed = sorted({name for reader in readers
+                      for name in reader.indexed_fields()})
+    field_table = []
+    for field_name in indexed:
+        per_reader = [(reader, reader_base,
+                       reader.term_metas(field_name))
+                      for reader, reader_base in zip(readers, bases)]
+
+        def merged_terms():
+            all_terms = sorted({term for _, _, metas in per_reader
+                                for term in metas})
+            for term in all_terms:
+                docs: List[Tuple[int, Sequence[int]]] = []
+                for reader, reader_base, metas in per_reader:
+                    meta = metas.get(term)
+                    if meta is None:
+                        continue
+                    postings = LazyPostings(reader._mmap, meta,
+                                            base=reader_base)
+                    docs.extend((posting.doc_id, posting.positions)
+                                for posting in postings)
+                yield term, docs
+
+        tdict, postings, term_count = _encode_field(merged_terms())
+        lengths: Dict[int, int] = {}
+        boosts: Dict[int, float] = {}
+        for reader, reader_base in zip(readers, bases):
+            for doc_id, value in reader.lengths(field_name).items():
+                lengths[doc_id + reader_base] = value
+            for doc_id, value in reader.boosts(field_name).items():
+                boosts[doc_id + reader_base] = value
+        field_table.append({
+            "name": field_name,
+            "terms": term_count,
+            "tdict": assembler.add(tdict),
+            "postings": assembler.add(postings),
+            "lengths": assembler.add(_encode_lengths(lengths)),
+            "boosts": assembler.add(_encode_boosts(boosts)),
+            "sum_lengths": sum(reader.sum_lengths(field_name)
+                               for reader in readers),
+            "docs_with_field": sum(reader.docs_with_field(field_name)
+                                   for reader in readers),
+            "max_boost": max(reader.max_field_boost(field_name)
+                             for reader in readers),
+        })
+
+    def stored_blobs():
+        for reader in readers:
+            table = reader._blocks_start + reader._stored_index[0]
+            body = reader._blocks_start + reader._stored[0]
+            for doc_id in range(reader.doc_count):
+                start, end = struct.unpack_from(
+                    "<2Q", reader._mmap, table + 8 * doc_id)
+                yield bytes(reader._mmap[body + start:body + end])
+
+    stored_index, stored = _encode_stored(stored_blobs(), doc_count)
+    header = {
+        "name": readers[0].name,
+        "doc_count": doc_count,
+        "field_names": field_names,
+        "fields": field_table,
+        "stored_index": assembler.add(stored_index),
+        "stored": assembler.add(stored),
+    }
+    return _write_file(path, header, assembler)

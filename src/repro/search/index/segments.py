@@ -1,0 +1,704 @@
+"""Segmented index: manifests, tiered merges, scatter-gather serving.
+
+This is the Lucene-style lifecycle around the immutable segment files
+of :mod:`repro.search.index.segment`:
+
+* :class:`IndexDirectory` owns an on-disk directory of sealed
+  ``seg_*.ridx`` files plus ``segments_<N>`` manifests.  The manifest
+  is the **only** mutable state: committing one is a single atomic
+  ``os.replace``, so readers always see either the old complete
+  segment set or the new complete one — a crash between sealing a
+  segment and committing the manifest merely leaves an ignored orphan
+  file.  Generation ``N`` increases monotonically; the PR 4 query
+  cache keys on it, so a merge (same documents, different segments)
+  invalidates stale entries for free.
+* :class:`SegmentedIndex` serves the read API of
+  :class:`~repro.search.index.inverted.InvertedIndex` over all live
+  segments.  Per-document state routes to the owning segment by doc-id
+  range; statistics that enter scoring (document frequency, average
+  field length, doc count) are *global* — summed over segments — so
+  every score is bit-identical to a monolithic index over the same
+  corpus.  The pruned top-k driver consumes
+  :meth:`SegmentedIndex.segment_views` to scan segment-by-segment and
+  skip whole segments whose score bound cannot reach the heap.
+
+Documents keep their global ids: the manifest order assigns each
+segment a contiguous doc-id range (``base .. base + doc_count``), and
+merges only ever coalesce **adjacent** segments, so global ids — and
+with them rankings and tie-breaks — never change under any merge.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from bisect import bisect_right
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (Dict, Iterator, List, Optional, Sequence, Tuple,
+                    Union)
+
+from repro.errors import IndexError_
+from repro.search.document import Document, Field
+from repro.search.index.inverted import InvertedIndex
+from repro.search.index.postings import Posting
+from repro.search.index.segment import (SEGMENT_SUFFIX, LazyPostings,
+                                        SegmentReader,
+                                        merge_segment_files,
+                                        write_segment)
+
+__all__ = ["SegmentInfo", "Manifest", "IndexDirectory",
+           "SegmentedIndex", "SEGMENTS_PREFIX", "SEGMENT_DIR_SUFFIX",
+           "DEFAULT_MERGE_FACTOR"]
+
+SEGMENTS_PREFIX = "segments_"
+#: directory suffix that marks a segmented index on disk
+SEGMENT_DIR_SUFFIX = ".segd"
+#: segments per size tier before a merge triggers
+DEFAULT_MERGE_FACTOR = 8
+#: size ratio separating merge tiers (decimal orders of magnitude)
+TIER_RATIO = 10.0
+
+PathLike = Union[str, Path]
+
+
+def _metrics():
+    from repro.core.observability import get_observability
+    return get_observability().metrics
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SegmentInfo:
+    """One live segment as recorded in the manifest."""
+
+    file: str
+    doc_count: int
+    size_bytes: int
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """A committed segment set.  ``generation`` is the cache/commit
+    counter; ``counter`` is the next free segment file number (never
+    reused, so files from abandoned generations cannot collide)."""
+
+    generation: int
+    name: str
+    counter: int
+    segments: Tuple[SegmentInfo, ...]
+
+    @property
+    def doc_count(self) -> int:
+        return sum(info.doc_count for info in self.segments)
+
+    def to_json(self) -> dict:
+        return {
+            "format": "repro.segments/v1",
+            "generation": self.generation,
+            "name": self.name,
+            "counter": self.counter,
+            "segments": [{"file": info.file,
+                          "doc_count": info.doc_count,
+                          "size_bytes": info.size_bytes}
+                         for info in self.segments],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Manifest":
+        if data.get("format") != "repro.segments/v1":
+            raise IndexError_(
+                f"not a segments manifest: {data.get('format')!r}")
+        return cls(
+            generation=data["generation"],
+            name=data["name"],
+            counter=data["counter"],
+            segments=tuple(SegmentInfo(entry["file"],
+                                       entry["doc_count"],
+                                       entry["size_bytes"])
+                           for entry in data["segments"]))
+
+
+class IndexDirectory:
+    """An on-disk directory of immutable segments plus manifests.
+
+    All mutation goes through :meth:`commit`, which writes
+    ``segments_<generation+1>`` to a temp file and atomically renames
+    it into place.  Opening always resolves the highest *parseable*
+    manifest, so torn writes and orphaned segment files from crashes
+    are invisible to readers until :meth:`vacuum` sweeps them.
+    """
+
+    def __init__(self, path: PathLike, name: str = "index") -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.name = name
+        existing = self.read_manifest()
+        if existing is not None:
+            self.name = existing.name
+
+    # -- manifest IO ---------------------------------------------------
+
+    def _manifest_path(self, generation: int) -> Path:
+        return self.path / f"{SEGMENTS_PREFIX}{generation}"
+
+    def _manifest_generations(self) -> List[int]:
+        generations = []
+        for entry in self.path.iterdir():
+            name = entry.name
+            if not name.startswith(SEGMENTS_PREFIX):
+                continue
+            suffix = name[len(SEGMENTS_PREFIX):]
+            if suffix.isdigit():
+                generations.append(int(suffix))
+        return sorted(generations)
+
+    def read_manifest(self) -> Optional[Manifest]:
+        """The newest committed manifest, or ``None`` when the
+        directory has never been committed to.  Unparseable manifests
+        (torn by a crash) are skipped in favor of older complete
+        ones."""
+        for generation in reversed(self._manifest_generations()):
+            target = self._manifest_path(generation)
+            try:
+                data = json.loads(target.read_text(encoding="utf-8"))
+                manifest = Manifest.from_json(data)
+            except (OSError, ValueError, KeyError, IndexError_):
+                continue
+            if manifest.generation != generation:
+                continue
+            return manifest
+        return None
+
+    def manifest(self) -> Manifest:
+        """Like :meth:`read_manifest`, but an empty generation-0
+        manifest when nothing is committed yet."""
+        found = self.read_manifest()
+        if found is not None:
+            return found
+        return Manifest(generation=0, name=self.name, counter=1,
+                        segments=())
+
+    def commit(self, segments: Sequence[SegmentInfo],
+               counter: Optional[int] = None) -> Manifest:
+        """Atomically commit ``segments`` as the new live set."""
+        current = self.manifest()
+        manifest = Manifest(
+            generation=current.generation + 1,
+            name=self.name,
+            counter=counter if counter is not None else current.counter,
+            segments=tuple(segments))
+        target = self._manifest_path(manifest.generation)
+        tmp = target.with_name(target.name + ".tmp")
+        raw = json.dumps(manifest.to_json(), ensure_ascii=False,
+                         indent=2)
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(raw)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, target)
+        return manifest
+
+    # -- sealing segments ----------------------------------------------
+
+    def _allocate(self, counter: int) -> Tuple[str, int]:
+        """Next unused segment file name.  Scans for leftovers of
+        crashed/abandoned commits so their numbers are never
+        reissued."""
+        highest = counter - 1
+        for entry in self.path.glob(f"seg_*{SEGMENT_SUFFIX}"):
+            stem = entry.name[4:-len(SEGMENT_SUFFIX)]
+            if stem.isdigit():
+                highest = max(highest, int(stem))
+        number = highest + 1
+        return f"seg_{number:010d}{SEGMENT_SUFFIX}", number + 1
+
+    def reserve(self, count: int,
+                counter: Optional[int] = None) -> Tuple[List[str], int]:
+        """Pre-assign ``count`` segment file names without writing
+        anything.  Parallel build workers seal straight into reserved
+        names (no cross-process coordination needed), and the parent
+        later commits them together with the returned counter."""
+        if counter is None:
+            counter = self.manifest().counter
+        names: List[str] = []
+        for _ in range(count):
+            file_name, counter = self._allocate(counter)
+            names.append(file_name)
+        return names, counter
+
+    def seal(self, index: InvertedIndex,
+             counter: Optional[int] = None) -> Tuple[SegmentInfo, int]:
+        """Seal ``index`` into a new (uncommitted) segment file.
+        Returns its :class:`SegmentInfo` and the advanced counter —
+        the segment only becomes visible once a manifest referencing
+        it is committed."""
+        if counter is None:
+            counter = self.manifest().counter
+        file_name, counter = self._allocate(counter)
+        path = write_segment(index, self.path / file_name)
+        info = SegmentInfo(file=file_name, doc_count=index.doc_count,
+                           size_bytes=path.stat().st_size)
+        return info, counter
+
+    def add_index(self, index: InvertedIndex) -> Manifest:
+        """Seal ``index`` and append it to the live set (one commit)."""
+        current = self.manifest()
+        info, counter = self.seal(index, current.counter)
+        return self.commit([*current.segments, info], counter=counter)
+
+    def add_sealed(self, segments: Sequence[SegmentInfo],
+                   counter: int) -> Manifest:
+        """Append already-sealed segments (e.g. built by parallel
+        workers) to the live set in one commit."""
+        current = self.manifest()
+        return self.commit([*current.segments, *segments],
+                           counter=max(counter, current.counter))
+
+    # -- tiered merge ---------------------------------------------------
+
+    @staticmethod
+    def _tier(size_bytes: int) -> int:
+        tier = 0
+        size = max(size_bytes, 1)
+        while size >= TIER_RATIO:
+            size /= TIER_RATIO
+            tier += 1
+        return tier
+
+    def plan_merges(self, merge_factor: int = DEFAULT_MERGE_FACTOR,
+                    force: bool = False) -> List[Tuple[int, int]]:
+        """Merge candidates as ``(start, end)`` index ranges into the
+        current manifest's segment list.
+
+        Tiered policy: segments are bucketed by size order of
+        magnitude (:data:`TIER_RATIO`); any run of **adjacent**
+        same-tier segments at least ``merge_factor`` long collapses
+        into one.  Adjacency is load-bearing — doc ids are assigned by
+        manifest order, so only neighbors can merge without renumbering
+        documents.  ``force`` collapses everything into one segment.
+        """
+        segments = self.manifest().segments
+        if len(segments) < 2:
+            return []
+        if force:
+            return [(0, len(segments))]
+        if merge_factor < 2:
+            raise IndexError_(f"merge_factor must be >= 2, "
+                              f"got {merge_factor}")
+        plans: List[Tuple[int, int]] = []
+        run_start = 0
+        run_tier = self._tier(segments[0].size_bytes)
+        for position in range(1, len(segments) + 1):
+            tier = (self._tier(segments[position].size_bytes)
+                    if position < len(segments) else None)
+            if tier != run_tier:
+                if position - run_start >= merge_factor:
+                    plans.append((run_start, position))
+                run_start, run_tier = position, tier
+        return plans
+
+    def merge(self, merge_factor: int = DEFAULT_MERGE_FACTOR,
+              force: bool = False) -> int:
+        """Run the tiered merge policy once; returns the number of
+        merges performed.  Each merge seals its output before the
+        single commit swaps all merged runs in atomically — a crash
+        at any point leaves the old manifest serving."""
+        plans = self.plan_merges(merge_factor, force=force)
+        if not plans:
+            return 0
+        started = time.perf_counter()
+        current = self.manifest()
+        segments = list(current.segments)
+        counter = current.counter
+        merged: Dict[int, SegmentInfo] = {}
+        for start, end in plans:
+            file_name, counter = self._allocate(counter)
+            readers = [SegmentReader(self.path / info.file)
+                       for info in segments[start:end]]
+            try:
+                path = merge_segment_files(readers,
+                                           self.path / file_name)
+            finally:
+                for reader in readers:
+                    reader.close()
+            merged[start] = SegmentInfo(
+                file=file_name,
+                doc_count=sum(info.doc_count
+                              for info in segments[start:end]),
+                size_bytes=path.stat().st_size)
+        replaced: List[SegmentInfo] = []
+        position = 0
+        spans = dict(plans)
+        while position < len(segments):
+            if position in merged:
+                replaced.append(merged[position])
+                position = spans[position]
+            else:
+                replaced.append(segments[position])
+                position += 1
+        self.commit(replaced, counter=counter)
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.counter("segment_merges_total",
+                            "segment merges performed").inc(len(plans))
+            metrics.counter("segment_merge_seconds_total",
+                            "wall seconds spent merging segments"
+                            ).inc(time.perf_counter() - started)
+        return len(plans)
+
+    # -- maintenance ----------------------------------------------------
+
+    def vacuum(self) -> List[str]:
+        """Delete segment files and manifests no longer referenced by
+        the newest committed manifest; returns the deleted names."""
+        manifest = self.read_manifest()
+        if manifest is None:
+            return []
+        live = {info.file for info in manifest.segments}
+        deleted = []
+        for entry in sorted(self.path.iterdir()):
+            name = entry.name
+            stale_segment = (name.endswith(SEGMENT_SUFFIX)
+                             and name not in live)
+            stale_manifest = (name.startswith(SEGMENTS_PREFIX)
+                              and name !=
+                              f"{SEGMENTS_PREFIX}{manifest.generation}")
+            if stale_segment or stale_manifest or name.endswith(".tmp"):
+                entry.unlink()
+                deleted.append(name)
+        return deleted
+
+
+# ----------------------------------------------------------------------
+# the serving facade
+# ----------------------------------------------------------------------
+
+class _MultiPostings:
+    """One term's postings across every segment that contains it.
+
+    Parts arrive pre-rebased into global doc-id space and carry the
+    global document frequency, so iteration order (ascending global
+    doc id) and every statistic match the monolithic
+    :class:`~repro.search.index.postings.PostingsList` exactly.
+    """
+
+    __slots__ = ("_parts", "_doc_frequency")
+
+    def __init__(self, parts: List[Tuple[int, int, LazyPostings]],
+                 doc_frequency: int) -> None:
+        self._parts = parts        # (base, end, postings), base order
+        self._doc_frequency = doc_frequency
+
+    @property
+    def doc_frequency(self) -> int:
+        return self._doc_frequency
+
+    @property
+    def total_frequency(self) -> int:
+        return sum(part.total_frequency for _, _, part in self._parts)
+
+    @property
+    def max_frequency(self) -> int:
+        return max(part.max_frequency for _, _, part in self._parts)
+
+    def __len__(self) -> int:
+        return self._doc_frequency
+
+    def get(self, doc_id: int) -> Optional[Posting]:
+        for base, end, part in self._parts:
+            if base <= doc_id < end:
+                return part.get(doc_id)
+        return None
+
+    def doc_ids(self) -> List[int]:
+        out: List[int] = []
+        for _, _, part in self._parts:
+            out.extend(part.doc_ids())
+        return out
+
+    def __iter__(self) -> Iterator[Posting]:
+        for _, _, part in self._parts:
+            yield from part
+
+
+class _SegmentView:
+    """One segment through the index duck API, with *global* scoring
+    statistics.
+
+    Handed to per-segment scorers by the scatter-gather top-k driver:
+    ``doc_count``, ``average_field_length`` and (via the injected
+    document frequency on postings) IDF are corpus-wide, so a score
+    computed here is bit-identical to the monolithic one — while
+    ``max_field_boost`` and the postings' ``max_frequency`` stay
+    segment-local, giving the driver *tighter* (still sound) pruning
+    bounds per segment.
+    """
+
+    __slots__ = ("parent", "reader", "base", "end")
+
+    def __init__(self, parent: "SegmentedIndex", reader: SegmentReader,
+                 base: int) -> None:
+        self.parent = parent
+        self.reader = reader
+        self.base = base
+        self.end = base + reader.doc_count
+
+    @property
+    def name(self) -> str:
+        return self.parent.name
+
+    @property
+    def doc_count(self) -> int:
+        return self.parent.doc_count          # global, for IDF parity
+
+    def postings(self, field_name: str, term: str
+                 ) -> Optional[LazyPostings]:
+        return self.reader.postings(
+            field_name, term, base=self.base,
+            doc_frequency=self.parent.doc_frequency(field_name, term))
+
+    def average_field_length(self, field_name: str) -> float:
+        return self.parent.average_field_length(field_name)
+
+    def field_length(self, field_name: str, doc_id: int) -> int:
+        return self.reader.field_length(field_name, doc_id - self.base)
+
+    def field_boost(self, field_name: str, doc_id: int) -> float:
+        return self.reader.field_boost(field_name, doc_id - self.base)
+
+    def max_field_boost(self, field_name: str) -> float:
+        return self.reader.max_field_boost(field_name)
+
+
+class SegmentedIndex:
+    """Read-only :class:`InvertedIndex` API over a committed segment
+    set.
+
+    Global statistics come from per-segment header summaries (integer
+    sums, so they equal the monolithic figures exactly); per-document
+    reads route to the owning segment by doc-id range.
+    :attr:`generation` mirrors the committed manifest generation —
+    :class:`~repro.search.searcher.QueryResultCache` keys on it, so
+    :meth:`refresh` after a commit invalidates stale entries the same
+    way in-memory index mutation does.
+    """
+
+    def __init__(self, directory: Union[IndexDirectory, PathLike],
+                 name: Optional[str] = None) -> None:
+        if not isinstance(directory, IndexDirectory):
+            directory = IndexDirectory(directory,
+                                       name=name or "index")
+        self.directory = directory
+        self._readers: List[SegmentReader] = []
+        self._bases: List[int] = []
+        self._manifest = Manifest(generation=-1,
+                                  name=directory.name, counter=1,
+                                  segments=())
+        self._df_cache: Dict[Tuple[str, str], int] = {}
+        self._views: Optional[List[_SegmentView]] = None
+        self.refresh()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Re-open at the newest committed manifest.  Returns True
+        when the live segment set changed (readers are swapped and
+        per-term stat caches dropped)."""
+        manifest = self.directory.manifest()
+        if manifest.generation == self._manifest.generation:
+            return False
+        readers = []
+        bases = []
+        base = 0
+        for info in manifest.segments:
+            reader = SegmentReader(self.directory.path / info.file)
+            if reader.doc_count != info.doc_count:
+                for opened in (*readers, reader):
+                    opened.close()
+                raise IndexError_(
+                    f"segment {info.file} holds {reader.doc_count} "
+                    f"docs, manifest says {info.doc_count}")
+            readers.append(reader)
+            bases.append(base)
+            base += reader.doc_count
+        old = self._readers
+        self._readers = readers
+        self._bases = bases
+        self._manifest = manifest
+        self._df_cache = {}
+        self._views = None
+        for reader in old:
+            reader.close()
+        return True
+
+    def close(self) -> None:
+        for reader in self._readers:
+            reader.close()
+        self._readers = []
+        self._bases = []
+        self._views = None
+
+    def __enter__(self) -> "SegmentedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._manifest.name
+
+    @property
+    def generation(self) -> int:
+        """The committed manifest generation (the cache-key epoch)."""
+        return self._manifest.generation
+
+    @property
+    def doc_count(self) -> int:
+        return (self._bases[-1] + self._readers[-1].doc_count
+                if self._readers else 0)
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._readers)
+
+    def segment_views(self) -> List[_SegmentView]:
+        """Per-segment duck indexes for the scatter-gather top-k
+        driver, in doc-id (manifest) order."""
+        if self._views is None:
+            self._views = [_SegmentView(self, reader, base)
+                           for reader, base
+                           in zip(self._readers, self._bases)]
+        return self._views
+
+    def _locate(self, doc_id: int) -> Tuple[SegmentReader, int]:
+        if not 0 <= doc_id < self.doc_count:
+            raise IndexError_(f"unknown doc_id {doc_id}")
+        position = bisect_right(self._bases, doc_id) - 1
+        return self._readers[position], doc_id - self._bases[position]
+
+    # -- the InvertedIndex read API ------------------------------------
+
+    def field_names(self) -> List[str]:
+        names = set()
+        for reader in self._readers:
+            names.update(reader.field_names())
+        return sorted(names)
+
+    def doc_frequency(self, field_name: str, term: str) -> int:
+        """Corpus-wide document frequency, from term-dictionary
+        metadata only — no postings decode."""
+        key = (field_name, term)
+        cached = self._df_cache.get(key)
+        if cached is None:
+            cached = 0
+            for reader in self._readers:
+                meta = reader.term_meta(field_name, term)
+                if meta is not None:
+                    cached += meta.doc_frequency
+            self._df_cache[key] = cached
+        return cached
+
+    def postings(self, field_name: str, term: str
+                 ) -> Optional[_MultiPostings]:
+        doc_frequency = self.doc_frequency(field_name, term)
+        if doc_frequency == 0:
+            return None
+        parts = []
+        for reader, base in zip(self._readers, self._bases):
+            part = reader.postings(field_name, term, base=base,
+                                   doc_frequency=doc_frequency)
+            if part is not None:
+                parts.append((base, base + reader.doc_count, part))
+        return _MultiPostings(parts, doc_frequency)
+
+    def terms(self, field_name: str) -> Iterator[str]:
+        merged = set()
+        for reader in self._readers:
+            merged.update(reader.term_metas(field_name))
+        return iter(sorted(merged))
+
+    def terms_with_prefix(self, field_name: str, prefix: str
+                          ) -> Iterator[str]:
+        for term in self.terms(field_name):
+            if term.startswith(prefix):
+                yield term
+
+    def field_length(self, field_name: str, doc_id: int) -> int:
+        reader, local = self._locate(doc_id)
+        return reader.field_length(field_name, local)
+
+    def field_boost(self, field_name: str, doc_id: int) -> float:
+        reader, local = self._locate(doc_id)
+        return reader.field_boost(field_name, local)
+
+    def max_field_boost(self, field_name: str) -> float:
+        bound = 1.0
+        for reader in self._readers:
+            bound = max(bound, reader.max_field_boost(field_name))
+        return bound
+
+    def average_field_length(self, field_name: str) -> float:
+        """Exact corpus-wide mean: the per-segment integer sums from
+        the headers add associatively, so the float division happens
+        once on the same operands as the monolithic computation."""
+        total = 0
+        docs = 0
+        for reader in self._readers:
+            total += reader.sum_lengths(field_name)
+            docs += reader.docs_with_field(field_name)
+        return total / docs if docs else 0.0
+
+    def docs_with_field(self, field_name: str) -> int:
+        return sum(reader.docs_with_field(field_name)
+                   for reader in self._readers)
+
+    def stored_document(self, doc_id: int) -> Document:
+        reader, local = self._locate(doc_id)
+        document = Document()
+        for name, values in reader.stored_fields(local).items():
+            for value in values:
+                document.add(Field(name, value))
+        return document
+
+    def stored_value(self, doc_id: int,
+                     field_name: str) -> Optional[str]:
+        reader, local = self._locate(doc_id)
+        values = reader.stored_fields(local).get(field_name)
+        return values[0] if values else None
+
+    def unique_term_count(self, field_name: Optional[str] = None) -> int:
+        if field_name is not None:
+            merged = set()
+            for reader in self._readers:
+                merged.update(reader.term_metas(field_name))
+            return len(merged)
+        fields = set()
+        for reader in self._readers:
+            fields.update(reader.indexed_fields())
+        return sum(self.unique_term_count(field) for field in fields)
+
+    # -- stats/debugging ------------------------------------------------
+
+    def segment_infos(self) -> Tuple[SegmentInfo, ...]:
+        return self._manifest.segments
+
+    def to_inverted(self) -> InvertedIndex:
+        """Materialize the whole segment set into one mutable index
+        (parity tests and JSON export — not a serving path)."""
+        index = InvertedIndex(name=self.name)
+        for reader in self._readers:
+            index.merge(reader.to_inverted())
+        return index
+
+    def __repr__(self) -> str:    # pragma: no cover - debugging aid
+        return (f"<SegmentedIndex {self.name!r}: {self.doc_count} docs "
+                f"in {self.segment_count} segments, "
+                f"generation {self.generation}>")

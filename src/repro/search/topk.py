@@ -28,6 +28,18 @@ that hold:
 Queries whose type has no :class:`~repro.search.query.queries.Scorer`
 (phrase, prefix, match-all, extras) return ``None`` here and fall
 back to the exhaustive path, which remains the semantics oracle.
+
+**Segmented indexes** (anything exposing ``segment_views()``, i.e.
+:class:`~repro.search.index.segments.SegmentedIndex`) are served by a
+*scatter-gather* variant: one scorer per segment view, segments
+scanned in ascending doc-id order against a **shared** heap and
+threshold.  Because segment doc-id ranges are disjoint and ascending,
+the candidate stream is the exact stream the monolithic scan would
+produce, so all parity properties carry over unchanged — and a whole
+segment whose best-possible score (from its *local* max-impact
+statistics, which are tighter than global ones) is strictly below θ
+skips scoring entirely.  Its candidates are still enumerated so
+``total_hits`` stays exact.
 """
 
 from __future__ import annotations
@@ -59,39 +71,87 @@ class TopKResult:
     postings_scanned: int
     #: True when clause bounds allowed skipping whole clauses
     pruned: bool
+    #: segments whose candidates were scored (scatter-gather only)
+    segments_searched: int = 0
+    #: segments skipped whole because their bound was below θ
+    segments_pruned: int = 0
 
 
-def run_top_k(index: InvertedIndex, similarity: Similarity,
+class _SharedHeap:
+    """The bounded result heap plus its threshold, shared across
+    segment shards.  Keys are (score, -doc_id): min-heap order equals
+    "worst of the current top k", and ties resolve doc-id-ascending
+    exactly like :func:`repro.search.searcher.rank_docs`."""
+
+    __slots__ = ("heap", "k", "theta")
+
+    def __init__(self, k: int) -> None:
+        self.heap: List[Tuple[float, int]] = []
+        self.k = k
+        self.theta: Optional[float] = None
+
+    def offer(self, doc_id: int, score: float) -> bool:
+        """Push a scored candidate; True when θ (the k-th score)
+        rose."""
+        key = (score, -doc_id)
+        if len(self.heap) < self.k:
+            heapq.heappush(self.heap, key)
+            if len(self.heap) == self.k:
+                self.theta = self.heap[0][0]
+                return True
+        elif key > self.heap[0]:
+            heapq.heapreplace(self.heap, key)
+            if self.heap[0][0] > self.theta:
+                self.theta = self.heap[0][0]
+                return True
+        return False
+
+    def drain(self) -> List[Tuple[int, float]]:
+        ordered = sorted(self.heap, reverse=True)
+        return [(-negative_doc, score)
+                for score, negative_doc in ordered]
+
+
+def run_top_k(index, similarity: Similarity,
               query: Query, k: Optional[int]) -> Optional[TopKResult]:
     """Evaluate ``query`` for its top ``k`` documents, or return
     ``None`` when the query (or ``k``) does not support pruning and
-    the caller should score exhaustively."""
+    the caller should score exhaustively.  ``index`` is anything with
+    the :class:`~repro.search.index.inverted.InvertedIndex` read API;
+    segmented indexes additionally dispatch to the scatter-gather
+    scan."""
     if k is None or k <= 0:
         return None
+    views = getattr(index, "segment_views", None)
+    if views is not None:
+        return _run_segmented(views(), similarity, query, k)
     scorer = query.scorer(index, similarity)
     if scorer is None:
         return None
+    shared = _SharedHeap(k)
     if isinstance(scorer, BooleanScorer) and scorer.musts:
-        return _conjunctive(scorer, k)
-    if isinstance(scorer, BooleanScorer):
-        bounds = [sub.max_contribution() * scorer.boost
-                  for sub in scorer.shoulds]
-        return _maxscore(scorer.shoulds, bounds, scorer,
-                         scorer.excluded_docs(), k)
-    if isinstance(scorer, DisMaxScorer):
-        # per-doc dismax <= sum of the contributing clauses' bounds
-        # (times boost, and tie_breaker when it exceeds 1)
-        scale = scorer._boost * max(1.0, scorer._tie_breaker)
-        bounds = [sub.max_contribution() * scale
-                  for sub in scorer._subs]
-        return _maxscore(scorer._subs, bounds, scorer, frozenset(), k)
+        hits, scored = _conjunctive_scan(scorer, shared)
+        return TopKResult(ranked=shared.drain(), total_hits=hits,
+                          candidates_scored=scored,
+                          postings_scanned=scorer.postings_scanned(),
+                          pruned=True)
+    clauses, bounds = _disjunctive_clauses(scorer)
+    if clauses is not None:
+        exclude = (scorer.excluded_docs()
+                   if isinstance(scorer, BooleanScorer) else frozenset())
+        hits, scored, pruned = _maxscore_scan(clauses, bounds, scorer,
+                                              exclude, shared)
+        return TopKResult(ranked=shared.drain(), total_hits=hits,
+                          candidates_scored=scored,
+                          postings_scanned=scorer.postings_scanned(),
+                          pruned=pruned)
     if isinstance(scorer, TermScorer):
         # a single term has no sibling clauses to prune against, but
         # the bounded heap still avoids materializing + sorting the
         # full score map
         candidates = scorer.doc_ids()
-        heap = _heap_over(candidates, scorer, k)
-        return TopKResult(ranked=_drain(heap),
+        _heap_over(candidates, scorer, shared)
+        return TopKResult(ranked=shared.drain(),
                           total_hits=len(candidates),
                           candidates_scored=len(candidates),
                           postings_scanned=scorer.postings_scanned(),
@@ -99,43 +159,49 @@ def run_top_k(index: InvertedIndex, similarity: Similarity,
     return None
 
 
+def _disjunctive_clauses(scorer: Scorer):
+    """The (clauses, bounds) pair for the MaxScore scan, or
+    ``(None, None)`` when the scorer is not disjunctive."""
+    if isinstance(scorer, BooleanScorer) and not scorer.musts:
+        return scorer.shoulds, [sub.max_contribution() * scorer.boost
+                                for sub in scorer.shoulds]
+    if isinstance(scorer, DisMaxScorer):
+        # per-doc dismax <= sum of the contributing clauses' bounds
+        # (times boost, and tie_breaker when it exceeds 1)
+        scale = scorer._boost * max(1.0, scorer._tie_breaker)
+        return scorer._subs, [sub.max_contribution() * scale
+                              for sub in scorer._subs]
+    return None, None
+
+
 def _heap_over(candidates: Iterable[int], scorer: Scorer,
-               k: int) -> List[Tuple[float, int]]:
-    """Score every candidate, keeping the best ``k`` in a bounded
-    min-heap keyed (score, -doc_id) so ties resolve doc-id-ascending."""
-    heap: List[Tuple[float, int]] = []
+               shared: _SharedHeap) -> int:
+    """Score every candidate into the shared heap; returns the number
+    scored."""
+    scored = 0
     for doc_id in candidates:
         score = scorer.score_one(doc_id)
-        if score is None:
-            continue
-        key = (score, -doc_id)
-        if len(heap) < k:
-            heapq.heappush(heap, key)
-        elif key > heap[0]:
-            heapq.heapreplace(heap, key)
-    return heap
+        scored += 1
+        if score is not None:
+            shared.offer(doc_id, score)
+    return scored
 
 
-def _drain(heap: List[Tuple[float, int]]) -> List[Tuple[int, float]]:
-    ordered = sorted(heap, reverse=True)
-    return [(-negative_doc, score) for score, negative_doc in ordered]
-
-
-def _conjunctive(scorer: BooleanScorer, k: int) -> TopKResult:
+def _conjunctive_scan(scorer: BooleanScorer,
+                      shared: _SharedHeap) -> Tuple[int, int]:
     """MUST clauses present: candidates are the (small) intersection
-    of the MUST matches minus exclusions; score those and only those."""
+    of the MUST matches minus exclusions; score those and only those.
+    Returns (candidate count, scored count)."""
     candidates = sorted(scorer.doc_id_set())
-    heap = _heap_over(candidates, scorer, k)
-    return TopKResult(ranked=_drain(heap),
-                      total_hits=len(candidates),
-                      candidates_scored=len(candidates),
-                      postings_scanned=scorer.postings_scanned(),
-                      pruned=True)
+    _heap_over(candidates, scorer, shared)
+    return len(candidates), len(candidates)
 
 
-def _maxscore(clauses: List[Scorer], bounds: List[float],
-              combiner: Scorer, exclude: Set[int], k: int) -> TopKResult:
-    """The MaxScore loop over disjunctive clauses.
+def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
+                   combiner: Scorer, exclude: Set[int],
+                   shared: _SharedHeap) -> Tuple[int, int, bool]:
+    """The MaxScore loop over disjunctive clauses, feeding the shared
+    heap.  Returns (candidate count, scored count, pruned flag).
 
     Two pruning levels, both sound because skips require a *strict*
     bound-below-θ comparison (score ≤ bound, so a skipped doc can
@@ -154,6 +220,9 @@ def _maxscore(clauses: List[Scorer], bounds: List[float],
     clauses rather than a heap: clause counts are small (query terms,
     not index terms), and the scan also yields the membership list the
     document bound needs.
+
+    θ may already be set on entry (a previous segment shard filled the
+    heap); retirement state is local to this scan, since bounds are.
     """
     doc_lists = [clause.doc_ids() for clause in clauses]
     count = len(clauses)
@@ -168,8 +237,6 @@ def _maxscore(clauses: List[Scorer], bounds: List[float],
     matching -= exclude
     total_hits = len(matching)
 
-    heap: List[Tuple[float, int]] = []
-    theta: Optional[float] = None
     scored = 0
     pruned = False
     retired = [False] * count
@@ -178,12 +245,11 @@ def _maxscore(clauses: List[Scorer], bounds: List[float],
     cursors = [0] * count
     active = [ci for ci in range(count) if doc_lists[ci]]
 
-    def raise_theta(new_theta: float) -> None:
-        nonlocal theta, non_essential, retired_bound, active, pruned
-        theta = new_theta
+    def retire_below_theta() -> None:
+        nonlocal non_essential, retired_bound, active, pruned
         changed = False
         while (non_essential < count
-               and prefix_bounds[non_essential] < theta):
+               and prefix_bounds[non_essential] < shared.theta):
             retired[order[non_essential]] = True
             retired_bound = prefix_bounds[non_essential]
             non_essential += 1
@@ -191,6 +257,9 @@ def _maxscore(clauses: List[Scorer], bounds: List[float],
         if changed:
             pruned = True
             active = [ci for ci in active if not retired[ci]]
+
+    if shared.theta is not None:
+        retire_below_theta()
 
     while active:
         doc_id = min(doc_lists[ci][cursors[ci]] for ci in active)
@@ -207,24 +276,99 @@ def _maxscore(clauses: List[Scorer], bounds: List[float],
                       if cursors[ci] < len(doc_lists[ci])]
         if doc_id in exclude:
             continue
-        if theta is not None and doc_bound < theta:
+        if shared.theta is not None and doc_bound < shared.theta:
             pruned = True      # provably below the k-th score
             continue
         score = combiner.score_one(doc_id)
         scored += 1
         if score is None:
             continue
-        key = (score, -doc_id)
-        if len(heap) < k:
-            heapq.heappush(heap, key)
-            if len(heap) == k:
-                raise_theta(heap[0][0])
-        elif key > heap[0]:
-            heapq.heapreplace(heap, key)
-            if heap[0][0] > theta:
-                raise_theta(heap[0][0])
-    return TopKResult(ranked=_drain(heap),
-                      total_hits=total_hits,
-                      candidates_scored=scored,
-                      postings_scanned=combiner.postings_scanned(),
-                      pruned=pruned)
+        if shared.offer(doc_id, score):
+            retire_below_theta()
+    return total_hits, scored, pruned
+
+
+# ----------------------------------------------------------------------
+# scatter-gather over segments
+# ----------------------------------------------------------------------
+
+def _matching_count(scorer: Scorer) -> int:
+    """Candidate count of one segment's scorer without scoring —
+    pruned segments still owe their exact contribution to
+    ``total_hits``."""
+    if isinstance(scorer, BooleanScorer) or isinstance(scorer,
+                                                       DisMaxScorer):
+        return len(scorer.doc_id_set())
+    return len(scorer.doc_ids())
+
+
+def _segment_bound(scorer: Scorer) -> float:
+    """Upper bound on any single document's score inside one segment,
+    from that segment's local max-impact statistics."""
+    return scorer.max_contribution()
+
+
+def _run_segmented(views, similarity: Similarity, query: Query,
+                   k: int) -> Optional[TopKResult]:
+    """Scatter-gather top-k: one scorer per segment, shared heap/θ.
+
+    Segments are visited in ascending doc-id (manifest) order, so the
+    concatenation of their candidate streams equals the monolithic
+    scan's stream — results are bit-identical.  Once the heap is
+    full, a segment whose score bound is strictly below θ contributes
+    its candidate count and nothing else.
+    """
+    if not views:
+        return None                 # empty set: exhaustive returns {}
+    scorers = []
+    for view in views:
+        scorer = query.scorer(view, similarity)
+        if scorer is None:          # query type without a scorer —
+            return None             # same fallback as monolithic
+        scorers.append(scorer)
+
+    shared = _SharedHeap(k)
+    total_hits = 0
+    scored_total = 0
+    pruned = False
+    searched = 0
+    skipped = 0
+    is_conjunctive = (isinstance(scorers[0], BooleanScorer)
+                      and scorers[0].musts)
+    for scorer in scorers:
+        if shared.theta is not None \
+                and _segment_bound(scorer) < shared.theta:
+            total_hits += _matching_count(scorer)
+            skipped += 1
+            pruned = True
+            continue
+        searched += 1
+        if is_conjunctive:
+            hits, scored = _conjunctive_scan(scorer, shared)
+            total_hits += hits
+            scored_total += scored
+            pruned = True
+        else:
+            clauses, bounds = _disjunctive_clauses(scorer)
+            if clauses is not None:
+                exclude = (scorer.excluded_docs()
+                           if isinstance(scorer, BooleanScorer)
+                           else frozenset())
+                hits, scored, seg_pruned = _maxscore_scan(
+                    clauses, bounds, scorer, exclude, shared)
+                total_hits += hits
+                scored_total += scored
+                pruned = pruned or seg_pruned
+            elif isinstance(scorer, TermScorer):
+                candidates = scorer.doc_ids()
+                scored_total += _heap_over(candidates, scorer, shared)
+                total_hits += len(candidates)
+            else:
+                return None
+    return TopKResult(
+        ranked=shared.drain(), total_hits=total_hits,
+        candidates_scored=scored_total,
+        postings_scanned=sum(scorer.postings_scanned()
+                             for scorer in scorers),
+        pruned=pruned, segments_searched=searched,
+        segments_pruned=skipped)

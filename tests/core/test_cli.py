@@ -224,3 +224,61 @@ class TestObservabilityFlags:
         bad.write_text("{not json")
         assert main(["stats", "--metrics-file", str(bad)]) \
             == EXIT_USER_ERROR
+
+
+class TestSegmentedCommands:
+    """build --segmented / merge / segment-aware stats and search."""
+
+    @pytest.fixture()
+    def tiny(self, monkeypatch):
+        import repro.cli as cli
+        from repro.soccer import standard_corpus
+        from repro.soccer.names import FIXTURES
+        corpus = standard_corpus(fixtures=FIXTURES[:2],
+                                 total_narrations=120)
+        monkeypatch.setattr(cli, "_corpus", lambda seed: corpus)
+        return corpus
+
+    def test_build_segmented_creates_directories(self, tiny, tmp_path,
+                                                 capsys):
+        assert main(["build", "--segmented", "-d", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 segment(s)" in out
+        names = sorted(p.name for p in tmp_path.glob("*.segd"))
+        assert names == sorted(f"{name}.segd" for name in
+                               ["TRAD", "BASIC_EXT", "FULL_EXT",
+                                "FULL_INF", "PHR_EXP"])
+
+    def test_search_and_stats_over_segmented_build(self, tiny, tmp_path,
+                                                   capsys):
+        assert main(["build", "--segmented", "-d", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["search", "goal", "-d", str(tmp_path),
+                     "-n", "3"]) == 0
+        assert "3 hits" in capsys.readouterr().out
+        assert main(["stats", "-d", str(tmp_path),
+                     "-i", IndexName.FULL_INF]) == 0
+        out = capsys.readouterr().out
+        assert "segments (generation 1):" in out
+        assert "seg_0000000001.ridx" in out
+
+    def test_merge_collapses_and_preserves_search(self, tiny, tmp_path,
+                                                  capsys):
+        assert main(["build", "--segmented", "-d", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["search", "goal", "-d", str(tmp_path),
+                     "-n", "3"]) == 0
+        before = capsys.readouterr().out
+        assert main(["merge", "-d", str(tmp_path), "--force",
+                     "--vacuum"]) == 0
+        out = capsys.readouterr().out
+        assert "1 segment(s), generation 2" in out
+        assert "vacuumed" in out
+        assert main(["search", "goal", "-d", str(tmp_path),
+                     "-n", "3"]) == 0
+        assert capsys.readouterr().out == before
+
+    def test_merge_without_segments_is_a_user_error(self, tmp_path,
+                                                    capsys):
+        assert main(["merge", "-d", str(tmp_path)]) == EXIT_USER_ERROR
+        assert "hint" in capsys.readouterr().err

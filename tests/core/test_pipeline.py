@@ -87,3 +87,73 @@ class TestPipelineOutputs:
         goals = list(model.individuals(SOCCER.Goal))
         if goals:
             assert goals[0].get(SOCCER.subjectTeam)    # rule-filled
+
+
+class TestSegmentedPipeline:
+    """run_segmented: segment-native ingestion parity with run()."""
+
+    def test_segments_match_monolithic_bit_for_bit(
+            self, pipeline, small_corpus, tmp_path):
+        mono = pipeline.run(small_corpus.crawled)
+        segmented = pipeline.run_segmented(small_corpus.crawled,
+                                           tmp_path, segment_size=1)
+        with segmented:
+            for name in IndexName.BUILT:
+                index = segmented.index(name)
+                assert index.segment_count == len(small_corpus.matches)
+                assert index.to_inverted().to_json() \
+                    == mono.index(name).to_json()
+            assert segmented.match_ids \
+                == [m.match_id for m in small_corpus.crawled]
+            assert len(segmented.inference_seconds) \
+                == len(small_corpus.matches)
+
+    def test_worker_pool_builds_identical_segments(
+            self, pipeline, small_corpus, tmp_path):
+        """workers=2 seals the same bytes as workers=1 — the parent
+        pre-assigns segment files, workers write them, one commit."""
+        serial = pipeline.run_segmented(small_corpus.crawled,
+                                        tmp_path / "serial",
+                                        workers=1, segment_size=1)
+        pooled = pipeline.run_segmented(small_corpus.crawled,
+                                        tmp_path / "pooled",
+                                        workers=2, segment_size=1)
+        with serial, pooled:
+            for name in IndexName.BUILT:
+                ours = [(info.file,
+                         (tmp_path / "pooled"
+                          / f"{name}.segd" / info.file).read_bytes())
+                        for info in pooled.index(name).segment_infos()]
+                reference = [(info.file,
+                              (tmp_path / "serial"
+                               / f"{name}.segd" / info.file).read_bytes())
+                             for info in serial.index(name).segment_infos()]
+                assert ours == reference
+
+    def test_appending_a_second_run_bumps_generation(
+            self, pipeline, small_corpus, tmp_path):
+        first = pipeline.run_segmented(small_corpus.crawled, tmp_path)
+        first.close()
+        second = pipeline.run_segmented(small_corpus.crawled, tmp_path)
+        with second:
+            index = second.index(IndexName.TRAD)
+            assert index.generation == 2
+            assert index.segment_count == 2 * len(small_corpus.matches)
+
+    def test_saved_segments_auto_detected_by_load_index(
+            self, pipeline, small_corpus, tmp_path):
+        from repro.search.index import SegmentedIndex, list_indexes, \
+            load_index
+        result = pipeline.run_segmented(small_corpus.crawled, tmp_path)
+        result.close()
+        assert list_indexes(tmp_path) == sorted(IndexName.BUILT)
+        loaded = load_index(tmp_path, IndexName.FULL_INF)
+        assert isinstance(loaded, SegmentedIndex)
+        assert loaded.doc_count > 0
+        loaded.close()
+
+    def test_segment_size_validated(self, pipeline, small_corpus,
+                                    tmp_path):
+        with pytest.raises(ValueError):
+            pipeline.run_segmented(small_corpus.crawled, tmp_path,
+                                   segment_size=0)

@@ -1,0 +1,184 @@
+"""RIDX v2 segment format: round-trip fidelity, laziness, merging."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.search.index import InvertedIndex
+from repro.search.index.segment import (SKIP_BLOCK, SegmentReader,
+                                        merge_segment_files,
+                                        write_segment)
+
+VOCAB = ["goal", "foul", "messi", "pass", "Zürich", "corner", "card"]
+
+
+def sample_index(seed: int = 7, docs: int = 30,
+                 name: str = "demo") -> InvertedIndex:
+    rng = random.Random(seed)
+    index = InvertedIndex(name)
+    for _ in range(docs):
+        doc_id = index.new_doc_id()
+        index.index_terms(
+            doc_id, "event",
+            [(rng.choice(VOCAB), p) for p in range(rng.randint(1, 5))],
+            boost=rng.choice([1.0, 2.0, 3.5]))
+        if rng.random() < 0.8:
+            index.index_terms(
+                doc_id, "narration",
+                [(rng.choice(VOCAB), p)
+                 for p in range(rng.randint(1, 8))])
+        index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+    return index
+
+
+@pytest.fixture()
+def sealed(tmp_path):
+    index = sample_index()
+    path = write_segment(index, tmp_path / "seg.ridx")
+    reader = SegmentReader(path)
+    yield index, reader, path
+    reader.close()
+
+
+class TestRoundTrip:
+    def test_to_inverted_reproduces_source(self, sealed):
+        index, reader, _ = sealed
+        assert reader.to_inverted().to_json() == index.to_json()
+
+    def test_doc_count_and_fields(self, sealed):
+        index, reader, _ = sealed
+        assert reader.doc_count == index.doc_count
+        assert set(reader.field_names()) == set(index.field_names())
+
+    def test_postings_statistics_survive(self, sealed):
+        index, reader, _ = sealed
+        for field in ("event", "narration"):
+            for term in index.terms(field):
+                original = index.postings(field, term)
+                lazy = reader.postings(field, term)
+                assert lazy.doc_frequency == original.doc_frequency
+                assert lazy.total_frequency == original.total_frequency
+                assert lazy.max_frequency == original.max_frequency
+                assert lazy.doc_ids() == original.doc_ids()
+
+    def test_positions_survive(self, sealed):
+        index, reader, _ = sealed
+        original = {p.doc_id: p for p in index.postings("event", "goal")}
+        for posting in reader.postings("event", "goal"):
+            assert posting.positions \
+                == original[posting.doc_id].positions
+
+    def test_per_document_state(self, sealed):
+        index, reader, _ = sealed
+        for doc_id in range(index.doc_count):
+            assert reader.field_length("event", doc_id) \
+                == index.field_length("event", doc_id)
+            assert reader.field_boost("event", doc_id) \
+                == index.field_boost("event", doc_id)
+            assert reader.stored_fields(doc_id)["doc_key"] \
+                == [f"doc-{doc_id}"]
+        assert reader.max_field_boost("event") \
+            == index.max_field_boost("event")
+
+    def test_global_statistics_are_exact_integer_sums(self, sealed):
+        index, reader, _ = sealed
+        for field in ("event", "narration"):
+            assert reader.docs_with_field(field) \
+                == index.docs_with_field(field)
+            docs = reader.docs_with_field(field)
+            assert reader.sum_lengths(field) \
+                == round(index.average_field_length(field) * docs)
+
+    def test_empty_index_seals_and_opens(self, tmp_path):
+        empty = InvertedIndex("empty")
+        path = write_segment(empty, tmp_path / "empty.ridx")
+        with SegmentReader(path) as reader:
+            assert reader.doc_count == 0
+            assert reader.to_inverted().to_json() == empty.to_json()
+
+    def test_encoding_is_deterministic(self, tmp_path):
+        index = sample_index()
+        first = write_segment(index, tmp_path / "a.ridx")
+        second = write_segment(index, tmp_path / "b.ridx")
+        assert first.read_bytes() == second.read_bytes()
+
+
+class TestLaziness:
+    def test_point_lookup_does_not_materialize(self, sealed):
+        index, reader, _ = sealed
+        lazy = reader.postings("event", "goal")
+        target = index.postings("event", "goal").doc_ids()[0]
+        hit = lazy.get(target)
+        assert hit is not None and hit.doc_id == target
+        assert lazy.get(-1) is None
+        # the point lookup decoded one skip block, never the full list
+        assert lazy._all is None
+
+    def test_skip_blocks_cover_long_postings(self, tmp_path):
+        index = InvertedIndex("long")
+        docs = SKIP_BLOCK * 3 + 5
+        for _ in range(docs):
+            doc_id = index.new_doc_id()
+            index.index_terms(doc_id, "f", [("t", 0), ("t", 1)])
+        path = write_segment(index, tmp_path / "long.ridx")
+        with SegmentReader(path) as reader:
+            lazy = reader.postings("f", "t")
+            assert len(lazy._meta.skip_docs) > 1
+            for doc_id in (0, SKIP_BLOCK - 1, SKIP_BLOCK,
+                           docs - 1):
+                assert lazy.get(doc_id).doc_id == doc_id
+            assert lazy.doc_ids() == list(range(docs))
+
+
+class TestRebase:
+    def test_base_offsets_doc_ids_and_injected_df(self, sealed):
+        index, reader, _ = sealed
+        local = index.postings("event", "goal")
+        lazy = reader.postings("event", "goal", base=1000,
+                               doc_frequency=4242)
+        assert lazy.doc_frequency == 4242          # global, injected
+        assert len(lazy) == local.doc_frequency    # local cardinality
+        assert lazy.doc_ids() \
+            == [doc_id + 1000 for doc_id in local.doc_ids()]
+        first = local.doc_ids()[0]
+        assert lazy.get(first + 1000).doc_id == first + 1000
+
+
+class TestMerge:
+    def test_merge_is_byte_identical_to_union_build(self, tmp_path):
+        chunks = [sample_index(seed=seed, docs=10 + seed, name="demo")
+                  for seed in (1, 2, 3)]
+        union = InvertedIndex("demo")
+        for chunk in chunks:
+            union.merge(chunk)
+        readers = [SegmentReader(write_segment(
+                       chunk, tmp_path / f"in_{number}.ridx"))
+                   for number, chunk in enumerate(chunks)]
+        try:
+            merged = merge_segment_files(readers,
+                                         tmp_path / "merged.ridx")
+        finally:
+            for reader in readers:
+                reader.close()
+        oracle = write_segment(union, tmp_path / "oracle.ridx")
+        assert merged.read_bytes() == oracle.read_bytes()
+
+    def test_merged_segment_round_trips(self, tmp_path):
+        chunks = [sample_index(seed=seed, docs=8, name="demo")
+                  for seed in (4, 5)]
+        union = InvertedIndex("demo")
+        for chunk in chunks:
+            union.merge(chunk)
+        readers = [SegmentReader(write_segment(
+                       chunk, tmp_path / f"in_{number}.ridx"))
+                   for number, chunk in enumerate(chunks)]
+        try:
+            merged = merge_segment_files(readers,
+                                         tmp_path / "merged.ridx")
+        finally:
+            for reader in readers:
+                reader.close()
+        with SegmentReader(merged) as reader:
+            assert reader.to_inverted().to_json() == union.to_json()
