@@ -1,0 +1,158 @@
+"""Serving-scale load benchmark: the §1 "millions of users" claim.
+
+Every earlier BENCH file measured the engine closed-loop — one caller
+in a ``for`` loop, which can never show queueing.  This one drives
+the keyword engine with the open-loop harness (``repro.loadgen``)
+over a 2×2 matrix: {cache_friendly, cache_hostile} workload profiles
+× {monolithic, segmented} backends.  For each cell it reports exact
+p50/p95/p99/max response and service latency (reservoir-backed
+metrics histograms), offered vs. achieved throughput, and a
+saturation sweep over geometrically stepped offered rates — plus an
+in-benchmark **parity check**: every concurrent result must be
+bit-identical to the single-threaded run of the same query, so a
+number produced under load is a number you can trust.
+
+Evidence lands in ``benchmarks/results/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.core import IndexName, KeywordSearchEngine
+from repro.loadgen import (OpenLoopDriver, arrival_times,
+                           build_workload, saturation_sweep)
+
+from benchmarks.conftest import write_result
+
+PROFILE_NAMES = ("cache_friendly", "cache_hostile")
+LOAD_REQUESTS = 600
+LOAD_RATE = 300.0
+SWEEP_RATES = (200.0, 800.0, 3200.0)
+SWEEP_REQUESTS = 200
+THREADS = 8
+LIMIT = 10
+SEED = 42
+
+
+@pytest.fixture(scope="session")
+def segmented_pipeline_result(pipeline, corpus, tmp_path_factory):
+    result = pipeline.run_segmented(
+        corpus.crawled, tmp_path_factory.mktemp("bench_serving"),
+        segment_size=2)
+    yield result
+    result.close()
+
+
+def fresh_engine(result) -> KeywordSearchEngine:
+    # a new engine per measurement: its result cache starts cold, so
+    # cache_friendly vs cache_hostile numbers measure the profile,
+    # not leftovers of the previous cell
+    return KeywordSearchEngine(result.index(IndexName.FULL_INF))
+
+
+def parity_check(engine, workload) -> int:
+    """Every unique query answered serially first, then the whole
+    workload replayed at 8 threads — each concurrent result must be
+    bit-identical (doc keys *and* scores) to its serial oracle.
+    Returns the number of requests checked."""
+    oracle = {query: [(hit.doc_key, hit.score)
+                      for hit in engine.search(query, limit=LIMIT)]
+              for query in workload.unique_queries()}
+    load = OpenLoopDriver(
+        engine.search, workload.queries,
+        arrival_times("fixed", 2000.0, len(workload)),
+        threads=THREADS, limit=LIMIT, capture_results=True,
+        name="parity").run()
+    assert load.errors == 0, load.error_samples
+    for record in load.records:
+        got = [(hit.doc_key, hit.score) for hit in record.result]
+        assert got == oracle[record.query], \
+            f"concurrent result diverged for {record.query!r}"
+    return load.completed
+
+
+def measure_cell(result, profile: str) -> dict:
+    workload = build_workload(profile, LOAD_REQUESTS, seed=SEED)
+    checked = parity_check(fresh_engine(result), workload)
+
+    engine = fresh_engine(result)
+    load = OpenLoopDriver(
+        engine.search, workload.queries,
+        arrival_times("poisson", LOAD_RATE, LOAD_REQUESTS, seed=SEED),
+        threads=THREADS, limit=LIMIT,
+        name=f"{profile}@{LOAD_RATE:g}qps").run()
+    assert load.completed == LOAD_REQUESTS
+    assert load.errors == 0
+    assert load.percentile_source == "reservoir_exact"
+    assert 0.0 < load.response["p50"] <= load.response["p99"] \
+        <= load.response["max"]
+
+    sweep_workload = build_workload(profile, SWEEP_REQUESTS, seed=SEED)
+    sweep_engine = fresh_engine(result)
+    # steady-state sweep: serve each unique query once up front so
+    # the lowest rate doesn't pay the cold-cache warm-up and read as
+    # falsely saturated relative to the later (warmed) points
+    for query in sweep_workload.unique_queries():
+        sweep_engine.search(query, limit=LIMIT)
+
+    def run_at(rate: float):
+        return OpenLoopDriver(
+            sweep_engine.search, sweep_workload.queries,
+            arrival_times("fixed", rate, SWEEP_REQUESTS, seed=SEED),
+            threads=THREADS, limit=LIMIT,
+            name=f"{profile}@{rate:g}qps").run()
+
+    sweep = saturation_sweep(run_at, SWEEP_RATES)
+    assert sweep["saturation_qps"] > 0
+
+    cache = engine.cache_info()
+    lookups = cache.hits + cache.misses
+    return {
+        "profile": profile,
+        "parity_checked_requests": checked,
+        "load": load.to_json(),
+        "saturation": sweep,
+        "cache_hit_rate": round(cache.hits / lookups, 4)
+        if lookups else None,
+    }
+
+
+def test_serving_load_matrix(pipeline_result,
+                             segmented_pipeline_result, results_dir):
+    backends = {
+        "monolithic": pipeline_result,
+        "segmented": segmented_pipeline_result,
+    }
+    report = {
+        "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "index": IndexName.FULL_INF,
+        "threads": THREADS,
+        "limit": LIMIT,
+        "arrival": "poisson",
+        "offered_qps": LOAD_RATE,
+        "requests_per_cell": LOAD_REQUESTS,
+        "backends": {},
+    }
+    for backend, result in backends.items():
+        cells = {profile: measure_cell(result, profile)
+                 for profile in PROFILE_NAMES}
+        report["backends"][backend] = cells
+        # the cache-friendly profile must actually be cache-friendly
+        assert cells["cache_friendly"]["cache_hit_rate"] \
+            > cells["cache_hostile"]["cache_hit_rate"]
+
+    write_result(results_dir, "BENCH_serving.json",
+                 json.dumps(report, indent=2) + "\n")
+
+    for backend, cells in report["backends"].items():
+        for profile, cell in cells.items():
+            response = cell["load"]["response_seconds"]
+            print(f"{backend:10} {profile:15} "
+                  f"p50={response['p50'] * 1000:7.2f}ms "
+                  f"p99={response['p99'] * 1000:7.2f}ms "
+                  f"achieved={cell['load']['achieved_qps']:7.1f}qps "
+                  f"saturation={cell['saturation']['saturation_qps']:8.1f}qps")

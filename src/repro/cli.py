@@ -8,6 +8,7 @@ Subcommands::
     python -m repro merge -d INDEXDIR   # tiered merge of segmented indexes
     python -m repro evaluate            # Tables 4, 5 and 6
     python -m repro ontology            # Fig. 2 class hierarchy
+    python -m repro loadtest            # open-loop serving load test
 
 ``build`` persists every index under the given directory — JSON by
 default, the compact binary format with ``--format binary``, or (with
@@ -39,6 +40,7 @@ from repro.core.observability import (Observability, get_observability,
 from repro.errors import ReproError
 from repro.evaluation import EvaluationHarness, render_table
 from repro.ontology import soccer_ontology
+from repro.loadgen import ARRIVAL_PROCESSES, PROFILES
 from repro.search import Highlighter, load_index, save_index
 from repro.search.index import (DEFAULT_MERGE_FACTOR, INDEX_FORMATS,
                                 SEGMENT_DIR_SUFFIX, IndexDirectory,
@@ -170,6 +172,53 @@ def build_parser() -> argparse.ArgumentParser:
 
     subparsers.add_parser("evaluate",
                           help="reproduce Tables 4, 5 and 6")
+
+    loadtest = subparsers.add_parser(
+        "loadtest",
+        help="open-loop load test of the query-serving path "
+             "(docs/performance.md)")
+    loadtest.add_argument("-d", "--index-dir", type=Path, default=None,
+                          help="load a saved index instead of "
+                               "rebuilding (required with --processes)")
+    loadtest.add_argument("-i", "--index", default=IndexName.FULL_INF,
+                          choices=[*IndexName.LADDER, IndexName.PHR_EXP],
+                          help="which index to hammer")
+    loadtest.add_argument("--workload", default="cache_hostile",
+                          choices=sorted(PROFILES),
+                          help="query-mix profile (default: "
+                               "cache_hostile, the scoring-path "
+                               "stressor)")
+    loadtest.add_argument("--requests", type=int, default=500,
+                          metavar="N",
+                          help="requests per run (default: 500)")
+    loadtest.add_argument("--rate", type=float, default=200.0,
+                          metavar="QPS",
+                          help="offered arrival rate (default: 200)")
+    loadtest.add_argument("--arrival", default="poisson",
+                          choices=sorted(ARRIVAL_PROCESSES),
+                          help="arrival process (default: poisson)")
+    loadtest.add_argument("--threads", type=int, default=4,
+                          help="worker threads draining the open "
+                               "queue (default: 4)")
+    loadtest.add_argument("--processes", type=int, default=1,
+                          help="shard the load across this many "
+                               "worker processes (default: 1, "
+                               "in-process threads only)")
+    loadtest.add_argument("-n", "--limit", type=int, default=10,
+                          help="hits per query (default: 10)")
+    loadtest.add_argument("--load-seed", type=int, default=42,
+                          metavar="S",
+                          help="seed for workload sampling and "
+                               "arrival schedule (default: 42; "
+                               "distinct from --seed, which shapes "
+                               "the corpus)")
+    loadtest.add_argument("--sweep", default=None, metavar="R1,R2,…",
+                          help="comma-separated offered rates: run "
+                               "each and report the saturation point "
+                               "instead of a single run")
+    loadtest.add_argument("-o", "--output", type=Path, default=None,
+                          metavar="OUT.json",
+                          help="also write the report as JSON")
 
     subparsers.add_parser("ontology",
                           help="print the Fig. 2 class hierarchy")
@@ -366,6 +415,93 @@ def _command_evaluate(args) -> int:
     return 0
 
 
+def _command_loadtest(args) -> int:
+    from repro.loadgen import (OpenLoopDriver, arrival_times,
+                               build_workload, run_multiprocess,
+                               saturation_sweep)
+    if args.requests < 1:
+        print("error: --requests must be >= 1", file=sys.stderr)
+        return EXIT_USER_ERROR
+    if args.rate <= 0:
+        print("error: --rate must be positive", file=sys.stderr)
+        return EXIT_USER_ERROR
+
+    if args.processes > 1:
+        if args.index_dir is None:
+            print("error: --processes needs --index-dir (worker "
+                  "processes reopen the saved index)", file=sys.stderr)
+            return EXIT_USER_ERROR
+        if args.sweep is not None:
+            print("error: --sweep and --processes are mutually "
+                  "exclusive", file=sys.stderr)
+            return EXIT_USER_ERROR
+        report = run_multiprocess(
+            args.index_dir, args.index, args.workload, args.requests,
+            args.rate, args.processes, threads=args.threads,
+            limit=args.limit, arrival=args.arrival,
+            seed=args.load_seed)
+        return _emit_load_report(report, args)
+
+    if args.index_dir is not None:
+        try:
+            index = load_index(args.index_dir, args.index)
+        except (OSError, ValueError, ReproError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(f"hint: run 'repro build -d {args.index_dir}' first",
+                  file=sys.stderr)
+            return EXIT_USER_ERROR
+    else:
+        corpus = _corpus(args.seed)
+        print("building pipeline (pass --index-dir to load a saved "
+              "index instead)…", file=sys.stderr)
+        index = _run_pipeline(args, corpus).index(args.index)
+
+    try:
+        engine = KeywordSearchEngine(index)
+        workload = build_workload(args.workload, args.requests,
+                                  seed=args.load_seed)
+
+        def run_at(rate):
+            arrivals = arrival_times(args.arrival, rate,
+                                     args.requests,
+                                     seed=args.load_seed)
+            return OpenLoopDriver(
+                engine.search, workload.queries, arrivals,
+                threads=args.threads, limit=args.limit,
+                name=f"{args.workload}@{rate:g}qps").run()
+
+        if args.sweep is not None:
+            try:
+                rates = [float(token) for token
+                         in args.sweep.split(",") if token.strip()]
+            except ValueError:
+                print(f"error: --sweep wants comma-separated numbers, "
+                      f"got {args.sweep!r}", file=sys.stderr)
+                return EXIT_USER_ERROR
+            if not rates:
+                print("error: --sweep got no rates", file=sys.stderr)
+                return EXIT_USER_ERROR
+            report = saturation_sweep(run_at, rates)
+            report["workload"] = args.workload
+            report["arrival"] = args.arrival
+        else:
+            report = run_at(args.rate).to_json()
+    finally:
+        close = getattr(index, "close", None)
+        if close is not None and args.index_dir is not None:
+            close()
+    return _emit_load_report(report, args)
+
+
+def _emit_load_report(report: dict, args) -> int:
+    text = json.dumps(report, indent=2)
+    print(text)
+    if args.output is not None:
+        args.output.write_text(text + "\n")
+        print(f"report written to {args.output}", file=sys.stderr)
+    return 0
+
+
 def _command_ontology(args) -> int:
     ontology = soccer_ontology()
     print(f"{ontology.class_count} concepts, "
@@ -438,6 +574,7 @@ _COMMANDS = {
     "merge": _command_merge,
     "search": _command_search,
     "evaluate": _command_evaluate,
+    "loadtest": _command_loadtest,
     "ontology": _command_ontology,
     "stats": _command_stats,
 }

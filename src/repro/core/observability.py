@@ -39,6 +39,9 @@ Span model, metric names and exporter formats are documented in
 from __future__ import annotations
 
 import hashlib
+import math
+import random
+import threading
 import time
 from bisect import bisect_left
 from contextlib import contextmanager
@@ -50,7 +53,8 @@ __all__ = [
     "Span", "Tracer", "Counter", "Gauge", "Histogram",
     "MetricsRegistry", "Observability", "get_observability",
     "install_observability", "observed", "fold_cache_info",
-    "validate_trace", "render_metrics",
+    "validate_trace", "render_metrics", "sorted_quantile",
+    "bucket_quantile",
 ]
 
 TRACE_SCHEMA = "repro.trace/v1"
@@ -255,43 +259,131 @@ def validate_trace(data: dict) -> None:
 # ----------------------------------------------------------------------
 
 
-class Counter:
-    """Monotonically-increasing value (floats allowed, e.g. seconds)."""
+def sorted_quantile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile over an ascending-**sorted** sequence.
 
-    __slots__ = ("value",)
+    Defined as the smallest element ``v`` such that at least
+    ``ceil(q * n)`` observations are ``<= v`` (so ``q=0.5`` of four
+    values is the second one, and ``q=1.0`` is the maximum).  This is
+    the oracle definition every other percentile source in this module
+    — the exact reservoir and the bucket interpolation — is tested
+    against.
+    """
+    if not values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * len(values)))
+    return values[rank - 1]
+
+
+def bucket_quantile(buckets: Sequence[float],
+                    bucket_counts: Sequence[int], q: float) -> float:
+    """Estimate a quantile from fixed-bucket counts (the
+    cross-process fallback when no reservoir travelled with the data,
+    e.g. a metrics JSON export merged over worker processes).
+
+    Interpolation contract (documented here, relied on by
+    ``docs/observability.md`` and the load harness):
+
+    * find the bucket holding the nearest-rank target
+      ``ceil(q * total)`` in cumulative order;
+    * assume observations spread **uniformly** across that bucket's
+      ``(lower, upper]`` range and interpolate linearly by the rank's
+      position within the bucket (the Prometheus
+      ``histogram_quantile`` convention);
+    * the first bucket's lower bound is ``0.0`` (latencies are
+      non-negative), and the overflow (+Inf) bucket collapses to the
+      highest finite boundary — beyond the last bound the histogram
+      simply cannot resolve, so the estimate saturates there.
+
+    The estimate is therefore never off by more than the width of the
+    bucket the true value landed in (guarded by a property test
+    against :func:`sorted_quantile`).
+    """
+    if len(bucket_counts) != len(buckets) + 1:
+        raise ValueError(
+            f"want {len(buckets) + 1} bucket counts (incl. overflow), "
+            f"got {len(bucket_counts)}")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    total = sum(bucket_counts)
+    if total == 0:
+        raise ValueError("quantile of an empty histogram")
+    rank = max(1, math.ceil(q * total))
+    running = 0
+    for position, count in enumerate(bucket_counts):
+        running += count
+        if count and running >= rank:
+            if position >= len(buckets):       # the +Inf bucket
+                return buckets[-1]
+            upper = buckets[position]
+            lower = buckets[position - 1] if position else 0.0
+            within = rank - (running - count)
+            return lower + (upper - lower) * (within / count)
+    return buckets[-1]                         # pragma: no cover
+
+
+class Counter:
+    """Monotonically-increasing value (floats allowed, e.g. seconds).
+
+    ``inc`` is guarded by a lock: the load harness drives query paths
+    from many threads, and an unlocked ``+=`` is a read-modify-write
+    that silently drops increments under contention.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A value that can go up and down."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
         self.value = value
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Histogram:
     """Fixed-bucket histogram (Prometheus-style ``le`` semantics:
-    a value equal to a bucket boundary lands in that bucket)."""
+    a value equal to a bucket boundary lands in that bucket).
 
-    __slots__ = ("buckets", "bucket_counts", "sum", "count")
+    With ``reservoir > 0`` the histogram additionally keeps a bounded
+    sample of raw observations: **every** value while ``count`` fits
+    the capacity (percentiles are then exact), degrading to a seeded
+    uniform sample (Algorithm R) beyond it.  :meth:`quantile` prefers
+    the reservoir and falls back to :func:`bucket_quantile` — the
+    buckets remain the only thing that survives a cross-process merge,
+    the reservoir is the in-process precision upgrade.
 
-    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS
-                 ) -> None:
+    ``observe`` is locked: bucket increments and reservoir slots are
+    read-modify-write and the serving load harness observes from many
+    threads at once.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "sum", "count",
+                 "reservoir_capacity", "_reservoir", "_rng", "_lock")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+                 reservoir: int = 0, reservoir_seed: int = 0) -> None:
         self.buckets: Tuple[float, ...] = tuple(
             sorted(float(b) for b in buckets))
         if not self.buckets:
@@ -300,11 +392,24 @@ class Histogram:
         self.bucket_counts: List[int] = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self.reservoir_capacity = int(reservoir)
+        self._reservoir: List[float] = []
+        self._rng = (random.Random(reservoir_seed)
+                     if self.reservoir_capacity > 0 else None)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.bucket_counts[bisect_left(self.buckets, value)] += 1
-        self.sum += value
-        self.count += 1
+        with self._lock:
+            self.bucket_counts[bisect_left(self.buckets, value)] += 1
+            self.sum += value
+            self.count += 1
+            if self._rng is not None:
+                if len(self._reservoir) < self.reservoir_capacity:
+                    self._reservoir.append(value)
+                else:
+                    slot = self._rng.randrange(self.count)
+                    if slot < self.reservoir_capacity:
+                        self._reservoir[slot] = value
 
     def cumulative_counts(self) -> List[int]:
         """Cumulative per-bucket counts, ending with the +Inf total."""
@@ -313,6 +418,25 @@ class Histogram:
             running += count
             totals.append(running)
         return totals
+
+    @property
+    def exact(self) -> bool:
+        """True when the reservoir still holds *every* observation —
+        :meth:`quantile` is then exact, not an estimate."""
+        return (self.reservoir_capacity > 0
+                and self.count <= self.reservoir_capacity)
+
+    def reservoir_values(self) -> List[float]:
+        with self._lock:
+            return list(self._reservoir)
+
+    def quantile(self, q: float) -> float:
+        """Best available quantile: exact/sampled reservoir when one
+        is kept, otherwise the documented bucket interpolation."""
+        with self._lock:
+            if self._reservoir:
+                return sorted_quantile(sorted(self._reservoir), q)
+            return bucket_quantile(self.buckets, self.bucket_counts, q)
 
 
 class _NullInstrument:
@@ -323,6 +447,8 @@ class _NullInstrument:
     sum = 0.0
     count = 0
     buckets: Tuple[float, ...] = ()
+    reservoir_capacity = 0
+    exact = False
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -332,6 +458,12 @@ class _NullInstrument:
 
     def observe(self, value: float) -> None:
         pass
+
+    def reservoir_values(self) -> List[float]:
+        return []
+
+    def quantile(self, q: float) -> float:
+        return 0.0
 
 
 _NULL = _NullInstrument()
@@ -353,6 +485,9 @@ class MetricsRegistry:
         self._instruments: Dict[Tuple[str, _LabelKey], Any] = {}
         self._kinds: Dict[str, str] = {}
         self._helps: Dict[str, str] = {}
+        # guards create-or-return: without it two threads can race the
+        # check-then-insert and one instrument's increments vanish
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
@@ -364,12 +499,20 @@ class MetricsRegistry:
 
     def histogram(self, name: str, help: str = "",
                   buckets: Optional[Sequence[float]] = None,
+                  reservoir: int = 0,
                   **labels: Any) -> Histogram:
+        """``reservoir``/``buckets`` only apply when this call is the
+        one that creates the instrument — later accessors get the
+        existing series back unchanged, so pre-register a histogram
+        with a reservoir *before* the code that observes into it runs
+        (the load harness does exactly this for
+        ``query_latency_seconds``)."""
         if not self.enabled:
             return _NULL  # type: ignore[return-value]
         instrument = self._get(
             "histogram", lambda: Histogram(buckets or
-                                           DEFAULT_LATENCY_BUCKETS),
+                                           DEFAULT_LATENCY_BUCKETS,
+                                           reservoir=reservoir),
             name, help, labels)
         return instrument
 
@@ -377,21 +520,23 @@ class MetricsRegistry:
              labels: Dict[str, Any]):
         if not self.enabled:
             return _NULL
-        known = self._kinds.get(name)
-        if known is not None and known != kind:
-            raise ValueError(f"metric {name!r} already registered as a "
-                             f"{known}, not a {kind}")
-        key = (name, tuple(sorted((k, str(v)) for k, v in labels.items())))
-        instrument = self._instruments.get(key)
-        if instrument is None:
-            instrument = factory()
-            self._instruments[key] = instrument
-            self._kinds[name] = kind
-            if help:
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                raise ValueError(f"metric {name!r} already registered "
+                                 f"as a {known}, not a {kind}")
+            key = (name,
+                   tuple(sorted((k, str(v)) for k, v in labels.items())))
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = factory()
+                self._instruments[key] = instrument
+                self._kinds[name] = kind
+                if help:
+                    self._helps[name] = help
+            elif help and name not in self._helps:
                 self._helps[name] = help
-        elif help and name not in self._helps:
-            self._helps[name] = help
-        return instrument
+            return instrument
 
     # ------------------------------------------------------------------
     # exporters
@@ -413,6 +558,13 @@ class MetricsRegistry:
                              counts=list(instrument.bucket_counts),
                              sum=round(instrument.sum, 6),
                              count=instrument.count)
+                if instrument.reservoir_capacity and instrument.count:
+                    entry["quantiles"] = {
+                        "p50": round(instrument.quantile(0.50), 6),
+                        "p95": round(instrument.quantile(0.95), 6),
+                        "p99": round(instrument.quantile(0.99), 6),
+                        "exact": instrument.exact,
+                    }
             else:
                 entry["value"] = round(instrument.value, 6)
             data[kind + "s"].setdefault(name, []).append(entry)

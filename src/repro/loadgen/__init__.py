@@ -1,0 +1,42 @@
+"""Open-loop load generation for the query-serving path.
+
+The ROADMAP's "heavy traffic from millions of users" claim is only
+judgeable by an open-loop, multi-client load test: requests arrive on
+their own clock (fixed-rate or Poisson), whether or not the server
+has finished the previous one, so queueing delay shows up in the
+latency distribution instead of being silently absorbed the way a
+one-caller-in-a-loop benchmark absorbs it.  This package is that
+instrument:
+
+* :mod:`repro.loadgen.arrival` — seeded arrival processes (fixed
+  rate, Poisson);
+* :mod:`repro.loadgen.workload` — zipf-distributed query mixes over
+  the paper query set plus synthetic expansions, with cache-friendly
+  and cache-hostile profiles;
+* :mod:`repro.loadgen.driver` — the multi-threaded (optionally
+  multi-process) open-loop driver, sourcing latency percentiles from
+  the :mod:`repro.core.observability` histograms (exact reservoir
+  in-process, bucket interpolation cross-process) and reporting
+  offered vs. achieved throughput plus saturation sweeps.
+
+Runnable outside pytest via ``python -m repro loadtest`` and consumed
+by ``benchmarks/test_serving_load.py`` (→ ``BENCH_serving.json``).
+Knobs and output format are documented in ``docs/performance.md``.
+"""
+
+from repro.loadgen.arrival import (ARRIVAL_PROCESSES, arrival_times,
+                                   fixed_rate_arrivals, poisson_arrivals)
+from repro.loadgen.driver import (LoadResult, OpenLoopDriver,
+                                  RequestRecord, run_multiprocess,
+                                  saturation_sweep)
+from repro.loadgen.workload import (PAPER_QUERIES, PROFILES, Workload,
+                                    WorkloadProfile, ZipfSampler,
+                                    build_workload, synthetic_queries)
+
+__all__ = [
+    "ARRIVAL_PROCESSES", "arrival_times", "fixed_rate_arrivals",
+    "poisson_arrivals", "LoadResult", "OpenLoopDriver",
+    "RequestRecord", "run_multiprocess", "saturation_sweep",
+    "PAPER_QUERIES", "PROFILES", "Workload", "WorkloadProfile",
+    "ZipfSampler", "build_workload", "synthetic_queries",
+]

@@ -1,0 +1,77 @@
+"""Arrival processes: when each request hits the server.
+
+Open-loop load generation separates *when requests arrive* from *when
+the server finishes them*.  Both processes here produce a list of
+monotonically non-decreasing arrival offsets (seconds from the start
+of the run) and are **deterministic under a fixed seed**, so a load
+test is replayable: the same seed produces byte-identical schedules
+on any machine, and the property tests in
+``tests/loadgen/test_arrival.py`` pin both the determinism and the
+distributional shape.
+
+* :func:`fixed_rate_arrivals` — one request every ``1/rate`` seconds,
+  the metronome every saturation sweep steps through.
+* :func:`poisson_arrivals` — exponentially-distributed inter-arrival
+  gaps (``random.Random(seed).expovariate``), the memoryless process
+  real user traffic is conventionally modelled by; bursts and lulls
+  appear naturally, which is what makes queueing delay visible at
+  offered rates well below saturation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+__all__ = ["fixed_rate_arrivals", "poisson_arrivals",
+           "ARRIVAL_PROCESSES", "arrival_times"]
+
+
+def _check(rate: float, count: int) -> None:
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate}")
+    if count < 0:
+        raise ValueError(f"request count must be >= 0, got {count}")
+
+
+def fixed_rate_arrivals(rate: float, count: int,
+                        seed: int = 0) -> List[float]:
+    """``count`` arrivals exactly ``1/rate`` seconds apart, starting
+    at offset 0.  ``seed`` is accepted (and ignored) so both processes
+    share a call signature."""
+    _check(rate, count)
+    gap = 1.0 / rate
+    return [i * gap for i in range(count)]
+
+
+def poisson_arrivals(rate: float, count: int, seed: int = 0) -> List[float]:
+    """``count`` arrivals of a Poisson process with intensity ``rate``
+    (mean inter-arrival gap ``1/rate``), seeded and deterministic.
+    The first arrival is at offset 0 so fixed-rate and Poisson
+    schedules of the same rate cover comparable spans."""
+    _check(rate, count)
+    import random
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    for _ in range(count):
+        offsets.append(clock)
+        clock += rng.expovariate(rate)
+    return offsets
+
+
+ARRIVAL_PROCESSES: Dict[str, Callable[[float, int, int], List[float]]] = {
+    "fixed": fixed_rate_arrivals,
+    "poisson": poisson_arrivals,
+}
+
+
+def arrival_times(process: str, rate: float, count: int,
+                  seed: int = 0) -> List[float]:
+    """Dispatch by process name (the CLI/benchmark entry point)."""
+    try:
+        factory = ARRIVAL_PROCESSES[process]
+    except KeyError:
+        raise ValueError(
+            f"unknown arrival process {process!r} "
+            f"(known: {', '.join(sorted(ARRIVAL_PROCESSES))})") from None
+    return factory(rate, count, seed)

@@ -1,0 +1,424 @@
+"""The open-loop driver: many clients, one clock, honest latency.
+
+**Open loop** means the request schedule is fixed before the run: a
+dispatcher releases each request at its arrival offset whether or not
+earlier requests have finished, and worker threads drain the queue as
+fast as the engine allows.  When the engine keeps up, achieved
+throughput equals offered throughput and response time ≈ service
+time; past saturation the queue grows, response time (measured from
+the *scheduled* arrival, queue wait included) diverges from service
+time, and achieved throughput flatlines at capacity.  A closed loop —
+one caller in a ``for`` loop, like every earlier BENCH file — can
+never show that divergence, because it only issues the next request
+after the previous one returns.
+
+Latency accounting runs through the PR 3 metrics layer: the driver
+observes into ``loadgen_response_seconds`` / ``loadgen_service_seconds``
+histograms registered with an exact-percentile reservoir
+(:class:`~repro.core.observability.Histogram`), so p50/p95/p99 in the
+report are exact whenever the run fits the reservoir and
+bucket-interpolated (documented in
+:func:`~repro.core.observability.bucket_quantile`) beyond it.  The
+multi-process mode ships only bucket counts across the process
+boundary and merges them — the cross-process fallback path, exercised
+on purpose.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.observability import (DEFAULT_LATENCY_BUCKETS,
+                                      MetricsRegistry, bucket_quantile,
+                                      get_observability)
+
+__all__ = ["RequestRecord", "LoadResult", "OpenLoopDriver",
+           "saturation_sweep", "run_multiprocess"]
+
+#: reservoir capacity for the driver's latency histograms — runs up
+#: to this many requests report *exact* percentiles
+DEFAULT_RESERVOIR = 16384
+
+SearchFn = Callable[[str, Optional[int]], Any]
+
+
+@dataclass
+class RequestRecord:
+    """One request's life: offsets are seconds from the run start."""
+
+    query: str
+    scheduled: float
+    started: float
+    finished: float
+    hits: int
+    error: Optional[str] = None
+    #: the result payload when the driver captures results for parity
+    #: checking (None otherwise, to keep big runs lean)
+    result: Any = None
+
+    @property
+    def service_seconds(self) -> float:
+        return self.finished - self.started
+
+    @property
+    def response_seconds(self) -> float:
+        """Queue wait included — the latency a client actually sees."""
+        return self.finished - self.scheduled
+
+
+@dataclass
+class LoadResult:
+    """One load run's report (see ``docs/performance.md``)."""
+
+    name: str
+    threads: int
+    limit: Optional[int]
+    requests: int
+    completed: int
+    errors: int
+    answered: int
+    offered_qps: float
+    achieved_qps: float
+    makespan_seconds: float
+    response: Dict[str, float]
+    service: Dict[str, float]
+    percentile_source: str
+    error_samples: List[str] = field(default_factory=list)
+    records: Optional[List[RequestRecord]] = None
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "threads": self.threads,
+            "limit": self.limit,
+            "requests": self.requests,
+            "completed": self.completed,
+            "errors": self.errors,
+            "answered": self.answered,
+            "offered_qps": round(self.offered_qps, 2),
+            "achieved_qps": round(self.achieved_qps, 2),
+            "utilization": round(self.achieved_qps
+                                 / self.offered_qps, 4)
+            if self.offered_qps else None,
+            "makespan_seconds": round(self.makespan_seconds, 4),
+            "percentile_source": self.percentile_source,
+            "response_seconds": {key: round(value, 6)
+                                 for key, value in self.response.items()},
+            "service_seconds": {key: round(value, 6)
+                                for key, value in self.service.items()},
+            "error_samples": self.error_samples[:5],
+        }
+
+
+def _percentiles(histogram, records_max: float) -> Dict[str, float]:
+    return {
+        "p50": histogram.quantile(0.50),
+        "p95": histogram.quantile(0.95),
+        "p99": histogram.quantile(0.99),
+        "max": records_max,
+        "mean": histogram.sum / histogram.count if histogram.count else 0.0,
+    }
+
+
+class OpenLoopDriver:
+    """Drives ``search(query, limit)`` with an open-loop schedule.
+
+    ``search`` is anything callable with a query string and a limit —
+    a :class:`~repro.core.retrieval.KeywordSearchEngine` bound method,
+    a closure over an :class:`~repro.search.searcher.IndexSearcher`,
+    or a stub in tests.  The return value only needs ``len()`` (hit
+    count); with ``capture_results=True`` it is kept verbatim on the
+    record so callers can assert concurrent-vs-serial parity.
+
+    The driver owns a private enabled :class:`MetricsRegistry` unless
+    handed one, and *also* mirrors per-request latencies into the
+    process-wide registry when that is enabled — so a traced/metered
+    CLI run folds load-test latencies into its normal export.
+    """
+
+    def __init__(self, search: SearchFn, queries: Sequence[str],
+                 arrivals: Sequence[float], threads: int = 4,
+                 limit: Optional[int] = 10, name: str = "loadtest",
+                 metrics: Optional[MetricsRegistry] = None,
+                 reservoir: int = DEFAULT_RESERVOIR,
+                 capture_results: bool = False) -> None:
+        if len(queries) != len(arrivals):
+            raise ValueError(f"{len(queries)} queries vs "
+                             f"{len(arrivals)} arrivals")
+        if threads < 1:
+            raise ValueError(f"need at least one worker thread, "
+                             f"got {threads}")
+        self.search = search
+        self.queries = list(queries)
+        self.arrivals = list(arrivals)
+        self.threads = threads
+        self.limit = limit
+        self.name = name
+        self.metrics = metrics or MetricsRegistry(enabled=True)
+        self.reservoir = reservoir
+        self.capture_results = capture_results
+
+    # ------------------------------------------------------------------
+
+    def _histograms(self):
+        response = self.metrics.histogram(
+            "loadgen_response_seconds",
+            "open-loop response time (queue wait included)",
+            buckets=DEFAULT_LATENCY_BUCKETS, reservoir=self.reservoir)
+        service = self.metrics.histogram(
+            "loadgen_service_seconds",
+            "engine service time under load",
+            buckets=DEFAULT_LATENCY_BUCKETS, reservoir=self.reservoir)
+        return response, service
+
+    def run(self) -> LoadResult:
+        response_h, service_h = self._histograms()
+        global_metrics = get_observability().metrics
+        work: "queue.SimpleQueue" = queue.SimpleQueue()
+        records: List[RequestRecord] = []   # list.append is atomic
+
+        base = time.perf_counter()
+
+        def worker() -> None:
+            while True:
+                item = work.get()
+                if item is None:
+                    return
+                offset, query = item
+                started = time.perf_counter() - base
+                result = None
+                hits = 0
+                error = None
+                try:
+                    result = self.search(query, self.limit)
+                    hits = len(result) if result is not None else 0
+                except Exception as exc:   # noqa: BLE001 — reported
+                    error = f"{type(exc).__name__}: {exc}"
+                finished = time.perf_counter() - base
+                record = RequestRecord(
+                    query=query, scheduled=offset, started=started,
+                    finished=finished, hits=hits, error=error,
+                    result=result if self.capture_results else None)
+                response_h.observe(record.response_seconds)
+                service_h.observe(record.service_seconds)
+                if global_metrics.enabled \
+                        and global_metrics is not self.metrics:
+                    global_metrics.histogram(
+                        "loadgen_response_seconds",
+                        "open-loop response time (queue wait included)"
+                    ).observe(record.response_seconds)
+                records.append(record)
+
+        threads = [threading.Thread(target=worker, daemon=True,
+                                    name=f"{self.name}-worker-{i}")
+                   for i in range(self.threads)]
+        for thread in threads:
+            thread.start()
+
+        # the dispatcher: release each request at its scheduled offset
+        for offset, query in zip(self.arrivals, self.queries):
+            now = time.perf_counter() - base
+            if offset > now:
+                time.sleep(offset - now)
+            work.put((offset, query))
+        for _ in threads:
+            work.put(None)
+        for thread in threads:
+            thread.join()
+
+        return self._report(records, response_h, service_h)
+
+    def _report(self, records: List[RequestRecord],
+                response_h, service_h) -> LoadResult:
+        completed = len(records)
+        errors = [record.error for record in records
+                  if record.error is not None]
+        makespan = max((record.finished for record in records),
+                       default=0.0)
+        span = self.arrivals[-1] if self.arrivals else 0.0
+        offered = (len(self.arrivals) / span if span > 0
+                   else float("inf") if self.arrivals else 0.0)
+        achieved = completed / makespan if makespan > 0 else 0.0
+        max_response = max((record.response_seconds
+                            for record in records), default=0.0)
+        max_service = max((record.service_seconds
+                           for record in records), default=0.0)
+        source = ("reservoir_exact" if response_h.exact
+                  else "reservoir_sampled" if response_h.reservoir_capacity
+                  else "bucket_interpolation")
+        return LoadResult(
+            name=self.name, threads=self.threads, limit=self.limit,
+            requests=len(self.queries), completed=completed,
+            errors=len(errors),
+            answered=sum(1 for record in records
+                         if record.hits and not record.error),
+            offered_qps=offered, achieved_qps=achieved,
+            makespan_seconds=makespan,
+            response=_percentiles(response_h, max_response),
+            service=_percentiles(service_h, max_service),
+            percentile_source=source,
+            error_samples=errors[:5],
+            records=records if self.capture_results else None)
+
+
+def saturation_sweep(run_at: Callable[[float], LoadResult],
+                     rates: Sequence[float],
+                     threshold: float = 0.9) -> dict:
+    """Step offered rates upward and locate the knee.
+
+    ``run_at(rate)`` runs one (short) load at that offered rate.
+    Reports every point, the **saturation throughput** (highest
+    achieved QPS anywhere in the sweep — the capacity estimate), and
+    the first offered rate whose utilization (achieved/offered) fell
+    below ``threshold`` — the knee where the open queue starts
+    growing without bound.
+    """
+    points = []
+    saturation_qps = 0.0
+    saturated_at: Optional[float] = None
+    for rate in rates:
+        result = run_at(rate)
+        utilization = (result.achieved_qps / result.offered_qps
+                       if result.offered_qps else 0.0)
+        points.append({
+            "offered_qps": round(result.offered_qps, 2),
+            "achieved_qps": round(result.achieved_qps, 2),
+            "utilization": round(utilization, 4),
+            "p99_response_seconds": round(result.response["p99"], 6),
+        })
+        saturation_qps = max(saturation_qps, result.achieved_qps)
+        if saturated_at is None and utilization < threshold:
+            saturated_at = result.offered_qps
+    return {
+        "points": points,
+        "saturation_qps": round(saturation_qps, 2),
+        "saturated_at_offered_qps": (round(saturated_at, 2)
+                                     if saturated_at is not None
+                                     else None),
+        "utilization_threshold": threshold,
+    }
+
+
+# ----------------------------------------------------------------------
+# multi-process mode
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ProcessTask:
+    """Everything one worker process needs to run its shard — plain
+    data, picklable, engines rebuilt on the far side."""
+
+    index_dir: str
+    index_name: str
+    profile: str
+    count: int
+    rate: float
+    arrival: str
+    threads: int
+    limit: Optional[int]
+    seed: int
+
+
+def _process_shard(task: _ProcessTask) -> dict:
+    """Run one shard in a worker process; returns bucket counts only
+    (the reservoir deliberately does not cross the boundary — merged
+    percentiles must come from the documented bucket fallback)."""
+    from pathlib import Path
+
+    from repro.core import KeywordSearchEngine
+    from repro.loadgen.arrival import arrival_times
+    from repro.loadgen.workload import build_workload
+    from repro.search import load_index
+
+    index = load_index(Path(task.index_dir), task.index_name)
+    engine = KeywordSearchEngine(index)
+    workload = build_workload(task.profile, task.count, seed=task.seed)
+    arrivals = arrival_times(task.arrival, task.rate, task.count,
+                             seed=task.seed)
+    driver = OpenLoopDriver(engine.search, workload.queries, arrivals,
+                            threads=task.threads, limit=task.limit,
+                            name=f"shard-{task.seed}")
+    result = driver.run()
+    response_h, _ = driver._histograms()
+    return {
+        "buckets": list(response_h.buckets),
+        "bucket_counts": list(response_h.bucket_counts),
+        "sum": response_h.sum,
+        "count": response_h.count,
+        "completed": result.completed,
+        "errors": result.errors,
+        "answered": result.answered,
+        "offered_qps": result.offered_qps,
+        "achieved_qps": result.achieved_qps,
+        "max_response_seconds": result.response["max"],
+    }
+
+
+def run_multiprocess(index_dir, index_name: str, profile: str,
+                     count: int, rate: float, processes: int,
+                     threads: int = 2, limit: Optional[int] = 10,
+                     arrival: str = "poisson", seed: int = 42) -> dict:
+    """Shard a load across ``processes`` worker processes, each with
+    its own engine over the saved index at ``index_dir``, and merge
+    the shards' fixed-bucket histograms.
+
+    Per-process offered rate is ``rate / processes`` so the combined
+    offered load matches ``rate``.  Merged percentiles use
+    :func:`~repro.core.observability.bucket_quantile` — the
+    cross-process path has no shared reservoir, which is exactly the
+    fallback contract the in-process exact reservoir documents.
+    """
+    from concurrent.futures import ProcessPoolExecutor
+
+    if processes < 1:
+        raise ValueError(f"need at least one process, got {processes}")
+    shard_count = max(1, count // processes)
+    tasks = [_ProcessTask(index_dir=str(index_dir),
+                          index_name=index_name, profile=profile,
+                          count=shard_count, rate=rate / processes,
+                          arrival=arrival, threads=threads,
+                          limit=limit, seed=seed + shard)
+             for shard in range(processes)]
+    with ProcessPoolExecutor(max_workers=processes) as pool:
+        shards = list(pool.map(_process_shard, tasks))
+
+    buckets = shards[0]["buckets"]
+    merged = [0] * len(shards[0]["bucket_counts"])
+    for shard in shards:
+        for position, bucket_count in enumerate(shard["bucket_counts"]):
+            merged[position] += bucket_count
+    total = sum(shard["count"] for shard in shards)
+    exact_max = max(shard["max_response_seconds"] for shard in shards)
+
+    def merged_quantile(q: float) -> float:
+        # interpolation lands inside the target's bucket, which can
+        # overshoot the true maximum by up to the bucket width — clamp
+        # to the exact per-shard max so p99 <= max always holds.
+        return min(bucket_quantile(buckets, merged, q), exact_max)
+
+    return {
+        "processes": processes,
+        "threads_per_process": threads,
+        "requests": total,
+        "completed": sum(shard["completed"] for shard in shards),
+        "errors": sum(shard["errors"] for shard in shards),
+        "answered": sum(shard["answered"] for shard in shards),
+        "offered_qps": round(sum(shard["offered_qps"]
+                                 for shard in shards), 2),
+        "achieved_qps": round(sum(shard["achieved_qps"]
+                                  for shard in shards), 2),
+        "percentile_source": "bucket_interpolation",
+        "response_seconds": {
+            "p50": round(merged_quantile(0.50), 6),
+            "p95": round(merged_quantile(0.95), 6),
+            "p99": round(merged_quantile(0.99), 6),
+            "max": round(exact_max, 6),
+            "mean": round(sum(shard["sum"] for shard in shards)
+                          / total, 6) if total else 0.0,
+        },
+    }

@@ -32,8 +32,10 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from bisect import bisect_right
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (Dict, Iterator, List, Optional, Sequence, Tuple,
@@ -436,12 +438,14 @@ class _SegmentView:
     computed here is bit-identical to the monolithic one — while
     ``max_field_boost`` and the postings' ``max_frequency`` stay
     segment-local, giving the driver *tighter* (still sound) pruning
-    bounds per segment.
+    bounds per segment.  ``parent`` is the :class:`_SegmentSet` the
+    view belongs to, so global statistics always come from the same
+    committed generation as the segment itself.
     """
 
     __slots__ = ("parent", "reader", "base", "end")
 
-    def __init__(self, parent: "SegmentedIndex", reader: SegmentReader,
+    def __init__(self, parent: "_SegmentSet", reader: SegmentReader,
                  base: int) -> None:
         self.parent = parent
         self.reader = reader
@@ -475,48 +479,52 @@ class _SegmentView:
         return self.reader.max_field_boost(field_name)
 
 
-class SegmentedIndex:
-    """Read-only :class:`InvertedIndex` API over a committed segment
-    set.
+class _SegmentSet:
+    """One committed generation's complete read state: the manifest,
+    its open readers, doc-id bases, per-term stat caches and segment
+    views, frozen together.
 
-    Global statistics come from per-segment header summaries (integer
-    sums, so they equal the monolithic figures exactly); per-document
-    reads route to the owning segment by doc-id range.
-    :attr:`generation` mirrors the committed manifest generation —
-    :class:`~repro.search.searcher.QueryResultCache` keys on it, so
-    :meth:`refresh` after a commit invalidates stale entries the same
-    way in-memory index mutation does.
+    This is the unit of concurrency control for serving: a refresh
+    builds a whole new ``_SegmentSet`` and swaps one attribute on the
+    :class:`SegmentedIndex`, so any single reference to a set is
+    internally consistent forever.  The set is **refcounted** —
+    queries pin it for their full lifetime via
+    :meth:`SegmentedIndex.pinned` — and the mmaps only close when the
+    set has been retired by a newer generation *and* the last pin is
+    released.  Without the deferred close, a refresh under concurrent
+    readers yanks the mmap out from under in-flight postings decodes
+    (the PR 6 implementation did exactly that).
     """
 
-    def __init__(self, directory: Union[IndexDirectory, PathLike],
-                 name: Optional[str] = None) -> None:
-        if not isinstance(directory, IndexDirectory):
-            directory = IndexDirectory(directory,
-                                       name=name or "index")
-        self.directory = directory
-        self._readers: List[SegmentReader] = []
-        self._bases: List[int] = []
-        self._manifest = Manifest(generation=-1,
-                                  name=directory.name, counter=1,
-                                  segments=())
+    __slots__ = ("manifest", "readers", "bases", "views", "_df_cache",
+                 "_guard", "_refs", "_retired")
+
+    def __init__(self, manifest: Manifest,
+                 readers: List[SegmentReader],
+                 bases: List[int]) -> None:
+        self.manifest = manifest
+        self.readers = readers
+        self.bases = bases
+        self.views: List[_SegmentView] = [
+            _SegmentView(self, reader, base)
+            for reader, base in zip(readers, bases)]
         self._df_cache: Dict[Tuple[str, str], int] = {}
-        self._views: Optional[List[_SegmentView]] = None
-        self.refresh()
+        self._guard = threading.Lock()
+        self._refs = 0
+        self._retired = False
 
-    # -- lifecycle -----------------------------------------------------
+    @classmethod
+    def empty(cls, name: str) -> "_SegmentSet":
+        return cls(Manifest(generation=-1, name=name, counter=1,
+                            segments=()), [], [])
 
-    def refresh(self) -> bool:
-        """Re-open at the newest committed manifest.  Returns True
-        when the live segment set changed (readers are swapped and
-        per-term stat caches dropped)."""
-        manifest = self.directory.manifest()
-        if manifest.generation == self._manifest.generation:
-            return False
-        readers = []
-        bases = []
+    @classmethod
+    def open(cls, path: Path, manifest: Manifest) -> "_SegmentSet":
+        readers: List[SegmentReader] = []
+        bases: List[int] = []
         base = 0
         for info in manifest.segments:
-            reader = SegmentReader(self.directory.path / info.file)
+            reader = SegmentReader(path / info.file)
             if reader.doc_count != info.doc_count:
                 for opened in (*readers, reader):
                     opened.close()
@@ -526,80 +534,89 @@ class SegmentedIndex:
             readers.append(reader)
             bases.append(base)
             base += reader.doc_count
-        old = self._readers
-        self._readers = readers
-        self._bases = bases
-        self._manifest = manifest
-        self._df_cache = {}
-        self._views = None
-        for reader in old:
+        return cls(manifest, readers, bases)
+
+    # -- pin protocol --------------------------------------------------
+
+    def pin(self) -> None:
+        with self._guard:
+            self._refs += 1
+
+    def unpin(self) -> None:
+        with self._guard:
+            self._refs -= 1
+            close_now = self._retired and self._refs == 0
+        if close_now:
+            self._close_readers()
+
+    def retire(self) -> None:
+        """Mark the set as superseded; closes immediately when nobody
+        holds a pin, otherwise the last :meth:`unpin` closes."""
+        with self._guard:
+            self._retired = True
+            close_now = self._refs == 0
+        if close_now:
+            self._close_readers()
+
+    def _close_readers(self) -> None:
+        for reader in self.readers:
             reader.close()
-        return True
 
-    def close(self) -> None:
-        for reader in self._readers:
-            reader.close()
-        self._readers = []
-        self._bases = []
-        self._views = None
-
-    def __enter__(self) -> "SegmentedIndex":
-        return self
-
-    def __exit__(self, *exc) -> None:
-        self.close()
+    @property
+    def closed(self) -> bool:
+        """True once every reader's mmap has been released (an empty
+        set is trivially closed).  Observability hook for the
+        concurrency stress suite."""
+        return all(reader._mmap.closed for reader in self.readers)
 
     # -- identity ------------------------------------------------------
 
     @property
     def name(self) -> str:
-        return self._manifest.name
+        return self.manifest.name
 
     @property
     def generation(self) -> int:
         """The committed manifest generation (the cache-key epoch)."""
-        return self._manifest.generation
+        return self.manifest.generation
 
     @property
     def doc_count(self) -> int:
-        return (self._bases[-1] + self._readers[-1].doc_count
-                if self._readers else 0)
+        return (self.bases[-1] + self.readers[-1].doc_count
+                if self.readers else 0)
 
     @property
     def segment_count(self) -> int:
-        return len(self._readers)
+        return len(self.readers)
 
     def segment_views(self) -> List[_SegmentView]:
         """Per-segment duck indexes for the scatter-gather top-k
         driver, in doc-id (manifest) order."""
-        if self._views is None:
-            self._views = [_SegmentView(self, reader, base)
-                           for reader, base
-                           in zip(self._readers, self._bases)]
-        return self._views
+        return self.views
 
     def _locate(self, doc_id: int) -> Tuple[SegmentReader, int]:
         if not 0 <= doc_id < self.doc_count:
             raise IndexError_(f"unknown doc_id {doc_id}")
-        position = bisect_right(self._bases, doc_id) - 1
-        return self._readers[position], doc_id - self._bases[position]
+        position = bisect_right(self.bases, doc_id) - 1
+        return self.readers[position], doc_id - self.bases[position]
 
     # -- the InvertedIndex read API ------------------------------------
 
     def field_names(self) -> List[str]:
         names = set()
-        for reader in self._readers:
+        for reader in self.readers:
             names.update(reader.field_names())
         return sorted(names)
 
     def doc_frequency(self, field_name: str, term: str) -> int:
         """Corpus-wide document frequency, from term-dictionary
-        metadata only — no postings decode."""
+        metadata only — no postings decode.  The cache is set-local,
+        so a racing duplicate computation writes the same value."""
         key = (field_name, term)
         cached = self._df_cache.get(key)
         if cached is None:
             cached = 0
-            for reader in self._readers:
+            for reader in self.readers:
                 meta = reader.term_meta(field_name, term)
                 if meta is not None:
                     cached += meta.doc_frequency
@@ -612,7 +629,7 @@ class SegmentedIndex:
         if doc_frequency == 0:
             return None
         parts = []
-        for reader, base in zip(self._readers, self._bases):
+        for reader, base in zip(self.readers, self.bases):
             part = reader.postings(field_name, term, base=base,
                                    doc_frequency=doc_frequency)
             if part is not None:
@@ -621,7 +638,7 @@ class SegmentedIndex:
 
     def terms(self, field_name: str) -> Iterator[str]:
         merged = set()
-        for reader in self._readers:
+        for reader in self.readers:
             merged.update(reader.term_metas(field_name))
         return iter(sorted(merged))
 
@@ -641,7 +658,7 @@ class SegmentedIndex:
 
     def max_field_boost(self, field_name: str) -> float:
         bound = 1.0
-        for reader in self._readers:
+        for reader in self.readers:
             bound = max(bound, reader.max_field_boost(field_name))
         return bound
 
@@ -651,14 +668,14 @@ class SegmentedIndex:
         once on the same operands as the monolithic computation."""
         total = 0
         docs = 0
-        for reader in self._readers:
+        for reader in self.readers:
             total += reader.sum_lengths(field_name)
             docs += reader.docs_with_field(field_name)
         return total / docs if docs else 0.0
 
     def docs_with_field(self, field_name: str) -> int:
         return sum(reader.docs_with_field(field_name)
-                   for reader in self._readers)
+                   for reader in self.readers)
 
     def stored_document(self, doc_id: int) -> Document:
         reader, local = self._locate(doc_id)
@@ -677,26 +694,187 @@ class SegmentedIndex:
     def unique_term_count(self, field_name: Optional[str] = None) -> int:
         if field_name is not None:
             merged = set()
-            for reader in self._readers:
+            for reader in self.readers:
                 merged.update(reader.term_metas(field_name))
             return len(merged)
         fields = set()
-        for reader in self._readers:
+        for reader in self.readers:
             fields.update(reader.indexed_fields())
         return sum(self.unique_term_count(field) for field in fields)
+
+    def __repr__(self) -> str:    # pragma: no cover - debugging aid
+        return (f"<_SegmentSet {self.name!r} generation "
+                f"{self.generation}: {self.segment_count} segments, "
+                f"refs {self._refs}>")
+
+
+class SegmentedIndex:
+    """Read-only :class:`InvertedIndex` API over a committed segment
+    set.
+
+    Global statistics come from per-segment header summaries (integer
+    sums, so they equal the monolithic figures exactly); per-document
+    reads route to the owning segment by doc-id range.
+    :attr:`generation` mirrors the committed manifest generation —
+    :class:`~repro.search.searcher.QueryResultCache` keys on it, so
+    :meth:`refresh` after a commit invalidates stale entries the same
+    way in-memory index mutation does.
+
+    **Concurrency contract.**  All read state lives in one immutable
+    refcounted :class:`_SegmentSet`; :meth:`refresh` swaps it
+    atomically and retires the old set, whose mmaps stay open until
+    the last pinned reader releases it.  A multi-call operation that
+    must see a single generation end to end (a scored query: cache
+    key, postings, lengths, stored fields) wraps itself in
+    :meth:`pinned` — :class:`~repro.search.searcher.IndexSearcher`
+    does this automatically.  Individual method calls on this class
+    are each internally consistent, but two *separate* calls may
+    straddle a refresh.
+    """
+
+    def __init__(self, directory: Union[IndexDirectory, PathLike],
+                 name: Optional[str] = None) -> None:
+        if not isinstance(directory, IndexDirectory):
+            directory = IndexDirectory(directory,
+                                       name=name or "index")
+        self.directory = directory
+        self._state = _SegmentSet.empty(directory.name)
+        #: serializes refresh/close (the swap itself is one attribute
+        #: assignment; this keeps two refreshes from both opening
+        #: readers for the same generation)
+        self._refresh_lock = threading.Lock()
+        self.refresh()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def refresh(self) -> bool:
+        """Re-open at the newest committed manifest.  Returns True
+        when the live segment set changed.  Safe under concurrent
+        readers: in-flight pinned queries keep serving the old set,
+        which closes only when its last pin is released."""
+        with self._refresh_lock:
+            manifest = self.directory.manifest()
+            if manifest.generation == self._state.generation:
+                return False
+            state = _SegmentSet.open(self.directory.path, manifest)
+            old, self._state = self._state, state
+            old.retire()
+            return True
+
+    def close(self) -> None:
+        """Release this handle's segment set.  Pinned in-flight
+        queries finish against the old set before it really closes."""
+        with self._refresh_lock:
+            old, self._state = self._state, _SegmentSet.empty(
+                self.directory.name)
+            old.retire()
+
+    def __enter__(self) -> "SegmentedIndex":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @contextmanager
+    def pinned(self) -> Iterator[_SegmentSet]:
+        """Pin the current segment set for a multi-call read.
+
+        Yields the :class:`_SegmentSet`, which serves the full
+        :class:`InvertedIndex` read API (plus ``segment_views`` for
+        the scatter-gather driver) frozen at one manifest generation.
+        Concurrent :meth:`refresh`/:meth:`close` calls cannot close
+        its readers until the ``with`` block exits.
+        """
+        state = self._state
+        state.pin()
+        try:
+            yield state
+        finally:
+            state.unpin()
+
+    # -- identity ------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self._state.name
+
+    @property
+    def generation(self) -> int:
+        """The committed manifest generation (the cache-key epoch)."""
+        return self._state.generation
+
+    @property
+    def doc_count(self) -> int:
+        return self._state.doc_count
+
+    @property
+    def segment_count(self) -> int:
+        return self._state.segment_count
+
+    def segment_views(self) -> List[_SegmentView]:
+        """Per-segment duck indexes for the scatter-gather top-k
+        driver, in doc-id (manifest) order."""
+        return self._state.segment_views()
+
+    # -- the InvertedIndex read API ------------------------------------
+    # each call reads self._state once, so it is internally consistent;
+    # cross-call consistency is what pinned() is for.
+
+    def field_names(self) -> List[str]:
+        return self._state.field_names()
+
+    def doc_frequency(self, field_name: str, term: str) -> int:
+        return self._state.doc_frequency(field_name, term)
+
+    def postings(self, field_name: str, term: str
+                 ) -> Optional[_MultiPostings]:
+        return self._state.postings(field_name, term)
+
+    def terms(self, field_name: str) -> Iterator[str]:
+        return self._state.terms(field_name)
+
+    def terms_with_prefix(self, field_name: str, prefix: str
+                          ) -> Iterator[str]:
+        return self._state.terms_with_prefix(field_name, prefix)
+
+    def field_length(self, field_name: str, doc_id: int) -> int:
+        return self._state.field_length(field_name, doc_id)
+
+    def field_boost(self, field_name: str, doc_id: int) -> float:
+        return self._state.field_boost(field_name, doc_id)
+
+    def max_field_boost(self, field_name: str) -> float:
+        return self._state.max_field_boost(field_name)
+
+    def average_field_length(self, field_name: str) -> float:
+        return self._state.average_field_length(field_name)
+
+    def docs_with_field(self, field_name: str) -> int:
+        return self._state.docs_with_field(field_name)
+
+    def stored_document(self, doc_id: int) -> Document:
+        return self._state.stored_document(doc_id)
+
+    def stored_value(self, doc_id: int,
+                     field_name: str) -> Optional[str]:
+        return self._state.stored_value(doc_id, field_name)
+
+    def unique_term_count(self, field_name: Optional[str] = None) -> int:
+        return self._state.unique_term_count(field_name)
 
     # -- stats/debugging ------------------------------------------------
 
     def segment_infos(self) -> Tuple[SegmentInfo, ...]:
-        return self._manifest.segments
+        return self._state.manifest.segments
 
     def to_inverted(self) -> InvertedIndex:
         """Materialize the whole segment set into one mutable index
         (parity tests and JSON export — not a serving path)."""
-        index = InvertedIndex(name=self.name)
-        for reader in self._readers:
-            index.merge(reader.to_inverted())
-        return index
+        with self.pinned() as state:
+            index = InvertedIndex(name=state.name)
+            for reader in state.readers:
+                index.merge(reader.to_inverted())
+            return index
 
     def __repr__(self) -> str:    # pragma: no cover - debugging aid
         return (f"<SegmentedIndex {self.name!r}: {self.doc_count} docs "

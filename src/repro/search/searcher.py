@@ -22,8 +22,9 @@ from __future__ import annotations
 import heapq
 import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.search.document import Document
 from repro.search.index.inverted import InvertedIndex
@@ -62,6 +63,10 @@ class TopDocs:
     pruned: bool = False
     #: True when served from the query result cache
     cached: bool = False
+    #: the index generation the whole query was evaluated against —
+    #: on a segmented index this is one pinned manifest generation,
+    #: which the concurrency stress suite asserts on
+    generation: Optional[int] = None
 
     def __iter__(self):
         return iter(self.scored)
@@ -151,7 +156,16 @@ class QueryResultCache:
 
 
 class IndexSearcher:
-    """Searches one inverted index with a pluggable similarity."""
+    """Searches one inverted index with a pluggable similarity.
+
+    Every query evaluates against one **pinned snapshot** of the
+    index: on a :class:`~repro.search.index.segments.SegmentedIndex`
+    the whole search — cache-key generation, postings reads, scoring —
+    runs inside ``index.pinned()``, so a concurrent ``refresh`` can
+    neither mix two manifest generations inside one query nor cache a
+    new-generation result under an old-generation key.  Plain
+    in-memory indexes have no ``pinned`` and are used directly.
+    """
 
     def __init__(self, index: InvertedIndex,
                  similarity: Optional[Similarity] = None,
@@ -162,11 +176,24 @@ class IndexSearcher:
 
     # ------------------------------------------------------------------
 
-    def _cache_key(self, query: Query, limit: Optional[int]) -> tuple:
+    @contextmanager
+    def _pinned_index(self) -> Iterator:
+        """The index frozen for one whole query: a pinned segment set
+        when the index supports it, the index itself otherwise."""
+        pin = getattr(self.index, "pinned", None)
+        if pin is None:
+            yield self.index
+            return
+        with pin() as snapshot:
+            yield snapshot
+
+    def _cache_key(self, query: Query, limit: Optional[int],
+                   index=None) -> tuple:
         # repr() of the dataclass query trees is a canonical string:
         # it covers every field (terms, boosts, occurs, tie breakers)
         # and is stable across processes, unlike hash().
-        return (self.index.name, self.index.generation, repr(query), limit)
+        index = index if index is not None else self.index
+        return (index.name, index.generation, repr(query), limit)
 
     def search(self, query: Query, limit: Optional[int] = None) -> TopDocs:
         """Run ``query``; return hits sorted by descending score.
@@ -179,39 +206,42 @@ class IndexSearcher:
         would (see :meth:`search_exhaustive`).
         """
         obs = _observability()
-        key = self._cache_key(query, limit)
-        cached_top = self.cache.get(key)
-        if obs.metrics.enabled:
-            name = ("query_cache_hits_total" if cached_top is not None
-                    else "query_cache_misses_total")
-            obs.metrics.counter(name, "query result cache traffic").inc()
-            obs.metrics.gauge("query_cache_size",
-                              "entries in the query result cache"
-                              ).set(len(self.cache))
-        if cached_top is not None:
-            # keep the span shape of a live query so traces stay
-            # uniform: parse/retrieve/score children always exist
-            with obs.tracer.span("query.retrieve",
-                                 index=self.index.name) as span:
-                if span is not None:
-                    span.attributes["candidates"] = cached_top.total_hits
-                    span.attributes["cached"] = True
-            with obs.tracer.span("query.score",
-                                 candidates=cached_top.total_hits):
-                pass
-            # shallow copy so the flag doesn't retroactively mark the
-            # miss-path object that produced the entry
-            return replace(cached_top, cached=True)
+        with self._pinned_index() as index:
+            key = self._cache_key(query, limit, index)
+            cached_top = self.cache.get(key)
+            if obs.metrics.enabled:
+                name = ("query_cache_hits_total" if cached_top is not None
+                        else "query_cache_misses_total")
+                obs.metrics.counter(name,
+                                    "query result cache traffic").inc()
+                obs.metrics.gauge("query_cache_size",
+                                  "entries in the query result cache"
+                                  ).set(len(self.cache))
+            if cached_top is not None:
+                # keep the span shape of a live query so traces stay
+                # uniform: parse/retrieve/score children always exist
+                with obs.tracer.span("query.retrieve",
+                                     index=index.name) as span:
+                    if span is not None:
+                        span.attributes["candidates"] = \
+                            cached_top.total_hits
+                        span.attributes["cached"] = True
+                with obs.tracer.span("query.score",
+                                     candidates=cached_top.total_hits):
+                    pass
+                # shallow copy so the flag doesn't retroactively mark
+                # the miss-path object that produced the entry
+                return replace(cached_top, cached=True)
 
-        top = self._search_uncached(query, limit, obs)
-        self.cache.put(key, top)
-        return top
+            top = self._search_uncached(index, query, limit, obs)
+            self.cache.put(key, top)
+            return top
 
-    def _search_uncached(self, query: Query, limit: Optional[int],
-                         obs) -> TopDocs:
+    def _search_uncached(self, index, query: Query,
+                         limit: Optional[int], obs) -> TopDocs:
         with obs.tracer.span("query.retrieve",
-                             index=self.index.name) as span:
-            result = run_top_k(self.index, self.similarity, query, limit)
+                             index=index.name) as span:
+            result = run_top_k(index, self.similarity, query, limit)
             if result is not None:
                 ranked = result.ranked
                 total_hits = result.total_hits
@@ -232,7 +262,7 @@ class IndexSearcher:
                             "segments skipped whole by score bounds"
                         ).inc(result.segments_pruned)
             else:
-                scores = query.score_docs(self.index, self.similarity)
+                scores = query.score_docs(index, self.similarity)
                 candidates = total_hits = len(scores)
                 pruned = False
             if span is not None:
@@ -252,19 +282,23 @@ class IndexSearcher:
         return TopDocs(total_hits=total_hits,
                        scored=[ScoredDoc(doc_id, score)
                                for doc_id, score in ranked],
-                       pruned=pruned)
+                       pruned=pruned,
+                       generation=index.generation)
 
     def search_exhaustive(self, query: Query,
                           limit: Optional[int] = None) -> TopDocs:
         """The oracle: full scoring, no cache, no pruning.  The pruned
         :meth:`search` path is verified bit-identical against this."""
-        scores = query.score_docs(self.index, self.similarity)
-        ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
-        if limit is not None:
-            ranked = ranked[:limit]
-        return TopDocs(total_hits=len(scores),
-                       scored=[ScoredDoc(doc_id, score)
-                               for doc_id, score in ranked])
+        with self._pinned_index() as index:
+            scores = query.score_docs(index, self.similarity)
+            ranked = sorted(scores.items(),
+                            key=lambda item: (-item[1], item[0]))
+            if limit is not None:
+                ranked = ranked[:limit]
+            return TopDocs(total_hits=len(scores),
+                           scored=[ScoredDoc(doc_id, score)
+                                   for doc_id, score in ranked],
+                           generation=index.generation)
 
     def document(self, doc_id: int) -> Document:
         """Fetch stored fields of a hit."""
@@ -276,8 +310,10 @@ class IndexSearcher:
         Uses the single-document scorer path when available — O(query
         terms) instead of re-scoring the whole index — and falls back
         to the exhaustive map for query types without scorers."""
-        scorer = query.scorer(self.index, self.similarity)
-        if scorer is not None:
-            score = scorer.score_one(doc_id)
-            return 0.0 if score is None else score
-        return query.score_docs(self.index, self.similarity).get(doc_id, 0.0)
+        with self._pinned_index() as index:
+            scorer = query.scorer(index, self.similarity)
+            if scorer is not None:
+                score = scorer.score_one(doc_id)
+                return 0.0 if score is None else score
+            return query.score_docs(index,
+                                    self.similarity).get(doc_id, 0.0)

@@ -1,0 +1,168 @@
+"""Percentile machinery: exact reservoir vs bucket interpolation.
+
+The load harness reports p50/p95/p99 from the metrics histograms, so
+these are load-bearing numbers.  Both estimators are property-tested
+against an independent sorted-list oracle: `sorted_quantile` must
+match the nearest-rank definition exactly, and `bucket_quantile` must
+land inside the same bucket the true quantile falls in (its
+documented error bound — never off by more than the landing bucket's
+width).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.observability import (DEFAULT_LATENCY_BUCKETS, Histogram,
+                                      MetricsRegistry, bucket_quantile,
+                                      sorted_quantile)
+
+samples = st.lists(st.floats(min_value=0.0, max_value=50.0,
+                             allow_nan=False), min_size=1, max_size=200)
+quantiles = st.floats(min_value=0.01, max_value=1.0)
+
+
+def oracle(values, q):
+    """Independent nearest-rank statement: the smallest value with at
+    least ceil(q*n) observations at or below it."""
+    target = math.ceil(q * len(values))
+    return min(v for v in values
+               if sum(1 for u in values if u <= v) >= target)
+
+
+class TestSortedQuantile:
+    @given(samples, quantiles)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_nearest_rank_oracle(self, values, q):
+        assert sorted_quantile(sorted(values), q) == oracle(values, q)
+
+    def test_median_of_odd_list_is_middle_element(self):
+        assert sorted_quantile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_q1_is_maximum(self):
+        assert sorted_quantile([1.0, 5.0, 9.0], 1.0) == 9.0
+
+    def test_q0_clamps_to_minimum(self):
+        assert sorted_quantile([1.0, 5.0, 9.0], 0.0) == 1.0
+
+    def test_empty_and_bad_q_raise(self):
+        with pytest.raises(ValueError):
+            sorted_quantile([], 0.5)
+        with pytest.raises(ValueError):
+            sorted_quantile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            sorted_quantile([1.0], 1.5)
+
+
+def fill_buckets(buckets, values):
+    counts = [0] * (len(buckets) + 1)
+    for value in values:
+        for position, upper in enumerate(buckets):
+            if value <= upper:
+                counts[position] += 1
+                break
+        else:
+            counts[-1] += 1
+    return counts
+
+
+class TestBucketQuantile:
+    @given(samples, quantiles)
+    @settings(max_examples=150, deadline=None)
+    def test_lands_in_the_true_quantile_bucket(self, values, q):
+        buckets = [0.5, 1.0, 5.0, 10.0, 25.0]
+        counts = fill_buckets(buckets, values)
+        estimate = bucket_quantile(buckets, counts, q)
+        true = oracle(values, q)
+        if true > buckets[-1]:
+            # the +Inf bucket has no upper edge: collapses to the
+            # highest finite bound, the documented underestimate
+            assert estimate == buckets[-1]
+            return
+        landing = next(i for i, upper in enumerate(buckets)
+                       if true <= upper)
+        lower = buckets[landing - 1] if landing else 0.0
+        assert lower <= estimate <= buckets[landing]
+
+    def test_interpolates_within_bucket(self):
+        # 10 observations in (1.0, 2.0]: p50 sits at rank 5 of 10 →
+        # halfway through the bucket
+        assert bucket_quantile([1.0, 2.0], [0, 10, 0], 0.5) \
+            == pytest.approx(1.5)
+
+    def test_empty_histogram_and_shape_mismatch_raise(self):
+        with pytest.raises(ValueError):
+            bucket_quantile([1.0], [0, 0], 0.5)
+        with pytest.raises(ValueError):
+            bucket_quantile([1.0, 2.0], [1, 2], 0.5)
+
+
+class TestHistogramReservoir:
+    @given(samples, quantiles)
+    @settings(max_examples=100, deadline=None)
+    def test_exact_while_within_capacity(self, values, q):
+        histogram = Histogram(buckets=[0.5, 1.0, 5.0, 10.0, 25.0],
+                              reservoir=256)
+        for value in values:
+            histogram.observe(value)
+        assert histogram.exact
+        assert histogram.quantile(q) == oracle(values, q)
+
+    def test_overflow_degrades_to_sampling_not_garbage(self):
+        histogram = Histogram(buckets=[10.0, 100.0, 1000.0],
+                              reservoir=64, reservoir_seed=3)
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert not histogram.exact
+        assert len(histogram.reservoir_values()) == 64
+        estimate = histogram.quantile(0.5)
+        assert 0.0 <= estimate <= 999.0
+
+    def test_reservoir_is_seed_deterministic(self):
+        def run():
+            histogram = Histogram(buckets=[10.0], reservoir=32,
+                                  reservoir_seed=7)
+            for value in range(500):
+                histogram.observe(float(value))
+            return histogram.reservoir_values()
+        assert run() == run()
+
+    def test_no_reservoir_falls_back_to_buckets(self):
+        histogram = Histogram(buckets=[1.0, 2.0])
+        histogram.observe(1.5)
+        histogram.observe(1.5)
+        assert not histogram.exact
+        assert 1.0 <= histogram.quantile(0.5) <= 2.0
+
+
+class TestRegistryExport:
+    def test_quantiles_exported_only_with_reservoir(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.histogram("plain_seconds", "no reservoir",
+                           buckets=DEFAULT_LATENCY_BUCKETS).observe(0.01)
+        registry.histogram("exact_seconds", "with reservoir",
+                           buckets=DEFAULT_LATENCY_BUCKETS,
+                           reservoir=128).observe(0.01)
+        exported = registry.to_json()["histograms"]
+        plain = exported["plain_seconds"][0]
+        exact = exported["exact_seconds"][0]
+        assert "quantiles" not in plain
+        assert exact["quantiles"]["exact"] is True
+        assert exact["quantiles"]["p50"] == pytest.approx(0.01)
+
+    def test_concurrent_observe_loses_nothing(self):
+        import threading
+        histogram = Histogram(buckets=[10.0], reservoir=0)
+        threads = [threading.Thread(
+            target=lambda: [histogram.observe(1.0)
+                            for _ in range(2000)])
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert histogram.count == 16000
+        assert histogram.sum == pytest.approx(16000.0)

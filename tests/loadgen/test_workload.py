@@ -1,0 +1,119 @@
+"""Query mixes: zipf shape, determinism, paper queries at the head."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.loadgen import (PAPER_QUERIES, PROFILES, ZipfSampler,
+                           build_workload, synthetic_queries)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+class TestSyntheticQueries:
+    @given(st.integers(min_value=0, max_value=3000), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_distinct_deterministic_and_sized(self, count, seed):
+        queries = synthetic_queries(count, seed)
+        assert len(queries) == count
+        assert len(set(queries)) == count
+        assert queries == synthetic_queries(count, seed)
+
+    def test_tail_stays_distinct_past_the_combination_pools(self):
+        # name×event + name×team×event ≈ 2160 combinations; well past
+        # that the numbered tail must keep the universe collision-free
+        queries = synthetic_queries(5000, seed=1)
+        assert len(set(queries)) == 5000
+
+    def test_different_seeds_shuffle_differently(self):
+        assert synthetic_queries(100, seed=1) \
+            != synthetic_queries(100, seed=2)
+
+
+class TestZipfSampler:
+    @given(st.integers(min_value=1, max_value=500),
+           st.floats(min_value=0.0, max_value=2.0), seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_deterministic_and_in_range(self, n, exponent, seed):
+        first = ZipfSampler(n, exponent, seed).sample_many(50)
+        second = ZipfSampler(n, exponent, seed).sample_many(50)
+        assert first == second
+        assert all(0 <= rank < n for rank in first)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(40, 1.2, seed=0)
+        assert sum(sampler.probability(rank)
+                   for rank in range(1, 41)) == pytest.approx(1.0)
+
+    def test_frequencies_match_theory(self):
+        # fixed seed → reproducible; each rank's observed frequency
+        # must sit within 4 standard errors of its zipf probability
+        n, draws = 20, 20000
+        sampler = ZipfSampler(n, 1.0, seed=77)
+        observed = [0] * n
+        for rank in sampler.sample_many(draws):
+            observed[rank] += 1
+        for rank in range(n):
+            p = sampler.probability(rank + 1)
+            tolerance = 4 * math.sqrt(p * (1 - p) / draws)
+            assert observed[rank] / draws == pytest.approx(
+                p, abs=tolerance), f"rank {rank + 1}"
+
+    def test_steeper_exponent_concentrates_the_head(self):
+        draws = 5000
+        flat = ZipfSampler(100, 0.2, seed=5).sample_many(draws)
+        steep = ZipfSampler(100, 1.5, seed=5).sample_many(draws)
+        assert steep.count(0) > flat.count(0) * 2
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0, seed=0)
+        assert sampler.probability(1) == pytest.approx(0.1)
+        assert sampler.probability(10) == pytest.approx(0.1)
+
+    def test_bad_parameters_raise(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0, 1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, -0.5)
+
+
+class TestWorkloads:
+    @given(st.sampled_from(sorted(PROFILES)),
+           st.integers(min_value=1, max_value=500), seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_under_seed(self, profile, count, seed):
+        first = build_workload(profile, count, seed=seed)
+        second = build_workload(profile, count, seed=seed)
+        assert first.queries == second.queries
+        assert len(first) == count
+
+    def test_universe_sizes_match_profiles(self):
+        for name, profile in PROFILES.items():
+            workload = build_workload(name, 10, seed=1)
+            assert workload.universe_size == profile.universe_size
+            assert workload.exponent == profile.exponent
+
+    def test_paper_queries_dominate_the_head(self):
+        # the paper queries hold the zipf head, so under the steep
+        # cache_friendly profile the single most frequent query must
+        # be one of them — the measured workload replays Tables 3/6
+        workload = build_workload("cache_friendly", 2000, seed=9)
+        frequency: dict = {}
+        for query in workload.queries:
+            frequency[query] = frequency.get(query, 0) + 1
+        hottest = max(frequency, key=frequency.get)
+        assert hottest in PAPER_QUERIES
+
+    def test_hostile_profile_spreads_far_wider(self):
+        friendly = build_workload("cache_friendly", 2000, seed=3)
+        hostile = build_workload("cache_hostile", 2000, seed=3)
+        assert len(set(hostile.queries)) \
+            > len(set(friendly.queries)) * 4
+        assert hostile.universe_size > 256  # default result cache
+
+    def test_unknown_profile_names_the_known_ones(self):
+        with pytest.raises(ValueError, match="cache_friendly"):
+            build_workload("thundering_herd", 10)

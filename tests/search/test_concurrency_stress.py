@@ -1,0 +1,260 @@
+"""Thread-safety stress: queries racing segment churn.
+
+The serving claim under test: while a writer commits delta segments,
+runs tiered merges and vacuums superseded files, every in-flight
+query must (a) never crash on a yanked mmap, (b) see exactly one
+manifest generation end to end, and (c) return results bit-identical
+to a single-threaded run at that generation.
+
+The oracle is built first by *dry-running the identical op script*
+on an identical directory (segment sealing is deterministic), opening
+a fresh index after every op and recording each probe query's doc ids
+and scores per generation.  The concurrent run then asserts every
+result against ``oracle[top.generation]`` — a query that mixed two
+generations, read a closed reader, or was served a stale cache entry
+under a new key cannot pass.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro.search import BooleanQuery, IndexSearcher, Occur, TermQuery
+from repro.search.index import IndexDirectory, SegmentedIndex
+
+from tests.search.test_segments import VOCAB, sample_index
+
+READER_THREADS = 8
+
+PROBES = [TermQuery("event", term) for term in VOCAB]
+PROBES += [TermQuery("narration", term) for term in VOCAB[:3]]
+_both = BooleanQuery()
+_both.add(TermQuery("event", "goal"), Occur.SHOULD)
+_both.add(TermQuery("narration", "foul"), Occur.SHOULD)
+PROBES.append(_both)
+
+
+def populate(path, name="stress"):
+    directory = IndexDirectory(path, name=name)
+    for seed in (1, 2, 3):
+        directory.add_index(sample_index(seed=seed, docs=25))
+    return directory
+
+
+def writer_script():
+    """The op sequence both the oracle dry-run and the live stress
+    replay: deltas, a tiered merge, more deltas, a forced collapse,
+    then a vacuum racing the readers' open mmaps."""
+    script = []
+    for seed in (10, 11, 12):
+        script.append(("delta", lambda d, s=seed:
+                       d.add_index(sample_index(seed=s, docs=20))))
+    script.append(("merge", lambda d: d.merge()))
+    for seed in (13, 14):
+        script.append(("delta", lambda d, s=seed:
+                       d.add_index(sample_index(seed=s, docs=15))))
+    script.append(("force-merge", lambda d: d.merge(force=True)))
+    script.append(("vacuum", lambda d: d.vacuum()))
+    return script
+
+
+def snapshot_results(index):
+    searcher = IndexSearcher(index)
+    out = {}
+    for position, query in enumerate(PROBES):
+        top = searcher.search(query, limit=5)
+        assert top.generation == index.generation
+        out[position] = [(hit.doc_id, hit.score) for hit in top]
+    return out
+
+
+@pytest.fixture()
+def oracle(tmp_path):
+    """generation → probe position → exact (doc id, score) list,
+    recorded single-threaded over the scripted op sequence."""
+    directory = populate(tmp_path / "oracle")
+    expected = {}
+    with SegmentedIndex(directory) as index:
+        expected[index.generation] = snapshot_results(index)
+        for _label, op in writer_script():
+            op(directory)
+            index.refresh()
+            expected[index.generation] = snapshot_results(index)
+    return expected
+
+
+class TestSegmentChurnStress:
+    def test_queries_race_commits_merges_and_vacuum(self, tmp_path,
+                                                    oracle):
+        directory = populate(tmp_path / "live")
+        index = SegmentedIndex(directory)
+        searcher = IndexSearcher(index, cache_size=64)
+        stop = threading.Event()
+        failures = []
+        generations_seen = set()
+
+        def reader(thread_id):
+            rng = random.Random(thread_id)
+            while not stop.is_set():
+                position = rng.randrange(len(PROBES))
+                try:
+                    top = searcher.search(PROBES[position], limit=5)
+                    got = [(hit.doc_id, hit.score) for hit in top]
+                    if top.generation not in oracle:
+                        failures.append(
+                            f"unknown generation {top.generation}")
+                        return
+                    generations_seen.add(top.generation)
+                    want = oracle[top.generation][position]
+                    if got != want:
+                        failures.append(
+                            f"probe {position} at generation "
+                            f"{top.generation}: {got} != {want}")
+                        return
+                except Exception as exc:   # noqa: BLE001 — the test
+                    failures.append(f"{type(exc).__name__}: {exc}")
+                    return
+
+        readers = [threading.Thread(target=reader, args=(i,))
+                   for i in range(READER_THREADS)]
+        for thread in readers:
+            thread.start()
+        time.sleep(0.02)           # let readers hit the seed state
+        for _label, op in writer_script():
+            op(directory)
+            index.refresh()
+            time.sleep(0.01)       # give queries time on each state
+        time.sleep(0.02)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        index.close()
+
+        assert not failures, failures[:3]
+        assert len(generations_seen) >= 2, \
+            "stress never observed a generation change"
+
+    def test_refresh_is_idempotent_and_reports_change(self, tmp_path):
+        directory = populate(tmp_path / "idem")
+        with SegmentedIndex(directory) as index:
+            before = index.generation
+            assert index.refresh() is False
+            directory.add_index(sample_index(seed=42, docs=5))
+            assert index.refresh() is True
+            assert index.generation == before + 1
+            assert index.refresh() is False
+
+
+class TestPinnedSnapshots:
+    def test_pinned_reader_survives_refresh_and_vacuum(self, tmp_path):
+        """Regression for the yanked-mmap race: the old segment set
+        must stay open while pinned, even across a forced merge and a
+        vacuum that deletes its files, and close only on unpin."""
+        directory = populate(tmp_path / "pin")
+        with SegmentedIndex(directory) as index:
+            old_generation = index.generation
+            with index.pinned() as snapshot:
+                directory.add_index(sample_index(seed=9, docs=10))
+                directory.merge(force=True)
+                directory.vacuum()
+                assert index.refresh() is True
+                # the handle has moved on…
+                assert index.generation > old_generation
+                # …but the pinned snapshot still serves the old
+                # generation from its (now-deleted) segment files
+                assert snapshot.generation == old_generation
+                postings = snapshot.postings("event", "goal")
+                assert postings.doc_frequency > 0
+                assert snapshot._retired
+                assert not snapshot.closed
+            # last pin released → readers actually close
+            assert snapshot.closed
+
+    def test_unpinned_refresh_closes_the_old_set_immediately(
+            self, tmp_path):
+        directory = populate(tmp_path / "eager")
+        with SegmentedIndex(directory) as index:
+            old = index._state
+            directory.add_index(sample_index(seed=5, docs=5))
+            index.refresh()
+            assert old.closed
+
+    def test_topdocs_carry_their_generation(self, tmp_path):
+        directory = populate(tmp_path / "gen")
+        with SegmentedIndex(directory) as index:
+            searcher = IndexSearcher(index)
+            first = searcher.search(PROBES[0], limit=5)
+            assert first.generation == index.generation
+            directory.add_index(sample_index(seed=8, docs=5))
+            index.refresh()
+            second = searcher.search(PROBES[0], limit=5)
+            assert second.generation == first.generation + 1
+            # the old entry is still cached — under its own key only
+            assert not second.cached
+
+
+class TestCacheContention:
+    def test_warm_cache_accounting_is_exact_under_threads(self,
+                                                          tmp_path):
+        directory = populate(tmp_path / "warm")
+        with SegmentedIndex(directory) as index:
+            searcher = IndexSearcher(index, cache_size=256)
+            for query in PROBES:
+                searcher.search(query, limit=5)
+            warm = searcher.cache.cache_info()
+            assert warm.misses == len(PROBES)
+
+            iterations = 50
+            barrier = threading.Barrier(READER_THREADS)
+
+            def hammer(thread_id):
+                rng = random.Random(thread_id)
+                barrier.wait()
+                for _ in range(iterations):
+                    searcher.search(rng.choice(PROBES), limit=5)
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(READER_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            info = searcher.cache.cache_info()
+            # every post-warmup lookup must be a hit, and none may be
+            # double- or under-counted by racing threads
+            assert info.misses == warm.misses
+            assert info.hits - warm.hits \
+                == READER_THREADS * iterations
+
+    def test_cold_cache_loses_no_lookups(self, tmp_path):
+        directory = populate(tmp_path / "cold")
+        with SegmentedIndex(directory) as index:
+            searcher = IndexSearcher(index, cache_size=256)
+            iterations = 30
+            barrier = threading.Barrier(READER_THREADS)
+
+            def hammer(thread_id):
+                rng = random.Random(100 + thread_id)
+                barrier.wait()
+                for _ in range(iterations):
+                    searcher.search(rng.choice(PROBES), limit=5)
+
+            threads = [threading.Thread(target=hammer, args=(i,))
+                       for i in range(READER_THREADS)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            info = searcher.cache.cache_info()
+            total = READER_THREADS * iterations
+            # threads may duplicate a miss (both compute, both fill —
+            # allowed), but hits + misses must equal lookups exactly
+            assert info.hits + info.misses == total
+            assert info.misses > 0
+            assert len(searcher.cache) <= len(PROBES)
