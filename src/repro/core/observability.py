@@ -370,9 +370,10 @@ class Histogram:
     sample of raw observations: **every** value while ``count`` fits
     the capacity (percentiles are then exact), degrading to a seeded
     uniform sample (Algorithm R) beyond it.  :meth:`quantile` prefers
-    the reservoir and falls back to :func:`bucket_quantile` — the
-    buckets remain the only thing that survives a cross-process merge,
-    the reservoir is the in-process precision upgrade.
+    the reservoir and falls back to :func:`bucket_quantile` — merges
+    that carry :meth:`reservoir_values` across a process boundary
+    (the load harness does) keep that precision; merges of bucket
+    counts alone fall back to the interpolation.
 
     ``observe`` is locked: bucket increments and reservoir slots are
     read-modify-write and the serving load harness observes from many

@@ -19,9 +19,11 @@ histograms registered with an exact-percentile reservoir
 report are exact whenever the run fits the reservoir and
 bucket-interpolated (documented in
 :func:`~repro.core.observability.bucket_quantile`) beyond it.  The
-multi-process mode ships only bucket counts across the process
-boundary and merges them — the cross-process fallback path, exercised
-on purpose.
+multi-process mode ships each shard's bounded reservoir samples and
+bucket counts across the process boundary and merges the samples —
+so cross-process percentiles stay exact whenever every shard's run
+fit its reservoir, with the bucket interpolation kept as the
+no-samples fallback.
 """
 
 from __future__ import annotations
@@ -34,7 +36,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.observability import (DEFAULT_LATENCY_BUCKETS,
                                       MetricsRegistry, bucket_quantile,
-                                      get_observability)
+                                      get_observability, sorted_quantile)
 
 __all__ = ["RequestRecord", "LoadResult", "OpenLoopDriver",
            "saturation_sweep", "run_multiprocess"]
@@ -89,6 +91,11 @@ class LoadResult:
     percentile_source: str
     error_samples: List[str] = field(default_factory=list)
     records: Optional[List[RequestRecord]] = None
+    #: the live instruments behind ``response``/``service`` — bucket
+    #: counts plus the bounded reservoir, for callers (the
+    #: multi-process shard worker) that merge runs; not serialized
+    response_histogram: Any = None
+    service_histogram: Any = None
 
     def to_json(self) -> dict:
         return {
@@ -239,9 +246,18 @@ class OpenLoopDriver:
                   if record.error is not None]
         makespan = max((record.finished for record in records),
                        default=0.0)
+        # N arrivals starting at offset 0 span N-1 inter-arrival gaps,
+        # so the offered rate is (N-1)/span — this recovers the
+        # configured rate exactly for fixed_rate_arrivals (N/span
+        # would overestimate by N/(N-1)).  A single request has no
+        # gap, hence no rate: reported as 0.0 (utilization then
+        # serializes as null).
         span = self.arrivals[-1] if self.arrivals else 0.0
-        offered = (len(self.arrivals) / span if span > 0
-                   else float("inf") if self.arrivals else 0.0)
+        if len(self.arrivals) > 1:
+            offered = ((len(self.arrivals) - 1) / span if span > 0
+                       else float("inf"))
+        else:
+            offered = 0.0
         achieved = completed / makespan if makespan > 0 else 0.0
         max_response = max((record.response_seconds
                             for record in records), default=0.0)
@@ -262,7 +278,8 @@ class OpenLoopDriver:
             service=_percentiles(service_h, max_service),
             percentile_source=source,
             error_samples=errors[:5],
-            records=records if self.capture_results else None)
+            records=records if self.capture_results else None,
+            response_histogram=response_h, service_histogram=service_h)
 
 
 def saturation_sweep(run_at: Callable[[float], LoadResult],
@@ -324,10 +341,35 @@ class _ProcessTask:
     seed: int
 
 
+def _shard_counts(count: int, processes: int) -> List[int]:
+    """Split ``count`` requests over ``processes`` shards so the
+    totals add up exactly: the remainder goes one-per-shard to the
+    first ``count % processes`` shards, and when ``count < processes``
+    the surplus shards get zero (and are not spawned) rather than
+    inflating the run to ``processes`` requests."""
+    base, remainder = divmod(count, processes)
+    return [base + (1 if shard < remainder else 0)
+            for shard in range(processes)]
+
+
+def _shard_histogram(histogram) -> dict:
+    """One histogram's picklable summary: bucket counts (the merge
+    fallback) plus the bounded reservoir samples (the precision
+    path), already capped at the driver's reservoir capacity."""
+    return {
+        "bucket_counts": list(histogram.bucket_counts),
+        "sum": histogram.sum,
+        "count": histogram.count,
+        "reservoir": histogram.reservoir_values(),
+        "exact": histogram.exact,
+    }
+
+
 def _process_shard(task: _ProcessTask) -> dict:
-    """Run one shard in a worker process; returns bucket counts only
-    (the reservoir deliberately does not cross the boundary — merged
-    percentiles must come from the documented bucket fallback)."""
+    """Run one shard in a worker process; ships both latency
+    histograms — bucket counts *and* the bounded reservoir samples —
+    so the parent can merge exact percentiles instead of saturating
+    at the top bucket bound."""
     from pathlib import Path
 
     from repro.core import KeywordSearchEngine
@@ -344,18 +386,62 @@ def _process_shard(task: _ProcessTask) -> dict:
                             threads=task.threads, limit=task.limit,
                             name=f"shard-{task.seed}")
     result = driver.run()
-    response_h, _ = driver._histograms()
     return {
-        "buckets": list(response_h.buckets),
-        "bucket_counts": list(response_h.bucket_counts),
-        "sum": response_h.sum,
-        "count": response_h.count,
+        "buckets": list(result.response_histogram.buckets),
+        "response": _shard_histogram(result.response_histogram),
+        "service": _shard_histogram(result.service_histogram),
         "completed": result.completed,
         "errors": result.errors,
         "answered": result.answered,
         "offered_qps": result.offered_qps,
         "achieved_qps": result.achieved_qps,
         "max_response_seconds": result.response["max"],
+        "max_service_seconds": result.service["max"],
+    }
+
+
+def _merge_window(shards: Sequence[dict], window: str,
+                  buckets: Sequence[float], exact_max: float) -> dict:
+    """Merge one latency window (``response`` or ``service``) across
+    shards.  Prefers the pooled reservoir samples — exact when every
+    shard's reservoir held all its observations, a near-equal-weight
+    approximation otherwise (shard counts differ by at most one
+    request) — and falls back to bucket interpolation only when no
+    samples travelled, clamped to the exact max so p99 <= max holds
+    even past the bucket ladder's top bound."""
+    merged_counts = [0] * len(shards[0][window]["bucket_counts"])
+    for shard in shards:
+        for position, bucket_count in enumerate(
+                shard[window]["bucket_counts"]):
+            merged_counts[position] += bucket_count
+    total = sum(shard[window]["count"] for shard in shards)
+    total_sum = sum(shard[window]["sum"] for shard in shards)
+    samples = sorted(value for shard in shards
+                     for value in shard[window]["reservoir"])
+
+    if samples:
+        source = ("reservoir_exact"
+                  if all(shard[window]["exact"] for shard in shards)
+                  else "reservoir_sampled")
+
+        def quantile(q: float) -> float:
+            return sorted_quantile(samples, q)
+    else:
+        source = "bucket_interpolation"
+
+        def quantile(q: float) -> float:
+            return min(bucket_quantile(buckets, merged_counts, q),
+                       exact_max)
+
+    return {
+        "source": source,
+        "percentiles": {
+            "p50": round(quantile(0.50), 6),
+            "p95": round(quantile(0.95), 6),
+            "p99": round(quantile(0.99), 6),
+            "max": round(exact_max, 6),
+            "mean": round(total_sum / total, 6) if total else 0.0,
+        },
     }
 
 
@@ -365,46 +451,47 @@ def run_multiprocess(index_dir, index_name: str, profile: str,
                      arrival: str = "poisson", seed: int = 42) -> dict:
     """Shard a load across ``processes`` worker processes, each with
     its own engine over the saved index at ``index_dir``, and merge
-    the shards' fixed-bucket histograms.
+    the shards' latency histograms.
 
-    Per-process offered rate is ``rate / processes`` so the combined
-    offered load matches ``rate``.  Merged percentiles use
-    :func:`~repro.core.observability.bucket_quantile` — the
-    cross-process path has no shared reservoir, which is exactly the
-    fallback contract the in-process exact reservoir documents.
+    Exactly ``count`` requests run in total (the remainder of
+    ``count / processes`` is spread one-per-shard; zero-request shards
+    are skipped).  Per-shard offered rate is ``rate`` divided by the
+    number of *active* shards, so the combined offered load matches
+    ``rate``.  Shards ship their bounded reservoir samples across the
+    process boundary: merged p50/p95/p99 come from the pooled samples
+    (``reservoir_exact`` when nothing overflowed), with
+    :func:`~repro.core.observability.bucket_quantile` as the fallback
+    only when no samples travelled.
     """
     from concurrent.futures import ProcessPoolExecutor
 
     if processes < 1:
         raise ValueError(f"need at least one process, got {processes}")
-    shard_count = max(1, count // processes)
+    if count < 1:
+        raise ValueError(f"need at least one request, got {count}")
+    counts = [shard_count for shard_count
+              in _shard_counts(count, processes) if shard_count > 0]
     tasks = [_ProcessTask(index_dir=str(index_dir),
                           index_name=index_name, profile=profile,
-                          count=shard_count, rate=rate / processes,
+                          count=shard_count, rate=rate / len(counts),
                           arrival=arrival, threads=threads,
                           limit=limit, seed=seed + shard)
-             for shard in range(processes)]
-    with ProcessPoolExecutor(max_workers=processes) as pool:
+             for shard, shard_count in enumerate(counts)]
+    with ProcessPoolExecutor(max_workers=len(tasks)) as pool:
         shards = list(pool.map(_process_shard, tasks))
 
     buckets = shards[0]["buckets"]
-    merged = [0] * len(shards[0]["bucket_counts"])
-    for shard in shards:
-        for position, bucket_count in enumerate(shard["bucket_counts"]):
-            merged[position] += bucket_count
-    total = sum(shard["count"] for shard in shards)
-    exact_max = max(shard["max_response_seconds"] for shard in shards)
-
-    def merged_quantile(q: float) -> float:
-        # interpolation lands inside the target's bucket, which can
-        # overshoot the true maximum by up to the bucket width — clamp
-        # to the exact per-shard max so p99 <= max always holds.
-        return min(bucket_quantile(buckets, merged, q), exact_max)
+    response = _merge_window(
+        shards, "response", buckets,
+        max(shard["max_response_seconds"] for shard in shards))
+    service = _merge_window(
+        shards, "service", buckets,
+        max(shard["max_service_seconds"] for shard in shards))
 
     return {
-        "processes": processes,
+        "processes": len(tasks),
         "threads_per_process": threads,
-        "requests": total,
+        "requests": sum(shard["response"]["count"] for shard in shards),
         "completed": sum(shard["completed"] for shard in shards),
         "errors": sum(shard["errors"] for shard in shards),
         "answered": sum(shard["answered"] for shard in shards),
@@ -412,13 +499,7 @@ def run_multiprocess(index_dir, index_name: str, profile: str,
                                  for shard in shards), 2),
         "achieved_qps": round(sum(shard["achieved_qps"]
                                   for shard in shards), 2),
-        "percentile_source": "bucket_interpolation",
-        "response_seconds": {
-            "p50": round(merged_quantile(0.50), 6),
-            "p95": round(merged_quantile(0.95), 6),
-            "p99": round(merged_quantile(0.99), 6),
-            "max": round(exact_max, 6),
-            "mean": round(sum(shard["sum"] for shard in shards)
-                          / total, 6) if total else 0.0,
-        },
+        "percentile_source": response["source"],
+        "response_seconds": response["percentiles"],
+        "service_seconds": service["percentiles"],
     }

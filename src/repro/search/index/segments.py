@@ -538,9 +538,23 @@ class _SegmentSet:
 
     # -- pin protocol --------------------------------------------------
 
-    def pin(self) -> None:
+    def try_pin(self) -> bool:
+        """Take a pin, or refuse if the set was already retired.
+
+        Refusing is what closes the TOCTOU window in
+        :meth:`SegmentedIndex.pinned`: a reader that grabbed
+        ``_state`` just before a refresh swapped it out would
+        otherwise pin a set whose readers :meth:`retire` has already
+        closed (or is free to close the moment this pin is released).
+        ``_retired`` flips under the same ``_guard`` that protects the
+        refcount, so a successful pin guarantees the readers stay open
+        until the matching :meth:`unpin`.
+        """
         with self._guard:
+            if self._retired:
+                return False
             self._refs += 1
+            return True
 
     def unpin(self) -> None:
         with self._guard:
@@ -784,9 +798,19 @@ class SegmentedIndex:
         the scatter-gather driver) frozen at one manifest generation.
         Concurrent :meth:`refresh`/:meth:`close` calls cannot close
         its readers until the ``with`` block exits.
+
+        Reading ``self._state`` and pinning it are two steps, so a
+        refresh can retire the set in between; :meth:`_SegmentSet.try_pin`
+        detects that (retired flips under the set's own guard) and the
+        loop retries against the freshly swapped-in state.  Each retry
+        observes a set that some refresh/close published *after* the
+        failed candidate, so the loop terminates as soon as swaps
+        stop — it cannot spin against a stable ``_state``.
         """
-        state = self._state
-        state.pin()
+        while True:
+            state = self._state
+            if state.try_pin():
+                break
         try:
             yield state
         finally:

@@ -81,17 +81,44 @@ class TestDriverBasics:
             OpenLoopDriver(instant_search, ["a"], [0.0], threads=0)
 
     def test_to_json_is_self_describing(self):
-        result = OpenLoopDriver(instant_search, ["a", "b", "c"],
-                                fixed_rate_arrivals(300.0, 3),
+        queries = [f"q{i}" for i in range(50)]
+        result = OpenLoopDriver(instant_search, queries,
+                                fixed_rate_arrivals(300.0, 50),
                                 threads=1, name="shape").run()
         data = result.to_json()
         assert data["name"] == "shape"
-        assert data["requests"] == 3
+        assert data["requests"] == 50
         assert data["utilization"] <= 1.05
         for window in ("response_seconds", "service_seconds"):
             assert set(data[window]) \
                 == {"p50", "p95", "p99", "max", "mean"}
             assert data[window]["p99"] <= data[window]["max"]
+
+    def test_offered_rate_equals_configured_rate(self):
+        # N arrivals span N-1 gaps: offered must read back as the
+        # configured rate, not rate * N/(N-1)
+        result = OpenLoopDriver(instant_search, ["q"] * 21,
+                                fixed_rate_arrivals(200.0, 21),
+                                threads=2).run()
+        assert result.offered_qps == pytest.approx(200.0)
+
+    def test_single_request_offered_rate_is_zero(self):
+        # one arrival has no inter-arrival gap, hence no rate:
+        # defined as 0.0, and utilization serializes as null
+        result = OpenLoopDriver(instant_search, ["q"], [0.0],
+                                threads=1).run()
+        assert result.offered_qps == 0.0
+        assert result.to_json()["utilization"] is None
+
+    def test_result_exposes_its_histograms(self):
+        result = OpenLoopDriver(instant_search, ["a", "b", "c"],
+                                fixed_rate_arrivals(300.0, 3),
+                                threads=1).run()
+        for histogram in (result.response_histogram,
+                          result.service_histogram):
+            assert histogram.count == 3
+            assert len(histogram.reservoir_values()) == 3
+        assert "response_histogram" not in result.to_json()
 
 
 class TestOpenLoopSemantics:
@@ -165,3 +192,61 @@ class TestWorkloadIntegration:
         assert result.completed == 30
         assert {record.query for record in result.records} \
             == set(workload.queries)
+
+
+class TestMultiprocess:
+    def test_shard_counts_preserve_the_total(self):
+        from repro.loadgen.driver import _shard_counts
+
+        assert _shard_counts(100, 3) == [34, 33, 33]
+        assert _shard_counts(12, 4) == [3, 3, 3, 3]
+        # fewer requests than processes: surplus shards get zero,
+        # never inflating the run to `processes` requests
+        assert _shard_counts(2, 4) == [1, 1, 0, 0]
+        for count, processes in [(1, 1), (7, 2), (400, 7), (5, 8)]:
+            assert sum(_shard_counts(count, processes)) == count
+
+    def _mini_index_dir(self, tmp_path):
+        from repro.search import InvertedIndex, save_index
+
+        index = InvertedIndex("mini")
+        for terms in (["goal", "messi"], ["pass", "corner"],
+                      ["goal", "foul"]):
+            doc_id = index.new_doc_id()
+            index.index_terms(doc_id, "narration",
+                              list(zip(terms, range(len(terms)))))
+            index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+        save_index(index, tmp_path, format="binary")
+        return tmp_path
+
+    def test_run_multiprocess_drives_exactly_count_requests(self,
+                                                            tmp_path):
+        from repro.loadgen import run_multiprocess
+
+        report = run_multiprocess(
+            self._mini_index_dir(tmp_path), "mini", "cache_friendly",
+            count=10, rate=500.0, processes=3, threads=1)
+        # 10 // 3 would silently drive 9; the remainder must survive
+        assert report["requests"] == 10
+        assert report["completed"] == 10
+        assert report["errors"] == 0
+        assert report["processes"] == 3
+        # shards ship their reservoirs: merged percentiles are exact,
+        # and the service window travels too (parity with in-process)
+        assert report["percentile_source"] == "reservoir_exact"
+        for window in ("response_seconds", "service_seconds"):
+            assert set(report[window]) \
+                == {"p50", "p95", "p99", "max", "mean"}
+            assert report[window]["p50"] <= report[window]["p99"] \
+                <= report[window]["max"]
+
+    def test_run_multiprocess_with_fewer_requests_than_processes(
+            self, tmp_path):
+        from repro.loadgen import run_multiprocess
+
+        report = run_multiprocess(
+            self._mini_index_dir(tmp_path), "mini", "cache_friendly",
+            count=2, rate=100.0, processes=4, threads=1)
+        assert report["requests"] == 2
+        assert report["completed"] == 2
+        assert report["processes"] == 2

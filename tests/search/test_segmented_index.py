@@ -211,3 +211,61 @@ class TestSegmentPruning:
                            TermQuery("f", "t"), 1)
         assert result.segments_searched == 0
         assert result.segments_pruned == 0
+
+
+class TestPinnedRefreshRace:
+    """Reading ``_state`` and pinning it are two separate steps, so a
+    concurrent refresh can swap + retire the set in between; the old
+    unconditional ``pin()`` would then hand the reader a segment set
+    whose mmaps were already closed.  ``try_pin`` must refuse retired
+    sets and ``pinned()`` must retry against the freshly swapped-in
+    state."""
+
+    def grow(self, segmented, rng, docs=5):
+        """Commit one more segment so a newer manifest generation
+        exists on disk."""
+        chunk = InvertedIndex(segmented.name)
+        feed(chunk, random_doc_specs(rng, docs), start=1000)
+        segmented.directory.add_index(chunk)
+
+    def test_try_pin_refuses_a_retired_set(self, tmp_path):
+        rng = random.Random(3)
+        _, segmented = build_pair(rng, 20, tmp_path)
+        with segmented:
+            old = segmented._state
+            assert old.try_pin() is True
+            old.unpin()
+            self.grow(segmented, rng)
+            assert segmented.refresh()
+            # retired with zero pins: readers are closed, a late pin
+            # must fail instead of handing out dead mmaps
+            assert old.try_pin() is False
+
+    def test_pinned_retries_past_a_racing_refresh(self, tmp_path,
+                                                  monkeypatch):
+        from repro.search.index.segments import _SegmentSet
+
+        rng = random.Random(7)
+        _, segmented = build_pair(rng, 20, tmp_path)
+        with segmented:
+            self.grow(segmented, rng)     # newer manifest, not yet live
+            old = segmented._state
+            real = _SegmentSet.try_pin
+            fired = []
+
+            def refresh_between_read_and_pin(state):
+                # simulate losing the race: the refresh lands after
+                # pinned() read self._state but before the pin
+                if not fired:
+                    fired.append(True)
+                    assert segmented.refresh()
+                return real(state)
+
+            monkeypatch.setattr(_SegmentSet, "try_pin",
+                                refresh_between_read_and_pin)
+            with segmented.pinned() as state:
+                assert state is not old
+                assert state.generation == segmented.generation
+                # reads serve from open mmaps of the new set
+                assert state.doc_count == 25
+            assert fired == [True]
