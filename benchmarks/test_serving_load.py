@@ -4,7 +4,11 @@ Every earlier BENCH file measured the engine closed-loop — one caller
 in a ``for`` loop, which can never show queueing.  This one drives
 the keyword engine with the open-loop harness (``repro.loadgen``)
 over a 2×2 matrix: {cache_friendly, cache_hostile} workload profiles
-× {monolithic, segmented} backends.  For each cell it reports exact
+× {monolithic, segmented} backends — plus an **end-to-end service
+row**: the segmented directory served over HTTP by ``repro.serve``
+and driven through :class:`~repro.loadgen.http.HttpSearchClient`, so
+the report separates engine latency from whole-service latency.
+For each cell it reports exact
 p50/p95/p99/max response and service latency (reservoir-backed
 metrics histograms), offered vs. achieved throughput, and a
 saturation sweep over geometrically stepped offered rates — plus an
@@ -121,6 +125,36 @@ def measure_cell(result, profile: str) -> dict:
     }
 
 
+def measure_http_cell(service_url: str, profile: str,
+                      oracle_engine) -> dict:
+    """One profile driven over HTTP against a live service — the
+    end-to-end row: JSON encode, socket, handler thread, pinned
+    query, JSON decode all inside the measured latency.  Results are
+    parity-checked against the in-process engine (JSON floats
+    round-trip exactly, so scores must match bit-for-bit)."""
+    from repro.loadgen import HttpSearchClient
+    client = HttpSearchClient(service_url, index=IndexName.FULL_INF)
+    workload = build_workload(profile, LOAD_REQUESTS, seed=SEED)
+    for query in workload.unique_queries():
+        got = [(hit.doc_key, hit.score)
+               for hit in client.search(query, limit=LIMIT)]
+        want = [(hit.doc_key, hit.score)
+                for hit in oracle_engine.search(query, limit=LIMIT)]
+        assert got == want, f"service diverged for {query!r}"
+    load = OpenLoopDriver(
+        client.search, workload.queries,
+        arrival_times("poisson", LOAD_RATE, LOAD_REQUESTS, seed=SEED),
+        threads=THREADS, limit=LIMIT,
+        name=f"http:{profile}@{LOAD_RATE:g}qps").run()
+    assert load.completed == LOAD_REQUESTS
+    assert load.errors == 0, load.error_samples
+    return {
+        "profile": profile,
+        "parity_checked_queries": len(workload.unique_queries()),
+        "load": load.to_json(),
+    }
+
+
 def test_serving_load_matrix(pipeline_result,
                              segmented_pipeline_result, results_dir):
     backends = {
@@ -145,14 +179,30 @@ def test_serving_load_matrix(pipeline_result,
         assert cells["cache_friendly"]["cache_hit_rate"] \
             > cells["cache_hostile"]["cache_hit_rate"]
 
+    # the end-to-end service row: the same segmented directory served
+    # over HTTP by repro.serve, every request a real socket round trip
+    from repro.serve import ReproService, ServiceConfig
+    directory = segmented_pipeline_result.directories[
+        IndexName.FULL_INF].path.parent
+    config = ServiceConfig(directory, maintenance=False)
+    with ReproService(config) as service:
+        oracle = fresh_engine(segmented_pipeline_result)
+        report["backends"]["http_service"] = {
+            profile: measure_http_cell(service.url, profile, oracle)
+            for profile in PROFILE_NAMES}
+
     write_result(results_dir, "BENCH_serving.json",
                  json.dumps(report, indent=2) + "\n")
 
     for backend, cells in report["backends"].items():
         for profile, cell in cells.items():
             response = cell["load"]["response_seconds"]
-            print(f"{backend:10} {profile:15} "
-                  f"p50={response['p50'] * 1000:7.2f}ms "
-                  f"p99={response['p99'] * 1000:7.2f}ms "
-                  f"achieved={cell['load']['achieved_qps']:7.1f}qps "
-                  f"saturation={cell['saturation']['saturation_qps']:8.1f}qps")
+            line = (f"{backend:12} {profile:15} "
+                    f"p50={response['p50'] * 1000:7.2f}ms "
+                    f"p99={response['p99'] * 1000:7.2f}ms "
+                    f"achieved={cell['load']['achieved_qps']:7.1f}qps")
+            if "saturation" in cell:
+                line += (f" saturation="
+                         f"{cell['saturation']['saturation_qps']:8.1f}"
+                         f"qps")
+            print(line)

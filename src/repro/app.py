@@ -32,11 +32,15 @@ from repro.core.phrasal import PhrasalQueryParser
 from repro.search import (Highlighter, SpellChecker, load_index,
                           save_index)
 from repro.search.highlight import collect_terms
-from repro.search.index import InvertedIndex
+from repro.search.index import InvertedIndex, SegmentedIndex
 
 __all__ = ["SearchResponse", "SemanticSearchApplication"]
 
 PathLike = Union[str, Path]
+
+#: either serving backend: the mutable in-memory index or the
+#: segmented on-disk one — the facade duck-types both.
+AnyIndex = Union[InvertedIndex, SegmentedIndex]
 
 
 @dataclass
@@ -55,12 +59,24 @@ class SearchResponse:
 
 
 class SemanticSearchApplication:
-    """Query-time facade over a built (or loaded) inferred index."""
+    """Query-time facade over a built (or loaded) inferred index.
 
-    def __init__(self, inferred_index: InvertedIndex,
-                 phrasal_index: Optional[InvertedIndex] = None,
+    Both serving backends work: the mutable in-memory
+    :class:`InvertedIndex` and the mmap'd
+    :class:`~repro.search.index.segments.SegmentedIndex` that
+    :meth:`open` auto-detects from a ``build --segmented`` directory.
+    Every query-time collaborator (feedback learner, spell checker,
+    query result cache) keys its derived state on the backend's
+    ``generation`` counter, so live ingestion into a segmented
+    directory — commit a delta segment, :meth:`refresh` — makes new
+    documents searchable, learnable and spell-known without restart.
+    """
+
+    def __init__(self, inferred_index: AnyIndex,
+                 phrasal_index: Optional[AnyIndex] = None,
                  feedback_min_support: int = 3) -> None:
         self.index = inferred_index
+        self.phrasal_index = phrasal_index
         self.engine = KeywordSearchEngine(inferred_index)
         self.feedback_engine = FeedbackSearchEngine(
             inferred_index, min_support=feedback_min_support)
@@ -103,6 +119,36 @@ class SemanticSearchApplication:
         return cls(result.index(IndexName.FULL_INF),
                    result.index(IndexName.PHR_EXP),
                    feedback_min_support=feedback_min_support)
+
+    @property
+    def generation(self) -> int:
+        """The serving index's generation counter (cache epoch)."""
+        return self.index.generation
+
+    def refresh(self) -> bool:
+        """Re-open segmented backends at their newest committed
+        manifest; returns True when anything changed.  A no-op over
+        in-memory indexes (their mutations are visible immediately)."""
+        changed = False
+        for index in (self.index, self.phrasal_index):
+            refresh = getattr(index, "refresh", None)
+            if refresh is not None and refresh():
+                changed = True
+        return changed
+
+    def close(self) -> None:
+        """Release segmented backends' mmaps (no-op for in-memory
+        indexes).  In-flight pinned queries finish first."""
+        for index in (self.index, self.phrasal_index):
+            close = getattr(index, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "SemanticSearchApplication":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # querying

@@ -9,6 +9,7 @@ Subcommands::
     python -m repro evaluate            # Tables 4, 5 and 6
     python -m repro ontology            # Fig. 2 class hierarchy
     python -m repro loadtest            # open-loop serving load test
+    python -m repro serve -d INDEXDIR   # HTTP service with live ingest
 
 ``build`` persists every index under the given directory — JSON by
 default, the compact binary format with ``--format binary``, or (with
@@ -219,6 +220,38 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("-o", "--output", type=Path, default=None,
                           metavar="OUT.json",
                           help="also write the report as JSON")
+    loadtest.add_argument("--http", default=None, metavar="URL",
+                          help="drive a running `repro serve` "
+                               "instance over HTTP instead of an "
+                               "in-process engine (end-to-end "
+                               "service latency; --index selects the "
+                               "raw index the service searches)")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="HTTP/JSON retrieval service with live ingestion "
+             "(docs/serving.md)")
+    serve.add_argument("-d", "--index-dir", type=Path, required=True,
+                       help="a built index directory (segmented "
+                            "builds enable POST /ingest)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("-p", "--port", type=int, default=8080,
+                       help="bind port; 0 picks an ephemeral one "
+                            "(default: 8080)")
+    serve.add_argument("--merge-factor", type=int,
+                       default=DEFAULT_MERGE_FACTOR,
+                       help="tiered merge fan-in for background "
+                            f"maintenance (default: "
+                            f"{DEFAULT_MERGE_FACTOR})")
+    serve.add_argument("--maintenance-interval", type=float,
+                       default=5.0, metavar="SECONDS",
+                       help="seconds between background merge/vacuum/"
+                            "refresh cycles (default: 5)")
+    serve.add_argument("--feedback-min-support", type=int, default=3,
+                       metavar="N",
+                       help="clicks before a feedback association is "
+                            "learned (default: 3)")
 
     subparsers.add_parser("ontology",
                           help="print the Fig. 2 class hierarchy")
@@ -426,6 +459,36 @@ def _command_loadtest(args) -> int:
         print("error: --rate must be positive", file=sys.stderr)
         return EXIT_USER_ERROR
 
+    if args.http is not None:
+        if args.processes > 1:
+            print("error: --http and --processes are mutually "
+                  "exclusive", file=sys.stderr)
+            return EXIT_USER_ERROR
+        if args.index_dir is not None:
+            print("error: --http drives a running service; "
+                  "--index-dir is for in-process runs", file=sys.stderr)
+            return EXIT_USER_ERROR
+        from repro.loadgen import (HttpSearchClient, HttpSearchError,
+                                   OpenLoopDriver, arrival_times,
+                                   build_workload, wait_healthy)
+        client = HttpSearchClient(args.http, index=args.index)
+        try:
+            wait_healthy(args.http, timeout=10.0)
+        except HttpSearchError as error:
+            print(f"error: {error}", file=sys.stderr)
+            print(f"hint: start the service with "
+                  f"'repro serve -d INDEXDIR'", file=sys.stderr)
+            return EXIT_USER_ERROR
+        workload = build_workload(args.workload, args.requests,
+                                  seed=args.load_seed)
+        arrivals = arrival_times(args.arrival, args.rate,
+                                 args.requests, seed=args.load_seed)
+        result = OpenLoopDriver(
+            client.search, workload.queries, arrivals,
+            threads=args.threads, limit=args.limit,
+            name=f"http:{args.workload}@{args.rate:g}qps").run()
+        return _emit_load_report(result.to_json(), args)
+
     if args.processes > 1:
         if args.index_dir is None:
             print("error: --processes needs --index-dir (worker "
@@ -502,6 +565,55 @@ def _emit_load_report(report: dict, args) -> int:
     return 0
 
 
+def _command_serve(args) -> int:
+    import signal
+    from repro.serve import ReproService, ServiceConfig
+    if not args.index_dir.exists():
+        print(f"error: index directory {args.index_dir} does not "
+              f"exist", file=sys.stderr)
+        print(f"hint: run 'repro build --segmented -d "
+              f"{args.index_dir}' first", file=sys.stderr)
+        return EXIT_USER_ERROR
+
+    # the service always meters itself; installing the process-wide
+    # registry here folds query-path series (latency, caches,
+    # segments) into GET /metrics too.
+    previous = None
+    if not get_observability().metrics.enabled:
+        previous = install_observability(Observability(metrics=True))
+    try:
+        config = ServiceConfig(
+            index_dir=args.index_dir, host=args.host, port=args.port,
+            merge_factor=args.merge_factor,
+            maintenance_interval=args.maintenance_interval,
+            feedback_min_support=args.feedback_min_support)
+        # SIGTERM (what `kill` and CI teardown send) must drain the
+        # same way Ctrl-C does; so must SIGINT when a non-interactive
+        # parent shell launched us with it set to SIG_IGN.
+        def _terminate(signum, frame):
+            raise KeyboardInterrupt
+        signal.signal(signal.SIGTERM, _terminate)
+        signal.signal(signal.SIGINT, _terminate)
+        with ReproService(config) as service:
+            ingest = ("enabled" if service.ingest.directories
+                      else "disabled (not a segmented build)")
+            print(f"serving {args.index_dir} on {service.url} "
+                  f"(indexes: {', '.join(sorted(service.engines))}; "
+                  f"live ingest {ingest})", file=sys.stderr)
+            print("endpoints: POST /search /feedback /ingest, "
+                  "GET /metrics /healthz — Ctrl-C to stop",
+                  file=sys.stderr)
+            try:
+                service.serve_forever()
+            except KeyboardInterrupt:
+                print("\ndraining…", file=sys.stderr)
+        print("stopped", file=sys.stderr)
+        return EXIT_OK
+    finally:
+        if previous is not None:
+            install_observability(previous)
+
+
 def _command_ontology(args) -> int:
     ontology = soccer_ontology()
     print(f"{ontology.class_count} concepts, "
@@ -575,6 +687,7 @@ _COMMANDS = {
     "search": _command_search,
     "evaluate": _command_evaluate,
     "loadtest": _command_loadtest,
+    "serve": _command_serve,
     "ontology": _command_ontology,
     "stats": _command_stats,
 }

@@ -21,7 +21,9 @@ after ``min_support`` clicks, "booking" retrieves cards directly.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter, defaultdict
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -47,25 +49,61 @@ class Click:
 
 
 class FeedbackStore:
-    """Append-only click log."""
+    """Append-only click log.
+
+    Thread-safe: in the serving layer ``/feedback`` records clicks
+    while ``/search`` (via :meth:`FeedbackSearchEngine.refresh`)
+    snapshots them, so both sides go through one lock.  ``clicks``
+    returns an independent list — callers can iterate it while new
+    clicks keep arriving.
+    """
 
     def __init__(self) -> None:
         self._clicks: List[Click] = []
+        self._lock = threading.Lock()
 
     def record(self, query: str, doc_key: str) -> Click:
         click = Click(query=query, doc_key=doc_key)
-        self._clicks.append(click)
+        with self._lock:
+            self._clicks.append(click)
         return click
 
     def clicks(self) -> List[Click]:
-        return list(self._clicks)
+        with self._lock:
+            return list(self._clicks)
 
     def __len__(self) -> int:
-        return len(self._clicks)
+        with self._lock:
+            return len(self._clicks)
+
+
+@contextmanager
+def _read_view(index):
+    """A consistent multi-call read view of ``index``.
+
+    Segmented indexes expose :meth:`SegmentedIndex.pinned`, which
+    freezes one manifest generation for the whole block (a concurrent
+    refresh cannot yank readers or mix generations mid-scan); the
+    in-memory :class:`InvertedIndex` has no snapshot machinery and is
+    yielded as-is.
+    """
+    pinned = getattr(index, "pinned", None)
+    with (pinned() if pinned is not None
+          else nullcontext(index)) as view:
+        yield view
 
 
 class FeedbackLearner:
-    """Mines term associations from the click log."""
+    """Mines term associations from the click log.
+
+    ``index`` may be a mutable :class:`InvertedIndex` or a segmented
+    serving index — anything exposing the read API plus a
+    ``generation`` counter.  The doc-key map is keyed on that
+    generation and rebuilt lazily whenever it moves, so documents
+    ingested *after* construction become learnable: clicks on them
+    used to be silently dropped because the map was computed exactly
+    once at startup.
+    """
 
     def __init__(self, index: InvertedIndex,
                  min_support: int = 3) -> None:
@@ -74,15 +112,30 @@ class FeedbackLearner:
         self.index = index
         self.min_support = min_support
         self.analyzer = default_index_analyzer()
-        self._doc_key_to_id = self._build_doc_key_map()
+        self._map_lock = threading.Lock()
+        self._map_generation: Optional[int] = None
+        self._doc_key_to_id: Dict[str, int] = {}
+        self._doc_key_map()    # eager first build, as before
 
-    def _build_doc_key_map(self) -> Dict[str, int]:
-        mapping: Dict[str, int] = {}
-        for doc_id in range(self.index.doc_count):
-            key = self.index.stored_value(doc_id, F.DOC_KEY)
-            if key is not None:
-                mapping[key] = doc_id
-        return mapping
+    def _doc_key_map(self) -> Dict[str, int]:
+        """The doc-key → doc-id map for the index's *current*
+        generation, rebuilt under a lock when the generation moved
+        (live ingestion, merges, in-memory mutation)."""
+        generation = self.index.generation
+        if generation == self._map_generation:
+            return self._doc_key_to_id
+        with self._map_lock:
+            if generation == self._map_generation:
+                return self._doc_key_to_id
+            with _read_view(self.index) as view:
+                mapping: Dict[str, int] = {}
+                for doc_id in range(view.doc_count):
+                    key = view.stored_value(doc_id, F.DOC_KEY)
+                    if key is not None:
+                        mapping[key] = doc_id
+                self._doc_key_to_id = mapping
+                self._map_generation = view.generation
+        return self._doc_key_to_id
 
     def _semantic_terms(self, doc_id: int) -> Set[str]:
         terms: Set[str] = set()
@@ -102,8 +155,9 @@ class FeedbackLearner:
         """
         support: Dict[Tuple[str, str], int] = Counter()
         term_clicks: Dict[str, int] = Counter()
+        doc_key_to_id = self._doc_key_map()
         for click in store.clicks():
-            doc_id = self._doc_key_to_id.get(click.doc_key)
+            doc_id = doc_key_to_id.get(click.doc_key)
             if doc_id is None:
                 continue
             doc_terms = self._semantic_terms(doc_id)

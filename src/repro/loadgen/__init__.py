@@ -13,6 +13,9 @@ instrument:
 * :mod:`repro.loadgen.workload` — zipf-distributed query mixes over
   the paper query set plus synthetic expansions, with cache-friendly
   and cache-hostile profiles;
+* :mod:`repro.loadgen.http` — an HTTP ``search(query, limit)`` target
+  over a running ``repro serve`` instance, so the same driver measures
+  the end-to-end service path (``loadtest --http URL``);
 * :mod:`repro.loadgen.driver` — the multi-threaded (optionally
   multi-process) open-loop driver, sourcing latency percentiles from
   the :mod:`repro.core.observability` histograms (exact reservoir
@@ -29,6 +32,8 @@ from repro.loadgen.arrival import (ARRIVAL_PROCESSES, arrival_times,
 from repro.loadgen.driver import (LoadResult, OpenLoopDriver,
                                   RequestRecord, run_multiprocess,
                                   saturation_sweep)
+from repro.loadgen.http import (HttpHit, HttpSearchClient,
+                                HttpSearchError, wait_healthy)
 from repro.loadgen.workload import (PAPER_QUERIES, PROFILES, Workload,
                                     WorkloadProfile, ZipfSampler,
                                     build_workload, synthetic_queries)
@@ -37,6 +42,7 @@ __all__ = [
     "ARRIVAL_PROCESSES", "arrival_times", "fixed_rate_arrivals",
     "poisson_arrivals", "LoadResult", "OpenLoopDriver",
     "RequestRecord", "run_multiprocess", "saturation_sweep",
+    "HttpHit", "HttpSearchClient", "HttpSearchError", "wait_healthy",
     "PAPER_QUERIES", "PROFILES", "Workload", "WorkloadProfile",
     "ZipfSampler", "build_workload", "synthetic_queries",
 ]

@@ -1,0 +1,132 @@
+"""An HTTP search target for the open-loop driver.
+
+:class:`HttpSearchClient` makes a running ``repro serve`` instance
+look like any other ``search(query, limit)`` callable, so
+``loadtest --http URL`` and the BENCH_serving end-to-end row measure
+the *whole* service path — JSON encode, socket, ThreadingHTTPServer
+handler thread, pinned query, JSON decode — not just the engine.
+
+Stdlib only (:mod:`urllib.request`).  Each worker thread gets its own
+keep-alive connection state implicitly (urllib opens per request; the
+server speaks HTTP/1.1 so the OS gets connection reuse where the
+platform supports it).  Hits come back as :class:`HttpHit`, carrying
+``doc_key``/``score`` so the driver's ``capture_results`` parity
+checks work identically to the in-process path.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+__all__ = ["HttpHit", "HttpSearchError", "HttpSearchClient"]
+
+
+@dataclass(frozen=True)
+class HttpHit:
+    """One hit as it came over the wire."""
+
+    doc_key: str
+    score: float
+    event_type: Optional[str] = None
+    narration: Optional[str] = None
+
+
+class HttpSearchError(Exception):
+    """A non-2xx response or transport failure; the driver records
+    ``repr()`` of this on the request record."""
+
+
+class HttpSearchClient:
+    """``search(query, limit)`` over ``POST /search``.
+
+    ``index`` routes to one raw index variant (the evaluation path);
+    None exercises the full application stack the way a real user
+    request would.
+    """
+
+    def __init__(self, base_url: str, index: Optional[str] = None,
+                 timeout: float = 30.0,
+                 spell_correct: bool = True,
+                 snippets: bool = False) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.index = index
+        self.timeout = timeout
+        self.spell_correct = spell_correct
+        self.snippets = snippets
+
+    def _post(self, path: str, payload: dict) -> dict:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={"Content-Type": "application/json"})
+        try:
+            with urllib.request.urlopen(
+                    request, timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as error:
+            detail = ""
+            try:
+                detail = json.loads(error.read()).get("error", "")
+            except Exception:   # noqa: BLE001 — detail is best-effort
+                pass
+            raise HttpSearchError(
+                f"POST {path} -> {error.code}"
+                + (f": {detail}" if detail else "")) from error
+        except (urllib.error.URLError, OSError,
+                json.JSONDecodeError) as error:
+            raise HttpSearchError(
+                f"POST {path} failed: {error}") from error
+
+    def search(self, query: str,
+               limit: Optional[int] = 10) -> List[HttpHit]:
+        payload: dict = {"query": query, "limit": limit}
+        if self.index is not None:
+            payload["index"] = self.index
+        else:
+            payload["spell_correct"] = self.spell_correct
+            payload["snippets"] = self.snippets
+        body = self._post("/search", payload)
+        return [HttpHit(doc_key=hit["doc_key"], score=hit["score"],
+                        event_type=hit.get("event_type"),
+                        narration=hit.get("narration"))
+                for hit in body.get("hits", ())]
+
+    def ingest(self, match_payload: dict) -> dict:
+        """``POST /ingest`` (used by the serve-smoke CI job)."""
+        return self._post("/ingest", match_payload)
+
+    def feedback(self, query: str, doc_key: str) -> dict:
+        return self._post("/feedback",
+                          {"query": query, "doc_key": doc_key})
+
+    def healthz(self) -> dict:
+        try:
+            with urllib.request.urlopen(
+                    self.base_url + "/healthz",
+                    timeout=self.timeout) as response:
+                return json.loads(response.read())
+        except (urllib.error.URLError, OSError) as error:
+            raise HttpSearchError(
+                f"GET /healthz failed: {error}") from error
+
+
+def wait_healthy(base_url: str, timeout: float = 30.0,
+                 interval: float = 0.2) -> dict:
+    """Poll ``/healthz`` until the service answers; returns the first
+    healthy body.  For scripts that just started a server process."""
+    import time
+    client = HttpSearchClient(base_url, timeout=min(timeout, 5.0))
+    deadline = time.monotonic() + timeout
+    last: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            return client.healthz()
+        except HttpSearchError as error:
+            last = error
+            time.sleep(interval)
+    raise HttpSearchError(
+        f"service at {base_url} not healthy after {timeout}s: {last}")

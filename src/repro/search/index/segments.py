@@ -112,6 +112,9 @@ class Manifest:
 
     @classmethod
     def from_json(cls, data: dict) -> "Manifest":
+        if not isinstance(data, dict):
+            raise IndexError_(
+                f"not a segments manifest: {type(data).__name__}")
         if data.get("format") != "repro.segments/v1":
             raise IndexError_(
                 f"not a segments manifest: {data.get('format')!r}")
@@ -169,7 +172,8 @@ class IndexDirectory:
             try:
                 data = json.loads(target.read_text(encoding="utf-8"))
                 manifest = Manifest.from_json(data)
-            except (OSError, ValueError, KeyError, IndexError_):
+            except (OSError, ValueError, KeyError, TypeError,
+                    IndexError_):
                 continue
             if manifest.generation != generation:
                 continue

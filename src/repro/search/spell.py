@@ -5,12 +5,22 @@ in) the index, by scanning the field's term dictionary for close
 terms under Damerau-Levenshtein distance and ranking candidates by
 (distance, -document frequency).  Player names are the main customers:
 "mesi barcelona gaol" → "messi barcelona goal".
+
+The vocabulary (term → document frequency per field) is cached and
+**keyed on the index generation**: a live service keeps ingesting new
+matches, and a dictionary frozen at construction would "correct"
+legitimately new terms away to stale vocabulary.  On a generation
+mismatch the cache rebuilds lazily — under one pinned snapshot for
+segmented indexes, so a concurrent refresh can never mix two
+generations inside one rebuild.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.search.analysis.analyzer import Analyzer, StandardAnalyzer
 from repro.search.index.inverted import InvertedIndex
@@ -29,7 +39,12 @@ class Suggestion:
 
 
 class SpellChecker:
-    """Suggests corrections from one or more index fields."""
+    """Suggests corrections from one or more index fields.
+
+    ``index`` is duck-typed: the in-memory :class:`InvertedIndex` and
+    the segmented serving index both work — anything with ``terms``,
+    ``doc_frequency`` and a ``generation`` counter.
+    """
 
     def __init__(self, index: InvertedIndex,
                  fields: Sequence[str] = ("narration",),
@@ -41,11 +56,37 @@ class SpellChecker:
         self.fields = list(fields)
         self.max_edits = max_edits
         self.analyzer = analyzer or StandardAnalyzer()
+        self._vocab_lock = threading.Lock()
+        self._vocab_generation: Optional[int] = None
+        #: field name -> {term: document frequency}, one generation
+        self._vocab: Dict[str, Dict[str, int]] = {}
 
     # ------------------------------------------------------------------
 
+    def _vocabulary(self) -> Dict[str, Dict[str, int]]:
+        """Per-field term → doc-frequency tables for the index's
+        current generation, rebuilt lazily on mismatch."""
+        generation = self.index.generation
+        if generation == self._vocab_generation:
+            return self._vocab
+        with self._vocab_lock:
+            if generation == self._vocab_generation:
+                return self._vocab
+            pinned = getattr(self.index, "pinned", None)
+            with (pinned() if pinned is not None
+                  else nullcontext(self.index)) as view:
+                vocab = {
+                    field_name: {term: view.doc_frequency(field_name,
+                                                          term)
+                                 for term in view.terms(field_name)}
+                    for field_name in self.fields}
+                self._vocab = vocab
+                self._vocab_generation = view.generation
+        return self._vocab
+
     def _doc_frequency(self, term: str) -> int:
-        return sum(self.index.doc_frequency(field_name, term)
+        vocab = self._vocabulary()
+        return sum(vocab[field_name].get(term, 0)
                    for field_name in self.fields)
 
     def is_known(self, term: str) -> bool:
@@ -54,15 +95,17 @@ class SpellChecker:
     def suggestions(self, term: str, limit: int = 5
                     ) -> List[Suggestion]:
         """Correction candidates for one analyzed term, best first."""
-        candidates = {}
+        vocab = self._vocabulary()
+        candidates: Dict[str, Suggestion] = {}
         for field_name in self.fields:
-            for candidate in self.index.terms(field_name):
+            for candidate in vocab[field_name]:
                 if candidate == term:
                     continue
                 edits = edit_distance(term, candidate, self.max_edits)
                 if edits > self.max_edits:
                     continue
-                frequency = self._doc_frequency(candidate)
+                frequency = sum(vocab[name].get(candidate, 0)
+                                for name in self.fields)
                 existing = candidates.get(candidate)
                 if existing is None or edits < existing.distance:
                     candidates[candidate] = Suggestion(

@@ -1,0 +1,18 @@
+"""The online serving layer (HTTP/JSON over the search facade).
+
+See :mod:`repro.serve.service` for the endpoint surface and
+:mod:`repro.serve.ingest` for the live-ingestion path.
+"""
+
+from repro.serve.ingest import (IngestWorker, MaintenanceThread,
+                                match_from_json, match_to_json)
+from repro.serve.service import ReproService, ServiceConfig
+
+__all__ = [
+    "IngestWorker",
+    "MaintenanceThread",
+    "ReproService",
+    "ServiceConfig",
+    "match_from_json",
+    "match_to_json",
+]

@@ -1,0 +1,417 @@
+"""Live ingestion: posted match events → committed delta segments.
+
+One ``POST /ingest`` carries one match (its facts plus minute-by-minute
+narrations) as JSON.  :func:`match_from_json` turns the payload back
+into the :class:`~repro.soccer.crawler.CrawledMatch` crawl artifact the
+offline pipeline consumes, and the :class:`IngestWorker` runs the
+exact per-match steps 2–8 (:class:`~repro.core.parallel.MatchProcessor`
+— IE, population, reasoning, semantic indexing), then seals the
+resulting mini-indexes as **one delta segment per index variant** via
+:meth:`IndexDirectory.add_index` and refreshes the serving
+:class:`~repro.search.index.segments.SegmentedIndex` handles.  From
+commit to searchable is one manifest swap: in-flight queries keep
+their pinned snapshot, the next query sees the new generation.
+
+A separate :class:`MaintenanceThread` amortizes the write side's
+segment churn: every interval it runs the tiered merge policy, vacuums
+superseded files (safe under pinned readers — POSIX keeps unlinked
+mmaps alive), and refreshes the serving handles so externally
+committed generations are picked up too.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import CrawlError
+from repro.search.index.segments import IndexDirectory, SegmentedIndex
+from repro.soccer.crawler import (BookingFact, CrawledMatch, GoalFact,
+                                  LineupEntry, SubstitutionFact)
+from repro.soccer.narration import Narration
+
+__all__ = ["match_to_json", "match_from_json", "IngestWorker",
+           "MaintenanceThread"]
+
+
+# ----------------------------------------------------------------------
+# the wire codec: CrawledMatch <-> JSON
+# ----------------------------------------------------------------------
+
+def match_to_json(crawled: CrawledMatch) -> dict:
+    """Serialize one crawl artifact for ``POST /ingest``."""
+    return {
+        "match_id": crawled.match_id,
+        "competition": crawled.competition,
+        "date": crawled.date,
+        "kick_off": crawled.kick_off,
+        "stadium": crawled.stadium,
+        "referee": crawled.referee,
+        "home_team": crawled.home_team,
+        "away_team": crawled.away_team,
+        "home_score": crawled.home_score,
+        "away_score": crawled.away_score,
+        "lineups": {team: [{"name": entry.name,
+                            "full_name": entry.full_name,
+                            "shirt_number": entry.shirt_number,
+                            "position": entry.position,
+                            "starter": entry.starter}
+                           for entry in entries]
+                    for team, entries in crawled.lineups.items()},
+        "goals": [{"minute": fact.minute, "scorer": fact.scorer,
+                   "team": fact.team, "kind": fact.kind,
+                   "source_id": fact.source_id}
+                  for fact in crawled.goals],
+        "substitutions": [{"minute": fact.minute, "team": fact.team,
+                           "player_in": fact.player_in,
+                           "player_out": fact.player_out,
+                           "source_id": fact.source_id}
+                          for fact in crawled.substitutions],
+        "bookings": [{"minute": fact.minute, "team": fact.team,
+                      "player": fact.player, "color": fact.color,
+                      "source_id": fact.source_id}
+                     for fact in crawled.bookings],
+        "narrations": [{"minute": line.minute, "text": line.text,
+                        "event_id": line.event_id}
+                       for line in crawled.narrations],
+    }
+
+
+def _require(data: Mapping, key: str):
+    try:
+        return data[key]
+    except KeyError:
+        raise CrawlError(f"ingest payload missing {key!r}") from None
+
+
+def match_from_json(data: Mapping) -> CrawledMatch:
+    """Parse an ingest payload back into a validated
+    :class:`CrawledMatch`.  Raises :class:`~repro.errors.CrawlError`
+    on structurally unsound payloads (the service maps that to 400)."""
+    if not isinstance(data, Mapping):
+        raise CrawlError(f"ingest payload must be a JSON object, "
+                         f"got {type(data).__name__}")
+    try:
+        crawled = CrawledMatch(
+            match_id=str(_require(data, "match_id")),
+            competition=str(data.get("competition", "")),
+            date=str(data.get("date", "")),
+            kick_off=str(data.get("kick_off", "")),
+            stadium=str(data.get("stadium", "")),
+            referee=str(data.get("referee", "")),
+            home_team=str(_require(data, "home_team")),
+            away_team=str(_require(data, "away_team")),
+            home_score=int(data.get("home_score", 0)),
+            away_score=int(data.get("away_score", 0)),
+            lineups={
+                str(team): [LineupEntry(
+                    name=str(_require(entry, "name")),
+                    full_name=str(entry.get("full_name",
+                                            entry.get("name", ""))),
+                    shirt_number=int(entry.get("shirt_number", 0)),
+                    position=str(entry.get("position", "")),
+                    starter=bool(entry.get("starter", True)))
+                    for entry in entries]
+                for team, entries in dict(data.get("lineups",
+                                                   {})).items()},
+            goals=[GoalFact(
+                minute=int(_require(fact, "minute")),
+                scorer=str(fact.get("scorer", "")),
+                team=str(fact.get("team", "")),
+                kind=str(fact.get("kind", "goal")),
+                source_id=str(fact.get("source_id", "")))
+                for fact in data.get("goals", ())],
+            substitutions=[SubstitutionFact(
+                minute=int(_require(fact, "minute")),
+                team=str(fact.get("team", "")),
+                player_in=str(fact.get("player_in", "")),
+                player_out=str(fact.get("player_out", "")),
+                source_id=str(fact.get("source_id", "")))
+                for fact in data.get("substitutions", ())],
+            bookings=[BookingFact(
+                minute=int(_require(fact, "minute")),
+                team=str(fact.get("team", "")),
+                player=str(fact.get("player", "")),
+                color=str(fact.get("color", "yellow")),
+                source_id=str(fact.get("source_id", "")))
+                for fact in data.get("bookings", ())],
+            narrations=[Narration(
+                minute=int(_require(line, "minute")),
+                text=str(_require(line, "text")),
+                event_id=(str(line["event_id"])
+                          if line.get("event_id") is not None
+                          else None))
+                for line in _require(data, "narrations")],
+        )
+    except (TypeError, ValueError, AttributeError) as error:
+        raise CrawlError(f"malformed ingest payload: {error}") from error
+    return crawled.validate()
+
+
+# ----------------------------------------------------------------------
+# the ingest worker
+# ----------------------------------------------------------------------
+
+def _metrics():
+    from repro.core.observability import get_observability
+    return get_observability().metrics
+
+
+class IngestWorker:
+    """One background thread turning queued matches into committed
+    delta segments.
+
+    The HTTP handler only enqueues (``/ingest`` answers 202 in
+    microseconds); this thread runs the expensive steps 2–8 and the
+    commits.  One match becomes one segment per index directory —
+    commits happen index-by-index, each a single atomic manifest
+    rename, and the serving handles refresh after the last one so a
+    query never sees a half-ingested match spread across variants
+    mid-flight (each individual index is always complete; the refresh
+    just keeps the variants moving together).
+    """
+
+    def __init__(self, directories: Mapping[str, IndexDirectory],
+                 indexes: Mapping[str, SegmentedIndex],
+                 on_commit: Optional[Callable[[CrawledMatch], None]]
+                 = None,
+                 metrics=None,
+                 naive_inference: bool = False) -> None:
+        self.directories = dict(directories)
+        self.indexes = dict(indexes)
+        self.on_commit = on_commit
+        self.metrics = metrics if metrics is not None else _metrics()
+        self.naive_inference = naive_inference
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread: Optional[threading.Thread] = None
+        self._processor = None      # built lazily, in the worker
+        self._lock = threading.Lock()
+        self.ingested = 0
+        self.failed = 0
+        self.documents_added = 0
+        self.last_error: Optional[str] = None
+        self.match_ids: List[str] = []
+
+    # -- lifecycle -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("ingest worker already started")
+        self._thread = threading.Thread(target=self._run,
+                                        name="serve-ingest",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, drain: bool = True, timeout: float = 30.0) -> bool:
+        """Stop the worker.  ``drain=True`` processes everything
+        already queued first (accepted events are not lost on a
+        graceful shutdown); returns False when the drain timed out."""
+        if self._thread is None:
+            return True
+        if not drain:
+            # unprocessed items are dropped: swap the queue out so the
+            # sentinel is the next thing the worker sees.
+            self._queue = queue.Queue()
+        self._queue.put(None)
+        self._thread.join(timeout=timeout)
+        alive = self._thread.is_alive()
+        if not alive:
+            self._thread = None
+        return not alive
+
+    # -- the request side ----------------------------------------------
+
+    def submit(self, crawled: CrawledMatch) -> int:
+        """Enqueue one validated match; returns the queue depth after
+        the append (what ``/ingest`` reports back)."""
+        self._queue.put(crawled)
+        depth = self.queue_depth
+        if self.metrics.enabled:
+            self.metrics.counter("serve_ingest_submitted_total",
+                                 "matches accepted by POST /ingest"
+                                 ).inc()
+            self.metrics.gauge("serve_ingest_queue_depth",
+                               "matches waiting for the ingest worker"
+                               ).set(depth)
+        return depth
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- the worker side -----------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            try:
+                self._ingest_one(item)
+            except Exception as error:   # noqa: BLE001 — reported
+                with self._lock:
+                    self.failed += 1
+                    self.last_error = f"{type(error).__name__}: {error}"
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "serve_ingest_failures_total",
+                        "matches that failed mid-ingest").inc()
+            finally:
+                if self.metrics.enabled:
+                    self.metrics.gauge(
+                        "serve_ingest_queue_depth",
+                        "matches waiting for the ingest worker"
+                        ).set(self.queue_depth)
+
+    def _ingest_one(self, crawled: CrawledMatch) -> None:
+        from repro.core.parallel import MatchProcessor, MatchTask
+        if self._processor is None:
+            self._processor = MatchProcessor()
+        started = time.perf_counter()
+        partial = self._processor.process(MatchTask(
+            position=0, crawled=crawled,
+            naive_inference=self.naive_inference))
+        build_seconds = time.perf_counter() - started
+
+        commit_started = time.perf_counter()
+        docs = 0
+        for name, directory in self.directories.items():
+            mini = partial.indexes.get(name)
+            if mini is None or mini.doc_count == 0:
+                continue
+            directory.add_index(mini)
+            docs += mini.doc_count
+        for index in self.indexes.values():
+            index.refresh()
+        commit_seconds = time.perf_counter() - commit_started
+
+        with self._lock:
+            self.ingested += 1
+            self.documents_added += docs
+            self.match_ids.append(crawled.match_id)
+        if self.on_commit is not None:
+            self.on_commit(crawled)
+        if self.metrics.enabled:
+            self.metrics.counter("serve_ingested_matches_total",
+                                 "matches ingested to searchable"
+                                 ).inc()
+            self.metrics.counter("serve_ingested_documents_total",
+                                 "documents added by live ingestion"
+                                 ).inc(docs)
+            self.metrics.histogram(
+                "serve_ingest_seconds",
+                "posted match → committed+refreshed wall seconds",
+                buckets=(0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+                ).observe(build_seconds + commit_seconds)
+            self.metrics.counter(
+                "serve_ingest_commit_seconds_total",
+                "wall seconds sealing/committing delta segments"
+                ).inc(commit_seconds)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "queued": self.queue_depth,
+                "ingested": self.ingested,
+                "failed": self.failed,
+                "documents_added": self.documents_added,
+                "last_error": self.last_error,
+            }
+
+
+# ----------------------------------------------------------------------
+# background maintenance
+# ----------------------------------------------------------------------
+
+class MaintenanceThread:
+    """Periodic tiered merges + vacuum + refresh over the serving
+    directories.
+
+    Live ingestion produces one small segment per match; without
+    merging, scatter-gather costs grow linearly with matches served.
+    Every ``interval`` seconds this thread runs
+    :meth:`IndexDirectory.merge` (tiered policy — cheap no-op when no
+    tier is full), vacuums superseded files after a merge, and
+    refreshes the serving handles.  Vacuum under pinned readers is
+    safe: an unlinked segment file stays readable through its mmap
+    until the last pin drops.
+    """
+
+    def __init__(self, directories: Mapping[str, IndexDirectory],
+                 indexes: Mapping[str, SegmentedIndex],
+                 interval: float = 5.0,
+                 merge_factor: int = 8,
+                 vacuum: bool = True,
+                 on_refresh: Optional[Callable[[], None]] = None,
+                 metrics=None) -> None:
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, "
+                             f"got {interval}")
+        self.directories = dict(directories)
+        self.indexes = dict(indexes)
+        self.interval = interval
+        self.merge_factor = merge_factor
+        self.vacuum = vacuum
+        self.on_refresh = on_refresh
+        self.metrics = metrics if metrics is not None else _metrics()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.cycles = 0
+        self.merges = 0
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("maintenance thread already started")
+        self._thread = threading.Thread(target=self._run,
+                                        name="serve-maintenance",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 10.0) -> bool:
+        if self._thread is None:
+            return True
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        alive = self._thread.is_alive()
+        if not alive:
+            self._thread = None
+        return not alive
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval):
+            try:
+                self.run_once()
+            except Exception:    # noqa: BLE001 — keep the loop alive
+                if self.metrics.enabled:
+                    self.metrics.counter(
+                        "serve_maintenance_failures_total",
+                        "maintenance cycles that raised").inc()
+
+    def run_once(self) -> int:
+        """One maintenance cycle; returns merges performed."""
+        merges = 0
+        for name, directory in self.directories.items():
+            done = directory.merge(merge_factor=self.merge_factor)
+            merges += done
+            if done and self.vacuum:
+                directory.vacuum()
+        refreshed = False
+        for index in self.indexes.values():
+            if index.refresh():
+                refreshed = True
+        if refreshed and self.on_refresh is not None:
+            self.on_refresh()
+        self.cycles += 1
+        self.merges += merges
+        if self.metrics.enabled:
+            self.metrics.counter("serve_maintenance_cycles_total",
+                                 "background maintenance cycles"
+                                 ).inc()
+            if merges:
+                self.metrics.counter(
+                    "serve_maintenance_merges_total",
+                    "tiered merges performed by maintenance"
+                    ).inc(merges)
+        return merges

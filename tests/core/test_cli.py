@@ -282,3 +282,64 @@ class TestSegmentedCommands:
                                                     capsys):
         assert main(["merge", "-d", str(tmp_path)]) == EXIT_USER_ERROR
         assert "hint" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    """`repro serve` + `loadtest --http` argument handling.  The
+    served behaviour itself is covered by tests/serve and
+    tests/integration/test_live_ingestion.py; here we pin the CLI
+    contract (flags, exit codes, error messages)."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "-d", "idx"])
+        assert str(args.index_dir) == "idx"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.maintenance_interval == 5.0
+
+    def test_missing_directory_is_a_user_error(self, tmp_path, capsys):
+        missing = tmp_path / "nope"
+        assert main(["serve", "-d", str(missing)]) == EXIT_USER_ERROR
+        err = capsys.readouterr().err
+        assert "does not exist" in err
+        assert "build --segmented" in err
+
+    def test_http_excludes_processes(self, capsys):
+        code = main(["loadtest", "--http", "http://127.0.0.1:1",
+                     "--processes", "2"])
+        assert code == EXIT_USER_ERROR
+        assert "mutually exclusive" in capsys.readouterr().err
+
+    def test_http_excludes_index_dir(self, tmp_path, capsys):
+        code = main(["loadtest", "--http", "http://127.0.0.1:1",
+                     "-d", str(tmp_path)])
+        assert code == EXIT_USER_ERROR
+        assert "--index-dir" in capsys.readouterr().err
+
+    def test_http_against_dead_server_fails_cleanly(self, capsys):
+        code = main(["loadtest", "--http", "http://127.0.0.1:9",
+                     "--requests", "5", "--rate", "100"])
+        assert code == EXIT_USER_ERROR
+        assert "repro serve" in capsys.readouterr().err
+
+    def test_http_load_run_end_to_end(self, pipeline, tmp_path,
+                                      capsys):
+        """A real serve instance driven by `loadtest --http`."""
+        from repro.serve import ReproService, ServiceConfig
+        from repro.soccer import standard_corpus
+        from repro.soccer.names import FIXTURES
+        corpus = standard_corpus(fixtures=FIXTURES[:2],
+                                 total_narrations=120)
+        pipeline.run_segmented(corpus.crawled, tmp_path).close()
+        config = ServiceConfig(tmp_path, maintenance=False)
+        with ReproService(config) as service:
+            report_path = tmp_path / "http_load.json"
+            code = main(["loadtest", "--http", service.url,
+                         "--requests", "40", "--rate", "100",
+                         "--arrival", "fixed",
+                         "-o", str(report_path)])
+            assert code == 0
+            report = json.loads(report_path.read_text())
+        assert report["errors"] == 0
+        assert report["completed"] == 40
+        assert report["name"].startswith("http:")

@@ -134,3 +134,106 @@ class TestFeedbackSearchEngine:
     def test_no_expansions_leaves_query_untouched(self, full_inf):
         engine = FeedbackSearchEngine(full_inf)
         assert engine.expand_query("messi goal") == "messi goal"
+
+
+class TestStoreThreadSafety:
+    def test_concurrent_record_and_snapshot(self):
+        """/feedback and /search race in the service; appends and
+        snapshots must interleave without loss or error."""
+        import threading
+        store = FeedbackStore()
+        writers = 4
+        per_writer = 500
+        errors = []
+
+        def write(tag):
+            try:
+                for number in range(per_writer):
+                    store.record(f"q{tag}", f"doc{tag}_{number}")
+            except Exception as error:   # noqa: BLE001
+                errors.append(repr(error))
+
+        def read():
+            try:
+                while len(store) < writers * per_writer:
+                    snapshot = store.clicks()
+                    # the snapshot is independent: iterating it while
+                    # writers append must never blow up
+                    assert len(list(snapshot)) == len(snapshot)
+            except Exception as error:   # noqa: BLE001
+                errors.append(repr(error))
+
+        threads = [threading.Thread(target=write, args=(tag,))
+                   for tag in range(writers)]
+        threads.append(threading.Thread(target=read))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert errors == []
+        assert len(store) == writers * per_writer
+
+
+class TestDocKeyMapRefresh:
+    """The staleness bugfix: documents added after the learner was
+    built must be learnable once the index generation moves."""
+
+    def _miniature_index(self):
+        from repro.core.indexer import default_index_analyzer
+        from repro.search import Document, Field, InvertedIndex
+        from repro.search.index import IndexWriter
+        index = InvertedIndex(name="mini")
+        writer = IndexWriter(index, default_index_analyzer())
+        return index, writer
+
+    @staticmethod
+    def _event_doc(key, event):
+        from repro.search import Document, Field
+        return Document([
+            Field(F.DOC_KEY, key, indexed=False),
+            Field(F.EVENT, event),
+            Field(F.NARRATION, "something happens"),
+        ])
+
+    def test_late_documents_become_learnable(self):
+        index, writer = self._miniature_index()
+        writer.add_document(self._event_doc("d0", "goal"))
+        learner = FeedbackLearner(index, min_support=2)
+
+        # these documents did not exist when the learner was built
+        writer.add_document(self._event_doc("d1", "yellow card"))
+        writer.add_document(self._event_doc("d2", "yellow card"))
+
+        store = FeedbackStore()
+        store.record("booking", "d1")
+        store.record("booking", "d2")
+        learned = learner.learn(store)
+        term = learner.analyzer.for_field(F.NARRATION).terms(
+            "booking")[0]
+        assert term in learned
+        assert "yellow" in learned[term]
+
+    def test_map_cached_until_generation_moves(self):
+        index, writer = self._miniature_index()
+        writer.add_document(self._event_doc("d0", "goal"))
+        learner = FeedbackLearner(index, min_support=1)
+        first = learner._doc_key_map()
+        assert learner._doc_key_map() is first       # same generation
+        writer.add_document(self._event_doc("d1", "save"))
+        second = learner._doc_key_map()
+        assert second is not first
+        assert "d1" in second
+
+    def test_segmented_backend_duck_typed(self, pipeline,
+                                          small_corpus, tmp_path):
+        from repro.core import IndexName
+        result = pipeline.run_segmented(small_corpus.crawled, tmp_path)
+        try:
+            index = result.index(IndexName.FULL_INF)
+            learner = FeedbackLearner(index, min_support=1)
+            mapping = learner._doc_key_map()
+            assert len(mapping) == index.doc_count
+            key = index.stored_value(0, F.DOC_KEY)
+            assert mapping[key] == 0
+        finally:
+            result.close()

@@ -81,3 +81,50 @@ class TestPersistence:
         # phrasal engine survives the round trip too
         phrasal = app.search("foul by Daniel", limit=3)
         assert phrasal.phrasal
+
+
+class TestSegmentedBackend:
+    """The facade must duck-type the segmented serving index: open()
+    on a `build --segmented` directory hands SegmentedIndex to every
+    query-time collaborator (spell, feedback, phrasal, caches)."""
+
+    @pytest.fixture(scope="class")
+    def segmented_app(self, pipeline, corpus, tmp_path_factory):
+        from repro.core import SemanticRetrievalPipeline
+        directory = tmp_path_factory.mktemp("app_segmented")
+        pipeline.run_segmented(corpus.crawled, directory,
+                               segment_size=2).close()
+        with SemanticSearchApplication.open(directory) as app:
+            yield app
+
+    def test_open_detects_segmented_format(self, segmented_app):
+        from repro.search.index import SegmentedIndex
+        assert isinstance(segmented_app.index, SegmentedIndex)
+        assert isinstance(segmented_app.phrasal_index, SegmentedIndex)
+
+    def test_search_results_match_monolithic(self, app, segmented_app):
+        ours = segmented_app.search("messi goal", limit=10)
+        reference = app.search("messi goal", limit=10)
+        assert [(hit.doc_key, hit.score) for hit in ours.hits] \
+            == [(hit.doc_key, hit.score) for hit in reference.hits]
+
+    def test_spell_correction_over_segments(self, segmented_app):
+        response = segmented_app.search("mesi goal", limit=3)
+        assert response.corrected
+        assert response.query == "messi goal"
+
+    def test_phrasal_routing_over_segments(self, segmented_app):
+        response = segmented_app.search("foul by Daniel to Florent",
+                                        limit=3)
+        assert response.phrasal
+        assert response.hits
+
+    def test_feedback_learner_accepts_segmented_index(self,
+                                                      segmented_app):
+        hit = segmented_app.search("yellow card", limit=1).hits[0]
+        segmented_app.feedback("booking", hit)
+        assert len(segmented_app.feedback_engine.store) >= 1
+
+    def test_generation_and_refresh_exposed(self, segmented_app):
+        assert segmented_app.generation >= 1
+        assert segmented_app.refresh() is False    # nothing committed

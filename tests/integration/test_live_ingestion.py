@@ -1,0 +1,174 @@
+"""Live ingestion through the running HTTP service.
+
+The serving layer's three promises, tested end to end over the
+standard corpus on an ephemeral port:
+
+1. **Freshness** — a match POSTed to ``/ingest`` is returned by
+   ``/search`` within 5 seconds (the ISSUE's bound; in practice one
+   refresh cycle).
+2. **Fidelity** — golden Tables 4–6 for the pre-existing corpus are
+   cell-identical when every search runs over HTTP (JSON floats
+   round-trip exactly, so even scores survive the wire).
+3. **Stability** — 8 client threads hammering ``/search`` straight
+   through ingest commits, refreshes and merges see zero errors.
+
+Ordering inside the module matters: the golden-table assertions run
+*before* ingestion (class order = execution order in pytest), because
+new documents legitimately shift global document frequencies.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro.core import IndexName
+from repro.evaluation.harness import TableResult
+from repro.evaluation.queries import TABLE3_QUERIES, TABLE6_QUERIES
+from repro.loadgen import HttpSearchClient
+from repro.serve import ReproService, ServiceConfig, match_to_json
+from repro.soccer.crawler import SimulatedCrawler
+
+CLIENT_THREADS = 8
+FRESHNESS_BOUND_SECONDS = 5.0
+
+
+@pytest.fixture(scope="module")
+def service(pipeline, corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("live_ingestion")
+    pipeline.run_segmented(corpus.crawled, directory,
+                           segment_size=2).close()
+    config = ServiceConfig(directory, maintenance_interval=0.5)
+    with ReproService(config) as running:
+        yield running
+
+
+@pytest.fixture(scope="module")
+def new_match(corpus):
+    """A simulated match not in the standard corpus."""
+    crawler = SimulatedCrawler(corpus.teams, seed=20260807)
+    names = sorted(corpus.teams)
+    return crawler.crawl_match(names[0], names[5], "2026_08_07")
+
+
+def http_table(service, queries, systems, harness):
+    """``harness.run_table`` with every search going over the wire."""
+    table = TableResult(systems=list(systems))
+    for query in queries:
+        row = {}
+        for system in systems:
+            client = HttpSearchClient(service.url, index=system)
+            row[system] = harness.evaluate_query(
+                query, system,
+                lambda keywords, _c=client: _c.search(keywords,
+                                                      limit=None))
+        table.rows[query.query_id] = row
+    return table
+
+
+def assert_tables_equal(ours, reference):
+    assert ours.systems == reference.systems
+    assert set(ours.rows) == set(reference.rows)
+    for query_id, row in reference.rows.items():
+        for system, cell in row.items():
+            mine = ours.rows[query_id][system]
+            assert mine.average_precision == cell.average_precision, \
+                (query_id, system)
+            assert mine.recall == cell.recall, (query_id, system)
+            assert mine.relevant_count == cell.relevant_count
+            assert mine.retrieved_count == cell.retrieved_count
+
+
+class TestGoldenTablesOverHttp:
+    """Must run before ingestion (see module docstring)."""
+
+    def test_table4_bit_identical(self, service, harness):
+        assert_tables_equal(
+            http_table(service, TABLE3_QUERIES, IndexName.LADDER,
+                       harness),
+            harness.table4())
+
+    def test_table5_bit_identical(self, service, harness):
+        systems = (IndexName.TRAD, IndexName.QUERY_EXP,
+                   IndexName.FULL_INF)
+        assert_tables_equal(
+            http_table(service, TABLE3_QUERIES, systems, harness),
+            harness.table5())
+
+    def test_table6_bit_identical(self, service, harness):
+        systems = (IndexName.FULL_INF, IndexName.PHR_EXP)
+        assert_tables_equal(
+            http_table(service, TABLE6_QUERIES, systems, harness),
+            harness.table6())
+
+
+class TestLiveIngestion:
+    def test_ingested_match_searchable_within_bound(self, service,
+                                                    new_match):
+        client = HttpSearchClient(service.url,
+                                  index=IndexName.FULL_INF)
+        match_id = new_match.match_id
+        # 8 concurrent searchers run right through the commit +
+        # refresh + merge window; any error or non-JSON response is a
+        # stability failure.
+        stop = threading.Event()
+        errors = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    client.search("goal scores", limit=10)
+                except Exception as error:   # noqa: BLE001
+                    errors.append(repr(error))
+                    return
+
+        threads = [threading.Thread(target=hammer)
+                   for _ in range(CLIENT_THREADS)]
+        for thread in threads:
+            thread.start()
+        try:
+            payload = json.dumps(match_to_json(new_match)).encode()
+            request = urllib.request.Request(
+                service.url + "/ingest", data=payload,
+                headers={"Content-Type": "application/json"})
+            posted = time.monotonic()
+            with urllib.request.urlopen(request, timeout=30) as resp:
+                assert resp.status == 202
+                body = json.loads(resp.read())
+            assert body["match_id"] == match_id
+
+            found = False
+            while time.monotonic() - posted < FRESHNESS_BOUND_SECONDS:
+                hits = client.search("goal scores", limit=None)
+                if any(hit.doc_key.startswith(match_id)
+                       for hit in hits):
+                    found = True
+                    break
+                time.sleep(0.05)
+            assert found, (f"match {match_id} not searchable within "
+                           f"{FRESHNESS_BOUND_SECONDS}s")
+            # keep the hammer running across a few maintenance
+            # cycles so a merge/vacuum lands under live readers.
+            time.sleep(1.5)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join(timeout=10.0)
+        assert errors == []
+
+    def test_healthz_reflects_the_ingest(self, service, new_match):
+        health = HttpSearchClient(service.url).healthz()
+        assert health["ingest"]["ingested"] >= 1
+        assert health["ingest"]["failed"] == 0
+        assert health["indexes"][IndexName.FULL_INF]["generation"] > 1
+
+    def test_new_docs_visible_in_full_application_path(self, service,
+                                                       new_match):
+        client = HttpSearchClient(service.url)   # full stack, no index
+        hits = client.search("goal scores", limit=None)
+        assert any(hit.doc_key.startswith(new_match.match_id)
+                   for hit in hits)

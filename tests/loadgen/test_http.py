@@ -1,0 +1,74 @@
+"""Tests for the HTTP load-target client."""
+
+import pytest
+
+from repro.core import IndexName, KeywordSearchEngine
+from repro.loadgen import (HttpSearchClient, HttpSearchError,
+                           OpenLoopDriver, fixed_rate_arrivals,
+                           wait_healthy)
+from repro.serve import ReproService, ServiceConfig
+
+
+@pytest.fixture(scope="module")
+def served(pipeline, small_corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("loadgen_http")
+    result = pipeline.run_segmented(small_corpus.crawled, directory)
+    config = ServiceConfig(directory, maintenance=False)
+    with ReproService(config) as running:
+        yield running, result
+    result.close()
+
+
+class TestClient:
+    def test_hits_match_in_process_engine(self, served):
+        service, result = served
+        client = HttpSearchClient(service.url,
+                                  index=IndexName.FULL_INF)
+        engine = KeywordSearchEngine(
+            result.index(IndexName.FULL_INF))
+        ours = client.search("messi goal", limit=10)
+        reference = engine.search("messi goal", limit=10)
+        assert [(hit.doc_key, hit.score) for hit in ours] \
+            == [(hit.doc_key, hit.score) for hit in reference]
+
+    def test_full_application_path_has_results(self, served):
+        service, _ = served
+        hits = HttpSearchClient(service.url).search("goal", limit=5)
+        assert len(hits) == 5
+
+    def test_error_statuses_raise(self, served):
+        service, _ = served
+        client = HttpSearchClient(service.url, index="NOPE")
+        with pytest.raises(HttpSearchError, match="400"):
+            client.search("goal")
+
+    def test_unreachable_server_raises(self):
+        client = HttpSearchClient("http://127.0.0.1:9",
+                                  timeout=0.5)
+        with pytest.raises(HttpSearchError):
+            client.search("goal")
+
+    def test_wait_healthy(self, served):
+        service, _ = served
+        health = wait_healthy(service.url, timeout=5.0)
+        assert health["status"] == "ok"
+
+    def test_wait_healthy_times_out(self):
+        with pytest.raises(HttpSearchError, match="not healthy"):
+            wait_healthy("http://127.0.0.1:9", timeout=0.5)
+
+
+class TestDriverIntegration:
+    def test_open_loop_run_zero_errors(self, served):
+        service, _ = served
+        client = HttpSearchClient(service.url,
+                                  index=IndexName.FULL_INF)
+        queries = ["messi goal", "yellow card", "save", "foul"] * 25
+        load = OpenLoopDriver(
+            client.search, queries,
+            fixed_rate_arrivals(200.0, len(queries)),
+            threads=8, limit=10, name="http-smoke").run()
+        assert load.errors == 0, load.error_samples
+        assert load.completed == len(queries)
+        assert load.answered > 0
+        assert load.response["p99"] > 0

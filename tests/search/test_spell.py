@@ -72,3 +72,55 @@ class TestOnRealIndex:
         assert checker.correct_query("mesi") == "messi"
         corrected = checker.correct_query("ronaldo scores")
         assert corrected == "ronaldo scores"
+
+
+class TestVocabularyRefresh:
+    """The staleness bugfix: terms ingested after construction must
+    become known when the index generation moves."""
+
+    def test_new_term_known_after_generation_bump(self, checker):
+        assert not checker.is_known("zlatan")
+        writer = IndexWriter(checker.index, SimpleAnalyzer())
+        writer.add_document(
+            Document([Field("narration", "zlatan scores again")]))
+        assert checker.is_known("zlatan")
+        assert checker.correct_query("zlatn") == "zlatan"
+
+    def test_vocabulary_cached_within_one_generation(self, checker):
+        checker.is_known("goal")
+        generation = checker._vocab_generation
+        first = checker._vocab
+        checker.suggestions("mesi")
+        assert checker._vocab is first           # no rebuild
+        assert checker._vocab_generation == generation
+
+    def test_segmented_index_vocabulary(self, pipeline, small_corpus,
+                                        tmp_path):
+        """Duck-typing: the segmented serving index works, and a
+        committed delta makes its terms spell-known."""
+        from repro.core import IndexName
+        from repro.core.parallel import MatchProcessor, MatchTask
+        from repro.soccer.crawler import SimulatedCrawler
+
+        result = pipeline.run_segmented(small_corpus.crawled, tmp_path)
+        try:
+            index = result.index(IndexName.FULL_INF)
+            checker = SpellChecker(index, fields=["narration"])
+            assert checker.is_known("goal")
+
+            crawler = SimulatedCrawler(small_corpus.teams, seed=11)
+            names = sorted(small_corpus.teams)
+            crawled = crawler.crawl_match(names[4], names[5],
+                                          "2012_02_02")
+            partial = MatchProcessor().process(
+                MatchTask(position=0, crawled=crawled))
+            delta = partial.indexes[IndexName.FULL_INF]
+            fresh = sorted(term for term in delta.terms("narration")
+                           if not checker.is_known(term))
+            assert fresh    # a new fixture brings new player names
+            result.directories[IndexName.FULL_INF].add_index(delta)
+            index.refresh()
+            assert all(checker.is_known(term) for term in fresh)
+            assert checker._vocab_generation == index.generation
+        finally:
+            result.close()

@@ -1,0 +1,75 @@
+"""Tests for the ingest wire codec (CrawledMatch ↔ JSON)."""
+
+import json
+
+import pytest
+
+from repro.errors import CrawlError
+from repro.serve import match_from_json, match_to_json
+
+
+@pytest.fixture(scope="module")
+def crawled(small_corpus):
+    return small_corpus.crawled[0]
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self, crawled):
+        wire = json.loads(json.dumps(match_to_json(crawled)))
+        back = match_from_json(wire)
+        assert back.match_id == crawled.match_id
+        assert back.teams == crawled.teams
+        assert (back.home_score, back.away_score) \
+            == (crawled.home_score, crawled.away_score)
+        assert back.lineups == crawled.lineups
+        assert back.goals == crawled.goals
+        assert back.substitutions == crawled.substitutions
+        assert back.bookings == crawled.bookings
+        assert len(back.narrations) == len(crawled.narrations)
+        for ours, theirs in zip(back.narrations, crawled.narrations):
+            assert (ours.minute, ours.text, ours.event_id) \
+                == (theirs.minute, theirs.text, theirs.event_id)
+
+    def test_round_trip_survives_reingestion(self, crawled):
+        """The codec is idempotent: to_json(from_json(x)) == x."""
+        wire = match_to_json(crawled)
+        assert match_to_json(match_from_json(wire)) == wire
+
+    def test_colour_commentary_keeps_null_event_id(self, crawled):
+        wire = match_to_json(crawled)
+        colour = [line for line in wire["narrations"]
+                  if line["event_id"] is None]
+        assert colour            # every match has padding lines
+        back = match_from_json(wire)
+        assert sum(1 for line in back.narrations
+                   if line.event_id is None) == len(colour)
+
+
+class TestRejection:
+    def test_non_object_payload(self):
+        with pytest.raises(CrawlError):
+            match_from_json([1, 2, 3])
+
+    def test_missing_required_key(self, crawled):
+        wire = match_to_json(crawled)
+        del wire["match_id"]
+        with pytest.raises(CrawlError, match="match_id"):
+            match_from_json(wire)
+
+    def test_no_narrations_fails_validation(self, crawled):
+        wire = match_to_json(crawled)
+        wire["narrations"] = []
+        with pytest.raises(CrawlError, match="no narrations"):
+            match_from_json(wire)
+
+    def test_malformed_fact_minute(self, crawled):
+        wire = match_to_json(crawled)
+        wire["narrations"][0]["minute"] = "not-a-minute"
+        with pytest.raises(CrawlError, match="malformed"):
+            match_from_json(wire)
+
+    def test_identical_teams_fails_validation(self, crawled):
+        wire = match_to_json(crawled)
+        wire["away_team"] = wire["home_team"]
+        with pytest.raises(CrawlError, match="identical teams"):
+            match_from_json(wire)
