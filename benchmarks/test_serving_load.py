@@ -41,6 +41,32 @@ THREADS = 8
 LIMIT = 10
 SEED = 42
 
+# Pre-optimisation numbers (same harness, same corpus, same container
+# class) from before the decode-once postings cache, striped result
+# cache, single-flight coalescing and worker-pool serving landed.
+# Kept hardcoded so every regeneration reports the improvement ratios
+# alongside the fresh numbers.
+BASELINE = {
+    "monolithic": {
+        "cache_friendly": {"p50": 0.0006, "p95": 0.0037,
+                           "p99": 0.0058, "saturation_qps": 2986.62},
+        "cache_hostile": {"p50": 0.0029, "p95": 0.0105,
+                          "p99": 0.0182, "saturation_qps": 3184.79},
+    },
+    "segmented": {
+        "cache_friendly": {"p50": 0.0008, "p95": 0.0779,
+                           "p99": 0.1320, "saturation_qps": 2345.75},
+        "cache_hostile": {"p50": 0.6705, "p95": 1.0627,
+                          "p99": 1.2242, "saturation_qps": 2078.41},
+    },
+    "http_service": {
+        "cache_friendly": {"p50": 0.0026, "p95": 0.0067,
+                           "p99": 0.0096},
+        "cache_hostile": {"p50": 0.7741, "p95": 1.4041,
+                          "p99": 1.4889},
+    },
+}
+
 
 @pytest.fixture(scope="session")
 def segmented_pipeline_result(pipeline, corpus, tmp_path_factory):
@@ -191,8 +217,41 @@ def test_serving_load_matrix(pipeline_result,
             profile: measure_http_cell(service.url, profile, oracle)
             for profile in PROFILE_NAMES}
 
+    # before/after: every cell annotated with its pre-optimisation
+    # numbers and the resulting improvement ratios
+    for backend, cells in report["backends"].items():
+        for profile, cell in cells.items():
+            before = BASELINE[backend][profile]
+            response = cell["load"]["response_seconds"]
+            versus = {"before": before,
+                      "p95_speedup": round(
+                          before["p95"] / response["p95"], 2),
+                      "p99_speedup": round(
+                          before["p99"] / response["p99"], 2)}
+            if "saturation" in cell:
+                versus["saturation_gain"] = round(
+                    cell["saturation"]["saturation_qps"]
+                    / before["saturation_qps"], 2)
+            cell["versus_baseline"] = versus
+
     write_result(results_dir, "BENCH_serving.json",
                  json.dumps(report, indent=2) + "\n")
+
+    # regression gates for the hot-path optimisation:
+    # 1. the segmented cache-hostile cell — the one the decode-once
+    #    cache exists for — must saturate >= 1.3x the old build
+    hostile = report["backends"]["segmented"]["cache_hostile"]
+    assert hostile["versus_baseline"]["saturation_gain"] >= 1.3, \
+        hostile["versus_baseline"]
+    # 2. machine-independent tail gap: segmented cache-friendly p95
+    #    within 3x of monolithic measured in the same run (was ~20x
+    #    before the df-cache/pin contention fixes)
+    segmented_p95 = report["backends"]["segmented"]["cache_friendly"][
+        "load"]["response_seconds"]["p95"]
+    monolithic_p95 = report["backends"]["monolithic"][
+        "cache_friendly"]["load"]["response_seconds"]["p95"]
+    assert segmented_p95 <= 3.0 * monolithic_p95, \
+        (segmented_p95, monolithic_p95)
 
     for backend, cells in report["backends"].items():
         for profile, cell in cells.items():

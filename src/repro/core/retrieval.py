@@ -88,6 +88,15 @@ class KeywordSearchEngine:
     def search(self, text: str,
                limit: Optional[int] = None) -> List[SearchHit]:
         """Run a keyword query; hits sorted by descending score."""
+        return self.search_detailed(text, limit)[0]
+
+    def search_detailed(self, text: str, limit: Optional[int] = None
+                        ) -> tuple:
+        """Like :meth:`search`, plus the underlying :class:`TopDocs`.
+
+        Returns ``(hits, top)``.  Serving layers use ``top.cached``
+        and ``top.generation`` to key response-byte caches on exactly
+        the snapshot the query was answered from."""
         obs = get_observability()
         started = time.perf_counter()
         with obs.tracer.span("query", engine="keyword",
@@ -103,7 +112,7 @@ class KeywordSearchEngine:
                 "query_latency_seconds",
                 "end-to-end keyword query latency"
             ).observe(time.perf_counter() - started)
-        return hits
+        return hits, top
 
     def search_query(self, query: Query,
                      limit: Optional[int] = None) -> List[SearchHit]:

@@ -88,6 +88,14 @@ class PostingsList:
     def get(self, doc_id: int) -> Posting | None:
         return self._by_doc.get(doc_id)
 
+    def frequency(self, doc_id: int) -> int | None:
+        """Within-document frequency of ``doc_id``, or ``None`` when
+        the document does not match.  Term scoring uses this instead
+        of :meth:`get` so postings backed by decoded arrays (segments)
+        never materialize position lists just to count them."""
+        posting = self._by_doc.get(doc_id)
+        return None if posting is None else len(posting.positions)
+
     def doc_ids(self) -> List[int]:
         """Matching doc ids, in postings (ascending) order."""
         return [posting.doc_id for posting in self._postings]

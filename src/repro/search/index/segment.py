@@ -62,20 +62,23 @@ import json
 import mmap
 import os
 import struct
-from bisect import bisect_right
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import IndexError_
-from repro.search.index.codec import (MAGIC, _read_uvarint, _unzigzag,
-                                      _write_uvarint, _zigzag)
+from repro.search.index.codec import (MAGIC, _read_uvarint,
+                                      _write_uvarint, _zigzag,
+                                      decode_uvarints)
 from repro.search.index.inverted import InvertedIndex
 from repro.search.index.postings import Posting
 
 __all__ = ["SEGMENT_VERSION", "SEGMENT_SUFFIX", "SKIP_BLOCK",
-           "write_segment", "merge_segment_files", "SegmentReader",
-           "LazyPostings", "TermMeta"]
+           "POSTINGS_CACHE_SIZE", "write_segment",
+           "merge_segment_files", "SegmentReader", "LazyPostings",
+           "DecodedTerm", "TermMeta"]
 
 SEGMENT_VERSION = 2
 SEGMENT_SUFFIX = ".ridx"
@@ -83,6 +86,11 @@ SEGMENT_SUFFIX = ".ridx"
 #: documents per postings block; each block restarts delta encoding
 #: and gets one skip pointer, so point lookups decode ≤ this many docs
 SKIP_BLOCK = 64
+
+#: decoded terms kept per :class:`SegmentReader` (the decode-once
+#: LRU); a term is a few KB decoded, so the default bounds a reader
+#: at single-digit MB while covering a realistic hot vocabulary
+POSTINGS_CACHE_SIZE = 2048
 
 PathLike = Union[str, Path]
 
@@ -310,8 +318,121 @@ def write_segment(index: InvertedIndex, path: PathLike) -> Path:
 # reading
 # ----------------------------------------------------------------------
 
+class DecodedTerm:
+    """One term's postings fully decoded into flat arrays, exactly
+    once per (reader, term).
+
+    Segments are write-once, so the decode result is immutable for
+    the reader's whole lifetime: :class:`SegmentReader` keeps these in
+    a bounded LRU (:data:`POSTINGS_CACHE_SIZE`) and every query that
+    touches the term shares the same arrays — the decode-once hot
+    path.  The payload is decoded with the bulk varint pass
+    (:func:`~repro.search.index.codec.decode_uvarints`); only doc ids
+    and frequencies are split out eagerly, position lists stay as the
+    flat varint stream until a positional reader (phrase scoring,
+    iteration, merge) asks for them, and are then cached too.
+
+    Derived views handed to callers (:meth:`doc_ids_rebased`,
+    :meth:`postings_rebased`, :meth:`positions`) are cached and
+    **shared** — callers must treat them as read-only, which every
+    scoring/merge path does.  Concurrent builders of the same derived
+    view race benignly: both compute identical values and the last
+    assignment wins.
+    """
+
+    __slots__ = ("doc_ids", "freqs", "_values", "_entries", "_by_doc",
+                 "_positions", "_doc_ids_by_base", "_postings_by_base")
+
+    def __init__(self, doc_ids: List[int], freqs: List[int],
+                 values: List[int], entries: List[int]) -> None:
+        self.doc_ids = doc_ids     # segment-local doc ids, ascending
+        self.freqs = freqs         # per-doc within-document frequency
+        self._values = values      # the term's flat varint stream
+        self._entries = entries    # per-doc offset of its first
+        #                            position delta inside _values
+        self._by_doc: Optional[Dict[int, int]] = None
+        self._positions: Optional[List[Optional[List[int]]]] = None
+        self._doc_ids_by_base: Dict[int, List[int]] = {}
+        self._postings_by_base: Dict[int, List[Posting]] = {}
+
+    @classmethod
+    def decode(cls, data, meta: TermMeta) -> "DecodedTerm":
+        """Decode one term's whole postings payload in a single bulk
+        pass (no per-integer call overhead)."""
+        values = decode_uvarints(data, meta.offset,
+                                 meta.offset + meta.length)
+        doc_ids: List[int] = []
+        freqs: List[int] = []
+        entries: List[int] = []
+        position = 0
+        doc_id = 0
+        for ordinal in range(meta.doc_frequency):
+            if not ordinal % SKIP_BLOCK:
+                doc_id = 0             # block restart: absolute id
+            doc_id += values[position]
+            frequency = values[position + 1]
+            doc_ids.append(doc_id)
+            freqs.append(frequency)
+            entries.append(position + 2)
+            position += 2 + frequency
+        if position != len(values):
+            raise IndexError_("postings payload does not match its "
+                              "byte range (corrupt segment)")
+        return cls(doc_ids, freqs, values, entries)
+
+    def index_of(self, local_doc: int) -> Optional[int]:
+        """Ordinal of ``local_doc`` in the arrays, or ``None``."""
+        by_doc = self._by_doc
+        if by_doc is None:
+            by_doc = {doc: ordinal
+                      for ordinal, doc in enumerate(self.doc_ids)}
+            self._by_doc = by_doc
+        return by_doc.get(local_doc)
+
+    def positions(self, ordinal: int) -> List[int]:
+        """Position list of the ``ordinal``-th document, decoded on
+        first use and cached (shared — read-only)."""
+        cache = self._positions
+        if cache is None:
+            cache = [None] * len(self.doc_ids)
+            self._positions = cache
+        decoded = cache[ordinal]
+        if decoded is None:
+            start = self._entries[ordinal]
+            decoded = []
+            position = 0
+            for delta in self._values[start:start
+                                      + self.freqs[ordinal]]:
+                position += (delta >> 1) ^ -(delta & 1)   # unzigzag
+                decoded.append(position)
+            cache[ordinal] = decoded
+        return decoded
+
+    def doc_ids_rebased(self, base: int) -> List[int]:
+        """All doc ids shifted into global space (shared, read-only).
+        A reader's base is fixed within one segment set, so this is
+        computed once per (decoded term, generation)."""
+        ids = self._doc_ids_by_base.get(base)
+        if ids is None:
+            ids = (self.doc_ids if base == 0
+                   else [doc + base for doc in self.doc_ids])
+            self._doc_ids_by_base[base] = ids
+        return ids
+
+    def postings_rebased(self, base: int) -> List[Posting]:
+        """Materialized :class:`Posting` objects (shared, read-only)
+        for the positional/iteration path."""
+        postings = self._postings_by_base.get(base)
+        if postings is None:
+            postings = [Posting(doc + base, self.positions(ordinal))
+                        for ordinal, doc in enumerate(self.doc_ids)]
+            self._postings_by_base[base] = postings
+        return postings
+
+
 class LazyPostings:
-    """Postings of one term, decoded per skip block on demand.
+    """Postings of one term: a per-query shell over the reader's
+    shared :class:`DecodedTerm`.
 
     Duck-compatible with
     :class:`~repro.search.index.postings.PostingsList` where scoring
@@ -325,23 +446,22 @@ class LazyPostings:
       and still sound, for pruning this segment).
 
     ``base`` shifts decoded doc ids into the global doc-id space.
+    The shell itself holds no decode state — everything decoded lives
+    on the shared :class:`DecodedTerm`, so constructing one per query
+    is allocation-cheap and the decode happens once per reader.
     """
 
-    __slots__ = ("_data", "_meta", "_base", "_doc_frequency",
-                 "_blocks", "_all", "_by_doc")
+    __slots__ = ("_decoded", "_meta", "_base", "_doc_frequency")
 
-    def __init__(self, data, meta: TermMeta, base: int = 0,
+    def __init__(self, decoded: DecodedTerm, meta: TermMeta,
+                 base: int = 0,
                  doc_frequency: Optional[int] = None) -> None:
-        self._data = data          # the field's postings block (mmap)
+        self._decoded = decoded
         self._meta = meta
         self._base = base
         self._doc_frequency = (meta.doc_frequency
                                if doc_frequency is None
                                else doc_frequency)
-        self._blocks: List[Optional[List[Posting]]] = \
-            [None] * len(meta.skip_docs)
-        self._all: Optional[List[Posting]] = None
-        self._by_doc: Optional[Dict[int, Posting]] = None
 
     # -- statistics ----------------------------------------------------
 
@@ -360,69 +480,29 @@ class LazyPostings:
     def __len__(self) -> int:
         return self._meta.doc_frequency
 
-    # -- decoding ------------------------------------------------------
-
-    def _decode_block(self, block: int) -> List[Posting]:
-        decoded = self._blocks[block]
-        if decoded is not None:
-            return decoded
-        meta = self._meta
-        pos = meta.offset + meta.skip_offsets[block]
-        end = (meta.offset + meta.skip_offsets[block + 1]
-               if block + 1 < len(meta.skip_offsets)
-               else meta.offset + meta.length)
-        count = min(SKIP_BLOCK,
-                    meta.doc_frequency - block * SKIP_BLOCK)
-        data = self._data
-        decoded = []
-        doc_id = 0
-        for _ in range(count):
-            delta, pos = _read_uvarint(data, pos)
-            doc_id += delta
-            frequency, pos = _read_uvarint(data, pos)
-            position = 0
-            positions = []
-            for _ in range(frequency):
-                position_delta, pos = _read_uvarint(data, pos)
-                position += _unzigzag(position_delta)
-                positions.append(position)
-            decoded.append(Posting(doc_id + self._base, positions))
-        if pos > end:
-            raise IndexError_("postings block overran its byte range "
-                              "(corrupt segment)")
-        self._blocks[block] = decoded
-        return decoded
-
-    def _materialize(self) -> List[Posting]:
-        if self._all is None:
-            postings: List[Posting] = []
-            for block in range(len(self._blocks)):
-                postings.extend(self._decode_block(block))
-            self._all = postings
-            self._by_doc = {posting.doc_id: posting
-                            for posting in postings}
-        return self._all
-
     # -- PostingsList API ---------------------------------------------
 
-    def get(self, doc_id: int) -> Optional[Posting]:
-        if self._by_doc is not None:
-            return self._by_doc.get(doc_id)
-        local = doc_id - self._base
-        skip_docs = self._meta.skip_docs
-        if not skip_docs or local < skip_docs[0]:
+    def frequency(self, doc_id: int) -> Optional[int]:
+        """Within-document frequency without materializing a
+        :class:`Posting` (the term-scoring fast path — position lists
+        are never touched)."""
+        ordinal = self._decoded.index_of(doc_id - self._base)
+        if ordinal is None:
             return None
-        block = bisect_right(skip_docs, local) - 1
-        for posting in self._decode_block(block):
-            if posting.doc_id == doc_id:
-                return posting
-        return None
+        return self._decoded.freqs[ordinal]
+
+    def get(self, doc_id: int) -> Optional[Posting]:
+        ordinal = self._decoded.index_of(doc_id - self._base)
+        if ordinal is None:
+            return None
+        return Posting(doc_id, self._decoded.positions(ordinal))
 
     def doc_ids(self) -> List[int]:
-        return [posting.doc_id for posting in self._materialize()]
+        """Matching global doc ids, ascending (shared — read-only)."""
+        return self._decoded.doc_ids_rebased(self._base)
 
     def __iter__(self):
-        return iter(self._materialize())
+        return iter(self._decoded.postings_rebased(self._base))
 
 
 class SegmentReader:
@@ -434,7 +514,8 @@ class SegmentReader:
     first touch and stay cached on the reader.
     """
 
-    def __init__(self, path: PathLike) -> None:
+    def __init__(self, path: PathLike,
+                 postings_cache_size: int = POSTINGS_CACHE_SIZE) -> None:
         self.path = Path(path)
         self._file = open(self.path, "rb")
         try:
@@ -468,14 +549,38 @@ class SegmentReader:
         self._term_metas: Dict[str, Dict[str, TermMeta]] = {}
         self._lengths: Dict[str, Dict[int, int]] = {}
         self._boosts: Dict[str, Dict[int, float]] = {}
+        # decode-once postings LRU: (field, term) -> DecodedTerm
+        self._postings_cache: "OrderedDict[Tuple[str, str], DecodedTerm]" \
+            = OrderedDict()
+        self._postings_capacity = max(1, postings_cache_size)
+        self._postings_lock = threading.Lock()
+        self._postings_hits = 0
+        self._postings_misses = 0
+        self._postings_evictions = 0
         metrics = _segment_metrics()
         if metrics.enabled:
             metrics.counter("segment_opens_total",
                             "segment files opened").inc()
+            # hot path: resolve the instruments once, not per lookup
+            self._metric_hits = metrics.counter(
+                "postings_cache_hits_total",
+                "decoded-postings cache hits across all segment readers")
+            self._metric_misses = metrics.counter(
+                "postings_cache_misses_total",
+                "decoded-postings cache misses (terms decoded)")
+            self._metric_evictions = metrics.counter(
+                "postings_cache_evictions_total",
+                "decoded-postings cache LRU evictions")
+        else:
+            self._metric_hits = None
+            self._metric_misses = None
+            self._metric_evictions = None
 
     # -- lifecycle -----------------------------------------------------
 
     def close(self) -> None:
+        with self._postings_lock:
+            self._postings_cache.clear()
         try:
             self._mmap.close()
         except Exception:            # pragma: no cover - already closed
@@ -566,17 +671,72 @@ class SegmentReader:
     def term_meta(self, field_name: str, term: str) -> Optional[TermMeta]:
         return self.term_metas(field_name).get(term)
 
+    def decoded_term(self, field_name: str, term: str
+                     ) -> Optional[Tuple[TermMeta, DecodedTerm]]:
+        """The shared decoded form of ``(field, term)`` through the
+        bounded LRU, or ``None`` when the term is absent.
+
+        The decode itself runs outside the cache lock, so two threads
+        missing the same cold term may both decode it; the loser
+        adopts the winner's copy, keeping exactly one shared
+        :class:`DecodedTerm` per key.
+        """
+        meta = self.term_meta(field_name, term)
+        if meta is None:
+            return None
+        key = (field_name, term)
+        cache = self._postings_cache
+        with self._postings_lock:
+            decoded = cache.get(key)
+            if decoded is not None:
+                cache.move_to_end(key)
+                self._postings_hits += 1
+        if decoded is not None:
+            if self._metric_hits is not None:
+                self._metric_hits.inc()
+            return meta, decoded
+        decoded = DecodedTerm.decode(self._mmap, meta)
+        evicted = 0
+        with self._postings_lock:
+            self._postings_misses += 1
+            racer = cache.get(key)
+            if racer is not None:
+                cache.move_to_end(key)
+                decoded = racer
+            else:
+                cache[key] = decoded
+                while len(cache) > self._postings_capacity:
+                    cache.popitem(last=False)
+                    evicted += 1
+                self._postings_evictions += evicted
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
+            if evicted:
+                self._metric_evictions.inc(evicted)
+        return meta, decoded
+
+    def postings_cache_info(self):
+        """Exact ``(hits, misses, maxsize, currsize)`` of the
+        decode-once LRU (same shape as the query-cache info)."""
+        from repro.search.index.writer import CacheInfo
+        with self._postings_lock:
+            return CacheInfo(self._postings_hits, self._postings_misses,
+                             self._postings_capacity,
+                             len(self._postings_cache))
+
     def postings(self, field_name: str, term: str, base: int = 0,
                  doc_frequency: Optional[int] = None
                  ) -> Optional[LazyPostings]:
         """Lazy postings for ``(field, term)``, or ``None`` when the
         term is absent.  ``base`` rebases doc ids (scatter-gather);
         ``doc_frequency`` overrides the reported df with the global
-        one (scoring parity)."""
-        meta = self.term_meta(field_name, term)
-        if meta is None:
+        one (scoring parity).  The decoded arrays come from the
+        reader's decode-once LRU; only the cheap shell is per-call."""
+        found = self.decoded_term(field_name, term)
+        if found is None:
             return None
-        return LazyPostings(self._mmap, meta, base=base,
+        meta, decoded = found
+        return LazyPostings(decoded, meta, base=base,
                             doc_frequency=doc_frequency)
 
     # -- per-document attributes --------------------------------------
@@ -588,15 +748,14 @@ class SegmentReader:
         lengths = {}
         entry = self._fields.get(field_name)
         if entry is not None:
-            data = self._mmap
-            pos = self._blocks_start + entry["lengths"][0]
-            count, pos = _read_uvarint(data, pos)
+            # the lengths block is a pure varint stream — bulk decode
+            start = self._blocks_start + entry["lengths"][0]
+            values = decode_uvarints(self._mmap, start,
+                                     start + entry["lengths"][1])
             doc_id = 0
-            for _ in range(count):
-                delta, pos = _read_uvarint(data, pos)
-                doc_id += delta
-                value, pos = _read_uvarint(data, pos)
-                lengths[doc_id] = value
+            for position in range(1, 2 * values[0], 2):
+                doc_id += values[position]
+                lengths[doc_id] = values[position + 1]
         self._lengths[field_name] = lengths
         return lengths
 
@@ -652,7 +811,10 @@ class SegmentReader:
         for field_name in self.indexed_fields():
             terms = {}
             for term, meta in self.term_metas(field_name).items():
-                postings = LazyPostings(self._mmap, meta)
+                # full-vocabulary walk: decode directly instead of
+                # thrashing the bounded serving LRU
+                postings = LazyPostings(
+                    DecodedTerm.decode(self._mmap, meta), meta)
                 target = terms.setdefault(term, None)
                 del target
                 from repro.search.index.postings import PostingsList
@@ -721,10 +883,14 @@ def merge_segment_files(readers: Sequence[SegmentReader],
                     meta = metas.get(term)
                     if meta is None:
                         continue
-                    postings = LazyPostings(reader._mmap, meta,
-                                            base=reader_base)
-                    docs.extend((posting.doc_id, posting.positions)
-                                for posting in postings)
+                    # merge walks the whole vocabulary once — decode
+                    # directly, bypassing the bounded serving LRU
+                    decoded = DecodedTerm.decode(reader._mmap, meta)
+                    docs.extend(
+                        (doc_id + reader_base,
+                         decoded.positions(ordinal))
+                        for ordinal, doc_id
+                        in enumerate(decoded.doc_ids))
                 yield term, docs
 
         tdict, postings, term_count = _encode_field(merged_terms())

@@ -421,6 +421,14 @@ class _MultiPostings:
                 return part.get(doc_id)
         return None
 
+    def frequency(self, doc_id: int) -> Optional[int]:
+        """Within-document frequency without materializing a
+        :class:`Posting` (term-scoring fast path)."""
+        for base, end, part in self._parts:
+            if base <= doc_id < end:
+                return part.frequency(doc_id)
+        return None
+
     def doc_ids(self) -> List[int]:
         out: List[int] = []
         for _, _, part in self._parts:
@@ -501,6 +509,7 @@ class _SegmentSet:
     """
 
     __slots__ = ("manifest", "readers", "bases", "views", "_df_cache",
+                 "_avg_len_cache", "_max_boost_cache",
                  "_guard", "_refs", "_retired")
 
     def __init__(self, manifest: Manifest,
@@ -513,6 +522,8 @@ class _SegmentSet:
             _SegmentView(self, reader, base)
             for reader, base in zip(readers, bases)]
         self._df_cache: Dict[Tuple[str, str], int] = {}
+        self._avg_len_cache: Dict[str, float] = {}
+        self._max_boost_cache: Dict[str, float] = {}
         self._guard = threading.Lock()
         self._refs = 0
         self._retired = False
@@ -675,21 +686,34 @@ class _SegmentSet:
         return reader.field_boost(field_name, local)
 
     def max_field_boost(self, field_name: str) -> float:
-        bound = 1.0
-        for reader in self.readers:
-            bound = max(bound, reader.max_field_boost(field_name))
+        """Set-wide boost bound, memoized: the set is immutable, and
+        every scorer construction asks for this — looping over the
+        readers each time was a measurable slice of the segmented
+        hot path.  Racing writers store the same value (benign)."""
+        bound = self._max_boost_cache.get(field_name)
+        if bound is None:
+            bound = 1.0
+            for reader in self.readers:
+                bound = max(bound, reader.max_field_boost(field_name))
+            self._max_boost_cache[field_name] = bound
         return bound
 
     def average_field_length(self, field_name: str) -> float:
         """Exact corpus-wide mean: the per-segment integer sums from
         the headers add associatively, so the float division happens
-        once on the same operands as the monolithic computation."""
-        total = 0
-        docs = 0
-        for reader in self.readers:
-            total += reader.sum_lengths(field_name)
-            docs += reader.docs_with_field(field_name)
-        return total / docs if docs else 0.0
+        once on the same operands as the monolithic computation.
+        Memoized per set (immutable; racing writers store the same
+        float, benign like :meth:`doc_frequency`'s cache)."""
+        average = self._avg_len_cache.get(field_name)
+        if average is None:
+            total = 0
+            docs = 0
+            for reader in self.readers:
+                total += reader.sum_lengths(field_name)
+                docs += reader.docs_with_field(field_name)
+            average = total / docs if docs else 0.0
+            self._avg_len_cache[field_name] = average
+        return average
 
     def docs_with_field(self, field_name: str) -> int:
         return sum(reader.docs_with_field(field_name)

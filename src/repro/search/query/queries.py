@@ -172,13 +172,16 @@ class TermScorer(Scorer):
     def score_one(self, doc_id: int) -> Optional[float]:
         if self._postings is None:
             return None
-        posting = self._postings.get(doc_id)
-        if posting is None:
+        # frequency() avoids materializing a Posting (and, on segment
+        # backends, ever decoding position lists) just to count
+        # occurrences — same integer, so the score is bit-identical
+        frequency = self._postings.frequency(doc_id)
+        if frequency is None:
             return None
         self.scanned += 1
         field_name = self._query.field_name
         base = self._similarity.score(
-            posting.frequency, self._doc_frequency, self._doc_count,
+            frequency, self._doc_frequency, self._doc_count,
             self._index.field_length(field_name, doc_id), self._average)
         index_boost = self._index.field_boost(field_name, doc_id)
         return base * self._query.boost * index_boost

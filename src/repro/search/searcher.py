@@ -105,54 +105,116 @@ def rank_docs(scores: Dict[int, float],
     return ranked
 
 
+class _CacheShard:
+    """One lock-striped slice of the result cache: its own LRU dict,
+    lock and exact hit/miss tallies."""
+
+    __slots__ = ("entries", "lock", "capacity", "hits", "misses")
+
+    def __init__(self, capacity: int) -> None:
+        self.entries: "OrderedDict[tuple, TopDocs]" = OrderedDict()
+        self.lock = threading.Lock()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+
 class QueryResultCache:
-    """Thread-safe LRU for ranked results.
+    """Thread-safe lock-striped LRU for ranked results.
 
     Keys are ``(index name, index generation, canonical query string,
     limit)``.  Because the generation changes on every index mutation
     (:attr:`InvertedIndex.generation`), entries written against an
     older snapshot can never be returned for the current one — no
-    explicit invalidation hooks needed.
+    explicit invalidation hooks needed, and the property holds per
+    shard because a key always hashes to the same shard.
+
+    Striping replaces the former single lock: a key is pinned to one
+    of ``shards`` slices by hash, so concurrent lookups of different
+    keys contend only 1/N of the time.  Each shard is its own exact
+    LRU over ``maxsize / shards`` entries (total capacity unchanged);
+    recency is therefore per-shard, which preserves every hit/miss
+    outcome of a single-threaded trace except for which entry a full
+    cache evicts.  Hit/miss counts stay exact: each lookup increments
+    exactly one shard's tally under that shard's lock, and
+    :meth:`cache_info` sums the tallies — no double counting, and at
+    quiescence the totals equal the single-lock implementation's.
     """
 
-    def __init__(self, maxsize: int = 256) -> None:
+    def __init__(self, maxsize: int = 256, shards: int = 8) -> None:
         self.maxsize = maxsize
-        self._entries: "OrderedDict[tuple, TopDocs]" = OrderedDict()
-        self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
+        if maxsize > 0:
+            shards = max(1, min(shards, maxsize))
+        else:
+            shards = 1
+        # spread capacity so the per-shard sum is exactly maxsize
+        base, extra = divmod(max(maxsize, 0), shards)
+        self._shards = tuple(
+            _CacheShard(base + (1 if number < extra else 0))
+            for number in range(shards))
+
+    def _shard(self, key: tuple) -> _CacheShard:
+        return self._shards[hash(key) % len(self._shards)]
 
     def get(self, key: tuple) -> Optional[TopDocs]:
-        with self._lock:
-            entry = self._entries.get(key)
+        shard = self._shard(key)
+        with shard.lock:
+            entry = shard.entries.get(key)
             if entry is None:
-                self._misses += 1
+                shard.misses += 1
                 return None
-            self._entries.move_to_end(key)
-            self._hits += 1
+            shard.entries.move_to_end(key)
+            shard.hits += 1
             return entry
 
     def put(self, key: tuple, value: TopDocs) -> None:
         if self.maxsize <= 0:
             return
-        with self._lock:
-            self._entries[key] = value
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.maxsize:
-                self._entries.popitem(last=False)
+        shard = self._shard(key)
+        with shard.lock:
+            shard.entries[key] = value
+            shard.entries.move_to_end(key)
+            while len(shard.entries) > shard.capacity:
+                shard.entries.popitem(last=False)
 
     def clear(self) -> None:
-        with self._lock:
-            self._entries.clear()
+        for shard in self._shards:
+            with shard.lock:
+                shard.entries.clear()
 
     def cache_info(self) -> CacheInfo:
-        with self._lock:
-            return CacheInfo(self._hits, self._misses, self.maxsize,
-                             len(self._entries))
+        hits = misses = size = 0
+        for shard in self._shards:
+            with shard.lock:
+                hits += shard.hits
+                misses += shard.misses
+                size += len(shard.entries)
+        return CacheInfo(hits, misses, self.maxsize, size)
+
+    def approx_size(self) -> int:
+        """Lock-free entry count for hot-path gauges: each ``len`` is
+        atomic, the sum may interleave with writers by at most the
+        in-flight puts."""
+        return sum(len(shard.entries) for shard in self._shards)
 
     def __len__(self) -> int:
-        with self._lock:
-            return len(self._entries)
+        size = 0
+        for shard in self._shards:
+            with shard.lock:
+                size += len(shard.entries)
+        return size
+
+
+class _InFlight:
+    """One in-progress uncached search that identical concurrent
+    queries (same cache key, hence same pinned generation) wait on
+    instead of recomputing."""
+
+    __slots__ = ("event", "result")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[TopDocs] = None
 
 
 class IndexSearcher:
@@ -169,10 +231,18 @@ class IndexSearcher:
 
     def __init__(self, index: InvertedIndex,
                  similarity: Optional[Similarity] = None,
-                 cache_size: int = 256) -> None:
+                 cache_size: int = 256,
+                 cache_shards: int = 8) -> None:
         self.index = index
         self.similarity = similarity or ClassicSimilarity()
-        self.cache = QueryResultCache(maxsize=cache_size)
+        self.cache = QueryResultCache(maxsize=cache_size,
+                                      shards=cache_shards)
+        # single-flight: cache key -> the computation in progress
+        self._inflight: Dict[tuple, "_InFlight"] = {}
+        self._inflight_lock = threading.Lock()
+        # hot-path instrument handles, resolved once per registry
+        self._instrument_registry = None
+        self._instruments: Optional[tuple] = None
 
     # ------------------------------------------------------------------
 
@@ -195,6 +265,39 @@ class IndexSearcher:
         index = index if index is not None else self.index
         return (index.name, index.generation, repr(query), limit)
 
+    def _cache_instruments(self, obs):
+        """Counter/gauge handles for the per-query cache metrics,
+        resolved through the registry once per installed registry
+        instead of per search (the registry lookup takes a lock —
+        measurable on the cache-hit path)."""
+        if self._instrument_registry is not obs.metrics:
+            self._instrument_registry = obs.metrics
+            self._instruments = (
+                obs.metrics.counter("query_cache_hits_total",
+                                    "query result cache traffic"),
+                obs.metrics.counter("query_cache_misses_total",
+                                    "query result cache traffic"),
+                obs.metrics.counter(
+                    "query_cache_coalesced_total",
+                    "identical in-flight queries served by "
+                    "single-flight coalescing"),
+                obs.metrics.gauge("query_cache_size",
+                                  "entries in the query result cache"),
+            )
+        return self._instruments
+
+    def _replay_spans(self, obs, index, top: TopDocs) -> None:
+        # keep the span shape of a live query so traces stay
+        # uniform: parse/retrieve/score children always exist
+        with obs.tracer.span("query.retrieve",
+                             index=index.name) as span:
+            if span is not None:
+                span.attributes["candidates"] = top.total_hits
+                span.attributes["cached"] = True
+        with obs.tracer.span("query.score",
+                             candidates=top.total_hits):
+            pass
+
     def search(self, query: Query, limit: Optional[int] = None) -> TopDocs:
         """Run ``query``; return hits sorted by descending score.
 
@@ -204,38 +307,62 @@ class IndexSearcher:
         the pruned top-k path when ``limit`` is set and the query
         supports it; both return exactly what exhaustive scoring
         would (see :meth:`search_exhaustive`).
+
+        Concurrent identical queries are **coalesced**: the first
+        cache miss for a key computes, every later caller arriving
+        before it finishes waits for that result instead of scoring
+        the index again (single-flight).  The cache key includes the
+        pinned generation, so coalescing can never hand a caller a
+        result from a different snapshot than its own miss would have
+        produced.
         """
         obs = _observability()
         with self._pinned_index() as index:
             key = self._cache_key(query, limit, index)
             cached_top = self.cache.get(key)
-            if obs.metrics.enabled:
-                name = ("query_cache_hits_total" if cached_top is not None
-                        else "query_cache_misses_total")
-                obs.metrics.counter(name,
-                                    "query result cache traffic").inc()
-                obs.metrics.gauge("query_cache_size",
-                                  "entries in the query result cache"
-                                  ).set(len(self.cache))
+            metered = obs.metrics.enabled
+            if metered:
+                hits, misses, coalesced, size_gauge = \
+                    self._cache_instruments(obs)
+                (hits if cached_top is not None else misses).inc()
+                size_gauge.set(self.cache.approx_size())
             if cached_top is not None:
-                # keep the span shape of a live query so traces stay
-                # uniform: parse/retrieve/score children always exist
-                with obs.tracer.span("query.retrieve",
-                                     index=index.name) as span:
-                    if span is not None:
-                        span.attributes["candidates"] = \
-                            cached_top.total_hits
-                        span.attributes["cached"] = True
-                with obs.tracer.span("query.score",
-                                     candidates=cached_top.total_hits):
-                    pass
+                self._replay_spans(obs, index, cached_top)
                 # shallow copy so the flag doesn't retroactively mark
                 # the miss-path object that produced the entry
                 return replace(cached_top, cached=True)
 
-            top = self._search_uncached(index, query, limit, obs)
-            self.cache.put(key, top)
-            return top
+            with self._inflight_lock:
+                flight = self._inflight.get(key)
+                leader = flight is None
+                if leader:
+                    flight = self._inflight[key] = _InFlight()
+
+            if not leader:
+                # some other thread is already computing exactly this
+                # (key, generation) — wait for its result; waiting
+                # holds our pin, which never blocks a refresh, only
+                # the deferred mmap close
+                flight.event.wait()
+                top = flight.result
+                if top is not None:
+                    if metered:
+                        coalesced.inc()
+                    self._replay_spans(obs, index, top)
+                    return replace(top, cached=True)
+                # the leader failed; compute alone
+
+            try:
+                top = self._search_uncached(index, query, limit, obs)
+                self.cache.put(key, top)
+                if leader:
+                    flight.result = top
+                return top
+            finally:
+                if leader:
+                    with self._inflight_lock:
+                        self._inflight.pop(key, None)
+                    flight.event.set()
 
     def _search_uncached(self, index, query: Query,
                          limit: Optional[int], obs) -> TopDocs:

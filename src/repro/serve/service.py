@@ -30,10 +30,12 @@ every multi-call read path pins one snapshot
 from __future__ import annotations
 
 import json
+import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from http.server import (BaseHTTPRequestHandler, HTTPServer,
+                         ThreadingHTTPServer)
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -46,6 +48,7 @@ from repro.core.observability import MetricsRegistry, get_observability
 from repro.errors import CrawlError, ReproError
 from repro.search import load_index
 from repro.search.index.directory import list_indexes
+from repro.search.searcher import QueryResultCache
 from repro.search.index.segments import IndexDirectory, SegmentedIndex
 from repro.serve.ingest import (IngestWorker, MaintenanceThread,
                                 match_from_json)
@@ -78,6 +81,16 @@ class ServiceConfig:
     #: run background maintenance (tests sometimes drive
     #: :meth:`MaintenanceThread.run_once` by hand instead).
     maintenance: bool = True
+    #: fixed HTTP worker pool size.  With HTTP/1.1 keep-alive a
+    #: worker is held for a connection's lifetime, so this bounds
+    #: concurrent *connections*, not just in-flight requests — keep
+    #: it above the expected client concurrency.
+    http_workers: int = 16
+    #: accepted connections waiting for a worker; beyond this the
+    #: server answers 503 immediately instead of queueing unboundedly.
+    http_queue: int = 64
+    #: entries in the serialized-response byte cache (0 disables).
+    response_cache_size: int = 512
 
 
 class _JsonError(Exception):
@@ -86,6 +99,88 @@ class _JsonError(Exception):
     def __init__(self, status: int, message: str) -> None:
         super().__init__(message)
         self.status = status
+
+
+_REJECT_BODY = b'{"error": "server overloaded, request queue full"}'
+_REJECT_RESPONSE = (b"HTTP/1.1 503 Service Unavailable\r\n"
+                    b"Content-Type: application/json\r\n"
+                    b"Content-Length: "
+                    + str(len(_REJECT_BODY)).encode("ascii")
+                    + b"\r\nConnection: close\r\n\r\n" + _REJECT_BODY)
+
+
+class _PooledHTTPServer(ThreadingHTTPServer):
+    """HTTP server with a **fixed worker pool** and a bounded accept
+    queue, replacing ``ThreadingMixIn``'s thread-per-connection.
+
+    Under a thundering herd the mixin spawns one OS thread per
+    connection — unbounded memory and scheduler churn exactly when
+    the process is busiest.  Here ``serve_forever`` only accepts and
+    enqueues; a fixed set of workers drains the queue.  When the
+    queue is full the connection is answered with an immediate 503
+    (load shedding) instead of queueing without limit, so tail
+    latency stays bounded by queue capacity, not arrival rate.
+    """
+
+    def __init__(self, address, handler, workers: int,
+                 queue_size: int, metrics) -> None:
+        super().__init__(address, handler)
+        self._pool: "queue.Queue" = queue.Queue(maxsize=queue_size)
+        self._depth_gauge = (metrics.gauge(
+            "serve_queue_depth",
+            "accepted connections waiting for an HTTP worker")
+            if metrics.enabled else None)
+        self._rejected = (metrics.counter(
+            "serve_rejected_total",
+            "connections shed with an immediate 503 (queue full)")
+            if metrics.enabled else None)
+        self._workers = [
+            threading.Thread(target=self._work,
+                             name=f"serve-worker-{number}", daemon=True)
+            for number in range(max(1, workers))]
+        for worker in self._workers:
+            worker.start()
+
+    # accept path (the serve_forever thread) — never blocks on work
+    def process_request(self, request, client_address) -> None:
+        try:
+            self._pool.put_nowait((request, client_address))
+        except queue.Full:
+            if self._rejected is not None:
+                self._rejected.inc()
+            try:
+                request.sendall(_REJECT_RESPONSE)
+            except OSError:          # client already gone
+                pass
+            self.shutdown_request(request)
+            return
+        if self._depth_gauge is not None:
+            self._depth_gauge.set(self._pool.qsize())
+
+    def _work(self) -> None:
+        while True:
+            item = self._pool.get()
+            if item is None:
+                return
+            if self._depth_gauge is not None:
+                self._depth_gauge.set(self._pool.qsize())
+            # ThreadingMixIn's per-request body: finish_request +
+            # shutdown_request with handle_error on failure
+            self.process_request_thread(*item)
+
+    def server_close(self) -> None:
+        """Drain queued connections, then stop the workers.  Sentinels
+        queue *behind* pending connections, so every accepted request
+        is served before its worker exits — the graceful-drain
+        contract ``ReproService.stop`` relies on."""
+        for _ in self._workers:
+            try:
+                self._pool.put(None, timeout=5.0)
+            except queue.Full:       # pragma: no cover - stuck worker
+                break
+        for worker in self._workers:
+            worker.join(timeout=10.0)
+        HTTPServer.server_close(self)
 
 
 class ReproService:
@@ -157,6 +252,13 @@ class ReproService:
             merge_factor=config.merge_factor,
             metrics=self.metrics)
 
+        #: encode-once responses: (index, query, limit, generation)
+        #: -> serialized JSON bytes.  The generation component keys
+        #: the entry to the snapshot that produced it, so live ingest
+        #: invalidates implicitly, like the query result cache.
+        self.response_cache = QueryResultCache(
+            maxsize=config.response_cache_size, shards=8)
+
         self._server: Optional[ThreadingHTTPServer] = None
         self._server_thread: Optional[threading.Thread] = None
         self._draining = False
@@ -181,11 +283,11 @@ class ReproService:
         if self._server is not None:
             raise ReproError("service already started")
         handler = _make_handler(self)
-        server = ThreadingHTTPServer(
-            (self.config.host, self.config.port), handler)
-        # graceful drain: server_close() joins the handler threads.
-        server.block_on_close = True
-        server.daemon_threads = False
+        server = _PooledHTTPServer(
+            (self.config.host, self.config.port), handler,
+            workers=self.config.http_workers,
+            queue_size=self.config.http_queue,
+            metrics=self.metrics)
         self._server = server
         self._server_thread = threading.Thread(
             target=server.serve_forever, name="serve-http",
@@ -242,7 +344,8 @@ class ReproService:
                 "event_type": hit.event_type,
                 "narration": hit.narration}
 
-    def handle_search(self, payload: dict) -> dict:
+    @staticmethod
+    def _validate_search(payload: dict):
         query = payload.get("query")
         if not isinstance(query, str) or not query.strip():
             raise _JsonError(400, "body must carry a non-empty "
@@ -253,6 +356,56 @@ class ReproService:
                                   or limit < 1):
             raise _JsonError(400, "'limit' must be a positive "
                                   "integer or null (unlimited)")
+        return query, limit
+
+    def handle_search_bytes(self, payload: dict) -> bytes:
+        """``POST /search`` with **encode-once** responses.
+
+        On the raw-index path the serialized JSON bytes are cached
+        keyed by (index, query, limit, generation): a repeat of a hot
+        query skips query parsing, the result cache, hit
+        materialization *and* ``json.dumps`` — the handler writes the
+        same bytes straight to the socket.  The generation read is
+        monotonic, so a response served from this cache is exactly
+        the one a fresh search against the current snapshot would
+        have encoded.  The facade path (spell correction, feedback
+        expansions — state the generation does not capture) and
+        engines without :meth:`search_detailed` fall through to a
+        plain encode.
+        """
+        query, limit = self._validate_search(payload)
+        index_name = payload.get("index")
+        engine = (self.engines.get(index_name)
+                  if index_name is not None else None)
+        if (index_name is not None and engine is not None
+                and hasattr(engine, "search_detailed")):
+            key = (index_name, query, limit,
+                   self.indexes[index_name].generation)
+            body = self.response_cache.get(key)
+            metered = self.metrics.enabled
+            if metered:
+                self.metrics.counter(
+                    "serve_response_cache_%s_total"
+                    % ("hits" if body is not None else "misses"),
+                    "serialized-response byte cache traffic").inc()
+            if body is not None:
+                return body
+            hits, top = engine.search_detailed(query, limit=limit)
+            body = json.dumps(
+                {"query": query, "index": index_name,
+                 "count": len(hits),
+                 "hits": [self._hit_json(hit)
+                          for hit in hits]}).encode("utf-8")
+            # key on the generation the query actually pinned — under
+            # a concurrent refresh that may be newer than the one we
+            # probed with, never older
+            self.response_cache.put(
+                (index_name, query, limit, top.generation), body)
+            return body
+        return json.dumps(self.handle_search(payload)).encode("utf-8")
+
+    def handle_search(self, payload: dict) -> dict:
+        query, limit = self._validate_search(payload)
         index_name = payload.get("index")
         if index_name is not None:
             engine = self.engines.get(index_name)
@@ -350,7 +503,9 @@ def _make_handler(service: ReproService):
             pass                         # metrics, not stderr noise
 
         def _send_json(self, status: int, payload: dict) -> None:
-            body = json.dumps(payload).encode("utf-8")
+            self._send_body(status, json.dumps(payload).encode("utf-8"))
+
+        def _send_body(self, status: int, body: bytes) -> None:
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
@@ -386,7 +541,10 @@ def _make_handler(service: ReproService):
             try:
                 result = func()
                 status = 202 if endpoint == "ingest" else 200
-                self._send_json(status, result)
+                if isinstance(result, bytes):   # pre-encoded response
+                    self._send_body(status, result)
+                else:
+                    self._send_json(status, result)
             except _JsonError as error:
                 status = error.status
                 self._send_json(status, {"error": str(error)})
@@ -402,7 +560,7 @@ def _make_handler(service: ReproService):
         # -- routes -----------------------------------------------------
 
         def do_POST(self) -> None:       # noqa: N802 — http.server API
-            routes = {"/search": service.handle_search,
+            routes = {"/search": service.handle_search_bytes,
                       "/feedback": service.handle_feedback,
                       "/ingest": service.handle_ingest}
             handler = routes.get(self.path)

@@ -160,3 +160,52 @@ class TestVarintPrimitives:
     @pytest.mark.parametrize("value", [0, 1, -1, 63, -64, 1000, -1000])
     def test_zigzag_round_trip(self, value):
         assert codec._unzigzag(codec._zigzag(value)) == value
+
+
+class TestBulkVarintDecode:
+    """decode_uvarints must agree with the scalar decoder on any
+    varint stream and reject byte ranges cut mid-varint."""
+
+    def encode(self, values):
+        import io
+        out = io.BytesIO()
+        for value in values:
+            codec._write_uvarint(out, value)
+        return out.getvalue()
+
+    def test_matches_scalar_decoder_on_random_streams(self):
+        rng = random.Random(99)
+        for _ in range(25):
+            values = [rng.randint(0, 2 ** rng.randint(1, 45))
+                      for _ in range(rng.randint(0, 200))]
+            data = self.encode(values)
+            assert codec.decode_uvarints(data, 0, len(data)) == values
+            scalar = []
+            pos = 0
+            while pos < len(data):
+                value, pos = codec._read_uvarint(data, pos)
+                scalar.append(value)
+            assert scalar == values
+
+    def test_subrange_with_offsets(self):
+        prefix = self.encode([7, 300])
+        body = self.encode([0, 127, 128, 2 ** 30])
+        data = prefix + body + self.encode([5])
+        assert codec.decode_uvarints(
+            data, len(prefix), len(prefix) + len(body)) \
+            == [0, 127, 128, 2 ** 30]
+
+    def test_empty_range(self):
+        assert codec.decode_uvarints(b"anything", 3, 3) == []
+
+    def test_truncated_stream_raises(self):
+        data = self.encode([2 ** 30])
+        assert len(data) > 1
+        with pytest.raises(ValueError, match="inside a varint"):
+            codec.decode_uvarints(data, 0, len(data) - 1)
+
+    def test_works_on_memoryview_and_mmap_like_buffers(self):
+        values = [1, 128, 2 ** 21]
+        data = self.encode(values)
+        assert codec.decode_uvarints(memoryview(data), 0,
+                                     len(data)) == values

@@ -104,7 +104,9 @@ class TestQueryResultCacheLRU:
         return TopDocs(total_hits=0, scored=[])
 
     def test_evicts_least_recently_used(self):
-        cache = QueryResultCache(maxsize=2)
+        # one shard: recency order is global, like the pre-striping
+        # implementation
+        cache = QueryResultCache(maxsize=2, shards=1)
         cache.put(("a",), self.entry())
         cache.put(("b",), self.entry())
         assert cache.get(("a",)) is not None   # refresh "a"
@@ -143,6 +145,157 @@ class TestQueryResultCacheLRU:
             thread.join()
         assert not errors
         assert len(cache) <= 8
+
+
+class TestStripedCache:
+    """The lock-striped shards must be externally indistinguishable
+    from the old single-lock cache: exact accounting, exact capacity,
+    generation invalidation on every shard."""
+
+    def entry(self) -> TopDocs:
+        return TopDocs(total_hits=0, scored=[])
+
+    def test_capacity_is_exactly_maxsize_across_shards(self):
+        cache = QueryResultCache(maxsize=10, shards=4)
+        assert sum(shard.capacity for shard in cache._shards) == 10
+        for i in range(200):
+            cache.put(("key", i), self.entry())
+        assert len(cache) <= 10
+        assert cache.cache_info().maxsize == 10
+
+    def test_shards_clamped_to_maxsize(self):
+        cache = QueryResultCache(maxsize=2, shards=64)
+        assert len(cache._shards) == 2
+        assert all(shard.capacity == 1 for shard in cache._shards)
+
+    def test_exact_accounting_under_8_thread_contention(self):
+        cache = QueryResultCache(maxsize=8192, shards=8)
+        per_thread = 500
+        barrier = threading.Barrier(8)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                barrier.wait()
+                for i in range(per_thread):
+                    key = ("q", seed, i)       # every lookup misses,
+                    cache.get(key)             # then hits
+                    cache.put(key, self.entry())
+                    assert cache.get(key) is not None
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(n,))
+                   for n in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        info = cache.cache_info()
+        # 8 * 500 distinct keys, each looked up exactly once before
+        # and once after its put; the cache is big enough that no
+        # eviction can turn the second lookup into a miss
+        assert info.hits == 8 * per_thread
+        assert info.misses == 8 * per_thread
+        assert info.currsize == len(cache) == 8 * per_thread
+        assert cache.approx_size() == 8 * per_thread
+
+    def test_generation_invalidation_reaches_every_shard(self):
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity(),
+                                 cache_shards=8)
+        # spread entries across the shards with distinct limits
+        for limit in range(1, 9):
+            searcher.search(TermQuery("event", "goal"), limit)
+        assert searcher.cache.cache_info().currsize == 8
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "event", [("goal", 0)])
+        # every repeat is a miss: the generation in the key changed,
+        # whichever shard the old entry lives in
+        for limit in range(1, 9):
+            top = searcher.search(TermQuery("event", "goal"), limit)
+            assert top.cached is False
+        assert searcher.cache.cache_info().hits == 0
+
+    def test_clear_empties_all_shards(self):
+        cache = QueryResultCache(maxsize=64, shards=8)
+        for i in range(64):
+            cache.put(("key", i), self.entry())
+        assert len(cache) > 0
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.approx_size() == 0
+
+
+class TestSingleFlight:
+    def test_concurrent_identical_queries_compute_once(self):
+        calls = []
+        call_lock = threading.Lock()
+        release = threading.Event()
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity())
+        inner = searcher._search_uncached
+
+        def slow_uncached(idx, query, limit, obs):
+            with call_lock:
+                calls.append(repr(query))
+            release.wait(5.0)      # hold every leader until all
+            return inner(idx, query, limit, obs)   # waiters queue up
+
+        searcher._search_uncached = slow_uncached
+        query = TermQuery("event", "goal")
+        results = []
+        threads = [threading.Thread(
+            target=lambda: results.append(searcher.search(query, 3)))
+            for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        # let every thread reach the cache miss / wait point
+        for _ in range(100):
+            if len(calls) == 1 and searcher._inflight:
+                break
+            threading.Event().wait(0.01)
+        release.set()
+        for thread in threads:
+            thread.join()
+        # exactly one engine call; every result identical
+        assert len(calls) == 1
+        assert len(results) == 8
+        first = results[0]
+        assert all(top.scored == first.scored for top in results)
+        # the seven coalesced callers are marked served-from-cache
+        assert sum(1 for top in results if top.cached) == 7
+        # accounting stayed exact: one get per search
+        info = searcher.cache.cache_info()
+        assert info.hits + info.misses == 8
+
+    def test_inflight_table_drains(self):
+        searcher = IndexSearcher(goal_index(), ClassicSimilarity())
+        searcher.search(TermQuery("event", "goal"), 3)
+        assert searcher._inflight == {}
+
+    def test_leader_failure_releases_waiters(self):
+        index = goal_index()
+        searcher = IndexSearcher(index, ClassicSimilarity())
+        inner = searcher._search_uncached
+        fail_first = threading.Event()
+
+        def flaky_uncached(idx, query, limit, obs):
+            if not fail_first.is_set():
+                fail_first.set()
+                raise RuntimeError("leader dies")
+            return inner(idx, query, limit, obs)
+
+        searcher._search_uncached = flaky_uncached
+        query = TermQuery("event", "goal")
+        try:
+            searcher.search(query, 3)
+        except RuntimeError:
+            pass
+        assert searcher._inflight == {}    # no stuck flight
+        top = searcher.search(query, 3)    # next caller recovers
+        assert top.total_hits > 0
 
 
 class TestAverageFieldLengthMemo:

@@ -113,8 +113,13 @@ class TestLaziness:
         hit = lazy.get(target)
         assert hit is not None and hit.doc_id == target
         assert lazy.get(-1) is None
-        # the point lookup decoded one skip block, never the full list
-        assert lazy._all is None
+        # the point lookup decoded one position list, never the
+        # materialized Posting objects for the whole term
+        assert lazy._decoded._postings_by_base == {}
+        decoded_lists = [entry for entry
+                         in lazy._decoded._positions
+                         if entry is not None]
+        assert len(decoded_lists) == 1
 
     def test_skip_blocks_cover_long_postings(self, tmp_path):
         index = InvertedIndex("long")
@@ -182,3 +187,83 @@ class TestMerge:
                 reader.close()
         with SegmentReader(merged) as reader:
             assert reader.to_inverted().to_json() == union.to_json()
+
+
+class TestDecodeOnceCache:
+    """The per-reader postings LRU: one decode per hot term, shared
+    arrays, exact accounting, bounded size."""
+
+    def test_repeat_postings_share_one_decoded_term(self, sealed):
+        _, reader, _ = sealed
+        first = reader.postings("event", "goal")
+        again = reader.postings("event", "goal", base=100)
+        assert first._decoded is again._decoded
+        info = reader.postings_cache_info()
+        assert (info.hits, info.misses) == (1, 1)
+        assert info.currsize == 1
+
+    def test_cached_decode_matches_direct_decode(self, sealed):
+        from repro.search.index.segment import DecodedTerm
+        index, reader, _ = sealed
+        for term in ("goal", "foul", "messi"):
+            cached = reader.postings("event", term)
+            if cached is None:
+                continue
+            meta = reader.term_meta("event", term)
+            direct = DecodedTerm.decode(reader._mmap, meta)
+            assert cached._decoded.doc_ids == direct.doc_ids
+            assert cached._decoded.freqs == direct.freqs
+            original = index.postings("event", term)
+            assert cached.doc_ids() == original.doc_ids()
+            assert [p.positions for p in cached] \
+                == [p.positions for p in original]
+
+    def test_frequency_fast_path_matches_get(self, sealed):
+        index, reader, _ = sealed
+        lazy = reader.postings("event", "goal")
+        for doc_id in range(index.doc_count):
+            posting = lazy.get(doc_id)
+            if posting is None:
+                assert lazy.frequency(doc_id) is None
+            else:
+                assert lazy.frequency(doc_id) == posting.frequency
+
+    def test_lru_is_bounded_and_evicts(self, tmp_path):
+        index = sample_index()
+        path = write_segment(index, tmp_path / "small.ridx")
+        with SegmentReader(path, postings_cache_size=2) as reader:
+            touched = 0
+            for term in VOCAB:
+                if reader.postings("event", term) is not None:
+                    touched += 1
+            assert touched > 2
+            info = reader.postings_cache_info()
+            assert info.currsize <= 2
+            assert info.maxsize == 2
+            assert reader._postings_evictions == touched - 2
+
+    def test_full_vocabulary_walks_bypass_the_lru(self, sealed):
+        _, reader, _ = sealed
+        reader.to_inverted()
+        assert reader.postings_cache_info().currsize == 0
+
+    def test_concurrent_decodes_converge_to_one_object(self, sealed):
+        import threading
+        _, reader, _ = sealed
+        results = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            results.append(reader.postings("event", "goal")._decoded)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert all(decoded is results[0] for decoded in results)
+        info = reader.postings_cache_info()
+        assert info.hits + info.misses == 8
+        assert info.currsize == 1

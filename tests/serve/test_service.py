@@ -188,3 +188,136 @@ class TestLifecycle:
         running.stop()               # second stop is a no-op
         with pytest.raises((urllib.error.URLError, OSError)):
             urllib.request.urlopen(url + "/healthz", timeout=2.0)
+
+
+class TestWorkerPool:
+    def test_fixed_pool_sized_by_config(self, service):
+        server = service._server
+        assert len(server._workers) == service.config.http_workers
+        assert all(worker.is_alive() for worker in server._workers)
+
+    def test_queue_full_sheds_with_503(self):
+        import socket
+
+        from repro.core.observability import MetricsRegistry
+        from repro.serve.service import _REJECT_BODY, _PooledHTTPServer
+
+        registry = MetricsRegistry(enabled=True)
+        server = _PooledHTTPServer(
+            ("127.0.0.1", 0), object, workers=1, queue_size=1,
+            metrics=registry)
+        try:
+            # retire the only worker, then occupy the single queue
+            # slot: the next accepted connection must be shed
+            server._pool.put(None)
+            server._workers[0].join(5.0)
+            assert not server._workers[0].is_alive()
+            server._pool.put(object())
+            left, right = socket.socketpair()
+            try:
+                server.process_request(left, ("127.0.0.1", 0))
+                shed = right.recv(65536)
+            finally:
+                right.close()
+            assert shed.startswith(b"HTTP/1.1 503")
+            assert _REJECT_BODY in shed
+            assert "serve_rejected_total" in registry.to_prometheus()
+            server._pool.get()       # drain the dummy before close
+        finally:
+            server.server_close()
+
+    def test_concurrent_searches_through_the_pool(self, service):
+        import threading
+
+        statuses = []
+        lock = threading.Lock()
+
+        def hammer(seed: int) -> None:
+            for i in range(5):
+                status, body = request(
+                    service, "POST", "/search",
+                    {"query": "goal", "index": IndexName.FULL_INF,
+                     "limit": 1 + (seed + i) % 4})
+                with lock:
+                    statuses.append((status, body["count"]))
+
+        threads = [threading.Thread(target=hammer, args=(n,))
+                   for n in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(statuses) == 30
+        assert all(status == 200 for status, _ in statuses)
+
+
+class TestEncodeOnceResponses:
+    def test_repeat_raw_query_serves_cached_bytes(self, service):
+        payload = {"query": "corner kick",
+                   "index": IndexName.FULL_INF, "limit": 4}
+        before = service.response_cache.cache_info()
+        status_a, body_a = request(service, "POST", "/search", payload)
+        status_b, body_b = request(service, "POST", "/search", payload)
+        assert status_a == status_b == 200
+        assert body_a == body_b
+        after = service.response_cache.cache_info()
+        assert after.misses >= before.misses + 1
+        assert after.hits >= before.hits + 1
+
+    def test_limit_is_part_of_the_byte_cache_key(self, service):
+        base = {"query": "free kick", "index": IndexName.FULL_INF}
+        _, one = request(service, "POST", "/search",
+                         dict(base, limit=1))
+        _, three = request(service, "POST", "/search",
+                           dict(base, limit=3))
+        assert one["count"] == 1
+        assert three["count"] == 3
+
+    def test_facade_path_is_never_byte_cached(self, service):
+        before = service.response_cache.cache_info()
+        request(service, "POST", "/search",
+                {"query": "messi goal", "limit": 2})
+        after = service.response_cache.cache_info()
+        assert (after.hits + after.misses) \
+            == (before.hits + before.misses)
+
+    def test_cached_bytes_match_fresh_encode(self, service):
+        payload = {"query": "penalty",
+                   "index": IndexName.FULL_INF, "limit": 5}
+        first = service.handle_search_bytes(payload)
+        second = service.handle_search_bytes(payload)
+        assert first == second
+        assert json.loads(second) == service.handle_search(payload)
+
+    def test_response_cache_metrics_exposed(self, service):
+        request(service, "POST", "/search",
+                {"query": "header", "index": IndexName.FULL_INF,
+                 "limit": 2})
+        import urllib.request as _url
+        with _url.urlopen(service.url + "/metrics",
+                          timeout=10) as resp:
+            text = resp.read().decode()
+        assert "serve_response_cache_misses_total" in text
+        assert "serve_queue_depth" in text
+
+
+class TestPostingsCacheUnderServing:
+    def test_postings_cache_warms_across_queries(self, service):
+        index = service.indexes[IndexName.FULL_INF]
+        engine = service.engines[IndexName.FULL_INF]
+        engine.search("yellow card", limit=3)
+        readers = index._state.readers
+        misses = sum(reader.postings_cache_info().misses
+                     for reader in readers)
+        assert misses > 0
+        # same terms again with the result cache out of the way:
+        # every postings fetch must now be a cache hit
+        engine.searcher.cache.clear()
+        before_hits = sum(reader.postings_cache_info().hits
+                          for reader in readers)
+        engine.search("yellow card", limit=3)
+        after_hits = sum(reader.postings_cache_info().hits
+                         for reader in readers)
+        assert after_hits > before_hits
+        assert sum(reader.postings_cache_info().misses
+                   for reader in readers) == misses
