@@ -1,7 +1,7 @@
 """Postings decode micro-benchmark: the serving hot path's inner loop.
 
-Two measurements on the real FULL_INF segment built from the standard
-corpus:
+Three measurements on the real FULL_INF index / segment built from
+the standard corpus:
 
 1. **Bulk vs scalar varint decode** — every term's postings payload
    decoded with :func:`decode_uvarints` (one tight loop per byte
@@ -9,8 +9,13 @@ corpus:
    it replaced.  Outputs are asserted identical, so the speedup is a
    pure mechanical win.
 2. **Cold vs warm postings cache** — first materialisation of every
-   term (decode + LRU insert) versus the second pass, which must be
-   all hits on shared :class:`DecodedTerm` arrays.
+   term (decode + LRU insert + column build) versus the second pass,
+   which must be all hits on shared :class:`DecodedTerm` arrays.
+3. **Batched block scoring vs the per-posting loop** — every term
+   scored through :meth:`TermScorer.score_block` (typed-column zip,
+   one call per skip block) versus the per-document
+   :meth:`score_one` walk it replaced.  Identical floats out; the
+   report gates on the batched path being ≥ 1.5× faster.
 
 Evidence lands in ``benchmarks/results/BENCH_decode.json``.
 """
@@ -23,10 +28,16 @@ import time
 from repro.core import IndexName
 from repro.search.index.codec import _read_uvarint, decode_uvarints
 from repro.search.index.segment import SegmentReader, write_segment
+from repro.search.query.queries import TermQuery
+from repro.search.similarity import BM25Similarity
 
 from benchmarks.conftest import write_result
 
 REPEATS = 5
+
+#: the batched typed-column scoring loop must clearly beat the
+#: per-posting probe-and-score walk it replaced
+MIN_BLOCK_SCORING_SPEEDUP = 1.5
 
 
 def scalar_decode(data, start: int, end: int) -> list:
@@ -78,14 +89,16 @@ def test_postings_decode_benchmark(pipeline_result, results_dir,
         scalar_s = best_of(REPEATS, scalar_pass)
 
     # cold vs warm: fresh readers for the cold passes so every term
-    # decode really happens; the warm pass reuses one reader's LRU
+    # decode really happens; the warm pass reuses one reader's LRU.
+    # Decoding is block-lazy now, so touching doc_ids forces the
+    # actual column materialisation both passes compare.
     terms = [(field, term) for field in index.field_names()
              for term in index.terms(field)]
 
     def cold_pass():
         with SegmentReader(path) as cold_reader:
             for field, term in terms:
-                cold_reader.postings(field, term)
+                cold_reader.postings(field, term).doc_ids()
 
     cold_s = best_of(REPEATS, cold_pass)
 
@@ -95,11 +108,11 @@ def test_postings_decode_benchmark(pipeline_result, results_dir,
                                 postings_cache_size=len(terms) + 64)
     try:
         for field, term in terms:
-            warm_reader.postings(field, term)
+            warm_reader.postings(field, term).doc_ids()
 
         def warm_pass():
             for field, term in terms:
-                warm_reader.postings(field, term)
+                warm_reader.postings(field, term).doc_ids()
 
         warm_s = best_of(REPEATS, warm_pass)
         info = warm_reader.postings_cache_info()
@@ -107,6 +120,37 @@ def test_postings_decode_benchmark(pipeline_result, results_dir,
         assert info.misses == len(terms)
     finally:
         warm_reader.close()
+
+    # batched block scoring vs the per-posting loop, over the same
+    # TermScorer the serving path uses — identical floats, then time
+    similarity = BM25Similarity()
+    scorers = [TermQuery(field, term).scorer(index, similarity)
+               for field, term in terms]
+    docs_scored = 0
+    for scorer in scorers:
+        batched = [pair
+                   for block in range(scorer.block_count())
+                   for pair in scorer.score_block(block)]
+        by_doc = [(doc_id, scorer.score_one(doc_id))
+                  for doc_id in scorer.doc_ids()]
+        assert batched == by_doc
+        docs_scored += len(by_doc)
+
+    def per_posting_pass():
+        for scorer in scorers:
+            score_one = scorer.score_one
+            for doc_id in scorer.doc_ids():
+                score_one(doc_id)
+
+    def block_pass():
+        for scorer in scorers:
+            score_block = scorer.score_block
+            for block in range(scorer.block_count()):
+                score_block(block)
+
+    per_posting_s = best_of(REPEATS, per_posting_pass)
+    block_s = best_of(REPEATS, block_pass)
+    block_speedup = per_posting_s / block_s
 
     report = {
         "generated": time.strftime("%Y-%m-%d %H:%M:%S"),
@@ -125,14 +169,26 @@ def test_postings_decode_benchmark(pipeline_result, results_dir,
             "warm_hit_rate": round(
                 info.hits / (info.hits + info.misses), 4),
         },
+        "block_scoring": {
+            "docs_scored": docs_scored,
+            "per_posting_ms": round(per_posting_s * 1000, 3),
+            "batched_ms": round(block_s * 1000, 3),
+            "speedup": round(block_speedup, 2),
+            "min_speedup": MIN_BLOCK_SCORING_SPEEDUP,
+        },
     }
     write_result(results_dir, "BENCH_decode.json",
                  json.dumps(report, indent=2) + "\n")
     print(f"bulk={bulk_s * 1000:.2f}ms scalar={scalar_s * 1000:.2f}ms "
           f"({scalar_s / bulk_s:.2f}x)  "
           f"cold={cold_s * 1000:.2f}ms warm={warm_s * 1000:.2f}ms "
-          f"({cold_s / warm_s:.2f}x)")
+          f"({cold_s / warm_s:.2f}x)  "
+          f"block-scoring={block_speedup:.2f}x")
 
     # machine-independent: the warm pass skips every decode, so it
     # must not be slower than decoding the whole vocabulary cold
     assert warm_s < cold_s
+    # the batched typed-column loop is the tentpole claim: gate it
+    assert block_speedup >= MIN_BLOCK_SCORING_SPEEDUP, (
+        f"batched block scoring only {block_speedup:.2f}x over the "
+        f"per-posting loop (need {MIN_BLOCK_SCORING_SPEEDUP}x)")

@@ -21,6 +21,7 @@ Evidence lands in ``benchmarks/results/BENCH_serving.json``.
 
 from __future__ import annotations
 
+import gc
 import json
 import time
 
@@ -35,35 +36,38 @@ from benchmarks.conftest import write_result
 PROFILE_NAMES = ("cache_friendly", "cache_hostile")
 LOAD_REQUESTS = 600
 LOAD_RATE = 300.0
-SWEEP_RATES = (200.0, 800.0, 3200.0)
-SWEEP_REQUESTS = 200
+SWEEP_RATES = (200.0, 800.0, 3200.0, 6400.0)
+# long enough that the highest-rate window spans ~100ms: achieved-QPS
+# capacity estimates from a few tens of milliseconds are scheduler
+# noise, not measurements
+SWEEP_REQUESTS = 600
 THREADS = 8
 LIMIT = 10
 SEED = 42
 
 # Pre-optimisation numbers (same harness, same corpus, same container
-# class) from before the decode-once postings cache, striped result
-# cache, single-flight coalescing and worker-pool serving landed.
-# Kept hardcoded so every regeneration reports the improvement ratios
-# alongside the fresh numbers.
+# class) from the decode-once/worker-pool build — i.e. *before* the
+# typed postings columns, batched block scoring and block-max pruning
+# landed.  Kept hardcoded so every regeneration reports the
+# improvement ratios alongside the fresh numbers.
 BASELINE = {
     "monolithic": {
-        "cache_friendly": {"p50": 0.0006, "p95": 0.0037,
-                           "p99": 0.0058, "saturation_qps": 2986.62},
-        "cache_hostile": {"p50": 0.0029, "p95": 0.0105,
-                          "p99": 0.0182, "saturation_qps": 3184.79},
+        "cache_friendly": {"p50": 0.0005, "p95": 0.0040,
+                           "p99": 0.0691, "saturation_qps": 3199.75},
+        "cache_hostile": {"p50": 0.0033, "p95": 0.0143,
+                          "p99": 0.0244, "saturation_qps": 3179.47},
     },
     "segmented": {
-        "cache_friendly": {"p50": 0.0008, "p95": 0.0779,
-                           "p99": 0.1320, "saturation_qps": 2345.75},
-        "cache_hostile": {"p50": 0.6705, "p95": 1.0627,
-                          "p99": 1.2242, "saturation_qps": 2078.41},
+        "cache_friendly": {"p50": 0.0006, "p95": 0.0035,
+                           "p99": 0.0073, "saturation_qps": 3087.28},
+        "cache_hostile": {"p50": 0.0036, "p95": 0.0120,
+                          "p99": 0.0178, "saturation_qps": 3043.89},
     },
     "http_service": {
-        "cache_friendly": {"p50": 0.0026, "p95": 0.0067,
-                           "p99": 0.0096},
-        "cache_hostile": {"p50": 0.7741, "p95": 1.4041,
-                          "p99": 1.4889},
+        "cache_friendly": {"p50": 0.0009, "p95": 0.0017,
+                           "p99": 0.0028},
+        "cache_hostile": {"p50": 0.0063, "p95": 0.0430,
+                          "p99": 0.0724},
     },
 }
 
@@ -110,6 +114,11 @@ def measure_cell(result, profile: str) -> dict:
     checked = parity_check(fresh_engine(result), workload)
 
     engine = fresh_engine(result)
+    # measurement isolation: drain garbage accumulated by earlier
+    # cells (oracles, previous engines) before driving load, so a
+    # full collection triggered by *their* leftovers doesn't land
+    # mid-cell and bill a multi-ms pause to this cell's tail
+    gc.collect()
     load = OpenLoopDriver(
         engine.search, workload.queries,
         arrival_times("poisson", LOAD_RATE, LOAD_REQUESTS, seed=SEED),
@@ -167,6 +176,7 @@ def measure_http_cell(service_url: str, profile: str,
         want = [(hit.doc_key, hit.score)
                 for hit in oracle_engine.search(query, limit=LIMIT)]
         assert got == want, f"service diverged for {query!r}"
+    gc.collect()                      # same isolation as measure_cell
     load = OpenLoopDriver(
         client.search, workload.queries,
         arrival_times("poisson", LOAD_RATE, LOAD_REQUESTS, seed=SEED),
@@ -238,10 +248,11 @@ def test_serving_load_matrix(pipeline_result,
                  json.dumps(report, indent=2) + "\n")
 
     # regression gates for the hot-path optimisation:
-    # 1. the segmented cache-hostile cell — the one the decode-once
-    #    cache exists for — must saturate >= 1.3x the old build
+    # 1. the segmented cache-hostile cell — every miss now scored
+    #    through the batched block path — must saturate >= 1.2x the
+    #    per-posting-loop build
     hostile = report["backends"]["segmented"]["cache_hostile"]
-    assert hostile["versus_baseline"]["saturation_gain"] >= 1.3, \
+    assert hostile["versus_baseline"]["saturation_gain"] >= 1.2, \
         hostile["versus_baseline"]
     # 2. machine-independent tail gap: segmented cache-friendly p95
     #    within 3x of monolithic measured in the same run (was ~20x

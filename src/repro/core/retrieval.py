@@ -61,6 +61,7 @@ class KeywordSearchEngine:
                                       cache_size=cache_size)
         self.fields = list(fields)
         self.tie_breaker = tie_breaker
+        self._query_trees: dict = {}
 
     def cache_info(self):
         """Hit/miss statistics of the query result cache."""
@@ -69,7 +70,15 @@ class KeywordSearchEngine:
     # ------------------------------------------------------------------
 
     def build_query(self, text: str) -> Query:
-        """Keyword text → multi-field query tree."""
+        """Keyword text → multi-field query tree.
+
+        The tree is a pure function of the text and the engine's
+        configuration, and nothing downstream mutates it, so repeat
+        texts share one memoized tree instead of re-allocating a
+        clause per term per field every request."""
+        cached = self._query_trees.get(text)
+        if cached is not None:
+            return cached
         terms = self.analyzer.for_field(F.NARRATION).terms(text)
         if not terms:
             raise QueryError(f"query {text!r} has no searchable terms")
@@ -81,9 +90,14 @@ class KeywordSearchEngine:
                 for field_name in self.fields]
             outer.add(DisMaxQuery(per_field, tie_breaker=self.tie_breaker),
                       Occur.SHOULD)
+        query: Query = outer
         if len(outer.clauses) == 1:
-            return outer.clauses[0].query
-        return outer
+            query = outer.clauses[0].query
+        trees = self._query_trees
+        if len(trees) >= 8192:          # bound the memo like a cache
+            trees.pop(next(iter(trees)))
+        trees[text] = query
+        return query
 
     def search(self, text: str,
                limit: Optional[int] = None) -> List[SearchHit]:

@@ -85,9 +85,16 @@ def decode_uvarints(data, pos: int, end: int) -> list:
     (``benchmarks/test_postings_decode.py`` measures it).  The caller
     is responsible for ``end`` landing on a varint boundary — the
     segment term dictionary records exact byte lengths, so it always
-    does.  A buffer that ends mid-varint raises ``ValueError`` rather
-    than silently dropping the partial value.
+    does.  Malformed requests raise ``ValueError`` in both shapes: a
+    ``[pos, end)`` range that does not fit the buffer (overrun) and a
+    buffer that ends mid-varint (truncation) — never a bare
+    ``IndexError`` from running off the end of ``data``.
     """
+    size = len(data)
+    if not 0 <= pos <= end <= size:
+        raise ValueError(
+            f"varint byte range [{pos}, {end}) does not fit the "
+            f"{size}-byte buffer")
     values: list = []
     append = values.append
     result = 0
@@ -110,7 +117,12 @@ def decode_uvarints(data, pos: int, end: int) -> list:
 
 
 def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if value >= 0 else (-value << 1) - 1
+    # Python ints are arbitrary-precision, so the C-style
+    # ``(value << 1) ^ (value >> 63)`` sign trick is wrong here: for
+    # non-negative values >= 2**63 the arithmetic shift yields a
+    # non-zero mask and the encoding stops round-tripping.  Branch on
+    # the sign instead — no width assumption.
+    return (value << 1) if value >= 0 else ((-value) << 1) - 1
 
 
 def _unzigzag(value: int) -> int:

@@ -166,6 +166,16 @@ class InvertedIndex:
     def field_boost(self, field_name: str, doc_id: int) -> float:
         return self._boosts.get(field_name, {}).get(doc_id, 1.0)
 
+    def local_field_maps(self, field_name: str):
+        """``(lengths, boosts)`` dicts behind :meth:`field_length` /
+        :meth:`field_boost`, keyed by the same doc-id space as this
+        index's postings columns — the batched block scorer probes
+        them directly instead of paying two method calls per
+        document.  Defaults (0 / 1.0) apply to missing keys exactly
+        as in the per-doc methods."""
+        return (self._lengths.get(field_name, {}),
+                self._boosts.get(field_name, {}))
+
     def max_field_boost(self, field_name: str) -> float:
         """Upper bound on :meth:`field_boost` over all documents
         (maintained incrementally; never below 1.0)."""

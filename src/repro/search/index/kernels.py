@@ -1,0 +1,423 @@
+"""Optional compiled postings kernels (``REPRO_KERNELS`` gated).
+
+The serving hot path spends most of its per-query time in two tiny
+inner loops: LEB128 varint decode and the decode-and-split pass that
+turns one postings block into typed ``(doc_ids, freqs)`` columns.
+Both are pure integer churn — exactly the kind of loop a few lines of
+C run an order of magnitude faster than CPython.
+
+This module compiles those two loops at import time with the system C
+compiler (``cc``/``gcc``, nothing to install) and loads them through
+:mod:`cffi` in ABI mode, so read-only buffers — the segment
+``mmap`` — pass zero-copy via ``ffi.from_buffer``.  Three properties
+keep the layer safe to ship:
+
+* **opt-in** — kernels activate only when the ``REPRO_KERNELS``
+  environment variable is truthy (``1``/``true``/``on``/``yes``).
+  Unset or falsy means the stdlib path runs, byte-for-byte the code
+  that shipped before this module existed.
+* **always-available fallback** — any failure (no compiler, no cffi,
+  dlopen error, malformed input the C side refuses) silently falls
+  back to the stdlib decoder, which remains the reference
+  implementation and the authority on error messages.
+* **parity self-check** — enabling runs both implementations over a
+  generated corpus of adversarial varint streams and refuses to
+  enable on any mismatch, incrementing ``kernel_parity_failures``;
+  a bit-difference can disable kernels but never change results.
+
+Exported stats feed the ``kernel_*`` metrics rows documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from array import array
+from pathlib import Path
+from typing import Optional, Tuple
+
+__all__ = ["available", "enabled", "set_enabled", "status", "stats",
+           "decode_uvarints", "split_postings"]
+
+_TRUTHY = {"1", "true", "on", "yes"}
+
+_C_SOURCE = r"""
+/* LEB128 postings kernels.  Every function returns a negative code on
+ * malformed input instead of guessing — the Python caller then falls
+ * back to the stdlib decoder, which owns error semantics.  Values are
+ * capped at 64 bits (segment doc ids and frequencies are far below);
+ * a wider varint returns -1 and falls back to arbitrary-precision
+ * Python. */
+
+long long k_decode_uvarints(const unsigned char *data, long long nbytes,
+                            long long *out)
+{
+    long long pos = 0, count = 0;
+    unsigned long long value = 0;
+    int shift = 0;
+    while (pos < nbytes) {
+        unsigned char byte = data[pos++];
+        if (byte & 0x80u) {
+            if (shift > 56) return -1;
+            value |= (unsigned long long)(byte & 0x7Fu) << shift;
+            shift += 7;
+        } else {
+            out[count++] = (long long)(value
+                           | ((unsigned long long)byte << shift));
+            value = 0;
+            shift = 0;
+        }
+    }
+    if (shift) return -2;   /* byte range ends inside a varint */
+    return count;
+}
+
+/* Decode one postings block (doc_delta, freq, position-delta*)* into
+ * typed columns in a single pass.  ``entries[i]`` is the index of doc
+ * i's first position delta inside the block's flat varint stream —
+ * the same offsets the Python splitter produces.  Returns the number
+ * of varints consumed, or a negative code on malformed input. */
+long long k_split_postings(const unsigned char *data, long long nbytes,
+                           long long ndocs,
+                           long long *doc_ids, long long *freqs,
+                           long long *entries, long long *max_freq)
+{
+    long long pos = 0, vindex = 0, doc_id = 0, best = 0;
+    for (long long i = 0; i < ndocs; i++) {
+        unsigned long long value;
+        int shift;
+        unsigned char byte;
+        /* doc-id delta */
+        value = 0; shift = 0;
+        do {
+            if (pos >= nbytes) return -2;
+            byte = data[pos++];
+            if (shift > 56 && (byte & 0x80u)) return -1;
+            value |= (unsigned long long)(byte & 0x7Fu) << shift;
+            shift += 7;
+        } while (byte & 0x80u);
+        vindex++;
+        doc_id += (long long)value;
+        doc_ids[i] = doc_id;
+        /* frequency */
+        value = 0; shift = 0;
+        do {
+            if (pos >= nbytes) return -2;
+            byte = data[pos++];
+            if (shift > 56 && (byte & 0x80u)) return -1;
+            value |= (unsigned long long)(byte & 0x7Fu) << shift;
+            shift += 7;
+        } while (byte & 0x80u);
+        vindex++;
+        {
+            long long freq = (long long)value;
+            freqs[i] = freq;
+            entries[i] = vindex;
+            if (freq > best) best = freq;
+            /* skip the position deltas; only count them */
+            for (long long p = 0; p < freq; p++) {
+                do {
+                    if (pos >= nbytes) return -2;
+                    byte = data[pos++];
+                } while (byte & 0x80u);
+                vindex++;
+            }
+        }
+    }
+    if (pos != nbytes) return -3;   /* trailing bytes: corrupt block */
+    *max_freq = best;
+    return vindex;
+}
+"""
+
+_CDEF = """
+long long k_decode_uvarints(const unsigned char *data, long long nbytes,
+                            long long *out);
+long long k_split_postings(const unsigned char *data, long long nbytes,
+                           long long ndocs,
+                           long long *doc_ids, long long *freqs,
+                           long long *entries, long long *max_freq);
+"""
+
+_lock = threading.Lock()
+_ffi = None
+_lib = None
+_enabled = False
+_status = {"requested": False, "enabled": False, "reason": "not requested"}
+_blocks_decoded = 0
+_values_decoded = 0
+_parity_failures = 0
+
+
+def _metrics():
+    # deferred import: observability sits above this package
+    from repro.core.observability import get_observability
+    return get_observability().metrics
+
+
+def _publish_gauge() -> None:
+    try:
+        metrics = _metrics()
+        if metrics.enabled:
+            metrics.gauge("kernel_enabled",
+                          "1 when compiled postings kernels are active"
+                          ).set(1.0 if _enabled else 0.0)
+    except Exception:        # pragma: no cover - metrics must never block
+        pass
+
+
+def _compiler() -> Optional[str]:
+    for name in ("cc", "gcc", "clang"):
+        for prefix in os.environ.get("PATH", "").split(os.pathsep):
+            candidate = Path(prefix) / name
+            if candidate.is_file() and os.access(candidate, os.X_OK):
+                return str(candidate)
+    return None
+
+
+def _build_library() -> Tuple[Optional[object], Optional[object], str]:
+    """Compile and dlopen the kernel library.  Returns
+    ``(ffi, lib, reason)`` — ``lib`` is None on any failure, with the
+    reason recorded for :func:`status`."""
+    try:
+        import cffi
+    except ImportError:                      # pragma: no cover
+        return None, None, "cffi unavailable"
+    compiler = _compiler()
+    if compiler is None:                     # pragma: no cover
+        return None, None, "no C compiler on PATH"
+    digest = hashlib.sha256(_C_SOURCE.encode("utf-8")).hexdigest()[:16]
+    cache = Path(os.environ.get("REPRO_KERNELS_CACHE")
+                 or Path(tempfile.gettempdir()) / "repro-kernels")
+    library = cache / f"repro_kernels_{digest}.so"
+    try:
+        if not library.is_file():
+            cache.mkdir(parents=True, exist_ok=True)
+            source = cache / f"repro_kernels_{digest}.c"
+            source.write_text(_C_SOURCE)
+            scratch = cache / f".{library.name}.{os.getpid()}.tmp"
+            subprocess.run(
+                [compiler, "-O3", "-fPIC", "-shared", "-o",
+                 str(scratch), str(source)],
+                check=True, capture_output=True, timeout=120)
+            os.replace(scratch, library)     # atomic publish
+        ffi = cffi.FFI()
+        ffi.cdef(_CDEF)
+        lib = ffi.dlopen(str(library))
+    except Exception as exc:
+        return None, None, f"kernel build failed: {exc}"
+    return ffi, lib, "ok"
+
+
+# ----------------------------------------------------------------------
+# kernel-backed entry points
+# ----------------------------------------------------------------------
+
+def decode_uvarints(data, pos: int, end: int) -> Optional[array]:
+    """Kernel bulk varint decode over ``data[pos:end]`` as an
+    ``array('q')``, or ``None`` when the kernel declines (disabled,
+    value wider than 64 bits) — the caller then uses the stdlib path.
+    Raises the same ``ValueError`` shapes as the stdlib decoder for
+    malformed ranges, so error behaviour is backend-independent."""
+    global _values_decoded
+    if not _enabled:
+        return None
+    size = len(data)
+    if not 0 <= pos <= end <= size:
+        raise ValueError(
+            f"varint byte range [{pos}, {end}) does not fit the "
+            f"{size}-byte buffer")
+    nbytes = end - pos
+    out = array("q", bytes(8 * nbytes))
+    buffer = _ffi.cast("const unsigned char *",
+                       _ffi.from_buffer(data)) + pos
+    count = _lib.k_decode_uvarints(
+        buffer, nbytes, _ffi.cast("long long *", _ffi.from_buffer(out)))
+    if count == -2:
+        raise ValueError("byte range ends inside a varint")
+    if count < 0:
+        return None                          # >64-bit value: fall back
+    del out[count:]
+    with _lock:
+        _values_decoded += count
+    return out
+
+
+def split_postings(data, start: int, end: int, ndocs: int
+                   ) -> Optional[Tuple[array, array, array, int]]:
+    """Decode one postings block into typed columns in a single C
+    pass.  Returns ``(doc_ids, freqs, entries, max_freq)`` or ``None``
+    when the kernel declines — the Python splitter then runs and owns
+    the (corrupt-segment) error semantics."""
+    global _blocks_decoded
+    if not _enabled:
+        return None
+    if not 0 <= start <= end <= len(data) or ndocs <= 0:
+        return None
+    doc_ids = array("q", bytes(8 * ndocs))
+    freqs = array("q", bytes(8 * ndocs))
+    entries = array("q", bytes(8 * ndocs))
+    max_freq = _ffi.new("long long *")
+    buffer = _ffi.cast("const unsigned char *",
+                       _ffi.from_buffer(data)) + start
+    consumed = _lib.k_split_postings(
+        buffer, end - start, ndocs,
+        _ffi.cast("long long *", _ffi.from_buffer(doc_ids)),
+        _ffi.cast("long long *", _ffi.from_buffer(freqs)),
+        _ffi.cast("long long *", _ffi.from_buffer(entries)),
+        max_freq)
+    if consumed < 0:
+        return None
+    with _lock:
+        _blocks_decoded += 1
+    return doc_ids, freqs, entries, max_freq[0]
+
+
+# ----------------------------------------------------------------------
+# parity self-check
+# ----------------------------------------------------------------------
+
+def _self_check() -> bool:
+    """Both implementations over adversarial streams — every value in
+    every stream must match bit for bit before kernels may serve."""
+    global _parity_failures
+    from repro.search.index import codec
+
+    out = bytearray()
+
+    def put(value: int) -> None:
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                out.append(byte | 0x80)
+            else:
+                out.append(byte)
+                return
+
+    samples = [0, 1, 127, 128, 129, 16383, 16384, 2**32 - 1,
+               2**53, 2**63 - 1]
+    for value in samples:
+        put(value)
+    payload = bytes(out)
+    reference = codec.decode_uvarints(payload, 0, len(payload))
+    got = decode_uvarints(payload, 0, len(payload))
+    if got is None or list(got) != reference:
+        with _lock:
+            _parity_failures += 1
+        return False
+
+    # a synthetic postings block: (doc_delta, freq, position deltas)*
+    out = bytearray()
+    docs = [(3, [1, 5]), (130, [0]), (131, [2, 2, 9000]),
+            (2**40, [7])]
+    previous = 0
+    for doc_id, positions in docs:
+        put(doc_id - previous)
+        previous = doc_id
+        put(len(positions))
+        for delta in positions:
+            put(delta)
+    payload = bytes(out)
+    split = split_postings(payload, 0, len(payload), len(docs))
+    if split is None:
+        with _lock:
+            _parity_failures += 1
+        return False
+    doc_ids, freqs, entries, max_freq = split
+    values = codec.decode_uvarints(payload, 0, len(payload))
+    want_docs, want_freqs, want_entries = [], [], []
+    position = 0
+    doc_id = 0
+    for _ in docs:
+        doc_id += values[position]
+        want_docs.append(doc_id)
+        want_freqs.append(values[position + 1])
+        want_entries.append(position + 2)
+        position += 2 + values[position + 1]
+    if (list(doc_ids) != want_docs or list(freqs) != want_freqs
+            or list(entries) != want_entries
+            or max_freq != max(want_freqs)):
+        with _lock:
+            _parity_failures += 1
+        return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# gating
+# ----------------------------------------------------------------------
+
+def set_enabled(flag: bool) -> bool:
+    """Enable or disable the kernels at runtime (tests and the
+    ``REPRO_KERNELS`` import-time gate both land here).  Enabling
+    compiles on first use and runs the parity self-check; any failure
+    leaves the stdlib path active.  Returns the resulting state."""
+    global _ffi, _lib, _enabled
+    with _lock:
+        _status["requested"] = bool(flag)
+        if not flag:
+            _enabled = False
+            _status["enabled"] = False
+            _status["reason"] = "disabled"
+            _publish_gauge()
+            return False
+        if _lib is None:
+            _ffi, _lib, reason = _build_library()
+            if _lib is None:
+                _enabled = False
+                _status["enabled"] = False
+                _status["reason"] = reason
+                _publish_gauge()
+                return False
+        _enabled = True       # provisionally, for the self-check
+    if not _self_check():
+        with _lock:
+            _enabled = False
+            _status["enabled"] = False
+            _status["reason"] = "parity self-check failed"
+        _publish_gauge()
+        return False
+    with _lock:
+        _status["enabled"] = True
+        _status["reason"] = "ok"
+    _publish_gauge()
+    return True
+
+
+def available() -> bool:
+    """True when the library compiles and passes parity (forces a
+    build attempt, but does not enable)."""
+    if _lib is not None:
+        return True
+    was = _enabled
+    result = set_enabled(True)
+    if not was:
+        set_enabled(False)
+    return result
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def status() -> dict:
+    with _lock:
+        return dict(_status)
+
+
+def stats() -> dict:
+    """Exact counters behind the ``kernel_*`` metric rows."""
+    with _lock:
+        return {"enabled": _enabled,
+                "blocks_decoded": _blocks_decoded,
+                "values_decoded": _values_decoded,
+                "parity_failures": _parity_failures}
+
+
+if os.environ.get("REPRO_KERNELS", "").strip().lower() in _TRUTHY:
+    set_enabled(True)

@@ -2,10 +2,19 @@
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Tuple
 
-__all__ = ["Posting", "PostingsList"]
+__all__ = ["Posting", "PostingsList", "SKIP_BLOCK"]
+
+#: Documents per skip block.  Shared by the segment codec (which
+#: persists one skip entry and one block-max statistic per block, see
+#: :mod:`repro.search.index.segment`), the in-memory block API below,
+#: and the top-k scan's block-at-a-time pruning arithmetic — all three
+#: must agree on the block size for the persisted maxima to bound the
+#: right documents.
+SKIP_BLOCK = 64
 
 
 @dataclass
@@ -51,13 +60,16 @@ class PostingsList:
     """
 
     __slots__ = ("_postings", "_by_doc", "_total_frequency",
-                 "_max_frequency")
+                 "_max_frequency", "_columns")
 
     def __init__(self) -> None:
         self._postings: List[Posting] = []
         self._by_doc: Dict[int, Posting] = {}
         self._total_frequency = 0
         self._max_frequency = 0
+        #: typed (doc_ids, freqs) columns for the block API; built on
+        #: first block access, dropped on any mutation
+        self._columns: Optional[Tuple[array, array]] = None
 
     def add_occurrence(self, doc_id: int, position: int) -> None:
         """Record one term occurrence.  doc_ids must arrive
@@ -69,6 +81,7 @@ class PostingsList:
             self._by_doc[doc_id] = posting
         posting.positions.append(position)
         self._total_frequency += 1
+        self._columns = None
         if len(posting.positions) > self._max_frequency:
             self._max_frequency = len(posting.positions)
 
@@ -100,6 +113,57 @@ class PostingsList:
         """Matching doc ids, in postings (ascending) order."""
         return [posting.doc_id for posting in self._postings]
 
+    def freqs(self) -> "array":
+        """Within-document frequencies aligned with :meth:`doc_ids`
+        (the typed column, shared — read-only)."""
+        return self._ensure_columns()[1]
+
+    # -- block API ----------------------------------------------------
+    #
+    # The same shape LazyPostings exposes over a decoded segment term:
+    # documents in blocks of SKIP_BLOCK, typed (doc_ids, frequencies)
+    # columns per block, a per-block max frequency.  Here the columns
+    # are materialized lazily from the posting objects (and dropped on
+    # mutation), so the batched scoring loop runs identically over
+    # in-memory and segment-backed indexes.
+
+    @property
+    def base(self) -> int:
+        """Doc-id offset of the backing columns (always 0 here; the
+        segment view rebases)."""
+        return 0
+
+    def block_count(self) -> int:
+        """Number of skip blocks (``ceil(doc_frequency /
+        SKIP_BLOCK)``)."""
+        return -(-len(self._postings) // SKIP_BLOCK)
+
+    def _ensure_columns(self) -> Tuple[array, array]:
+        columns = self._columns
+        if columns is None:
+            doc_ids = array(
+                "q", (posting.doc_id for posting in self._postings))
+            freqs = array(
+                "q", (len(posting.positions)
+                      for posting in self._postings))
+            columns = self._columns = (doc_ids, freqs)
+        return columns
+
+    def block_max_frequency(self, block: int) -> int:
+        """Highest within-document frequency inside ``block``."""
+        _, freqs = self._ensure_columns()
+        start = block * SKIP_BLOCK
+        return max(freqs[start:start + SKIP_BLOCK])
+
+    def block_columns(self, block: int) -> Tuple[memoryview, memoryview]:
+        """``(doc_ids, frequencies)`` of ``block`` as read-only typed
+        views over the int64 columns."""
+        doc_ids, freqs = self._ensure_columns()
+        start = block * SKIP_BLOCK
+        end = start + SKIP_BLOCK
+        return (memoryview(doc_ids)[start:end].toreadonly(),
+                memoryview(freqs)[start:end].toreadonly())
+
     def __iter__(self) -> Iterator[Posting]:
         return iter(self._postings)
 
@@ -112,6 +176,7 @@ class PostingsList:
         self._postings.append(posting)
         self._by_doc[posting.doc_id] = posting
         self._total_frequency += posting.frequency
+        self._columns = None
         if posting.frequency > self._max_frequency:
             self._max_frequency = posting.frequency
 

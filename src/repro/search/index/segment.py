@@ -1,4 +1,4 @@
-"""Immutable on-disk index segments (``.ridx``, format version 2).
+"""Immutable on-disk index segments (``.ridx``, format version 3).
 
 A *segment* is a write-once snapshot of an :class:`InvertedIndex`,
 laid out so that opening one touches only a fixed-size header and
@@ -24,7 +24,7 @@ first use:
 File layout (little-endian)::
 
     magic   "RIDX"                      4 bytes
-    version u8                          2 for segments
+    version u8                          3 for segments (2 readable)
     hlen    u32                         header length in bytes
     header  JSON, utf-8                 hlen bytes
     blocks  term dicts / postings / lengths / boosts / stored
@@ -40,7 +40,7 @@ Block encodings (all integers LEB128 varints)::
     tdict    := term_count, term*
     term     := len(utf8), utf8, doc_freq, total_freq, max_freq,
                 postings_off, postings_len,
-                block_count, (first_doc_delta, off_delta)*
+                block_count, (first_doc_delta, off_delta, block_max)*
     postings := block*                 # SKIP_BLOCK docs per block
     block    := doc*                   # first doc absolute, rest
     doc      := doc_delta, freq, zigzag(position_delta)*
@@ -48,6 +48,13 @@ Block encodings (all integers LEB128 varints)::
     boosts   := count, (doc_delta, f64)*
     stored_index := (doc_count + 1) * u64    # blob offsets
     stored   := per-doc JSON blobs, utf-8
+
+Version 3 added ``block_max`` — the largest within-document frequency
+inside each skip block — to the per-block skip entries, so the top-k
+driver can bound a whole block's best possible score from the term
+dictionary alone and skip it without decoding a byte.  Version-2
+segments (pair-shaped skip entries) still open fine; their block
+maxima are recomputed from the decoded block on first touch.
 
 Every encoder iterates its inputs in a canonical order (fields and
 terms sorted, documents ascending), so sealing an index is fully
@@ -63,29 +70,36 @@ import mmap
 import os
 import struct
 import threading
+from array import array
+from bisect import bisect_right
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import IndexError_
+from repro.search.index import kernels as _kernels
 from repro.search.index.codec import (MAGIC, _read_uvarint,
                                       _write_uvarint, _zigzag,
                                       decode_uvarints)
 from repro.search.index.inverted import InvertedIndex
-from repro.search.index.postings import Posting
+from repro.search.index.postings import Posting, SKIP_BLOCK
 
 __all__ = ["SEGMENT_VERSION", "SEGMENT_SUFFIX", "SKIP_BLOCK",
            "POSTINGS_CACHE_SIZE", "write_segment",
            "merge_segment_files", "SegmentReader", "LazyPostings",
            "DecodedTerm", "TermMeta"]
 
-SEGMENT_VERSION = 2
+SEGMENT_VERSION = 3
+#: versions this reader still opens; 2 lacks per-block max
+#: frequencies, which are then recomputed on first block decode
+READABLE_VERSIONS = (2, 3)
 SEGMENT_SUFFIX = ".ridx"
 
-#: documents per postings block; each block restarts delta encoding
-#: and gets one skip pointer, so point lookups decode ≤ this many docs
-SKIP_BLOCK = 64
+# SKIP_BLOCK (documents per postings block) lives in
+# repro.search.index.postings so the in-memory block API and the
+# codec agree on the block size; re-exported here because each block
+# restarts delta encoding and gets one skip pointer in this format.
 
 #: decoded terms kept per :class:`SegmentReader` (the decode-once
 #: LRU); a term is a few KB decoded, so the default bounds a reader
@@ -118,20 +132,24 @@ class TermMeta:
     length: int            # field's postings block
     skip_docs: Tuple[int, ...]      # first doc id per block
     skip_offsets: Tuple[int, ...]   # block byte offset per block
+    #: largest within-doc frequency per block (None for v2 segments,
+    #: recomputed on first decode)
+    block_maxima: Optional[Tuple[int, ...]] = None
 
 
 def _encode_term_postings(docs: Sequence[Tuple[int, Sequence[int]]]
                           ) -> Tuple[bytes, List[int], List[int],
-                                     int, int]:
+                                     List[int], int, int]:
     """Encode one term's ``(doc_id, positions)`` sequence.
 
-    Returns ``(payload, skip_docs, skip_offsets, total_freq,
-    max_freq)``.  Documents must arrive ascending (the index and the
-    merge both guarantee it).
+    Returns ``(payload, skip_docs, skip_offsets, block_maxima,
+    total_freq, max_freq)``.  Documents must arrive ascending (the
+    index and the merge both guarantee it).
     """
     out = io.BytesIO()
     skip_docs: List[int] = []
     skip_offsets: List[int] = []
+    block_maxima: List[int] = []
     total_frequency = 0
     max_frequency = 0
     previous_doc = 0
@@ -139,6 +157,7 @@ def _encode_term_postings(docs: Sequence[Tuple[int, Sequence[int]]]
         if position_in_list % SKIP_BLOCK == 0:
             skip_docs.append(doc_id)
             skip_offsets.append(out.tell())
+            block_maxima.append(0)
             previous_doc = 0          # block restart: absolute doc id
         _write_uvarint(out, doc_id - previous_doc)
         previous_doc = doc_id
@@ -150,23 +169,28 @@ def _encode_term_postings(docs: Sequence[Tuple[int, Sequence[int]]]
         total_frequency += len(positions)
         if len(positions) > max_frequency:
             max_frequency = len(positions)
-    return (out.getvalue(), skip_docs, skip_offsets,
+        if len(positions) > block_maxima[-1]:
+            block_maxima[-1] = len(positions)
+    return (out.getvalue(), skip_docs, skip_offsets, block_maxima,
             total_frequency, max_frequency)
 
 
 def _encode_field(terms: Iterable[Tuple[str,
                                         Sequence[Tuple[int,
-                                                       Sequence[int]]]]]
+                                                       Sequence[int]]]]],
+                  version: int = SEGMENT_VERSION
                   ) -> Tuple[bytes, bytes, int]:
     """Encode one field's sorted ``(term, docs)`` stream into a term
     dictionary block and a postings block.  Returns
-    ``(tdict, postings, term_count)``."""
+    ``(tdict, postings, term_count)``.  ``version`` selects the skip
+    entry shape: v3 triples carry the per-block max frequency, v2
+    pairs (kept writable for the read-compatibility tests) do not."""
     tdict = io.BytesIO()
     postings = io.BytesIO()
     term_count = 0
     for term, docs in terms:
-        payload, skip_docs, skip_offsets, total_freq, max_freq = \
-            _encode_term_postings(docs)
+        (payload, skip_docs, skip_offsets, block_maxima,
+         total_freq, max_freq) = _encode_term_postings(docs)
         raw = term.encode("utf-8")
         _write_uvarint(tdict, len(raw))
         tdict.write(raw)
@@ -178,9 +202,12 @@ def _encode_field(terms: Iterable[Tuple[str,
         _write_uvarint(tdict, len(skip_docs))
         previous_doc = 0
         previous_offset = 0
-        for doc_id, offset in zip(skip_docs, skip_offsets):
+        for doc_id, offset, block_max in zip(skip_docs, skip_offsets,
+                                             block_maxima):
             _write_uvarint(tdict, doc_id - previous_doc)
             _write_uvarint(tdict, offset - previous_offset)
+            if version >= 3:
+                _write_uvarint(tdict, block_max)
             previous_doc, previous_offset = doc_id, offset
         postings.write(payload)
         term_count += 1
@@ -243,8 +270,8 @@ class _BlockAssembler:
         return locator
 
 
-def _write_file(path: Path, header: dict,
-                assembler: _BlockAssembler) -> Path:
+def _write_file(path: Path, header: dict, assembler: _BlockAssembler,
+                version: int = SEGMENT_VERSION) -> Path:
     """Write header + blocks atomically (temp file + rename) so a
     crash mid-seal never leaves a half-written ``.ridx`` under the
     final name."""
@@ -252,7 +279,7 @@ def _write_file(path: Path, header: dict,
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
         handle.write(MAGIC)
-        handle.write(struct.pack("<B", SEGMENT_VERSION))
+        handle.write(struct.pack("<B", version))
         handle.write(struct.pack("<I", len(raw_header)))
         handle.write(raw_header)
         for block in assembler.blocks:
@@ -267,12 +294,19 @@ def _write_file(path: Path, header: dict,
 # sealing an in-memory index
 # ----------------------------------------------------------------------
 
-def write_segment(index: InvertedIndex, path: PathLike) -> Path:
+def write_segment(index: InvertedIndex, path: PathLike,
+                  version: int = SEGMENT_VERSION) -> Path:
     """Seal ``index`` into an immutable segment file at ``path``.
 
     The index is not modified; the output is deterministic, so two
     sealings of equal indexes produce byte-identical files.
+    ``version`` defaults to the current format; passing ``2`` writes
+    the previous (no block-maxima) shape, which exists so the
+    read-compatibility tests can fabricate genuine v2 files.
     """
+    if version not in READABLE_VERSIONS:
+        raise IndexError_(f"cannot write segment version {version} "
+                          f"(writable: {READABLE_VERSIONS})")
     index._ensure_all_fields()
     path = Path(path)
     assembler = _BlockAssembler()
@@ -286,7 +320,7 @@ def write_segment(index: InvertedIndex, path: PathLike) -> Path:
         stream = ((term, [(posting.doc_id, posting.positions)
                           for posting in terms[term]])
                   for term in sorted(terms))
-        tdict, postings, term_count = _encode_field(stream)
+        tdict, postings, term_count = _encode_field(stream, version)
         lengths = index._lengths.get(field_name, {})
         boosts = index._boosts.get(field_name, {})
         field_table.append({
@@ -311,7 +345,7 @@ def write_segment(index: InvertedIndex, path: PathLike) -> Path:
         "stored_index": assembler.add(stored_index),
         "stored": assembler.add(stored),
     }
-    return _write_file(path, header, assembler)
+    return _write_file(path, header, assembler, version)
 
 
 # ----------------------------------------------------------------------
@@ -319,103 +353,256 @@ def write_segment(index: InvertedIndex, path: PathLike) -> Path:
 # ----------------------------------------------------------------------
 
 class DecodedTerm:
-    """One term's postings fully decoded into flat arrays, exactly
-    once per (reader, term).
+    """One term's postings as typed int64 columns, decoded lazily one
+    skip block at a time and shared per (reader, term).
 
-    Segments are write-once, so the decode result is immutable for
+    Segments are write-once, so every decode result is immutable for
     the reader's whole lifetime: :class:`SegmentReader` keeps these in
     a bounded LRU (:data:`POSTINGS_CACHE_SIZE`) and every query that
     touches the term shares the same arrays — the decode-once hot
-    path.  The payload is decoded with the bulk varint pass
-    (:func:`~repro.search.index.codec.decode_uvarints`); only doc ids
-    and frequencies are split out eagerly, position lists stay as the
-    flat varint stream until a positional reader (phrase scoring,
-    iteration, merge) asks for them, and are then cached too.
+    path.  Construction itself decodes nothing (it only captures the
+    mmap and :class:`TermMeta`); each skip block's payload is decoded
+    on first touch with the bulk varint pass
+    (:func:`~repro.search.index.codec.decode_uvarints`) — or, when
+    :mod:`repro.search.index.kernels` is enabled, a single compiled
+    decode-and-split call — into ``array('q')`` doc-id and frequency
+    columns.  A point lookup therefore decodes at most one block, a
+    pruned scan decodes only the blocks whose max-impact bound
+    survives θ, and a full materialization (:attr:`doc_ids`, merge,
+    iteration) concatenates the per-block columns once.  Position
+    lists stay in varint form until a positional reader (phrase
+    scoring, iteration, merge) asks, and are then cached too.
 
-    Derived views handed to callers (:meth:`doc_ids_rebased`,
-    :meth:`postings_rebased`, :meth:`positions`) are cached and
-    **shared** — callers must treat them as read-only, which every
-    scoring/merge path does.  Concurrent builders of the same derived
-    view race benignly: both compute identical values and the last
-    assignment wins.
+    Derived views handed to callers (:meth:`block_columns`,
+    :meth:`doc_ids_rebased`, :meth:`postings_rebased`,
+    :meth:`positions`) are cached and **shared** — callers must treat
+    them as read-only; :meth:`block_columns` enforces it by handing
+    out read-only memoryviews.  Concurrent builders of the same block
+    or derived view race benignly: both compute identical values and
+    the last assignment wins.
     """
 
-    __slots__ = ("doc_ids", "freqs", "_values", "_entries", "_by_doc",
+    __slots__ = ("_data", "_meta", "block_count",
+                 "_block_docs", "_block_freqs", "_block_entries",
+                 "_block_values", "_block_maxima",
+                 "_all_doc_ids", "_all_freqs",
                  "_positions", "_doc_ids_by_base", "_postings_by_base")
 
-    def __init__(self, doc_ids: List[int], freqs: List[int],
-                 values: List[int], entries: List[int]) -> None:
-        self.doc_ids = doc_ids     # segment-local doc ids, ascending
-        self.freqs = freqs         # per-doc within-document frequency
-        self._values = values      # the term's flat varint stream
-        self._entries = entries    # per-doc offset of its first
-        #                            position delta inside _values
-        self._by_doc: Optional[Dict[int, int]] = None
+    def __init__(self, data, meta: TermMeta) -> None:
+        self._data = data          # the segment mmap (zero-copy)
+        self._meta = meta
+        self.block_count = len(meta.skip_offsets)
+        count = self.block_count
+        # per-block typed columns, decoded on first touch
+        self._block_docs: List[Optional[array]] = [None] * count
+        self._block_freqs: List[Optional[array]] = [None] * count
+        self._block_entries: List[Optional[array]] = [None] * count
+        # per-block flat varint stream (positions live here); the
+        # compiled kernel skips producing it, so it may refill lazily
+        self._block_values: List[Optional[list]] = [None] * count
+        self._block_maxima: List[Optional[int]] = (
+            list(meta.block_maxima) if meta.block_maxima is not None
+            else [None] * count)
+        self._all_doc_ids: Optional[array] = None
+        self._all_freqs: Optional[array] = None
         self._positions: Optional[List[Optional[List[int]]]] = None
-        self._doc_ids_by_base: Dict[int, List[int]] = {}
+        self._doc_ids_by_base: Dict[int, Sequence[int]] = {}
         self._postings_by_base: Dict[int, List[Posting]] = {}
 
     @classmethod
     def decode(cls, data, meta: TermMeta) -> "DecodedTerm":
-        """Decode one term's whole postings payload in a single bulk
-        pass (no per-integer call overhead)."""
-        values = decode_uvarints(data, meta.offset,
-                                 meta.offset + meta.length)
-        doc_ids: List[int] = []
-        freqs: List[int] = []
-        entries: List[int] = []
-        position = 0
-        doc_id = 0
-        for ordinal in range(meta.doc_frequency):
-            if not ordinal % SKIP_BLOCK:
-                doc_id = 0             # block restart: absolute id
-            doc_id += values[position]
-            frequency = values[position + 1]
-            doc_ids.append(doc_id)
-            freqs.append(frequency)
-            entries.append(position + 2)
-            position += 2 + frequency
-        if position != len(values):
-            raise IndexError_("postings payload does not match its "
-                              "byte range (corrupt segment)")
-        return cls(doc_ids, freqs, values, entries)
+        """The shared decoded form of one term.  Despite the name no
+        bytes are decoded here anymore — blocks materialize on first
+        touch — but the classmethod stays as the construction point
+        every caller (LRU, merge, parity tests) goes through."""
+        return cls(data, meta)
+
+    @property
+    def doc_frequency(self) -> int:
+        return self._meta.doc_frequency
+
+    # -- block decode --------------------------------------------------
+
+    def _block_span(self, block: int) -> Tuple[int, int, int]:
+        """(byte start, byte end, doc count) of one skip block."""
+        meta = self._meta
+        start = meta.offset + meta.skip_offsets[block]
+        end = (meta.offset + meta.skip_offsets[block + 1]
+               if block + 1 < self.block_count
+               else meta.offset + meta.length)
+        ndocs = min(SKIP_BLOCK,
+                    meta.doc_frequency - block * SKIP_BLOCK)
+        return start, end, ndocs
+
+    def _ensure_block(self, block: int) -> Tuple[array, array]:
+        """Decode one skip block into typed columns (idempotent)."""
+        docs = self._block_docs[block]
+        if docs is not None:
+            return docs, self._block_freqs[block]
+        start, end, ndocs = self._block_span(block)
+        split = _kernels.split_postings(self._data, start, end, ndocs)
+        if split is not None:
+            docs, freqs, entries, block_max = split
+        else:
+            values = decode_uvarints(self._data, start, end)
+            docs = array("q", bytes(8 * ndocs))
+            freqs = array("q", bytes(8 * ndocs))
+            entries = array("q", bytes(8 * ndocs))
+            position = 0
+            doc_id = 0
+            block_max = 0
+            try:
+                for i in range(ndocs):
+                    doc_id += values[position]
+                    frequency = values[position + 1]
+                    docs[i] = doc_id
+                    freqs[i] = frequency
+                    entries[i] = position + 2
+                    if frequency > block_max:
+                        block_max = frequency
+                    position += 2 + frequency
+            except IndexError:
+                raise IndexError_(
+                    "postings payload does not match its byte range "
+                    "(corrupt segment)") from None
+            if position != len(values):
+                raise IndexError_("postings payload does not match its "
+                                  "byte range (corrupt segment)")
+            self._block_values[block] = values
+        # benign race: concurrent decoders produce identical columns
+        self._block_freqs[block] = freqs
+        self._block_entries[block] = entries
+        self._block_docs[block] = docs
+        if self._block_maxima[block] is None:
+            self._block_maxima[block] = block_max
+        return docs, freqs
+
+    def _values_of(self, block: int) -> list:
+        """The block's flat varint stream (positions path); refilled
+        lazily when the compiled kernel produced the columns."""
+        values = self._block_values[block]
+        if values is None:
+            start, end, _ = self._block_span(block)
+            values = decode_uvarints(self._data, start, end)
+            self._block_values[block] = values
+        return values
+
+    def block_max_frequency(self, block: int) -> int:
+        """Largest within-document frequency in one skip block — from
+        the v3 term dictionary when persisted (no decode), otherwise
+        computed on the block's first decode and cached."""
+        cached = self._block_maxima[block]
+        if cached is None:
+            self._ensure_block(block)
+            cached = self._block_maxima[block]
+        return cached
+
+    def block_columns(self, block: int) -> Tuple[memoryview, memoryview]:
+        """One block's ``(doc_ids, freqs)`` typed columns as read-only
+        int64 memoryviews (segment-local doc ids, ascending)."""
+        docs, freqs = self._ensure_block(block)
+        return memoryview(docs).toreadonly(), \
+            memoryview(freqs).toreadonly()
+
+    # -- whole-term columns -------------------------------------------
+
+    @property
+    def doc_ids(self) -> array:
+        """All segment-local doc ids as one ``array('q')``,
+        materialized (and cached) on first use."""
+        ids = self._all_doc_ids
+        if ids is None:
+            if self.block_count == 1:
+                ids = self._ensure_block(0)[0]
+            else:
+                ids = array("q")
+                for block in range(self.block_count):
+                    ids.extend(self._ensure_block(block)[0])
+            self._all_doc_ids = ids
+        return ids
+
+    @property
+    def freqs(self) -> array:
+        """All within-document frequencies as one ``array('q')``."""
+        freqs = self._all_freqs
+        if freqs is None:
+            if self.block_count == 1:
+                freqs = self._ensure_block(0)[1]
+            else:
+                freqs = array("q")
+                for block in range(self.block_count):
+                    freqs.extend(self._ensure_block(block)[1])
+            self._all_freqs = freqs
+        return freqs
+
+    # -- lookups -------------------------------------------------------
+
+    def find(self, local_doc: int) -> Optional[Tuple[int, int]]:
+        """``(block, offset)`` of ``local_doc``, or ``None``.  Two
+        binary searches — skip table, then one ≤ SKIP_BLOCK column —
+        so a point lookup decodes at most one block."""
+        block = bisect_right(self._meta.skip_docs, local_doc) - 1
+        if block < 0:
+            return None
+        docs, _ = self._ensure_block(block)
+        offset = bisect_right(docs, local_doc) - 1
+        if offset >= 0 and docs[offset] == local_doc:
+            return block, offset
+        return None
+
+    def frequency_of(self, local_doc: int) -> Optional[int]:
+        """Within-document frequency of ``local_doc`` (the scoring
+        fast path: :meth:`find` inlined flat, so a probe costs two
+        bisects and no extra call frames)."""
+        block = bisect_right(self._meta.skip_docs, local_doc) - 1
+        if block < 0:
+            return None
+        docs = self._block_docs[block]
+        if docs is None:
+            docs, _ = self._ensure_block(block)
+        offset = bisect_right(docs, local_doc) - 1
+        if offset >= 0 and docs[offset] == local_doc:
+            return self._block_freqs[block][offset]
+        return None
 
     def index_of(self, local_doc: int) -> Optional[int]:
-        """Ordinal of ``local_doc`` in the arrays, or ``None``."""
-        by_doc = self._by_doc
-        if by_doc is None:
-            by_doc = {doc: ordinal
-                      for ordinal, doc in enumerate(self.doc_ids)}
-            self._by_doc = by_doc
-        return by_doc.get(local_doc)
+        """Ordinal of ``local_doc`` across all blocks, or ``None``."""
+        found = self.find(local_doc)
+        if found is None:
+            return None
+        block, offset = found
+        return block * SKIP_BLOCK + offset
 
     def positions(self, ordinal: int) -> List[int]:
         """Position list of the ``ordinal``-th document, decoded on
         first use and cached (shared — read-only)."""
         cache = self._positions
         if cache is None:
-            cache = [None] * len(self.doc_ids)
+            cache = [None] * self._meta.doc_frequency
             self._positions = cache
         decoded = cache[ordinal]
         if decoded is None:
-            start = self._entries[ordinal]
+            block, offset = divmod(ordinal, SKIP_BLOCK)
+            self._ensure_block(block)
+            values = self._values_of(block)
+            start = self._block_entries[block][offset]
             decoded = []
             position = 0
-            for delta in self._values[start:start
-                                      + self.freqs[ordinal]]:
+            for delta in values[start:start
+                                + self._block_freqs[block][offset]]:
                 position += (delta >> 1) ^ -(delta & 1)   # unzigzag
                 decoded.append(position)
             cache[ordinal] = decoded
         return decoded
 
-    def doc_ids_rebased(self, base: int) -> List[int]:
+    def doc_ids_rebased(self, base: int) -> Sequence[int]:
         """All doc ids shifted into global space (shared, read-only).
         A reader's base is fixed within one segment set, so this is
         computed once per (decoded term, generation)."""
         ids = self._doc_ids_by_base.get(base)
         if ids is None:
             ids = (self.doc_ids if base == 0
-                   else [doc + base for doc in self.doc_ids])
+                   else array("q", (doc + base for doc in self.doc_ids)))
             self._doc_ids_by_base[base] = ids
         return ids
 
@@ -485,11 +672,8 @@ class LazyPostings:
     def frequency(self, doc_id: int) -> Optional[int]:
         """Within-document frequency without materializing a
         :class:`Posting` (the term-scoring fast path — position lists
-        are never touched)."""
-        ordinal = self._decoded.index_of(doc_id - self._base)
-        if ordinal is None:
-            return None
-        return self._decoded.freqs[ordinal]
+        are never touched, and at most one block is decoded)."""
+        return self._decoded.frequency_of(doc_id - self._base)
 
     def get(self, doc_id: int) -> Optional[Posting]:
         ordinal = self._decoded.index_of(doc_id - self._base)
@@ -497,12 +681,39 @@ class LazyPostings:
             return None
         return Posting(doc_id, self._decoded.positions(ordinal))
 
-    def doc_ids(self) -> List[int]:
+    def doc_ids(self) -> Sequence[int]:
         """Matching global doc ids, ascending (shared — read-only)."""
         return self._decoded.doc_ids_rebased(self._base)
 
+    def freqs(self) -> Sequence[int]:
+        """Within-document frequencies aligned with :meth:`doc_ids`
+        (the shared typed column — read-only; frequencies need no
+        rebasing)."""
+        return self._decoded.freqs
+
     def __iter__(self):
         return iter(self._decoded.postings_rebased(self._base))
+
+    # -- block API (batched scoring / block-max pruning) --------------
+
+    @property
+    def base(self) -> int:
+        """Offset added to segment-local doc ids (scatter-gather)."""
+        return self._base
+
+    def block_count(self) -> int:
+        return self._decoded.block_count
+
+    def block_max_frequency(self, block: int) -> int:
+        """Per-block max-impact figure — straight from the v3 term
+        dictionary when persisted, so a block can be rejected against
+        θ without decoding it."""
+        return self._decoded.block_max_frequency(block)
+
+    def block_columns(self, block: int) -> Tuple[memoryview, memoryview]:
+        """One block's ``(doc_ids, freqs)`` int64 columns (read-only,
+        segment-local ids — add :attr:`base` to globalize)."""
+        return self._decoded.block_columns(block)
 
 
 class SegmentReader:
@@ -530,11 +741,13 @@ class SegmentReader:
             raise IndexError_(f"{self.path} is not a segment "
                               f"(bad magic {bytes(data[:4])!r})")
         version = data[4]
-        if version != SEGMENT_VERSION:
+        if version not in READABLE_VERSIONS:
             self.close()
             raise IndexError_(
                 f"unsupported segment version {version} in "
-                f"{self.path} (supported: {SEGMENT_VERSION})")
+                f"{self.path} (supported: "
+                f"{', '.join(map(str, READABLE_VERSIONS))})")
+        self.version = version
         (header_length,) = struct.unpack_from("<I", data, 5)
         self._blocks_start = 9 + header_length
         header = json.loads(data[9:self._blocks_start].decode("utf-8"))
@@ -549,6 +762,7 @@ class SegmentReader:
         self._term_metas: Dict[str, Dict[str, TermMeta]] = {}
         self._lengths: Dict[str, Dict[int, int]] = {}
         self._boosts: Dict[str, Dict[int, float]] = {}
+        self._stored_cache: Dict[int, dict] = {}
         # decode-once postings LRU: (field, term) -> DecodedTerm
         self._postings_cache: "OrderedDict[Tuple[str, str], DecodedTerm]" \
             = OrderedDict()
@@ -633,6 +847,7 @@ class SegmentReader:
         entry = self._fields.get(field_name)
         if entry is not None:
             data = self._mmap
+            has_block_maxima = self.version >= 3
             pos = self._blocks_start + entry["tdict"][0]
             term_count, pos = _read_uvarint(data, pos)
             for _ in range(term_count):
@@ -647,6 +862,7 @@ class SegmentReader:
                 block_count, pos = _read_uvarint(data, pos)
                 skip_docs: List[int] = []
                 skip_offsets: List[int] = []
+                block_maxima: List[int] = []
                 doc_id = 0
                 block_offset = 0
                 for _ in range(block_count):
@@ -656,6 +872,9 @@ class SegmentReader:
                     block_offset += off_delta
                     skip_docs.append(doc_id)
                     skip_offsets.append(block_offset)
+                    if has_block_maxima:
+                        block_max, pos = _read_uvarint(data, pos)
+                        block_maxima.append(block_max)
                 metas[term] = TermMeta(
                     doc_frequency=doc_freq,
                     total_frequency=total_freq,
@@ -664,7 +883,9 @@ class SegmentReader:
                             + offset),
                     length=payload_len,
                     skip_docs=tuple(skip_docs),
-                    skip_offsets=tuple(skip_offsets))
+                    skip_offsets=tuple(skip_offsets),
+                    block_maxima=(tuple(block_maxima)
+                                  if has_block_maxima else None))
         self._term_metas[field_name] = metas
         return metas
 
@@ -788,7 +1009,18 @@ class SegmentReader:
     # -- stored fields ------------------------------------------------
 
     def stored_fields(self, doc_id: int) -> Dict[str, List[str]]:
-        """The raw stored-field dict of one document (O(1) via the
+        """The stored-field dict of one document, JSON-decoded once
+        per reader lifetime and shared after that (the segment is
+        immutable, so callers must treat the dict as read-only; use
+        :meth:`_decode_stored` for a private copy)."""
+        cached = self._stored_cache.get(doc_id)
+        if cached is None:
+            cached = self._decode_stored(doc_id)
+            self._stored_cache[doc_id] = cached
+        return cached
+
+    def _decode_stored(self, doc_id: int) -> Dict[str, List[str]]:
+        """Decode one document's stored fields fresh (O(1) via the
         fixed-width offset table)."""
         if not 0 <= doc_id < self.doc_count:
             raise IndexError_(f"unknown doc_id {doc_id}")
@@ -805,7 +1037,9 @@ class SegmentReader:
         """Fully decode into a mutable :class:`InvertedIndex` (a
         debugging/parity aid — serving never needs it)."""
         index = InvertedIndex(name=self.name)
-        index._stored = [self.stored_fields(doc_id)
+        # private copies: the mutable index must not alias the
+        # reader's shared stored-field cache
+        index._stored = [self._decode_stored(doc_id)
                          for doc_id in range(self.doc_count)]
         index._field_names = set(self._field_names)
         for field_name in self.indexed_fields():

@@ -393,12 +393,23 @@ class _MultiPostings:
     :class:`~repro.search.index.postings.PostingsList` exactly.
     """
 
-    __slots__ = ("_parts", "_doc_frequency")
+    __slots__ = ("_parts", "_doc_frequency", "_bases",
+                 "_total_frequency", "_max_frequency")
 
     def __init__(self, parts: List[Tuple[int, int, LazyPostings]],
                  doc_frequency: int) -> None:
         self._parts = parts        # (base, end, postings), base order
         self._doc_frequency = doc_frequency
+        # parts are immutable once handed over, so the aggregate
+        # statistics and the span-lookup key list are computed once
+        # here instead of on every property access / point probe
+        # (term scoring reads max_frequency per bound and frequency()
+        # per candidate — both used to walk the part list each time)
+        self._bases = [base for base, _, _ in parts]
+        self._total_frequency = sum(
+            part.total_frequency for _, _, part in parts)
+        self._max_frequency = max(
+            part.max_frequency for _, _, part in parts)
 
     @property
     def doc_frequency(self) -> int:
@@ -406,28 +417,33 @@ class _MultiPostings:
 
     @property
     def total_frequency(self) -> int:
-        return sum(part.total_frequency for _, _, part in self._parts)
+        return self._total_frequency
 
     @property
     def max_frequency(self) -> int:
-        return max(part.max_frequency for _, _, part in self._parts)
+        return self._max_frequency
 
     def __len__(self) -> int:
         return self._doc_frequency
 
+    def _part_of(self, doc_id: int) -> Optional[LazyPostings]:
+        """The part whose ``[base, end)`` span holds ``doc_id``, by
+        binary search over the (ascending, disjoint) part bases."""
+        position = bisect_right(self._bases, doc_id) - 1
+        if position < 0:
+            return None
+        base, end, part = self._parts[position]
+        return part if doc_id < end else None
+
     def get(self, doc_id: int) -> Optional[Posting]:
-        for base, end, part in self._parts:
-            if base <= doc_id < end:
-                return part.get(doc_id)
-        return None
+        part = self._part_of(doc_id)
+        return None if part is None else part.get(doc_id)
 
     def frequency(self, doc_id: int) -> Optional[int]:
         """Within-document frequency without materializing a
         :class:`Posting` (term-scoring fast path)."""
-        for base, end, part in self._parts:
-            if base <= doc_id < end:
-                return part.frequency(doc_id)
-        return None
+        part = self._part_of(doc_id)
+        return None if part is None else part.frequency(doc_id)
 
     def doc_ids(self) -> List[int]:
         out: List[int] = []
@@ -455,7 +471,8 @@ class _SegmentView:
     committed generation as the segment itself.
     """
 
-    __slots__ = ("parent", "reader", "base", "end")
+    __slots__ = ("parent", "reader", "base", "end", "contrib_memo",
+                 "bound_memo")
 
     def __init__(self, parent: "_SegmentSet", reader: SegmentReader,
                  base: int) -> None:
@@ -463,6 +480,15 @@ class _SegmentView:
         self.reader = reader
         self.base = base
         self.end = base + reader.doc_count
+        # term-scoring memos, keyed (similarity, field, term, boost):
+        # every input of a term's per-doc contributions and of its
+        # score upper bound — global df and averages from ``parent``,
+        # the reader's length/boost maps, ``base`` — is frozen with
+        # the generation, so both values are view-lifetime constants
+        # that repeat queries should not recompute (benign data race:
+        # concurrent fills write identical values)
+        self.contrib_memo: dict = {}
+        self.bound_memo: dict = {}
 
     @property
     def name(self) -> str:
@@ -474,7 +500,11 @@ class _SegmentView:
 
     def postings(self, field_name: str, term: str
                  ) -> Optional[LazyPostings]:
-        return self.reader.postings(
+        reader = self.reader
+        if reader.term_meta(field_name, term) is None:
+            # absent in this segment: skip the global-df aggregation
+            return None
+        return reader.postings(
             field_name, term, base=self.base,
             doc_frequency=self.parent.doc_frequency(field_name, term))
 
@@ -486,6 +516,14 @@ class _SegmentView:
 
     def field_boost(self, field_name: str, doc_id: int) -> float:
         return self.reader.field_boost(field_name, doc_id - self.base)
+
+    def local_field_maps(self, field_name: str):
+        """The segment's own ``(lengths, boosts)`` dicts, keyed by
+        *local* doc ids — the same space the postings block columns
+        use before rebasing, so the batched scorer probes them with
+        the column values directly."""
+        return (self.reader.lengths(field_name),
+                self.reader.boosts(field_name))
 
     def max_field_boost(self, field_name: str) -> float:
         return self.reader.max_field_boost(field_name)
@@ -509,7 +547,7 @@ class _SegmentSet:
     """
 
     __slots__ = ("manifest", "readers", "bases", "views", "_df_cache",
-                 "_avg_len_cache", "_max_boost_cache",
+                 "_avg_len_cache", "_max_boost_cache", "_doc_cache",
                  "_guard", "_refs", "_retired")
 
     def __init__(self, manifest: Manifest,
@@ -524,6 +562,7 @@ class _SegmentSet:
         self._df_cache: Dict[Tuple[str, str], int] = {}
         self._avg_len_cache: Dict[str, float] = {}
         self._max_boost_cache: Dict[str, float] = {}
+        self._doc_cache: Dict[int, Document] = {}
         self._guard = threading.Lock()
         self._refs = 0
         self._retired = False
@@ -720,11 +759,19 @@ class _SegmentSet:
                    for reader in self.readers)
 
     def stored_document(self, doc_id: int) -> Document:
+        """The materialized stored document, built once per doc per
+        generation and shared after that (the set is frozen, so
+        callers must treat it as read-only — retrieval only ever
+        ``get``\\ s fields)."""
+        document = self._doc_cache.get(doc_id)
+        if document is not None:
+            return document
         reader, local = self._locate(doc_id)
         document = Document()
         for name, values in reader.stored_fields(local).items():
             for value in values:
                 document.add(Field(name, value))
+        self._doc_cache[doc_id] = document
         return document
 
     def stored_value(self, doc_id: int,

@@ -137,10 +137,20 @@ class TermScorer(Scorer):
     ``score_one`` evaluates ``similarity.score(...) * boost *
     index_boost`` with exactly the arguments and operation order of
     :meth:`TermQuery.score_docs`, so values match bit for bit.
+
+    Postings backed by skip blocks (segments, and the monolithic
+    :class:`~repro.search.index.postings.PostingsList`) additionally
+    expose the *block API*: :meth:`block_count` /
+    :meth:`block_bound` / :meth:`score_block` let the top-k driver
+    bound and score one whole skip block per step — batched
+    arithmetic over typed columns instead of a per-posting dict walk,
+    and a block whose bound falls below θ skips without decoding.
     """
 
     __slots__ = ("_query", "_index", "_similarity", "_postings",
-                 "_doc_frequency", "_doc_count", "_average")
+                 "_doc_frequency", "_doc_count", "_average",
+                 "_max_boost", "_block_bounds", "_batch_score",
+                 "_field_maps")
 
     def __init__(self, query: TermQuery, index: InvertedIndex,
                  similarity: Similarity) -> None:
@@ -149,42 +159,235 @@ class TermScorer(Scorer):
         self._index = index
         self._similarity = similarity
         self._postings = index.postings(query.field_name, query.term)
-        self._doc_frequency = (self._postings.doc_frequency
-                               if self._postings else 0)
+        if self._postings is not None:
+            self._doc_frequency = self._postings.doc_frequency
+            self._average = index.average_field_length(query.field_name)
+        else:
+            # absent term: every scoring path short-circuits before
+            # touching the statistics, so skip their lookups too
+            self._doc_frequency = 0
+            self._average = 0.0
         self._doc_count = index.doc_count
-        self._average = index.average_field_length(query.field_name)
+        self._max_boost: Optional[float] = None
+        self._block_bounds: Dict[int, float] = {}
+        self._batch_score = None
+        self._field_maps = None
+
+    def _similarity_closure(self):
+        """The per-document scoring closure with term-constant work
+        hoisted (built once per scorer; bit-identical to
+        ``similarity.score``)."""
+        sim_score = self._batch_score
+        if sim_score is None:
+            sim_score = self._similarity.batch_score(
+                self._doc_frequency, self._doc_count, self._average)
+            self._batch_score = sim_score
+        return sim_score
+
+    def _local_maps(self):
+        """``(lengths, boosts)`` dicts keyed by the postings' local
+        doc-id space, or ``False`` when the index backend does not
+        expose them (resolved once per scorer)."""
+        maps = self._field_maps
+        if maps is None:
+            getter = getattr(self._index, "local_field_maps", None)
+            maps = (getter(self._query.field_name)
+                    if getter is not None else False)
+            self._field_maps = maps
+        return maps
+
+    def _max_field_boost(self) -> float:
+        boost = self._max_boost
+        if boost is None:
+            boost = self._index.max_field_boost(self._query.field_name)
+            self._max_boost = boost
+        return boost
+
+    def _memo_key(self):
+        query = self._query
+        return (self._similarity, query.field_name, query.term,
+                query.boost)
 
     def max_contribution(self) -> float:
         if self._postings is None:
             return 0.0
+        memo = getattr(self._index, "bound_memo", None)
+        if memo is None:
+            return self._compute_bound()
+        key = self._memo_key()
+        bound = memo.get(key)
+        if bound is None:
+            bound = self._compute_bound()
+            memo[key] = bound
+        return bound
+
+    def _compute_bound(self) -> float:
         bound = self._similarity.max_score(
             self._postings.max_frequency, self._doc_frequency,
             self._doc_count)
-        return (bound * self._query.boost
-                * self._index.max_field_boost(self._query.field_name))
+        return bound * self._query.boost * self._max_field_boost()
 
-    def doc_ids(self) -> List[int]:
+    def doc_ids(self) -> Sequence[int]:
         return self._postings.doc_ids() if self._postings else []
 
     def doc_id_set(self) -> Set[int]:
         return set(self._postings.doc_ids()) if self._postings else set()
 
+    def matching_count(self) -> int:
+        """Number of matching documents, from statistics alone (no
+        postings decode)."""
+        return len(self._postings) if self._postings is not None else 0
+
     def score_one(self, doc_id: int) -> Optional[float]:
-        if self._postings is None:
+        postings = self._postings
+        if postings is None:
             return None
         # frequency() avoids materializing a Posting (and, on segment
         # backends, ever decoding position lists) just to count
         # occurrences — same integer, so the score is bit-identical
-        frequency = self._postings.frequency(doc_id)
+        frequency = postings.frequency(doc_id)
         if frequency is None:
             return None
+        return self.score_frequency(doc_id, frequency)
+
+    def score_frequency(self, doc_id: int, frequency: int
+                        ) -> Optional[float]:
+        """Score a document whose within-document frequency the caller
+        already holds (e.g. from a contributor map built off the typed
+        frequency columns) — :meth:`score_one` minus the postings
+        probe, with the identical float sequence."""
         self.scanned += 1
+        sim_score = self._similarity_closure()
+        maps = self._local_maps()
+        if maps is not False:
+            lengths, boosts = maps
+            local_doc = doc_id - self._postings.base
+            score = sim_score(frequency, lengths.get(local_doc, 0))
+            return score * self._query.boost * boosts.get(local_doc, 1.0)
         field_name = self._query.field_name
-        base = self._similarity.score(
-            frequency, self._doc_frequency, self._doc_count,
-            self._index.field_length(field_name, doc_id), self._average)
+        score = sim_score(
+            frequency, self._index.field_length(field_name, doc_id))
         index_boost = self._index.field_boost(field_name, doc_id)
-        return base * self._query.boost * index_boost
+        return score * self._query.boost * index_boost
+
+    def contributions(self):
+        """``(global doc id, contribution)`` pairs in postings order,
+        each contribution precomputed through the identical float
+        sequence as :meth:`score_one` — similarity closure, then
+        ``* query boost * index boost`` — with the per-term constants
+        resolved once outside a single tight loop over the typed
+        columns.  Returns ``None`` when the backing postings expose no
+        frequency column (multi-segment façade) and the caller should
+        fall back to per-doc probes.
+
+        On backends whose scoring inputs are generation-frozen (the
+        segment views), the pairs are memoized on the backend itself,
+        so repeat queries over a hot term skip the recompute
+        entirely."""
+        postings = self._postings
+        if postings is None:
+            return ()
+        freq_column = getattr(postings, "freqs", None)
+        if freq_column is None:
+            return None
+        memo = getattr(self._index, "contrib_memo", None)
+        if memo is None:
+            return self._compute_contributions(freq_column())
+        key = self._memo_key()
+        pairs = memo.get(key)
+        if pairs is None:
+            pairs = self._compute_contributions(freq_column())
+            memo[key] = pairs
+        return pairs
+
+    def _compute_contributions(self, freqs):
+        postings = self._postings
+        sim_score = self._similarity_closure()
+        boost = self._query.boost
+        doc_ids = postings.doc_ids()
+        maps = self._local_maps()
+        if maps is not False:
+            lengths, boosts = maps
+            length_of = lengths.get
+            boost_of = boosts.get
+            base = postings.base
+            return [(doc_id,
+                     sim_score(frequency, length_of(doc_id - base, 0))
+                     * boost * boost_of(doc_id - base, 1.0))
+                    for doc_id, frequency in zip(doc_ids, freqs)]
+        field_name = self._query.field_name
+        field_length = self._index.field_length
+        field_boost = self._index.field_boost
+        return [(doc_id,
+                 sim_score(frequency, field_length(field_name, doc_id))
+                 * boost * field_boost(field_name, doc_id))
+                for doc_id, frequency in zip(doc_ids, freqs)]
+
+    # -- block API (batched scoring / block-max pruning) --------------
+
+    def block_count(self) -> Optional[int]:
+        """Skip-block count of the underlying postings, or ``None``
+        when they expose no block structure (multi-segment façade)."""
+        postings = self._postings
+        if postings is None:
+            return 0
+        counter = getattr(postings, "block_count", None)
+        return counter() if counter is not None else None
+
+    def block_bound(self, block: int) -> float:
+        """Upper bound on this term's contribution for any document
+        inside ``block`` — the per-block max-impact figure pushed
+        through the same arithmetic as :meth:`max_contribution`, so it
+        is sound for the same reason and strictly tighter wherever the
+        block's max frequency undercuts the term's."""
+        bound = self._block_bounds.get(block)
+        if bound is None:
+            raw = self._similarity.max_score(
+                self._postings.block_max_frequency(block),
+                self._doc_frequency, self._doc_count)
+            bound = (raw * self._query.boost
+                     * self._max_field_boost())
+            self._block_bounds[block] = bound
+        return bound
+
+    def score_block(self, block: int) -> List[tuple]:
+        """Score every document of one skip block in a single batched
+        loop over the typed columns.  Returns ``(doc_id, score)``
+        pairs in doc order; each score replicates :meth:`score_one`'s
+        float sequence exactly — the hoisted similarity closure and
+        the direct length/boost dict probes read the very same values
+        through fewer Python frames — so batching never changes a
+        result bit."""
+        postings = self._postings
+        docs, freqs = postings.block_columns(block)
+        base = postings.base
+        sim_score = self._similarity_closure()
+        field_name = self._query.field_name
+        boost = self._query.boost
+        self.scanned += len(docs)
+        out = []
+        append = out.append
+        maps = self._local_maps()
+        if maps is not False:
+            # the maps are keyed by the columns' own (local) doc-id
+            # space, so per document the loop pays two dict probes
+            # instead of two method calls that re-derive the local id
+            lengths, boosts = maps
+            length_of = lengths.get
+            boost_of = boosts.get
+            for local_doc, frequency in zip(docs, freqs):
+                score = sim_score(frequency, length_of(local_doc, 0))
+                append((local_doc + base,
+                        score * boost * boost_of(local_doc, 1.0)))
+            return out
+        field_length = self._index.field_length
+        field_boost = self._index.field_boost
+        for local_doc, frequency in zip(docs, freqs):
+            doc_id = local_doc + base
+            score = sim_score(frequency, field_length(field_name, doc_id))
+            append((doc_id,
+                    score * boost * field_boost(field_name, doc_id)))
+        return out
 
 
 @dataclass
@@ -359,31 +562,86 @@ class DisMaxScorer(Scorer):
     sub-score is found with the same ``>`` comparisons, the total is
     summed in sub-query order, and the tie-breaker/boost arithmetic
     runs in the same order — identical floats out.
+
+    ``score_one`` consults a contributor map — doc id to the list of
+    ``(sub position, contribution)`` pairs containing it, built
+    lazily on first need (so a scorer retired or pruned before
+    scoring never pays for it) from each sub's
+    :meth:`TermScorer.contributions` batch, which precomputes the
+    per-doc contribution over the typed columns with the exact float
+    sequence of ``score_one``.  A miss then costs one dict probe and
+    a hit is pure float max/sum work — no per-document sub-scorer
+    calls at all; contributors apply in sub order exactly as before,
+    so the result is bit-identical.  Because entries name positions
+    rather than scorer objects, the merged map memoizes on
+    generation-frozen backends and repeat queries skip the build —
+    and its allocations — entirely.
     """
 
-    __slots__ = ("_subs", "_tie_breaker", "_boost", "_contributors")
+    __slots__ = ("_subs", "_tie_breaker", "_boost", "_doc_ids",
+                 "_doc_set", "_contributors")
 
     def __init__(self, query: "DisMaxQuery", subs: List[Scorer]) -> None:
         super().__init__()
         self._subs = subs
         self._tie_breaker = query.tie_breaker
         self._boost = query.boost
+        self._doc_ids: Optional[List[int]] = None
+        self._doc_set: Optional[Set[int]] = None
         self._contributors: Optional[Dict[int, List[Scorer]]] = None
 
-    def _contributor_map(self) -> Dict[int, List[Scorer]]:
-        """doc id → the sub-scorers that contain it, in sub order.
-
-        Built once per scorer: scoring a candidate then touches only
-        the clauses that actually match it, instead of probing every
-        field's postings for (mostly) misses.  Enumerating doc ids is
-        far cheaper than the similarity math it avoids."""
-        if self._contributors is None:
-            contributors: Dict[int, List[Scorer]] = {}
-            for sub in self._subs:
-                for doc_id in sub.doc_ids():
-                    contributors.setdefault(doc_id, []).append(sub)
-            self._contributors = contributors
-        return self._contributors
+    def _contributor_map(self) -> Dict[int, list]:
+        subs = self._subs
+        # Entries hold sub *positions*, not scorer references, so on
+        # backends with generation-frozen scoring inputs (the segment
+        # views) the whole merged map — plus its sorted doc ids and
+        # doc set — memoizes under the subs' signature and a repeat
+        # query re-uses it without rebuilding (or re-allocating)
+        # anything.
+        memo = key = None
+        if subs:
+            memo = getattr(getattr(subs[0], "_index", None),
+                           "contrib_memo", None)
+            if memo is not None:
+                try:
+                    key = ("dismax",) + tuple(
+                        sub._memo_key() for sub in subs)
+                except AttributeError:
+                    memo = None
+                else:
+                    cached = memo.get(key)
+                    if cached is not None:
+                        cmap, doc_ids, doc_set = cached
+                        self._contributors = cmap
+                        if self._doc_ids is None:
+                            self._doc_ids = doc_ids
+                        if self._doc_set is None:
+                            self._doc_set = doc_set
+                        return cmap
+        cmap = {}
+        for position, sub in enumerate(subs):
+            pairs = getattr(sub, "contributions", lambda: None)()
+            if pairs is None:
+                # no typed frequency column behind this sub — store
+                # it bare and probe per doc at scoring time (the map
+                # is then query-local: probes need live scorers)
+                memo = None
+                pairs = ((doc_id, None) for doc_id in sub.doc_ids())
+            for doc_id, contribution in pairs:
+                entry = cmap.get(doc_id)
+                if entry is None:
+                    cmap[doc_id] = entry = []
+                entry.append((position, contribution))
+        if memo is not None:
+            doc_ids = sorted(cmap)
+            doc_set = set(doc_ids)
+            memo[key] = (cmap, doc_ids, doc_set)
+            if self._doc_ids is None:
+                self._doc_ids = doc_ids
+            if self._doc_set is None:
+                self._doc_set = doc_set
+        self._contributors = cmap
+        return cmap
 
     def max_contribution(self) -> float:
         bounds = [sub.max_contribution() for sub in self._subs]
@@ -400,28 +658,49 @@ class DisMaxScorer(Scorer):
         return bound * self._boost
 
     def doc_ids(self) -> List[int]:
-        return sorted(self._contributor_map())
+        ids = self._doc_ids
+        if ids is None:
+            ids = sorted(self.doc_id_set())
+            self._doc_ids = ids
+        return ids
 
     def doc_id_set(self) -> Set[int]:
-        return set(self._contributor_map())
+        docs = self._doc_set
+        if docs is None:
+            cmap = self._contributors
+            if cmap is None:
+                cmap = self._contributor_map()
+            docs = set(cmap)
+            self._doc_set = docs
+        return docs
 
     def score_one(self, doc_id: int) -> Optional[float]:
         # mirrors score_docs: the running max starts at 0.0 (the
         # dict-get default), so a doc only matches once some sub-score
         # exceeds 0.0 — and the total still sums every sub-score.
-        # Only the clauses containing the doc are consulted; the
-        # skipped ones contributed nothing in the exhaustive path
-        # either, so the float sequence is unchanged.
-        subs = self._contributor_map().get(doc_id)
-        if subs is None:
+        # Sub-scorers that do not contain the doc would return None
+        # and contributed nothing in the exhaustive path either, so
+        # consulting only the contributors leaves the float sequence
+        # unchanged.
+        cmap = self._contributors
+        if cmap is None:
+            cmap = self._contributor_map()
+        entries = cmap.get(doc_id)
+        if entries is None:
             return None
+        subs = self._subs
         best = 0.0
         matched = False
         total = 0.0
-        for sub in subs:
-            score = sub.score_one(doc_id)
+        for position, score in entries:
             if score is None:
-                continue
+                # bare contributor: probe it now (its own accounting)
+                score = subs[position].score_one(doc_id)
+                if score is None:
+                    continue
+            else:
+                # one posting consulted, same count score_one charges
+                subs[position].scanned += 1
             if score > best:
                 best = score
                 matched = True
@@ -582,7 +861,9 @@ class BooleanScorer(Scorer):
 
     def doc_id_set(self) -> Set[int]:
         if self.musts:
-            matching = self.musts[0].doc_id_set()
+            # copy before intersecting in place: sub doc-id sets may
+            # be memoized and shared across scorers
+            matching = set(self.musts[0].doc_id_set())
             for sub in self.musts[1:]:
                 matching &= sub.doc_id_set()
         else:

@@ -388,6 +388,17 @@ class IndexSearcher:
                             "query_segments_pruned_total",
                             "segments skipped whole by score bounds"
                         ).inc(result.segments_pruned)
+                    if result.blocks_scored or result.blocks_pruned:
+                        obs.metrics.counter(
+                            "query_blocks_scored_total",
+                            "skip blocks scored through the batched "
+                            "block path"
+                        ).inc(result.blocks_scored)
+                        obs.metrics.counter(
+                            "query_blocks_pruned_total",
+                            "skip blocks skipped whole by block-max "
+                            "bounds"
+                        ).inc(result.blocks_pruned)
             else:
                 scores = query.score_docs(index, self.similarity)
                 candidates = total_hits = len(scores)

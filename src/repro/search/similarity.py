@@ -38,6 +38,24 @@ class Similarity:
         """
         return math.inf
 
+    def batch_score(self, doc_frequency: int, doc_count: int,
+                    average_field_length: float):
+        """A per-document ``(term_frequency, field_length) -> float``
+        closure with the term-constant work (IDF, parameter loads)
+        hoisted out of the per-document loop.
+
+        Every value it returns must be **bit-identical** to
+        :meth:`score` with the same arguments — the batched block
+        scorer relies on that for its parity guarantee.  The default
+        simply defers to :meth:`score`, so custom similarities are
+        correct without opting in; built-ins override it because the
+        hot loop calls this once per document.
+        """
+        def score(term_frequency: int, field_length: int) -> float:
+            return self.score(term_frequency, doc_frequency, doc_count,
+                              field_length, average_field_length)
+        return score
+
     def coord(self, matched_clauses: int, total_clauses: int) -> float:
         """Coordination factor rewarding docs matching more clauses."""
         if total_clauses <= 1:
@@ -69,6 +87,22 @@ class ClassicSimilarity(Similarity):
             return 0.0
         idf = self.idf(doc_frequency, doc_count)
         return math.sqrt(max_frequency) * idf * idf
+
+    def batch_score(self, doc_frequency: int, doc_count: int,
+                    average_field_length: float):
+        # identical float sequence to score(): idf is a pure function
+        # of (df, N), so computing it once changes nothing, and the
+        # per-document expression keeps score()'s operation order
+        idf = self.idf(doc_frequency, doc_count)
+        sqrt = math.sqrt
+
+        def score(term_frequency: int, field_length: int) -> float:
+            if term_frequency <= 0:
+                return 0.0
+            tf = sqrt(term_frequency)
+            norm = 1.0 / sqrt(field_length) if field_length > 0 else 1.0
+            return tf * idf * idf * norm
+        return score
 
 
 class BM25Similarity(Similarity):
@@ -112,6 +146,30 @@ class BM25Similarity(Similarity):
         floor = self.k1 * (1.0 - self.b)
         return idf * (max_frequency * (self.k1 + 1.0)
                       / (max_frequency + floor))
+
+    def batch_score(self, doc_frequency: int, doc_count: int,
+                    average_field_length: float):
+        # identical float sequence to score(): the hoisted values are
+        # exact copies of score()'s subexpressions ((1.0 - b) and
+        # (k1 + 1.0) are evaluated there the same way), and the
+        # per-document expression keeps the operation order
+        idf = self.idf(doc_frequency, doc_count)
+        k1 = self.k1
+        b = self.b
+        one_minus_b = 1.0 - b
+        k1_plus_1 = k1 + 1.0
+
+        def score(term_frequency: int, field_length: int) -> float:
+            if term_frequency <= 0:
+                return 0.0
+            if average_field_length <= 0:
+                length_norm = 1.0
+            else:
+                length_norm = (one_minus_b
+                               + b * field_length / average_field_length)
+            return idf * (term_frequency * k1_plus_1
+                          / (term_frequency + k1 * length_norm))
+        return score
 
     def coord(self, matched_clauses: int, total_clauses: int) -> float:
         # BM25 in Lucene drops the coordination factor.

@@ -50,6 +50,7 @@ from itertools import accumulate
 from typing import Iterable, List, Optional, Set, Tuple
 
 from repro.search.index.inverted import InvertedIndex
+from repro.search.index.postings import SKIP_BLOCK
 from repro.search.query.queries import (BooleanScorer, DisMaxScorer,
                                         Query, Scorer, TermScorer)
 from repro.search.similarity import Similarity
@@ -75,6 +76,11 @@ class TopKResult:
     segments_searched: int = 0
     #: segments skipped whole because their bound was below θ
     segments_pruned: int = 0
+    #: skip blocks scored through the batched block path
+    blocks_scored: int = 0
+    #: skip blocks skipped whole because their block-max bound was
+    #: strictly below θ
+    blocks_pruned: int = 0
 
 
 class _SharedHeap:
@@ -135,43 +141,53 @@ def run_top_k(index, similarity: Similarity,
                           candidates_scored=scored,
                           postings_scanned=scorer.postings_scanned(),
                           pruned=True)
-    clauses, bounds = _disjunctive_clauses(scorer)
+    clauses, bounds, scale = _disjunctive_clauses(scorer)
     if clauses is not None:
         exclude = (scorer.excluded_docs()
                    if isinstance(scorer, BooleanScorer) else frozenset())
-        hits, scored, pruned = _maxscore_scan(clauses, bounds, scorer,
-                                              exclude, shared)
+        hits, scored, pruned, blocks_pruned = _maxscore_scan(
+            clauses, bounds, scale, scorer, exclude, shared)
         return TopKResult(ranked=shared.drain(), total_hits=hits,
                           candidates_scored=scored,
                           postings_scanned=scorer.postings_scanned(),
-                          pruned=pruned)
+                          pruned=pruned, blocks_pruned=blocks_pruned)
     if isinstance(scorer, TermScorer):
         # a single term has no sibling clauses to prune against, but
-        # the bounded heap still avoids materializing + sorting the
-        # full score map
-        candidates = scorer.doc_ids()
-        _heap_over(candidates, scorer, shared)
+        # the batched block scan still skips blocks below θ and the
+        # bounded heap avoids materializing + sorting a full score map
+        outcome = _term_block_scan(scorer, shared)
+        if outcome is None:
+            candidates = scorer.doc_ids()
+            scored = _heap_over(candidates, scorer, shared)
+            outcome = (len(candidates), scored, False, 0, 0)
+        hits, scored, pruned, blocks_scored, blocks_pruned = outcome
         return TopKResult(ranked=shared.drain(),
-                          total_hits=len(candidates),
-                          candidates_scored=len(candidates),
+                          total_hits=hits,
+                          candidates_scored=scored,
                           postings_scanned=scorer.postings_scanned(),
-                          pruned=False)
+                          pruned=pruned, blocks_scored=blocks_scored,
+                          blocks_pruned=blocks_pruned)
     return None
 
 
 def _disjunctive_clauses(scorer: Scorer):
-    """The (clauses, bounds) pair for the MaxScore scan, or
-    ``(None, None)`` when the scorer is not disjunctive."""
+    """The ``(clauses, bounds, scale)`` triple for the MaxScore scan,
+    or ``(None, None, 1.0)`` when the scorer is not disjunctive.
+    ``bounds[i]`` is ``clauses[i].max_contribution() * scale``; the
+    scale is handed out separately so per-block bounds can be pushed
+    through the identical arithmetic (never a division, which could
+    round a bound *below* the true maximum and break soundness)."""
     if isinstance(scorer, BooleanScorer) and not scorer.musts:
-        return scorer.shoulds, [sub.max_contribution() * scorer.boost
-                                for sub in scorer.shoulds]
+        scale = scorer.boost
+        return scorer.shoulds, [sub.max_contribution() * scale
+                                for sub in scorer.shoulds], scale
     if isinstance(scorer, DisMaxScorer):
         # per-doc dismax <= sum of the contributing clauses' bounds
         # (times boost, and tie_breaker when it exceeds 1)
         scale = scorer._boost * max(1.0, scorer._tie_breaker)
         return scorer._subs, [sub.max_contribution() * scale
-                              for sub in scorer._subs]
-    return None, None
+                              for sub in scorer._subs], scale
+    return None, None, 1.0
 
 
 def _heap_over(candidates: Iterable[int], scorer: Scorer,
@@ -197,13 +213,29 @@ def _conjunctive_scan(scorer: BooleanScorer,
     return len(candidates), len(candidates)
 
 
-def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
-                   combiner: Scorer, exclude: Set[int],
-                   shared: _SharedHeap) -> Tuple[int, int, bool]:
-    """The MaxScore loop over disjunctive clauses, feeding the shared
-    heap.  Returns (candidate count, scored count, pruned flag).
+def _clause_block_bounds(clauses: List[Scorer]) -> List[Optional[object]]:
+    """Per-clause block-bound accessor (``block -> unscaled bound``)
+    for term clauses over block-structured postings, ``None``
+    elsewhere.  Bounds are memoized on the scorer, so consulting one
+    per merged document costs a dict probe."""
+    accessors: List[Optional[object]] = []
+    for clause in clauses:
+        accessor = None
+        if isinstance(clause, TermScorer) \
+                and clause.block_count() is not None:
+            accessor = clause.block_bound
+        accessors.append(accessor)
+    return accessors
 
-    Two pruning levels, both sound because skips require a *strict*
+
+def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
+                   scale: float, combiner: Scorer, exclude: Set[int],
+                   shared: _SharedHeap) -> Tuple[int, int, bool, int]:
+    """The MaxScore loop over disjunctive clauses, feeding the shared
+    heap.  Returns (candidate count, scored count, pruned flag,
+    blocks pruned).
+
+    Three pruning levels, all sound because skips require a *strict*
     bound-below-θ comparison (score ≤ bound, so a skipped doc can
     never tie the k-th entry):
 
@@ -214,7 +246,17 @@ def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
     * **per-document bound skip** (WAND-style) — the merge knows
       exactly which live clauses contain the current doc, so its
       upper bound is their bound sum plus the retired clauses' total
-      (membership there is unknown).  Below θ → not even scored.
+      (membership there is unknown).  For a term clause the cursor
+      ordinal names the skip block the doc sits in, so its
+      contribution is capped by the *block-max* bound — strictly
+      tighter wherever the block's best frequency undercuts the
+      term's.  Below θ → not even scored.
+    * **block skipping** (block-max WAND, single-survivor case) —
+      once one clause remains live, its stream is drained one skip
+      block per step: a block whose bound (plus the retired mass)
+      falls below θ advances the cursor past the whole block without
+      scoring — and, when the block maxima come from the v3 term
+      dictionary, without decoding it either.
 
     Doc-id streams are merged with a linear scan over the live
     clauses rather than a heap: clause counts are small (query terms,
@@ -228,6 +270,7 @@ def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
     count = len(clauses)
     order = sorted(range(count), key=lambda i: (bounds[i], i))
     prefix_bounds = list(accumulate(bounds[i] for i in order))
+    block_bounds = _clause_block_bounds(clauses)
 
     # exact match count is cheap (set union, no scoring) and keeps
     # TopDocs.total_hits identical to the exhaustive path
@@ -239,6 +282,7 @@ def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
 
     scored = 0
     pruned = False
+    blocks_pruned = 0
     retired = [False] * count
     retired_bound = 0.0        # bound mass of the retired clauses
     non_essential = 0
@@ -262,12 +306,55 @@ def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
         retire_below_theta()
 
     while active:
+        if len(active) == 1 and shared.theta is not None:
+            # lone survivor: no merge left, drain its stream one skip
+            # block per step.  Every doc in a block shares the block
+            # bound, so one comparison either rejects the whole block
+            # or admits per-doc scoring until θ rises — at which point
+            # the bound is re-checked before the next doc.
+            ci = active[0]
+            doc_list = doc_lists[ci]
+            size = len(doc_list)
+            cursor = cursors[ci]
+            accessor = block_bounds[ci]
+            clause_bound = bounds[ci]
+            while cursor < size:
+                if accessor is not None:
+                    tight = accessor(cursor // SKIP_BLOCK) * scale
+                    block_bound = min(tight, clause_bound)
+                    block_end = min(
+                        (cursor // SKIP_BLOCK + 1) * SKIP_BLOCK, size)
+                else:
+                    block_bound = clause_bound
+                    block_end = size
+                if retired_bound + block_bound < shared.theta:
+                    pruned = True
+                    blocks_pruned += 1
+                    cursor = block_end
+                    continue
+                while cursor < block_end:
+                    doc_id = doc_list[cursor]
+                    cursor += 1
+                    if doc_id in exclude:
+                        continue
+                    score = combiner.score_one(doc_id)
+                    scored += 1
+                    if score is not None \
+                            and shared.offer(doc_id, score):
+                        break    # θ rose: re-check the block bound
+            cursors[ci] = cursor
+            break
         doc_id = min(doc_lists[ci][cursors[ci]] for ci in active)
         doc_bound = retired_bound
         exhausted = False
         for ci in active:
             if doc_lists[ci][cursors[ci]] == doc_id:
-                doc_bound += bounds[ci]
+                accessor = block_bounds[ci]
+                if accessor is None:
+                    doc_bound += bounds[ci]
+                else:
+                    tight = accessor(cursors[ci] // SKIP_BLOCK) * scale
+                    doc_bound += min(tight, bounds[ci])
                 cursors[ci] += 1
                 if cursors[ci] == len(doc_lists[ci]):
                     exhausted = True
@@ -285,7 +372,39 @@ def _maxscore_scan(clauses: List[Scorer], bounds: List[float],
             continue
         if shared.offer(doc_id, score):
             retire_below_theta()
-    return total_hits, scored, pruned
+    return total_hits, scored, pruned, blocks_pruned
+
+
+def _term_block_scan(scorer: TermScorer, shared: _SharedHeap
+                     ) -> Optional[Tuple[int, int, bool, int, int]]:
+    """Batched scan of a lone term scorer, one skip block per step:
+    bound the block from its block-max statistic, skip it whole when
+    strictly below θ (no decode when the maxima are persisted in the
+    term dictionary), otherwise score it with the batched typed-column
+    loop.  Returns ``(hits, scored, pruned, blocks_scored,
+    blocks_pruned)``, or ``None`` when the postings expose no block
+    structure and the caller should fall back to the per-doc loop."""
+    blocks = scorer.block_count()
+    if blocks is None:
+        return None
+    scored = 0
+    pruned = False
+    blocks_scored = 0
+    blocks_pruned = 0
+    offer = shared.offer
+    for block in range(blocks):
+        theta = shared.theta
+        if theta is not None and scorer.block_bound(block) < theta:
+            pruned = True
+            blocks_pruned += 1
+            continue
+        pairs = scorer.score_block(block)
+        blocks_scored += 1
+        scored += len(pairs)
+        for doc_id, score in pairs:
+            offer(doc_id, score)
+    return scorer.matching_count(), scored, pruned, blocks_scored, \
+        blocks_pruned
 
 
 # ----------------------------------------------------------------------
@@ -333,6 +452,8 @@ def _run_segmented(views, similarity: Similarity, query: Query,
     pruned = False
     searched = 0
     skipped = 0
+    blocks_scored = 0
+    blocks_pruned = 0
     is_conjunctive = (isinstance(scorers[0], BooleanScorer)
                       and scorers[0].musts)
     for scorer in scorers:
@@ -349,20 +470,30 @@ def _run_segmented(views, similarity: Similarity, query: Query,
             scored_total += scored
             pruned = True
         else:
-            clauses, bounds = _disjunctive_clauses(scorer)
+            clauses, bounds, scale = _disjunctive_clauses(scorer)
             if clauses is not None:
                 exclude = (scorer.excluded_docs()
                            if isinstance(scorer, BooleanScorer)
                            else frozenset())
-                hits, scored, seg_pruned = _maxscore_scan(
-                    clauses, bounds, scorer, exclude, shared)
+                hits, scored, seg_pruned, seg_blocks = _maxscore_scan(
+                    clauses, bounds, scale, scorer, exclude, shared)
                 total_hits += hits
                 scored_total += scored
+                blocks_pruned += seg_blocks
                 pruned = pruned or seg_pruned
             elif isinstance(scorer, TermScorer):
-                candidates = scorer.doc_ids()
-                scored_total += _heap_over(candidates, scorer, shared)
-                total_hits += len(candidates)
+                outcome = _term_block_scan(scorer, shared)
+                if outcome is None:
+                    candidates = scorer.doc_ids()
+                    scored = _heap_over(candidates, scorer, shared)
+                    outcome = (len(candidates), scored, False, 0, 0)
+                hits, scored, seg_pruned, seg_scored, seg_skipped = \
+                    outcome
+                total_hits += hits
+                scored_total += scored
+                blocks_scored += seg_scored
+                blocks_pruned += seg_skipped
+                pruned = pruned or seg_pruned
             else:
                 return None
     return TopKResult(
@@ -371,4 +502,5 @@ def _run_segmented(views, similarity: Similarity, query: Query,
         postings_scanned=sum(scorer.postings_scanned()
                              for scorer in scorers),
         pruned=pruned, segments_searched=searched,
-        segments_pruned=skipped)
+        segments_pruned=skipped, blocks_scored=blocks_scored,
+        blocks_pruned=blocks_pruned)

@@ -1,0 +1,242 @@
+"""Per-block max frequencies (RIDX v3).
+
+The v3 term dictionary persists one max within-document frequency per
+skip block, so the top-k scan can bound — and skip — whole blocks
+without decoding them.  These tests pin the three ways that can go
+wrong: the writer recording a wrong maximum, a merge losing or
+corrupting the maxima, and the block-pruned scan drifting from the
+exhaustive oracle (especially across score ties, which strict-below-θ
+pruning must never break).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IndexError_
+from repro.search.index import (IndexDirectory, InvertedIndex,
+                                SegmentedIndex)
+from repro.search.index.segment import (SEGMENT_VERSION, SKIP_BLOCK,
+                                        SegmentReader,
+                                        merge_segment_files,
+                                        write_segment)
+from repro.search.query.queries import (BooleanQuery, DisMaxQuery,
+                                        Occur, TermQuery)
+from repro.search.searcher import IndexSearcher
+from repro.search.similarity import BM25Similarity, ClassicSimilarity
+
+VOCAB = ["goal", "foul", "messi", "pass"]
+
+
+def long_postings_index(seed: int = 3, docs: int = SKIP_BLOCK * 4 + 9,
+                        name: str = "long") -> InvertedIndex:
+    """Every term spans several skip blocks, with frequencies varied
+    so block maxima differ from the term-wide maximum."""
+    rng = random.Random(seed)
+    index = InvertedIndex(name)
+    for _ in range(docs):
+        doc_id = index.new_doc_id()
+        terms = []
+        for term in VOCAB:
+            for position in range(rng.randint(1, 5)):
+                terms.append((term, position))
+        index.index_terms(doc_id, "event", terms)
+        index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+    return index
+
+
+def recomputed_maxima(reader: SegmentReader, field: str, term: str):
+    """Block maxima derived from the decoded columns, bypassing the
+    persisted metadata."""
+    lazy = reader.postings(field, term)
+    out = []
+    for block in range(lazy.block_count()):
+        _, freqs = lazy.block_columns(block)
+        out.append(max(freqs))
+    return out
+
+
+class TestPersistedMaxima:
+    def test_writer_maxima_match_recomputation(self, tmp_path):
+        index = long_postings_index()
+        path = write_segment(index, tmp_path / "seg.ridx")
+        with SegmentReader(path) as reader:
+            for term in VOCAB:
+                meta = reader.term_meta("event", term)
+                assert meta.block_maxima is not None
+                assert len(meta.block_maxima) \
+                    == len(meta.skip_offsets)
+                assert list(meta.block_maxima) \
+                    == recomputed_maxima(reader, "event", term)
+                # the term-wide maximum is the max over block maxima
+                assert max(meta.block_maxima) == meta.max_frequency
+
+    def test_maxima_survive_merge(self, tmp_path):
+        chunks = [long_postings_index(seed=seed, docs=SKIP_BLOCK + 11,
+                                      name="m")
+                  for seed in (1, 2, 3)]
+        readers = [SegmentReader(write_segment(
+                       chunk, tmp_path / f"in_{number}.ridx"))
+                   for number, chunk in enumerate(chunks)]
+        try:
+            merged = merge_segment_files(readers,
+                                         tmp_path / "merged.ridx")
+        finally:
+            for reader in readers:
+                reader.close()
+        with SegmentReader(merged) as reader:
+            for term in VOCAB:
+                meta = reader.term_meta("event", term)
+                assert meta.block_maxima is not None
+                assert list(meta.block_maxima) \
+                    == recomputed_maxima(reader, "event", term)
+
+    def test_version_byte_on_disk(self, tmp_path):
+        index = long_postings_index(docs=10)
+        current = write_segment(index, tmp_path / "v3.ridx")
+        assert current.read_bytes()[4] == SEGMENT_VERSION == 3
+        compat = write_segment(index, tmp_path / "v2.ridx", version=2)
+        assert compat.read_bytes()[4] == 2
+
+    def test_unwritable_version_rejected(self, tmp_path):
+        with pytest.raises(IndexError_, match="version"):
+            write_segment(long_postings_index(docs=5),
+                          tmp_path / "bad.ridx", version=7)
+
+
+class TestV2ReadCompat:
+    """v2 segments carry no per-block maxima; readers must recompute
+    them on first decode and behave identically otherwise."""
+
+    def test_v2_round_trips_and_recomputes_maxima(self, tmp_path):
+        index = long_postings_index()
+        v2 = write_segment(index, tmp_path / "v2.ridx", version=2)
+        with SegmentReader(v2) as reader:
+            assert reader.version == 2
+            assert reader.to_inverted().to_json() == index.to_json()
+            v3_path = write_segment(index, tmp_path / "v3.ridx")
+            with SegmentReader(v3_path) as v3_reader:
+                for term in VOCAB:
+                    meta = reader.term_meta("event", term)
+                    assert meta.block_maxima is None
+                    lazy = reader.postings("event", term)
+                    v3_meta = v3_reader.term_meta("event", term)
+                    assert [lazy.block_max_frequency(block)
+                            for block in range(lazy.block_count())] \
+                        == list(v3_meta.block_maxima)
+
+    def test_search_identical_across_versions(self, tmp_path):
+        index = long_postings_index()
+        query = BooleanQuery()
+        for term in VOCAB[:3]:
+            query.add(TermQuery("event", term), Occur.SHOULD)
+        oracle = IndexSearcher(index, BM25Similarity(), cache_size=0
+                               ).search_exhaustive(query, 10)
+        for version in (2, 3):
+            path = write_segment(index,
+                                 tmp_path / f"s{version}.ridx",
+                                 version=version)
+            with SegmentReader(path) as reader:
+                top = IndexSearcher(reader.to_inverted(),
+                                    BM25Similarity(),
+                                    cache_size=0).search(query, 10)
+                assert [(h.doc_id, h.score) for h in top] \
+                    == [(h.doc_id, h.score) for h in oracle]
+
+
+# adversarial tie groups: a tiny vocabulary and a tiny frequency
+# range make many documents score exactly equal, so any unsound
+# block skip (bound == θ treated as prunable) surfaces as a changed
+# tie order
+DOC_SPECS = st.lists(
+    st.lists(st.sampled_from(VOCAB), min_size=1, max_size=6),
+    min_size=1, max_size=SKIP_BLOCK * 2 + 7)
+
+
+def build_from_specs(specs, name="fuzz") -> InvertedIndex:
+    index = InvertedIndex(name)
+    for terms in specs:
+        doc_id = index.new_doc_id()
+        index.index_terms(doc_id, "event",
+                          [(term, position)
+                           for position, term in enumerate(terms)])
+        index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+    return index
+
+
+def fuzz_query(rng: random.Random):
+    kind = rng.choice(["term", "bool", "dismax"])
+    if kind == "term":
+        return TermQuery("event", rng.choice(VOCAB))
+    if kind == "dismax":
+        return DisMaxQuery([TermQuery("event", term)
+                            for term in rng.sample(VOCAB,
+                                                   rng.randint(1, 3))],
+                           tie_breaker=rng.choice([0.0, 0.3, 1.0]))
+    query = BooleanQuery()
+    for term in rng.sample(VOCAB, rng.randint(1, 4)):
+        query.add(TermQuery("event", term),
+                  rng.choice([Occur.SHOULD, Occur.SHOULD, Occur.MUST]))
+    return query
+
+
+#: unique directory suffix per hypothesis example — tmp_path is
+#: reused across examples and hypothesis resets the global random
+#: state, so a random name can collide with (and silently reopen) a
+#: previous example's directory
+_DIRECTORY_IDS = itertools.count()
+
+
+class TestBlockPrunedParity:
+    """Block-max pruning must stay bit-identical to the exhaustive
+    path — doc ids, order and float scores — monolithic and
+    segment-backed alike."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(specs=DOC_SPECS, seed=st.integers(0, 2 ** 16))
+    def test_monolithic_matches_exhaustive(self, specs, seed):
+        rng = random.Random(seed)
+        index = build_from_specs(specs)
+        similarity = rng.choice([ClassicSimilarity(), BM25Similarity()])
+        searcher = IndexSearcher(index, similarity, cache_size=0)
+        for _ in range(4):
+            query = fuzz_query(rng)
+            k = rng.choice([1, 2, 5, len(specs), len(specs) + 3])
+            top = searcher.search(query, k)
+            oracle = searcher.search_exhaustive(query, k)
+            assert [(h.doc_id, h.score) for h in top] \
+                == [(h.doc_id, h.score) for h in oracle]
+            assert top.total_hits == oracle.total_hits
+
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(specs=DOC_SPECS, seed=st.integers(0, 2 ** 16))
+    def test_segmented_matches_exhaustive(self, specs, seed, tmp_path):
+        rng = random.Random(seed)
+        mono = build_from_specs(specs)
+        directory = IndexDirectory(
+            tmp_path / f"fuzz-{next(_DIRECTORY_IDS)}.segd",
+            name="fuzz")
+        docs = len(specs)
+        cuts = sorted(rng.sample(range(1, docs),
+                                 k=min(rng.randint(0, 2), docs - 1)))
+        for start, end in zip([0, *cuts], [*cuts, docs]):
+            chunk = build_from_specs(specs[start:end])
+            directory.add_index(chunk)
+        similarity = rng.choice([ClassicSimilarity(), BM25Similarity()])
+        oracle = IndexSearcher(mono, similarity, cache_size=0)
+        with SegmentedIndex(directory) as segmented:
+            ours = IndexSearcher(segmented, similarity, cache_size=0)
+            for _ in range(3):
+                query = fuzz_query(rng)
+                k = rng.choice([1, 3, docs])
+                top = ours.search(query, k)
+                ref = oracle.search_exhaustive(query, k)
+                assert [(h.doc_id, h.score) for h in top] \
+                    == [(h.doc_id, h.score) for h in ref]
+                assert top.total_hits == ref.total_hits

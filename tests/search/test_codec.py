@@ -6,6 +6,8 @@ import random
 import struct
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.errors import IndexError_
 from repro.search.index import (INDEX_FORMATS, InvertedIndex, index_path,
@@ -161,6 +163,29 @@ class TestVarintPrimitives:
     def test_zigzag_round_trip(self, value):
         assert codec._unzigzag(codec._zigzag(value)) == value
 
+    @pytest.mark.parametrize("value", [2 ** 63, -(2 ** 63),
+                                       2 ** 63 - 1, -(2 ** 63) + 1,
+                                       2 ** 64, 2 ** 100, -(2 ** 100)])
+    def test_zigzag_has_no_width_assumption(self, value):
+        # Python ints are arbitrary-precision; the encoding must not
+        # bake in a 64-bit word (the C-style ``x >> 63`` sign trick
+        # silently corrupts every non-negative value >= 2**63)
+        encoded = codec._zigzag(value)
+        assert encoded >= 0
+        assert codec._unzigzag(encoded) == value
+
+    @given(st.integers())
+    def test_zigzag_round_trips_any_int(self, value):
+        encoded = codec._zigzag(value)
+        assert encoded >= 0            # varint-encodable
+        assert codec._unzigzag(encoded) == value
+
+    @given(st.integers())
+    def test_zigzag_orders_by_magnitude(self, value):
+        # the point of zigzag: small magnitudes get small codes
+        assert codec._zigzag(value) in (2 * abs(value),
+                                        2 * abs(value) - 1)
+
 
 class TestBulkVarintDecode:
     """decode_uvarints must agree with the scalar decoder on any
@@ -203,6 +228,25 @@ class TestBulkVarintDecode:
         assert len(data) > 1
         with pytest.raises(ValueError, match="inside a varint"):
             codec.decode_uvarints(data, 0, len(data) - 1)
+
+    @pytest.mark.parametrize("pos,end", [(0, 9), (5, 9), (-1, 4),
+                                         (3, 2)])
+    def test_overrunning_range_raises_value_error(self, pos, end):
+        # a [pos, end) range that does not fit the buffer is the
+        # *caller's* bug and must surface as the documented
+        # ValueError, not as a bare IndexError from running off the
+        # end of ``data`` mid-decode
+        data = self.encode([1, 2, 3, 4])
+        assert len(data) == 4
+        with pytest.raises(ValueError, match="does not fit"):
+            codec.decode_uvarints(data, pos, end)
+
+    def test_overrun_with_continuation_bytes_still_value_error(self):
+        # every in-range byte has the continuation bit set, so the old
+        # code walked past ``end`` and raised IndexError at len(data)
+        data = bytes([0x80, 0x80, 0x80])
+        with pytest.raises(ValueError):
+            codec.decode_uvarints(data, 0, len(data) + 2)
 
     def test_works_on_memoryview_and_mmap_like_buffers(self):
         values = [1, 128, 2 ** 21]

@@ -1,0 +1,185 @@
+"""Compiled postings kernels: parity with the stdlib decoders,
+gating, and graceful fallback.
+
+The kernels are opt-in (``REPRO_KERNELS``) and must be invisible in
+results: every decoded value bit-identical to the stdlib path, every
+error surfaced with the stdlib's message shapes, and any condition the
+C side cannot handle (wide varints, malformed blocks, no compiler)
+silently served by the Python implementation instead.
+"""
+
+from __future__ import annotations
+
+import io
+import random
+
+import pytest
+
+from repro.search.index import InvertedIndex, codec, kernels
+from repro.search.index.segment import (SKIP_BLOCK, SegmentReader,
+                                        write_segment)
+
+
+def encode(values) -> bytes:
+    out = io.BytesIO()
+    for value in values:
+        codec._write_uvarint(out, value)
+    return out.getvalue()
+
+
+@pytest.fixture()
+def kernels_on():
+    """Enable kernels for one test, restoring the prior state; skips
+    when the environment cannot build them (no compiler/cffi)."""
+    was = kernels.enabled()
+    if not kernels.set_enabled(True):
+        kernels.set_enabled(was)
+        pytest.skip(f"kernels unavailable: {kernels.status()['reason']}")
+    yield
+    kernels.set_enabled(was)
+
+
+class TestGating:
+    def test_disabled_kernels_decline_everything(self):
+        was = kernels.enabled()
+        kernels.set_enabled(False)
+        try:
+            assert kernels.enabled() is False
+            assert kernels.decode_uvarints(encode([1, 2]), 0, 2) is None
+            assert kernels.split_postings(encode([0, 1, 0]), 0, 3,
+                                          1) is None
+            assert kernels.status()["enabled"] is False
+        finally:
+            kernels.set_enabled(was)
+
+    def test_enable_disable_round_trip(self, kernels_on):
+        assert kernels.enabled() is True
+        assert kernels.status() == {"requested": True, "enabled": True,
+                                    "reason": "ok"}
+        kernels.set_enabled(False)
+        assert kernels.enabled() is False
+        assert kernels.set_enabled(True) is True
+
+    def test_stats_counters_advance(self, kernels_on):
+        before = kernels.stats()
+        data = encode([5, 6, 7])
+        kernels.decode_uvarints(data, 0, len(data))
+        after = kernels.stats()
+        assert after["values_decoded"] >= before["values_decoded"] + 3
+        assert after["parity_failures"] == before["parity_failures"]
+
+
+class TestDecodeParity:
+    def test_matches_stdlib_on_random_streams(self, kernels_on):
+        rng = random.Random(17)
+        for _ in range(40):
+            values = [rng.randint(0, 2 ** rng.randint(1, 62))
+                      for _ in range(rng.randint(0, 300))]
+            data = encode(values)
+            got = kernels.decode_uvarints(data, 0, len(data))
+            assert got is not None
+            assert list(got) == values
+            assert list(got) == codec.decode_uvarints(data, 0,
+                                                      len(data))
+
+    def test_subrange_with_offsets(self, kernels_on):
+        prefix = encode([9, 400])
+        body = encode([0, 127, 128, 2 ** 30, 2 ** 62])
+        data = prefix + body + encode([3])
+        got = kernels.decode_uvarints(data, len(prefix),
+                                      len(prefix) + len(body))
+        assert list(got) == [0, 127, 128, 2 ** 30, 2 ** 62]
+
+    def test_wide_varint_declines_to_python(self, kernels_on):
+        data = encode([2 ** 70])
+        assert kernels.decode_uvarints(data, 0, len(data)) is None
+        # ...and the stdlib path handles it fine
+        assert codec.decode_uvarints(data, 0, len(data)) == [2 ** 70]
+
+    def test_error_shapes_match_stdlib(self, kernels_on):
+        data = encode([2 ** 30])
+        with pytest.raises(ValueError, match="inside a varint"):
+            kernels.decode_uvarints(data, 0, len(data) - 1)
+        with pytest.raises(ValueError, match="does not fit"):
+            kernels.decode_uvarints(data, 0, len(data) + 1)
+
+
+class TestSplitPostings:
+    def reference(self, payload: bytes, ndocs: int):
+        values = codec.decode_uvarints(payload, 0, len(payload))
+        doc_ids, freqs, entries = [], [], []
+        position = 0
+        doc_id = 0
+        for _ in range(ndocs):
+            doc_id += values[position]
+            doc_ids.append(doc_id)
+            freqs.append(values[position + 1])
+            entries.append(position + 2)
+            position += 2 + values[position + 1]
+        return doc_ids, freqs, entries
+
+    def test_matches_python_splitter(self, kernels_on):
+        rng = random.Random(23)
+        for _ in range(20):
+            ndocs = rng.randint(1, SKIP_BLOCK)
+            stream = []
+            doc_id = 0
+            for index in range(ndocs):
+                delta = rng.randint(0 if index else 0, 9)
+                stream.append(delta if index else doc_id + delta)
+                positions = [rng.randint(0, 50)
+                             for _ in range(rng.randint(0, 4))]
+                stream.append(len(positions))
+                stream.extend(positions)
+            payload = encode(stream)
+            split = kernels.split_postings(payload, 0, len(payload),
+                                           ndocs)
+            assert split is not None
+            doc_ids, freqs, entries, max_freq = split
+            want = self.reference(payload, ndocs)
+            assert (list(doc_ids), list(freqs), list(entries)) == want
+            assert max_freq == max(want[1])
+
+    def test_malformed_block_declines(self, kernels_on):
+        payload = encode([1, 3, 0])       # freq 3 but one position
+        assert kernels.split_postings(payload, 0, len(payload),
+                                      1) is None
+        trailing = encode([1, 0, 99])     # bytes after the last doc
+        assert kernels.split_postings(trailing, 0, len(trailing),
+                                      1) is None
+
+
+class TestSegmentParity:
+    """End to end: a segment decoded with kernels on equals the same
+    segment decoded with kernels off, columns and positions alike."""
+
+    def build(self, tmp_path):
+        rng = random.Random(31)
+        index = InvertedIndex("kern")
+        for _ in range(SKIP_BLOCK * 2 + 13):
+            doc_id = index.new_doc_id()
+            index.index_terms(
+                doc_id, "f",
+                [("t", position)
+                 for position in range(rng.randint(1, 6))])
+            index.store_value(doc_id, "doc_key", f"doc-{doc_id}")
+        return write_segment(index, tmp_path / "kern.ridx")
+
+    def read_all(self, path):
+        with SegmentReader(path) as reader:
+            lazy = reader.postings("f", "t")
+            columns = [
+                (list(lazy.block_columns(block)[0]),
+                 list(lazy.block_columns(block)[1]),
+                 lazy.block_max_frequency(block))
+                for block in range(lazy.block_count())]
+            positions = [posting.positions for posting in lazy]
+            return columns, positions
+
+    def test_backends_bit_identical(self, tmp_path, kernels_on):
+        path = self.build(tmp_path)
+        with_kernels = self.read_all(path)
+        kernels.set_enabled(False)
+        without = self.read_all(path)
+        assert with_kernels == without
+        assert kernels.stats()["parity_failures"] == 0
